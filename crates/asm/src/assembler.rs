@@ -1,0 +1,298 @@
+//! The two-pass assembler for the SPARC subset.
+//!
+//! Syntax: one instruction per line; `label:` (optionally followed by an
+//! instruction on the same line); `!` starts a comment; registers are
+//! `%g0`–`%g7`, `%o0`–`%o7`, `%l0`–`%l7`, `%i0`–`%i7` (plus the aliases
+//! `%sp` = `%o6` and `%fp` = `%i6`); immediates are decimal, optionally
+//! negative; memory operands are `[%reg + imm]` / `[%reg - imm]` /
+//! `[%reg]`.
+
+use crate::error::AsmError;
+use crate::inst::{Cond, Instr, Op2, Program};
+use regwin_traps::Reg;
+use std::collections::HashMap;
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a parse error with the offending line, or label errors.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: split labels from instruction texts, assign indices.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new(); // (source line, text)
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = raw.split('!').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let label = head.trim();
+            if !is_label(label) {
+                break;
+            }
+            if labels.insert(label.to_string(), lines.len()).is_some() {
+                return Err(AsmError::DuplicateLabel(label.to_string()));
+            }
+            rest = tail[1..].trim();
+        }
+        if !rest.is_empty() {
+            lines.push((lineno + 1, rest.to_string()));
+        }
+    }
+    // Pass 2: parse instructions with labels resolved.
+    let mut instrs = Vec::with_capacity(lines.len());
+    for (lineno, text) in &lines {
+        instrs.push(parse_instr(*lineno, text, &labels)?);
+    }
+    Ok(Program::new(instrs, labels))
+}
+
+fn is_label(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_instr(
+    line: usize,
+    text: &str,
+    labels: &HashMap<String, usize>,
+) -> Result<Instr, AsmError> {
+    let bad = |detail: &str| AsmError::Parse { line, detail: detail.to_string() };
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        split_operands(rest)
+    };
+    let label_target = |name: &str| {
+        labels.get(name).copied().ok_or_else(|| AsmError::UndefinedLabel(name.to_string()))
+    };
+
+    let three = |ops: &[&str]| -> Result<(Reg, Op2, Reg), AsmError> {
+        if ops.len() != 3 {
+            return Err(AsmError::Parse { line, detail: "expected rs1, op2, rd".into() });
+        }
+        Ok((parse_reg(line, ops[0])?, parse_op2(line, ops[1])?, parse_reg(line, ops[2])?))
+    };
+
+    match mnemonic {
+        "add" => three(&ops).map(|(a, b, c)| Instr::Add(a, b, c)),
+        "sub" => three(&ops).map(|(a, b, c)| Instr::Sub(a, b, c)),
+        "and" => three(&ops).map(|(a, b, c)| Instr::And(a, b, c)),
+        "or" => three(&ops).map(|(a, b, c)| Instr::Or(a, b, c)),
+        "xor" => three(&ops).map(|(a, b, c)| Instr::Xor(a, b, c)),
+        "sll" => three(&ops).map(|(a, b, c)| Instr::Sll(a, b, c)),
+        "srl" => three(&ops).map(|(a, b, c)| Instr::Srl(a, b, c)),
+        "mov" => {
+            if ops.len() != 2 {
+                return Err(bad("expected op2, rd"));
+            }
+            Ok(Instr::Mov(parse_op2(line, ops[0])?, parse_reg(line, ops[1])?))
+        }
+        "cmp" => {
+            if ops.len() != 2 {
+                return Err(bad("expected rs1, op2"));
+            }
+            Ok(Instr::Cmp(parse_reg(line, ops[0])?, parse_op2(line, ops[1])?))
+        }
+        "ba" | "be" | "bne" | "bg" | "bl" | "bge" | "ble" => {
+            if ops.len() != 1 {
+                return Err(bad("expected a label"));
+            }
+            let cond = match mnemonic {
+                "ba" => Cond::Always,
+                "be" => Cond::Eq,
+                "bne" => Cond::Ne,
+                "bg" => Cond::Gt,
+                "bl" => Cond::Lt,
+                "bge" => Cond::Ge,
+                _ => Cond::Le,
+            };
+            Ok(Instr::Branch(cond, label_target(ops[0])?))
+        }
+        "call" => {
+            if ops.len() != 1 {
+                return Err(bad("expected a label"));
+            }
+            Ok(Instr::Call(label_target(ops[0])?))
+        }
+        "ret" => Ok(Instr::Ret),
+        "retl" => Ok(Instr::Retl),
+        "save" => Ok(Instr::Save),
+        "restore" => {
+            if ops.is_empty() {
+                return Ok(Instr::Restore(Reg::G(0), Op2::Reg(Reg::G(0)), Reg::G(0)));
+            }
+            if ops.len() != 3 {
+                return Err(bad("expected no operands or rs1, op2, rd"));
+            }
+            Ok(Instr::Restore(parse_reg(line, ops[0])?, parse_op2(line, ops[1])?, parse_reg(line, ops[2])?))
+        }
+        "ld" => {
+            if ops.len() != 2 {
+                return Err(bad("expected [address], rd"));
+            }
+            let (base, off) = parse_mem(line, ops[0])?;
+            Ok(Instr::Ld(base, off, parse_reg(line, ops[1])?))
+        }
+        "st" => {
+            if ops.len() != 2 {
+                return Err(bad("expected rs, [address]"));
+            }
+            let (base, off) = parse_mem(line, ops[1])?;
+            Ok(Instr::St(parse_reg(line, ops[0])?, base, off))
+        }
+        "yield" => Ok(Instr::Yield),
+        "halt" => Ok(Instr::Halt),
+        "nop" => Ok(Instr::Or(Reg::G(0), Op2::Reg(Reg::G(0)), Reg::G(0))),
+        other => Err(bad(&format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+/// Splits operands on commas, keeping `[...]` memory operands intact.
+fn split_operands(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(s[start..].trim());
+    out.retain(|p| !p.is_empty());
+    out
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<Reg, AsmError> {
+    let bad = || AsmError::Parse { line, detail: format!("bad register '{s}'") };
+    match s {
+        "%sp" => return Ok(Reg::O(6)),
+        "%fp" => return Ok(Reg::I(6)),
+        _ => {}
+    }
+    let rest = s.strip_prefix('%').ok_or_else(bad)?;
+    let (kind, num) = rest.split_at(1);
+    let n: u8 = num.parse().map_err(|_| bad())?;
+    if n > 7 {
+        return Err(bad());
+    }
+    match kind {
+        "g" => Ok(Reg::G(n)),
+        "o" => Ok(Reg::O(n)),
+        "l" => Ok(Reg::L(n)),
+        "i" => Ok(Reg::I(n)),
+        _ => Err(bad()),
+    }
+}
+
+fn parse_op2(line: usize, s: &str) -> Result<Op2, AsmError> {
+    if s.starts_with('%') {
+        return Ok(Op2::Reg(parse_reg(line, s)?));
+    }
+    s.parse::<i32>()
+        .map(Op2::Imm)
+        .map_err(|_| AsmError::Parse { line, detail: format!("bad immediate '{s}'") })
+}
+
+fn parse_mem(line: usize, s: &str) -> Result<(Reg, i32), AsmError> {
+    let bad = |d: &str| AsmError::Parse { line, detail: format!("bad memory operand '{s}': {d}") };
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| bad("missing brackets"))?
+        .trim();
+    if let Some((base, off)) = inner.split_once('+') {
+        let base = parse_reg(line, base.trim())?;
+        let off: i32 = off.trim().parse().map_err(|_| bad("bad offset"))?;
+        Ok((base, off))
+    } else if let Some((base, off)) = inner.split_once('-') {
+        let base = parse_reg(line, base.trim())?;
+        let off: i32 = off.trim().parse().map_err(|_| bad("bad offset"))?;
+        Ok((base, -off))
+    } else {
+        Ok((parse_reg(line, inner)?, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_arithmetic() {
+        let p = assemble("add %o0, 1, %o1\nsub %o1, %o0, %o2\nhalt\n").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.instrs()[0], Instr::Add(Reg::O(0), Op2::Imm(1), Reg::O(1)));
+        assert_eq!(p.instrs()[1], Instr::Sub(Reg::O(1), Op2::Reg(Reg::O(0)), Reg::O(2)));
+    }
+
+    #[test]
+    fn labels_resolve_forwards_and_backwards() {
+        let p = assemble("start:\n  ba end\n  nop\nend:\n  ba start\n  halt\n").unwrap();
+        assert_eq!(p.label("start"), Some(0));
+        assert_eq!(p.label("end"), Some(2));
+        assert_eq!(p.instrs()[0], Instr::Branch(Cond::Always, 2));
+        assert_eq!(p.instrs()[2], Instr::Branch(Cond::Always, 0));
+    }
+
+    #[test]
+    fn label_with_instruction_on_same_line() {
+        let p = assemble("loop: add %l0, 1, %l0\nba loop\n").unwrap();
+        assert_eq!(p.label("loop"), Some(0));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let p = assemble("! a comment\nmov 3, %o0 ! trailing\nhalt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("ld [%l0 + 4], %o0\nst %o0, [%sp - 8]\nld [%g1], %o1\n").unwrap();
+        assert_eq!(p.instrs()[0], Instr::Ld(Reg::L(0), 4, Reg::O(0)));
+        assert_eq!(p.instrs()[1], Instr::St(Reg::O(0), Reg::O(6), -8));
+        assert_eq!(p.instrs()[2], Instr::Ld(Reg::G(1), 0, Reg::O(1)));
+    }
+
+    #[test]
+    fn restore_forms() {
+        let p = assemble("restore\nrestore %l0, 5, %o0\n").unwrap();
+        assert_eq!(p.instrs()[0], Instr::Restore(Reg::G(0), Op2::Reg(Reg::G(0)), Reg::G(0)));
+        assert_eq!(p.instrs()[1], Instr::Restore(Reg::L(0), Op2::Imm(5), Reg::O(0)));
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        match assemble("mov 1, %o0\nbogus %o0\n") {
+            Err(AsmError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(matches!(assemble("ba nowhere\n"), Err(AsmError::UndefinedLabel(_))));
+        assert!(matches!(assemble("a:\na:\n halt\n"), Err(AsmError::DuplicateLabel(_))));
+        assert!(matches!(assemble("mov 1, %q3\n"), Err(AsmError::Parse { .. })));
+        assert!(matches!(assemble("mov 1, %o9\n"), Err(AsmError::Parse { .. })));
+    }
+
+    #[test]
+    fn sp_and_fp_aliases() {
+        let p = assemble("mov %sp, %l0\nmov %fp, %l1\n").unwrap();
+        assert_eq!(p.instrs()[0], Instr::Mov(Op2::Reg(Reg::O(6)), Reg::L(0)));
+        assert_eq!(p.instrs()[1], Instr::Mov(Op2::Reg(Reg::I(6)), Reg::L(1)));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for assembly and execution.
+
+use regwin_traps::SchemeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the assembler or the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A source line could not be parsed.
+    Parse {
+        /// 1-based source line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// The window machinery failed (propagated from the scheme layer).
+    Scheme(SchemeError),
+    /// Execution exceeded the step budget (runaway program).
+    StepBudgetExceeded {
+        /// The exhausted budget.
+        steps: u64,
+    },
+    /// A program counter left the program (missing `halt`/`ret`).
+    PcOutOfRange {
+        /// The thread's name.
+        thread: String,
+        /// The bad program counter.
+        pc: usize,
+    },
+    /// `run` was called with no loaded programs.
+    NoPrograms,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Parse { line, detail } => write!(f, "parse error on line {line}: {detail}"),
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label '{l}'"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label '{l}'"),
+            AsmError::Scheme(e) => write!(f, "window machinery error: {e}"),
+            AsmError::StepBudgetExceeded { steps } => {
+                write!(f, "execution exceeded {steps} steps")
+            }
+            AsmError::PcOutOfRange { thread, pc } => {
+                write!(f, "thread '{thread}' ran off the program at pc {pc}")
+            }
+            AsmError::NoPrograms => write!(f, "no programs loaded"),
+        }
+    }
+}
+
+impl Error for AsmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AsmError::Scheme(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemeError> for AsmError {
+    fn from(e: SchemeError) -> Self {
+        AsmError::Scheme(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AsmError::Parse { line: 3, detail: "bad register".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(AsmError::UndefinedLabel("fib".into()).to_string().contains("fib"));
+        assert!(AsmError::StepBudgetExceeded { steps: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,412 @@
+//! The interpreter: programs executing over the window-managed CPU.
+
+use crate::error::AsmError;
+use crate::inst::{Instr, Op2, Program};
+use regwin_machine::{MachineStats, ThreadId};
+use regwin_traps::{build_scheme, Cpu, Operand, Reg, RestoreInstr, SchemeKind};
+use std::collections::HashMap;
+
+/// Handle to a loaded program's thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadHandle(usize);
+
+#[derive(Debug)]
+struct ThreadState {
+    name: String,
+    tid: ThreadId,
+    program: Program,
+    pc: usize,
+    halted: bool,
+    exit: Option<u64>,
+    /// Last `cmp` operands, as signed values (the condition codes).
+    flags: (i64, i64),
+}
+
+/// A multi-threaded SPARC-subset machine: one window-managed CPU, a flat
+/// word memory shared by all threads, and round-robin scheduling at
+/// `yield` instructions (non-preemptive, like the paper's runtime).
+#[derive(Debug)]
+pub struct AsmMachine {
+    cpu: Cpu,
+    threads: Vec<ThreadState>,
+    memory: HashMap<u64, u64>,
+    current: usize,
+}
+
+impl AsmMachine {
+    /// A machine with `nwindows` windows under the given scheme.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the window count is below the scheme's minimum.
+    pub fn new(nwindows: usize, scheme: SchemeKind) -> Result<Self, AsmError> {
+        let cpu = Cpu::new(nwindows, build_scheme(scheme))?;
+        Ok(AsmMachine { cpu, threads: Vec::new(), memory: HashMap::new(), current: 0 })
+    }
+
+    /// Loads `program` as a new thread starting at its first instruction.
+    pub fn load(&mut self, name: impl Into<String>, program: Program) -> ThreadHandle {
+        let tid = self.cpu.add_thread();
+        let handle = ThreadHandle(self.threads.len());
+        self.threads.push(ThreadState {
+            name: name.into(),
+            tid,
+            program,
+            pc: 0,
+            halted: false,
+            exit: None,
+            flags: (0, 0),
+        });
+        handle
+    }
+
+    /// Runs all threads to completion (every thread `halt`s), bounded by
+    /// `max_steps` executed instructions.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a runaway program, a program counter leaving the
+    /// program, or window-machinery errors.
+    pub fn run(&mut self, max_steps: u64) -> Result<(), AsmError> {
+        if self.threads.is_empty() {
+            return Err(AsmError::NoPrograms);
+        }
+        self.current = 0;
+        self.cpu.switch_to(self.threads[0].tid)?;
+        let mut steps = 0u64;
+        while !self.all_halted() {
+            if self.threads[self.current].halted {
+                self.advance()?;
+                continue;
+            }
+            steps += 1;
+            if steps > max_steps {
+                return Err(AsmError::StepBudgetExceeded { steps: max_steps });
+            }
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// The exit value of a halted thread (`%o0` at its `halt`).
+    pub fn exit_value(&self, handle: ThreadHandle) -> Option<u64> {
+        self.threads[handle.0].exit
+    }
+
+    /// Reads a word of the shared memory (unwritten words read zero).
+    pub fn read_memory(&self, addr: u64) -> u64 {
+        self.memory.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// The machine's window-event statistics.
+    pub fn stats(&self) -> &MachineStats {
+        self.cpu.stats()
+    }
+
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.cpu.total_cycles()
+    }
+
+    fn all_halted(&self) -> bool {
+        self.threads.iter().all(|t| t.halted)
+    }
+
+    /// Rotates to the next non-halted thread and switches the CPU to it.
+    fn advance(&mut self) -> Result<(), AsmError> {
+        let n = self.threads.len();
+        for k in 1..=n {
+            let idx = (self.current + k) % n;
+            if !self.threads[idx].halted {
+                self.current = idx;
+                self.cpu.switch_to(self.threads[idx].tid)?;
+                return Ok(());
+            }
+        }
+        Ok(()) // everyone halted; run() will notice
+    }
+
+    fn read_reg(&self, r: Reg) -> u64 {
+        match r {
+            Reg::G(i) => self.cpu.read_global(i as usize),
+            Reg::O(i) => self.cpu.read_out(i as usize).expect("current thread set"),
+            Reg::L(i) => self.cpu.read_local(i as usize).expect("current thread set"),
+            Reg::I(i) => self.cpu.read_in(i as usize).expect("current thread set"),
+        }
+    }
+
+    fn write_reg(&mut self, r: Reg, value: u64) {
+        match r {
+            Reg::G(i) => self.cpu.write_global(i as usize, value),
+            Reg::O(i) => self.cpu.write_out(i as usize, value).expect("current thread set"),
+            Reg::L(i) => self.cpu.write_local(i as usize, value).expect("current thread set"),
+            Reg::I(i) => self.cpu.write_in(i as usize, value).expect("current thread set"),
+        }
+    }
+
+    fn read_op2(&self, op: Op2) -> u64 {
+        match op {
+            Op2::Reg(r) => self.read_reg(r),
+            Op2::Imm(v) => v as i64 as u64,
+        }
+    }
+
+    /// Executes one instruction of the current thread.
+    fn step(&mut self) -> Result<(), AsmError> {
+        let idx = self.current;
+        let pc = self.threads[idx].pc;
+        let instr = match self.threads[idx].program.instrs().get(pc) {
+            Some(i) => *i,
+            None => {
+                return Err(AsmError::PcOutOfRange {
+                    thread: self.threads[idx].name.clone(),
+                    pc,
+                })
+            }
+        };
+        let mut next_pc = pc + 1;
+        match instr {
+            Instr::Add(a, b, d) => self.alu(a, b, d, u64::wrapping_add),
+            Instr::Sub(a, b, d) => self.alu(a, b, d, u64::wrapping_sub),
+            Instr::And(a, b, d) => self.alu(a, b, d, |x, y| x & y),
+            Instr::Or(a, b, d) => self.alu(a, b, d, |x, y| x | y),
+            Instr::Xor(a, b, d) => self.alu(a, b, d, |x, y| x ^ y),
+            Instr::Sll(a, b, d) => self.alu(a, b, d, |x, y| x.wrapping_shl(y as u32 & 63)),
+            Instr::Srl(a, b, d) => self.alu(a, b, d, |x, y| x.wrapping_shr(y as u32 & 63)),
+            Instr::Mov(b, d) => {
+                let v = self.read_op2(b);
+                self.write_reg(d, v);
+                self.cpu.compute(1);
+            }
+            Instr::Cmp(a, b) => {
+                let x = self.read_reg(a) as i64;
+                let y = self.read_op2(b) as i64;
+                self.threads[idx].flags = (x, y);
+                self.cpu.compute(1);
+            }
+            Instr::Branch(cond, target) => {
+                let (x, y) = self.threads[idx].flags;
+                if cond.holds(x, y) {
+                    next_pc = target;
+                }
+                self.cpu.compute(1);
+            }
+            Instr::Call(target) => {
+                self.write_reg(Reg::O(7), pc as u64);
+                next_pc = target;
+                self.cpu.compute(1);
+            }
+            Instr::Ret | Instr::Retl => {
+                next_pc = self.read_reg(Reg::O(7)) as usize + 1;
+                self.cpu.compute(1);
+            }
+            Instr::Save => {
+                self.cpu.save()?;
+            }
+            Instr::Restore(rs1, op2, rd) => {
+                let operand = match op2 {
+                    Op2::Reg(r) => Operand::Reg(r),
+                    Op2::Imm(v) => Operand::Imm(v as i16),
+                };
+                self.cpu.restore_with(&RestoreInstr::new(rs1, operand, rd))?;
+            }
+            Instr::Ld(base, off, rd) => {
+                let addr = (self.read_reg(base) as i64).wrapping_add(off as i64) as u64;
+                let v = self.read_memory(addr);
+                self.write_reg(rd, v);
+                self.cpu.compute(2);
+            }
+            Instr::St(rs, base, off) => {
+                let addr = (self.read_reg(base) as i64).wrapping_add(off as i64) as u64;
+                let v = self.read_reg(rs);
+                self.memory.insert(addr, v);
+                self.cpu.compute(2);
+            }
+            Instr::Yield => {
+                self.cpu.compute(1);
+                self.threads[idx].pc = next_pc;
+                return self.advance();
+            }
+            Instr::Halt => {
+                let exit = self.read_reg(Reg::O(0));
+                let t = &mut self.threads[idx];
+                t.halted = true;
+                t.exit = Some(exit);
+                self.cpu.terminate_current()?;
+                if !self.all_halted() {
+                    return self.advance();
+                }
+                return Ok(());
+            }
+        }
+        self.threads[idx].pc = next_pc;
+        Ok(())
+    }
+
+    fn alu(&mut self, a: Reg, b: Op2, d: Reg, f: impl Fn(u64, u64) -> u64) {
+        let x = self.read_reg(a);
+        let y = self.read_op2(b);
+        self.write_reg(d, f(x, y));
+        self.cpu.compute(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::assemble;
+
+    fn run_one(source: &str, scheme: SchemeKind, nwindows: usize) -> (u64, AsmMachine) {
+        let program = assemble(source).unwrap();
+        let mut m = AsmMachine::new(nwindows, scheme).unwrap();
+        let t = m.load("main", program);
+        m.run(1_000_000).unwrap();
+        (m.exit_value(t).unwrap(), m)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let (v, _) = run_one("mov 20, %o0\nadd %o0, 22, %o0\nhalt\n", SchemeKind::Sp, 8);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        // Sum 1..=10 with a loop.
+        let src = "\
+            mov 0, %l0\n\
+            mov 1, %l1\n\
+        loop:\n\
+            cmp %l1, 10\n\
+            bg done\n\
+            add %l0, %l1, %l0\n\
+            add %l1, 1, %l1\n\
+            ba loop\n\
+        done:\n\
+            mov %l0, %o0\n\
+            halt\n";
+        let (v, _) = run_one(src, SchemeKind::Ns, 8);
+        assert_eq!(v, 55);
+    }
+
+    /// Recursive fibonacci through real save/restore windows, deep enough
+    /// to overflow any file — the canonical register-window workout.
+    const FIB: &str = "\
+        main:\n\
+            mov 12, %o0\n\
+            call fib\n\
+            halt\n\
+        fib:\n\
+            save\n\
+            cmp %i0, 2\n\
+            bl base\n\
+            sub %i0, 1, %o0\n\
+            call fib\n\
+            mov %o0, %l0          ! fib(n-1)\n\
+            sub %i0, 2, %o0\n\
+            call fib\n\
+            add %l0, %o0, %l1     ! fib(n-1) + fib(n-2)\n\
+            restore %l1, 0, %o0\n\
+            ret\n\
+        base:\n\
+            restore %i0, 0, %o0   ! fib(0)=0, fib(1)=1\n\
+            ret\n";
+
+    #[test]
+    fn recursive_fib_is_correct_under_every_scheme_and_window_count() {
+        for scheme in SchemeKind::ALL {
+            for nwindows in [4, 5, 8, 16] {
+                let (v, m) = run_one(FIB, scheme, nwindows);
+                assert_eq!(v, 144, "{scheme} at {nwindows} windows");
+                if nwindows <= 8 {
+                    // Depth-13 recursion cannot fit a small file.
+                    assert!(
+                        m.stats().overflow_traps > 0,
+                        "depth-13 recursion must overflow {nwindows} windows"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_windows_cost_more_cycles_for_deep_recursion() {
+        let (_, small) = run_one(FIB, SchemeKind::Sp, 4);
+        let (_, large) = run_one(FIB, SchemeKind::Sp, 16);
+        assert!(large.total_cycles() < small.total_cycles());
+    }
+
+    #[test]
+    fn memory_loads_and_stores() {
+        let src = "\
+            mov 100, %l0\n\
+            mov 7, %l1\n\
+            st %l1, [%l0 + 8]\n\
+            ld [%l0 + 8], %o0\n\
+            halt\n";
+        let (v, m) = run_one(src, SchemeKind::Sp, 8);
+        assert_eq!(v, 7);
+        assert_eq!(m.read_memory(108), 7);
+    }
+
+    #[test]
+    fn two_threads_interleave_at_yields_and_keep_windows_apart() {
+        // Each thread computes a checksum in its own call frames while
+        // yielding between steps; results must be exact under sharing.
+        let worker = |seed: u64| {
+            format!(
+                "\
+                mov 0, %l7\n\
+                mov 5, %l6\n\
+            loop:\n\
+                mov {seed}, %o0\n\
+                call work\n\
+                add %l7, %o0, %l7\n\
+                yield\n\
+                sub %l6, 1, %l6\n\
+                cmp %l6, 0\n\
+                bg loop\n\
+                mov %l7, %o0\n\
+                halt\n\
+            work:\n\
+                save\n\
+                add %i0, 10, %l0\n\
+                yield                 ! suspend with a live window\n\
+                restore %l0, 0, %o0\n\
+                retl\n"
+            )
+        };
+        for scheme in SchemeKind::ALL {
+            let mut m = AsmMachine::new(6, scheme).unwrap();
+            let a = m.load("a", assemble(&worker(1)).unwrap());
+            let b = m.load("b", assemble(&worker(100)).unwrap());
+            m.run(1_000_000).unwrap();
+            // Each of the 5 passes returns seed + 10.
+            assert_eq!(m.exit_value(a), Some(5 * 11), "{scheme}");
+            assert_eq!(m.exit_value(b), Some(5 * 110), "{scheme}");
+            assert!(m.stats().context_switches > 5);
+        }
+    }
+
+    #[test]
+    fn runaway_programs_hit_the_step_budget() {
+        let program = assemble("loop: ba loop\n").unwrap();
+        let mut m = AsmMachine::new(8, SchemeKind::Sp).unwrap();
+        m.load("spin", program);
+        assert!(matches!(m.run(1000), Err(AsmError::StepBudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn falling_off_the_program_is_reported() {
+        let program = assemble("mov 1, %o0\n").unwrap();
+        let mut m = AsmMachine::new(8, SchemeKind::Sp).unwrap();
+        m.load("oops", program);
+        assert!(matches!(m.run(1000), Err(AsmError::PcOutOfRange { .. })));
+    }
+
+    #[test]
+    fn no_programs_is_an_error() {
+        let mut m = AsmMachine::new(8, SchemeKind::Sp).unwrap();
+        assert!(matches!(m.run(10), Err(AsmError::NoPrograms)));
+    }
+}

@@ -1,0 +1,175 @@
+//! The instruction set and assembled programs.
+
+use regwin_traps::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The second operand of a three-operand instruction: a register or a
+/// sign-extended immediate (SPARC's `reg_or_imm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op2 {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand (simm13 on real SPARC; wider here for
+    /// convenience).
+    Imm(i32),
+}
+
+impl fmt::Display for Op2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op2::Reg(r) => write!(f, "{r}"),
+            Op2::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Branch conditions over the integer condition codes set by `cmp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// `ba` — always.
+    Always,
+    /// `be` — equal.
+    Eq,
+    /// `bne` — not equal.
+    Ne,
+    /// `bg` — signed greater.
+    Gt,
+    /// `bl` — signed less.
+    Lt,
+    /// `bge` — signed greater or equal.
+    Ge,
+    /// `ble` — signed less or equal.
+    Le,
+}
+
+impl Cond {
+    /// Evaluates the condition for a `cmp a, b` result.
+    pub fn holds(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Always => true,
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Gt => a > b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+        }
+    }
+}
+
+/// One instruction of the subset. Branch and call targets are resolved
+/// instruction indices (the assembler resolves labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `add rs1, op2, rd`.
+    Add(Reg, Op2, Reg),
+    /// `sub rs1, op2, rd`.
+    Sub(Reg, Op2, Reg),
+    /// `and rs1, op2, rd`.
+    And(Reg, Op2, Reg),
+    /// `or rs1, op2, rd`.
+    Or(Reg, Op2, Reg),
+    /// `xor rs1, op2, rd`.
+    Xor(Reg, Op2, Reg),
+    /// `sll rs1, op2, rd` (shift left logical).
+    Sll(Reg, Op2, Reg),
+    /// `srl rs1, op2, rd` (shift right logical).
+    Srl(Reg, Op2, Reg),
+    /// `mov op2, rd` (synthetic `or %g0, op2, rd`).
+    Mov(Op2, Reg),
+    /// `cmp rs1, op2`: sets the condition codes.
+    Cmp(Reg, Op2),
+    /// Conditional branch to an instruction index.
+    Branch(Cond, usize),
+    /// `call target`: stores the return pc in `%o7` and jumps.
+    Call(usize),
+    /// `ret`: return from a windowed routine — jumps to `%o7 + 1`
+    /// (issue after `restore`, when the caller's window is current).
+    Ret,
+    /// `retl`: leaf return — jumps to `%o7 + 1` without any window
+    /// change.
+    Retl,
+    /// `save`: procedure entry, decrements the CWP (may overflow-trap).
+    Save,
+    /// `restore rs1, op2, rd`: procedure exit with the add idiom of
+    /// paper §4.3 (may underflow-trap). `restore %g0, 0, %g0` is the
+    /// plain form.
+    Restore(Reg, Op2, Reg),
+    /// `ld [rs1 + imm], rd`: word load from the flat memory.
+    Ld(Reg, i32, Reg),
+    /// `st rs, [rs1 + imm]`: word store to the flat memory.
+    St(Reg, Reg, i32),
+    /// `yield`: non-preemptive handoff to the next runnable thread.
+    Yield,
+    /// `halt`: terminate this thread; `%o0` becomes its exit value.
+    Halt,
+}
+
+/// An assembled program: instructions plus the resolved label map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+}
+
+impl Program {
+    pub(crate) fn new(instrs: Vec<Instr>, labels: HashMap<String, usize>) -> Self {
+        Program { instrs, labels }
+    }
+
+    /// Builds a program directly from instructions, without labels —
+    /// for generated programs (fuzzers, JIT-style tests) that resolve
+    /// their own branch targets.
+    pub fn new_for_tests(instrs: Vec<Instr>) -> Self {
+        Program { instrs, labels: HashMap::new() }
+    }
+
+    /// The instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The instruction index of `label`, if defined.
+    pub fn label(&self, label: &str) -> Option<usize> {
+        self.labels.get(label).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditions_match_signed_semantics() {
+        assert!(Cond::Eq.holds(3, 3));
+        assert!(!Cond::Eq.holds(3, 4));
+        assert!(Cond::Lt.holds(-1, 0));
+        assert!(Cond::Ge.holds(0, -5));
+        assert!(Cond::Always.holds(9, -9));
+        assert!(Cond::Ne.holds(1, 2));
+        assert!(Cond::Gt.holds(5, 4));
+        assert!(Cond::Le.holds(4, 4));
+    }
+
+    #[test]
+    fn program_label_lookup() {
+        let mut labels = HashMap::new();
+        labels.insert("main".to_string(), 0);
+        let p = Program::new(vec![Instr::Halt], labels);
+        assert_eq!(p.label("main"), Some(0));
+        assert_eq!(p.label("other"), None);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+}

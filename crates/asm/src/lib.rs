@@ -1,0 +1,56 @@
+//! # regwin-asm
+//!
+//! A SPARC-V8-subset assembler and interpreter running on the simulated
+//! register-window machine — so the window-management schemes of
+//! *"Multiple Threads in Cyclic Register Windows"* (ISCA'93) can be
+//! exercised by **real instruction streams** with real calling
+//! conventions, the way the paper's own implementation ran compiled
+//! SPARC code.
+//!
+//! The subset covers what register-window behaviour depends on:
+//! arithmetic/logic with register or immediate operands, compare and
+//! conditional branches, `call`/`ret`/`retl` with the `%o7` link
+//! register, **`save`/`restore`** (including the `restore`-as-add return
+//! idiom of paper §4.3), loads/stores to a flat word memory, a `yield`
+//! pseudo-instruction for non-preemptive multithreading, and `halt`.
+//! Branch delay slots are not modelled (documented simplification; they
+//! do not interact with window management).
+//!
+//! ```rust
+//! use regwin_asm::{assemble, AsmMachine};
+//! use regwin_traps::SchemeKind;
+//!
+//! # fn main() -> Result<(), regwin_asm::AsmError> {
+//! let program = assemble(
+//!     "main:\n\
+//!        mov 6, %o0\n\
+//!        call double\n\
+//!        halt\n\
+//!      double:\n\
+//!        save\n\
+//!        add %i0, %i0, %l0\n\
+//!        restore %l0, 0, %o0   ! return value via the restore-add idiom\n\
+//!        ret\n",
+//! )?;
+//! let mut m = AsmMachine::new(8, SchemeKind::Sp)?;
+//! let t = m.load("main", program);
+//! m.run(10_000)?;
+//! assert_eq!(m.exit_value(t), Some(12));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod assembler;
+mod error;
+mod exec;
+mod inst;
+
+pub use assembler::assemble;
+pub use error::AsmError;
+pub use exec::{AsmMachine, ThreadHandle};
+pub use inst::{Cond, Instr, Op2, Program};
+
+pub use regwin_traps::Reg;

@@ -1,0 +1,248 @@
+//! Complete assembly programs exercising the window machinery the way
+//! compiled code does: iterative and recursive algorithms, memory use,
+//! and cooperating threads.
+
+use regwin_asm::{assemble, AsmError, AsmMachine};
+use regwin_traps::SchemeKind;
+
+fn run(source: &str, scheme: SchemeKind, nwindows: usize) -> (u64, AsmMachine) {
+    let program = assemble(source).expect("assembles");
+    let mut m = AsmMachine::new(nwindows, scheme).expect("machine");
+    let t = m.load("main", program);
+    m.run(10_000_000).expect("runs");
+    (m.exit_value(t).expect("halted"), m)
+}
+
+/// Recursive factorial: one window per level, result accumulated on the
+/// way back up through restore-add returns.
+const FACTORIAL: &str = r"
+main:
+    mov 10, %o0
+    call fact
+    halt
+fact:
+    save
+    cmp %i0, 1
+    ble base
+    sub %i0, 1, %o0
+    call fact                 ! fact(n-1) in %o0
+    mov %o0, %l0
+    ! multiply n * fact(n-1) by repeated addition (no mul in the subset)
+    mov 0, %l1
+    mov %i0, %l2
+mul_loop:
+    cmp %l2, 0
+    be mul_done
+    add %l1, %l0, %l1
+    sub %l2, 1, %l2
+    ba mul_loop
+mul_done:
+    restore %l1, 0, %o0
+    ret
+base:
+    restore %g0, 1, %o0
+    ret
+";
+
+#[test]
+fn recursive_factorial_under_all_schemes() {
+    for scheme in SchemeKind::ALL {
+        for nwindows in [4, 6, 8] {
+            let (v, _) = run(FACTORIAL, scheme, nwindows);
+            assert_eq!(v, 3_628_800, "{scheme} at {nwindows} windows");
+        }
+    }
+}
+
+/// Euclid's gcd, iterative — leaf-style code with no saves at all.
+const GCD: &str = r"
+main:
+    mov 1071, %l0
+    mov 462, %l1
+loop:
+    cmp %l1, 0
+    be done
+    ! l2 = l0 mod l1 by repeated subtraction
+    mov %l0, %l2
+mod_loop:
+    cmp %l2, %l1
+    bl mod_done
+    sub %l2, %l1, %l2
+    ba mod_loop
+mod_done:
+    mov %l1, %l0
+    mov %l2, %l1
+    ba loop
+done:
+    mov %l0, %o0
+    halt
+";
+
+#[test]
+fn iterative_gcd_needs_no_window_traffic() {
+    let (v, m) = run(GCD, SchemeKind::Sp, 4);
+    assert_eq!(v, 21);
+    assert_eq!(m.stats().saves_executed, 0);
+    assert_eq!(m.stats().overflow_traps, 0);
+}
+
+/// Array sum through memory: store 1..=20 at [100..], then sum via a
+/// windowed helper per element (deliberately call-heavy).
+const ARRAY_SUM: &str = r"
+main:
+    mov 100, %l0              ! base address
+    mov 1, %l1                ! value & index
+fill:
+    cmp %l1, 20
+    bg fill_done
+    add %l0, %l1, %l2
+    st %l1, [%l2]
+    add %l1, 1, %l1
+    ba fill
+fill_done:
+    mov 0, %l3                ! accumulator
+    mov 1, %l1
+sum:
+    cmp %l1, 20
+    bg sum_done
+    add %l0, %l1, %o0         ! address argument
+    call load_elem
+    add %l3, %o0, %l3
+    add %l1, 1, %l1
+    ba sum
+sum_done:
+    mov %l3, %o0
+    halt
+load_elem:
+    save
+    ld [%i0], %l0
+    restore %l0, 0, %o0
+    ret
+";
+
+#[test]
+fn memory_array_sum_with_windowed_helper() {
+    for scheme in SchemeKind::ALL {
+        let (v, m) = run(ARRAY_SUM, scheme, 5);
+        assert_eq!(v, 210, "{scheme}");
+        assert_eq!(m.stats().saves_executed, 20, "{scheme}: one save per element");
+    }
+}
+
+/// Two producer/consumer-ish threads exchanging through shared memory
+/// with yields: thread A writes a sequence, thread B sums it after A
+/// signals completion via a flag word.
+#[test]
+fn shared_memory_handoff_between_threads() {
+    let producer = r"
+main:
+    mov 200, %l0              ! buffer base
+    mov 1, %l1
+fill:
+    cmp %l1, 10
+    bg done
+    add %l0, %l1, %l2
+    st %l1, [%l2]
+    add %l1, 1, %l1
+    yield
+    ba fill
+done:
+    mov 1, %l3
+    st %l3, [%l0]             ! flag at base: data ready
+    mov 0, %o0
+    halt
+";
+    let consumer = r"
+main:
+    mov 200, %l0
+wait:
+    ld [%l0], %l1
+    cmp %l1, 1
+    be ready
+    yield
+    ba wait
+ready:
+    mov 0, %l3
+    mov 1, %l1
+sum:
+    cmp %l1, 10
+    bg done
+    add %l0, %l1, %l2
+    ld [%l2], %l4
+    add %l3, %l4, %l3
+    add %l1, 1, %l1
+    ba sum
+done:
+    mov %l3, %o0
+    halt
+";
+    for scheme in SchemeKind::ALL {
+        let mut m = AsmMachine::new(6, scheme).unwrap();
+        let _p = m.load("producer", assemble(producer).unwrap());
+        let c = m.load("consumer", assemble(consumer).unwrap());
+        m.run(1_000_000).unwrap();
+        assert_eq!(m.exit_value(c), Some(55), "{scheme}");
+        assert!(m.stats().context_switches >= 10);
+    }
+}
+
+#[test]
+fn restore_immediate_out_of_simm13_range_still_assembles_via_register() {
+    // Big constants go through a register, as real SPARC code does.
+    let src = r"
+main:
+    mov 100000, %l0
+    save
+    mov 23, %l1
+    restore %l1, 0, %o0
+    halt
+";
+    let (v, _) = run(src, SchemeKind::Sp, 8);
+    assert_eq!(v, 23);
+}
+
+#[test]
+fn deep_mutual_recursion() {
+    // even(n) / odd(n) mutual recursion, depth n.
+    let src = r"
+main:
+    mov 25, %o0
+    call even
+    halt
+even:
+    save
+    cmp %i0, 0
+    be yes
+    sub %i0, 1, %o0
+    call odd
+    restore %o0, 0, %o0
+    ret
+yes:
+    restore %g0, 1, %o0
+    ret
+odd:
+    save
+    cmp %i0, 0
+    be no
+    sub %i0, 1, %o0
+    call even
+    restore %o0, 0, %o0
+    ret
+no:
+    restore %g0, 0, %o0
+    ret
+";
+    for scheme in SchemeKind::ALL {
+        let (v, m) = run(src, scheme, 4);
+        assert_eq!(v, 0, "{scheme}: 25 is odd");
+        assert!(m.stats().overflow_traps > 0, "{scheme}: depth 26 overflows 4 windows");
+    }
+}
+
+#[test]
+fn step_budget_is_enforced_per_machine() {
+    let program = assemble("spin: ba spin\n").unwrap();
+    let mut m = AsmMachine::new(4, SchemeKind::Ns).unwrap();
+    m.load("spin", program);
+    assert!(matches!(m.run(100), Err(AsmError::StepBudgetExceeded { steps: 100 })));
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of context switching under each scheme —
+//! the simulator-side counterpart of paper Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regwin_traps::{build_scheme, Cpu, SchemeKind};
+use std::hint::black_box;
+
+/// Ping-pong between two threads whose windows stay resident — the
+/// sharing schemes' best case, NS's flush-every-time case.
+fn bench_resident_pingpong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch_resident_pingpong");
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            let mut cpu = Cpu::new(16, build_scheme(kind)).unwrap();
+            let t0 = cpu.add_thread();
+            let t1 = cpu.add_thread();
+            cpu.switch_to(t0).unwrap();
+            cpu.save().unwrap();
+            cpu.switch_to(t1).unwrap();
+            cpu.save().unwrap();
+            b.iter(|| {
+                cpu.switch_to(t0).unwrap();
+                cpu.switch_to(t1).unwrap();
+                black_box(cpu.stats().context_switches)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Round-robin over more threads than the window file can hold — every
+/// switch displaces somebody.
+fn bench_overcommitted_roundrobin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch_overcommitted");
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            let mut cpu = Cpu::new(6, build_scheme(kind)).unwrap();
+            let threads: Vec<_> = (0..8).map(|_| cpu.add_thread()).collect();
+            for &t in &threads {
+                cpu.switch_to(t).unwrap();
+                cpu.save().unwrap();
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % threads.len();
+                cpu.switch_to(threads[i]).unwrap();
+                black_box(cpu.stats().switch_saves)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_resident_pingpong, bench_overcommitted_roundrobin
+}
+criterion_main!(benches);

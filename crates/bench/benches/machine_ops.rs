@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: trap-free
+//! window instructions and each trap-handling algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regwin_traps::{build_scheme, Cpu, SchemeKind};
+use std::hint::black_box;
+
+/// Trap-free save/restore pairs (the common fast path of every scheme).
+fn bench_save_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("save_restore_trapfree");
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            let mut cpu = Cpu::new(16, build_scheme(kind)).unwrap();
+            let t = cpu.add_thread();
+            cpu.switch_to(t).unwrap();
+            cpu.save().unwrap(); // warm the granted region
+            cpu.restore().unwrap();
+            b.iter(|| {
+                cpu.save().unwrap();
+                cpu.restore().unwrap();
+                black_box(cpu.total_cycles())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Deep-recursion unwinding: every restore takes the scheme's underflow
+/// path (conventional for NS, in-place for SNP/SP).
+fn bench_underflow_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("underflow_trap");
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_with_setup(
+                || {
+                    let mut cpu = Cpu::new(4, build_scheme(kind)).unwrap();
+                    let t = cpu.add_thread();
+                    cpu.switch_to(t).unwrap();
+                    for _ in 0..16 {
+                        cpu.save().unwrap();
+                    }
+                    cpu
+                },
+                |mut cpu| {
+                    for _ in 0..16 {
+                        cpu.restore().unwrap();
+                    }
+                    black_box(cpu.stats().underflow_traps)
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Overflow spills under window pressure.
+fn bench_overflow_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overflow_trap");
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_with_setup(
+                || {
+                    let mut cpu = Cpu::new(4, build_scheme(kind)).unwrap();
+                    let t = cpu.add_thread();
+                    cpu.switch_to(t).unwrap();
+                    cpu
+                },
+                |mut cpu| {
+                    for _ in 0..16 {
+                        cpu.save().unwrap();
+                    }
+                    black_box(cpu.stats().overflow_spills)
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_save_restore, bench_underflow_path, bench_overflow_path
+}
+criterion_main!(benches);

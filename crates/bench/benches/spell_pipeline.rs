@@ -1,0 +1,27 @@
+//! Criterion benchmark of a complete (scaled-down) spell-checker run per
+//! scheme — the end-to-end workload of the paper's evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regwin_spell::{Corpus, CorpusSpec, SpellConfig, SpellPipeline};
+use regwin_traps::SchemeKind;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusSpec::small());
+    let mut group = c.benchmark_group("spell_pipeline_small");
+    group.sample_size(10);
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let config = SpellConfig::new(CorpusSpec::small(), 4, 4);
+                let pipeline = SpellPipeline::with_corpus(corpus.clone(), config);
+                let outcome = pipeline.run(8, kind).unwrap();
+                black_box(outcome.report.total_cycles())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

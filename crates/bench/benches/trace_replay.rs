@@ -1,0 +1,54 @@
+//! Criterion benchmark of trace replay throughput — the speed of the
+//! emulator-methodology fast path the sweeps are built on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use regwin_machine::CostModel;
+use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
+use regwin_traps::{build_scheme, SchemeKind};
+use std::hint::black_box;
+
+fn bench_replay(c: &mut Criterion) {
+    let pipeline = SpellPipeline::new(SpellConfig::new(CorpusSpec::small(), 2, 2));
+    let (_, trace) = pipeline.run_traced(8, SchemeKind::Sp).unwrap();
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for scheme in SchemeKind::ALL {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let report =
+                    trace.replay(8, CostModel::s20(), build_scheme(scheme)).unwrap();
+                black_box(report.total_cycles())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialisation(c: &mut Criterion) {
+    use regwin_rt::Trace;
+    let pipeline = SpellPipeline::new(SpellConfig::new(CorpusSpec::small(), 2, 2));
+    let (_, trace) = pipeline.run_traced(8, SchemeKind::Sp).unwrap();
+    let mut encoded = Vec::new();
+    trace.write_to(&mut encoded).unwrap();
+    let mut group = c.benchmark_group("trace_io");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            trace.write_to(&mut buf).unwrap();
+            black_box(buf.len())
+        });
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let t = Trace::read_from(encoded.as_slice()).unwrap();
+            black_box(t.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_serialisation);
+criterion_main!(benches);

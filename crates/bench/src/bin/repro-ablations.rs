@@ -1,0 +1,24 @@
+//! Ablation benches for the design choices of paper §4.2–§4.4 and the
+//! Tamir–Sequin one-window-per-trap rule (§2, ref.\[15\]).
+
+use regwin_bench::Args;
+use regwin_core::ablations;
+
+fn main() {
+    let args = Args::parse();
+    let windows = args.windows();
+    eprintln!("Recording base trace ({}% corpus, fine/high)...", args.scale);
+    let trace = ablations::record_base_trace(args.corpus()).expect("base trace records");
+    eprintln!("Replaying {} variants...", 4);
+
+    let studies = [
+        ablations::alloc_policies(&trace, &windows).expect("alloc ablation"),
+        ablations::copy_modes(&trace, &windows).expect("copy ablation"),
+        ablations::flush_variants(&trace, &windows).expect("flush ablation"),
+        ablations::spill_batches(&trace, &windows).expect("batch ablation"),
+    ];
+    for (i, study) in studies.iter().enumerate() {
+        println!("{}", study.table);
+        args.save_csv(&format!("ablation{}", i + 1), &study.table);
+    }
+}

@@ -1,0 +1,145 @@
+//! Reproduces every table and figure of the paper's evaluation in one
+//! run, sharing the high-concurrency sweep between Figures 11–13 (as the
+//! paper does) and printing a shape-check summary at the end.
+
+use regwin_bench::{progress, Args};
+use regwin_core::figures::{self, FigureResult, Sweep};
+use regwin_core::{report, SchedulingPolicy};
+
+fn main() {
+    let args = Args::parse();
+    let corpus = args.corpus();
+    let windows = args.windows();
+
+    eprintln!("Table 1 ({}% corpus)...", args.scale);
+    let table1 = figures::table1(corpus, progress).expect("table 1 runs");
+    println!("{}", table1.table);
+    args.save_csv("table1", &table1.table);
+
+    let table2 = figures::table2(corpus).expect("table 2 runs");
+    println!("{}", table2.table);
+    println!("{}", table2.observed);
+    args.save_csv("table2_model", &table2.table);
+    args.save_csv("table2_observed", &table2.observed);
+
+    eprintln!("High-concurrency sweep (figures 11-13)...");
+    let high = Sweep::high(corpus, &windows, SchedulingPolicy::Fifo, progress)
+        .expect("high-concurrency sweep runs");
+    let fig11 = figure(
+        "Figure 11: execution time at high concurrency (FIFO)",
+        "cycles",
+        high.execution_time_series(),
+    );
+    let fig12 = figure(
+        "Figure 12: average context-switch cycles at high concurrency",
+        "cycles/switch",
+        high.avg_switch_series(),
+    );
+    let fig13 = figure(
+        "Figure 13: probability of window traps at high concurrency",
+        "traps per save/restore",
+        high.trap_probability_series(),
+    );
+    for (name, fig) in [("fig11", &fig11), ("fig12", &fig12), ("fig13", &fig13)] {
+        println!("{}", fig.table);
+        args.save_csv(name, &fig.table);
+    }
+
+    eprintln!("Low-concurrency sweep (figure 14)...");
+    let fig14 = figures::fig14(corpus, &windows, progress).expect("figure 14 runs");
+    println!("{}", fig14.table);
+    args.save_csv("fig14", &fig14.table);
+
+    eprintln!("Working-set sweep (figure 15)...");
+    let fig15 = figures::fig15(corpus, &windows, progress).expect("figure 15 runs");
+    println!("{}", fig15.table);
+    args.save_csv("fig15", &fig15.table);
+
+    println!("{}", shape_checks(&windows, &table2, &fig11, &fig12, &fig13, &fig15));
+}
+
+fn figure(title: &str, value_name: &str, series: Vec<report::Series>) -> FigureResult {
+    let table = report::series_table(title, value_name, &series);
+    FigureResult { title: title.to_string(), series, table }
+}
+
+/// The qualitative claims of the paper's evaluation, checked against the
+/// reproduced data ("the shape should hold").
+fn shape_checks(
+    windows: &[usize],
+    table2: &figures::Table2Result,
+    fig11: &FigureResult,
+    fig12: &FigureResult,
+    fig13: &FigureResult,
+    fig15: &FigureResult,
+) -> String {
+    let mut out = String::from("Shape checks (paper claims vs reproduction)\n");
+    out.push_str("===========================================\n");
+    let max_w = *windows.iter().max().expect("nonempty sweep");
+    let min_w = *windows.iter().min().expect("nonempty sweep");
+    let mut check = |claim: &str, ok: bool| {
+        out.push_str(if ok { "  [ok] " } else { "  [FAIL] " });
+        out.push_str(claim);
+        out.push('\n');
+    };
+
+    check("Table 2: all modelled switch costs inside measured ranges", table2.all_in_range);
+
+    for g in ["coarse", "medium", "fine"] {
+        let sp = fig11.series_by_label(&format!("SP {g}")).and_then(|s| s.at(max_w));
+        let snp = fig11.series_by_label(&format!("SNP {g}")).and_then(|s| s.at(max_w));
+        let ns = fig11.series_by_label(&format!("NS {g}")).and_then(|s| s.at(max_w));
+        if let (Some(sp), Some(snp), Some(ns)) = (sp, snp, ns) {
+            check(
+                &format!("Fig 11 ({g}): SP best with many windows (SP<SNP<NS at {max_w})"),
+                sp < snp && snp < ns,
+            );
+        }
+    }
+    let sp_few = fig11.series_by_label("SP fine").and_then(|s| s.at(min_w));
+    let ns_few = fig11.series_by_label("NS fine").and_then(|s| s.at(min_w));
+    if let (Some(sp), Some(ns)) = (sp_few, ns_few) {
+        check(&format!("Fig 11 (fine): NS best at few windows ({min_w})"), ns < sp);
+    }
+
+    if let (Some(sp), Some(ns)) = (
+        fig12.series_by_label("SP fine").and_then(|s| s.at(max_w)),
+        fig12.series_by_label("NS fine").and_then(|s| s.at(max_w)),
+    ) {
+        check("Fig 12: SP switch cost near best case, far below NS, with many windows", sp < 110.0 && ns > 140.0);
+    }
+
+    if let Some(p) = fig13.series_by_label("SP fine").and_then(|s| s.at(max_w)) {
+        check("Fig 13: SP trap probability ~0 with many windows", p < 0.01);
+    }
+    if let (Some(few), Some(many)) = (
+        fig13.series_by_label("SP coarse").and_then(|s| s.at(min_w)),
+        fig13.series_by_label("SP coarse").and_then(|s| s.at(max_w)),
+    ) {
+        check("Fig 13: trap probability falls with more windows", many < few);
+    }
+
+    // Fig 15 vs Fig 11 at few windows: working set rescues the sharing
+    // schemes (paper: "the sharing schemes work well with even seven or
+    // eight windows").
+    let w8 = windows.iter().copied().find(|w| *w >= 7).unwrap_or(max_w);
+    if let (Some(fifo), Some(ws)) = (
+        fig11.series_by_label("SP fine").and_then(|s| s.at(w8)),
+        fig15.series_by_label("SP fine").and_then(|s| s.at(w8)),
+    ) {
+        check(
+            &format!("Fig 15: working set improves SP at {w8} windows (fine granularity)"),
+            ws <= fifo,
+        );
+    }
+    if let (Some(fifo), Some(ws)) = (
+        fig11.series_by_label("SP fine").and_then(|s| s.at(max_w)),
+        fig15.series_by_label("SP fine").and_then(|s| s.at(max_w)),
+    ) {
+        check(
+            "Fig 15: no significant loss at many windows (within 2%)",
+            ws <= fifo * 1.02,
+        );
+    }
+    out
+}

@@ -1,0 +1,58 @@
+//! Reproduces the program-behaviour analysis of paper §5: measures
+//! window activity per thread, total window activity, concurrency,
+//! granularity and parallel slackness for each of the six evaluated
+//! behaviours — the quantities the paper argues govern whether window
+//! sharing pays off.
+
+use regwin_bench::Args;
+use regwin_core::{activity, Behavior, CorpusSpec, TextTable};
+use regwin_rt::SchedulingPolicy;
+use regwin_spell::{SpellConfig, SpellPipeline};
+use regwin_traps::SchemeKind;
+
+/// Period used for the §5 "given period" metrics, in cycles.
+const PERIOD_CYCLES: u64 = 10_000;
+
+fn main() {
+    let args = Args::parse();
+    let corpus: CorpusSpec = args.corpus();
+    let mut table = TextTable::new(
+        format!("Program behaviour (paper §5 metrics, {PERIOD_CYCLES}-cycle periods)"),
+        &[
+            "behavior",
+            "runs",
+            "granularity (cy/run)",
+            "activity/thread",
+            "concurrency",
+            "total activity",
+            "peak activity",
+            "slackness",
+        ],
+    );
+    for behavior in Behavior::ALL {
+        let (m, n) = behavior.buffers();
+        eprintln!("recording {behavior} (M={m}, N={n})...");
+        let config = SpellConfig::new(corpus, m, n).with_policy(SchedulingPolicy::Fifo);
+        let pipeline = SpellPipeline::new(config);
+        let (_, trace) = pipeline.run_traced(8, SchemeKind::Sp).expect("behaviour records");
+        let report = activity::analyze(&trace, PERIOD_CYCLES);
+        table.row(vec![
+            behavior.to_string(),
+            report.runs.to_string(),
+            format!("{:.1}", report.avg_run_cycles),
+            format!("{:.2}", report.avg_activity_per_thread),
+            format!("{:.2}", report.avg_concurrency),
+            format!("{:.2}", report.avg_total_activity),
+            report.max_total_activity.to_string(),
+            format!("{:.2}", report.avg_parallel_slackness),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Reading guide: total activity ≈ activity/thread × concurrency (§5);\n\
+         the sharing schemes pay off when total activity fits the physical\n\
+         window file — compare the 'total activity' column with the\n\
+         saturation points in Figures 11 and 14."
+    );
+    args.save_csv("behavior", &table);
+}

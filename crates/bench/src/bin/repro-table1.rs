@@ -1,0 +1,12 @@
+//! Reproduces Table 1: program behaviour of the spell checker.
+
+use regwin_bench::{progress, Args};
+use regwin_core::figures;
+
+fn main() {
+    let args = Args::parse();
+    eprintln!("Table 1 ({}% corpus)...", args.scale);
+    let result = figures::table1(args.corpus(), progress).expect("table 1 runs");
+    println!("{}", result.table);
+    args.save_csv("table1", &result.table);
+}

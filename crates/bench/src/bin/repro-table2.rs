@@ -1,0 +1,18 @@
+//! Reproduces Table 2: cycles per context switch, model vs measurement.
+
+use regwin_bench::Args;
+use regwin_core::figures;
+
+fn main() {
+    let args = Args::parse();
+    let result = figures::table2(args.corpus()).expect("table 2 runs");
+    println!("{}", result.table);
+    println!();
+    println!("{}", result.observed);
+    println!(
+        "all modelled costs inside the paper's measured ranges: {}",
+        if result.all_in_range { "yes" } else { "NO" }
+    );
+    args.save_csv("table2_model", &result.table);
+    args.save_csv("table2_observed", &result.observed);
+}

@@ -1,0 +1,126 @@
+//! trace-tool: record, replay and analyse window-event traces.
+//!
+//! The paper's emulator methodology as a command-line workflow — record
+//! the expensive simulation once, then sweep schemes and window counts
+//! offline:
+//!
+//! ```sh
+//! trace-tool record  spell.rwtr --scale 25 --m 1 --n 1
+//! trace-tool replay  spell.rwtr --windows 4,8,16,32
+//! trace-tool analyze spell.rwtr
+//! ```
+
+use regwin_core::{activity, SchedulingPolicy, TextTable};
+use regwin_machine::CostModel;
+use regwin_rt::Trace;
+use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
+use regwin_traps::{build_scheme, SchemeKind};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.clone()),
+        _ => usage(),
+    };
+    let rest = &args[2..];
+    match command {
+        "record" => record(&path, rest),
+        "replay" => replay(&path, rest),
+        "analyze" => analyze(&path),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace-tool record  <file> [--scale <pct>] [--m <bytes>] [--n <bytes>] [--working-set]\n  trace-tool replay  <file> [--windows <list>]\n  trace-tool analyze <file>"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(rest: &[String], name: &str) -> Option<String> {
+    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn record(path: &str, rest: &[String]) {
+    let scale: usize = flag_value(rest, "--scale").and_then(|v| v.parse().ok()).unwrap_or(25);
+    let m: usize = flag_value(rest, "--m").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let n: usize = flag_value(rest, "--n").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let policy = if rest.iter().any(|a| a == "--working-set") {
+        SchedulingPolicy::WorkingSet
+    } else {
+        SchedulingPolicy::Fifo
+    };
+    let corpus =
+        if scale == 100 { CorpusSpec::paper() } else { CorpusSpec::scaled(scale) };
+    eprintln!("recording spell checker: {scale}% corpus, M={m}, N={n}, {policy}...");
+    let config = SpellConfig::new(corpus, m, n).with_policy(policy);
+    let pipeline = SpellPipeline::new(config);
+    let (outcome, trace) = pipeline.run_traced(8, SchemeKind::Sp).expect("recording run");
+    let file = File::create(path).expect("create trace file");
+    trace.write_to(BufWriter::new(file)).expect("write trace");
+    eprintln!(
+        "recorded {} events ({} switches) -> {path}",
+        trace.len(),
+        outcome.report.stats.context_switches
+    );
+    if policy == SchedulingPolicy::WorkingSet {
+        eprintln!(
+            "note: working-set schedules depend on the window count; replays of this\n\
+             trace reproduce THIS schedule, not a re-scheduled run"
+        );
+    }
+}
+
+fn load(path: &str) -> Trace {
+    let file = File::open(path).expect("open trace file");
+    Trace::read_from(BufReader::new(file)).expect("decode trace")
+}
+
+fn replay(path: &str, rest: &[String]) {
+    let windows: Vec<usize> = flag_value(rest, "--windows")
+        .map(|v| v.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![4, 8, 16, 32]);
+    let trace = load(path);
+    let mut table = TextTable::new(
+        format!("replay of {path} ({} events)", trace.len()),
+        &["scheme", "windows", "cycles", "avg switch cy", "trap p"],
+    );
+    for scheme in SchemeKind::ALL {
+        for &w in &windows {
+            match trace.replay(w, CostModel::s20(), build_scheme(scheme)) {
+                Ok(report) => table.row(vec![
+                    scheme.to_string(),
+                    w.to_string(),
+                    report.total_cycles().to_string(),
+                    format!("{:.1}", report.avg_switch_cycles()),
+                    format!("{:.5}", report.trap_probability()),
+                ]),
+                Err(e) => table.row(vec![
+                    scheme.to_string(),
+                    w.to_string(),
+                    format!("error: {e}"),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+    }
+    println!("{table}");
+}
+
+fn analyze(path: &str) {
+    let trace = load(path);
+    let report = activity::analyze(&trace, 10_000);
+    println!("trace: {path}");
+    println!("  threads:              {}", trace.thread_names().join(", "));
+    println!("  events:               {}", trace.len());
+    println!("  scheduling runs:      {}", report.runs);
+    println!("  granularity:          {:.1} cycles/run", report.avg_run_cycles);
+    println!("  activity per thread:  {:.2} windows/run", report.avg_activity_per_thread);
+    println!("  concurrency:          {:.2} threads/period", report.avg_concurrency);
+    println!("  total window activity {:.2} (peak {})", report.avg_total_activity, report.max_total_activity);
+    println!("  parallel slackness:   {:.2}", report.avg_parallel_slackness);
+}

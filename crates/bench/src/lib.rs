@@ -1,0 +1,118 @@
+//! # regwin-bench
+//!
+//! The reproduction harness: shared plumbing for the `repro-*` binaries
+//! that regenerate each table and figure of the paper's evaluation, and
+//! hosts the criterion micro-benchmarks of the simulator itself.
+//!
+//! Binaries (run with `cargo run --release -p regwin-bench --bin <name>`):
+//!
+//! | binary | exhibit |
+//! |--------|---------|
+//! | `repro-table1` | Table 1 — program behaviour |
+//! | `repro-table2` | Table 2 — context-switch cycles |
+//! | `repro-fig11` | Figure 11 — execution time, high concurrency |
+//! | `repro-fig12` | Figure 12 — average switch time |
+//! | `repro-fig13` | Figure 13 — trap probability |
+//! | `repro-fig14` | Figure 14 — execution time, low concurrency |
+//! | `repro-fig15` | Figure 15 — working-set scheduling |
+//! | `repro-all` | everything above, sharing sweeps |
+//! | `repro-ablations` | §4.2/§4.3/§4.4 design-choice ablations |
+//!
+//! Common flags: `--scale <pct>` (corpus size as % of the paper's,
+//! default 100), `--quick` (reduced window sweep), `--out <dir>` (also
+//! write CSV files).
+
+#![deny(missing_docs)]
+
+use regwin_core::{CorpusSpec, MatrixSpec, TextTable};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Parsed command-line options shared by all repro binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Corpus scale in percent of the paper's sizes.
+    pub scale: usize,
+    /// Use the reduced window sweep.
+    pub quick: bool,
+    /// Directory to write CSV outputs into.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`. Exits with a usage message on error.
+    pub fn parse() -> Self {
+        let mut args = Args { scale: 100, quick: false, out_dir: None };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    args.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a percentage"));
+                }
+                "--quick" => args.quick = true,
+                "--out" => {
+                    args.out_dir =
+                        Some(PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir"))));
+                }
+                "--help" | "-h" => usage("") ,
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+
+    /// The corpus spec for this invocation.
+    pub fn corpus(&self) -> CorpusSpec {
+        if self.scale == 100 {
+            CorpusSpec::paper()
+        } else {
+            CorpusSpec::scaled(self.scale)
+        }
+    }
+
+    /// The window sweep for this invocation.
+    pub fn windows(&self) -> Vec<usize> {
+        if self.quick {
+            MatrixSpec::quick_window_sweep()
+        } else {
+            MatrixSpec::paper_window_sweep()
+        }
+    }
+
+    /// Writes `table` as `<name>.csv` into the output directory, if one
+    /// was requested.
+    pub fn save_csv(&self, name: &str, table: &TextTable) {
+        if let Some(dir) = &self.out_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return;
+            }
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: repro-* [--scale <pct>] [--quick] [--out <dir>]");
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}
+
+/// A stderr progress callback for sweep runs.
+pub fn progress(done: usize, total: usize) {
+    eprint!("\r  {done}/{total} runs");
+    if done == total {
+        eprintln!();
+    }
+    let _ = std::io::stderr().flush();
+}

@@ -1,0 +1,287 @@
+//! Window-activity analysis — the program-behaviour concepts of paper §5,
+//! computed exactly from recorded window-event traces.
+//!
+//! The paper defines five quantities that govern whether window sharing
+//! pays off: **window activity per thread**, **total window activity**,
+//! **concurrency**, **granularity** and **parallel slackness**, and
+//! argues `total activity ≈ activity per thread × concurrency`. This
+//! module measures all of them from a [`Trace`] (which, recorded under
+//! FIFO, is scheme- and window-count-independent), assuming "an infinite
+//! number of windows" as the definitions require — logical frame depths
+//! are tracked directly, no physical window file involved.
+
+use regwin_rt::{Trace, TraceEvent};
+
+/// One scheduling run: a maximal span of events executed by one thread
+/// between consecutive dispatches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Run {
+    /// The running thread (by spawn index).
+    pub thread: usize,
+    /// Logical stack depth when the run started.
+    pub start_depth: i64,
+    /// Lowest logical depth touched during the run.
+    pub min_depth: i64,
+    /// Highest logical depth touched during the run.
+    pub max_depth: i64,
+    /// Application + stream cycles charged during the run (the paper's
+    /// *granularity*: "execution run length between two successive
+    /// context switches").
+    pub cycles: u64,
+}
+
+impl Run {
+    /// Windows the run used, "assuming there are an infinite number of
+    /// windows... a repeatedly-used window is counted as one" (§5):
+    /// the distinct logical frames the thread occupied.
+    pub fn windows_used(&self) -> u64 {
+        (self.max_depth - self.min_depth + 1).max(0) as u64
+    }
+}
+
+/// The §5 behaviour metrics of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityReport {
+    /// Number of scheduling runs (= context switches + first dispatches).
+    pub runs: usize,
+    /// Mean *window activity per thread*: windows used between two
+    /// successive context switches.
+    pub avg_activity_per_thread: f64,
+    /// Mean *granularity*: run length in cycles.
+    pub avg_run_cycles: f64,
+    /// Mean *concurrency* over sliding periods: threads scheduled at
+    /// least once per period.
+    pub avg_concurrency: f64,
+    /// Mean *total window activity* over the same periods: union of
+    /// windows used by all threads in the period.
+    pub avg_total_activity: f64,
+    /// Peak total window activity over any period.
+    pub max_total_activity: u64,
+    /// Mean *parallel slackness* (ready-queue length at dispatch),
+    /// carried from the recording run.
+    pub avg_parallel_slackness: f64,
+}
+
+/// Splits a trace into scheduling runs.
+pub fn runs_of(trace: &Trace) -> Vec<Run> {
+    let nthreads = trace.thread_names().len();
+    let mut depth = vec![0i64; nthreads];
+    let mut runs = Vec::new();
+    let mut current: Option<Run> = None;
+    for event in trace.events() {
+        match *event {
+            TraceEvent::SwitchTo(t) => {
+                if let Some(run) = current.take() {
+                    runs.push(run);
+                }
+                let d = depth[t.index()];
+                current = Some(Run {
+                    thread: t.index(),
+                    start_depth: d,
+                    min_depth: d,
+                    max_depth: d,
+                    cycles: 0,
+                });
+            }
+            TraceEvent::Save => {
+                if let Some(run) = &mut current {
+                    depth[run.thread] += 1;
+                    run.max_depth = run.max_depth.max(depth[run.thread]);
+                }
+            }
+            TraceEvent::Restore => {
+                if let Some(run) = &mut current {
+                    depth[run.thread] -= 1;
+                    run.min_depth = run.min_depth.min(depth[run.thread]);
+                }
+            }
+            TraceEvent::Compute(c) => {
+                if let Some(run) = &mut current {
+                    run.cycles += c;
+                }
+            }
+            TraceEvent::Terminate => {}
+        }
+    }
+    if let Some(run) = current.take() {
+        runs.push(run);
+    }
+    runs
+}
+
+/// Analyzes a trace with the given period length in cycles (the paper's
+/// "given period" is execution time). Periods are tumbling windows of
+/// runs accumulating at least `period_cycles` cycles, which keeps the
+/// analysis linear and matches the §5 definitions closely enough for the
+/// averages.
+pub fn analyze(trace: &Trace, period_cycles: u64) -> ActivityReport {
+    let period_cycles = period_cycles.max(1);
+    let runs = runs_of(trace);
+    let nthreads = trace.thread_names().len();
+
+    let total_windows: u64 = runs.iter().map(Run::windows_used).sum();
+    let total_cycles: u64 = runs.iter().map(|r| r.cycles).sum();
+
+    // Group runs into tumbling periods of at least `period_cycles`.
+    let mut chunks: Vec<&[Run]> = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, r) in runs.iter().enumerate() {
+        acc += r.cycles;
+        if acc >= period_cycles {
+            chunks.push(&runs[start..=i]);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < runs.len() {
+        chunks.push(&runs[start..]);
+    }
+
+    let mut concurrency_sum = 0u64;
+    let mut activity_sum = 0u64;
+    let mut max_total = 0u64;
+    let mut periods = 0u64;
+    for chunk in chunks {
+        // Distinct threads and per-thread depth spans within the period.
+        let mut lo = vec![i64::MAX; nthreads];
+        let mut hi = vec![i64::MIN; nthreads];
+        for r in chunk {
+            lo[r.thread] = lo[r.thread].min(r.min_depth);
+            hi[r.thread] = hi[r.thread].max(r.max_depth);
+        }
+        let mut threads = 0u64;
+        let mut activity = 0u64;
+        for t in 0..nthreads {
+            if hi[t] >= lo[t] {
+                threads += 1;
+                activity += (hi[t] - lo[t] + 1) as u64;
+            }
+        }
+        concurrency_sum += threads;
+        activity_sum += activity;
+        max_total = max_total.max(activity);
+        periods += 1;
+    }
+
+    let nruns = runs.len().max(1) as f64;
+    let nperiods = periods.max(1) as f64;
+    ActivityReport {
+        runs: runs.len(),
+        avg_activity_per_thread: total_windows as f64 / nruns,
+        avg_run_cycles: total_cycles as f64 / nruns,
+        avg_concurrency: concurrency_sum as f64 / nperiods,
+        avg_total_activity: activity_sum as f64 / nperiods,
+        max_total_activity: max_total,
+        avg_parallel_slackness: trace.avg_parallel_slackness(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regwin_core_test_support::traced_spell;
+    use regwin_rt::SchedulingPolicy;
+
+    /// Local helper module so the tests can record spell-checker traces.
+    mod regwin_core_test_support {
+        use regwin_rt::{SchedulingPolicy, Trace};
+        use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
+        use regwin_traps::SchemeKind;
+
+        pub fn traced_spell(m: usize, n: usize, policy: SchedulingPolicy) -> Trace {
+            let config = SpellConfig::new(CorpusSpec::small(), m, n).with_policy(policy);
+            let pipeline = SpellPipeline::new(config);
+            pipeline.run_traced(8, SchemeKind::Sp).unwrap().1
+        }
+    }
+
+    /// A period long enough to span several runs at every granularity.
+    const PERIOD: u64 = 4_000;
+
+    #[test]
+    fn high_concurrency_config_measures_higher_concurrency() {
+        let high = analyze(&traced_spell(4, 4, SchedulingPolicy::Fifo), PERIOD);
+        let low = analyze(&traced_spell(1024, 4, SchedulingPolicy::Fifo), PERIOD);
+        assert!(
+            high.avg_concurrency > low.avg_concurrency,
+            "high {} vs low {}",
+            high.avg_concurrency,
+            low.avg_concurrency
+        );
+    }
+
+    #[test]
+    fn finer_granularity_means_shorter_runs_and_less_activity_per_thread() {
+        let coarse = analyze(&traced_spell(16, 16, SchedulingPolicy::Fifo), PERIOD);
+        let fine = analyze(&traced_spell(1, 1, SchedulingPolicy::Fifo), PERIOD);
+        assert!(fine.avg_run_cycles < coarse.avg_run_cycles);
+        assert!(fine.avg_activity_per_thread <= coarse.avg_activity_per_thread);
+        assert!(fine.runs > coarse.runs);
+    }
+
+    #[test]
+    fn total_activity_is_roughly_per_thread_times_concurrency() {
+        // §5: "Total window activity is the product of window activity
+        // per thread and concurrency." Per-period per-thread spans are a
+        // bit wider than per-run ones, so allow generous slack.
+        let r = analyze(&traced_spell(4, 4, SchedulingPolicy::Fifo), PERIOD);
+        let product = r.avg_activity_per_thread * r.avg_concurrency;
+        assert!(
+            r.avg_total_activity >= product * 0.5 && r.avg_total_activity <= product * 4.0,
+            "total {} vs product {}",
+            r.avg_total_activity,
+            product
+        );
+    }
+
+    #[test]
+    fn working_set_scheduling_reduces_measured_concurrency() {
+        // §4.6/§6.5: the working-set policy reduces concurrency; that is
+        // the entire mechanism by which it reduces total window activity.
+        let fifo = analyze(&traced_spell(1, 1, SchedulingPolicy::Fifo), PERIOD);
+        let ws = analyze(&traced_spell(1, 1, SchedulingPolicy::WorkingSet), PERIOD);
+        assert!(
+            ws.avg_concurrency <= fifo.avg_concurrency,
+            "ws {} vs fifo {}",
+            ws.avg_concurrency,
+            fifo.avg_concurrency
+        );
+        assert!(ws.avg_total_activity <= fifo.avg_total_activity * 1.05);
+    }
+
+    #[test]
+    fn parallel_slackness_is_nonzero_and_grows_with_buffering() {
+        // §5.1 claims the workload has sufficient parallel slackness for
+        // the working-set policy to have choices. At 1-byte buffers the
+        // producer/consumer coupling is tight (often exactly one runnable
+        // thread); larger buffers decouple the stages and slackness
+        // rises.
+        let fine = analyze(&traced_spell(1, 1, SchedulingPolicy::Fifo), PERIOD);
+        let coarse = analyze(&traced_spell(16, 16, SchedulingPolicy::Fifo), PERIOD);
+        assert!(fine.avg_parallel_slackness > 0.0);
+        assert!(
+            coarse.avg_parallel_slackness > fine.avg_parallel_slackness * 0.9,
+            "coarse {} vs fine {}",
+            coarse.avg_parallel_slackness,
+            fine.avg_parallel_slackness
+        );
+    }
+
+    #[test]
+    fn runs_split_matches_switch_count() {
+        let trace = traced_spell(4, 4, SchedulingPolicy::Fifo);
+        let switches = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, regwin_rt::TraceEvent::SwitchTo(_)))
+            .count();
+        assert_eq!(runs_of(&trace).len(), switches);
+    }
+
+    #[test]
+    fn windows_used_counts_depth_span() {
+        let r = Run { thread: 0, start_depth: 3, min_depth: 2, max_depth: 5, cycles: 10 };
+        assert_eq!(r.windows_used(), 4);
+    }
+}

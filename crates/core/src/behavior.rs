@@ -1,0 +1,167 @@
+//! The six evaluated program behaviours (paper §5.2, Table 1).
+//!
+//! Concurrency and granularity are set through the stream buffer sizes
+//! (§5.1): "Granularity can be changed by the absolute value of M and N.
+//! Concurrency can be changed by the relative value of M and N."
+//!
+//! The buffer sizes are inferred from Table 1's context-switch counts:
+//! under high concurrency T6 streams 50 001 dictionary bytes in 50 001 /
+//! 12 501 / 3 126 switches — one block per 1 / 4 / 16 bytes — and under
+//! low concurrency in 49 switches — one block per ≈1 024 bytes.
+
+use std::fmt;
+
+/// Concurrency level: how many threads are simultaneously active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Concurrency {
+    /// M = N: all seven threads interleave densely.
+    High,
+    /// M ≫ N: the kernel threads run in long bursts, so mostly the three
+    /// filter threads interleave.
+    Low,
+}
+
+impl Concurrency {
+    /// Both levels, high first (paper order).
+    pub const ALL: [Concurrency; 2] = [Concurrency::High, Concurrency::Low];
+}
+
+impl fmt::Display for Concurrency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Concurrency::High => "high",
+            Concurrency::Low => "low",
+        })
+    }
+}
+
+/// Granularity level: run length between context switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Granularity {
+    /// 16-byte N buffers.
+    Coarse,
+    /// 4-byte N buffers.
+    Medium,
+    /// 1-byte N buffers — a context switch on almost every transfer.
+    Fine,
+}
+
+impl Granularity {
+    /// All levels, coarse first (paper order).
+    pub const ALL: [Granularity; 3] =
+        [Granularity::Coarse, Granularity::Medium, Granularity::Fine];
+
+    /// The N (word-stream) buffer size in bytes.
+    pub fn n_bytes(self) -> usize {
+        match self {
+            Granularity::Coarse => 16,
+            Granularity::Medium => 4,
+            Granularity::Fine => 1,
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Granularity::Coarse => "coarse",
+            Granularity::Medium => "medium",
+            Granularity::Fine => "fine",
+        })
+    }
+}
+
+/// One of the six evaluated behaviours: a concurrency × granularity pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Behavior {
+    /// The concurrency level.
+    pub concurrency: Concurrency,
+    /// The granularity level.
+    pub granularity: Granularity,
+}
+
+impl Behavior {
+    /// All six behaviours in Table 1's column order (high concurrency
+    /// coarse→fine, then low concurrency coarse→fine).
+    pub const ALL: [Behavior; 6] = [
+        Behavior { concurrency: Concurrency::High, granularity: Granularity::Coarse },
+        Behavior { concurrency: Concurrency::High, granularity: Granularity::Medium },
+        Behavior { concurrency: Concurrency::High, granularity: Granularity::Fine },
+        Behavior { concurrency: Concurrency::Low, granularity: Granularity::Coarse },
+        Behavior { concurrency: Concurrency::Low, granularity: Granularity::Medium },
+        Behavior { concurrency: Concurrency::Low, granularity: Granularity::Fine },
+    ];
+
+    /// Creates a behaviour.
+    pub fn new(concurrency: Concurrency, granularity: Granularity) -> Self {
+        Behavior { concurrency, granularity }
+    }
+
+    /// The three high-concurrency behaviours (Figures 11–13, 15).
+    pub fn high_concurrency() -> [Behavior; 3] {
+        [Behavior::ALL[0], Behavior::ALL[1], Behavior::ALL[2]]
+    }
+
+    /// The three low-concurrency behaviours (Figure 14).
+    pub fn low_concurrency() -> [Behavior; 3] {
+        [Behavior::ALL[3], Behavior::ALL[4], Behavior::ALL[5]]
+    }
+
+    /// The (M, N) buffer sizes in bytes.
+    pub fn buffers(&self) -> (usize, usize) {
+        let n = self.granularity.n_bytes();
+        let m = match self.concurrency {
+            Concurrency::High => n,
+            Concurrency::Low => 1024,
+        };
+        (m, n)
+    }
+}
+
+impl fmt::Display for Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.concurrency, self.granularity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_concurrency_means_m_equals_n() {
+        for g in Granularity::ALL {
+            let (m, n) = Behavior::new(Concurrency::High, g).buffers();
+            assert_eq!(m, n);
+        }
+    }
+
+    #[test]
+    fn low_concurrency_means_big_m() {
+        for g in Granularity::ALL {
+            let (m, n) = Behavior::new(Concurrency::Low, g).buffers();
+            assert_eq!(m, 1024);
+            assert_eq!(n, g.n_bytes());
+        }
+    }
+
+    #[test]
+    fn finer_granularity_means_smaller_n() {
+        assert!(Granularity::Fine.n_bytes() < Granularity::Medium.n_bytes());
+        assert!(Granularity::Medium.n_bytes() < Granularity::Coarse.n_bytes());
+    }
+
+    #[test]
+    fn all_six_behaviours_are_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for b in Behavior::ALL {
+            assert!(set.insert(b.buffers()));
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Behavior::ALL[2].to_string(), "high/fine");
+        assert_eq!(Behavior::ALL[3].to_string(), "low/coarse");
+    }
+}

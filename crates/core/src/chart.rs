@@ -1,0 +1,146 @@
+//! Terminal line charts for the reproduced figures.
+//!
+//! The repro binaries print each figure both as a numeric table and as an
+//! ASCII chart, so the shapes the paper plots are visible directly in the
+//! terminal output.
+
+use crate::report::Series;
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&', '$', '~'];
+
+/// Renders `series` as an ASCII line chart of the given plot-area size.
+///
+/// The x axis spans the union of all window counts, the y axis spans
+/// `[0, max]` (the paper's figures are zero-based), and each series gets
+/// a glyph from a legend printed below.
+///
+/// ```rust
+/// use regwin_core::report::Series;
+/// use regwin_core::chart::ascii_chart;
+///
+/// let mut s = Series::new("SP");
+/// s.push(4, 100.0);
+/// s.push(8, 50.0);
+/// let plot = ascii_chart("demo", "cycles", &[s], 40, 10);
+/// assert!(plot.contains("SP"));
+/// assert!(plot.contains('o'));
+/// ```
+pub fn ascii_chart(
+    title: &str,
+    value_name: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let xs: Vec<usize> = {
+        let mut v: Vec<usize> =
+            series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    if xs.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let x_min = *xs.first().expect("nonempty") as f64;
+    let x_max = *xs.last().expect("nonempty") as f64;
+    let y_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(_, y)| *y))
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let col = if x_max > x_min {
+                ((x as f64 - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            let row_f = (y / y_max) * (height - 1) as f64;
+            let row = (height - 1) - row_f.round().min((height - 1) as f64) as usize;
+            let cell = &mut grid[row][col.min(width - 1)];
+            // Overlapping points show a generic mark.
+            *cell = if *cell == ' ' || *cell == glyph { glyph } else { '?' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let y_label = format!("{y_max:.3e}");
+    out.push_str(&format!("{y_label:>12} ┤"));
+    for (r, row) in grid.iter().enumerate() {
+        if r > 0 {
+            out.push_str(&format!("{:>12} │", ""));
+        }
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>12} └{}\n", 0, "─".repeat(width)));
+    out.push_str(&format!("{:>14}{:<w$}{}\n", x_min as usize, "", x_max as usize, w = width.saturating_sub(8)));
+    out.push_str(&format!("{:>14}windows — {value_name}\n", ""));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("    {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, pts: &[(usize, f64)]) -> Series {
+        let mut s = Series::new(label);
+        for &(x, y) in pts {
+            s.push(x, y);
+        }
+        s
+    }
+
+    #[test]
+    fn chart_contains_all_legends() {
+        let a = series("NS", &[(4, 10.0), (32, 10.0)]);
+        let b = series("SP", &[(4, 20.0), (32, 5.0)]);
+        let plot = ascii_chart("t", "cycles", &[a, b], 40, 10);
+        assert!(plot.contains("NS"));
+        assert!(plot.contains("SP"));
+        assert!(plot.contains('o'));
+        assert!(plot.contains('+'));
+    }
+
+    #[test]
+    fn descending_series_plots_high_then_low() {
+        let s = series("SP", &[(4, 100.0), (32, 0.0)]);
+        let plot = ascii_chart("t", "v", &[s], 30, 8);
+        let rows: Vec<&str> = plot.lines().collect();
+        // The first grid row (top) must contain the glyph (y=100 = max).
+        assert!(rows[1].contains('o'), "{plot}");
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let plot = ascii_chart("t", "v", &[], 30, 8);
+        assert!(plot.contains("no data"));
+    }
+
+    #[test]
+    fn single_x_value_does_not_panic() {
+        let s = series("one", &[(8, 5.0)]);
+        let plot = ascii_chart("t", "v", &[s], 30, 8);
+        assert!(plot.contains('o'));
+    }
+
+    #[test]
+    fn overlapping_points_are_marked() {
+        let a = series("A", &[(4, 50.0)]);
+        let b = series("B", &[(4, 50.0)]);
+        let plot = ascii_chart("t", "v", &[a, b], 30, 8);
+        assert!(plot.contains('?'));
+    }
+}

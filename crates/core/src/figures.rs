@@ -1,0 +1,440 @@
+//! Drivers for every table and figure in the paper's evaluation.
+
+use crate::behavior::Behavior;
+use crate::matrix::{run_matrix, MatrixSpec, RunRecord};
+use crate::report::{series_table, Series, TextTable};
+use regwin_machine::{CostModel, SchemeKind, SwitchShape};
+use regwin_rt::{RtError, SchedulingPolicy};
+use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
+
+/// A reproduced figure: its series plus a rendered text table.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// The exhibit name, e.g. `"Figure 11"`.
+    pub title: String,
+    /// One series per (scheme, granularity) line of the original plot.
+    pub series: Vec<Series>,
+    /// The series rendered as a window-count × series table.
+    pub table: TextTable,
+}
+
+impl FigureResult {
+    /// Finds a series by its label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+/// A completed sweep over (behaviour × scheme × window count), from which
+/// Figures 11–15 are all derived. The paper derives Figures 12 and 13
+/// from the same runs as Figure 11; so does this.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    records: Vec<RunRecord>,
+}
+
+impl Sweep {
+    /// Runs the high-concurrency sweep (Figures 11–13 with
+    /// [`SchedulingPolicy::Fifo`], Figure 15 with
+    /// [`SchedulingPolicy::WorkingSet`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failed run.
+    pub fn high(
+        corpus: CorpusSpec,
+        windows: &[usize],
+        policy: SchedulingPolicy,
+        progress: impl Fn(usize, usize) + Sync,
+    ) -> Result<Self, RtError> {
+        Self::run(corpus, Behavior::high_concurrency().to_vec(), windows, policy, progress)
+    }
+
+    /// Runs the low-concurrency sweep (Figure 14).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failed run.
+    pub fn low(
+        corpus: CorpusSpec,
+        windows: &[usize],
+        policy: SchedulingPolicy,
+        progress: impl Fn(usize, usize) + Sync,
+    ) -> Result<Self, RtError> {
+        Self::run(corpus, Behavior::low_concurrency().to_vec(), windows, policy, progress)
+    }
+
+    fn run(
+        corpus: CorpusSpec,
+        behaviors: Vec<Behavior>,
+        windows: &[usize],
+        policy: SchedulingPolicy,
+        progress: impl Fn(usize, usize) + Sync,
+    ) -> Result<Self, RtError> {
+        let spec = MatrixSpec {
+            corpus,
+            behaviors,
+            schemes: SchemeKind::ALL.to_vec(),
+            windows: windows.to_vec(),
+            policy,
+        };
+        Ok(Sweep { records: run_matrix(&spec, progress)? })
+    }
+
+    /// The raw run records.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    fn series_of(&self, value: impl Fn(&RunRecord) -> f64) -> Vec<Series> {
+        let mut series: Vec<Series> = Vec::new();
+        for r in &self.records {
+            let label = format!("{} {}", r.scheme, r.behavior.granularity);
+            let s = match series.iter_mut().find(|s| s.label == label) {
+                Some(s) => s,
+                None => {
+                    series.push(Series::new(label));
+                    series.last_mut().expect("just pushed")
+                }
+            };
+            s.push(r.nwindows, value(r));
+        }
+        series
+    }
+
+    /// Execution time in simulated cycles (Figures 11, 14, 15).
+    pub fn execution_time_series(&self) -> Vec<Series> {
+        self.series_of(|r| r.report.total_cycles() as f64)
+    }
+
+    /// Average context-switch cycles (Figure 12).
+    pub fn avg_switch_series(&self) -> Vec<Series> {
+        self.series_of(|r| r.report.avg_switch_cycles())
+    }
+
+    /// Window-trap probability (Figure 13).
+    pub fn trap_probability_series(&self) -> Vec<Series> {
+        self.series_of(|r| r.report.trap_probability())
+    }
+}
+
+// --------------------------------------------------------------------
+// Table 1
+// --------------------------------------------------------------------
+
+/// The reproduced Table 1 data.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// Rendered table: one row per thread plus a total row; one column
+    /// per behaviour plus the dynamic save count.
+    pub table: TextTable,
+    /// Context switches per thread (outer: thread, inner: behaviour in
+    /// [`Behavior::ALL`] order).
+    pub switch_counts: Vec<Vec<u64>>,
+    /// Dynamic `save` counts per thread (behaviour-independent).
+    pub save_counts: Vec<u64>,
+    /// Thread names.
+    pub thread_names: Vec<String>,
+}
+
+impl Table1Result {
+    /// Total context switches per behaviour.
+    pub fn totals(&self) -> Vec<u64> {
+        let nbehaviors = Behavior::ALL.len();
+        (0..nbehaviors)
+            .map(|b| self.switch_counts.iter().map(|row| row[b]).sum())
+            .collect()
+    }
+}
+
+/// Reproduces Table 1: per-thread context-switch counts for the six
+/// behaviours under FIFO scheduling, plus dynamic `save` counts. The
+/// counts are scheme-independent (§5.2), so a single scheme is run.
+///
+/// # Errors
+///
+/// Propagates the first failed run.
+pub fn table1(
+    corpus: CorpusSpec,
+    progress: impl Fn(usize, usize) + Sync,
+) -> Result<Table1Result, RtError> {
+    let spec = MatrixSpec {
+        corpus,
+        behaviors: Behavior::ALL.to_vec(),
+        schemes: vec![SchemeKind::Sp],
+        windows: vec![8],
+        policy: SchedulingPolicy::Fifo,
+    };
+    let records = run_matrix(&spec, progress)?;
+    let nthreads = records[0].report.threads.len();
+    let thread_names: Vec<String> =
+        records[0].report.threads.iter().map(|t| t.name.clone()).collect();
+    let mut switch_counts = vec![vec![0u64; Behavior::ALL.len()]; nthreads];
+    let mut save_counts = vec![0u64; nthreads];
+    for (b, record) in records.iter().enumerate() {
+        for (t, tr) in record.report.threads.iter().enumerate() {
+            switch_counts[t][b] = tr.context_switches;
+            save_counts[t] = tr.saves; // identical across behaviours
+        }
+    }
+
+    let mut headers = vec!["thread"];
+    let behavior_names: Vec<String> = Behavior::ALL.iter().map(|b| b.to_string()).collect();
+    headers.extend(behavior_names.iter().map(String::as_str));
+    headers.push("saves");
+    let mut table = TextTable::new(
+        "Table 1: context switches per thread (FIFO) and dynamic save counts",
+        &headers,
+    );
+    for t in 0..nthreads {
+        let mut row = vec![thread_names[t].clone()];
+        row.extend(switch_counts[t].iter().map(u64::to_string));
+        row.push(save_counts[t].to_string());
+        table.row(row);
+    }
+    let result = Table1Result { table, switch_counts, save_counts, thread_names };
+    let mut total_row = vec!["Total".to_string()];
+    total_row.extend(result.totals().iter().map(u64::to_string));
+    total_row.push(result.save_counts.iter().sum::<u64>().to_string());
+    let mut table = result.table.clone();
+    table.row(total_row);
+    Ok(Table1Result { table, ..result })
+}
+
+// --------------------------------------------------------------------
+// Table 2
+// --------------------------------------------------------------------
+
+/// The paper's measured context-switch cycle ranges (Table 2).
+pub const PAPER_TABLE2: &[(SchemeKind, usize, usize, u64, u64)] = &[
+    (SchemeKind::Ns, 1, 1, 145, 149),
+    (SchemeKind::Ns, 2, 1, 181, 185),
+    (SchemeKind::Ns, 3, 1, 217, 221),
+    (SchemeKind::Ns, 4, 1, 253, 257),
+    (SchemeKind::Ns, 5, 1, 289, 293),
+    (SchemeKind::Ns, 6, 1, 325, 329),
+    (SchemeKind::Snp, 0, 0, 113, 118),
+    (SchemeKind::Snp, 0, 1, 142, 147),
+    (SchemeKind::Snp, 1, 0, 162, 171),
+    (SchemeKind::Snp, 1, 1, 187, 196),
+    (SchemeKind::Sp, 0, 0, 93, 98),
+    (SchemeKind::Sp, 0, 1, 136, 141),
+    (SchemeKind::Sp, 1, 1, 180, 197),
+    (SchemeKind::Sp, 2, 1, 220, 237),
+];
+
+/// The reproduced Table 2 data.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// Model-derived cost per (scheme, saves, restores) beside the
+    /// paper's measured range.
+    pub table: TextTable,
+    /// Whether every modelled cost lies inside the paper's range.
+    pub all_in_range: bool,
+    /// Observed switch-shape histogram per scheme from an actual run.
+    pub observed: TextTable,
+}
+
+/// Reproduces Table 2: the calibrated cost model's cycles per context
+/// switch for each transfer shape, checked against the paper's measured
+/// ranges, plus the shapes *observed* in an actual spell-checker run
+/// (confirming each scheme really performs the transfers the paper
+/// tabulates).
+///
+/// # Errors
+///
+/// Propagates the first failed run.
+pub fn table2(corpus: CorpusSpec) -> Result<Table2Result, RtError> {
+    let model = CostModel::s20();
+    let mut table = TextTable::new(
+        "Table 2: cycles per context switch (model vs paper measurement)",
+        &["scheme", "saves", "restores", "model", "paper", "in range"],
+    );
+    let mut all_in_range = true;
+    for &(scheme, saves, restores, lo, hi) in PAPER_TABLE2 {
+        let cycles = model.switch_cost(scheme).cycles(saves, restores);
+        let ok = (lo..=hi).contains(&cycles);
+        all_in_range &= ok;
+        table.row(vec![
+            scheme.to_string(),
+            saves.to_string(),
+            restores.to_string(),
+            cycles.to_string(),
+            format!("{lo}-{hi}"),
+            if ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+
+    // Observed shapes: run the checker once per scheme on 8 windows.
+    let mut observed = TextTable::new(
+        "Observed context-switch transfer shapes (spell checker, 8 windows)",
+        &["scheme", "(saves,restores)", "count", "share"],
+    );
+    for scheme in SchemeKind::ALL {
+        let config = SpellConfig::new(corpus, 4, 4);
+        let outcome = SpellPipeline::new(config).run(8, scheme)?;
+        let total: u64 = outcome.report.stats.switch_shapes.values().sum();
+        let mut shapes: Vec<(&SwitchShape, &u64)> =
+            outcome.report.stats.switch_shapes.iter().collect();
+        shapes.sort_by_key(|(s, _)| (s.saves, s.restores));
+        for (shape, count) in shapes {
+            observed.row(vec![
+                scheme.to_string(),
+                format!("({},{})", shape.saves, shape.restores),
+                count.to_string(),
+                format!("{:.1}%", 100.0 * *count as f64 / total as f64),
+            ]);
+        }
+    }
+    Ok(Table2Result { table, all_in_range, observed })
+}
+
+// --------------------------------------------------------------------
+// Figures 11–15
+// --------------------------------------------------------------------
+
+/// Figure 11: execution time vs window count, high concurrency, FIFO.
+///
+/// # Errors
+///
+/// Propagates the first failed run.
+pub fn fig11(
+    corpus: CorpusSpec,
+    windows: &[usize],
+    progress: impl Fn(usize, usize) + Sync,
+) -> Result<FigureResult, RtError> {
+    let sweep = Sweep::high(corpus, windows, SchedulingPolicy::Fifo, progress)?;
+    Ok(figure_from(
+        "Figure 11: execution time at high concurrency (FIFO)",
+        "cycles",
+        sweep.execution_time_series(),
+    ))
+}
+
+/// Figure 12: average context-switch time vs window count, high
+/// concurrency, FIFO.
+///
+/// # Errors
+///
+/// Propagates the first failed run.
+pub fn fig12(
+    corpus: CorpusSpec,
+    windows: &[usize],
+    progress: impl Fn(usize, usize) + Sync,
+) -> Result<FigureResult, RtError> {
+    let sweep = Sweep::high(corpus, windows, SchedulingPolicy::Fifo, progress)?;
+    Ok(figure_from(
+        "Figure 12: average context-switch cycles at high concurrency",
+        "cycles/switch",
+        sweep.avg_switch_series(),
+    ))
+}
+
+/// Figure 13: window-trap probability vs window count, high concurrency.
+///
+/// # Errors
+///
+/// Propagates the first failed run.
+pub fn fig13(
+    corpus: CorpusSpec,
+    windows: &[usize],
+    progress: impl Fn(usize, usize) + Sync,
+) -> Result<FigureResult, RtError> {
+    let sweep = Sweep::high(corpus, windows, SchedulingPolicy::Fifo, progress)?;
+    Ok(figure_from(
+        "Figure 13: probability of window traps at high concurrency",
+        "traps per save/restore",
+        sweep.trap_probability_series(),
+    ))
+}
+
+/// Figure 14: execution time vs window count, low concurrency, FIFO.
+///
+/// # Errors
+///
+/// Propagates the first failed run.
+pub fn fig14(
+    corpus: CorpusSpec,
+    windows: &[usize],
+    progress: impl Fn(usize, usize) + Sync,
+) -> Result<FigureResult, RtError> {
+    let sweep = Sweep::low(corpus, windows, SchedulingPolicy::Fifo, progress)?;
+    Ok(figure_from(
+        "Figure 14: execution time at low concurrency (FIFO)",
+        "cycles",
+        sweep.execution_time_series(),
+    ))
+}
+
+/// Figure 15: execution time vs window count, high concurrency, with the
+/// working-set scheduling of §4.6.
+///
+/// # Errors
+///
+/// Propagates the first failed run.
+pub fn fig15(
+    corpus: CorpusSpec,
+    windows: &[usize],
+    progress: impl Fn(usize, usize) + Sync,
+) -> Result<FigureResult, RtError> {
+    let sweep = Sweep::high(corpus, windows, SchedulingPolicy::WorkingSet, progress)?;
+    Ok(figure_from(
+        "Figure 15: execution time at high concurrency (working-set scheduling)",
+        "cycles",
+        sweep.execution_time_series(),
+    ))
+}
+
+fn figure_from(title: &str, value_name: &str, series: Vec<Series>) -> FigureResult {
+    let table = series_table(title, value_name, &series);
+    FigureResult { title: title.to_string(), series, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(_d: usize, _t: usize) {}
+
+    #[test]
+    fn table2_model_is_fully_in_range() {
+        let r = table2(CorpusSpec::small()).unwrap();
+        assert!(r.all_in_range, "\n{}", r.table);
+        assert!(!r.observed.is_empty());
+    }
+
+    #[test]
+    fn table1_counts_are_plausible() {
+        let r = table1(CorpusSpec::small(), quiet).unwrap();
+        assert_eq!(r.thread_names.len(), 7);
+        // Finer granularity ⇒ more switches, per concurrency level.
+        let totals = r.totals();
+        assert!(totals[2] > totals[1], "high fine {} > high medium {}", totals[2], totals[1]);
+        assert!(totals[1] > totals[0], "high medium > high coarse");
+        assert!(totals[5] > totals[4], "low fine > low medium");
+        // High concurrency switches more than low at equal granularity.
+        assert!(totals[0] > totals[3]);
+        // Save counts are nonzero for every thread.
+        assert!(r.save_counts.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn fig11_small_sweep_has_nine_series() {
+        let r = fig11(CorpusSpec::small(), &[4, 8, 16], quiet).unwrap();
+        assert_eq!(r.series.len(), 9, "3 schemes × 3 granularities");
+        for s in &r.series {
+            assert_eq!(s.points.len(), 3);
+        }
+        assert!(r.series_by_label("SP fine").is_some());
+    }
+
+    #[test]
+    fn fig13_probabilities_are_probabilities() {
+        let r = fig13(CorpusSpec::small(), &[4, 16], quiet).unwrap();
+        for s in &r.series {
+            for (_, p) in &s.points {
+                assert!((0.0..=1.0).contains(p), "{} has p={p}", s.label);
+            }
+        }
+    }
+}

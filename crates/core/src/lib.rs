@@ -1,0 +1,45 @@
+//! # regwin-core
+//!
+//! Experiment drivers reproducing the evaluation of *"Multiple Threads in
+//! Cyclic Register Windows"* (Hidaka, Koike, Tanaka — ISCA 1993):
+//! every table and figure of §5–§6, driven over the `regwin-spell`
+//! workload on the `regwin-rt`/`regwin-traps`/`regwin-machine` stack.
+//!
+//! | Exhibit | Driver | What it reproduces |
+//! |---------|--------|--------------------|
+//! | Table 1 | [`figures::table1`] | context switches per thread for six behaviours + dynamic save counts |
+//! | Table 2 | [`figures::table2`] | cycles per context switch, per scheme and transfer shape |
+//! | Fig 11  | [`figures::fig11`]  | execution time vs #windows, high concurrency |
+//! | Fig 12  | [`figures::fig12`]  | average context-switch time vs #windows |
+//! | Fig 13  | [`figures::fig13`]  | window-trap probability vs #windows |
+//! | Fig 14  | [`figures::fig14`]  | execution time vs #windows, low concurrency |
+//! | Fig 15  | [`figures::fig15`]  | execution time with working-set scheduling |
+//!
+//! ```rust
+//! use regwin_core::{Behavior, Concurrency, Granularity};
+//!
+//! let b = Behavior::new(Concurrency::High, Granularity::Fine);
+//! assert_eq!(b.buffers(), (1, 1)); // M = N = 1 byte
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod ablations;
+pub mod activity;
+mod behavior;
+pub mod chart;
+pub mod figures;
+mod matrix;
+pub mod report;
+pub mod synthetic;
+pub mod timeline;
+pub mod tradeoff;
+
+pub use behavior::{Behavior, Concurrency, Granularity};
+pub use matrix::{run_matrix, MatrixSpec, RunRecord};
+pub use report::{Series, TextTable};
+
+pub use regwin_machine::SchemeKind;
+pub use regwin_rt::SchedulingPolicy;
+pub use regwin_spell::CorpusSpec;

@@ -1,0 +1,193 @@
+//! Plain-text table and series formatting for the reproduction reports.
+
+use std::fmt;
+
+/// A simple column-aligned text table with a title.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as comma-separated values (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        writeln!(f, "{}", "=".repeat(self.title.len().max(total)))?;
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{h:>width$}", width = widths[i])?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named data series over the window-count axis — one line of a paper
+/// figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"SP fine"`.
+    pub label: String,
+    /// `(nwindows, value)` points in sweep order.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// A series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, nwindows: usize, value: f64) {
+        self.points.push((nwindows, value));
+    }
+
+    /// The value at the given window count, if present.
+    pub fn at(&self, nwindows: usize) -> Option<f64> {
+        self.points.iter().find(|(n, _)| *n == nwindows).map(|(_, v)| *v)
+    }
+
+    /// The last (largest-window) value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|(_, v)| *v)
+    }
+}
+
+/// Renders a set of series as a window-count × series text table.
+pub fn series_table(title: &str, value_name: &str, series: &[Series]) -> TextTable {
+    let mut headers: Vec<String> = vec!["windows".to_string()];
+    headers.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(format!("{title} [{value_name}]"), &header_refs);
+    let axis: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|(n, _)| *n).collect())
+        .unwrap_or_default();
+    for n in axis {
+        let mut row = vec![n.to_string()];
+        for s in series {
+            row.push(s.at(n).map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()));
+        }
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = TextTable::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TextTable::new("t", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("SP");
+        s.push(4, 1.0);
+        s.push(8, 0.5);
+        assert_eq!(s.at(8), Some(0.5));
+        assert_eq!(s.at(5), None);
+        assert_eq!(s.last(), Some(0.5));
+    }
+
+    #[test]
+    fn series_table_uses_first_series_axis() {
+        let mut a = Series::new("A");
+        a.push(4, 1.0);
+        a.push(8, 2.0);
+        let mut b = Series::new("B");
+        b.push(4, 3.0);
+        b.push(8, 4.0);
+        let t = series_table("fig", "cycles", &[a, b]);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("windows,A,B"));
+    }
+}

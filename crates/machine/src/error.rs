@@ -1,0 +1,96 @@
+//! Error type for machine operations.
+
+use crate::thread::ThreadId;
+use crate::window::WindowIndex;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by [`crate::Machine`] operations.
+///
+/// These indicate *misuse of the machine by a management scheme or
+/// runtime* — e.g. spilling a window that holds no live frame, or
+/// restoring past a thread's outermost frame. Window traps are not
+/// errors; they are reported through [`crate::WindowTrap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The requested window count is outside `MIN_WINDOWS..=MAX_WINDOWS`.
+    BadWindowCount {
+        /// The rejected window count.
+        requested: usize,
+    },
+    /// An operation referred to a thread id the machine does not know.
+    UnknownThread(ThreadId),
+    /// An operation required a current thread but none is set.
+    NoCurrentThread,
+    /// A slot was expected to be in a different use state.
+    BadSlotState {
+        /// The slot in question.
+        slot: WindowIndex,
+        /// What the operation needed the slot to be.
+        expected: &'static str,
+    },
+    /// A thread's memory save-area was empty when a restore was requested —
+    /// a return past the outermost frame.
+    BackingEmpty(ThreadId),
+    /// A spill was requested for a thread with no resident windows.
+    NoResidentWindows(ThreadId),
+    /// `complete_save`/`complete_restore` was called but the target window
+    /// is still invalid for the current thread.
+    StillInvalid {
+        /// The still-invalid target window.
+        target: WindowIndex,
+    },
+    /// An internal consistency invariant was violated (a bug in a scheme
+    /// or in the machine itself; surfaced rather than silently corrupting
+    /// the simulation).
+    InvariantViolated(&'static str),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::BadWindowCount { requested } => {
+                write!(f, "window count {requested} outside supported range")
+            }
+            MachineError::UnknownThread(t) => write!(f, "unknown thread {t}"),
+            MachineError::NoCurrentThread => write!(f, "no current thread"),
+            MachineError::BadSlotState { slot, expected } => {
+                write!(f, "slot {slot} not in expected state: {expected}")
+            }
+            MachineError::BackingEmpty(t) => {
+                write!(f, "memory save-area of {t} is empty (return past outermost frame)")
+            }
+            MachineError::NoResidentWindows(t) => {
+                write!(f, "thread {t} has no resident windows to spill")
+            }
+            MachineError::StillInvalid { target } => {
+                write!(f, "target window {target} still invalid after trap handling")
+            }
+            MachineError::InvariantViolated(what) => write!(f, "invariant violated: {what}"),
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty() {
+        let errors = [
+            MachineError::BadWindowCount { requested: 1 },
+            MachineError::UnknownThread(ThreadId::new(3)),
+            MachineError::NoCurrentThread,
+            MachineError::BadSlotState { slot: WindowIndex::new(0), expected: "free" },
+            MachineError::BackingEmpty(ThreadId::new(0)),
+            MachineError::NoResidentWindows(ThreadId::new(1)),
+            MachineError::StillInvalid { target: WindowIndex::new(2) },
+            MachineError::InvariantViolated("test"),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,1377 @@
+//! The register-window machine: mechanism primitives for window-management
+//! schemes.
+//!
+//! The [`Machine`] owns the physical register file, the CWP and WIM, the
+//! per-window usage map, per-thread bookkeeping (resident run, memory
+//! save-area, PRW, TCB), the cycle counter and the event statistics. It
+//! provides *mechanism only*: `save`/`restore` execution that raises traps,
+//! plus the spill/restore/grant/reservation primitives trap handlers are
+//! built from. *Policy* — which window to spill, where to restore, what a
+//! context switch does — lives in the `regwin-traps` schemes.
+
+use crate::backing::BackingStore;
+use crate::cost::{CostModel, CycleCategory, CycleCounter, SchemeKind};
+use crate::error::MachineError;
+use crate::regfile::{Frame, RegisterFile};
+use crate::slot::SlotUse;
+use crate::stats::MachineStats;
+use crate::thread::{ThreadId, ThreadState};
+use crate::trap::WindowTrap;
+use crate::window::{WindowIndex, Wim, MAX_WINDOWS, MIN_WINDOWS};
+
+/// Outcome of attempting a `save` or `restore` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The instruction completed without trapping.
+    Completed,
+    /// The instruction raised a window trap; a management scheme must
+    /// resolve it (and then, for overflow and conventional underflow,
+    /// re-execute via [`Machine::complete_save`] /
+    /// [`Machine::complete_restore`]).
+    Trapped(WindowTrap),
+}
+
+/// Why a window transfer is happening — a trap handler or a context
+/// switch. Selects which statistics the transfer is counted under (the
+/// paper reports trap transfers and switch transfers separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferReason {
+    /// Transfer performed inside a window trap handler.
+    Trap,
+    /// Transfer performed during a context switch.
+    Switch,
+}
+
+/// The simulated register-window machine. See the crate docs for the model
+/// and the paper mapping.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    nwindows: usize,
+    regfile: RegisterFile,
+    cwp: WindowIndex,
+    wim: Wim,
+    slots: Vec<SlotUse>,
+    threads: Vec<ThreadState>,
+    current: Option<ThreadId>,
+    reserved: Option<WindowIndex>,
+    cost: CostModel,
+    counter: CycleCounter,
+    stats: MachineStats,
+}
+
+impl Machine {
+    /// Creates a machine with `nwindows` physical windows, all free except
+    /// window 0, which starts as the global reserved window (schemes that
+    /// do not use a global reservation clear it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::BadWindowCount`] if `nwindows` is outside
+    /// `MIN_WINDOWS..=MAX_WINDOWS`.
+    pub fn new(nwindows: usize) -> Result<Self, MachineError> {
+        Self::with_cost_model(nwindows, CostModel::s20())
+    }
+
+    /// Creates a machine with an explicit [`CostModel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::BadWindowCount`] if `nwindows` is outside
+    /// `MIN_WINDOWS..=MAX_WINDOWS`.
+    pub fn with_cost_model(nwindows: usize, cost: CostModel) -> Result<Self, MachineError> {
+        if !(MIN_WINDOWS..=MAX_WINDOWS).contains(&nwindows) {
+            return Err(MachineError::BadWindowCount { requested: nwindows });
+        }
+        let mut slots = vec![SlotUse::Free; nwindows];
+        slots[0] = SlotUse::Reserved;
+        let mut machine = Machine {
+            nwindows,
+            regfile: RegisterFile::new(nwindows),
+            cwp: WindowIndex::new(0),
+            wim: Wim::new(nwindows),
+            slots,
+            threads: Vec::new(),
+            current: None,
+            reserved: Some(WindowIndex::new(0)),
+            cost,
+            counter: CycleCounter::new(),
+            stats: MachineStats::new(),
+        };
+        machine.recompute_wim();
+        Ok(machine)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Number of physical windows.
+    pub fn nwindows(&self) -> usize {
+        self.nwindows
+    }
+
+    /// The Current Window Pointer. Meaningful while a thread is current.
+    pub fn cwp(&self) -> WindowIndex {
+        self.cwp
+    }
+
+    /// The Window Invalid Mask, derived from slot usage for the current
+    /// thread.
+    pub fn wim(&self) -> &Wim {
+        &self.wim
+    }
+
+    /// The currently running thread.
+    pub fn current_thread(&self) -> Option<ThreadId> {
+        self.current
+    }
+
+    /// The global reserved window (NS/SNP schemes), if any.
+    pub fn reserved(&self) -> Option<WindowIndex> {
+        self.reserved
+    }
+
+    /// Usage of window slot `w`.
+    pub fn slot_use(&self, w: WindowIndex) -> SlotUse {
+        self.slots[w.index()]
+    }
+
+    /// The bookkeeping state of thread `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::UnknownThread`] for an unregistered id.
+    pub fn thread(&self, t: ThreadId) -> Result<&ThreadState, MachineError> {
+        self.threads.get(t.index()).ok_or(MachineError::UnknownThread(t))
+    }
+
+    /// Number of registered threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The cycle counter.
+    pub fn cycles(&self) -> &CycleCounter {
+        &self.counter
+    }
+
+    /// The event statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Physical windows currently holding live frames of `t`, from
+    /// stack-top to stack-bottom.
+    pub fn live_windows_of(&self, t: ThreadId) -> Result<Vec<WindowIndex>, MachineError> {
+        let ts = self.thread(t)?;
+        let mut out = Vec::with_capacity(ts.resident());
+        if let Some(top) = ts.top() {
+            let mut w = top;
+            for _ in 0..ts.resident() {
+                out.push(w);
+                w = w.below(self.nwindows);
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Thread registration and lifecycle
+    // ------------------------------------------------------------------
+
+    /// Registers a new thread and returns its id.
+    pub fn add_thread(&mut self) -> ThreadId {
+        let id = ThreadId::new(self.threads.len());
+        self.threads.push(ThreadState::new(id));
+        self.stats.ensure_thread(id);
+        id
+    }
+
+    /// Gives `t` its initial (outermost) frame in `slot`, zero-filled.
+    /// Used when a thread is first scheduled; costs nothing (the paper's
+    /// threads are created once, up front).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the slot holds live data or the thread already started.
+    pub fn start_initial_frame(&mut self, t: ThreadId, slot: WindowIndex) -> Result<(), MachineError> {
+        if !self.slot_use(slot).is_discardable() {
+            return Err(MachineError::BadSlotState { slot, expected: "free/dead/reserved-free" });
+        }
+        if self.slot_use(slot) == SlotUse::Reserved {
+            return Err(MachineError::BadSlotState { slot, expected: "not the reserved window" });
+        }
+        let ts = self.thread_mut(t)?;
+        if ts.started() {
+            return Err(MachineError::InvariantViolated("thread already started"));
+        }
+        ts.set_top(Some(slot));
+        ts.set_resident(1);
+        ts.set_started();
+        self.regfile.clear_frame(slot);
+        self.slots[slot.index()] = SlotUse::Live(t);
+        Ok(())
+    }
+
+    /// Releases every window and memory frame of a terminated thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::UnknownThread`] for an unregistered id.
+    pub fn release_thread(&mut self, t: ThreadId) -> Result<(), MachineError> {
+        self.thread(t)?;
+        for i in 0..self.nwindows {
+            match self.slots[i] {
+                SlotUse::Live(o) | SlotUse::Dead(o) | SlotUse::Prw(o) if o == t => {
+                    self.slots[i] = SlotUse::Free;
+                }
+                _ => {}
+            }
+        }
+        let ts = self.thread_mut(t)?;
+        ts.set_top(None);
+        ts.set_resident(0);
+        ts.set_prw(None);
+        ts.backing_mut().clear();
+        ts.set_terminated();
+        if self.current == Some(t) {
+            self.current = None;
+        }
+        self.recompute_wim();
+        Ok(())
+    }
+
+    /// Makes `t` the current thread (or none), pointing the CWP at its
+    /// stack-top window and recomputing the WIM. This is the *mechanism*
+    /// half of a context switch; schemes do their window work first and
+    /// charge costs via [`Machine::record_context_switch`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread has not started, has terminated, or has no
+    /// resident windows.
+    pub fn set_current(&mut self, t: Option<ThreadId>) -> Result<(), MachineError> {
+        if let Some(t) = t {
+            let ts = self.thread(t)?;
+            if !ts.started() || ts.terminated() {
+                return Err(MachineError::InvariantViolated("set_current on unstarted/terminated thread"));
+            }
+            let top = ts.top().ok_or(MachineError::NoResidentWindows(t))?;
+            self.cwp = top;
+        }
+        self.current = t;
+        self.recompute_wim();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Register access (current window)
+    // ------------------------------------------------------------------
+
+    /// Reads `in` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoCurrentThread`] with no thread current.
+    pub fn read_in(&self, reg: usize) -> Result<u64, MachineError> {
+        self.require_current()?;
+        Ok(self.regfile.read_in(self.cwp, reg))
+    }
+
+    /// Writes `in` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoCurrentThread`] with no thread current.
+    pub fn write_in(&mut self, reg: usize, value: u64) -> Result<(), MachineError> {
+        self.require_current()?;
+        self.regfile.write_in(self.cwp, reg, value);
+        Ok(())
+    }
+
+    /// Reads `local` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoCurrentThread`] with no thread current.
+    pub fn read_local(&self, reg: usize) -> Result<u64, MachineError> {
+        self.require_current()?;
+        Ok(self.regfile.read_local(self.cwp, reg))
+    }
+
+    /// Writes `local` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoCurrentThread`] with no thread current.
+    pub fn write_local(&mut self, reg: usize, value: u64) -> Result<(), MachineError> {
+        self.require_current()?;
+        self.regfile.write_local(self.cwp, reg, value);
+        Ok(())
+    }
+
+    /// Reads `out` register `reg` of the current window (physically the
+    /// `in` register of the window above).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoCurrentThread`] with no thread current.
+    pub fn read_out(&self, reg: usize) -> Result<u64, MachineError> {
+        self.require_current()?;
+        Ok(self.regfile.read_out(self.cwp, reg))
+    }
+
+    /// Writes `out` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoCurrentThread`] with no thread current.
+    pub fn write_out(&mut self, reg: usize, value: u64) -> Result<(), MachineError> {
+        self.require_current()?;
+        self.regfile.write_out(self.cwp, reg, value);
+        Ok(())
+    }
+
+    /// Reads global register `reg` (`%g0` always reads zero).
+    pub fn read_global(&self, reg: usize) -> u64 {
+        self.regfile.read_global(reg)
+    }
+
+    /// Writes global register `reg` (writes to `%g0` are discarded).
+    pub fn write_global(&mut self, reg: usize, value: u64) {
+        self.regfile.write_global(reg, value);
+    }
+
+    // ------------------------------------------------------------------
+    // Instruction execution
+    // ------------------------------------------------------------------
+
+    /// Executes a `save` (procedure entry). Returns
+    /// [`ExecOutcome::Trapped`] with an overflow trap if the window above
+    /// is invalid for the current thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no thread is current.
+    pub fn try_save(&mut self) -> Result<ExecOutcome, MachineError> {
+        let t = self.require_current()?;
+        let target = self.cwp.above(self.nwindows);
+        if self.wim.is_set(target) {
+            self.stats.overflow_traps += 1;
+            return Ok(ExecOutcome::Trapped(WindowTrap::Overflow { target }));
+        }
+        self.do_save(t, target)?;
+        Ok(ExecOutcome::Completed)
+    }
+
+    /// Executes a `restore` (procedure return). Returns
+    /// [`ExecOutcome::Trapped`] with an underflow trap if the caller's
+    /// window is not resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no thread is current.
+    pub fn try_restore(&mut self) -> Result<ExecOutcome, MachineError> {
+        let t = self.require_current()?;
+        let target = self.cwp.below(self.nwindows);
+        if self.wim.is_set(target) {
+            self.stats.underflow_traps += 1;
+            return Ok(ExecOutcome::Trapped(WindowTrap::Underflow { target }));
+        }
+        self.do_restore(t, target)?;
+        Ok(ExecOutcome::Completed)
+    }
+
+    /// Re-executes the trapped `save` after a handler made the target
+    /// window valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::StillInvalid`] if the handler did not make
+    /// the target valid.
+    pub fn complete_save(&mut self) -> Result<(), MachineError> {
+        let t = self.require_current()?;
+        let target = self.cwp.above(self.nwindows);
+        if self.wim.is_set(target) {
+            return Err(MachineError::StillInvalid { target });
+        }
+        self.do_save(t, target)
+    }
+
+    /// Re-executes the trapped `restore` after a conventional underflow
+    /// handler restored the caller's window below the current one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::StillInvalid`] if the target is still
+    /// invalid.
+    pub fn complete_restore(&mut self) -> Result<(), MachineError> {
+        let t = self.require_current()?;
+        let target = self.cwp.below(self.nwindows);
+        if self.wim.is_set(target) {
+            return Err(MachineError::StillInvalid { target });
+        }
+        self.do_restore(t, target)
+    }
+
+    fn do_save(&mut self, t: ThreadId, target: WindowIndex) -> Result<(), MachineError> {
+        debug_assert_eq!(self.slots[target.index()], SlotUse::Dead(t), "save into non-granted slot");
+        self.slots[target.index()] = SlotUse::Live(t);
+        let nw = self.nwindows;
+        let ts = self.thread_mut(t)?;
+        ts.set_top(Some(target));
+        ts.set_resident(ts.resident() + 1);
+        debug_assert!(ts.resident() <= nw);
+        self.cwp = target;
+        self.wim.clear(target);
+        self.stats.saves_executed += 1;
+        self.stats.threads[t.index()].saves += 1;
+        self.counter.charge(CycleCategory::WindowInstr, self.cost.window_instr);
+        Ok(())
+    }
+
+    fn do_restore(&mut self, t: ThreadId, target: WindowIndex) -> Result<(), MachineError> {
+        debug_assert_eq!(self.slots[target.index()], SlotUse::Live(t), "restore into non-live slot");
+        let old_top = self.cwp;
+        self.slots[old_top.index()] = SlotUse::Dead(t);
+        let ts = self.thread_mut(t)?;
+        if ts.resident() < 2 {
+            return Err(MachineError::InvariantViolated("trap-free restore with resident < 2"));
+        }
+        ts.set_top(Some(target));
+        ts.set_resident(ts.resident() - 1);
+        self.cwp = target;
+        self.stats.restores_executed += 1;
+        self.stats.threads[t.index()].restores += 1;
+        self.counter.charge(CycleCategory::WindowInstr, self.cost.window_instr);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Handler primitives
+    // ------------------------------------------------------------------
+
+    /// Spills the stack-bottom window of `t` to its memory save-area and
+    /// frees the slot. `reason` selects which statistics count it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoResidentWindows`] if `t` has none.
+    pub fn spill_bottom(&mut self, t: ThreadId, reason: TransferReason) -> Result<(), MachineError> {
+        let nw = self.nwindows;
+        let ts = self.thread(t)?;
+        let bottom = ts.bottom(nw).ok_or(MachineError::NoResidentWindows(t))?;
+        let frame = self.regfile.frame(bottom);
+        let resident = ts.resident();
+        let ts = self.thread_mut(t)?;
+        ts.backing_mut().push(frame);
+        ts.set_resident(resident - 1);
+        if resident == 1 {
+            ts.set_top(None);
+        }
+        self.slots[bottom.index()] = SlotUse::Free;
+        if reason == TransferReason::Trap {
+            self.stats.overflow_spills += 1;
+        }
+        self.recompute_wim();
+        Ok(())
+    }
+
+    /// Restores the innermost memory frame of `t` into `slot`.
+    ///
+    /// If `t` has no resident windows, the frame becomes its new stack-top
+    /// (context-switch resume); otherwise `slot` must be directly below
+    /// its stack-bottom (conventional underflow).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the save-area is empty, the slot holds live data, or the
+    /// slot is not adjacent below the resident run.
+    pub fn restore_into(&mut self, t: ThreadId, slot: WindowIndex, reason: TransferReason) -> Result<(), MachineError> {
+        if !self.slot_use(slot).is_discardable() {
+            return Err(MachineError::BadSlotState { slot, expected: "discardable for restore" });
+        }
+        if self.slot_use(slot) == SlotUse::Reserved {
+            return Err(MachineError::BadSlotState { slot, expected: "not the reserved window" });
+        }
+        let nw = self.nwindows;
+        let ts = self.thread(t)?;
+        let resident = ts.resident();
+        if resident > 0 {
+            let bottom = ts.bottom(nw).expect("resident > 0 implies bottom");
+            if bottom.below(nw) != slot {
+                return Err(MachineError::BadSlotState { slot, expected: "adjacent below stack-bottom" });
+            }
+        }
+        let ts = self.thread_mut(t)?;
+        let frame = ts.backing_mut().pop().ok_or(MachineError::BackingEmpty(t))?;
+        if resident == 0 {
+            ts.set_top(Some(slot));
+        }
+        ts.set_resident(resident + 1);
+        self.regfile.set_frame(slot, frame);
+        self.slots[slot.index()] = SlotUse::Live(t);
+        if reason == TransferReason::Trap {
+            self.stats.underflow_restores += 1;
+        }
+        self.recompute_wim();
+        Ok(())
+    }
+
+    /// The proposed underflow algorithm (paper §3.2, Figure 8): restores
+    /// the caller's window *into the slot the callee used*, after copying
+    /// the callee's live `in` registers to the `out` position. Never
+    /// spills, never moves the CWP or any reservation. The trapped
+    /// `restore` is thereby complete — do **not** call
+    /// [`Machine::complete_restore`] afterwards.
+    ///
+    /// With `full_copy` false, only the return-value and stack-pointer
+    /// `in` registers are copied (the partial-copy variant of §3.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the current thread's save-area is empty (return past the
+    /// outermost frame) or more than one of its frames is resident (the
+    /// trap could not have occurred).
+    pub fn inplace_underflow(&mut self, full_copy: bool) -> Result<(), MachineError> {
+        let t = self.require_current()?;
+        let ts = self.thread(t)?;
+        if ts.resident() != 1 {
+            return Err(MachineError::InvariantViolated("in-place underflow with resident != 1"));
+        }
+        let slot = self.cwp;
+        let frame = {
+            let ts = self.thread_mut(t)?;
+            ts.backing_mut().pop().ok_or(MachineError::BackingEmpty(t))?
+        };
+        if full_copy {
+            self.regfile.copy_ins_to_outs(slot);
+        } else {
+            self.regfile.copy_return_ins_to_outs(slot);
+        }
+        self.regfile.set_frame(slot, frame);
+        // The callee's frame is gone and the caller's occupies its slot:
+        // top, resident and the slot map are all unchanged.
+        self.stats.underflow_restores += 1;
+        self.stats.restores_executed += 1;
+        self.stats.threads[t.index()].restores += 1;
+        Ok(())
+    }
+
+    /// Marks `slot` usable by `t` without trapping (`Dead(t)`), e.g. after
+    /// an overflow handler freed it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the slot holds a live frame or a PRW.
+    pub fn grant_slot(&mut self, t: ThreadId, slot: WindowIndex) -> Result<(), MachineError> {
+        self.thread(t)?;
+        match self.slot_use(slot) {
+            SlotUse::Free | SlotUse::Dead(_) => {
+                self.slots[slot.index()] = SlotUse::Dead(t);
+                self.recompute_wim();
+                Ok(())
+            }
+            _ => Err(MachineError::BadSlotState { slot, expected: "free or dead" }),
+        }
+    }
+
+    /// Moves the global reserved window to `slot` (or removes it with
+    /// `None`). The old reserved slot becomes free.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the new slot holds a live frame or a PRW.
+    pub fn set_reserved(&mut self, slot: Option<WindowIndex>) -> Result<(), MachineError> {
+        if let Some(s) = slot {
+            if !self.slot_use(s).is_discardable() {
+                return Err(MachineError::BadSlotState { slot: s, expected: "discardable for reservation" });
+            }
+        }
+        if let Some(old) = self.reserved {
+            if self.slots[old.index()] == SlotUse::Reserved {
+                self.slots[old.index()] = SlotUse::Free;
+            }
+        }
+        if let Some(s) = slot {
+            self.slots[s.index()] = SlotUse::Reserved;
+        }
+        self.reserved = slot;
+        self.recompute_wim();
+        Ok(())
+    }
+
+    /// Assigns `slot` as the private reserved window of `t`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the slot holds live data or `t` already has a PRW.
+    pub fn assign_prw(&mut self, t: ThreadId, slot: WindowIndex) -> Result<(), MachineError> {
+        if !self.slot_use(slot).is_discardable() {
+            return Err(MachineError::BadSlotState { slot, expected: "discardable for PRW" });
+        }
+        if self.slot_use(slot) == SlotUse::Reserved {
+            return Err(MachineError::BadSlotState { slot, expected: "not the global reserved window" });
+        }
+        if self.thread(t)?.prw().is_some() {
+            return Err(MachineError::InvariantViolated("thread already has a PRW"));
+        }
+        self.slots[slot.index()] = SlotUse::Prw(t);
+        self.thread_mut(t)?.set_prw(Some(slot));
+        self.recompute_wim();
+        Ok(())
+    }
+
+    /// Takes the PRW away from `t`, saving the stack-top `out` registers
+    /// it holds into `t`'s TCB first (they live in the PRW's `in`
+    /// registers). The slot becomes free.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `t` has no PRW.
+    pub fn steal_prw(&mut self, t: ThreadId) -> Result<(), MachineError> {
+        let prw = self.thread(t)?.prw().ok_or(MachineError::BadSlotState {
+            slot: self.cwp,
+            expected: "thread owns a PRW",
+        })?;
+        let mut outs = [0u64; 8];
+        for (reg, out) in outs.iter_mut().enumerate() {
+            *out = self.regfile.read_in(prw, reg);
+        }
+        let ts = self.thread_mut(t)?;
+        *ts.tcb_outs_mut() = outs;
+        ts.set_prw(None);
+        self.slots[prw.index()] = SlotUse::Free;
+        self.recompute_wim();
+        Ok(())
+    }
+
+    /// Releases `t`'s PRW without saving anything (the outs are already
+    /// safe, e.g. right before assigning a new PRW that will receive them).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `t` has no PRW.
+    pub fn release_prw(&mut self, t: ThreadId) -> Result<(), MachineError> {
+        let prw = self.thread(t)?.prw().ok_or(MachineError::BadSlotState {
+            slot: self.cwp,
+            expected: "thread owns a PRW",
+        })?;
+        self.thread_mut(t)?.set_prw(None);
+        self.slots[prw.index()] = SlotUse::Free;
+        self.recompute_wim();
+        Ok(())
+    }
+
+    /// Saves the stack-top `out` registers of `t` into its TCB (schemes
+    /// without a PRW do this on every suspend).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `t` has no resident windows.
+    pub fn save_outs_to_tcb(&mut self, t: ThreadId) -> Result<(), MachineError> {
+        let nw = self.nwindows;
+        let ts = self.thread(t)?;
+        let top = ts.top().ok_or(MachineError::NoResidentWindows(t))?;
+        let above = top.above(nw);
+        let mut outs = [0u64; 8];
+        for (reg, out) in outs.iter_mut().enumerate() {
+            *out = self.regfile.read_in(above, reg);
+        }
+        *self.thread_mut(t)?.tcb_outs_mut() = outs;
+        Ok(())
+    }
+
+    /// Restores the stack-top `out` registers of `t` from its TCB into the
+    /// window above its (possibly new) stack-top.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `t` has no resident windows.
+    pub fn restore_outs_from_tcb(&mut self, t: ThreadId) -> Result<(), MachineError> {
+        let nw = self.nwindows;
+        let ts = self.thread(t)?;
+        let top = ts.top().ok_or(MachineError::NoResidentWindows(t))?;
+        let outs = *ts.tcb_outs();
+        let above = top.above(nw);
+        for (reg, value) in outs.iter().enumerate() {
+            self.regfile.write_in(above, reg, *value);
+        }
+        Ok(())
+    }
+
+    /// Spills every resident window of `t` (bottom first, so the memory
+    /// save-area ends with the stack-top frame on top). Returns the number
+    /// of windows flushed. Used by the NS scheme and by the flush-type
+    /// context switch of paper §4.4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill errors (none occur for a consistent thread).
+    pub fn flush_thread(&mut self, t: ThreadId, reason: TransferReason) -> Result<usize, MachineError> {
+        let count = self.thread(t)?.resident();
+        for _ in 0..count {
+            self.spill_bottom(t, reason)?;
+        }
+        Ok(count)
+    }
+
+    /// Frees every dead slot of `t` (done when `t` is suspended: the paper
+    /// releases the windows above the stack-top at switch time). Returns
+    /// how many were freed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::UnknownThread`] for an unregistered id.
+    pub fn release_dead_slots(&mut self, t: ThreadId) -> Result<usize, MachineError> {
+        self.thread(t)?;
+        let mut freed = 0;
+        for i in 0..self.nwindows {
+            if self.slots[i] == SlotUse::Dead(t) {
+                self.slots[i] = SlotUse::Free;
+                freed += 1;
+            }
+        }
+        if freed > 0 {
+            self.recompute_wim();
+        }
+        Ok(freed)
+    }
+
+    /// Grants every free slot to `t` in one pass (the NS scheme does this
+    /// after a switch-time flush: with all other threads' windows flushed
+    /// to memory, the whole file minus the reserved window is valid
+    /// garbage the incoming thread may overwrite trap-free, exactly as a
+    /// single-bit WIM behaves on real hardware). Returns how many slots
+    /// were granted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::UnknownThread`] for an unregistered id.
+    pub fn grant_all_free(&mut self, t: ThreadId) -> Result<usize, MachineError> {
+        self.thread(t)?;
+        let mut granted = 0;
+        for i in 0..self.nwindows {
+            if self.slots[i] == SlotUse::Free {
+                self.slots[i] = SlotUse::Dead(t);
+                granted += 1;
+            }
+        }
+        if granted > 0 {
+            self.recompute_wim();
+        }
+        Ok(granted)
+    }
+
+    /// The classic single-window reservation walk used by overflow
+    /// handlers with a global reserved window (NS/SNP): spill or discard
+    /// whatever is directly above the reserved window, move the
+    /// reservation up one, and grant the old reserved slot to the current
+    /// thread. Returns the number of windows spilled (0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if there is no reserved window or the victim is a PRW (which
+    /// never occurs under NS/SNP).
+    pub fn force_reserved_walk(&mut self) -> Result<usize, MachineError> {
+        let t = self.require_current()?;
+        let reserved = self.reserved.ok_or(MachineError::InvariantViolated("walk without reserved window"))?;
+        let victim = reserved.above(self.nwindows);
+        let mut spills = 0;
+        match self.slot_use(victim) {
+            SlotUse::Live(owner) => {
+                let bottom = self.thread(owner)?.bottom(self.nwindows);
+                if bottom != Some(victim) {
+                    return Err(MachineError::InvariantViolated("walk victim is a live non-bottom window"));
+                }
+                self.spill_bottom(owner, TransferReason::Trap)?;
+                spills = 1;
+            }
+            SlotUse::Free | SlotUse::Dead(_) => {}
+            SlotUse::Prw(_) => {
+                return Err(MachineError::BadSlotState { slot: victim, expected: "no PRW under NS/SNP" })
+            }
+            SlotUse::Reserved => {
+                return Err(MachineError::InvariantViolated("two reserved windows"));
+            }
+        }
+        self.set_reserved(Some(victim))?;
+        self.grant_slot(t, reserved)?;
+        Ok(spills)
+    }
+
+    /// The SP-scheme overflow walk: spill/steal whatever is directly above
+    /// the current thread's PRW, move the PRW up one, and grant the old
+    /// PRW slot to the current thread (its `in` registers already hold the
+    /// caller's `out` registers, which is exactly what the new frame needs).
+    /// Returns `(windows_spilled, prws_stolen)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the current thread has no PRW.
+    pub fn force_prw_walk(&mut self) -> Result<(usize, usize), MachineError> {
+        let t = self.require_current()?;
+        let prw = self.thread(t)?.prw().ok_or(MachineError::InvariantViolated("SP walk without PRW"))?;
+        let victim = prw.above(self.nwindows);
+        let mut spills = 0;
+        let mut steals = 0;
+        match self.slot_use(victim) {
+            SlotUse::Live(owner) => {
+                let bottom = self.thread(owner)?.bottom(self.nwindows);
+                if bottom != Some(victim) {
+                    return Err(MachineError::InvariantViolated("walk victim is a live non-bottom window"));
+                }
+                self.spill_bottom(owner, TransferReason::Trap)?;
+                spills = 1;
+            }
+            SlotUse::Prw(owner) => {
+                self.steal_prw(owner)?;
+                steals = 1;
+            }
+            SlotUse::Free | SlotUse::Dead(_) => {}
+            SlotUse::Reserved => {
+                return Err(MachineError::BadSlotState { slot: victim, expected: "no global reservation under SP" })
+            }
+        }
+        // Move the PRW up: old slot becomes the current thread's to save
+        // into; the victim slot becomes the new PRW.
+        self.thread_mut(t)?.set_prw(None);
+        self.slots[prw.index()] = SlotUse::Free;
+        self.assign_prw(t, victim)?;
+        self.grant_slot(t, prw)?;
+        Ok((spills, steals))
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /// Charges `cycles` to `category` on the cycle counter.
+    pub fn charge(&mut self, category: CycleCategory, cycles: u64) {
+        self.counter.charge(category, cycles);
+    }
+
+    /// Charges application compute cycles (the workload's own work).
+    pub fn compute(&mut self, cycles: u64) {
+        self.counter.charge(CycleCategory::App, cycles);
+    }
+
+    /// Records a context switch away from `from` that transferred the
+    /// given number of windows, charging the scheme's calibrated switch
+    /// cost (paper Table 2).
+    pub fn record_context_switch(&mut self, from: Option<ThreadId>, scheme: SchemeKind, saves: u32, restores: u32) {
+        let cost = self.cost.switch_cost(scheme).cycles(saves as usize, restores as usize);
+        self.counter.charge(CycleCategory::ContextSwitch, cost);
+        self.stats.record_switch(from, saves, restores);
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (used heavily by tests; cheap enough for debug)
+    // ------------------------------------------------------------------
+
+    /// Verifies all machine invariants, returning a description of the
+    /// first violation found. Intended for tests and debugging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::InvariantViolated`] describing the problem.
+    pub fn check_invariants(&self) -> Result<(), MachineError> {
+        // Slot map and per-thread bookkeeping must agree.
+        let mut live_counts = vec![0usize; self.threads.len()];
+        let mut reserved_count = 0usize;
+        for i in 0..self.nwindows {
+            match self.slots[i] {
+                SlotUse::Live(t) => {
+                    if t.index() >= self.threads.len() {
+                        return Err(MachineError::InvariantViolated("live slot owned by unknown thread"));
+                    }
+                    live_counts[t.index()] += 1;
+                }
+                SlotUse::Reserved => reserved_count += 1,
+                SlotUse::Prw(t)
+                    if self.threads[t.index()].prw() != Some(WindowIndex::new(i)) =>
+                {
+                    return Err(MachineError::InvariantViolated("PRW slot not recorded by owner"));
+                }
+                _ => {}
+            }
+        }
+        match self.reserved {
+            Some(r) => {
+                if reserved_count != 1 || self.slots[r.index()] != SlotUse::Reserved {
+                    return Err(MachineError::InvariantViolated("reserved marker mismatch"));
+                }
+            }
+            None => {
+                if reserved_count != 0 {
+                    return Err(MachineError::InvariantViolated("stray reserved slot"));
+                }
+            }
+        }
+        for ts in &self.threads {
+            if live_counts[ts.id().index()] != ts.resident() {
+                return Err(MachineError::InvariantViolated("resident count mismatch"));
+            }
+            // Resident run must be contiguous Live slots from top down.
+            if let Some(top) = ts.top() {
+                let mut w = top;
+                for _ in 0..ts.resident() {
+                    if self.slots[w.index()] != SlotUse::Live(ts.id()) {
+                        return Err(MachineError::InvariantViolated("resident run not contiguous"));
+                    }
+                    w = w.below(self.nwindows);
+                }
+            } else if ts.resident() != 0 {
+                return Err(MachineError::InvariantViolated("resident without top"));
+            }
+            if let Some(p) = ts.prw() {
+                if self.slots[p.index()] != SlotUse::Prw(ts.id()) {
+                    return Err(MachineError::InvariantViolated("recorded PRW not in slot map"));
+                }
+            }
+        }
+        // CWP must point at the current thread's stack-top.
+        if let Some(t) = self.current {
+            if self.threads[t.index()].top() != Some(self.cwp) {
+                return Err(MachineError::InvariantViolated("CWP not at current thread's stack-top"));
+            }
+        }
+        // WIM must be exactly the derived mask.
+        let mut derived = Wim::new(self.nwindows);
+        for i in 0..self.nwindows {
+            let valid = self.current.map(|t| self.slots[i].valid_for(t)).unwrap_or(false);
+            if !valid {
+                derived.set(WindowIndex::new(i));
+            }
+        }
+        if derived != self.wim {
+            return Err(MachineError::InvariantViolated("WIM out of sync with slot map"));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn require_current(&self) -> Result<ThreadId, MachineError> {
+        self.current.ok_or(MachineError::NoCurrentThread)
+    }
+
+    fn thread_mut(&mut self, t: ThreadId) -> Result<&mut ThreadState, MachineError> {
+        self.threads.get_mut(t.index()).ok_or(MachineError::UnknownThread(t))
+    }
+
+    fn recompute_wim(&mut self) {
+        self.wim.clear_all();
+        for i in 0..self.nwindows {
+            let valid = self.current.map(|t| self.slots[i].valid_for(t)).unwrap_or(false);
+            if !valid {
+                self.wim.set(WindowIndex::new(i));
+            }
+        }
+    }
+
+    /// Direct access to the backing store of `t` (read-only), for tests
+    /// and diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::UnknownThread`] for an unregistered id.
+    pub fn backing_of(&self, t: ThreadId) -> Result<&BackingStore, MachineError> {
+        Ok(self.thread(t)?.backing())
+    }
+
+    /// Reads the stored frame of an arbitrary physical window (tests and
+    /// diagnostics).
+    pub fn frame_at(&self, w: WindowIndex) -> Frame {
+        self.regfile.frame(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a machine with one started thread whose initial frame sits
+    /// just below the reserved window, like a scheme would.
+    fn machine_with_thread(nwindows: usize) -> (Machine, ThreadId) {
+        let mut m = Machine::new(nwindows).unwrap();
+        let t = m.add_thread();
+        let slot = m.reserved().unwrap().below(nwindows);
+        m.start_initial_frame(t, slot).unwrap();
+        m.set_current(Some(t)).unwrap();
+        m.check_invariants().unwrap();
+        (m, t)
+    }
+
+    /// Performs one `save`, resolving any overflow with the classic walk.
+    fn save(m: &mut Machine) {
+        match m.try_save().unwrap() {
+            ExecOutcome::Completed => {}
+            ExecOutcome::Trapped(trap) => {
+                assert!(trap.is_overflow());
+                m.force_reserved_walk().unwrap();
+                m.complete_save().unwrap();
+            }
+        }
+        m.check_invariants().unwrap();
+    }
+
+    /// Performs one `restore`, resolving any underflow conventionally.
+    fn restore_conventional(m: &mut Machine, t: ThreadId) {
+        match m.try_restore().unwrap() {
+            ExecOutcome::Completed => {}
+            ExecOutcome::Trapped(trap) => {
+                assert!(trap.is_underflow());
+                let target = trap.target();
+                // Conventional: restore into the reserved slot and move
+                // the reservation one below (paper Figure 4).
+                assert_eq!(Some(target), m.reserved());
+                let new_reserved = target.below(m.nwindows());
+                assert!(m.slot_use(new_reserved).is_discardable());
+                m.set_reserved(None).unwrap();
+                m.restore_into(t, target, TransferReason::Trap).unwrap();
+                m.set_reserved(Some(new_reserved)).unwrap();
+                m.complete_restore().unwrap();
+            }
+        }
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn new_rejects_bad_window_counts() {
+        assert!(Machine::new(1).is_err());
+        assert!(Machine::new(0).is_err());
+        assert!(Machine::new(65).is_err());
+        assert!(Machine::new(2).is_ok());
+        assert!(Machine::new(32).is_ok());
+    }
+
+    #[test]
+    fn initial_state_has_one_reserved_window() {
+        let m = Machine::new(8).unwrap();
+        assert_eq!(m.reserved(), Some(WindowIndex::new(0)));
+        assert_eq!(m.slot_use(WindowIndex::new(0)), SlotUse::Reserved);
+        assert_eq!(m.wim().count_set(), 8); // no current thread: all invalid
+    }
+
+    #[test]
+    fn save_moves_cwp_above() {
+        let (mut m, t) = machine_with_thread(8);
+        let before = m.cwp();
+        save(&mut m);
+        assert_eq!(m.cwp(), before.above(8)); // save entered the old reserved slot
+        assert_eq!(m.thread(t).unwrap().resident(), 2);
+    }
+
+    #[test]
+    fn restore_returns_to_caller_window() {
+        let (mut m, t) = machine_with_thread(8);
+        let initial = m.cwp();
+        save(&mut m);
+        match m.try_restore().unwrap() {
+            ExecOutcome::Completed => {}
+            other => panic!("expected trap-free restore, got {other:?}"),
+        }
+        assert_eq!(m.cwp(), initial);
+        assert_eq!(m.thread(t).unwrap().resident(), 1);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deep_recursion_wraps_cyclically_and_spills_own_bottom() {
+        let (mut m, t) = machine_with_thread(4);
+        // Call depth 10 on a 4-window machine: must spill own windows.
+        for depth in 2..=10 {
+            save(&mut m);
+            assert_eq!(m.thread(t).unwrap().depth(), depth);
+        }
+        assert!(m.backing_of(t).unwrap().len() >= 7);
+        // Return all the way back.
+        for depth in (1..=9).rev() {
+            restore_conventional(&mut m, t);
+            assert_eq!(m.thread(t).unwrap().depth(), depth);
+        }
+        assert!(m.backing_of(t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn register_values_survive_spill_and_conventional_refill() {
+        let (mut m, t) = machine_with_thread(4);
+        // Write a distinct marker in each frame's locals while calling.
+        m.write_local(0, 100).unwrap();
+        for depth in 2..=8u64 {
+            save(&mut m);
+            m.write_local(0, 100 * depth).unwrap();
+        }
+        for depth in (1..=7u64).rev() {
+            restore_conventional(&mut m, t);
+            assert_eq!(m.read_local(0).unwrap(), 100 * depth, "frame at depth {depth}");
+        }
+    }
+
+    #[test]
+    fn outs_pass_arguments_to_callee_ins() {
+        let (mut m, _t) = machine_with_thread(8);
+        m.write_out(0, 777).unwrap();
+        save(&mut m);
+        assert_eq!(m.read_in(0).unwrap(), 777);
+    }
+
+    #[test]
+    fn ins_return_values_to_caller_outs() {
+        let (mut m, _t) = machine_with_thread(8);
+        save(&mut m);
+        m.write_in(0, 888).unwrap();
+        assert!(matches!(m.try_restore().unwrap(), ExecOutcome::Completed));
+        assert_eq!(m.read_out(0).unwrap(), 888);
+    }
+
+    #[test]
+    fn inplace_underflow_preserves_caller_frame_and_return_values() {
+        let (mut m, _t) = machine_with_thread(4);
+        m.write_local(0, 11).unwrap();
+        // Go deep enough that the initial frames spill.
+        for i in 2..=6u64 {
+            save(&mut m);
+            m.write_local(0, 11 * i).unwrap();
+        }
+        // Return with the proposed algorithm until underflow occurs.
+        let mut depth = 6u64;
+        while depth > 1 {
+            match m.try_restore().unwrap() {
+                ExecOutcome::Completed => {}
+                ExecOutcome::Trapped(trap) => {
+                    assert!(trap.is_underflow());
+                    m.write_in(0, 4242).unwrap(); // "return value"
+                    m.inplace_underflow(true).unwrap();
+                    // Caller must see the return value in its outs.
+                    assert_eq!(m.read_out(0).unwrap(), 4242);
+                }
+            }
+            depth -= 1;
+            assert_eq!(m.read_local(0).unwrap(), 11 * depth, "caller locals at depth {depth}");
+            m.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn inplace_underflow_does_not_move_cwp_or_reservation() {
+        let (mut m, _t) = machine_with_thread(4);
+        for _ in 2..=6 {
+            save(&mut m);
+        }
+        // Unwind to the trap point.
+        while matches!(m.try_restore().unwrap(), ExecOutcome::Completed) {}
+        let cwp = m.cwp();
+        let reserved = m.reserved();
+        m.inplace_underflow(true).unwrap();
+        assert_eq!(m.cwp(), cwp);
+        assert_eq!(m.reserved(), reserved);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restore_past_outermost_frame_is_an_error() {
+        let (mut m, _t) = machine_with_thread(8);
+        match m.try_restore().unwrap() {
+            ExecOutcome::Trapped(trap) => {
+                assert!(trap.is_underflow());
+                assert_eq!(m.inplace_underflow(true), Err(MachineError::BackingEmpty(ThreadId::new(0))));
+            }
+            other => panic!("expected underflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_threads_keep_register_values_apart() {
+        let mut m = Machine::new(8).unwrap();
+        let a = m.add_thread();
+        let b = m.add_thread();
+        let r = m.reserved().unwrap();
+        m.start_initial_frame(a, r.below(8)).unwrap();
+        m.start_initial_frame(b, r.below(8).below(8)).unwrap();
+        m.set_current(Some(a)).unwrap();
+        m.write_local(0, 1).unwrap();
+        m.set_current(Some(b)).unwrap();
+        m.write_local(0, 2).unwrap();
+        m.set_current(Some(a)).unwrap();
+        assert_eq!(m.read_local(0).unwrap(), 1);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn wim_blocks_other_threads_windows() {
+        let mut m = Machine::new(4).unwrap();
+        let a = m.add_thread();
+        let b = m.add_thread();
+        let r = m.reserved().unwrap();
+        m.start_initial_frame(a, r.below(4)).unwrap();
+        // B sits directly below A: A's restore target is B's window.
+        m.start_initial_frame(b, r.below(4).below(4)).unwrap();
+        m.set_current(Some(a)).unwrap();
+        match m.try_restore().unwrap() {
+            ExecOutcome::Trapped(trap) => assert!(trap.is_underflow()),
+            other => panic!("expected underflow into B's window, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spill_bottom_then_restore_into_roundtrips_frame() {
+        let (mut m, t) = machine_with_thread(8);
+        save(&mut m);
+        m.write_local(3, 999).unwrap();
+        // Spill both frames (bottom first), then restore the top one back.
+        let bottom = m.thread(t).unwrap().bottom(8).unwrap();
+        m.spill_bottom(t, TransferReason::Switch).unwrap();
+        let top_slot = m.thread(t).unwrap().top().unwrap();
+        m.spill_bottom(t, TransferReason::Switch).unwrap();
+        assert_eq!(m.thread(t).unwrap().resident(), 0);
+        m.restore_into(t, top_slot, TransferReason::Switch).unwrap();
+        m.set_current(Some(t)).unwrap();
+        assert_eq!(m.read_local(3).unwrap(), 999);
+        assert_eq!(m.thread(t).unwrap().top(), Some(top_slot));
+        let _ = bottom;
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn flush_thread_spills_everything_in_order() {
+        let (mut m, t) = machine_with_thread(8);
+        m.write_local(0, 1).unwrap();
+        save(&mut m);
+        m.write_local(0, 2).unwrap();
+        save(&mut m);
+        m.write_local(0, 3).unwrap();
+        let flushed = m.flush_thread(t, TransferReason::Switch).unwrap();
+        assert_eq!(flushed, 3);
+        // Memory save-area must end with the innermost frame on top.
+        assert_eq!(m.backing_of(t).unwrap().peek().unwrap().locals[0], 3);
+        assert_eq!(m.thread(t).unwrap().resident(), 0);
+    }
+
+    #[test]
+    fn prw_walk_moves_prw_up_and_grants_old_slot() {
+        let mut m = Machine::new(8).unwrap();
+        m.set_reserved(None).unwrap(); // SP has no global reservation
+        let t = m.add_thread();
+        m.start_initial_frame(t, WindowIndex::new(4)).unwrap();
+        m.assign_prw(t, WindowIndex::new(3)).unwrap();
+        m.set_current(Some(t)).unwrap();
+        match m.try_save().unwrap() {
+            ExecOutcome::Trapped(trap) => {
+                assert!(trap.is_overflow());
+                let (spills, steals) = m.force_prw_walk().unwrap();
+                assert_eq!((spills, steals), (0, 0)); // slot above was free
+                m.complete_save().unwrap();
+            }
+            other => panic!("expected overflow at PRW, got {other:?}"),
+        }
+        assert_eq!(m.thread(t).unwrap().prw(), Some(WindowIndex::new(2)));
+        assert_eq!(m.cwp(), WindowIndex::new(3));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn steal_prw_saves_outs_to_tcb() {
+        let mut m = Machine::new(8).unwrap();
+        m.set_reserved(None).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, WindowIndex::new(4)).unwrap();
+        m.assign_prw(t, WindowIndex::new(3)).unwrap();
+        m.set_current(Some(t)).unwrap();
+        m.write_out(2, 555).unwrap(); // lives in the PRW's ins
+        m.set_current(None).unwrap();
+        m.steal_prw(t).unwrap();
+        assert_eq!(m.thread(t).unwrap().tcb_outs()[2], 555);
+        assert_eq!(m.thread(t).unwrap().prw(), None);
+        assert_eq!(m.slot_use(WindowIndex::new(3)), SlotUse::Free);
+    }
+
+    #[test]
+    fn tcb_outs_roundtrip_via_save_and_restore() {
+        let (mut m, t) = machine_with_thread(8);
+        m.write_out(5, 321).unwrap();
+        m.save_outs_to_tcb(t).unwrap();
+        // Clobber the physical location, then restore from the TCB.
+        let above = m.thread(t).unwrap().top().unwrap().above(8);
+        assert_eq!(m.frame_at(above).ins[5], 321);
+        m.restore_outs_from_tcb(t).unwrap();
+        assert_eq!(m.read_out(5).unwrap(), 321);
+    }
+
+    #[test]
+    fn release_thread_frees_all_its_slots() {
+        let (mut m, t) = machine_with_thread(8);
+        save(&mut m);
+        save(&mut m);
+        m.release_thread(t).unwrap();
+        let live = (0..8).filter(|i| matches!(m.slot_use(WindowIndex::new(*i)), SlotUse::Live(_))).count();
+        assert_eq!(live, 0);
+        assert!(m.current_thread().is_none());
+        assert!(m.thread(t).unwrap().terminated());
+    }
+
+    #[test]
+    fn release_dead_slots_only_affects_that_thread() {
+        let (mut m, t) = machine_with_thread(8);
+        save(&mut m);
+        assert!(matches!(m.try_restore().unwrap(), ExecOutcome::Completed));
+        // One dead slot above the top now.
+        assert_eq!(m.release_dead_slots(t).unwrap(), 1);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn record_context_switch_charges_scheme_cost() {
+        let (mut m, t) = machine_with_thread(8);
+        m.record_context_switch(Some(t), SchemeKind::Sp, 0, 0);
+        assert_eq!(m.cycles().category(CycleCategory::ContextSwitch), m.cost().switch_sp.cycles(0, 0));
+        assert_eq!(m.stats().context_switches, 1);
+    }
+
+    #[test]
+    fn stats_count_saves_restores_and_traps() {
+        let (mut m, t) = machine_with_thread(4);
+        for _ in 0..6 {
+            save(&mut m);
+        }
+        assert_eq!(m.stats().saves_executed, 6);
+        assert!(m.stats().overflow_traps >= 1);
+        assert!(m.stats().overflow_spills >= 1);
+        for _ in 0..6 {
+            restore_conventional(&mut m, t);
+        }
+        assert_eq!(m.stats().restores_executed, 6);
+        assert!(m.stats().underflow_traps >= 1);
+        assert!(m.stats().trap_probability() > 0.0);
+    }
+
+    #[test]
+    fn grant_slot_rejects_live_slots() {
+        let (mut m, t) = machine_with_thread(8);
+        let top = m.thread(t).unwrap().top().unwrap();
+        assert!(m.grant_slot(t, top).is_err());
+    }
+
+    #[test]
+    fn set_reserved_rejects_live_slots() {
+        let (mut m, t) = machine_with_thread(8);
+        let top = m.thread(t).unwrap().top().unwrap();
+        assert!(m.set_reserved(Some(top)).is_err());
+        let _ = t;
+    }
+
+    #[test]
+    fn check_invariants_detects_wim_desync() {
+        let (mut m, _t) = machine_with_thread(8);
+        m.wim.set(m.cwp());
+        assert!(m.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Window indices, cyclic arithmetic and the Window Invalid Mask (WIM).
+
+use std::fmt;
+
+/// Smallest legal number of windows (SPARC requires at least two: one for
+/// the running procedure and one kept invalid to catch wrap-around).
+pub const MIN_WINDOWS: usize = 2;
+
+/// Largest supported number of windows. The paper's register-window
+/// emulator sweeps 4–32; the SPARC architecture allows up to 32.
+pub const MAX_WINDOWS: usize = 64;
+
+/// Index of a physical register window in the cyclic window buffer.
+///
+/// Follows the paper's orientation: window *i − 1* is **above** window *i*
+/// (`save` decrements the CWP, moving up), window *i + 1* is **below** it
+/// (`restore` increments the CWP, moving down). All arithmetic is modulo
+/// the number of windows.
+///
+/// ```rust
+/// use regwin_machine::WindowIndex;
+///
+/// let w = WindowIndex::new(0);
+/// assert_eq!(w.above(8), WindowIndex::new(7)); // cyclic wrap
+/// assert_eq!(w.below(8), WindowIndex::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WindowIndex(usize);
+
+impl WindowIndex {
+    /// Creates a window index. The value is taken as-is; range checking
+    /// against a machine's window count happens at the point of use.
+    pub const fn new(index: usize) -> Self {
+        WindowIndex(index)
+    }
+
+    /// The raw index value.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// The window above this one (callee direction, `save` target),
+    /// cyclically: *i − 1 mod n*.
+    #[must_use]
+    pub const fn above(self, nwindows: usize) -> Self {
+        WindowIndex((self.0 + nwindows - 1) % nwindows)
+    }
+
+    /// The window below this one (caller direction, `restore` target),
+    /// cyclically: *i + 1 mod n*.
+    #[must_use]
+    pub const fn below(self, nwindows: usize) -> Self {
+        WindowIndex((self.0 + 1) % nwindows)
+    }
+
+    /// The window `k` steps below this one, cyclically.
+    #[must_use]
+    pub const fn below_by(self, k: usize, nwindows: usize) -> Self {
+        WindowIndex((self.0 + k) % nwindows)
+    }
+
+    /// The window `k` steps above this one, cyclically.
+    #[must_use]
+    pub const fn above_by(self, k: usize, nwindows: usize) -> Self {
+        WindowIndex((self.0 + k * (nwindows - 1)) % nwindows)
+    }
+
+    /// Cyclic distance from `self` going **below** (downward) until
+    /// reaching `other`: the number of `below` steps needed.
+    #[must_use]
+    pub const fn distance_below_to(self, other: Self, nwindows: usize) -> usize {
+        (other.0 + nwindows - self.0) % nwindows
+    }
+}
+
+impl fmt::Display for WindowIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}", self.0)
+    }
+}
+
+impl From<WindowIndex> for usize {
+    fn from(w: WindowIndex) -> usize {
+        w.0
+    }
+}
+
+/// The Window Invalid Mask: one bit per physical window; a set bit means a
+/// `save` or `restore` entering that window raises a trap.
+///
+/// In the conventional single-thread algorithm exactly one bit is set (the
+/// reserved window). Under window sharing, every window not owned by the
+/// current thread is also marked invalid (paper §3).
+///
+/// ```rust
+/// use regwin_machine::{Wim, WindowIndex};
+///
+/// let mut wim = Wim::new(8);
+/// wim.set(WindowIndex::new(3));
+/// assert!(wim.is_set(WindowIndex::new(3)));
+/// assert_eq!(wim.count_set(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Wim {
+    bits: u64,
+    nwindows: usize,
+}
+
+impl Wim {
+    /// An all-clear mask for a machine with `nwindows` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nwindows` exceeds [`MAX_WINDOWS`].
+    pub fn new(nwindows: usize) -> Self {
+        assert!(nwindows <= MAX_WINDOWS, "too many windows for WIM");
+        Wim { bits: 0, nwindows }
+    }
+
+    /// Number of windows this mask covers.
+    pub fn nwindows(&self) -> usize {
+        self.nwindows
+    }
+
+    /// Marks `w` invalid.
+    pub fn set(&mut self, w: WindowIndex) {
+        debug_assert!(w.index() < self.nwindows);
+        self.bits |= 1 << w.index();
+    }
+
+    /// Marks `w` valid.
+    pub fn clear(&mut self, w: WindowIndex) {
+        debug_assert!(w.index() < self.nwindows);
+        self.bits &= !(1 << w.index());
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.bits = 0;
+    }
+
+    /// Whether `w` is marked invalid.
+    pub fn is_set(&self, w: WindowIndex) -> bool {
+        debug_assert!(w.index() < self.nwindows);
+        self.bits & (1 << w.index()) != 0
+    }
+
+    /// Number of invalid windows.
+    pub fn count_set(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// The raw bit pattern (bit *i* = window *i*).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+}
+
+impl fmt::Display for Wim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.nwindows).rev() {
+            write!(f, "{}", if self.bits & (1 << i) != 0 { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn above_and_below_are_inverse() {
+        for n in [2usize, 4, 7, 8, 32] {
+            for i in 0..n {
+                let w = WindowIndex::new(i);
+                assert_eq!(w.above(n).below(n), w);
+                assert_eq!(w.below(n).above(n), w);
+            }
+        }
+    }
+
+    #[test]
+    fn above_wraps_cyclically() {
+        assert_eq!(WindowIndex::new(0).above(8), WindowIndex::new(7));
+        assert_eq!(WindowIndex::new(7).below(8), WindowIndex::new(0));
+    }
+
+    #[test]
+    fn below_by_composes_single_steps() {
+        let n = 7;
+        let w = WindowIndex::new(3);
+        let mut s = w;
+        for _ in 0..5 {
+            s = s.below(n);
+        }
+        assert_eq!(w.below_by(5, n), s);
+    }
+
+    #[test]
+    fn above_by_composes_single_steps() {
+        let n = 7;
+        let w = WindowIndex::new(2);
+        let mut s = w;
+        for _ in 0..5 {
+            s = s.above(n);
+        }
+        assert_eq!(w.above_by(5, n), s);
+    }
+
+    #[test]
+    fn distance_below_to_counts_steps() {
+        let n = 8;
+        let a = WindowIndex::new(6);
+        let b = WindowIndex::new(2);
+        assert_eq!(a.distance_below_to(b, n), 4);
+        assert_eq!(b.distance_below_to(a, n), 4);
+        assert_eq!(a.distance_below_to(a, n), 0);
+    }
+
+    #[test]
+    fn wim_set_clear_roundtrip() {
+        let mut wim = Wim::new(8);
+        let w = WindowIndex::new(5);
+        assert!(!wim.is_set(w));
+        wim.set(w);
+        assert!(wim.is_set(w));
+        assert_eq!(wim.count_set(), 1);
+        wim.clear(w);
+        assert!(!wim.is_set(w));
+        assert_eq!(wim.count_set(), 0);
+    }
+
+    #[test]
+    fn wim_display_is_msb_first() {
+        let mut wim = Wim::new(4);
+        wim.set(WindowIndex::new(0));
+        wim.set(WindowIndex::new(3));
+        assert_eq!(wim.to_string(), "1001");
+    }
+
+    #[test]
+    fn wim_clear_all() {
+        let mut wim = Wim::new(8);
+        for i in 0..8 {
+            wim.set(WindowIndex::new(i));
+        }
+        assert_eq!(wim.count_set(), 8);
+        wim.clear_all();
+        assert_eq!(wim.count_set(), 0);
+    }
+
+    #[test]
+    fn window_index_display() {
+        assert_eq!(WindowIndex::new(4).to_string(), "W4");
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests of the machine substrate: window-index algebra,
+//! register-file overlap, WIM behaviour, backing-store discipline, and
+//! single-thread save/restore round trips against a software model.
+
+use proptest::prelude::*;
+use regwin_machine::{
+    BackingStore, ExecOutcome, Frame, Machine, RegisterFile, Wim, WindowIndex,
+};
+
+proptest! {
+    #[test]
+    fn window_index_above_below_are_inverse(n in 2usize..=64, i in 0usize..64) {
+        let w = WindowIndex::new(i % n);
+        prop_assert_eq!(w.above(n).below(n), w);
+        prop_assert_eq!(w.below(n).above(n), w);
+    }
+
+    #[test]
+    fn window_index_k_steps_compose(n in 2usize..=64, i in 0usize..64, k in 0usize..200) {
+        let w = WindowIndex::new(i % n);
+        let mut manual = w;
+        for _ in 0..k {
+            manual = manual.below(n);
+        }
+        prop_assert_eq!(w.below_by(k, n), manual);
+        let mut manual_up = w;
+        for _ in 0..k {
+            manual_up = manual_up.above(n);
+        }
+        prop_assert_eq!(w.above_by(k, n), manual_up);
+    }
+
+    #[test]
+    fn distance_below_matches_walking(n in 2usize..=64, i in 0usize..64, j in 0usize..64) {
+        let a = WindowIndex::new(i % n);
+        let b = WindowIndex::new(j % n);
+        let d = a.distance_below_to(b, n);
+        prop_assert!(d < n);
+        prop_assert_eq!(a.below_by(d, n), b);
+    }
+
+    /// The register-file overlap: writing out registers of window w is
+    /// exactly writing in registers of w.above(), for every window and
+    /// register, and locals never alias anything.
+    #[test]
+    fn overlap_aliasing_is_exact(
+        n in 2usize..=32,
+        wi in 0usize..32,
+        reg in 0usize..8,
+        value in any::<u64>(),
+    ) {
+        let w = WindowIndex::new(wi % n);
+        let mut rf = RegisterFile::new(n);
+        rf.write_out(w, reg, value);
+        prop_assert_eq!(rf.read_in(w.above(n), reg), value);
+        prop_assert_eq!(rf.read_out(w, reg), value);
+        // Locals of every window are untouched.
+        for k in 0..n {
+            for r in 0..8 {
+                prop_assert_eq!(rf.read_local(WindowIndex::new(k), r), 0);
+            }
+        }
+    }
+
+    /// Distinct (window, reg) in-register writes never interfere.
+    #[test]
+    fn ins_and_locals_are_independent_cells(
+        n in 2usize..=16,
+        writes in prop::collection::vec((0usize..16, 0usize..8, any::<bool>(), any::<u64>()), 1..40),
+    ) {
+        let mut rf = RegisterFile::new(n);
+        let mut model = std::collections::HashMap::new();
+        for (wi, reg, is_local, value) in writes {
+            let w = WindowIndex::new(wi % n);
+            if is_local {
+                rf.write_local(w, reg, value);
+            } else {
+                rf.write_in(w, reg, value);
+            }
+            model.insert((w.index(), reg, is_local), value);
+        }
+        for ((wi, reg, is_local), value) in model {
+            let got = if is_local {
+                rf.read_local(WindowIndex::new(wi), reg)
+            } else {
+                rf.read_in(WindowIndex::new(wi), reg)
+            };
+            prop_assert_eq!(got, value);
+        }
+    }
+
+    /// The WIM behaves as a plain bitset.
+    #[test]
+    fn wim_is_a_bitset(n in 2usize..=64, ops in prop::collection::vec((0usize..64, any::<bool>()), 0..60)) {
+        let mut wim = Wim::new(n);
+        let mut model = vec![false; n];
+        for (i, set) in ops {
+            let w = WindowIndex::new(i % n);
+            if set {
+                wim.set(w);
+                model[i % n] = true;
+            } else {
+                wim.clear(w);
+                model[i % n] = false;
+            }
+        }
+        for (i, expected) in model.iter().enumerate() {
+            prop_assert_eq!(wim.is_set(WindowIndex::new(i)), *expected);
+        }
+        prop_assert_eq!(wim.count_set() as usize, model.iter().filter(|b| **b).count());
+    }
+
+    /// The backing store is exactly a Vec-stack.
+    #[test]
+    fn backing_store_is_a_stack(ops in prop::collection::vec(any::<Option<u64>>(), 0..60)) {
+        let mut store = BackingStore::new();
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(tag) => {
+                    let mut f = Frame::zeroed();
+                    f.locals[0] = tag;
+                    store.push(f);
+                    model.push(tag);
+                }
+                None => {
+                    let got = store.pop().map(|f| f.locals[0]);
+                    prop_assert_eq!(got, model.pop());
+                }
+            }
+            prop_assert_eq!(store.len(), model.len());
+            prop_assert_eq!(store.peek().map(|f| f.locals[0]), model.last().copied());
+        }
+    }
+
+    /// Single-thread save/restore with classic handling preserves every
+    /// frame's locals against a software stack, for any window count and
+    /// any balanced call pattern.
+    #[test]
+    fn single_thread_frames_survive_any_call_pattern(
+        n in 3usize..=12,
+        pattern in prop::collection::vec(any::<bool>(), 1..150),
+    ) {
+        let mut m = Machine::new(n).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, m.reserved().unwrap().above(n)).unwrap();
+        m.set_current(Some(t)).unwrap();
+        m.grant_all_free(t).unwrap();
+        let mut model: Vec<u64> = vec![100];
+        m.write_local(0, 100).unwrap();
+        let mut next = 101u64;
+        for deeper in pattern {
+            if deeper {
+                match m.try_save().unwrap() {
+                    ExecOutcome::Completed => {}
+                    ExecOutcome::Trapped(_) => {
+                        m.force_reserved_walk().unwrap();
+                        m.complete_save().unwrap();
+                    }
+                }
+                m.write_local(0, next).unwrap();
+                model.push(next);
+                next += 1;
+            } else if model.len() > 1 {
+                match m.try_restore().unwrap() {
+                    ExecOutcome::Completed => {}
+                    ExecOutcome::Trapped(_) => {
+                        // Conventional refill: restore below, walk the
+                        // reservation down.
+                        let target = m.reserved().unwrap();
+                        let new_reserved = target.below(n);
+                        prop_assert!(m.slot_use(new_reserved).is_discardable());
+                        m.set_reserved(Some(new_reserved)).unwrap();
+                        m.restore_into(t, target, regwin_machine::TransferReason::Trap)
+                            .unwrap();
+                        m.complete_restore().unwrap();
+                    }
+                }
+                model.pop();
+            } else {
+                continue;
+            }
+            prop_assert_eq!(m.read_local(0).unwrap(), *model.last().unwrap());
+            m.check_invariants().unwrap();
+        }
+    }
+
+    /// Depth bookkeeping: resident + spilled always equals the model depth.
+    #[test]
+    fn depth_equals_resident_plus_spilled(
+        n in 3usize..=8,
+        calls in 1usize..40,
+    ) {
+        let mut m = Machine::new(n).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, m.reserved().unwrap().above(n)).unwrap();
+        m.set_current(Some(t)).unwrap();
+        m.grant_all_free(t).unwrap();
+        for depth in 1..=calls {
+            match m.try_save().unwrap() {
+                ExecOutcome::Completed => {}
+                ExecOutcome::Trapped(_) => {
+                    m.force_reserved_walk().unwrap();
+                    m.complete_save().unwrap();
+                }
+            }
+            let ts = m.thread(t).unwrap();
+            prop_assert_eq!(ts.depth(), depth + 1);
+            prop_assert_eq!(ts.resident() + m.backing_of(t).unwrap().len(), depth + 1);
+            prop_assert!(ts.resident() < n, "at most n-1 resident with one reserved");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The API a thread body programs against.
+
+use crate::error::RtError;
+use crate::sim::{Shared, SimState, Turn, Wait};
+use crate::trace::TraceEvent;
+use crate::stream::StreamId;
+use parking_lot::MutexGuard;
+use regwin_machine::ThreadId;
+use regwin_traps::RestoreInstr;
+use std::sync::Arc;
+
+/// Handle through which a simulated thread computes, calls procedures and
+/// performs stream I/O. Every operation is accounted on the simulated CPU;
+/// blocking operations suspend the thread and hand control to the
+/// scheduler, exactly as the paper's non-preemptive runtime does.
+pub struct Ctx {
+    shared: Arc<Shared>,
+    tid: ThreadId,
+}
+
+impl Ctx {
+    pub(crate) fn new(shared: Arc<Shared>, tid: ThreadId) -> Self {
+        Ctx { shared, tid }
+    }
+
+    /// This thread's id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.tid
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        let st = self.shared.state.lock();
+        debug_assert_eq!(st.turn, Turn::Worker(self.tid), "ctx op outside the thread's turn");
+        st
+    }
+
+    /// Charges `cycles` of application compute to the simulated CPU.
+    pub fn compute(&mut self, cycles: u64) {
+        let mut st = self.lock();
+        st.record(TraceEvent::Compute(cycles));
+        st.cpu.compute(cycles);
+    }
+
+    /// Performs a procedure call: executes `save`, runs `f`, then
+    /// executes `restore` — the fundamental operation whose cost the
+    /// register windows exist to minimise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `f` and from the window machinery.
+    pub fn call<R>(
+        &mut self,
+        f: impl FnOnce(&mut Ctx) -> Result<R, RtError>,
+    ) -> Result<R, RtError> {
+        {
+            let mut st = self.lock();
+            st.record(TraceEvent::Save);
+            st.cpu.save()?;
+        }
+        let result = f(self);
+        // The restore must happen even if the body failed, to keep the
+        // simulated stack balanced for diagnostics; the body error wins.
+        let restored = {
+            let mut st = self.lock();
+            st.record(TraceEvent::Restore);
+            st.cpu.restore()
+        };
+        let value = result?;
+        restored?;
+        Ok(value)
+    }
+
+    /// Like [`Ctx::call`], but the return uses the peephole-optimised
+    /// `restore`-with-add form of paper §4.3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `f` and from the window machinery.
+    pub fn call_with_restore_add<R>(
+        &mut self,
+        instr: RestoreInstr,
+        f: impl FnOnce(&mut Ctx) -> Result<R, RtError>,
+    ) -> Result<R, RtError> {
+        {
+            let mut st = self.lock();
+            st.record(TraceEvent::Save);
+            st.cpu.save()?;
+        }
+        let result = f(self);
+        let restored = {
+            let mut st = self.lock();
+            st.record(TraceEvent::Restore);
+            st.cpu.restore_with(&instr)
+        };
+        let value = result?;
+        restored?;
+        Ok(value)
+    }
+
+    /// Reads one byte from `stream`, blocking (and context-switching)
+    /// while it is empty. Returns `None` at end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the simulation is aborted while blocked.
+    pub fn read_byte(&mut self, stream: StreamId) -> Result<Option<u8>, RtError> {
+        loop {
+            let mut st = self.lock();
+            if st.streams.get(stream.0).is_none() {
+                return Err(RtError::UnknownStream(stream.0));
+            }
+            if let Some(b) = st.streams[stream.0].pop() {
+                let cycles = st.stream_byte_cycles;
+                st.record(TraceEvent::Compute(cycles));
+                st.cpu.compute(cycles);
+                st.wake_one_writer(stream);
+                return Ok(Some(b));
+            }
+            if st.streams[stream.0].is_closed() {
+                return Ok(None);
+            }
+            st.waiting.insert(self.tid, Wait::ReadEmpty(stream));
+            st.blocked_on_read[self.tid.index()] += 1;
+            self.block(st)?;
+        }
+    }
+
+    /// Writes one byte to `stream`, blocking (and context-switching)
+    /// while it is full.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is fully closed or the simulation aborts.
+    pub fn write_byte(&mut self, stream: StreamId, byte: u8) -> Result<(), RtError> {
+        loop {
+            let mut st = self.lock();
+            if st.streams.get(stream.0).is_none() {
+                return Err(RtError::UnknownStream(stream.0));
+            }
+            if st.streams[stream.0].is_closed() {
+                return Err(RtError::WriteAfterClose(stream.0));
+            }
+            if st.streams[stream.0].push(byte) {
+                let cycles = st.stream_byte_cycles;
+                st.record(TraceEvent::Compute(cycles));
+                st.cpu.compute(cycles);
+                st.wake_one_reader(stream);
+                return Ok(());
+            }
+            st.waiting.insert(self.tid, Wait::WriteFull(stream));
+            st.blocked_on_write[self.tid.index()] += 1;
+            self.block(st)?;
+        }
+    }
+
+    /// Writes a whole byte slice, blocking as needed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ctx::write_byte`].
+    pub fn write_all(&mut self, stream: StreamId, bytes: &[u8]) -> Result<(), RtError> {
+        for &b in bytes {
+            self.write_byte(stream, b)?;
+        }
+        Ok(())
+    }
+
+    /// Closes this thread's writer end of `stream`, waking blocked
+    /// readers so they can observe end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown stream id.
+    pub fn close_writer(&mut self, stream: StreamId) -> Result<(), RtError> {
+        let mut st = self.lock();
+        if st.streams.get(stream.0).is_none() {
+            return Err(RtError::UnknownStream(stream.0));
+        }
+        if st.streams[stream.0].close_writer() == 0 {
+            st.wake_all_readers(stream);
+        }
+        Ok(())
+    }
+
+    /// Writes a marker into a `local` register of the thread's current
+    /// window (used by tests to observe window preservation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn write_local(&mut self, reg: usize, value: u64) -> Result<(), RtError> {
+        Ok(self.lock().cpu.write_local(reg, value)?)
+    }
+
+    /// Reads a `local` register of the thread's current window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn read_local(&mut self, reg: usize) -> Result<u64, RtError> {
+        Ok(self.lock().cpu.read_local(reg)?)
+    }
+
+    /// Suspends this thread until the scheduler dispatches it again. The
+    /// waiting-reason must already be registered in `st`.
+    fn block(&self, mut st: MutexGuard<'_, SimState>) -> Result<(), RtError> {
+        st.turn = Turn::Scheduler;
+        self.shared.sched_cv.notify_all();
+        while st.turn != Turn::Worker(self.tid) && !st.stop {
+            self.shared.worker_cv.wait(&mut st);
+        }
+        if st.stop {
+            return Err(RtError::Aborted);
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("tid", &self.tid).finish()
+    }
+}

@@ -1,0 +1,83 @@
+//! Runtime error type.
+
+use regwin_machine::MachineError;
+use regwin_traps::SchemeError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// An underlying scheme or machine operation failed.
+    Scheme(SchemeError),
+    /// All unfinished threads are blocked: the workload deadlocked.
+    Deadlock {
+        /// Human-readable description of who is blocked on what.
+        detail: String,
+    },
+    /// The simulation was aborted (another thread failed).
+    Aborted,
+    /// A thread body panicked.
+    ThreadPanicked {
+        /// The thread's name.
+        name: String,
+    },
+    /// A stream id was used with the wrong simulation.
+    UnknownStream(usize),
+    /// A write was attempted on a stream after closing it.
+    WriteAfterClose(usize),
+    /// A serialised trace could not be decoded.
+    CorruptTrace {
+        /// What was wrong with the stream.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::Scheme(e) => write!(f, "scheme error: {e}"),
+            RtError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            RtError::Aborted => write!(f, "simulation aborted"),
+            RtError::ThreadPanicked { name } => write!(f, "thread '{name}' panicked"),
+            RtError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
+            RtError::WriteAfterClose(id) => write!(f, "write to stream {id} after close"),
+            RtError::CorruptTrace { detail } => write!(f, "corrupt trace: {detail}"),
+        }
+    }
+}
+
+impl Error for RtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RtError::Scheme(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemeError> for RtError {
+    fn from(e: SchemeError) -> Self {
+        RtError::Scheme(e)
+    }
+}
+
+impl From<MachineError> for RtError {
+    fn from(e: MachineError) -> Self {
+        RtError::Scheme(SchemeError::Machine(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = RtError::from(SchemeError::NoCurrentThread);
+        assert!(!e.to_string().is_empty());
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&RtError::Aborted).is_none());
+        assert!(RtError::Deadlock { detail: "x".into() }.to_string().contains("deadlock"));
+    }
+}

@@ -1,0 +1,73 @@
+//! # regwin-rt
+//!
+//! A deterministic, non-preemptive multi-threading runtime running on the
+//! simulated register-window CPU — the execution substrate for the
+//! evaluation in *"Multiple Threads in Cyclic Register Windows"*
+//! (Hidaka, Koike, Tanaka — ISCA 1993).
+//!
+//! The runtime reproduces the paper's execution model (§5.1):
+//!
+//! * threads communicate through bounded **cyclic FIFO streams**;
+//! * scheduling is **non-preemptive**: "a thread execution continues
+//!   until an input (output) buffer becomes empty (full)";
+//! * the base scheduler is **FIFO**; the **working-set** refinement
+//!   (§4.6) enqueues an awoken thread at the *front* of the ready queue
+//!   when its windows are still resident, at the back otherwise;
+//! * every procedure call in a thread body maps to a `save`/`restore`
+//!   pair on the simulated CPU (via [`Ctx::call`]), so the window
+//!   activity of the workload is what drives the schemes' behaviour.
+//!
+//! Thread bodies are ordinary Rust closures driven on dedicated OS
+//! threads, but *exactly one* simulated thread executes at a time, gated
+//! by the scheduler — execution is fully deterministic and independent of
+//! OS scheduling.
+//!
+//! ```rust
+//! use regwin_rt::{SchedulingPolicy, Simulation};
+//! use regwin_traps::SchemeKind;
+//!
+//! # fn main() -> Result<(), regwin_rt::RtError> {
+//! let mut sim = Simulation::new(8, SchemeKind::Sp)?;
+//! let pipe = sim.add_stream("pipe", 4, 1);
+//! sim.spawn("producer", move |ctx| {
+//!     for b in 0u8..16 {
+//!         ctx.write_byte(pipe, b)?;
+//!     }
+//!     ctx.close_writer(pipe)
+//! });
+//! sim.spawn("consumer", move |ctx| {
+//!     let mut sum = 0u64;
+//!     while let Some(b) = ctx.read_byte(pipe)? {
+//!         sum += u64::from(b);
+//!     }
+//!     assert_eq!(sum, 120);
+//!     Ok(())
+//! });
+//! let report = sim.run()?;
+//! assert!(report.stats.context_switches > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod ctx;
+mod error;
+mod metrics;
+mod sched;
+mod sim;
+mod stream;
+mod trace;
+mod trace_io;
+
+pub use ctx::Ctx;
+pub use error::RtError;
+pub use metrics::{RunReport, ThreadReport};
+pub use sched::SchedulingPolicy;
+pub use sim::{Simulation, ThreadBody};
+pub use sched::ReadyQueue;
+pub use stream::{Stream, StreamId};
+pub use trace::{Trace, TraceEvent};
+
+pub use regwin_machine::ThreadId;

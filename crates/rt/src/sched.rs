@@ -1,0 +1,148 @@
+//! Scheduling policies: FIFO and the working-set refinement.
+
+use regwin_machine::ThreadId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The scheduling policy for awoken threads.
+///
+/// Scheduling is non-preemptive either way; the policies differ only in
+/// where an *awoken* thread is enqueued — which is precisely how the
+/// paper incorporates the working-set concept "with little overhead"
+/// (§4.6): "If the thread just awoken still has windows, it is enqueued
+/// in front of the ready queue; otherwise, it is enqueued at the back."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulingPolicy {
+    /// Plain first-in-first-out, the paper's base scheduler.
+    #[default]
+    Fifo,
+    /// The working-set policy of §4.6: prioritise threads whose windows
+    /// are still resident, reducing effective concurrency so the total
+    /// window activity fits the physical file.
+    WorkingSet,
+}
+
+impl SchedulingPolicy {
+    /// Both policies.
+    pub const ALL: [SchedulingPolicy; 2] = [SchedulingPolicy::Fifo, SchedulingPolicy::WorkingSet];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulingPolicy::Fifo => "FIFO",
+            SchedulingPolicy::WorkingSet => "WorkingSet",
+        }
+    }
+}
+
+impl fmt::Display for SchedulingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The ready queue, parameterised by policy.
+#[derive(Debug, Clone, Default)]
+pub struct ReadyQueue {
+    queue: VecDeque<ThreadId>,
+    policy: SchedulingPolicy,
+}
+
+impl ReadyQueue {
+    /// An empty queue with the given policy.
+    pub fn new(policy: SchedulingPolicy) -> Self {
+        ReadyQueue { queue: VecDeque::new(), policy }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// Enqueues a newly created thread (always at the back; creation
+    /// order is dispatch order under FIFO).
+    pub fn enqueue_new(&mut self, t: ThreadId) {
+        self.queue.push_back(t);
+    }
+
+    /// Enqueues a thread that was just awoken by another thread.
+    /// `has_windows` reports whether any of its windows are still
+    /// resident in the register file.
+    pub fn enqueue_woken(&mut self, t: ThreadId, has_windows: bool) {
+        match self.policy {
+            SchedulingPolicy::Fifo => self.queue.push_back(t),
+            SchedulingPolicy::WorkingSet => {
+                if has_windows {
+                    self.queue.push_front(t);
+                } else {
+                    self.queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    /// Takes the next thread to run.
+    pub fn pop(&mut self) -> Option<ThreadId> {
+        self.queue.pop_front()
+    }
+
+    /// Number of ready threads — the paper's *parallel slackness* at this
+    /// instant ("the number of threads available for execution at a given
+    /// time, excepting currently executed threads", §5).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no thread is ready.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn fifo_enqueues_woken_at_back() {
+        let mut q = ReadyQueue::new(SchedulingPolicy::Fifo);
+        q.enqueue_new(t(0));
+        q.enqueue_woken(t(1), true);
+        q.enqueue_woken(t(2), false);
+        assert_eq!(q.pop(), Some(t(0)));
+        assert_eq!(q.pop(), Some(t(1)));
+        assert_eq!(q.pop(), Some(t(2)));
+    }
+
+    #[test]
+    fn working_set_prioritises_resident_threads() {
+        let mut q = ReadyQueue::new(SchedulingPolicy::WorkingSet);
+        q.enqueue_new(t(0));
+        q.enqueue_woken(t(1), false); // no windows: back
+        q.enqueue_woken(t(2), true); // windows resident: front
+        assert_eq!(q.pop(), Some(t(2)));
+        assert_eq!(q.pop(), Some(t(0)));
+        assert_eq!(q.pop(), Some(t(1)));
+    }
+
+    #[test]
+    fn len_tracks_parallel_slackness() {
+        let mut q = ReadyQueue::new(SchedulingPolicy::Fifo);
+        assert!(q.is_empty());
+        q.enqueue_new(t(0));
+        q.enqueue_new(t(1));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(SchedulingPolicy::Fifo.to_string(), "FIFO");
+        assert_eq!(SchedulingPolicy::WorkingSet.to_string(), "WorkingSet");
+    }
+}

@@ -1,0 +1,432 @@
+//! The simulation driver: deterministic non-preemptive execution of
+//! thread bodies over the simulated CPU.
+//!
+//! Each simulated thread runs on a dedicated OS thread, but a single
+//! turn-token (guarded by one mutex) ensures exactly one of them — or the
+//! scheduler — executes at any moment. Execution order therefore depends
+//! only on the workload and the scheduling policy, never on the OS.
+
+use crate::ctx::Ctx;
+use crate::error::RtError;
+use crate::metrics::{RunReport, ThreadReport};
+use crate::sched::{ReadyQueue, SchedulingPolicy};
+use crate::stream::{Stream, StreamId};
+use crate::trace::{Trace, TraceEvent};
+use parking_lot::{Condvar, Mutex};
+use regwin_machine::{CostModel, ThreadId};
+use regwin_traps::{build_scheme, Cpu, Scheme, SchemeKind};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread body: a closure run once on its own coroutine, communicating
+/// and computing exclusively through the [`Ctx`] it receives.
+pub type ThreadBody = Box<dyn FnOnce(&mut Ctx) -> Result<(), RtError> + Send + 'static>;
+
+/// Whose turn it is to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Turn {
+    Scheduler,
+    Worker(ThreadId),
+}
+
+/// What a blocked thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wait {
+    ReadEmpty(StreamId),
+    WriteFull(StreamId),
+}
+
+pub(crate) struct SimState {
+    pub(crate) cpu: Cpu,
+    pub(crate) streams: Vec<Stream>,
+    pub(crate) ready: ReadyQueue,
+    pub(crate) waiting: BTreeMap<ThreadId, Wait>,
+    pub(crate) turn: Turn,
+    pub(crate) finished: Vec<bool>,
+    pub(crate) error: Option<RtError>,
+    pub(crate) stop: bool,
+    pub(crate) names: Vec<String>,
+    pub(crate) blocked_on_read: Vec<u64>,
+    pub(crate) blocked_on_write: Vec<u64>,
+    pub(crate) stream_byte_cycles: u64,
+    pub(crate) trace: Option<Trace>,
+    /// Sum of ready-queue lengths observed at each dispatch, and the
+    /// number of dispatches — the paper's *parallel slackness* (§5).
+    pub(crate) slack_sum: u64,
+    pub(crate) dispatches: u64,
+}
+
+impl SimState {
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(event);
+        }
+    }
+}
+
+impl SimState {
+    pub(crate) fn has_windows(&self, t: ThreadId) -> bool {
+        self.cpu.machine().thread(t).map(|ts| ts.resident() > 0).unwrap_or(false)
+    }
+
+    /// Wakes the lowest-id thread blocked reading `s` (one byte arrived).
+    pub(crate) fn wake_one_reader(&mut self, s: StreamId) {
+        let woken = self
+            .waiting
+            .iter()
+            .find(|(_, w)| **w == Wait::ReadEmpty(s))
+            .map(|(t, _)| *t);
+        if let Some(t) = woken {
+            self.waiting.remove(&t);
+            let has = self.has_windows(t);
+            self.ready.enqueue_woken(t, has);
+        }
+    }
+
+    /// Wakes every thread blocked reading `s` (the stream closed; they
+    /// must observe EOF).
+    pub(crate) fn wake_all_readers(&mut self, s: StreamId) {
+        let woken: Vec<ThreadId> = self
+            .waiting
+            .iter()
+            .filter(|(_, w)| **w == Wait::ReadEmpty(s))
+            .map(|(t, _)| *t)
+            .collect();
+        for t in woken {
+            self.waiting.remove(&t);
+            let has = self.has_windows(t);
+            self.ready.enqueue_woken(t, has);
+        }
+    }
+
+    /// Wakes the lowest-id thread blocked writing `s` (one byte of space
+    /// appeared).
+    pub(crate) fn wake_one_writer(&mut self, s: StreamId) {
+        let woken = self
+            .waiting
+            .iter()
+            .find(|(_, w)| **w == Wait::WriteFull(s))
+            .map(|(t, _)| *t);
+        if let Some(t) = woken {
+            self.waiting.remove(&t);
+            let has = self.has_windows(t);
+            self.ready.enqueue_woken(t, has);
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) state: Mutex<SimState>,
+    pub(crate) sched_cv: Condvar,
+    pub(crate) worker_cv: Condvar,
+}
+
+/// A configured simulation: a CPU (windows + scheme), a set of streams,
+/// and a set of threads to run to completion. See the crate docs for an
+/// example.
+pub struct Simulation {
+    shared: Arc<Shared>,
+    bodies: Vec<Option<ThreadBody>>,
+    scheme: SchemeKind,
+    nwindows: usize,
+}
+
+impl Simulation {
+    /// Creates a simulation on `nwindows` windows managed by the given
+    /// scheme (with its paper-default options), FIFO scheduling and the
+    /// S-20 cost model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the window count is below the scheme's minimum.
+    pub fn new(nwindows: usize, scheme: SchemeKind) -> Result<Self, RtError> {
+        Self::with_scheme(nwindows, CostModel::s20(), build_scheme(scheme))
+    }
+
+    /// Creates a simulation with an explicit cost model and scheme
+    /// object (for non-default scheme options and ablations).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the window count is below the scheme's minimum.
+    pub fn with_scheme(
+        nwindows: usize,
+        cost: CostModel,
+        scheme: Box<dyn Scheme>,
+    ) -> Result<Self, RtError> {
+        let kind = scheme.kind();
+        let cpu = Cpu::with_cost_model(nwindows, cost, scheme)?;
+        let state = SimState {
+            cpu,
+            streams: Vec::new(),
+            ready: ReadyQueue::new(SchedulingPolicy::Fifo),
+            waiting: BTreeMap::new(),
+            turn: Turn::Scheduler,
+            finished: Vec::new(),
+            error: None,
+            stop: false,
+            names: Vec::new(),
+            blocked_on_read: Vec::new(),
+            blocked_on_write: Vec::new(),
+            stream_byte_cycles: 4,
+            trace: None,
+            slack_sum: 0,
+            dispatches: 0,
+        };
+        Ok(Simulation {
+            shared: Arc::new(Shared {
+                state: Mutex::new(state),
+                sched_cv: Condvar::new(),
+                worker_cv: Condvar::new(),
+            }),
+            bodies: Vec::new(),
+            scheme: kind,
+            nwindows,
+        })
+    }
+
+    /// Sets the scheduling policy (default: FIFO).
+    #[must_use]
+    pub fn with_policy(self, policy: SchedulingPolicy) -> Self {
+        self.shared.state.lock().ready = ReadyQueue::new(policy);
+        self
+    }
+
+    /// Sets the cycles charged per stream byte transferred (default: 4).
+    #[must_use]
+    pub fn with_stream_byte_cycles(self, cycles: u64) -> Self {
+        self.shared.state.lock().stream_byte_cycles = cycles;
+        self
+    }
+
+    /// Enables window-event trace recording (see [`crate::Trace`]). The
+    /// recorded trace is returned by [`Simulation::run_with_trace`].
+    #[must_use]
+    pub fn with_trace_recording(self) -> Self {
+        self.shared.state.lock().trace = Some(Trace::new());
+        self
+    }
+
+    /// Adds a bounded FIFO stream with the given capacity in bytes and
+    /// number of writer ends.
+    pub fn add_stream(&mut self, name: impl Into<String>, capacity: usize, writers: usize) -> StreamId {
+        let mut st = self.shared.state.lock();
+        let id = StreamId(st.streams.len());
+        st.streams.push(Stream::new(name, capacity, writers));
+        id
+    }
+
+    /// Spawns a simulated thread. Threads are dispatched in spawn order.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut Ctx) -> Result<(), RtError> + Send + 'static,
+    ) -> ThreadId {
+        let mut st = self.shared.state.lock();
+        let t = st.cpu.add_thread();
+        st.names.push(name.into());
+        st.finished.push(false);
+        st.blocked_on_read.push(0);
+        st.blocked_on_write.push(0);
+        st.ready.enqueue_new(t);
+        drop(st);
+        self.bodies.push(Some(Box::new(body)));
+        t
+    }
+
+    /// Runs every thread to completion and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first thread error, a panic report, or a deadlock
+    /// description if all unfinished threads end up blocked.
+    pub fn run(self) -> Result<RunReport, RtError> {
+        self.run_with_trace().map(|(report, _)| report)
+    }
+
+    /// Like [`Simulation::run`], but also returns the recorded event
+    /// trace if [`Simulation::with_trace_recording`] was enabled.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_with_trace(mut self) -> Result<(RunReport, Option<Trace>), RtError> {
+        let nthreads = self.bodies.len();
+        let mut workers = Vec::with_capacity(nthreads);
+        for (i, slot) in self.bodies.iter_mut().enumerate() {
+            let body = slot.take().expect("body taken once");
+            let shared = Arc::clone(&self.shared);
+            let tid = ThreadId::new(i);
+            workers.push(std::thread::spawn(move || worker_main(shared, tid, body)));
+        }
+
+        let result = self.scheduler_loop(nthreads);
+
+        // Release any still-parked workers and join them.
+        {
+            let mut st = self.shared.state.lock();
+            st.stop = true;
+            self.shared.worker_cv.notify_all();
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+
+        let st = self.shared.state.lock();
+        if let Some(e) = &st.error {
+            return Err(e.clone());
+        }
+        result?;
+        let machine = st.cpu.machine();
+        let threads = st
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let ts = machine.stats().threads.get(i).copied().unwrap_or_default();
+                ThreadReport {
+                    name: name.clone(),
+                    context_switches: ts.switches_out,
+                    saves: ts.saves,
+                    restores: ts.restores,
+                    blocked_on_read: st.blocked_on_read[i],
+                    blocked_on_write: st.blocked_on_write[i],
+                }
+            })
+            .collect();
+        let report = RunReport {
+            scheme: self.scheme,
+            policy: st.ready.policy(),
+            nwindows: self.nwindows,
+            cycles: machine.cycles().clone(),
+            stats: machine.stats().clone(),
+            threads,
+            avg_parallel_slackness: if st.dispatches == 0 {
+                0.0
+            } else {
+                st.slack_sum as f64 / st.dispatches as f64
+            },
+        };
+        drop(st);
+        let mut st = self.shared.state.lock();
+        let slackness = if st.dispatches == 0 {
+            0.0
+        } else {
+            st.slack_sum as f64 / st.dispatches as f64
+        };
+        let trace = st.trace.take().map(|mut t| {
+            t.set_threads(
+                st.names.clone(),
+                st.blocked_on_read.clone(),
+                st.blocked_on_write.clone(),
+                slackness,
+            );
+            t
+        });
+        Ok((report, trace))
+    }
+
+    fn scheduler_loop(&self, nthreads: usize) -> Result<(), RtError> {
+        let shared = &self.shared;
+        let mut st = shared.state.lock();
+        loop {
+            while st.turn != Turn::Scheduler && st.error.is_none() {
+                shared.sched_cv.wait(&mut st);
+            }
+            if st.error.is_some() {
+                st.stop = true;
+                return Err(st.error.clone().unwrap());
+            }
+            let finished_count = st.finished.iter().filter(|f| **f).count();
+            if finished_count == nthreads {
+                return Ok(());
+            }
+            match st.ready.pop() {
+                Some(next) => {
+                    // The queue length *after* popping is the number of
+                    // other runnable threads: the parallel slackness.
+                    st.slack_sum += st.ready.len() as u64;
+                    st.dispatches += 1;
+                    st.record(TraceEvent::SwitchTo(next));
+                    st.cpu.switch_to(next)?;
+                    st.turn = Turn::Worker(next);
+                    shared.worker_cv.notify_all();
+                }
+                None => {
+                    let detail: Vec<String> = st
+                        .waiting
+                        .iter()
+                        .map(|(t, w)| {
+                            let name = &st.names[t.index()];
+                            match w {
+                                Wait::ReadEmpty(s) => {
+                                    format!("{name} reading empty {}", st.streams[s.0].name())
+                                }
+                                Wait::WriteFull(s) => {
+                                    format!("{name} writing full {}", st.streams[s.0].name())
+                                }
+                            }
+                        })
+                        .collect();
+                    st.stop = true;
+                    return Err(RtError::Deadlock { detail: detail.join("; ") });
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("scheme", &self.scheme)
+            .field("nwindows", &self.nwindows)
+            .field("threads", &self.bodies.len())
+            .finish()
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, tid: ThreadId, body: ThreadBody) {
+    // Wait for the first dispatch.
+    {
+        let mut st = shared.state.lock();
+        while st.turn != Turn::Worker(tid) && !st.stop {
+            shared.worker_cv.wait(&mut st);
+        }
+        if st.stop {
+            st.finished[tid.index()] = true;
+            return;
+        }
+    }
+    let mut ctx = Ctx::new(Arc::clone(&shared), tid);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+
+    let mut st = shared.state.lock();
+    st.finished[tid.index()] = true;
+    match outcome {
+        Ok(Ok(())) => {
+            // Release the thread's windows on the simulated CPU.
+            if st.cpu.current_thread() == Some(tid) {
+                st.record(TraceEvent::Terminate);
+                if let Err(e) = st.cpu.terminate_current() {
+                    if st.error.is_none() {
+                        st.error = Some(e.into());
+                    }
+                }
+            }
+        }
+        Ok(Err(RtError::Aborted)) => {}
+        Ok(Err(e)) => {
+            if st.error.is_none() {
+                st.error = Some(e);
+            }
+        }
+        Err(_) => {
+            if st.error.is_none() {
+                st.error = Some(RtError::ThreadPanicked { name: st.names[tid.index()].clone() });
+            }
+        }
+    }
+    st.turn = Turn::Scheduler;
+    shared.sched_cv.notify_all();
+}

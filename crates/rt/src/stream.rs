@@ -1,0 +1,206 @@
+//! Bounded cyclic FIFO byte streams — the paper's inter-thread channels.
+//!
+//! "Each stream is FIFO, and is organized as a cyclic buffer" (§5.1). The
+//! buffer capacity is the evaluation's central knob: the absolute sizes
+//! of the M and N buffers set the granularity, their ratio sets the
+//! concurrency.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a stream within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub(crate) usize);
+
+impl StreamId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// A bounded cyclic FIFO byte buffer with writer-counted close semantics
+/// (several threads may feed one stream, as T2 and T3 both feed the
+/// output stream in the spell checker).
+#[derive(Debug, Clone)]
+pub struct Stream {
+    name: String,
+    buf: VecDeque<u8>,
+    capacity: usize,
+    writers: usize,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl Stream {
+    /// Creates a stream with the given capacity and number of writers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-byte cyclic buffer cannot
+    /// transfer data under non-preemptive scheduling).
+    pub fn new(name: impl Into<String>, capacity: usize, writers: usize) -> Self {
+        assert!(capacity > 0, "stream capacity must be positive");
+        Stream {
+            name: name.into(),
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            writers,
+            bytes_written: 0,
+            bytes_read: 0,
+        }
+    }
+
+    /// The stream's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the buffer is full.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() >= self.capacity
+    }
+
+    /// Whether every writer has closed its end.
+    pub fn is_closed(&self) -> bool {
+        self.writers == 0
+    }
+
+    /// Whether a reader would see end-of-stream (closed and drained).
+    pub fn at_eof(&self) -> bool {
+        self.is_closed() && self.is_empty()
+    }
+
+    /// Pushes one byte. Returns `false` (and buffers nothing) if full.
+    pub fn push(&mut self, byte: u8) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.buf.push_back(byte);
+        self.bytes_written += 1;
+        true
+    }
+
+    /// Pops one byte, or `None` if the buffer is empty.
+    pub fn pop(&mut self) -> Option<u8> {
+        let b = self.buf.pop_front();
+        if b.is_some() {
+            self.bytes_read += 1;
+        }
+        b
+    }
+
+    /// Closes one writer's end. Returns the number of writers remaining.
+    pub fn close_writer(&mut self) -> usize {
+        self.writers = self.writers.saturating_sub(1);
+        self.writers
+    }
+
+    /// Total bytes ever written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes ever read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut s = Stream::new("s", 4, 1);
+        assert!(s.push(1));
+        assert!(s.push(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn full_rejects_push() {
+        let mut s = Stream::new("s", 2, 1);
+        assert!(s.push(1));
+        assert!(s.push(2));
+        assert!(s.is_full());
+        assert!(!s.push(3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn close_semantics_with_two_writers() {
+        let mut s = Stream::new("s", 4, 2);
+        assert!(!s.is_closed());
+        assert_eq!(s.close_writer(), 1);
+        assert!(!s.is_closed());
+        assert_eq!(s.close_writer(), 0);
+        assert!(s.is_closed());
+        assert!(s.at_eof());
+    }
+
+    #[test]
+    fn eof_requires_drain() {
+        let mut s = Stream::new("s", 4, 1);
+        s.push(9);
+        s.close_writer();
+        assert!(s.is_closed());
+        assert!(!s.at_eof());
+        assert_eq!(s.pop(), Some(9));
+        assert!(s.at_eof());
+    }
+
+    #[test]
+    fn byte_counters() {
+        let mut s = Stream::new("s", 8, 1);
+        for b in 0..5 {
+            s.push(b);
+        }
+        for _ in 0..3 {
+            s.pop();
+        }
+        assert_eq!(s.bytes_written(), 5);
+        assert_eq!(s.bytes_read(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Stream::new("s", 0, 1);
+    }
+
+    #[test]
+    fn one_byte_buffer_alternates() {
+        // The paper's finest granularity: a 1-byte buffer forces a block
+        // on every transfer.
+        let mut s = Stream::new("s", 1, 1);
+        assert!(s.push(1));
+        assert!(!s.push(2));
+        assert_eq!(s.pop(), Some(1));
+        assert!(s.push(2));
+    }
+}

@@ -1,0 +1,202 @@
+//! Binary serialisation of window-event traces.
+//!
+//! A compact little-endian format so traces can be recorded once (the
+//! expensive simulation) and replayed or analysed offline any number of
+//! times. The format is versioned; readers reject unknown versions.
+//!
+//! ```text
+//! "RWTR" magic | u32 version | f64 slackness | u32 nthreads
+//! per thread: u32 name_len, name bytes, u64 blocked_read, u64 blocked_write
+//! u64 nevents
+//! per event: u8 tag, payload (Compute: u64 cycles; SwitchTo: u32 thread)
+//! ```
+
+use crate::error::RtError;
+use crate::trace::{Trace, TraceEvent};
+use regwin_machine::ThreadId;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RWTR";
+const VERSION: u32 = 1;
+
+const TAG_SAVE: u8 = 0;
+const TAG_RESTORE: u8 = 1;
+const TAG_COMPUTE: u8 = 2;
+const TAG_SWITCH: u8 = 3;
+const TAG_TERMINATE: u8 = 4;
+
+impl Trace {
+    /// Writes the trace in the binary format. Accepts any [`Write`]; pass
+    /// `&mut writer` to keep ownership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&self.avg_parallel_slackness().to_le_bytes())?;
+        let names = self.thread_names();
+        w.write_all(&(names.len() as u32).to_le_bytes())?;
+        for (i, name) in names.iter().enumerate() {
+            w.write_all(&(name.len() as u32).to_le_bytes())?;
+            w.write_all(name.as_bytes())?;
+            w.write_all(&self.blocked_on_read_of(i).to_le_bytes())?;
+            w.write_all(&self.blocked_on_write_of(i).to_le_bytes())?;
+        }
+        w.write_all(&(self.events().len() as u64).to_le_bytes())?;
+        for event in self.events() {
+            match *event {
+                TraceEvent::Save => w.write_all(&[TAG_SAVE])?,
+                TraceEvent::Restore => w.write_all(&[TAG_RESTORE])?,
+                TraceEvent::Compute(c) => {
+                    w.write_all(&[TAG_COMPUTE])?;
+                    w.write_all(&c.to_le_bytes())?;
+                }
+                TraceEvent::SwitchTo(t) => {
+                    w.write_all(&[TAG_SWITCH])?;
+                    w.write_all(&(t.index() as u32).to_le_bytes())?;
+                }
+                TraceEvent::Terminate => w.write_all(&[TAG_TERMINATE])?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a trace from the binary format. Accepts any [`Read`]; pass
+    /// `&mut reader` to keep ownership.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a bad magic number, an unknown version or a
+    /// corrupt event stream.
+    pub fn read_from<R: Read>(mut r: R) -> Result<Trace, RtError> {
+        let mut magic = [0u8; 4];
+        read_exact(&mut r, &mut magic)?;
+        if &magic != MAGIC {
+            return Err(corrupt("bad magic number"));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(corrupt("unsupported trace version"));
+        }
+        let slackness = f64::from_le_bytes(read_array(&mut r)?);
+        let nthreads = read_u32(&mut r)? as usize;
+        if nthreads > 1 << 20 {
+            return Err(corrupt("implausible thread count"));
+        }
+        let mut names = Vec::with_capacity(nthreads);
+        let mut blocked_read = Vec::with_capacity(nthreads);
+        let mut blocked_write = Vec::with_capacity(nthreads);
+        for _ in 0..nthreads {
+            let len = read_u32(&mut r)? as usize;
+            if len > 1 << 16 {
+                return Err(corrupt("implausible name length"));
+            }
+            let mut buf = vec![0u8; len];
+            read_exact(&mut r, &mut buf)?;
+            names.push(String::from_utf8(buf).map_err(|_| corrupt("name not UTF-8"))?);
+            blocked_read.push(u64::from_le_bytes(read_array(&mut r)?));
+            blocked_write.push(u64::from_le_bytes(read_array(&mut r)?));
+        }
+        let nevents = u64::from_le_bytes(read_array(&mut r)?) as usize;
+        let mut trace = Trace::new();
+        for _ in 0..nevents {
+            let mut tag = [0u8; 1];
+            read_exact(&mut r, &mut tag)?;
+            let event = match tag[0] {
+                TAG_SAVE => TraceEvent::Save,
+                TAG_RESTORE => TraceEvent::Restore,
+                TAG_COMPUTE => TraceEvent::Compute(u64::from_le_bytes(read_array(&mut r)?)),
+                TAG_SWITCH => {
+                    let t = read_u32(&mut r)? as usize;
+                    if t >= nthreads {
+                        return Err(corrupt("switch to unknown thread"));
+                    }
+                    TraceEvent::SwitchTo(ThreadId::new(t))
+                }
+                TAG_TERMINATE => TraceEvent::Terminate,
+                _ => return Err(corrupt("unknown event tag")),
+            };
+            trace.push_raw(event);
+        }
+        trace.set_threads(names, blocked_read, blocked_write, slackness);
+        Ok(trace)
+    }
+}
+
+fn corrupt(what: &str) -> RtError {
+    RtError::CorruptTrace { detail: what.to_string() }
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), RtError> {
+    r.read_exact(buf).map_err(|e| RtError::CorruptTrace { detail: e.to_string() })
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, RtError> {
+    Ok(u32::from_le_bytes(read_array(r)?))
+}
+
+fn read_array<R: Read, const N: usize>(r: &mut R) -> Result<[u8; N], RtError> {
+    let mut buf = [0u8; N];
+    read_exact(r, &mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push_raw(TraceEvent::SwitchTo(ThreadId::new(0)));
+        t.push_raw(TraceEvent::Save);
+        t.push_raw(TraceEvent::Compute(1234));
+        t.push_raw(TraceEvent::SwitchTo(ThreadId::new(1)));
+        t.push_raw(TraceEvent::Restore);
+        t.push_raw(TraceEvent::Terminate);
+        t.set_threads(
+            vec!["alpha".into(), "beta".into()],
+            vec![1, 2],
+            vec![3, 4],
+            1.25,
+        );
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back.events(), t.events());
+        assert_eq!(back.thread_names(), t.thread_names());
+        assert_eq!(back.avg_parallel_slackness(), 1.25);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = Trace::read_from(&b"NOPE"[..]);
+        assert!(matches!(err, Err(RtError::CorruptTrace { .. })));
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(Trace::read_from(buf.as_slice()), Err(RtError::CorruptTrace { .. })));
+    }
+
+    #[test]
+    fn switch_to_unknown_thread_is_rejected() {
+        let mut t = Trace::new();
+        t.push_raw(TraceEvent::SwitchTo(ThreadId::new(9)));
+        t.set_threads(vec!["only".into()], vec![0], vec![0], 0.0);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert!(matches!(Trace::read_from(buf.as_slice()), Err(RtError::CorruptTrace { .. })));
+    }
+}

@@ -1,0 +1,67 @@
+//! Model-based property test of the cyclic stream against a plain
+//! `VecDeque` + counters model.
+
+use proptest::prelude::*;
+use regwin_rt::Stream;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u8),
+    Pop,
+    CloseWriter,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Push),
+        Just(Op::Pop),
+        Just(Op::CloseWriter),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn stream_behaves_like_a_bounded_deque(
+        capacity in 1usize..16,
+        writers in 1usize..4,
+        ops in prop::collection::vec(op_strategy(), 0..120),
+    ) {
+        let mut stream = Stream::new("model", capacity, writers);
+        let mut model: VecDeque<u8> = VecDeque::new();
+        let mut open_writers = writers;
+        let mut written = 0u64;
+        let mut read = 0u64;
+        for op in ops {
+            match op {
+                Op::Push(b) => {
+                    let accepted = stream.push(b);
+                    prop_assert_eq!(accepted, model.len() < capacity);
+                    if accepted {
+                        model.push_back(b);
+                        written += 1;
+                    }
+                }
+                Op::Pop => {
+                    let got = stream.pop();
+                    prop_assert_eq!(got, model.pop_front());
+                    if got.is_some() {
+                        read += 1;
+                    }
+                }
+                Op::CloseWriter => {
+                    let remaining = stream.close_writer();
+                    open_writers = open_writers.saturating_sub(1);
+                    prop_assert_eq!(remaining, open_writers);
+                }
+            }
+            prop_assert_eq!(stream.len(), model.len());
+            prop_assert_eq!(stream.is_empty(), model.is_empty());
+            prop_assert_eq!(stream.is_full(), model.len() >= capacity);
+            prop_assert_eq!(stream.is_closed(), open_writers == 0);
+            prop_assert_eq!(stream.at_eof(), open_writers == 0 && model.is_empty());
+            prop_assert_eq!(stream.bytes_written(), written);
+            prop_assert_eq!(stream.bytes_read(), read);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Deterministic synthetic corpus: LaTeX-ish document + two dictionaries.
+//!
+//! The paper used a 40 500-byte draft of itself and two SunOS dictionary
+//! files (≈50 001 bytes streamed by each dictionary thread). Neither is
+//! available, so this module synthesises a corpus with the same
+//! *statistics*: document length, word-length mix, LaTeX command density,
+//! misspelling rate, and dictionary stream sizes — all from a seed, so
+//! every run of every scheme sees byte-identical input.
+
+use crate::affix::{self, SUFFIXES};
+use crate::dict::Dictionary;
+use crate::words::{synth_word, BASE_WORDS};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the synthetic corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Target document length in bytes (paper: 40 500).
+    pub doc_bytes: usize,
+    /// Target size of each dictionary stream in bytes (paper: ≈50 001).
+    pub dict_bytes: usize,
+    /// RNG seed; same seed ⇒ byte-identical corpus.
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    /// The paper's dimensions: 40 500-byte document, 50 001-byte
+    /// dictionary streams.
+    pub fn paper() -> Self {
+        CorpusSpec { doc_bytes: 40_500, dict_bytes: 50_001, seed: 1993 }
+    }
+
+    /// A scaled-down corpus for fast tests.
+    pub fn small() -> Self {
+        CorpusSpec { doc_bytes: 2_500, dict_bytes: 4_000, seed: 7 }
+    }
+
+    /// A corpus scaled to `percent`% of the paper's sizes.
+    pub fn scaled(percent: usize) -> Self {
+        CorpusSpec {
+            doc_bytes: (40_500 * percent / 100).max(400),
+            dict_bytes: (50_001 * percent / 100).max(600),
+            seed: 1993,
+        }
+    }
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec::paper()
+    }
+}
+
+/// The generated corpus: everything the seven threads consume, plus the
+/// ground truth the tests assert against.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The LaTeX-ish document T4 streams (≈ `doc_bytes` long).
+    pub document: Vec<u8>,
+    /// The stop list T6 streams to T2: newline-separated *incorrect
+    /// derivative* surface forms.
+    pub dict1: Vec<u8>,
+    /// The main dictionary T7 streams to T3: newline-separated words.
+    pub dict2: Vec<u8>,
+    /// Misspellings deliberately planted in the document.
+    pub planted_misspellings: Vec<String>,
+    /// Stop-list derivative forms planted in the document.
+    pub planted_stop_forms: Vec<String>,
+}
+
+impl Corpus {
+    /// Generates the corpus for `spec`.
+    pub fn generate(spec: &CorpusSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+
+        // --- Vocabulary: base words plus synthesised words until the
+        // main dictionary stream reaches its target size.
+        let mut vocab: Vec<String> = BASE_WORDS.iter().map(|s| s.to_string()).collect();
+        let mut main = Dictionary::new();
+        for w in &vocab {
+            main.insert(w.clone());
+        }
+        // Structural words the LaTeX scanner surfaces from environment
+        // and label arguments; a real dictionary contains them too.
+        for w in ["document", "itemize", "fig", "article"] {
+            main.insert(w.to_string());
+        }
+        let mut i = 0usize;
+        while main.to_bytes().len() < spec.dict_bytes.saturating_sub(16) {
+            // Grow in batches to avoid re-serialising per word.
+            for _ in 0..64 {
+                let w = synth_word(i);
+                i += 1;
+                if w.len() >= 3 && !main.contains(&w) {
+                    vocab.push(w.clone());
+                    main.insert(w);
+                }
+            }
+        }
+        let dict2 = main.to_bytes();
+
+        // --- Stop list: derivative surface forms declared incorrect.
+        // They stem back to dictionary words, so only T2 can catch them —
+        // exactly why the paper routes words through spell1 before spell2.
+        let mut stop = Dictionary::new();
+        let stop_target = (spec.dict_bytes / 12).max(64);
+        while stop.to_bytes().len() < stop_target {
+            let w = &vocab[rng.random_range(0..vocab.len())];
+            let suffix = SUFFIXES[rng.random_range(0..SUFFIXES.len())];
+            if let Some(form) = affix::expand(w, suffix) {
+                if !main.contains(&form) {
+                    stop.insert(form);
+                }
+            }
+        }
+        let dict1 = stop.to_bytes();
+        let stop_forms: Vec<String> = String::from_utf8(dict1.clone())
+            .expect("dictionary bytes are ASCII")
+            .lines()
+            .map(str::to_string)
+            .collect();
+
+        // --- Document.
+        let mut doc = Vec::with_capacity(spec.doc_bytes + 128);
+        let mut planted_misspellings = Vec::new();
+        let mut planted_stop_forms = Vec::new();
+        let mut column = 0usize;
+        doc.extend_from_slice(b"\\documentclass{article}\n\\begin{document}\n");
+        let commands: [&str; 8] = [
+            "\\section{", "\\subsection{", "\\emph{", "\\cite{windows93}",
+            "\\ref{fig:traps}", "\\begin{itemize}", "\\item", "\\end{itemize}",
+        ];
+        let mut open_brace = false;
+        while doc.len() < spec.doc_bytes.saturating_sub(20) {
+            let roll = rng.random_range(0..100);
+            let token: String = if roll < 70 {
+                vocab[rng.random_range(0..vocab.len())].clone()
+            } else if roll < 78 {
+                // A valid derivative.
+                let w = &vocab[rng.random_range(0..vocab.len())];
+                let suffix = SUFFIXES[rng.random_range(0..SUFFIXES.len())];
+                affix::expand(w, suffix).unwrap_or_else(|| w.clone())
+            } else if roll < 80 && !stop_forms.is_empty() {
+                // An incorrect derivative from the stop list.
+                let f = stop_forms[rng.random_range(0..stop_forms.len())].clone();
+                planted_stop_forms.push(f.clone());
+                f
+            } else if roll < 84 {
+                // A planted misspelling: mutate a word until it is
+                // neither in the dictionary (with derivatives) nor in
+                // the stop list.
+                let mut form = None;
+                for _ in 0..32 {
+                    let w = &vocab[rng.random_range(0..vocab.len())];
+                    let m = mutate(w, &mut rng);
+                    if m.len() >= 3
+                        && !main.contains_with_derivatives(&m)
+                        && !stop.contains(&m)
+                    {
+                        form = Some(m);
+                        break;
+                    }
+                }
+                match form {
+                    Some(m) => {
+                        planted_misspellings.push(m.clone());
+                        m
+                    }
+                    None => vocab[rng.random_range(0..vocab.len())].clone(),
+                }
+            } else if roll < 92 {
+                let cmd = commands[rng.random_range(0..commands.len())];
+                open_brace = cmd.ends_with('{');
+                cmd.to_string()
+            } else if roll < 96 {
+                "$x_{i} + y^{2}$".to_string()
+            } else {
+                "% a comment line\n".to_string()
+            };
+            doc.extend_from_slice(token.as_bytes());
+            column += token.len();
+            if open_brace {
+                // Close the brace after the next word.
+                let w = &vocab[rng.random_range(0..vocab.len())];
+                doc.extend_from_slice(w.as_bytes());
+                doc.push(b'}');
+                column += w.len() + 1;
+                open_brace = false;
+            }
+            if column > 68 {
+                doc.push(b'\n');
+                column = 0;
+                if rng.random_range(0..8) == 0 {
+                    doc.push(b'\n'); // paragraph break
+                }
+            } else {
+                doc.push(b' ');
+                column += 1;
+            }
+        }
+        doc.extend_from_slice(b"\n\\end{document}\n");
+
+        Corpus { document: doc, dict1, dict2, planted_misspellings, planted_stop_forms }
+    }
+
+    /// The main dictionary as a lookup table (what T3 builds at run time).
+    pub fn main_dictionary(&self) -> Dictionary {
+        Dictionary::from_bytes(&self.dict2)
+    }
+
+    /// The stop list as a lookup table (what T2 builds at run time).
+    pub fn stop_dictionary(&self) -> Dictionary {
+        Dictionary::from_bytes(&self.dict1)
+    }
+}
+
+/// Produces a single-edit misspelling of `w`.
+fn mutate(w: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = w.chars().collect();
+    match rng.random_range(0..3) {
+        0 => {
+            // Replace one letter.
+            let i = rng.random_range(0..chars.len());
+            let c = (b'a' + rng.random_range(0..26u8)) as char;
+            chars[i] = c;
+        }
+        1 => {
+            // Transpose adjacent letters.
+            if chars.len() >= 2 {
+                let i = rng.random_range(0..chars.len() - 1);
+                chars.swap(i, i + 1);
+            }
+        }
+        _ => {
+            // Duplicate one letter.
+            let i = rng.random_range(0..chars.len());
+            let c = chars[i];
+            chars.insert(i, c);
+        }
+    }
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::generate(&CorpusSpec::small());
+        let b = Corpus::generate(&CorpusSpec::small());
+        assert_eq!(a.document, b.document);
+        assert_eq!(a.dict1, b.dict1);
+        assert_eq!(a.dict2, b.dict2);
+        assert_eq!(a.planted_misspellings, b.planted_misspellings);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Corpus::generate(&CorpusSpec { seed: 1, ..CorpusSpec::small() });
+        let b = Corpus::generate(&CorpusSpec { seed: 2, ..CorpusSpec::small() });
+        assert_ne!(a.document, b.document);
+    }
+
+    #[test]
+    fn paper_spec_hits_target_sizes() {
+        let c = Corpus::generate(&CorpusSpec::paper());
+        let spec = CorpusSpec::paper();
+        assert!(c.document.len().abs_diff(spec.doc_bytes) < 100, "doc {} bytes", c.document.len());
+        assert!(
+            c.dict2.len().abs_diff(spec.dict_bytes) < 600,
+            "dict2 {} bytes vs {}",
+            c.dict2.len(),
+            spec.dict_bytes
+        );
+        assert!(!c.planted_misspellings.is_empty());
+        assert!(!c.planted_stop_forms.is_empty());
+    }
+
+    #[test]
+    fn stop_forms_stem_back_to_dictionary_words() {
+        // The stop list must consist of words spell2 *would* accept —
+        // that is the whole reason T2 exists (paper §5.1).
+        let c = Corpus::generate(&CorpusSpec::small());
+        let main = c.main_dictionary();
+        let stop = c.stop_dictionary();
+        assert!(!stop.is_empty());
+        let accepted = String::from_utf8(c.dict1.clone())
+            .unwrap()
+            .lines()
+            .filter(|f| main.contains_with_derivatives(f))
+            .count();
+        assert!(accepted * 10 >= stop.len() * 9, "{accepted}/{}", stop.len());
+    }
+
+    #[test]
+    fn planted_misspellings_are_really_misspelled() {
+        let c = Corpus::generate(&CorpusSpec::small());
+        let main = c.main_dictionary();
+        let stop = c.stop_dictionary();
+        for m in &c.planted_misspellings {
+            assert!(!main.contains_with_derivatives(m), "{m} is accepted by the dictionary");
+            assert!(!stop.contains(m), "{m} is in the stop list");
+        }
+    }
+
+    #[test]
+    fn document_is_ascii_latex() {
+        let c = Corpus::generate(&CorpusSpec::small());
+        assert!(c.document.is_ascii());
+        let text = String::from_utf8(c.document).unwrap();
+        assert!(text.starts_with("\\documentclass"));
+        assert!(text.ends_with("\\end{document}\n"));
+    }
+}

@@ -1,0 +1,198 @@
+//! T1 — the `delatex` scanner: strips LaTeX markup and emits one word
+//! per line.
+//!
+//! The paper's T1 is written in `lex`; this is the same kind of scanner,
+//! hand-written as an incremental state machine so the thread can feed it
+//! byte by byte straight from its input stream (the UNIX version's
+//! `deroff` role, adapted for LaTeX as the authors did).
+
+/// Scanner state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum State {
+    /// Ordinary prose.
+    #[default]
+    Text,
+    /// Inside a `\command` name.
+    Command,
+    /// Inside `$ … $` math (contents are not prose).
+    Math,
+    /// Inside a `% …` comment (to end of line).
+    Comment,
+}
+
+/// The incremental delatex scanner.
+///
+/// ```rust
+/// use regwin_spell::delatex::Delatex;
+///
+/// let mut scanner = Delatex::new();
+/// let mut words = Vec::new();
+/// for b in br"\section{Intro} Hello $x_i$ world % noise".iter() {
+///     scanner.push(*b, |w| words.push(w.to_string()));
+/// }
+/// scanner.finish(|w| words.push(w.to_string()));
+/// assert_eq!(words, ["intro", "hello", "world"]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Delatex {
+    state: State,
+    word: String,
+}
+
+impl Delatex {
+    /// A scanner in its initial state.
+    pub fn new() -> Self {
+        Delatex::default()
+    }
+
+    /// Feeds one byte; `emit` is called once per completed word, in input
+    /// order, with the lowercased word.
+    pub fn push(&mut self, byte: u8, mut emit: impl FnMut(&str)) {
+        match self.state {
+            State::Text => match byte {
+                b'\\' => {
+                    self.flush(&mut emit);
+                    self.state = State::Command;
+                }
+                b'$' => {
+                    self.flush(&mut emit);
+                    self.state = State::Math;
+                }
+                b'%' => {
+                    self.flush(&mut emit);
+                    self.state = State::Comment;
+                }
+                b if b.is_ascii_alphabetic() => {
+                    self.word.push(b.to_ascii_lowercase() as char);
+                }
+                _ => self.flush(&mut emit),
+            },
+            State::Command => {
+                // Command names are letters; the terminating byte is
+                // reinterpreted as text (so `\emph{word}` yields "word").
+                if !byte.is_ascii_alphabetic() {
+                    self.state = State::Text;
+                    if !matches!(byte, b'{' | b'}' | b'*') {
+                        self.push(byte, emit);
+                    }
+                }
+            }
+            State::Math => {
+                if byte == b'$' {
+                    self.state = State::Text;
+                }
+            }
+            State::Comment => {
+                if byte == b'\n' {
+                    self.state = State::Text;
+                }
+            }
+        }
+    }
+
+    /// Flushes any pending word at end of input.
+    pub fn finish(&mut self, mut emit: impl FnMut(&str)) {
+        self.flush(&mut emit);
+        self.state = State::Text;
+    }
+
+    fn flush(&mut self, emit: &mut impl FnMut(&str)) {
+        if !self.word.is_empty() {
+            let w = std::mem::take(&mut self.word);
+            emit(&w);
+        }
+    }
+
+    /// Convenience: scans a whole document, returning all words.
+    pub fn scan_all(document: &[u8]) -> Vec<String> {
+        let mut scanner = Delatex::new();
+        let mut words = Vec::new();
+        for &b in document {
+            scanner.push(b, |w| words.push(w.to_string()));
+        }
+        scanner.finish(|w| words.push(w.to_string()));
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(s: &str) -> Vec<String> {
+        Delatex::scan_all(s.as_bytes())
+    }
+
+    #[test]
+    fn plain_words_pass_through_lowercased() {
+        assert_eq!(scan("Hello World"), ["hello", "world"]);
+    }
+
+    #[test]
+    fn commands_are_stripped_but_arguments_kept() {
+        assert_eq!(scan(r"\section{Introduction} text"), ["introduction", "text"]);
+        assert_eq!(scan(r"\emph{important} word"), ["important", "word"]);
+    }
+
+    #[test]
+    fn starred_commands_and_braces() {
+        assert_eq!(scan(r"\subsection*{Methods}"), ["methods"]);
+        assert_eq!(scan("{grouped words}"), ["grouped", "words"]);
+    }
+
+    #[test]
+    fn math_is_skipped() {
+        assert_eq!(scan("before $x_i + y$ after"), ["before", "after"]);
+    }
+
+    #[test]
+    fn comments_skip_to_end_of_line() {
+        assert_eq!(scan("keep % drop these words\nnext"), ["keep", "next"]);
+    }
+
+    #[test]
+    fn punctuation_and_digits_split_words() {
+        assert_eq!(scan("one,two.three 4four"), ["one", "two", "three", "four"]);
+    }
+
+    #[test]
+    fn begin_end_environments() {
+        // `\item` is a command name, so it is stripped entirely; the
+        // environment names appear as argument words.
+        assert_eq!(
+            scan("\\begin{itemize}\n\\item first point\n\\end{itemize}"),
+            ["itemize", "first", "point", "itemize"]
+        );
+    }
+
+    #[test]
+    fn command_terminated_by_space_then_word() {
+        assert_eq!(scan(r"\LaTeX is nice"), ["is", "nice"]);
+    }
+
+    #[test]
+    fn finish_flushes_trailing_word() {
+        let mut s = Delatex::new();
+        let mut out = Vec::new();
+        for b in b"tail" {
+            s.push(*b, |w| out.push(w.to_string()));
+        }
+        assert!(out.is_empty());
+        s.finish(|w| out.push(w.to_string()));
+        assert_eq!(out, ["tail"]);
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let doc = br"\title{A Test} Some $m+n$ words % comment
+        and \emph{more} text.";
+        let batch = Delatex::scan_all(doc);
+        let mut inc = Vec::new();
+        let mut s = Delatex::new();
+        for &b in doc.iter() {
+            s.push(b, |w| inc.push(w.to_string()));
+        }
+        s.finish(|w| inc.push(w.to_string()));
+        assert_eq!(batch, inc);
+    }
+}

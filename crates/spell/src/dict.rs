@@ -1,0 +1,123 @@
+//! Dictionary tables built from newline-separated word streams.
+
+use crate::affix;
+use std::collections::HashSet;
+
+/// A spell-check dictionary: a set of correct words, with derivative
+/// (affix) lookup as the paper's spell2 thread performs it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    words: HashSet<String>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Builds a dictionary from newline-separated bytes (the format the
+    /// dictionary kernel threads stream).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut d = Dictionary::new();
+        for line in bytes.split(|b| *b == b'\n') {
+            if !line.is_empty() {
+                d.insert(String::from_utf8_lossy(line).into_owned());
+            }
+        }
+        d
+    }
+
+    /// Adds one word.
+    pub fn insert(&mut self, word: String) {
+        self.words.insert(word);
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Exact membership.
+    pub fn contains(&self, word: &str) -> bool {
+        self.words.contains(word)
+    }
+
+    /// Membership "taking account of derivatives" (paper §5.1): the word
+    /// itself, or any affix-stripped stem of it, is in the dictionary.
+    pub fn contains_with_derivatives(&self, word: &str) -> bool {
+        if self.contains(word) {
+            return true;
+        }
+        affix::stems(word).iter().any(|s| self.contains(s))
+    }
+
+    /// Serialises as sorted newline-separated bytes (what the dictionary
+    /// kernel threads stream over S5/S6).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut words: Vec<&String> = self.words.iter().collect();
+        words.sort();
+        let mut out = Vec::new();
+        for w in words {
+            out.extend_from_slice(w.as_bytes());
+            out.push(b'\n');
+        }
+        out
+    }
+}
+
+impl FromIterator<String> for Dictionary {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        Dictionary { words: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<String> for Dictionary {
+    fn extend<I: IntoIterator<Item = String>>(&mut self, iter: I) {
+        self.words.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let d: Dictionary = ["walk", "talk", "make"].iter().map(|s| s.to_string()).collect();
+        let bytes = d.to_bytes();
+        let d2 = Dictionary::from_bytes(&bytes);
+        assert_eq!(d, d2);
+        assert_eq!(bytes, b"make\ntalk\nwalk\n");
+    }
+
+    #[test]
+    fn derivative_lookup() {
+        let d: Dictionary = ["walk", "make", "happy"].iter().map(|s| s.to_string()).collect();
+        assert!(d.contains_with_derivatives("walk"));
+        assert!(d.contains_with_derivatives("walked"));
+        assert!(d.contains_with_derivatives("walking"));
+        assert!(d.contains_with_derivatives("making"));
+        assert!(d.contains_with_derivatives("happiness"));
+        assert!(!d.contains_with_derivatives("zzqy"));
+        assert!(!d.contains_with_derivatives("talked"));
+    }
+
+    #[test]
+    fn from_bytes_skips_empty_lines() {
+        let d = Dictionary::from_bytes(b"a\n\nbb\n\n");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert!(!d.contains_with_derivatives("anything"));
+    }
+}

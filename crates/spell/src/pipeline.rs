@@ -1,0 +1,254 @@
+//! Wiring of the seven threads and six streams (paper Figure 10), with
+//! the M/N buffer-size knobs of §5.1.
+
+use crate::corpus::{Corpus, CorpusSpec};
+use crate::reference;
+use crate::threads;
+use regwin_machine::CostModel;
+use regwin_rt::{RtError, RunReport, SchedulingPolicy, Simulation};
+use regwin_traps::{build_scheme, Scheme, SchemeKind};
+use std::sync::{Arc, Mutex};
+
+/// Configuration of one spell-checker run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpellConfig {
+    /// Corpus dimensions and seed.
+    pub corpus: CorpusSpec,
+    /// Size in bytes of the S1 and S4–S6 buffers (the paper's **M**).
+    pub m: usize,
+    /// Size in bytes of the S2 and S3 buffers (the paper's **N**).
+    pub n: usize,
+    /// Scheduling policy (FIFO in all paper experiments except §6.5).
+    pub policy: SchedulingPolicy,
+}
+
+impl SpellConfig {
+    /// A configuration over the given corpus with M and N buffer sizes.
+    pub fn new(corpus: CorpusSpec, m: usize, n: usize) -> Self {
+        SpellConfig { corpus, m, n, policy: SchedulingPolicy::Fifo }
+    }
+
+    /// A fast, scaled-down configuration for tests and examples.
+    pub fn small() -> Self {
+        SpellConfig::new(CorpusSpec::small(), 4, 4)
+    }
+
+    /// Replaces the buffer sizes.
+    #[must_use]
+    pub fn with_buffers(mut self, m: usize, n: usize) -> Self {
+        self.m = m;
+        self.n = n;
+        self
+    }
+
+    /// Replaces the scheduling policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Result of one spell-checker run: the simulation report plus the bytes
+/// T5 collected (the misspelled words, one per line).
+#[derive(Debug, Clone)]
+pub struct SpellOutcome {
+    /// The runtime/machine report (cycles, switches, traps, per-thread).
+    pub report: RunReport,
+    /// T5's output buffer: reported words, newline-separated.
+    pub output: Vec<u8>,
+}
+
+impl SpellOutcome {
+    /// The reported words in arrival order.
+    pub fn misspellings(&self) -> Vec<String> {
+        String::from_utf8_lossy(&self.output)
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// The reported words as a sorted multiset (stream interleaving
+    /// between T2's and T3's reports depends on buffer sizes, so
+    /// cross-configuration comparisons sort first).
+    pub fn sorted_misspellings(&self) -> Vec<String> {
+        let mut v = self.misspellings();
+        v.sort();
+        v
+    }
+}
+
+/// A generated corpus plus a run configuration, ready to execute under
+/// any scheme and window count. See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct SpellPipeline {
+    corpus: Corpus,
+    config: SpellConfig,
+}
+
+impl SpellPipeline {
+    /// Generates the corpus for `config` and prepares the pipeline.
+    pub fn new(config: SpellConfig) -> Self {
+        SpellPipeline { corpus: Corpus::generate(&config.corpus), config }
+    }
+
+    /// Uses an already-generated corpus (to share one corpus across many
+    /// runs of a sweep).
+    pub fn with_corpus(corpus: Corpus, config: SpellConfig) -> Self {
+        SpellPipeline { corpus, config }
+    }
+
+    /// The corpus this pipeline checks.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SpellConfig {
+        &self.config
+    }
+
+    /// What the sequential reference implementation reports for this
+    /// corpus, sorted — the expected `sorted_misspellings()` of any run.
+    pub fn expected_sorted(&self) -> Vec<String> {
+        reference::check_sorted(&self.corpus.document, &self.corpus.dict1, &self.corpus.dict2)
+    }
+
+    /// Runs the pipeline on `nwindows` windows under `scheme` (with
+    /// paper-default options and the S-20 cost model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (deadlock, scheme failure).
+    pub fn run(&self, nwindows: usize, scheme: SchemeKind) -> Result<SpellOutcome, RtError> {
+        self.run_with_scheme(nwindows, CostModel::s20(), build_scheme(scheme))
+    }
+
+    /// Runs with an explicit cost model and scheme object (ablations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors (deadlock, scheme failure).
+    pub fn run_with_scheme(
+        &self,
+        nwindows: usize,
+        cost: CostModel,
+        scheme: Box<dyn Scheme>,
+    ) -> Result<SpellOutcome, RtError> {
+        let (report, output, _) = self.run_inner(nwindows, cost, scheme, false)?;
+        Ok(SpellOutcome { report, output })
+    }
+
+    pub(crate) fn run_inner(
+        &self,
+        nwindows: usize,
+        cost: CostModel,
+        scheme: Box<dyn Scheme>,
+        traced: bool,
+    ) -> Result<(regwin_rt::RunReport, Vec<u8>, Option<regwin_rt::Trace>), RtError> {
+        let mut sim =
+            Simulation::with_scheme(nwindows, cost, scheme)?.with_policy(self.config.policy);
+        if traced {
+            sim = sim.with_trace_recording();
+        }
+
+        let m = self.config.m;
+        let n = self.config.n;
+        let s1 = sim.add_stream("S1:doc", m, 1);
+        let s2 = sim.add_stream("S2:words", n, 1);
+        let s3 = sim.add_stream("S3:checked", n, 1);
+        let s4 = sim.add_stream("S4:report", m, 2);
+        let s5 = sim.add_stream("S5:dict1", m, 1);
+        let s6 = sim.add_stream("S6:dict2", m, 1);
+
+        let sink = Arc::new(Mutex::new(Vec::new()));
+
+        // Spawn order follows the paper's thread numbering (Table 1).
+        sim.spawn("T1:delatex", move |ctx| threads::run_delatex(ctx, s1, s2));
+        sim.spawn("T2:spell1", move |ctx| threads::run_spell1(ctx, s5, s2, s3, s4));
+        sim.spawn("T3:spell2", move |ctx| threads::run_spell2(ctx, s6, s3, s4));
+        let doc = self.corpus.document.clone();
+        sim.spawn("T4:input", move |ctx| threads::run_input(ctx, &doc, s1));
+        let sink2 = Arc::clone(&sink);
+        sim.spawn("T5:output", move |ctx| threads::run_output(ctx, s4, sink2));
+        let dict1 = self.corpus.dict1.clone();
+        sim.spawn("T6:dict1", move |ctx| threads::run_dict_feed(ctx, &dict1, s5));
+        let dict2 = self.corpus.dict2.clone();
+        sim.spawn("T7:dict2", move |ctx| threads::run_dict_feed(ctx, &dict2, s6));
+
+        let (report, trace) = sim.run_with_trace()?;
+        let output = Arc::try_unwrap(sink)
+            .map(|m| m.into_inner().expect("sink poisoned"))
+            .unwrap_or_else(|arc| arc.lock().expect("sink poisoned").clone());
+        Ok((report, output, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_matches_reference_output() {
+        let pipeline = SpellPipeline::new(SpellConfig::small());
+        let outcome = pipeline.run(8, SchemeKind::Sp).unwrap();
+        assert_eq!(outcome.sorted_misspellings(), pipeline.expected_sorted());
+    }
+
+    #[test]
+    fn all_schemes_produce_identical_output() {
+        let pipeline = SpellPipeline::new(SpellConfig::small());
+        let expected = pipeline.expected_sorted();
+        for scheme in SchemeKind::ALL {
+            let outcome = pipeline.run(7, scheme).unwrap();
+            assert_eq!(outcome.sorted_misspellings(), expected, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn switch_counts_are_scheme_independent_under_fifo() {
+        // Paper §5.2: the Table 1 numbers "are completely independent of
+        // the window management schemes and the number of physical
+        // windows, provided the scheduling is FIFO".
+        let pipeline = SpellPipeline::new(SpellConfig::small());
+        let mut counts = Vec::new();
+        for scheme in SchemeKind::ALL {
+            for nwindows in [4, 8, 16] {
+                let outcome = pipeline.run(nwindows, scheme).unwrap();
+                counts.push(outcome.report.stats.context_switches);
+            }
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn planted_misspellings_are_found() {
+        let pipeline = SpellPipeline::new(SpellConfig::small());
+        let outcome = pipeline.run(8, SchemeKind::Snp).unwrap();
+        let found = outcome.sorted_misspellings();
+        for m in &pipeline.corpus().planted_misspellings {
+            assert!(found.binary_search(m).is_ok(), "planted {m} not reported");
+        }
+    }
+
+    #[test]
+    fn buffer_ratio_controls_t6_switches() {
+        // Low concurrency (M ≫ N) must give the dictionary threads far
+        // fewer context switches than high concurrency (M = N), as in
+        // Table 1 (T6: 12 501 at M=N=4 vs 49 at M=1024).
+        let corpus = CorpusSpec::small();
+        let high = SpellPipeline::new(SpellConfig::new(corpus, 4, 4))
+            .run(8, SchemeKind::Sp)
+            .unwrap();
+        let low = SpellPipeline::new(SpellConfig::new(corpus, 1024, 4))
+            .run(8, SchemeKind::Sp)
+            .unwrap();
+        let t6_high = high.report.threads[5].context_switches;
+        let t6_low = low.report.threads[5].context_switches;
+        assert!(
+            t6_low * 20 < t6_high,
+            "T6 switches: low-concurrency {t6_low} vs high-concurrency {t6_high}"
+        );
+    }
+}

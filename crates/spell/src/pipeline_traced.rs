@@ -1,0 +1,61 @@
+//! Traced spell-checker runs: the pipeline with window-event recording,
+//! for trace-replay sweeps (the paper's emulator methodology, §6.1).
+
+use crate::pipeline::{SpellOutcome, SpellPipeline};
+use regwin_machine::CostModel;
+use regwin_rt::{RtError, Trace};
+use regwin_traps::{build_scheme, SchemeKind};
+
+impl SpellPipeline {
+    /// Runs the pipeline once with window-event recording enabled,
+    /// returning the outcome and the [`Trace`]. Under FIFO scheduling the
+    /// trace replays exactly against any scheme and window count (see
+    /// `regwin-rt`'s replay tests), so a whole sweep needs only one
+    /// simulated execution per buffer configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors.
+    pub fn run_traced(
+        &self,
+        nwindows: usize,
+        scheme: SchemeKind,
+    ) -> Result<(SpellOutcome, Trace), RtError> {
+        let (report, output, trace) =
+            self.run_inner(nwindows, CostModel::s20(), build_scheme(scheme), true)?;
+        Ok((SpellOutcome { report, output }, trace.expect("recording was enabled")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::SpellConfig;
+    use super::*;
+
+    #[test]
+    fn traced_run_replays_exactly_across_schemes_and_windows() {
+        let pipeline = SpellPipeline::new(SpellConfig::small());
+        let (outcome, trace) = pipeline.run_traced(8, SchemeKind::Sp).unwrap();
+        // Replay at the recording configuration reproduces it exactly.
+        let same = trace.replay(8, CostModel::s20(), build_scheme(SchemeKind::Sp)).unwrap();
+        assert_eq!(same.total_cycles(), outcome.report.total_cycles());
+        assert_eq!(same.stats.switch_shapes, outcome.report.stats.switch_shapes);
+        // Replay at a different configuration equals that configuration's
+        // direct run.
+        for (scheme, windows) in [(SchemeKind::Ns, 5), (SchemeKind::Snp, 12), (SchemeKind::Sp, 4)] {
+            let direct = pipeline.run(windows, scheme).unwrap();
+            let replayed =
+                trace.replay(windows, CostModel::s20(), build_scheme(scheme)).unwrap();
+            assert_eq!(
+                replayed.total_cycles(),
+                direct.report.total_cycles(),
+                "{scheme}@{windows}"
+            );
+            assert_eq!(replayed.stats.overflow_traps, direct.report.stats.overflow_traps);
+            assert_eq!(
+                replayed.threads.iter().map(|t| t.context_switches).collect::<Vec<_>>(),
+                direct.report.threads.iter().map(|t| t.context_switches).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Sequential reference implementation of the spell-check pipeline.
+//!
+//! Runs the same delatex / spell1 / spell2 logic as the seven simulated
+//! threads, but as a plain function — the oracle the simulated pipeline's
+//! output is compared against (as a multiset: stream interleaving between
+//! T2's and T3's reports depends on buffer sizes, word order does not).
+
+use crate::delatex::Delatex;
+use crate::dict::Dictionary;
+
+/// Words of this length or shorter are never reported (mirrors the
+/// simulated threads: `spell` does not flag fragments like "a" or "of"
+/// split off by the scanner).
+pub const MIN_CHECKED_LEN: usize = 3;
+
+/// Runs delatex + spell1 + spell2 over `document`, returning the
+/// misreported words in document order.
+pub fn check(document: &[u8], dict1: &[u8], dict2: &[u8]) -> Vec<String> {
+    let stop = Dictionary::from_bytes(dict1);
+    let main = Dictionary::from_bytes(dict2);
+    let mut out = Vec::new();
+    for word in Delatex::scan_all(document) {
+        if let Some(bad) = check_word(&word, &stop, &main) {
+            out.push(bad);
+        }
+    }
+    out
+}
+
+/// The per-word decision shared by the reference and (logically) the
+/// simulated threads: stop-list hit ⇒ incorrect (T2); otherwise not in
+/// the dictionary even after affix stripping ⇒ incorrect (T3).
+pub fn check_word(word: &str, stop: &Dictionary, main: &Dictionary) -> Option<String> {
+    if word.len() < MIN_CHECKED_LEN {
+        return None;
+    }
+    if stop.contains(word) {
+        return Some(word.to_string()); // T2: incorrect derivative
+    }
+    if main.contains_with_derivatives(word) {
+        return None; // T3: correct
+    }
+    Some(word.to_string()) // T3: misspelled
+}
+
+/// The reported words as a sorted multiset, for order-insensitive
+/// comparison with the simulated pipeline's output.
+pub fn check_sorted(document: &[u8], dict1: &[u8], dict2: &[u8]) -> Vec<String> {
+    let mut v = check(document, dict1, dict2);
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusSpec};
+
+    #[test]
+    fn clean_text_reports_nothing() {
+        let mut main = Dictionary::new();
+        for w in ["this", "text", "has", "only", "good", "words"] {
+            main.insert(w.into());
+        }
+        let out = check(b"This text has only good words", &[], &main.to_bytes());
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn misspellings_are_reported_in_order() {
+        let mut main = Dictionary::new();
+        main.insert("good".into());
+        let out = check(b"good bdd good zzz", &[], &main.to_bytes());
+        assert_eq!(out, ["bdd", "zzz"]);
+    }
+
+    #[test]
+    fn derivatives_are_accepted() {
+        let mut main = Dictionary::new();
+        main.insert("walk".into());
+        let out = check(b"walked walking walks", &[], &main.to_bytes());
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn stop_list_overrides_derivative_acceptance() {
+        let mut main = Dictionary::new();
+        main.insert("walk".into());
+        let mut stop = Dictionary::new();
+        stop.insert("walkness".into());
+        let out = check(b"walked walkness", &stop.to_bytes(), &main.to_bytes());
+        assert_eq!(out, ["walkness"]);
+    }
+
+    #[test]
+    fn short_fragments_are_ignoreded() {
+        let main = Dictionary::new();
+        let out = check(b"a of xy", &[], &main.to_bytes());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn finds_every_planted_misspelling_in_the_corpus() {
+        let c = Corpus::generate(&CorpusSpec::small());
+        let found = check(&c.document, &c.dict1, &c.dict2);
+        for m in &c.planted_misspellings {
+            assert!(found.contains(m), "planted misspelling {m} not reported");
+        }
+        for f in &c.planted_stop_forms {
+            assert!(found.contains(f), "planted stop form {f} not reported");
+        }
+    }
+
+    #[test]
+    fn reports_only_genuine_problems() {
+        // Everything reported must be either planted or a scanner
+        // artefact that the dictionary genuinely lacks.
+        let c = Corpus::generate(&CorpusSpec::small());
+        let main = c.main_dictionary();
+        for w in check(&c.document, &c.dict1, &c.dict2) {
+            assert!(!main.contains_with_derivatives(&w) || c.stop_dictionary().contains(&w), "{w}");
+        }
+    }
+}

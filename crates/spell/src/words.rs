@@ -1,0 +1,163 @@
+//! Base vocabulary for the synthetic corpus.
+
+/// A few hundred common English stems, the seed vocabulary of both the
+/// synthetic dictionaries and the synthetic document.
+pub(crate) const BASE_WORDS: &[&str] = &[
+    "about", "above", "accept", "account", "across", "action", "active", "actual", "address",
+    "advance", "advice", "affect", "afford", "again", "against", "agree", "ahead", "allow",
+    "almost", "alone", "along", "already", "although", "always", "amount", "answer", "appear",
+    "apply", "argue", "around", "arrive", "article", "assume", "attack", "attempt", "attend",
+    "avoid", "award", "aware", "balance", "basic", "battle", "become", "before", "begin",
+    "behavior", "behind", "believe", "belong", "below", "benefit", "better", "between", "beyond",
+    "block", "board", "border", "bottom", "branch", "break", "bridge", "brief", "bright", "bring",
+    "broad", "brother", "budget", "build", "burden", "business", "button", "cache", "camera",
+    "campaign", "cancel", "capital", "carbon", "career", "carry", "catch", "cause", "center",
+    "central", "century", "certain", "chance", "change", "channel", "chapter", "charge", "check",
+    "choice", "choose", "circle", "claim", "class", "clean", "clear", "climb", "close", "cloud",
+    "coach", "coast", "collect", "college", "color", "column", "combine", "comment", "common",
+    "compare", "compile", "complete", "compute", "concept", "concern", "conclude", "condition",
+    "conduct", "confirm", "connect", "consider", "consist", "contain", "content", "context",
+    "continue", "contract", "control", "convert", "corner", "correct", "count", "counter",
+    "country", "couple", "course", "cover", "create", "credit", "critic", "cross", "crowd",
+    "culture", "current", "custom", "cycle", "danger", "debate", "decade", "decide", "declare",
+    "deep", "defend", "define", "degree", "deliver", "demand", "depend", "derive", "describe",
+    "design", "detail", "detect", "develop", "device", "differ", "digital", "direct", "discuss",
+    "display", "distance", "divide", "doctor", "double", "doubt", "draft", "dream", "drive",
+    "during", "early", "earn", "earth", "easy", "economy", "edge", "editor", "effect", "effort",
+    "eight", "either", "elect", "element", "emerge", "employ", "enable", "encode", "energy",
+    "engine", "enhance", "enjoy", "enough", "ensure", "enter", "entire", "equal", "error",
+    "escape", "estimate", "evaluate", "evening", "event", "evidence", "exact", "examine",
+    "example", "exceed", "except", "exchange", "execute", "exist", "expand", "expect", "expense",
+    "explain", "explore", "export", "express", "extend", "extra", "factor", "fail", "fair",
+    "fall", "family", "famous", "fault", "favor", "feature", "federal", "feed", "feel", "field",
+    "fight", "figure", "file", "fill", "filter", "final", "finance", "find", "fine", "finish",
+    "first", "fiscal", "fit", "fix", "flag", "flat", "float", "floor", "flow", "focus", "follow",
+    "force", "forget", "form", "formal", "format", "forward", "found", "frame", "free", "fresh",
+    "friend", "front", "full", "function", "fund", "future", "gain", "game", "garden", "gather",
+    "general", "generate", "gentle", "glass", "global", "goal", "grand", "grant", "great",
+    "green", "ground", "group", "grow", "growth", "guard", "guess", "guide", "handle", "happen",
+    "happy", "hard", "head", "health", "hear", "heart", "heavy", "height", "help", "hidden",
+    "high", "history", "hold", "home", "hope", "hour", "house", "however", "human", "hundred",
+    "ignore", "image", "impact", "import", "improve", "include", "income", "increase", "indeed",
+    "index", "indicate", "industry", "inform", "initial", "inside", "install", "instance",
+    "instead", "intend", "interest", "invest", "involve", "issue", "item", "join", "judge",
+    "jump", "keep", "kernel", "kind", "know", "label", "labor", "language", "large", "last",
+    "late", "later", "launch", "layer", "lead", "learn", "least", "leave", "left", "legal",
+    "length", "level", "light", "like", "limit", "line", "link", "list", "listen", "little",
+    "live", "local", "logic", "long", "look", "lose", "loss", "machine", "main", "maintain",
+    "major", "make", "manage", "manner", "margin", "mark", "market", "match", "material",
+    "matter", "measure", "media", "medium", "meet", "member", "memory", "mention", "merge",
+    "message", "method", "middle", "might", "million", "mind", "minor", "minute", "mission",
+    "model", "modern", "modify", "moment", "monitor", "month", "moral", "more", "most", "mount",
+    "move", "movement", "much", "multiple", "music", "must", "nation", "native", "nature",
+    "near", "nearly", "need", "network", "never", "night", "normal", "north", "note", "notice",
+    "number", "object", "observe", "obtain", "occur", "offer", "office", "often", "open",
+    "operate", "opinion", "option", "order", "organ", "origin", "other", "output", "outside",
+    "over", "overall", "owner", "packet", "page", "paper", "parallel", "parent", "part",
+    "partner", "party", "pass", "past", "patch", "path", "pattern", "pause", "peace", "people",
+    "perform", "perhaps", "period", "person", "phase", "phone", "photo", "phrase", "physical",
+    "pick", "picture", "piece", "place", "plan", "plant", "platform", "play", "please", "plenty",
+    "point", "policy", "pool", "popular", "portion", "position", "positive", "possible", "post",
+    "power", "practice", "prefer", "prepare", "present", "press", "pressure", "pretty",
+    "prevent", "price", "primary", "print", "prior", "private", "probe", "problem", "proceed",
+    "process", "produce", "product", "profile", "profit", "program", "progress", "project",
+    "promise", "promote", "proper", "propose", "protect", "prove", "provide", "public", "pull",
+    "purpose", "push", "quality", "quarter", "question", "queue", "quick", "quiet", "quite",
+    "quote", "raise", "range", "rapid", "rate", "rather", "reach", "read", "ready", "real",
+    "reason", "recall", "receive", "recent", "record", "reduce", "refer", "reflect", "reform",
+    "region", "register", "regular", "reject", "relate", "release", "remain", "remember",
+    "remote", "remove", "repeat", "replace", "report", "request", "require", "research",
+    "reserve", "resident", "resolve", "resource", "respond", "rest", "restore", "result",
+    "retain", "return", "reveal", "review", "reward", "right", "rise", "risk", "road", "role",
+    "roll", "room", "rough", "round", "route", "rule", "run", "safe", "sample", "save", "scale",
+    "scene", "schedule", "scheme", "school", "score", "screen", "script", "search", "season",
+    "second", "section", "secure", "seek", "seem", "segment", "select", "sell", "send", "sense",
+    "series", "serve", "service", "session", "setting", "settle", "seven", "several", "shape",
+    "share", "sharp", "shift", "short", "should", "show", "side", "sign", "signal", "silent",
+    "similar", "simple", "since", "single", "site", "situate", "size", "skill", "sleep", "slide",
+    "slow", "small", "smart", "social", "society", "soft", "solid", "solve", "some", "sort",
+    "sound", "source", "south", "space", "speak", "special", "specific", "speed", "spell",
+    "spend", "split", "spread", "spring", "stack", "staff", "stage", "stand", "standard",
+    "start", "state", "station", "status", "stay", "step", "still", "stock", "stop", "store",
+    "story", "strategy", "stream", "street", "stress", "stretch", "strike", "string", "strong",
+    "structure", "student", "study", "style", "subject", "submit", "succeed", "success", "such",
+    "suffer", "suggest", "summer", "supply", "support", "suppose", "sure", "surface", "survey",
+    "switch", "symbol", "system", "table", "take", "talk", "target", "task", "teach", "team",
+    "tell", "term", "test", "text", "thank", "theory", "there", "thing", "think", "third",
+    "thought", "thread", "threat", "through", "throw", "time", "title", "today", "together",
+    "tonight", "total", "touch", "toward", "track", "trade", "train", "transfer", "transform",
+    "trap", "travel", "treat", "trend", "trial", "trigger", "trouble", "true", "trust", "truth",
+    "turn", "type", "under", "union", "unique", "unit", "update", "upon", "usual", "value",
+    "vector", "version", "very", "view", "visit", "voice", "volume", "wait", "walk",
+    "want", "watch", "water", "wave", "week", "weight", "welcome", "west", "whole", "wide",
+    "will", "window", "winter", "wire", "wish", "with", "within", "without", "wonder", "word",
+    "work", "world", "worry", "worth", "write", "wrong", "year", "yield", "young",
+];
+
+/// Consonant onsets and vowel nuclei for synthesising extra dictionary
+/// words deterministically (the real SunOS dictionaries held tens of
+/// thousands of words; the base list alone is too small to reach the
+/// paper's 50 001-byte dictionary streams).
+const ONSETS: &[&str] = &["b", "br", "c", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k",
+    "l", "m", "n", "p", "pl", "pr", "r", "s", "sk", "sl", "sp", "st", "str", "t", "tr", "v", "w"];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ee", "io", "ou"];
+const CODAS: &[&str] = &["", "b", "ck", "d", "g", "l", "m", "n", "nd", "nt", "p", "r", "rd", "rn",
+    "t", "x"];
+
+/// Deterministically synthesises the `i`-th pseudo-word (a pronounceable
+/// 2–3 syllable letter string). The mapping is a bijection on indices, so
+/// the synthesized vocabulary is duplicate-light and reproducible without
+/// an RNG.
+pub(crate) fn synth_word(i: usize) -> String {
+    let mut x = i;
+    let mut w = String::new();
+    let syllables = 2 + (x % 2);
+    x /= 2;
+    for s in 0..syllables {
+        let onset = ONSETS[x % ONSETS.len()];
+        x /= ONSETS.len();
+        let nucleus = NUCLEI[x % NUCLEI.len()];
+        x /= NUCLEI.len();
+        w.push_str(onset);
+        w.push_str(nucleus);
+        if s == syllables - 1 {
+            let coda = CODAS[x % CODAS.len()];
+            w.push_str(coda);
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn base_words_are_lowercase_ascii_alpha() {
+        for w in BASE_WORDS {
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w}");
+        }
+    }
+
+    #[test]
+    fn base_words_have_no_duplicates() {
+        let set: HashSet<_> = BASE_WORDS.iter().collect();
+        assert_eq!(set.len(), BASE_WORDS.len());
+    }
+
+    #[test]
+    fn synth_words_are_pronounceable_ascii() {
+        for i in 0..5000 {
+            let w = synth_word(i);
+            assert!(w.len() >= 2);
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w}");
+        }
+    }
+
+    #[test]
+    fn synth_words_mostly_distinct() {
+        let set: HashSet<_> = (0..10000).map(synth_word).collect();
+        assert!(set.len() > 7000, "only {} distinct words", set.len());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests of the workload components: the delatex scanner, the
+//! dictionary, and the end-to-end decision logic.
+
+use proptest::prelude::*;
+use regwin_spell::delatex::Delatex;
+use regwin_spell::dict::Dictionary;
+use regwin_spell::reference;
+
+proptest! {
+    /// The scanner accepts arbitrary bytes without panicking and emits
+    /// only lowercase alphabetic words.
+    #[test]
+    fn delatex_is_total_and_emits_clean_words(input in prop::collection::vec(any::<u8>(), 0..2000)) {
+        for w in Delatex::scan_all(&input) {
+            prop_assert!(!w.is_empty());
+            prop_assert!(w.bytes().all(|b| b.is_ascii_lowercase()), "{w:?}");
+        }
+    }
+
+    /// Feeding byte-by-byte produces exactly the same words as any other
+    /// chunking — the property the streaming T1 thread relies on.
+    #[test]
+    fn delatex_incremental_equals_batch(
+        input in prop::collection::vec(any::<u8>(), 0..1500),
+        chunk in 1usize..64,
+    ) {
+        let batch = Delatex::scan_all(&input);
+        let mut scanner = Delatex::new();
+        let mut words = Vec::new();
+        for piece in input.chunks(chunk) {
+            for &b in piece {
+                scanner.push(b, |w| words.push(w.to_string()));
+            }
+        }
+        scanner.finish(|w| words.push(w.to_string()));
+        prop_assert_eq!(batch, words);
+    }
+
+    /// Words the scanner emits from plain prose are the prose's words.
+    #[test]
+    fn delatex_on_plain_prose_is_word_splitting(words in prop::collection::vec("[a-z]{1,10}", 0..40)) {
+        let text = words.join(" ");
+        prop_assert_eq!(Delatex::scan_all(text.as_bytes()), words);
+    }
+
+    /// Dictionary serialisation round-trips for arbitrary word sets.
+    #[test]
+    fn dictionary_bytes_roundtrip(words in prop::collection::hash_set("[a-z]{1,12}", 0..60)) {
+        let d: Dictionary = words.iter().cloned().collect();
+        let d2 = Dictionary::from_bytes(&d.to_bytes());
+        prop_assert_eq!(&d, &d2);
+        prop_assert_eq!(d.len(), words.len());
+    }
+
+    /// Derivative lookup never rejects exact members and never accepts
+    /// words whose every stem (and self) is absent.
+    #[test]
+    fn derivative_lookup_is_sound(
+        words in prop::collection::hash_set("[a-z]{3,10}", 1..40),
+        probe in "[a-z]{3,12}",
+    ) {
+        let d: Dictionary = words.iter().cloned().collect();
+        for w in &words {
+            prop_assert!(d.contains_with_derivatives(w));
+        }
+        let accepted = d.contains_with_derivatives(&probe);
+        let justified = d.contains(&probe)
+            || regwin_spell::affix::stems(&probe).iter().any(|s| d.contains(s));
+        prop_assert_eq!(accepted, justified);
+    }
+
+    /// The reference checker never reports a word the dictionary accepts
+    /// (unless the stop list condemns it), and reports every word it
+    /// rejects.
+    #[test]
+    fn reference_decision_is_consistent(
+        dict_words in prop::collection::hash_set("[a-z]{3,8}", 1..30),
+        text_words in prop::collection::vec("[a-z]{3,8}", 0..30),
+    ) {
+        let main: Dictionary = dict_words.iter().cloned().collect();
+        let text = text_words.join(" ");
+        let reported = reference::check(text.as_bytes(), &[], &main.to_bytes());
+        for w in &text_words {
+            let bad = !main.contains_with_derivatives(w);
+            prop_assert_eq!(reported.iter().any(|r| r == w), bad, "word {}", w);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Window allocation for incoming threads without resident windows.
+//!
+//! The paper evaluates only the *simple* policy — allocate directly above
+//! the suspended thread's windows (§4.2) — and notes that it can cause
+//! pathological spill/restore ping-pong between two threads (visible in
+//! the SNP scheme's "strange behavior at fine granularity", §6.4). The
+//! alternatives it sketches — "search for a free window, or select the
+//! least-recently-used stack-bottom window" — are implemented here as
+//! well, for the ablation benches.
+
+use crate::error::SchemeError;
+use regwin_machine::{Machine, SlotUse, ThreadId, TransferReason, WindowIndex};
+
+/// Where to place the stack-top window of an incoming thread that has no
+/// resident windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocPolicy {
+    /// The paper's evaluated policy: directly above the suspended
+    /// thread's windows (its reservation under SNP, its PRW under SP).
+    #[default]
+    AboveSuspended,
+    /// Search the file for a free window first; fall back to
+    /// [`AllocPolicy::AboveSuspended`] when none exists (paper §4.2's
+    /// "worth the extra cost to search for a free window").
+    FirstFree,
+    /// Prefer a free window; otherwise displace the stack-bottom window
+    /// of the least-recently-scheduled thread (paper §4.2's LRU variant).
+    LruBottom,
+}
+
+/// What displacing a slot's occupant required.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DisplaceOutcome {
+    /// A live stack-bottom window was spilled to memory.
+    pub spilled: bool,
+    /// A private reserved window was stolen (its owner's stack-top `out`
+    /// registers were saved to the owner's TCB).
+    pub stole_prw: bool,
+}
+
+impl DisplaceOutcome {
+    /// Windows saved to memory (0 or 1).
+    pub fn saves(&self) -> u32 {
+        u32::from(self.spilled)
+    }
+}
+
+/// Makes `slot` discardable so a scheme can allocate it: spills a live
+/// stack-bottom frame or steals a PRW; free, dead and reserved slots need
+/// nothing.
+///
+/// # Errors
+///
+/// Fails if the slot holds a live window that is *not* its owner's
+/// stack-bottom — displacing a mid-region window would break the owner's
+/// contiguity, and all scheme call sites are constructed (and proven in
+/// the module tests) never to pick such a slot.
+pub fn displace(m: &mut Machine, slot: WindowIndex) -> Result<DisplaceOutcome, SchemeError> {
+    match m.slot_use(slot) {
+        SlotUse::Free | SlotUse::Dead(_) | SlotUse::Reserved => Ok(DisplaceOutcome::default()),
+        SlotUse::Live(owner) => {
+            if m.thread(owner)?.bottom(m.nwindows()) != Some(slot) {
+                return Err(SchemeError::AllocationFailed("would displace a live non-bottom window"));
+            }
+            m.spill_bottom(owner, TransferReason::Switch)?;
+            Ok(DisplaceOutcome { spilled: true, stole_prw: false })
+        }
+        SlotUse::Prw(owner) => {
+            m.steal_prw(owner)?;
+            Ok(DisplaceOutcome { spilled: false, stole_prw: true })
+        }
+    }
+}
+
+/// Allocation bookkeeping shared by the sharing schemes: applies the
+/// configured [`AllocPolicy`] and tracks scheduling recency for the LRU
+/// variant.
+#[derive(Debug, Clone, Default)]
+pub struct Allocator {
+    policy: AllocPolicy,
+    ticks: Vec<u64>,
+    clock: u64,
+}
+
+impl Allocator {
+    /// An allocator with the given policy.
+    pub fn new(policy: AllocPolicy) -> Self {
+        Allocator { policy, ticks: Vec::new(), clock: 0 }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    /// Records that `t` was just scheduled (recency for the LRU policy).
+    pub fn note_scheduled(&mut self, t: ThreadId) {
+        if self.ticks.len() <= t.index() {
+            self.ticks.resize(t.index() + 1, 0);
+        }
+        self.clock += 1;
+        self.ticks[t.index()] = self.clock;
+    }
+
+    /// Picks the slot for the stack-top window of windowless thread `to`.
+    ///
+    /// `simple_candidate` is the slot the paper's simple policy would use,
+    /// computed by the scheme: under SNP the old reserved slot (directly
+    /// above the suspended thread's windows), under SP the slot above the
+    /// suspended thread's PRW. The returned slot is always safe to
+    /// [`displace`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file contains no allocatable slot at all (cannot
+    /// happen on a consistent machine with ≥ 2 windows).
+    pub fn pick_top_slot(
+        &self,
+        m: &Machine,
+        simple_candidate: Option<WindowIndex>,
+        to: ThreadId,
+    ) -> Result<WindowIndex, SchemeError> {
+        match self.policy {
+            AllocPolicy::AboveSuspended => self.pick_simple(m, simple_candidate, to),
+            AllocPolicy::FirstFree => match find_free(m) {
+                Some(w) => Ok(w),
+                None => self.pick_simple(m, simple_candidate, to),
+            },
+            AllocPolicy::LruBottom => match find_free(m) {
+                Some(w) => Ok(w),
+                None => match self.lru_bottom(m, to) {
+                    Some(w) => Ok(w),
+                    None => self.pick_simple(m, simple_candidate, to),
+                },
+            },
+        }
+    }
+
+    fn pick_simple(
+        &self,
+        m: &Machine,
+        simple_candidate: Option<WindowIndex>,
+        to: ThreadId,
+    ) -> Result<WindowIndex, SchemeError> {
+        if let Some(a) = simple_candidate {
+            return Ok(a);
+        }
+        // No suspended thread to anchor to (first dispatch or after a
+        // termination): any free slot, then any displaceable one.
+        if let Some(w) = find_free(m) {
+            return Ok(w);
+        }
+        if let Some(w) = self.lru_bottom(m, to) {
+            return Ok(w);
+        }
+        // Fall back to any PRW not owned by the incoming thread.
+        for i in 0..m.nwindows() {
+            let w = WindowIndex::new(i);
+            if let SlotUse::Prw(owner) = m.slot_use(w) {
+                if owner != to {
+                    return Ok(w);
+                }
+            }
+        }
+        Err(SchemeError::AllocationFailed("no allocatable window in the file"))
+    }
+
+    /// The stack-bottom window of the least-recently-scheduled thread
+    /// (other than `to`) that has resident windows.
+    fn lru_bottom(&self, m: &Machine, to: ThreadId) -> Option<WindowIndex> {
+        let mut best: Option<(u64, WindowIndex)> = None;
+        for idx in 0..m.thread_count() {
+            let t = ThreadId::new(idx);
+            if t == to {
+                continue;
+            }
+            let ts = m.thread(t).ok()?;
+            if let Some(bottom) = ts.bottom(m.nwindows()) {
+                let tick = self.ticks.get(idx).copied().unwrap_or(0);
+                if best.map(|(bt, _)| tick < bt).unwrap_or(true) {
+                    best = Some((tick, bottom));
+                }
+            }
+        }
+        best.map(|(_, w)| w)
+    }
+}
+
+fn find_free(m: &Machine) -> Option<WindowIndex> {
+    (0..m.nwindows()).map(WindowIndex::new).find(|w| m.slot_use(*w) == SlotUse::Free)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regwin_machine::Machine;
+
+    #[test]
+    fn displace_free_slot_is_noop() {
+        let mut m = Machine::new(8).unwrap();
+        let out = displace(&mut m, WindowIndex::new(3)).unwrap();
+        assert_eq!(out, DisplaceOutcome::default());
+        assert_eq!(out.saves(), 0);
+    }
+
+    #[test]
+    fn displace_live_bottom_spills_it() {
+        let mut m = Machine::new(8).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, WindowIndex::new(4)).unwrap();
+        let out = displace(&mut m, WindowIndex::new(4)).unwrap();
+        assert!(out.spilled);
+        assert_eq!(out.saves(), 1);
+        assert_eq!(m.thread(t).unwrap().resident(), 0);
+        assert_eq!(m.backing_of(t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn displace_refuses_live_non_bottom() {
+        let mut m = Machine::new(8).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, WindowIndex::new(4)).unwrap();
+        m.set_current(Some(t)).unwrap();
+        // Grow to two windows: top at W3, bottom at W4.
+        m.grant_slot(t, WindowIndex::new(3)).unwrap();
+        m.complete_save().unwrap();
+        assert!(matches!(
+            displace(&mut m, WindowIndex::new(3)),
+            Err(SchemeError::AllocationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn displace_prw_steals_it() {
+        let mut m = Machine::new(8).unwrap();
+        m.set_reserved(None).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, WindowIndex::new(4)).unwrap();
+        m.assign_prw(t, WindowIndex::new(3)).unwrap();
+        let out = displace(&mut m, WindowIndex::new(3)).unwrap();
+        assert!(out.stole_prw);
+        assert_eq!(m.thread(t).unwrap().prw(), None);
+    }
+
+    #[test]
+    fn above_suspended_uses_the_candidate_as_is() {
+        let m = Machine::new(8).unwrap();
+        let alloc = Allocator::new(AllocPolicy::AboveSuspended);
+        let to = ThreadId::new(0);
+        let slot = alloc.pick_top_slot(&m, Some(WindowIndex::new(5)), to).unwrap();
+        assert_eq!(slot, WindowIndex::new(5));
+    }
+
+    #[test]
+    fn first_free_prefers_free_slots() {
+        let mut m = Machine::new(4).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, WindowIndex::new(1)).unwrap();
+        let alloc = Allocator::new(AllocPolicy::FirstFree);
+        let slot = alloc.pick_top_slot(&m, Some(WindowIndex::new(1)), t).unwrap();
+        // W0 is reserved, W1 live; W2 is the first free slot.
+        assert_eq!(slot, WindowIndex::new(2));
+    }
+
+    #[test]
+    fn lru_bottom_picks_least_recently_scheduled() {
+        let mut m = Machine::new(4).unwrap();
+        m.set_reserved(None).unwrap();
+        let a = m.add_thread();
+        let b = m.add_thread();
+        let c = m.add_thread();
+        m.start_initial_frame(a, WindowIndex::new(0)).unwrap();
+        m.start_initial_frame(b, WindowIndex::new(1)).unwrap();
+        // Fill the rest so no free slot exists.
+        m.start_initial_frame(c, WindowIndex::new(2)).unwrap();
+        let d = m.add_thread();
+        m.start_initial_frame(d, WindowIndex::new(3)).unwrap();
+        let mut alloc = Allocator::new(AllocPolicy::LruBottom);
+        alloc.note_scheduled(a);
+        alloc.note_scheduled(b);
+        alloc.note_scheduled(c);
+        alloc.note_scheduled(d);
+        let incoming = m.add_thread();
+        // `a` is the least recently scheduled: its bottom gets displaced.
+        let slot = alloc.pick_top_slot(&m, None, incoming).unwrap();
+        assert_eq!(slot, WindowIndex::new(0));
+    }
+
+    #[test]
+    fn fallback_without_anchor_finds_a_slot() {
+        let m = Machine::new(8).unwrap();
+        let alloc = Allocator::new(AllocPolicy::AboveSuspended);
+        let slot = alloc.pick_top_slot(&m, None, ThreadId::new(0)).unwrap();
+        assert_eq!(m.slot_use(slot), SlotUse::Free);
+    }
+}
+
+#[cfg(test)]
+mod policy_getter_tests {
+    use super::*;
+
+    #[test]
+    fn allocator_reports_its_policy() {
+        for policy in [AllocPolicy::AboveSuspended, AllocPolicy::FirstFree, AllocPolicy::LruBottom] {
+            assert_eq!(Allocator::new(policy).policy(), policy);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The conventional (basic) underflow algorithm — paper §2, Figure 4.
+//!
+//! The caller's window is restored into the reserved window *below* the
+//! current one, and the reservation moves one further below, preserving
+//! the classic invariant that the reserved window sits directly below the
+//! thread's stack-bottom. This is how SunOS-era SPARC systems handle
+//! underflow, and it is exactly the behaviour that breaks down when
+//! windows are shared among threads (paper §3.1).
+
+use crate::error::SchemeError;
+use regwin_machine::{CycleCategory, Machine, TransferReason, WindowTrap};
+
+/// Resolves an underflow trap with the conventional algorithm: restores
+/// the caller's frame into the trap target (the reserved window) and moves
+/// the reservation one window below. The trapped `restore` must be
+/// re-executed afterwards ([`Machine::complete_restore`]).
+///
+/// Charges [`regwin_machine::CostModel::conventional_underflow_cycles`].
+///
+/// # Errors
+///
+/// Fails if the trap target is not the reserved window (the conventional
+/// algorithm cannot be in use if so), if the slot below the reservation
+/// holds live data, or if the thread has no spilled frames (a return past
+/// its outermost frame).
+pub fn handle_conventional_underflow(m: &mut Machine, trap: WindowTrap) -> Result<(), SchemeError> {
+    let target = trap.target();
+    if m.reserved() != Some(target) {
+        return Err(SchemeError::UnexpectedTrapTarget { target, expected: "the reserved window" });
+    }
+    let t = m.current_thread().ok_or(SchemeError::NoCurrentThread)?;
+    let new_reserved = target.below(m.nwindows());
+    if !m.slot_use(new_reserved).is_discardable() {
+        return Err(SchemeError::UnexpectedTrapTarget {
+            target: new_reserved,
+            expected: "a discardable slot below the reservation",
+        });
+    }
+    // Move the reservation first so the old reserved slot becomes free,
+    // then refill it with the caller's frame (paper Figure 4: W3 is
+    // restored, W4 becomes the new reserved window).
+    m.set_reserved(Some(new_reserved))?;
+    m.restore_into(t, target, TransferReason::Trap)?;
+    let cost = m.cost().conventional_underflow_cycles();
+    m.charge(CycleCategory::UnderflowTrap, cost);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regwin_machine::{ExecOutcome, SlotUse, WindowIndex};
+
+    /// Single thread on a small machine, driven with classic handling.
+    #[test]
+    fn conventional_roundtrip_preserves_frames() {
+        let n = 4;
+        let mut m = Machine::new(n).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, m.reserved().unwrap().above(n)).unwrap();
+        m.set_current(Some(t)).unwrap();
+        m.grant_all_free(t).unwrap();
+        m.write_local(0, 1).unwrap();
+        for depth in 2..=8u64 {
+            match m.try_save().unwrap() {
+                ExecOutcome::Completed => {}
+                ExecOutcome::Trapped(_) => {
+                    m.force_reserved_walk().unwrap();
+                    m.complete_save().unwrap();
+                }
+            }
+            m.write_local(0, depth).unwrap();
+        }
+        for depth in (1..=7u64).rev() {
+            match m.try_restore().unwrap() {
+                ExecOutcome::Completed => {}
+                ExecOutcome::Trapped(trap) => {
+                    handle_conventional_underflow(&mut m, trap).unwrap();
+                    m.complete_restore().unwrap();
+                }
+            }
+            assert_eq!(m.read_local(0).unwrap(), depth);
+            m.check_invariants().unwrap();
+        }
+        assert!(m.cycles().category(CycleCategory::UnderflowTrap) > 0);
+    }
+
+    #[test]
+    fn rejects_trap_not_at_reserved_window() {
+        let n = 8;
+        let mut m = Machine::new(n).unwrap();
+        let a = m.add_thread();
+        let b = m.add_thread();
+        m.start_initial_frame(a, WindowIndex::new(2)).unwrap();
+        // B directly below A: A's restore target is B's live window, not
+        // the reserved window — the conventional handler must refuse.
+        m.start_initial_frame(b, WindowIndex::new(3)).unwrap();
+        m.set_current(Some(a)).unwrap();
+        match m.try_restore().unwrap() {
+            ExecOutcome::Trapped(trap) => {
+                assert!(matches!(
+                    handle_conventional_underflow(&mut m, trap),
+                    Err(SchemeError::UnexpectedTrapTarget { .. })
+                ));
+            }
+            other => panic!("expected underflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reservation_moves_below_after_refill() {
+        let n = 4;
+        let mut m = Machine::new(n).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, m.reserved().unwrap().above(n)).unwrap();
+        m.set_current(Some(t)).unwrap();
+        m.grant_all_free(t).unwrap();
+        // Deep calls to force a spill, then unwind to the trap.
+        for _ in 0..5 {
+            if let ExecOutcome::Trapped(_) = m.try_save().unwrap() {
+                m.force_reserved_walk().unwrap();
+                m.complete_save().unwrap();
+            }
+        }
+        loop {
+            match m.try_restore().unwrap() {
+                ExecOutcome::Completed => continue,
+                ExecOutcome::Trapped(trap) => {
+                    let old_reserved = m.reserved().unwrap();
+                    handle_conventional_underflow(&mut m, trap).unwrap();
+                    m.complete_restore().unwrap();
+                    assert_eq!(m.reserved(), Some(old_reserved.below(n)));
+                    assert_eq!(m.slot_use(old_reserved), SlotUse::Live(t));
+                    break;
+                }
+            }
+        }
+        m.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,396 @@
+//! The CPU: a machine plus a window-management scheme, with traps
+//! resolved transparently.
+
+use crate::error::SchemeError;
+use crate::restore_emul::RestoreInstr;
+use crate::scheme::{Scheme, UnderflowResolution};
+use regwin_machine::{
+    CostModel, ExecOutcome, Machine, MachineStats, SchemeKind, ThreadId,
+};
+
+/// A simulated CPU: composes a [`Machine`] with a [`Scheme`] so that
+/// callers see trap-free `save`/`restore`/`switch_to` operations, the way
+/// application code sees a real SPARC whose kernel installed the paper's
+/// trap handlers.
+///
+/// ```rust
+/// use regwin_traps::{Cpu, SnpScheme};
+///
+/// # fn main() -> Result<(), regwin_traps::SchemeError> {
+/// let mut cpu = Cpu::new(8, Box::new(SnpScheme::new()))?;
+/// let t = cpu.add_thread();
+/// cpu.switch_to(t)?;
+/// cpu.save()?;
+/// cpu.write_local(0, 42)?;
+/// cpu.restore()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Cpu {
+    machine: Machine,
+    scheme: Box<dyn Scheme>,
+}
+
+impl Cpu {
+    /// Creates a CPU with `nwindows` windows, the default S-20 cost model
+    /// and the given scheme.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the window count is out of range or below the scheme's
+    /// minimum.
+    pub fn new(nwindows: usize, scheme: Box<dyn Scheme>) -> Result<Self, SchemeError> {
+        Self::with_cost_model(nwindows, CostModel::s20(), scheme)
+    }
+
+    /// Creates a CPU with an explicit cost model.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the window count is out of range or below the scheme's
+    /// minimum.
+    pub fn with_cost_model(
+        nwindows: usize,
+        cost: CostModel,
+        mut scheme: Box<dyn Scheme>,
+    ) -> Result<Self, SchemeError> {
+        if nwindows < scheme.min_windows() {
+            return Err(SchemeError::TooFewWindows { have: nwindows, need: scheme.min_windows() });
+        }
+        let mut machine = Machine::with_cost_model(nwindows, cost)?;
+        scheme.init(&mut machine)?;
+        Ok(Cpu { machine, scheme })
+    }
+
+    /// Registers a new thread.
+    pub fn add_thread(&mut self) -> ThreadId {
+        self.machine.add_thread()
+    }
+
+    /// Which scheme this CPU runs.
+    pub fn scheme_kind(&self) -> SchemeKind {
+        self.machine_scheme_kind()
+    }
+
+    fn machine_scheme_kind(&self) -> SchemeKind {
+        self.scheme.kind()
+    }
+
+    /// The underlying machine (read-only).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The currently running thread.
+    pub fn current_thread(&self) -> Option<ThreadId> {
+        self.machine.current_thread()
+    }
+
+    /// Executes a `save` (procedure entry), resolving any overflow trap
+    /// through the scheme.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no thread is current or the scheme hits a broken
+    /// invariant.
+    pub fn save(&mut self) -> Result<(), SchemeError> {
+        match self.machine.try_save()? {
+            ExecOutcome::Completed => Ok(()),
+            ExecOutcome::Trapped(trap) => {
+                self.scheme.on_overflow(&mut self.machine, trap)?;
+                self.machine.complete_save()?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Executes a plain `restore` (procedure return), resolving any
+    /// underflow trap through the scheme.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a return past the thread's outermost frame.
+    pub fn restore(&mut self) -> Result<(), SchemeError> {
+        self.restore_with(&RestoreInstr::trivial())
+    }
+
+    /// Executes a `restore` carrying add semantics (the peephole-optimised
+    /// form of paper §4.3): when the restore completes without trapping
+    /// the add is applied directly; when it traps, the scheme's handler
+    /// emulates it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a return past the thread's outermost frame.
+    pub fn restore_with(&mut self, instr: &RestoreInstr) -> Result<(), SchemeError> {
+        // Sources are read in the callee's window, which the restore (or
+        // the in-place handler) replaces — read them up front.
+        let result = if instr.is_trivial() { None } else { Some(instr.read_sources(&self.machine)?) };
+        match self.machine.try_restore()? {
+            ExecOutcome::Completed => {
+                if let Some(v) = result {
+                    instr.write_destination(&mut self.machine, v)?;
+                }
+                Ok(())
+            }
+            ExecOutcome::Trapped(trap) => {
+                match self.scheme.on_underflow(&mut self.machine, trap, instr)? {
+                    UnderflowResolution::AlreadyComplete => Ok(()),
+                    UnderflowResolution::CompleteRestore => {
+                        self.machine.complete_restore()?;
+                        if let Some(v) = result {
+                            instr.write_destination(&mut self.machine, v)?;
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Switches to thread `to` (no-op if already current), applying the
+    /// scheme's context-switch policy and cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no window can be allocated for `to`.
+    pub fn switch_to(&mut self, to: ThreadId) -> Result<(), SchemeError> {
+        let from = self.machine.current_thread();
+        if from == Some(to) {
+            return Ok(());
+        }
+        self.scheme.context_switch(&mut self.machine, from, to)
+    }
+
+    /// Terminates the current thread, releasing all its windows and
+    /// memory frames. The CPU is left with no current thread; switch to
+    /// another thread to continue.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no thread is current.
+    pub fn terminate_current(&mut self) -> Result<ThreadId, SchemeError> {
+        let t = self.machine.current_thread().ok_or(SchemeError::NoCurrentThread)?;
+        self.machine.release_thread(t)?;
+        Ok(t)
+    }
+
+    /// Charges application compute cycles.
+    pub fn compute(&mut self, cycles: u64) {
+        self.machine.compute(cycles);
+    }
+
+    /// Reads `local` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no thread is current.
+    pub fn read_local(&self, reg: usize) -> Result<u64, SchemeError> {
+        Ok(self.machine.read_local(reg)?)
+    }
+
+    /// Writes `local` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no thread is current.
+    pub fn write_local(&mut self, reg: usize, value: u64) -> Result<(), SchemeError> {
+        Ok(self.machine.write_local(reg, value)?)
+    }
+
+    /// Reads `in` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no thread is current.
+    pub fn read_in(&self, reg: usize) -> Result<u64, SchemeError> {
+        Ok(self.machine.read_in(reg)?)
+    }
+
+    /// Writes `in` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no thread is current.
+    pub fn write_in(&mut self, reg: usize, value: u64) -> Result<(), SchemeError> {
+        Ok(self.machine.write_in(reg, value)?)
+    }
+
+    /// Reads `out` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no thread is current.
+    pub fn read_out(&self, reg: usize) -> Result<u64, SchemeError> {
+        Ok(self.machine.read_out(reg)?)
+    }
+
+    /// Writes `out` register `reg` of the current window.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no thread is current.
+    pub fn write_out(&mut self, reg: usize, value: u64) -> Result<(), SchemeError> {
+        Ok(self.machine.write_out(reg, value)?)
+    }
+
+    /// Reads global register `reg` (`%g0` always reads zero).
+    pub fn read_global(&self, reg: usize) -> u64 {
+        self.machine.read_global(reg)
+    }
+
+    /// Writes global register `reg` (writes to `%g0` are discarded).
+    pub fn write_global(&mut self, reg: usize, value: u64) {
+        self.machine.write_global(reg, value);
+    }
+
+    /// The machine's event statistics.
+    pub fn stats(&self) -> &MachineStats {
+        self.machine.stats()
+    }
+
+    /// Total simulated cycles so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.machine.cycles().total()
+    }
+
+    /// Verifies all machine invariants (tests/diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), SchemeError> {
+        Ok(self.machine.check_invariants()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restore_emul::{Operand, Reg};
+    use crate::schemes::{NsScheme, SnpScheme, SpScheme};
+
+    fn all_cpus(n: usize) -> Vec<Cpu> {
+        vec![
+            Cpu::new(n, Box::new(NsScheme::new())).unwrap(),
+            Cpu::new(n, Box::new(SnpScheme::new())).unwrap(),
+            Cpu::new(n, Box::new(SpScheme::new())).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn switch_to_current_thread_is_a_noop() {
+        for mut cpu in all_cpus(8) {
+            let t = cpu.add_thread();
+            cpu.switch_to(t).unwrap();
+            let switches = cpu.stats().context_switches;
+            cpu.switch_to(t).unwrap();
+            assert_eq!(cpu.stats().context_switches, switches);
+        }
+    }
+
+    #[test]
+    fn restore_with_add_semantics_works_trap_free_and_trapped() {
+        for mut cpu in all_cpus(4) {
+            let t = cpu.add_thread();
+            cpu.switch_to(t).unwrap();
+            // Trap-free: save then restore with an add.
+            cpu.save().unwrap();
+            cpu.write_local(0, 20).unwrap();
+            let instr = RestoreInstr::new(Reg::L(0), Operand::Imm(2), Reg::O(0));
+            cpu.restore_with(&instr).unwrap();
+            assert_eq!(cpu.read_out(0).unwrap(), 22);
+            // Trapped: recurse past the file, unwind with adds.
+            for _ in 0..6 {
+                cpu.save().unwrap();
+            }
+            let traps_before = cpu.stats().underflow_traps;
+            for _ in 0..6 {
+                cpu.write_local(0, 30).unwrap();
+                let instr = RestoreInstr::new(Reg::L(0), Operand::Imm(5), Reg::O(3));
+                cpu.restore_with(&instr).unwrap();
+                assert_eq!(cpu.read_out(3).unwrap(), 35, "{:?}", cpu.scheme_kind());
+            }
+            assert!(cpu.stats().underflow_traps > traps_before);
+            cpu.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn terminate_releases_windows_for_subsequent_threads() {
+        for mut cpu in all_cpus(8) {
+            let a = cpu.add_thread();
+            let b = cpu.add_thread();
+            cpu.switch_to(a).unwrap();
+            cpu.save().unwrap();
+            let done = cpu.terminate_current().unwrap();
+            assert_eq!(done, a);
+            assert!(cpu.current_thread().is_none());
+            cpu.switch_to(b).unwrap();
+            cpu.save().unwrap();
+            cpu.restore().unwrap();
+            cpu.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn total_cycles_accumulate() {
+        for mut cpu in all_cpus(8) {
+            let t = cpu.add_thread();
+            cpu.switch_to(t).unwrap();
+            let c0 = cpu.total_cycles();
+            cpu.compute(1000);
+            cpu.save().unwrap();
+            cpu.restore().unwrap();
+            assert!(cpu.total_cycles() >= c0 + 1002);
+        }
+    }
+
+    /// Cross-scheme differential test: the same call/return/switch trace
+    /// must produce identical register observations under all three
+    /// schemes (the schemes differ in cost, never in semantics).
+    #[test]
+    fn schemes_agree_on_register_semantics() {
+        let trace: Vec<(usize, &str)> = vec![
+            (0, "call"), (0, "call"), (1, "sched"), (1, "call"), (0, "sched"),
+            (0, "ret"), (2, "sched"), (2, "call"), (2, "call"), (1, "sched"),
+            (1, "ret"), (0, "sched"), (0, "ret"), (2, "sched"), (2, "ret"),
+            (2, "ret"), (1, "sched"), (0, "sched"), (0, "call"),
+        ];
+        let mut observations: Vec<Vec<u64>> = Vec::new();
+        for mut cpu in all_cpus(5) {
+            let threads: Vec<_> = (0..3).map(|_| cpu.add_thread()).collect();
+            let mut obs = Vec::new();
+            let mut counter = 0u64;
+            cpu.switch_to(threads[0]).unwrap();
+            for (tid, op) in &trace {
+                let t = threads[*tid];
+                match *op {
+                    "sched" => cpu.switch_to(t).unwrap(),
+                    "call" => {
+                        cpu.switch_to(t).unwrap();
+                        counter += 1;
+                        cpu.write_out(0, counter).unwrap();
+                        cpu.save().unwrap();
+                        obs.push(cpu.read_in(0).unwrap()); // argument arrived
+                        cpu.write_local(0, counter).unwrap();
+                    }
+                    "ret" => {
+                        cpu.switch_to(t).unwrap();
+                        counter += 1;
+                        cpu.write_in(0, counter).unwrap();
+                        cpu.restore().unwrap();
+                        obs.push(cpu.read_out(0).unwrap()); // return value
+                        obs.push(cpu.read_local(0).unwrap()); // caller's local
+                    }
+                    _ => unreachable!(),
+                }
+                cpu.check_invariants().unwrap();
+            }
+            observations.push(obs);
+        }
+        assert_eq!(observations[0], observations[1], "NS vs SNP");
+        assert_eq!(observations[0], observations[2], "NS vs SP");
+    }
+}

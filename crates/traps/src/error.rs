@@ -1,0 +1,77 @@
+//! Error type for scheme operations.
+
+use regwin_machine::{MachineError, WindowIndex};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by window-management schemes and the [`crate::Cpu`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// An underlying machine operation failed.
+    Machine(MachineError),
+    /// A trap arrived at a window the scheme's invariants say it cannot
+    /// arrive at (a bug, or a machine driven outside the scheme's rules).
+    UnexpectedTrapTarget {
+        /// The trap's target window.
+        target: WindowIndex,
+        /// What the scheme expected the target to be.
+        expected: &'static str,
+    },
+    /// No window could be allocated for an incoming thread.
+    AllocationFailed(&'static str),
+    /// The machine has fewer windows than the scheme needs to operate.
+    TooFewWindows {
+        /// Windows present.
+        have: usize,
+        /// Windows the scheme needs.
+        need: usize,
+    },
+    /// An operation that needs a running thread was invoked without one.
+    NoCurrentThread,
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::Machine(e) => write!(f, "machine error: {e}"),
+            SchemeError::UnexpectedTrapTarget { target, expected } => {
+                write!(f, "trap at unexpected window {target} (expected {expected})")
+            }
+            SchemeError::AllocationFailed(why) => write!(f, "window allocation failed: {why}"),
+            SchemeError::TooFewWindows { have, need } => {
+                write!(f, "scheme needs {need} windows, machine has {have}")
+            }
+            SchemeError::NoCurrentThread => write!(f, "no current thread"),
+        }
+    }
+}
+
+impl Error for SchemeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchemeError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for SchemeError {
+    fn from(e: MachineError) -> Self {
+        SchemeError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_source_chains() {
+        let e = SchemeError::from(MachineError::NoCurrentThread);
+        assert!(!e.to_string().is_empty());
+        assert!(Error::source(&e).is_some());
+        let e = SchemeError::TooFewWindows { have: 2, need: 3 };
+        assert!(e.to_string().contains('3'));
+        assert!(Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! The proposed in-place underflow algorithm — paper §3.2, Figure 8.
+//!
+//! On underflow, the missing caller's window is restored **into the same
+//! physical slot the callee used**: the callee has terminated, so its
+//! window is dead, and reusing its slot means *no window ever needs to be
+//! spilled on an underflow trap*. That single change removes every
+//! obstacle to sharing the window buffer among threads (paper §3.1's
+//! problems 1–3 all stem from underflow-time spillage).
+//!
+//! Before the caller's frame overwrites the slot, the callee's live `in`
+//! registers (return values, stack pointer) are copied to the `out`
+//! position — physically the `in` registers of the window above, which
+//! under the sharing schemes is always the thread's reservation or a dead
+//! slot of its own, never another thread's live window.
+//!
+//! Because the trapped `restore` is not re-executed (the CWP does not
+//! move; the current window "virtually goes back"), its add semantics are
+//! emulated by the handler (paper §4.3, [`crate::RestoreInstr`]).
+
+use crate::error::SchemeError;
+use crate::restore_emul::RestoreInstr;
+use regwin_machine::{CycleCategory, Machine};
+
+/// Which `in` registers the handler copies to the `out` position before
+/// the in-place restore (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopyMode {
+    /// Copy all eight `in` registers — required when the compiler may use
+    /// any `restore` feature.
+    Full,
+    /// Copy only the return-value registers and the stack/frame pointer —
+    /// the cheaper variant §3.2 describes as usually sufficient.
+    ReturnOnly,
+}
+
+impl CopyMode {
+    /// Whether all eight registers are copied.
+    pub fn is_full(self) -> bool {
+        matches!(self, CopyMode::Full)
+    }
+}
+
+/// Resolves an underflow trap with the proposed algorithm: emulates the
+/// trapped `restore` (reading its sources in the callee's window), copies
+/// the live `in` registers to the `out` position, restores the caller's
+/// frame into the callee's slot, and writes the emulated result into the
+/// caller's window. The trapped `restore` is complete on return — do
+/// **not** call [`Machine::complete_restore`].
+///
+/// Charges [`regwin_machine::CostModel::inplace_underflow_cycles`].
+///
+/// # Errors
+///
+/// Fails on a return past the thread's outermost frame.
+pub fn handle_inplace_underflow(
+    m: &mut Machine,
+    mode: CopyMode,
+    instr: &RestoreInstr,
+) -> Result<(), SchemeError> {
+    // Emulate the restore's add: sources are read in the callee's window,
+    // which is about to be overwritten.
+    let result = instr.read_sources(m)?;
+    m.inplace_underflow(mode.is_full())?;
+    // The destination register lives in the caller's window, which now
+    // occupies the same physical slot.
+    instr.write_destination(m, result)?;
+    let cost = m.cost().inplace_underflow_cycles(mode.is_full());
+    m.charge(CycleCategory::UnderflowTrap, cost);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restore_emul::{Operand, Reg};
+    use regwin_machine::{ExecOutcome, WindowIndex};
+
+    /// One thread, sharing-style setup: initial frame with slots granted
+    /// by hand, deep calls, then in-place returns.
+    fn deep_machine(n: usize, depth: usize) -> Machine {
+        let mut m = Machine::new(n).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, m.reserved().unwrap().above(n)).unwrap();
+        m.set_current(Some(t)).unwrap();
+        m.grant_all_free(t).unwrap();
+        m.write_local(0, 1).unwrap();
+        for d in 2..=depth as u64 {
+            if let ExecOutcome::Trapped(_) = m.try_save().unwrap() {
+                m.force_reserved_walk().unwrap();
+                m.complete_save().unwrap();
+            }
+            m.write_local(0, d).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn inplace_unwind_preserves_caller_locals() {
+        let mut m = deep_machine(4, 8);
+        for d in (1..=7u64).rev() {
+            match m.try_restore().unwrap() {
+                ExecOutcome::Completed => {}
+                ExecOutcome::Trapped(_) => {
+                    handle_inplace_underflow(&mut m, CopyMode::Full, &RestoreInstr::trivial()).unwrap();
+                }
+            }
+            assert_eq!(m.read_local(0).unwrap(), d);
+            m.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn add_semantics_are_emulated_into_callers_window() {
+        let mut m = deep_machine(4, 6);
+        // Unwind until the next restore traps.
+        loop {
+            // Set up the callee's "return value" computation each level:
+            // restore %l0, 1000, %o0 — caller sees callee's local + 1000.
+            m.write_local(3, 7).unwrap();
+            let instr = RestoreInstr::new(Reg::L(3), Operand::Imm(1000), Reg::O(0));
+            match m.try_restore().unwrap() {
+                ExecOutcome::Completed => continue,
+                ExecOutcome::Trapped(_) => {
+                    handle_inplace_underflow(&mut m, CopyMode::Full, &instr).unwrap();
+                    assert_eq!(m.read_out(0).unwrap(), 1007);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn return_values_visible_with_partial_copy() {
+        let mut m = deep_machine(4, 6);
+        loop {
+            match m.try_restore().unwrap() {
+                ExecOutcome::Completed => {}
+                ExecOutcome::Trapped(_) => {
+                    m.write_in(0, 31337).unwrap(); // %i0 = return value
+                    handle_inplace_underflow(&mut m, CopyMode::ReturnOnly, &RestoreInstr::trivial())
+                        .unwrap();
+                    assert_eq!(m.read_out(0).unwrap(), 31337);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_copy_charges_more_than_partial() {
+        let mut a = deep_machine(4, 6);
+        let mut b = a.clone();
+        loop {
+            match a.try_restore().unwrap() {
+                ExecOutcome::Completed => {
+                    assert!(matches!(b.try_restore().unwrap(), ExecOutcome::Completed));
+                }
+                ExecOutcome::Trapped(_) => {
+                    assert!(matches!(b.try_restore().unwrap(), ExecOutcome::Trapped(_)));
+                    let base_a = a.cycles().category(CycleCategory::UnderflowTrap);
+                    handle_inplace_underflow(&mut a, CopyMode::Full, &RestoreInstr::trivial()).unwrap();
+                    handle_inplace_underflow(&mut b, CopyMode::ReturnOnly, &RestoreInstr::trivial())
+                        .unwrap();
+                    let cost_a = a.cycles().category(CycleCategory::UnderflowTrap) - base_a;
+                    let cost_b = b.cycles().category(CycleCategory::UnderflowTrap);
+                    assert!(cost_a > cost_b);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn underflow_past_outermost_frame_errors() {
+        let mut m = Machine::new(8).unwrap();
+        let t = m.add_thread();
+        m.start_initial_frame(t, WindowIndex::new(3)).unwrap();
+        m.set_current(Some(t)).unwrap();
+        match m.try_restore().unwrap() {
+            ExecOutcome::Trapped(_) => {
+                assert!(handle_inplace_underflow(&mut m, CopyMode::Full, &RestoreInstr::trivial())
+                    .is_err());
+            }
+            other => panic!("expected underflow, got {other:?}"),
+        }
+    }
+}

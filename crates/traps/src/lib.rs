@@ -1,0 +1,65 @@
+//! # regwin-traps
+//!
+//! Window trap handlers and window-management schemes for the
+//! `regwin-machine` substrate — the *policy* layer reproducing the
+//! algorithms of *"Multiple Threads in Cyclic Register Windows"*
+//! (Hidaka, Koike, Tanaka — ISCA 1993).
+//!
+//! Three schemes are provided, exactly the three the paper implements and
+//! evaluates (§4.5):
+//!
+//! * [`NsScheme`] — **Non-sharing**: the conventional algorithm. A context
+//!   switch flushes every active window of the suspended thread; the
+//!   incoming thread gets its stack-top window restored. Underflow is
+//!   handled conventionally (restore below, move the reservation).
+//! * [`SnpScheme`] — **Sharing without private reserved windows**: windows
+//!   of suspended threads stay in the register file; one global reserved
+//!   window is repositioned above the incoming thread's stack-top on each
+//!   switch; the stack-top `out` registers are saved to and restored from
+//!   the TCB. Underflow uses the paper's proposed **in-place restore**.
+//! * [`SpScheme`] — **Sharing with a private reserved window (PRW) per
+//!   thread**: resuming a thread whose windows (and PRW) are still
+//!   resident moves *no* registers at all. Underflow is in-place.
+//!
+//! The [`Cpu`] type composes a [`regwin_machine::Machine`] with a
+//! [`Scheme`], resolving traps transparently so a runtime can simply call
+//! [`Cpu::save`], [`Cpu::restore`] and [`Cpu::switch_to`].
+//!
+//! ```rust
+//! use regwin_traps::{Cpu, SpScheme};
+//!
+//! # fn main() -> Result<(), regwin_traps::SchemeError> {
+//! let mut cpu = Cpu::new(8, Box::new(SpScheme::new()))?;
+//! let a = cpu.add_thread();
+//! let b = cpu.add_thread();
+//! cpu.switch_to(a)?;
+//! cpu.save()?;            // procedure call by thread a
+//! cpu.switch_to(b)?;      // b's windows are allocated beside a's
+//! cpu.switch_to(a)?;      // resuming a moves no windows at all
+//! cpu.restore()?;         // return from the call
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod alloc;
+mod conventional;
+mod cpu;
+mod error;
+mod inplace;
+mod restore_emul;
+mod scheme;
+mod schemes;
+
+pub use alloc::{displace, AllocPolicy, Allocator, DisplaceOutcome};
+pub use conventional::handle_conventional_underflow;
+pub use cpu::Cpu;
+pub use error::SchemeError;
+pub use inplace::{handle_inplace_underflow, CopyMode};
+pub use restore_emul::{Operand, Reg, RestoreInstr};
+pub use scheme::{build_scheme, Scheme, UnderflowResolution};
+pub use schemes::{NsScheme, SnpScheme, SpScheme};
+
+pub use regwin_machine::SchemeKind;

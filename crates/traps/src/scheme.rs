@@ -1,0 +1,105 @@
+//! The window-management scheme interface.
+
+use crate::error::SchemeError;
+use crate::restore_emul::RestoreInstr;
+use crate::schemes::{NsScheme, SnpScheme, SpScheme};
+use regwin_machine::{Machine, SchemeKind, ThreadId, WindowTrap};
+use std::fmt::Debug;
+
+/// How an underflow trap was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnderflowResolution {
+    /// The conventional algorithm restored the caller's window *below*
+    /// the current one; the trapped `restore` must now be re-executed
+    /// (via [`regwin_machine::Machine::complete_restore`]).
+    CompleteRestore,
+    /// The proposed algorithm restored the caller's window *in place* and
+    /// emulated the `restore`; nothing further to do.
+    AlreadyComplete,
+}
+
+/// A window-management scheme: the policy that resolves window traps and
+/// performs context switches on a [`Machine`].
+///
+/// Implementations correspond to the paper's evaluated schemes
+/// ([`NsScheme`], [`SnpScheme`], [`SpScheme`]); the trait is public so
+/// that new policies (e.g. different allocation strategies) can be
+/// plugged into the same runtime.
+pub trait Scheme: Debug + Send {
+    /// Which cost-table rows this scheme charges (paper Table 2).
+    fn kind(&self) -> SchemeKind;
+
+    /// Minimum number of physical windows this scheme can operate with.
+    fn min_windows(&self) -> usize;
+
+    /// One-time initialisation (e.g. removing the global reserved window
+    /// for SP). Called by [`crate::Cpu::new`] before any thread runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    fn init(&mut self, m: &mut Machine) -> Result<(), SchemeError>;
+
+    /// Resolves an overflow trap, making the `save` target valid. The
+    /// caller re-executes the `save` afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broken invariants (trap at an impossible window).
+    fn on_overflow(&mut self, m: &mut Machine, trap: WindowTrap) -> Result<(), SchemeError>;
+
+    /// Resolves an underflow trap. `instr` is the decoded trapped
+    /// `restore`, for schemes that emulate it rather than re-execute it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a return past the outermost frame or broken invariants.
+    fn on_underflow(
+        &mut self,
+        m: &mut Machine,
+        trap: WindowTrap,
+        instr: &RestoreInstr,
+    ) -> Result<UnderflowResolution, SchemeError>;
+
+    /// Performs a context switch to `to`, suspending `from` (if any)
+    /// according to the scheme's policy, transferring whatever windows the
+    /// policy requires, and charging the calibrated switch cost. On
+    /// return, `to` is the machine's current thread with a valid stack-top
+    /// window.
+    ///
+    /// `from` is `None` when there is nothing to suspend (first dispatch,
+    /// or the previous thread terminated and was already released).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no window can be allocated for `to`.
+    fn context_switch(
+        &mut self,
+        m: &mut Machine,
+        from: Option<ThreadId>,
+        to: ThreadId,
+    ) -> Result<(), SchemeError>;
+}
+
+/// Builds the scheme implementing the paper's given evaluated kind, with
+/// default options (full in-copy, in-situ suspension, the paper's simple
+/// allocation policy).
+pub fn build_scheme(kind: SchemeKind) -> Box<dyn Scheme> {
+    match kind {
+        SchemeKind::Ns => Box::new(NsScheme::new()),
+        SchemeKind::Snp => Box::new(SnpScheme::new()),
+        SchemeKind::Sp => Box::new(SpScheme::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_scheme_matches_kind() {
+        for kind in SchemeKind::ALL {
+            assert_eq!(build_scheme(kind).kind(), kind);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! The paper's three evaluated window-management schemes (§4.5).
+
+mod ns;
+mod snp;
+mod sp;
+
+pub use ns::NsScheme;
+pub use snp::SnpScheme;
+pub use sp::SpScheme;

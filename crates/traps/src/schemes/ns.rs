@@ -1,0 +1,355 @@
+//! NS — the non-sharing scheme (paper §4.5).
+//!
+//! The conventional management algorithm: windows are never shared among
+//! threads. A context switch flushes *every* active window of the
+//! suspended thread to memory and restores the incoming thread's
+//! stack-top window; all other windows become valid garbage the incoming
+//! thread may overwrite trap-free (the single-WIM-bit behaviour of real
+//! SPARC kernels). Underflow is handled conventionally.
+//!
+//! This is the scheme whose switch cost grows linearly with the number of
+//! active windows (Table 2's NS rows) and which carries the "hidden
+//! overhead" that frames flushed at a switch must later be pulled back
+//! one underflow trap at a time (§6.2).
+
+use crate::conventional::handle_conventional_underflow;
+use crate::error::SchemeError;
+use crate::restore_emul::RestoreInstr;
+use crate::scheme::{Scheme, UnderflowResolution};
+use regwin_machine::{
+    CycleCategory, Machine, SchemeKind, ThreadId, TransferReason, WindowTrap,
+};
+
+/// The non-sharing scheme. See the module docs.
+#[derive(Debug, Clone)]
+pub struct NsScheme {
+    overflow_batch: usize,
+    underflow_batch: usize,
+}
+
+impl NsScheme {
+    /// Creates the scheme with the paper's configuration (one window
+    /// transferred per trap — the optimum Tamir & Sequin established and
+    /// the paper adopts, §2).
+    pub fn new() -> Self {
+        NsScheme { overflow_batch: 1, underflow_batch: 1 }
+    }
+
+    /// Spills up to `batch` windows per overflow trap (the Tamir–Sequin
+    /// ablation: batching saves trap overhead on deep call bursts but
+    /// wastes transfers on oscillating call depths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn with_overflow_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be at least one window");
+        self.overflow_batch = batch;
+        self
+    }
+
+    /// Restores up to `batch` windows per underflow trap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn with_underflow_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be at least one window");
+        self.underflow_batch = batch;
+        self
+    }
+}
+
+impl Default for NsScheme {
+    fn default() -> Self {
+        NsScheme::new()
+    }
+}
+
+impl Scheme for NsScheme {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Ns
+    }
+
+    fn min_windows(&self) -> usize {
+        // Current frame + reserved window + one slot for the reservation
+        // to retreat into on underflow.
+        3
+    }
+
+    fn init(&mut self, m: &mut Machine) -> Result<(), SchemeError> {
+        // The machine's default single reserved window is exactly what
+        // the conventional algorithm uses.
+        debug_assert!(m.reserved().is_some());
+        Ok(())
+    }
+
+    fn on_overflow(&mut self, m: &mut Machine, trap: WindowTrap) -> Result<(), SchemeError> {
+        // Under NS the only invalid window for the running thread is the
+        // reservation, so the trap target must be it.
+        if m.reserved() != Some(trap.target()) {
+            return Err(SchemeError::UnexpectedTrapTarget {
+                target: trap.target(),
+                expected: "the reserved window",
+            });
+        }
+        let mut spills = m.force_reserved_walk()?;
+        // Batched variant (Tamir–Sequin ablation): keep walking, spilling
+        // further windows ahead of demand.
+        for _ in 1..self.overflow_batch {
+            spills += m.force_reserved_walk()?;
+        }
+        let cost = m.cost().overflow_trap_cycles(spills);
+        m.charge(CycleCategory::OverflowTrap, cost);
+        Ok(())
+    }
+
+    fn on_underflow(
+        &mut self,
+        m: &mut Machine,
+        trap: WindowTrap,
+        _instr: &RestoreInstr,
+    ) -> Result<UnderflowResolution, SchemeError> {
+        handle_conventional_underflow(m, trap)?;
+        // Batched variant: refill further frames below the caller ahead
+        // of demand, while memory frames remain and the ring has room.
+        if self.underflow_batch > 1 {
+            let t = m.current_thread().ok_or(SchemeError::NoCurrentThread)?;
+            let n = m.nwindows();
+            let mut extra = 0u64;
+            for _ in 1..self.underflow_batch {
+                let target = match m.reserved() {
+                    Some(r) => r,
+                    None => break,
+                };
+                if m.backing_of(t)?.is_empty() {
+                    break;
+                }
+                let next_reserved = target.below(n);
+                if !m.slot_use(next_reserved).is_discardable() {
+                    break; // the ring is full of live frames
+                }
+                m.set_reserved(Some(next_reserved))?;
+                m.restore_into(t, target, regwin_machine::TransferReason::Trap)?;
+                extra += 1;
+            }
+            let per_window = m.cost().trap_window_transfer;
+            m.charge(CycleCategory::UnderflowTrap, extra * per_window);
+        }
+        Ok(UnderflowResolution::CompleteRestore)
+    }
+
+    fn context_switch(
+        &mut self,
+        m: &mut Machine,
+        from: Option<ThreadId>,
+        to: ThreadId,
+    ) -> Result<(), SchemeError> {
+        let mut saves = 0u32;
+        let mut restores = 0u32;
+        if let Some(f) = from {
+            // Flush everything: top outs to the TCB, then every live
+            // frame to memory (bottom first), then release the garbage.
+            m.save_outs_to_tcb(f)?;
+            saves += m.flush_thread(f, TransferReason::Switch)? as u32;
+            m.release_dead_slots(f)?;
+        }
+        // Classic placement: the incoming stack-top directly above the
+        // reservation, preserving the invariant that the reserved window
+        // sits directly below the stack-bottom.
+        let reserved = m
+            .reserved()
+            .ok_or(SchemeError::AllocationFailed("NS requires a reserved window"))?;
+        let slot = reserved.above(m.nwindows());
+        let started = m.thread(to)?.started();
+        if started {
+            debug_assert_eq!(m.thread(to)?.resident(), 0, "NS leaves no windows resident");
+            m.restore_into(to, slot, TransferReason::Switch)?;
+            restores += 1;
+        } else {
+            m.start_initial_frame(to, slot)?;
+        }
+        // Everything else in the file is flushed garbage: valid for the
+        // incoming thread, exactly like a single-bit WIM.
+        m.grant_all_free(to)?;
+        m.set_current(Some(to))?;
+        if started {
+            m.restore_outs_from_tcb(to)?;
+        }
+        m.record_context_switch(from, SchemeKind::Ns, saves, restores);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+
+    #[test]
+    fn switch_flushes_all_windows_and_restores_one() {
+        let mut cpu = Cpu::new(8, Box::new(NsScheme::new())).unwrap();
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.save().unwrap();
+        cpu.save().unwrap(); // a has 3 live frames
+        cpu.switch_to(b).unwrap();
+        let m = cpu.machine();
+        assert_eq!(m.thread(a).unwrap().resident(), 0);
+        assert_eq!(m.backing_of(a).unwrap().len(), 3);
+        // The b-switch saved 3 windows; b was fresh so restored none.
+        let stats = m.stats();
+        assert_eq!(stats.switch_saves, 3);
+        cpu.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn resume_restores_exactly_one_window() {
+        let mut cpu = Cpu::new(8, Box::new(NsScheme::new())).unwrap();
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.save().unwrap();
+        cpu.switch_to(b).unwrap();
+        let restores_before = cpu.machine().stats().switch_restores;
+        cpu.switch_to(a).unwrap();
+        assert_eq!(cpu.machine().stats().switch_restores, restores_before + 1);
+        assert_eq!(cpu.machine().thread(a).unwrap().resident(), 1);
+    }
+
+    #[test]
+    fn flushed_frames_return_via_underflow_traps() {
+        // The "hidden overhead" of §6.2: after a flush, returning needs
+        // one underflow trap per frame.
+        let mut cpu = Cpu::new(8, Box::new(NsScheme::new())).unwrap();
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.write_local(0, 10).unwrap();
+        cpu.save().unwrap();
+        cpu.write_local(0, 20).unwrap();
+        cpu.save().unwrap();
+        cpu.write_local(0, 30).unwrap();
+        cpu.switch_to(b).unwrap();
+        cpu.switch_to(a).unwrap();
+        assert_eq!(cpu.read_local(0).unwrap(), 30);
+        let traps_before = cpu.machine().stats().underflow_traps;
+        cpu.restore().unwrap();
+        assert_eq!(cpu.read_local(0).unwrap(), 20);
+        cpu.restore().unwrap();
+        assert_eq!(cpu.read_local(0).unwrap(), 10);
+        assert_eq!(cpu.machine().stats().underflow_traps, traps_before + 2);
+        cpu.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn register_values_survive_round_trips() {
+        let mut cpu = Cpu::new(8, Box::new(NsScheme::new())).unwrap();
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.write_local(3, 111).unwrap();
+        cpu.switch_to(b).unwrap();
+        cpu.write_local(3, 222).unwrap();
+        cpu.switch_to(a).unwrap();
+        assert_eq!(cpu.read_local(3).unwrap(), 111);
+        cpu.switch_to(b).unwrap();
+        assert_eq!(cpu.read_local(3).unwrap(), 222);
+    }
+
+    #[test]
+    fn saves_after_resume_do_not_trap_until_wraparound() {
+        let n = 8;
+        let mut cpu = Cpu::new(n, Box::new(NsScheme::new())).unwrap();
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.switch_to(b).unwrap();
+        let traps_before = cpu.machine().stats().overflow_traps;
+        // n - 2 saves fit without touching the reservation (1 initial
+        // frame + n - 2 new ones + 1 reserved = n).
+        for _ in 0..n - 2 {
+            cpu.save().unwrap();
+        }
+        assert_eq!(cpu.machine().stats().overflow_traps, traps_before);
+        cpu.save().unwrap(); // wraps: must trap and spill own bottom
+        assert_eq!(cpu.machine().stats().overflow_traps, traps_before + 1);
+        assert_eq!(cpu.machine().stats().overflow_spills, 1);
+    }
+
+    #[test]
+    fn overflow_batch_spills_ahead_of_demand() {
+        let run = |batch: usize| {
+            let mut cpu =
+                Cpu::new(6, Box::new(NsScheme::new().with_overflow_batch(batch))).unwrap();
+            let t = cpu.add_thread();
+            cpu.switch_to(t).unwrap();
+            for _ in 0..12 {
+                cpu.save().unwrap();
+            }
+            (cpu.machine().stats().overflow_traps, cpu.machine().stats().overflow_spills)
+        };
+        let (traps1, _) = run(1);
+        let (traps2, spills2) = run(2);
+        assert!(traps2 < traps1, "batching must reduce trap count");
+        assert!(spills2 > 0);
+    }
+
+    #[test]
+    fn underflow_batch_refills_ahead_of_demand() {
+        let run = |batch: usize| {
+            let mut cpu =
+                Cpu::new(6, Box::new(NsScheme::new().with_underflow_batch(batch))).unwrap();
+            let t = cpu.add_thread();
+            cpu.switch_to(t).unwrap();
+            cpu.write_local(0, 0).unwrap();
+            for d in 1..=12u64 {
+                cpu.save().unwrap();
+                cpu.write_local(0, d).unwrap();
+            }
+            for d in (0..12u64).rev() {
+                cpu.restore().unwrap();
+                assert_eq!(cpu.read_local(0).unwrap(), d, "batch {batch}");
+            }
+            cpu.machine().stats().underflow_traps
+        };
+        let traps1 = run(1);
+        let traps3 = run(3);
+        assert!(traps3 < traps1, "batched refill must reduce underflow traps");
+    }
+
+    #[test]
+    fn batched_unwind_preserves_values_after_switches() {
+        let mut cpu = Cpu::new(
+            8,
+            Box::new(NsScheme::new().with_overflow_batch(2).with_underflow_batch(2)),
+        )
+        .unwrap();
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        for d in 1..=10u64 {
+            cpu.save().unwrap();
+            cpu.write_local(0, d).unwrap();
+        }
+        cpu.switch_to(b).unwrap();
+        cpu.save().unwrap();
+        cpu.switch_to(a).unwrap();
+        for d in (1..=9u64).rev() {
+            cpu.restore().unwrap();
+            assert_eq!(cpu.read_local(0).unwrap(), d);
+            cpu.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_machines_below_three_windows() {
+        assert!(matches!(
+            Cpu::new(2, Box::new(NsScheme::new())),
+            Err(SchemeError::TooFewWindows { .. })
+        ));
+    }
+}

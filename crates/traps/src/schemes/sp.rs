@@ -1,0 +1,356 @@
+//! SP — sharing with private reserved windows (paper §4.5).
+//!
+//! Every thread keeps its own private reserved window (PRW) directly
+//! above its stack-top. Because the PRW's `in` registers *are* the
+//! physical home of the stack-top's `out` registers, nothing needs to be
+//! saved or restored when switching to a thread whose windows are still
+//! resident — the paper's best case of 93–98 cycles, with **zero** window
+//! transfers.
+//!
+//! The costs appear elsewhere: every resident thread consumes one extra
+//! slot for its PRW, and scheduling a windowless thread may require two
+//! windows to be saved (one for the new stack-top, one for the new PRW) —
+//! Table 2's SP worst case.
+
+use crate::alloc::{displace, AllocPolicy, Allocator, DisplaceOutcome};
+use crate::error::SchemeError;
+use crate::inplace::{handle_inplace_underflow, CopyMode};
+use crate::restore_emul::RestoreInstr;
+use crate::scheme::{Scheme, UnderflowResolution};
+use regwin_machine::{
+    CycleCategory, Machine, SchemeKind, ThreadId, TransferReason, WindowTrap,
+};
+
+/// The sharing scheme with a private reserved window per thread. See the
+/// module docs.
+#[derive(Debug, Clone)]
+pub struct SpScheme {
+    copy_mode: CopyMode,
+    flush_on_suspend: bool,
+    alloc: Allocator,
+}
+
+impl SpScheme {
+    /// Creates the scheme with the paper's configuration: full in-copy,
+    /// windows left in situ on suspension, simple allocation.
+    pub fn new() -> Self {
+        SpScheme {
+            copy_mode: CopyMode::Full,
+            flush_on_suspend: false,
+            alloc: Allocator::new(AllocPolicy::AboveSuspended),
+        }
+    }
+
+    /// Selects which `in` registers the underflow handler copies (§4.3).
+    #[must_use]
+    pub fn with_copy_mode(mut self, mode: CopyMode) -> Self {
+        self.copy_mode = mode;
+        self
+    }
+
+    /// Enables the flush-type context switch of §4.4.
+    #[must_use]
+    pub fn with_flush_on_suspend(mut self, flush: bool) -> Self {
+        self.flush_on_suspend = flush;
+        self
+    }
+
+    /// Selects the allocation policy for windowless incoming threads
+    /// (§4.2).
+    #[must_use]
+    pub fn with_alloc_policy(mut self, policy: AllocPolicy) -> Self {
+        self.alloc = Allocator::new(policy);
+        self
+    }
+
+    /// Charges the TCB `out`-register traffic a displacement caused.
+    fn charge_displacement_outs(m: &mut Machine, out: &DisplaceOutcome) {
+        if out.stole_prw {
+            let c = m.cost().outs_transfer;
+            m.charge(CycleCategory::ContextSwitch, c);
+        }
+    }
+}
+
+impl Default for SpScheme {
+    fn default() -> Self {
+        SpScheme::new()
+    }
+}
+
+impl Scheme for SpScheme {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Sp
+    }
+
+    fn min_windows(&self) -> usize {
+        2
+    }
+
+    fn init(&mut self, m: &mut Machine) -> Result<(), SchemeError> {
+        // SP has no global reserved window; every thread brings its own.
+        m.set_reserved(None)?;
+        Ok(())
+    }
+
+    fn on_overflow(&mut self, m: &mut Machine, trap: WindowTrap) -> Result<(), SchemeError> {
+        let t = m.current_thread().ok_or(SchemeError::NoCurrentThread)?;
+        if m.thread(t)?.prw() != Some(trap.target()) {
+            return Err(SchemeError::UnexpectedTrapTarget {
+                target: trap.target(),
+                expected: "the current thread's PRW",
+            });
+        }
+        let (spills, steals) = m.force_prw_walk()?;
+        let mut cost = m.cost().overflow_trap_cycles(spills);
+        cost += m.cost().outs_transfer * steals as u64;
+        m.charge(CycleCategory::OverflowTrap, cost);
+        Ok(())
+    }
+
+    fn on_underflow(
+        &mut self,
+        m: &mut Machine,
+        _trap: WindowTrap,
+        instr: &RestoreInstr,
+    ) -> Result<UnderflowResolution, SchemeError> {
+        handle_inplace_underflow(m, self.copy_mode, instr)?;
+        Ok(UnderflowResolution::AlreadyComplete)
+    }
+
+    fn context_switch(
+        &mut self,
+        m: &mut Machine,
+        from: Option<ThreadId>,
+        to: ThreadId,
+    ) -> Result<(), SchemeError> {
+        let n = m.nwindows();
+        let mut saves = 0u32;
+        let mut restores = 0u32;
+        if let Some(f) = from {
+            if self.flush_on_suspend {
+                saves += m.flush_thread(f, TransferReason::Switch)? as u32;
+            }
+            m.release_dead_slots(f)?;
+            // Reposition the suspended thread's PRW directly above its
+            // stack-top ("since the reserved window has no information to
+            // be copied, there is no overhead in doing so", §4.1): the
+            // stack-top outs physically live in the slot above the top,
+            // which is exactly where the PRW lands.
+            if let Some(top) = m.thread(f)?.top() {
+                let desired = top.above(n);
+                if m.thread(f)?.prw() != Some(desired) {
+                    if m.thread(f)?.prw().is_some() {
+                        m.release_prw(f)?;
+                    }
+                    m.assign_prw(f, desired)?;
+                }
+            }
+        }
+        let ts = m.thread(to)?;
+        if ts.started() && ts.resident() > 0 {
+            if ts.prw().is_some() {
+                // The best case: windows and PRW (holding the stack-top
+                // outs) are all still resident — nothing moves.
+                m.set_current(Some(to))?;
+            } else {
+                // The PRW was stolen while suspended: its outs sit in the
+                // TCB. Build a new PRW above the stack-top and refill it.
+                let desired = ts.top().expect("resident > 0 implies top").above(n);
+                let out = displace(m, desired)?;
+                saves += out.saves();
+                Self::charge_displacement_outs(m, &out);
+                m.assign_prw(to, desired)?;
+                m.set_current(Some(to))?;
+                m.restore_outs_from_tcb(to)?;
+                let c = m.cost().outs_transfer;
+                m.charge(CycleCategory::ContextSwitch, c);
+            }
+        } else {
+            // Windowless (or never started): allocate a stack-top slot and
+            // a PRW above it — the case that "may have to save two
+            // windows" (§4.1).
+            let started = ts.started();
+            if ts.prw().is_some() {
+                // Windows all spilled but the PRW survived: capture the
+                // outs it holds and release it; the allocation below
+                // builds a fresh pair.
+                m.steal_prw(to)?;
+            }
+            let candidate = match from {
+                Some(f) => m.thread(f)?.prw().map(|p| p.above(n)),
+                None => None,
+            };
+            let slot = self.alloc.pick_top_slot(m, candidate, to)?;
+            let out = displace(m, slot)?;
+            saves += out.saves();
+            Self::charge_displacement_outs(m, &out);
+            let prw_slot = slot.above(n);
+            let out = displace(m, prw_slot)?;
+            saves += out.saves();
+            Self::charge_displacement_outs(m, &out);
+            if started {
+                m.restore_into(to, slot, TransferReason::Switch)?;
+                restores += 1;
+            } else {
+                m.start_initial_frame(to, slot)?;
+            }
+            m.assign_prw(to, prw_slot)?;
+            m.set_current(Some(to))?;
+            if started {
+                m.restore_outs_from_tcb(to)?;
+                let c = m.cost().outs_transfer;
+                m.charge(CycleCategory::ContextSwitch, c);
+            }
+        }
+        self.alloc.note_scheduled(to);
+        m.record_context_switch(from, SchemeKind::Sp, saves, restores);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+    use regwin_machine::SwitchShape;
+
+    fn cpu(n: usize) -> Cpu {
+        Cpu::new(n, Box::new(SpScheme::new())).unwrap()
+    }
+
+    #[test]
+    fn resident_resume_is_a_zero_transfer_switch() {
+        let mut cpu = cpu(16);
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.save().unwrap();
+        cpu.switch_to(b).unwrap();
+        cpu.switch_to(a).unwrap(); // best case: nothing moves
+        let stats = cpu.machine().stats();
+        assert!(stats.switch_shapes.contains_key(&SwitchShape { saves: 0, restores: 0 }));
+        assert_eq!(stats.switch_saves, 0);
+        assert_eq!(stats.switch_restores, 0);
+        cpu.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn every_resident_thread_keeps_a_prw_above_its_top() {
+        let mut cpu = cpu(16);
+        let threads: Vec<_> = (0..3).map(|_| cpu.add_thread()).collect();
+        for &t in &threads {
+            cpu.switch_to(t).unwrap();
+            cpu.save().unwrap();
+        }
+        let m = cpu.machine();
+        for &t in &threads {
+            let ts = m.thread(t).unwrap();
+            let top = ts.top().unwrap();
+            assert_eq!(ts.prw(), Some(top.above(16)), "PRW adjacency for {t}");
+        }
+        cpu.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn outs_survive_without_tcb_traffic_when_prw_resident() {
+        let mut cpu = cpu(16);
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.write_out(6, 4096).unwrap(); // lives in a's PRW
+        cpu.switch_to(b).unwrap();
+        cpu.write_out(6, 8192).unwrap();
+        cpu.switch_to(a).unwrap();
+        assert_eq!(cpu.read_out(6).unwrap(), 4096);
+    }
+
+    #[test]
+    fn stolen_prw_outs_come_back_from_tcb() {
+        // Small file, three threads: scheduling c forces displacement of
+        // earlier threads' slots, stealing PRWs; outs must still survive.
+        let mut cpu = cpu(4);
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        let c = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.write_out(1, 71).unwrap();
+        cpu.switch_to(b).unwrap();
+        cpu.write_out(1, 72).unwrap();
+        cpu.switch_to(c).unwrap();
+        cpu.write_out(1, 73).unwrap();
+        cpu.switch_to(a).unwrap();
+        assert_eq!(cpu.read_out(1).unwrap(), 71);
+        cpu.switch_to(b).unwrap();
+        assert_eq!(cpu.read_out(1).unwrap(), 72);
+        cpu.switch_to(c).unwrap();
+        assert_eq!(cpu.read_out(1).unwrap(), 73);
+        cpu.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn windowless_allocation_can_need_two_saves() {
+        // Fill a 4-window file with two threads (frame + PRW each), then
+        // schedule a third: both its slots displace live data.
+        let mut cpu = cpu(4);
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        let c = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.switch_to(b).unwrap();
+        cpu.switch_to(c).unwrap();
+        let stats = cpu.machine().stats();
+        let max_saves = stats.switch_shapes.keys().map(|s| s.saves).max().unwrap();
+        assert!(max_saves >= 1, "third thread's allocation must displace something");
+        cpu.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deep_calls_and_returns_with_switches_preserve_locals() {
+        let mut cpu = cpu(6);
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.write_local(0, 1).unwrap();
+        for d in 2..=5u64 {
+            cpu.save().unwrap();
+            cpu.write_local(0, d).unwrap();
+        }
+        cpu.switch_to(b).unwrap();
+        cpu.write_local(0, 100).unwrap();
+        cpu.save().unwrap();
+        cpu.write_local(0, 101).unwrap();
+        cpu.switch_to(a).unwrap();
+        for d in (1..=4u64).rev() {
+            cpu.restore().unwrap();
+            assert_eq!(cpu.read_local(0).unwrap(), d);
+        }
+        cpu.switch_to(b).unwrap();
+        assert_eq!(cpu.read_local(0).unwrap(), 101);
+        cpu.restore().unwrap();
+        assert_eq!(cpu.read_local(0).unwrap(), 100);
+        cpu.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn works_at_two_windows() {
+        let mut cpu = cpu(2);
+        let a = cpu.add_thread();
+        let b = cpu.add_thread();
+        cpu.switch_to(a).unwrap();
+        cpu.write_local(0, 5).unwrap();
+        cpu.switch_to(b).unwrap();
+        cpu.write_local(0, 6).unwrap();
+        cpu.switch_to(a).unwrap();
+        assert_eq!(cpu.read_local(0).unwrap(), 5);
+        cpu.switch_to(b).unwrap();
+        assert_eq!(cpu.read_local(0).unwrap(), 6);
+        cpu.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn no_global_reserved_window_exists() {
+        let cpu = cpu(8);
+        assert_eq!(cpu.machine().reserved(), None);
+    }
+}

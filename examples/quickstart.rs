@@ -1,0 +1,46 @@
+//! Quickstart: run the paper's multi-threaded spell checker on a
+//! simulated 7-window SPARC-like CPU under each window-management scheme.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use regwin::prelude::*;
+
+fn main() -> Result<(), RtError> {
+    // A scaled-down corpus so the example runs in milliseconds; swap in
+    // `CorpusSpec::paper()` for the full 40 500-byte document.
+    let config = SpellConfig::new(CorpusSpec::small(), 4, 4);
+    let pipeline = SpellPipeline::new(config);
+
+    println!("spell-checking a {}-byte synthetic LaTeX document", pipeline.corpus().document.len());
+    println!(
+        "dictionaries: {} + {} bytes, {} planted misspellings\n",
+        pipeline.corpus().dict1.len(),
+        pipeline.corpus().dict2.len(),
+        pipeline.corpus().planted_misspellings.len(),
+    );
+
+    for scheme in SchemeKind::ALL {
+        let outcome = pipeline.run(7, scheme)?;
+        let report = &outcome.report;
+        println!(
+            "{:<4} {:>9} cycles | {:>6} switches (avg {:>6.1} cy) | traps: {:>5} ovf / {:>5} unf | p={:.4}",
+            scheme.name(),
+            report.total_cycles(),
+            report.stats.context_switches,
+            report.avg_switch_cycles(),
+            report.stats.overflow_traps,
+            report.stats.underflow_traps,
+            report.trap_probability(),
+        );
+        // Every scheme reports exactly the same misspellings — sharing
+        // windows is invisible to the program.
+        assert_eq!(outcome.sorted_misspellings(), pipeline.expected_sorted());
+    }
+
+    let outcome = pipeline.run(7, SchemeKind::Sp)?;
+    let words = outcome.misspellings();
+    println!("\nfirst misspellings reported: {:?}", &words[..words.len().min(8)]);
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Scheme shootout: sweep the window count and watch the crossover the
+//! paper's Figure 11 shows — NS wins with few windows, the sharing
+//! schemes win (SP first) once the file can hold the working set.
+//!
+//! ```sh
+//! cargo run --release --example scheme_shootout
+//! ```
+
+use regwin::core::report::{series_table, Series};
+use regwin::prelude::*;
+
+fn main() -> Result<(), RtError> {
+    // Fine granularity, high concurrency: 1-byte buffers everywhere —
+    // the behaviour where scheme choice matters most.
+    let config = SpellConfig::new(CorpusSpec::scaled(10), 1, 1);
+    let pipeline = SpellPipeline::new(config);
+
+    let windows = [4usize, 5, 6, 7, 8, 10, 12, 16, 24, 32];
+    let mut series: Vec<Series> = SchemeKind::ALL
+        .iter()
+        .map(|s| Series::new(s.name().to_string()))
+        .collect();
+
+    for &w in &windows {
+        for (i, &scheme) in SchemeKind::ALL.iter().enumerate() {
+            let outcome = pipeline.run(w, scheme)?;
+            series[i].push(w, outcome.report.total_cycles() as f64);
+        }
+    }
+
+    println!("{}", series_table("Execution time, fine granularity / high concurrency", "cycles", &series));
+
+    // Locate the crossover: the smallest window count where SP beats NS.
+    let ns = &series[0];
+    let sp = &series[2];
+    let crossover = windows
+        .iter()
+        .find(|&&w| sp.at(w).unwrap() < ns.at(w).unwrap());
+    match crossover {
+        Some(w) => println!("SP overtakes NS at {w} windows"),
+        None => println!("no crossover within the sweep"),
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Run real SPARC-style assembly — recursive fibonacci with genuine
+//! `save`/`restore` window traffic — under each window-management
+//! scheme, and watch the window file absorb or spill the recursion.
+//!
+//! ```sh
+//! cargo run --example sparc_fib
+//! ```
+
+use regwin::asm::{assemble, AsmMachine};
+use regwin::prelude::*;
+
+const FIB: &str = r"
+main:
+    mov 14, %o0
+    call fib
+    halt                      ! exit value = fib(14)
+
+fib:                          ! u64 fib(u64 n)
+    save                      ! new window; n arrives in %i0
+    cmp %i0, 2
+    bl  base
+    sub %i0, 1, %o0
+    call fib                  ! fib(n-1)
+    mov %o0, %l0
+    sub %i0, 2, %o0
+    call fib                  ! fib(n-2)
+    add %l0, %o0, %l1
+    restore %l1, 0, %o0       ! return via the restore-add idiom (§4.3)
+    ret
+
+base:
+    restore %i0, 0, %o0       ! fib(0) = 0, fib(1) = 1
+    ret
+";
+
+fn main() -> Result<(), regwin::asm::AsmError> {
+    let program = assemble(FIB)?;
+    println!("fib(14) by recursive SPARC-subset code, depth-15 call stack:\n");
+    println!(
+        "{:<6} {:>8} {:>12} {:>10} {:>10} {:>12}",
+        "scheme", "windows", "result", "ovf traps", "unf traps", "cycles"
+    );
+    for scheme in SchemeKind::ALL {
+        for nwindows in [4usize, 8, 16, 32] {
+            let mut m = AsmMachine::new(nwindows, scheme)?;
+            let t = m.load("main", program.clone());
+            m.run(10_000_000)?;
+            println!(
+                "{:<6} {:>8} {:>12} {:>10} {:>10} {:>12}",
+                scheme.name(),
+                nwindows,
+                m.exit_value(t).expect("halted"),
+                m.stats().overflow_traps,
+                m.stats().underflow_traps,
+                m.total_cycles(),
+            );
+            assert_eq!(m.exit_value(t), Some(377));
+        }
+    }
+    println!(
+        "\nEvery configuration computes fib(14) = 377; they differ only in\n\
+         how many window traps the recursion costs — none once the file\n\
+         holds the whole 15-frame working set."
+    );
+    Ok(())
+}

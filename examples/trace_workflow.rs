@@ -1,0 +1,61 @@
+//! The record/replay workflow: capture the spell checker's window-event
+//! trace once, then sweep schemes, analyse its §5 behaviour, and render
+//! the window file's occupancy over time — without re-running the
+//! simulation.
+//!
+//! ```sh
+//! cargo run --release --example trace_workflow
+//! ```
+
+use regwin::core::{activity, timeline};
+use regwin::machine::CostModel;
+use regwin::prelude::*;
+use regwin::traps::build_scheme;
+
+fn main() -> Result<(), RtError> {
+    // 1. Record one execution (fine granularity, high concurrency).
+    let config = SpellConfig::new(CorpusSpec::scaled(5), 2, 2);
+    let pipeline = SpellPipeline::new(config);
+    let (outcome, trace) = pipeline.run_traced(8, SchemeKind::Sp)?;
+    println!(
+        "recorded {} events from a run with {} context switches\n",
+        trace.len(),
+        outcome.report.stats.context_switches
+    );
+
+    // 2. Replay the same trace under every scheme and two window counts.
+    println!("scheme  windows      cycles   avg switch   trap p");
+    for scheme in SchemeKind::ALL {
+        for windows in [6usize, 24] {
+            let report = trace.replay(windows, CostModel::s20(), build_scheme(scheme))?;
+            println!(
+                "{:<6} {:>8} {:>11} {:>12.1} {:>8.4}",
+                scheme.name(),
+                windows,
+                report.total_cycles(),
+                report.avg_switch_cycles(),
+                report.trap_probability(),
+            );
+        }
+    }
+
+    // 3. Analyse the §5 behaviour quantities.
+    let report = activity::analyze(&trace, 5_000);
+    println!(
+        "\n§5 metrics: {:.1} cycles/run, {:.2} windows/thread, concurrency {:.2}, \
+         total activity {:.1} (peak {})",
+        report.avg_run_cycles,
+        report.avg_activity_per_thread,
+        report.avg_concurrency,
+        report.avg_total_activity,
+        report.max_total_activity,
+    );
+
+    // 4. Render the window file's life under SP vs NS.
+    for scheme in [SchemeKind::Sp, SchemeKind::Ns] {
+        let tl = timeline::sample_timeline(&trace, 10, build_scheme(scheme), 72)?;
+        println!("\n{}", tl.render());
+    }
+    println!("Under SP the digits persist across columns (threads stay resident);\nunder NS each column repaints around the single running thread.");
+    Ok(())
+}

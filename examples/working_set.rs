@@ -1,0 +1,42 @@
+//! The working-set concept on register windows (paper §4.6): when the
+//! file is small, enqueue awoken threads whose windows are still resident
+//! at the *front* of the ready queue. Concurrency drops, the active
+//! threads' total window activity fits the file, and the sharing schemes
+//! become viable with as few as 7–8 windows (paper Figure 15).
+//!
+//! ```sh
+//! cargo run --release --example working_set
+//! ```
+
+use regwin::prelude::*;
+
+fn run(policy: SchedulingPolicy, nwindows: usize) -> Result<RunReport, RtError> {
+    let config =
+        SpellConfig::new(CorpusSpec::scaled(10), 1, 1).with_policy(policy);
+    Ok(SpellPipeline::new(config).run(nwindows, SchemeKind::Sp)?.report)
+}
+
+fn main() -> Result<(), RtError> {
+    println!("SP scheme, fine granularity, FIFO vs working-set scheduling\n");
+    println!("windows   FIFO cycles     WS cycles   improvement   FIFO spills   WS spills");
+    for nwindows in [4usize, 6, 7, 8, 10, 12, 16, 24] {
+        let fifo = run(SchedulingPolicy::Fifo, nwindows)?;
+        let ws = run(SchedulingPolicy::WorkingSet, nwindows)?;
+        let gain = 100.0 * (1.0 - ws.total_cycles() as f64 / fifo.total_cycles() as f64);
+        println!(
+            "{:>7}   {:>11}   {:>11}   {:>10.1}%   {:>11}   {:>9}",
+            nwindows,
+            fifo.total_cycles(),
+            ws.total_cycles(),
+            gain,
+            fifo.stats.switch_saves + fifo.stats.overflow_spills,
+            ws.stats.switch_saves + ws.stats.overflow_spills,
+        );
+    }
+    println!(
+        "\nThe gain concentrates at small window counts, where FIFO thrashes the\n\
+         file; with plenty of windows the two policies converge — exactly the\n\
+         shape of the paper's Figure 15."
+    );
+    Ok(())
+}

@@ -66,11 +66,7 @@ fn parse_instr(
         Some((m, r)) => (m, r.trim()),
         None => (text, ""),
     };
-    let ops: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        split_operands(rest)
-    };
+    let ops: Vec<&str> = if rest.is_empty() { Vec::new() } else { split_operands(rest) };
     let label_target = |name: &str| {
         labels.get(name).copied().ok_or_else(|| AsmError::UndefinedLabel(name.to_string()))
     };
@@ -133,7 +129,11 @@ fn parse_instr(
             if ops.len() != 3 {
                 return Err(bad("expected no operands or rs1, op2, rd"));
             }
-            Ok(Instr::Restore(parse_reg(line, ops[0])?, parse_op2(line, ops[1])?, parse_reg(line, ops[2])?))
+            Ok(Instr::Restore(
+                parse_reg(line, ops[0])?,
+                parse_op2(line, ops[1])?,
+                parse_reg(line, ops[2])?,
+            ))
         }
         "ld" => {
             if ops.len() != 2 {

@@ -158,10 +158,7 @@ impl AsmMachine {
         let instr = match self.threads[idx].program.instrs().get(pc) {
             Some(i) => *i,
             None => {
-                return Err(AsmError::PcOutOfRange {
-                    thread: self.threads[idx].name.clone(),
-                    pc,
-                })
+                return Err(AsmError::PcOutOfRange { thread: self.threads[idx].name.clone(), pc })
             }
         };
         let mut next_pc = pc + 1;

@@ -19,8 +19,12 @@ enum Piece {
 }
 
 fn piece_strategy(depth: u32) -> BoxedStrategy<Piece> {
-    let alu = (0u8..7, 0u8..4, -100i16..100, 0u8..4)
-        .prop_map(|(op, a, imm, d)| Piece::Alu { op, a, imm, d });
+    let alu = (0u8..7, 0u8..4, -100i16..100, 0u8..4).prop_map(|(op, a, imm, d)| Piece::Alu {
+        op,
+        a,
+        imm,
+        d,
+    });
     if depth == 0 {
         alu.boxed()
     } else {

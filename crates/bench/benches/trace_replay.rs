@@ -16,8 +16,7 @@ fn bench_replay(c: &mut Criterion) {
     for scheme in SchemeKind::ALL {
         group.bench_function(scheme.name(), |b| {
             b.iter(|| {
-                let report =
-                    trace.replay(8, CostModel::s20(), build_scheme(scheme)).unwrap();
+                let report = trace.replay(8, CostModel::s20(), build_scheme(scheme)).unwrap();
                 black_box(report.total_cycles())
             });
         });

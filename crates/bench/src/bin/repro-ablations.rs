@@ -3,22 +3,18 @@
 
 use regwin_bench::Args;
 use regwin_core::ablations;
+use regwin_sweep::run_ablation;
 
 fn main() {
     let args = Args::parse();
+    let engine = args.engine();
     let windows = args.windows();
-    eprintln!("Recording base trace ({}% corpus, fine/high)...", args.scale);
-    let trace = ablations::record_base_trace(args.corpus()).expect("base trace records");
-    eprintln!("Replaying {} variants...", 4);
+    let corpus = args.corpus();
 
-    let studies = [
-        ablations::alloc_policies(&trace, &windows).expect("alloc ablation"),
-        ablations::copy_modes(&trace, &windows).expect("copy ablation"),
-        ablations::flush_variants(&trace, &windows).expect("flush ablation"),
-        ablations::spill_batches(&trace, &windows).expect("batch ablation"),
-    ];
-    for (i, study) in studies.iter().enumerate() {
+    for (i, set) in ablations::all_variant_sets().iter().enumerate() {
+        let study = run_ablation(&engine, corpus, &windows, set).expect("ablation runs");
         println!("{}", study.table);
         args.save_csv(&format!("ablation{}", i + 1), &study.table);
     }
+    args.finish(&engine);
 }

@@ -1,66 +1,69 @@
 //! Reproduces every table and figure of the paper's evaluation in one
 //! run, sharing the high-concurrency sweep between Figures 11–13 (as the
 //! paper does) and printing a shape-check summary at the end.
+//!
+//! Everything executes through one `regwin-sweep` engine, so all
+//! exhibits share one result cache and one `BENCH_sweep.json` job log —
+//! Table 1's runs are cache hits for the figure sweeps, and a repeat
+//! invocation with an intact cache simulates nothing at all.
 
-use regwin_bench::{progress, Args};
-use regwin_core::figures::{self, FigureResult, Sweep};
-use regwin_core::{report, SchedulingPolicy};
+use regwin_bench::Args;
+use regwin_core::figures::{self, FigureId, FigureResult, Sweep};
+use regwin_core::SchedulingPolicy;
 
 fn main() {
     let args = Args::parse();
+    let engine = args.engine();
     let corpus = args.corpus();
     let windows = args.windows();
 
     eprintln!("Table 1 ({}% corpus)...", args.scale);
-    let table1 = figures::table1(corpus, progress).expect("table 1 runs");
+    let table1 = figures::table1_from_records(
+        &engine.run_matrix(&figures::table1_spec(corpus)).expect("table 1 runs"),
+    );
     println!("{}", table1.table);
     args.save_csv("table1", &table1.table);
 
-    let table2 = figures::table2(corpus).expect("table 2 runs");
+    let table2 = figures::table2_from_records(
+        &engine.run_matrix(&figures::table2_observed_spec(corpus)).expect("table 2 runs"),
+    );
     println!("{}", table2.table);
     println!("{}", table2.observed);
     args.save_csv("table2_model", &table2.table);
     args.save_csv("table2_observed", &table2.observed);
 
     eprintln!("High-concurrency sweep (figures 11-13)...");
-    let high = Sweep::high(corpus, &windows, SchedulingPolicy::Fifo, progress)
-        .expect("high-concurrency sweep runs");
-    let fig11 = figure(
-        "Figure 11: execution time at high concurrency (FIFO)",
-        "cycles",
-        high.execution_time_series(),
+    let high = Sweep::from_records(
+        engine
+            .run_matrix(&Sweep::high_spec(corpus, &windows, SchedulingPolicy::Fifo))
+            .expect("high-concurrency sweep runs"),
     );
-    let fig12 = figure(
-        "Figure 12: average context-switch cycles at high concurrency",
-        "cycles/switch",
-        high.avg_switch_series(),
-    );
-    let fig13 = figure(
-        "Figure 13: probability of window traps at high concurrency",
-        "traps per save/restore",
-        high.trap_probability_series(),
-    );
-    for (name, fig) in [("fig11", &fig11), ("fig12", &fig12), ("fig13", &fig13)] {
+    let fig11 = FigureId::Fig11.from_sweep(&high);
+    let fig12 = FigureId::Fig12.from_sweep(&high);
+    let fig13 = FigureId::Fig13.from_sweep(&high);
+    for (id, fig) in
+        [(FigureId::Fig11, &fig11), (FigureId::Fig12, &fig12), (FigureId::Fig13, &fig13)]
+    {
         println!("{}", fig.table);
-        args.save_csv(name, &fig.table);
+        args.save_csv(id.csv_name(), &fig.table);
     }
 
     eprintln!("Low-concurrency sweep (figure 14)...");
-    let fig14 = figures::fig14(corpus, &windows, progress).expect("figure 14 runs");
+    let fig14 = FigureId::Fig14.from_sweep(&Sweep::from_records(
+        engine.run_matrix(&FigureId::Fig14.spec(corpus, &windows)).expect("figure 14 runs"),
+    ));
     println!("{}", fig14.table);
     args.save_csv("fig14", &fig14.table);
 
     eprintln!("Working-set sweep (figure 15)...");
-    let fig15 = figures::fig15(corpus, &windows, progress).expect("figure 15 runs");
+    let fig15 = FigureId::Fig15.from_sweep(&Sweep::from_records(
+        engine.run_matrix(&FigureId::Fig15.spec(corpus, &windows)).expect("figure 15 runs"),
+    ));
     println!("{}", fig15.table);
     args.save_csv("fig15", &fig15.table);
 
     println!("{}", shape_checks(&windows, &table2, &fig11, &fig12, &fig13, &fig15));
-}
-
-fn figure(title: &str, value_name: &str, series: Vec<report::Series>) -> FigureResult {
-    let table = report::series_table(title, value_name, &series);
-    FigureResult { title: title.to_string(), series, table }
+    args.finish(&engine);
 }
 
 /// The qualitative claims of the paper's evaluation, checked against the
@@ -106,7 +109,10 @@ fn shape_checks(
         fig12.series_by_label("SP fine").and_then(|s| s.at(max_w)),
         fig12.series_by_label("NS fine").and_then(|s| s.at(max_w)),
     ) {
-        check("Fig 12: SP switch cost near best case, far below NS, with many windows", sp < 110.0 && ns > 140.0);
+        check(
+            "Fig 12: SP switch cost near best case, far below NS, with many windows",
+            sp < 110.0 && ns > 140.0,
+        );
     }
 
     if let Some(p) = fig13.series_by_label("SP fine").and_then(|s| s.at(max_w)) {
@@ -136,10 +142,7 @@ fn shape_checks(
         fig11.series_by_label("SP fine").and_then(|s| s.at(max_w)),
         fig15.series_by_label("SP fine").and_then(|s| s.at(max_w)),
     ) {
-        check(
-            "Fig 15: no significant loss at many windows (within 2%)",
-            ws <= fifo * 1.02,
-        );
+        check("Fig 15: no significant loss at many windows (within 2%)", ws <= fifo * 1.02);
     }
     out
 }

@@ -1,17 +1,11 @@
 //! Reproduces Figure 13 of the paper's evaluation.
 
-use regwin_bench::{progress, Args};
-use regwin_core::figures;
+use regwin_bench::{run_figure, Args};
+use regwin_core::figures::FigureId;
 
 fn main() {
     let args = Args::parse();
-    eprintln!("Figure 13 ({}% corpus)...", args.scale);
-    let result =
-        figures::fig13(args.corpus(), &args.windows(), progress).expect("figure 13 runs");
-    println!("{}", result.table);
-    println!(
-        "{}",
-        regwin_core::chart::ascii_chart(&result.title, "value", &result.series, 64, 18)
-    );
-    args.save_csv("fig13", &result.table);
+    let engine = args.engine();
+    run_figure(&args, &engine, FigureId::Fig13).expect("figure 13 runs");
+    args.finish(&engine);
 }

@@ -1,17 +1,11 @@
 //! Reproduces Figure 15 of the paper's evaluation.
 
-use regwin_bench::{progress, Args};
-use regwin_core::figures;
+use regwin_bench::{run_figure, Args};
+use regwin_core::figures::FigureId;
 
 fn main() {
     let args = Args::parse();
-    eprintln!("Figure 15 ({}% corpus)...", args.scale);
-    let result =
-        figures::fig15(args.corpus(), &args.windows(), progress).expect("figure 15 runs");
-    println!("{}", result.table);
-    println!(
-        "{}",
-        regwin_core::chart::ascii_chart(&result.title, "value", &result.series, 64, 18)
-    );
-    args.save_csv("fig15", &result.table);
+    let engine = args.engine();
+    run_figure(&args, &engine, FigureId::Fig15).expect("figure 15 runs");
+    args.finish(&engine);
 }

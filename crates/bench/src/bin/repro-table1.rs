@@ -1,12 +1,15 @@
 //! Reproduces Table 1: program behaviour of the spell checker.
 
-use regwin_bench::{progress, Args};
+use regwin_bench::Args;
 use regwin_core::figures;
 
 fn main() {
     let args = Args::parse();
+    let engine = args.engine();
     eprintln!("Table 1 ({}% corpus)...", args.scale);
-    let result = figures::table1(args.corpus(), progress).expect("table 1 runs");
+    let records = engine.run_matrix(&figures::table1_spec(args.corpus())).expect("table 1 runs");
+    let result = figures::table1_from_records(&records);
     println!("{}", result.table);
     args.save_csv("table1", &result.table);
+    args.finish(&engine);
 }

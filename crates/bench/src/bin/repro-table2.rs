@@ -5,7 +5,10 @@ use regwin_core::figures;
 
 fn main() {
     let args = Args::parse();
-    let result = figures::table2(args.corpus()).expect("table 2 runs");
+    let engine = args.engine();
+    let records =
+        engine.run_matrix(&figures::table2_observed_spec(args.corpus())).expect("table 2 runs");
+    let result = figures::table2_from_records(&records);
     println!("{}", result.table);
     println!();
     println!("{}", result.observed);
@@ -15,4 +18,5 @@ fn main() {
     );
     args.save_csv("table2_model", &result.table);
     args.save_csv("table2_observed", &result.observed);
+    args.finish(&engine);
 }

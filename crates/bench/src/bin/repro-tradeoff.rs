@@ -3,17 +3,20 @@
 //! the gain. Sweeps the access-time penalty and reports each scheme's
 //! optimal window count.
 
-use regwin_bench::{progress, Args};
+use regwin_bench::Args;
 use regwin_core::figures::Sweep;
 use regwin_core::tradeoff::{analyze, AccessTimeModel};
 use regwin_core::{SchedulingPolicy, TextTable};
 
 fn main() {
     let args = Args::parse();
+    let engine = args.engine();
     let windows = args.windows();
     eprintln!("High-concurrency sweep ({}% corpus)...", args.scale);
-    let sweep = Sweep::high(args.corpus(), &windows, SchedulingPolicy::Fifo, progress)
+    let records = engine
+        .run_matrix(&Sweep::high_spec(args.corpus(), &windows, SchedulingPolicy::Fifo))
         .expect("sweep runs");
+    let sweep = Sweep::from_records(records);
 
     let mut optima = TextTable::new(
         "Optimal window count vs register-access penalty (fine granularity)",
@@ -48,4 +51,5 @@ fn main() {
          benefits from more windows at all."
     );
     args.save_csv("tradeoff_optima", &optima);
+    args.finish(&engine);
 }

@@ -53,8 +53,7 @@ fn record(path: &str, rest: &[String]) {
     } else {
         SchedulingPolicy::Fifo
     };
-    let corpus =
-        if scale == 100 { CorpusSpec::paper() } else { CorpusSpec::scaled(scale) };
+    let corpus = if scale == 100 { CorpusSpec::paper() } else { CorpusSpec::scaled(scale) };
     eprintln!("recording spell checker: {scale}% corpus, M={m}, N={n}, {policy}...");
     let config = SpellConfig::new(corpus, m, n).with_policy(policy);
     let pipeline = SpellPipeline::new(config);
@@ -121,6 +120,9 @@ fn analyze(path: &str) {
     println!("  granularity:          {:.1} cycles/run", report.avg_run_cycles);
     println!("  activity per thread:  {:.2} windows/run", report.avg_activity_per_thread);
     println!("  concurrency:          {:.2} threads/period", report.avg_concurrency);
-    println!("  total window activity {:.2} (peak {})", report.avg_total_activity, report.max_total_activity);
+    println!(
+        "  total window activity {:.2} (peak {})",
+        report.avg_total_activity, report.max_total_activity
+    );
     println!("  parallel slackness:   {:.2}", report.avg_parallel_slackness);
 }

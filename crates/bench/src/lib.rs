@@ -20,13 +20,24 @@
 //!
 //! Common flags: `--scale <pct>` (corpus size as % of the paper's,
 //! default 100), `--quick` (reduced window sweep), `--out <dir>` (also
-//! write CSV files).
+//! write CSV files), `--cache-dir <dir>` (result cache location,
+//! default `target/sweep-cache`), `--no-cache`, `--jobs <n>` (worker
+//! threads, default one per CPU).
+//!
+//! All repro binaries execute through the `regwin-sweep` engine: jobs
+//! are content-addressed, cached across invocations, fanned out over a
+//! worker pool, and logged to a `BENCH_sweep.json` artifact.
 
 #![deny(missing_docs)]
 
+use regwin_core::figures::{FigureId, Sweep};
 use regwin_core::{CorpusSpec, MatrixSpec, TextTable};
+use regwin_rt::RtError;
+use regwin_sweep::{SweepConfig, SweepEngine};
 use std::io::Write as _;
 use std::path::PathBuf;
+
+pub use regwin_core::figures::FigureResult;
 
 /// Parsed command-line options shared by all repro binaries.
 #[derive(Debug, Clone)]
@@ -37,12 +48,22 @@ pub struct Args {
     pub quick: bool,
     /// Directory to write CSV outputs into.
     pub out_dir: Option<PathBuf>,
+    /// Result-cache directory (`None` with `--no-cache`).
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads (`0` = one per CPU).
+    pub jobs: usize,
 }
 
 impl Args {
     /// Parses `std::env::args()`. Exits with a usage message on error.
     pub fn parse() -> Self {
-        let mut args = Args { scale: 100, quick: false, out_dir: None };
+        let mut args = Args {
+            scale: 100,
+            quick: false,
+            out_dir: None,
+            cache_dir: Some(PathBuf::from("target/sweep-cache")),
+            jobs: 0,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -54,14 +75,54 @@ impl Args {
                 }
                 "--quick" => args.quick = true,
                 "--out" => {
-                    args.out_dir =
-                        Some(PathBuf::from(it.next().unwrap_or_else(|| usage("--out needs a dir"))));
+                    args.out_dir = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--out needs a dir")),
+                    ));
                 }
-                "--help" | "-h" => usage("") ,
+                "--cache-dir" => {
+                    args.cache_dir = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--cache-dir needs a dir")),
+                    ));
+                }
+                "--no-cache" => args.cache_dir = None,
+                "--jobs" => {
+                    args.jobs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--jobs needs a thread count"));
+                }
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
         args
+    }
+
+    /// The sweep engine for this invocation: caching per `--cache-dir`/
+    /// `--no-cache`, `--jobs` workers, progress events on stderr.
+    pub fn engine(&self) -> SweepEngine {
+        SweepEngine::new(SweepConfig {
+            cache_dir: self.cache_dir.clone(),
+            workers: self.jobs,
+            stream_events: true,
+        })
+    }
+
+    /// Prints the engine's aggregate counters and writes the
+    /// `BENCH_sweep.json` artifact (into `--out` if given, else the
+    /// current directory). Call once per binary, after the last sweep.
+    pub fn finish(&self, engine: &SweepEngine) {
+        let s = engine.summary();
+        eprintln!(
+            "sweep: {} jobs, {} cache hits, {} executed",
+            s.jobs, s.cache_hits, s.cache_misses
+        );
+        let path =
+            self.out_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_sweep.json");
+        match engine.write_artifact(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
     }
 
     /// The corpus spec for this invocation.
@@ -104,7 +165,10 @@ fn usage(problem: &str) -> ! {
     if !problem.is_empty() {
         eprintln!("error: {problem}");
     }
-    eprintln!("usage: repro-* [--scale <pct>] [--quick] [--out <dir>]");
+    eprintln!(
+        "usage: repro-* [--scale <pct>] [--quick] [--out <dir>] \
+         [--jobs <n>] [--cache-dir <dir> | --no-cache]"
+    );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }
 
@@ -115,4 +179,26 @@ pub fn progress(done: usize, total: usize) {
         eprintln!();
     }
     let _ = std::io::stderr().flush();
+}
+
+/// The whole body of a `repro-figNN` binary: runs the figure's sweep
+/// through the engine, prints the table and an ASCII chart, saves the
+/// CSV, and returns the result. The five figure binaries differ only in
+/// the [`FigureId`] they pass.
+///
+/// # Errors
+///
+/// Propagates the first failed run.
+pub fn run_figure(
+    args: &Args,
+    engine: &SweepEngine,
+    fig: FigureId,
+) -> Result<FigureResult, RtError> {
+    eprintln!("{} ({}% corpus)...", fig.title(), args.scale);
+    let records = engine.run_matrix(&fig.spec(args.corpus(), &args.windows()))?;
+    let result = fig.from_sweep(&Sweep::from_records(records));
+    println!("{}", result.table);
+    println!("{}", regwin_core::chart::ascii_chart(&result.title, "value", &result.series, 64, 18));
+    args.save_csv(fig.csv_name(), &result.table);
+    Ok(result)
 }

@@ -13,8 +13,122 @@ use regwin_rt::{RtError, Trace};
 use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
 use regwin_traps::{AllocPolicy, CopyMode, NsScheme, Scheme, SchemeKind, SnpScheme, SpScheme};
 
-/// A named scheme-variant factory for an ablation study.
-pub type VariantFactory = Box<dyn Fn() -> Box<dyn Scheme>>;
+/// A named scheme-variant factory for an ablation study. `Send + Sync`
+/// so an external engine can build scheme instances from worker threads.
+pub type VariantFactory = Box<dyn Fn() -> Box<dyn Scheme> + Send + Sync>;
+
+/// One ablation study's variant list, separated from execution so an
+/// external engine can run the variants as cacheable jobs.
+pub struct VariantSet {
+    /// Stable identifier (used in cache keys), e.g. `"alloc"`.
+    pub slug: &'static str,
+    /// The study's display title.
+    pub title: &'static str,
+    /// Labelled scheme factories, in display order.
+    pub variants: Vec<(String, VariantFactory)>,
+}
+
+impl std::fmt::Debug for VariantSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VariantSet")
+            .field("slug", &self.slug)
+            .field("title", &self.title)
+            .field("variants", &self.variants.iter().map(|(l, _)| l).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// All four ablation studies, in the order `repro-ablations` prints
+/// them.
+pub fn all_variant_sets() -> Vec<VariantSet> {
+    vec![
+        alloc_policy_variants(),
+        copy_mode_variants(),
+        flush_type_variants(),
+        spill_batch_variants(),
+    ]
+}
+
+/// §4.2 variant list: window allocation policies under both sharing
+/// schemes.
+pub fn alloc_policy_variants() -> VariantSet {
+    let mut variants: Vec<(String, VariantFactory)> = Vec::new();
+    for policy in [AllocPolicy::AboveSuspended, AllocPolicy::FirstFree, AllocPolicy::LruBottom] {
+        variants.push((
+            format!("SNP {policy:?}"),
+            Box::new(move || Box::new(SnpScheme::new().with_alloc_policy(policy))),
+        ));
+        variants.push((
+            format!("SP {policy:?}"),
+            Box::new(move || Box::new(SpScheme::new().with_alloc_policy(policy))),
+        ));
+    }
+    VariantSet {
+        slug: "alloc",
+        title: "Ablation §4.2: window allocation policy (fine/high)",
+        variants,
+    }
+}
+
+/// §4.3 variant list: full vs return-only in-register copy.
+pub fn copy_mode_variants() -> VariantSet {
+    let variants: Vec<(String, VariantFactory)> = vec![
+        (
+            "SP full-copy".into(),
+            Box::new(|| Box::new(SpScheme::new().with_copy_mode(CopyMode::Full))),
+        ),
+        (
+            "SP return-only".into(),
+            Box::new(|| Box::new(SpScheme::new().with_copy_mode(CopyMode::ReturnOnly))),
+        ),
+        (
+            "SNP full-copy".into(),
+            Box::new(|| Box::new(SnpScheme::new().with_copy_mode(CopyMode::Full))),
+        ),
+        (
+            "SNP return-only".into(),
+            Box::new(|| Box::new(SnpScheme::new().with_copy_mode(CopyMode::ReturnOnly))),
+        ),
+    ];
+    VariantSet {
+        slug: "copy",
+        title: "Ablation §4.3: underflow in-register copy mode (fine/high)",
+        variants,
+    }
+}
+
+/// §4.4 variant list: leave-in-situ vs flush-type context switches.
+pub fn flush_type_variants() -> VariantSet {
+    let variants: Vec<(String, VariantFactory)> = vec![
+        ("SP in-situ".into(), Box::new(|| Box::new(SpScheme::new()))),
+        ("SP flush".into(), Box::new(|| Box::new(SpScheme::new().with_flush_on_suspend(true)))),
+        ("SNP in-situ".into(), Box::new(|| Box::new(SnpScheme::new()))),
+        ("SNP flush".into(), Box::new(|| Box::new(SnpScheme::new().with_flush_on_suspend(true)))),
+    ];
+    VariantSet {
+        slug: "flush",
+        title: "Ablation §4.4: in-situ vs flush-type context switch (fine/high)",
+        variants,
+    }
+}
+
+/// Tamir–Sequin variant list: windows transferred per NS trap.
+pub fn spill_batch_variants() -> VariantSet {
+    let mut variants: Vec<(String, VariantFactory)> = Vec::new();
+    for batch in [1usize, 2, 4] {
+        variants.push((
+            format!("NS batch {batch}"),
+            Box::new(move || {
+                Box::new(NsScheme::new().with_overflow_batch(batch).with_underflow_batch(batch))
+            }),
+        ));
+    }
+    VariantSet {
+        slug: "batch",
+        title: "Ablation (Tamir & Sequin): windows transferred per NS trap (fine/high)",
+        variants,
+    }
+}
 
 /// One ablation study: a named variant set swept over window counts.
 #[derive(Debug, Clone)]
@@ -47,14 +161,20 @@ pub fn record_base_trace(corpus: CorpusSpec) -> Result<Trace, RtError> {
     Ok(trace)
 }
 
+/// Assembles an [`AblationResult`] from ready-made series — usable
+/// directly with variant runs executed by an external engine.
+pub fn ablation_from_series(title: &str, series: Vec<Series>) -> AblationResult {
+    let table = series_table(title, "cycles", &series);
+    AblationResult { title: title.to_string(), series, table }
+}
+
 fn sweep_variants(
-    title: &str,
+    set: &VariantSet,
     trace: &Trace,
     windows: &[usize],
-    variants: Vec<(String, VariantFactory)>,
 ) -> Result<AblationResult, RtError> {
     let mut series = Vec::new();
-    for (label, make) in &variants {
+    for (label, make) in &set.variants {
         let mut s = Series::new(label.clone());
         for &w in windows {
             let report = trace.replay(w, CostModel::s20(), make())?;
@@ -62,8 +182,7 @@ fn sweep_variants(
         }
         series.push(s);
     }
-    let table = series_table(title, "cycles", &series);
-    Ok(AblationResult { title: title.to_string(), series, table })
+    Ok(ablation_from_series(set.title, series))
 }
 
 /// §4.2 — window allocation policies for windowless incoming threads,
@@ -75,18 +194,7 @@ fn sweep_variants(
 ///
 /// Propagates runtime errors.
 pub fn alloc_policies(trace: &Trace, windows: &[usize]) -> Result<AblationResult, RtError> {
-    let mut variants: Vec<(String, VariantFactory)> = Vec::new();
-    for policy in [AllocPolicy::AboveSuspended, AllocPolicy::FirstFree, AllocPolicy::LruBottom] {
-        variants.push((
-            format!("SNP {policy:?}"),
-            Box::new(move || Box::new(SnpScheme::new().with_alloc_policy(policy))),
-        ));
-        variants.push((
-            format!("SP {policy:?}"),
-            Box::new(move || Box::new(SpScheme::new().with_alloc_policy(policy))),
-        ));
-    }
-    sweep_variants("Ablation §4.2: window allocation policy (fine/high)", trace, windows, variants)
+    sweep_variants(&alloc_policy_variants(), trace, windows)
 }
 
 /// §4.3 — full vs return-only in-register copy on in-place underflow.
@@ -95,25 +203,7 @@ pub fn alloc_policies(trace: &Trace, windows: &[usize]) -> Result<AblationResult
 ///
 /// Propagates runtime errors.
 pub fn copy_modes(trace: &Trace, windows: &[usize]) -> Result<AblationResult, RtError> {
-    let variants: Vec<(String, VariantFactory)> = vec![
-        (
-            "SP full-copy".into(),
-            Box::new(|| Box::new(SpScheme::new().with_copy_mode(CopyMode::Full))),
-        ),
-        (
-            "SP return-only".into(),
-            Box::new(|| Box::new(SpScheme::new().with_copy_mode(CopyMode::ReturnOnly))),
-        ),
-        (
-            "SNP full-copy".into(),
-            Box::new(|| Box::new(SnpScheme::new().with_copy_mode(CopyMode::Full))),
-        ),
-        (
-            "SNP return-only".into(),
-            Box::new(|| Box::new(SnpScheme::new().with_copy_mode(CopyMode::ReturnOnly))),
-        ),
-    ];
-    sweep_variants("Ablation §4.3: underflow in-register copy mode (fine/high)", trace, windows, variants)
+    sweep_variants(&copy_mode_variants(), trace, windows)
 }
 
 /// §4.4 — leave-in-situ vs flush-type context switches for the sharing
@@ -124,19 +214,7 @@ pub fn copy_modes(trace: &Trace, windows: &[usize]) -> Result<AblationResult, Rt
 ///
 /// Propagates runtime errors.
 pub fn flush_variants(trace: &Trace, windows: &[usize]) -> Result<AblationResult, RtError> {
-    let variants: Vec<(String, VariantFactory)> = vec![
-        ("SP in-situ".into(), Box::new(|| Box::new(SpScheme::new()))),
-        (
-            "SP flush".into(),
-            Box::new(|| Box::new(SpScheme::new().with_flush_on_suspend(true))),
-        ),
-        ("SNP in-situ".into(), Box::new(|| Box::new(SnpScheme::new()))),
-        (
-            "SNP flush".into(),
-            Box::new(|| Box::new(SnpScheme::new().with_flush_on_suspend(true))),
-        ),
-    ];
-    sweep_variants("Ablation §4.4: in-situ vs flush-type context switch (fine/high)", trace, windows, variants)
+    sweep_variants(&flush_type_variants(), trace, windows)
 }
 
 /// The Tamir–Sequin rule (the paper's ref.\[15\], adopted in §2): windows transferred per
@@ -146,21 +224,7 @@ pub fn flush_variants(trace: &Trace, windows: &[usize]) -> Result<AblationResult
 ///
 /// Propagates runtime errors.
 pub fn spill_batches(trace: &Trace, windows: &[usize]) -> Result<AblationResult, RtError> {
-    let mut variants: Vec<(String, VariantFactory)> = Vec::new();
-    for batch in [1usize, 2, 4] {
-        variants.push((
-            format!("NS batch {batch}"),
-            Box::new(move || {
-                Box::new(NsScheme::new().with_overflow_batch(batch).with_underflow_batch(batch))
-            }),
-        ));
-    }
-    sweep_variants(
-        "Ablation (Tamir & Sequin): windows transferred per NS trap (fine/high)",
-        trace,
-        windows,
-        variants,
-    )
+    sweep_variants(&spill_batch_variants(), trace, windows)
 }
 
 #[cfg(test)]

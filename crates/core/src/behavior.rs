@@ -48,8 +48,7 @@ pub enum Granularity {
 
 impl Granularity {
     /// All levels, coarse first (paper order).
-    pub const ALL: [Granularity; 3] =
-        [Granularity::Coarse, Granularity::Medium, Granularity::Fine];
+    pub const ALL: [Granularity; 3] = [Granularity::Coarse, Granularity::Medium, Granularity::Fine];
 
     /// The N (word-stream) buffer size in bytes.
     pub fn n_bytes(self) -> usize {

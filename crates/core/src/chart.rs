@@ -83,7 +83,13 @@ pub fn ascii_chart(
         out.push('\n');
     }
     out.push_str(&format!("{:>12} └{}\n", 0, "─".repeat(width)));
-    out.push_str(&format!("{:>14}{:<w$}{}\n", x_min as usize, "", x_max as usize, w = width.saturating_sub(8)));
+    out.push_str(&format!(
+        "{:>14}{:<w$}{}\n",
+        x_min as usize,
+        "",
+        x_max as usize,
+        w = width.saturating_sub(8)
+    ));
     out.push_str(&format!("{:>14}windows — {value_name}\n", ""));
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!("    {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));

@@ -1,11 +1,11 @@
 //! Drivers for every table and figure in the paper's evaluation.
 
-use crate::behavior::Behavior;
+use crate::behavior::{Behavior, Concurrency, Granularity};
 use crate::matrix::{run_matrix, MatrixSpec, RunRecord};
 use crate::report::{series_table, Series, TextTable};
 use regwin_machine::{CostModel, SchemeKind, SwitchShape};
 use regwin_rt::{RtError, SchedulingPolicy};
-use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
+use regwin_spell::CorpusSpec;
 
 /// A reproduced figure: its series plus a rendered text table.
 #[derive(Debug, Clone)]
@@ -34,6 +34,39 @@ pub struct Sweep {
 }
 
 impl Sweep {
+    /// The matrix behind the high-concurrency sweep (Figures 11–13 with
+    /// [`SchedulingPolicy::Fifo`], Figure 15 with
+    /// [`SchedulingPolicy::WorkingSet`]). Execute it with
+    /// [`run_matrix`] or an external engine, then assemble with
+    /// [`Sweep::from_records`].
+    pub fn high_spec(
+        corpus: CorpusSpec,
+        windows: &[usize],
+        policy: SchedulingPolicy,
+    ) -> MatrixSpec {
+        MatrixSpec {
+            corpus,
+            behaviors: Behavior::high_concurrency().to_vec(),
+            schemes: SchemeKind::ALL.to_vec(),
+            windows: windows.to_vec(),
+            policy,
+        }
+    }
+
+    /// The matrix behind the low-concurrency sweep (Figure 14).
+    pub fn low_spec(corpus: CorpusSpec, windows: &[usize], policy: SchedulingPolicy) -> MatrixSpec {
+        MatrixSpec {
+            behaviors: Behavior::low_concurrency().to_vec(),
+            ..Self::high_spec(corpus, windows, policy)
+        }
+    }
+
+    /// Wraps already-executed records (from [`run_matrix`] or the sweep
+    /// engine) as a sweep.
+    pub fn from_records(records: Vec<RunRecord>) -> Self {
+        Sweep { records }
+    }
+
     /// Runs the high-concurrency sweep (Figures 11–13 with
     /// [`SchedulingPolicy::Fifo`], Figure 15 with
     /// [`SchedulingPolicy::WorkingSet`]).
@@ -47,7 +80,7 @@ impl Sweep {
         policy: SchedulingPolicy,
         progress: impl Fn(usize, usize) + Sync,
     ) -> Result<Self, RtError> {
-        Self::run(corpus, Behavior::high_concurrency().to_vec(), windows, policy, progress)
+        Ok(Self::from_records(run_matrix(&Self::high_spec(corpus, windows, policy), progress)?))
     }
 
     /// Runs the low-concurrency sweep (Figure 14).
@@ -61,24 +94,7 @@ impl Sweep {
         policy: SchedulingPolicy,
         progress: impl Fn(usize, usize) + Sync,
     ) -> Result<Self, RtError> {
-        Self::run(corpus, Behavior::low_concurrency().to_vec(), windows, policy, progress)
-    }
-
-    fn run(
-        corpus: CorpusSpec,
-        behaviors: Vec<Behavior>,
-        windows: &[usize],
-        policy: SchedulingPolicy,
-        progress: impl Fn(usize, usize) + Sync,
-    ) -> Result<Self, RtError> {
-        let spec = MatrixSpec {
-            corpus,
-            behaviors,
-            schemes: SchemeKind::ALL.to_vec(),
-            windows: windows.to_vec(),
-            policy,
-        };
-        Ok(Sweep { records: run_matrix(&spec, progress)? })
+        Ok(Self::from_records(run_matrix(&Self::low_spec(corpus, windows, policy), progress)?))
     }
 
     /// The raw run records.
@@ -141,9 +157,19 @@ impl Table1Result {
     /// Total context switches per behaviour.
     pub fn totals(&self) -> Vec<u64> {
         let nbehaviors = Behavior::ALL.len();
-        (0..nbehaviors)
-            .map(|b| self.switch_counts.iter().map(|row| row[b]).sum())
-            .collect()
+        (0..nbehaviors).map(|b| self.switch_counts.iter().map(|row| row[b]).sum()).collect()
+    }
+}
+
+/// The matrix behind Table 1: one run per behaviour. The switch counts
+/// are scheme-independent (§5.2), so a single scheme suffices.
+pub fn table1_spec(corpus: CorpusSpec) -> MatrixSpec {
+    MatrixSpec {
+        corpus,
+        behaviors: Behavior::ALL.to_vec(),
+        schemes: vec![SchemeKind::Sp],
+        windows: vec![8],
+        policy: SchedulingPolicy::Fifo,
     }
 }
 
@@ -158,14 +184,12 @@ pub fn table1(
     corpus: CorpusSpec,
     progress: impl Fn(usize, usize) + Sync,
 ) -> Result<Table1Result, RtError> {
-    let spec = MatrixSpec {
-        corpus,
-        behaviors: Behavior::ALL.to_vec(),
-        schemes: vec![SchemeKind::Sp],
-        windows: vec![8],
-        policy: SchedulingPolicy::Fifo,
-    };
-    let records = run_matrix(&spec, progress)?;
+    Ok(table1_from_records(&run_matrix(&table1_spec(corpus), progress)?))
+}
+
+/// Assembles Table 1 from already-executed [`table1_spec`] records (in
+/// their deterministic [`Behavior::ALL`] order).
+pub fn table1_from_records(records: &[RunRecord]) -> Table1Result {
     let nthreads = records[0].report.threads.len();
     let thread_names: Vec<String> =
         records[0].report.threads.iter().map(|t| t.name.clone()).collect();
@@ -198,7 +222,7 @@ pub fn table1(
     total_row.push(result.save_counts.iter().sum::<u64>().to_string());
     let mut table = result.table.clone();
     table.row(total_row);
-    Ok(Table1Result { table, ..result })
+    Table1Result { table, ..result }
 }
 
 // --------------------------------------------------------------------
@@ -235,6 +259,18 @@ pub struct Table2Result {
     pub observed: TextTable,
 }
 
+/// The matrix behind Table 2's observed-shapes section: one M=N=4-byte
+/// (high/medium) run per scheme on 8 windows.
+pub fn table2_observed_spec(corpus: CorpusSpec) -> MatrixSpec {
+    MatrixSpec {
+        corpus,
+        behaviors: vec![Behavior::new(Concurrency::High, Granularity::Medium)],
+        schemes: SchemeKind::ALL.to_vec(),
+        windows: vec![8],
+        policy: SchedulingPolicy::Fifo,
+    }
+}
+
 /// Reproduces Table 2: the calibrated cost model's cycles per context
 /// switch for each transfer shape, checked against the paper's measured
 /// ranges, plus the shapes *observed* in an actual spell-checker run
@@ -245,6 +281,13 @@ pub struct Table2Result {
 ///
 /// Propagates the first failed run.
 pub fn table2(corpus: CorpusSpec) -> Result<Table2Result, RtError> {
+    Ok(table2_from_records(&run_matrix(&table2_observed_spec(corpus), |_, _| {})?))
+}
+
+/// Assembles Table 2 from already-executed [`table2_observed_spec`]
+/// records. The model-vs-paper section needs no simulation at all; the
+/// records feed only the observed-shapes histogram.
+pub fn table2_from_records(records: &[RunRecord]) -> Table2Result {
     let model = CostModel::s20();
     let mut table = TextTable::new(
         "Table 2: cycles per context switch (model vs paper measurement)",
@@ -265,33 +308,126 @@ pub fn table2(corpus: CorpusSpec) -> Result<Table2Result, RtError> {
         ]);
     }
 
-    // Observed shapes: run the checker once per scheme on 8 windows.
+    // Observed shapes: one record per scheme on 8 windows.
     let mut observed = TextTable::new(
         "Observed context-switch transfer shapes (spell checker, 8 windows)",
         &["scheme", "(saves,restores)", "count", "share"],
     );
-    for scheme in SchemeKind::ALL {
-        let config = SpellConfig::new(corpus, 4, 4);
-        let outcome = SpellPipeline::new(config).run(8, scheme)?;
-        let total: u64 = outcome.report.stats.switch_shapes.values().sum();
+    for record in records {
+        let total: u64 = record.report.stats.switch_shapes.values().sum();
         let mut shapes: Vec<(&SwitchShape, &u64)> =
-            outcome.report.stats.switch_shapes.iter().collect();
+            record.report.stats.switch_shapes.iter().collect();
         shapes.sort_by_key(|(s, _)| (s.saves, s.restores));
         for (shape, count) in shapes {
             observed.row(vec![
-                scheme.to_string(),
+                record.scheme.to_string(),
                 format!("({},{})", shape.saves, shape.restores),
                 count.to_string(),
                 format!("{:.1}%", 100.0 * *count as f64 / total as f64),
             ]);
         }
     }
-    Ok(Table2Result { table, all_in_range, observed })
+    Table2Result { table, all_in_range, observed }
 }
 
 // --------------------------------------------------------------------
 // Figures 11–15
 // --------------------------------------------------------------------
+
+/// Which sweep-derived figure of the paper an exhibit reproduces. All
+/// five share the same structure — a [`MatrixSpec`] sweep plus one
+/// metric — and differ only in the data below, so drivers can be fully
+/// generic over the figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureId {
+    /// Execution time, high concurrency, FIFO.
+    Fig11,
+    /// Average context-switch time, high concurrency, FIFO.
+    Fig12,
+    /// Window-trap probability, high concurrency, FIFO.
+    Fig13,
+    /// Execution time, low concurrency, FIFO.
+    Fig14,
+    /// Execution time, high concurrency, working-set scheduling (§4.6).
+    Fig15,
+}
+
+impl FigureId {
+    /// All five figures, in paper order.
+    pub const ALL: [FigureId; 5] =
+        [FigureId::Fig11, FigureId::Fig12, FigureId::Fig13, FigureId::Fig14, FigureId::Fig15];
+
+    /// The short name used for CSV files, e.g. `"fig11"`.
+    pub fn csv_name(self) -> &'static str {
+        match self {
+            FigureId::Fig11 => "fig11",
+            FigureId::Fig12 => "fig12",
+            FigureId::Fig13 => "fig13",
+            FigureId::Fig14 => "fig14",
+            FigureId::Fig15 => "fig15",
+        }
+    }
+
+    /// The exhibit title.
+    pub fn title(self) -> &'static str {
+        match self {
+            FigureId::Fig11 => "Figure 11: execution time at high concurrency (FIFO)",
+            FigureId::Fig12 => "Figure 12: average context-switch cycles at high concurrency",
+            FigureId::Fig13 => "Figure 13: probability of window traps at high concurrency",
+            FigureId::Fig14 => "Figure 14: execution time at low concurrency (FIFO)",
+            FigureId::Fig15 => {
+                "Figure 15: execution time at high concurrency (working-set scheduling)"
+            }
+        }
+    }
+
+    /// The metric's display name.
+    pub fn value_name(self) -> &'static str {
+        match self {
+            FigureId::Fig11 | FigureId::Fig14 | FigureId::Fig15 => "cycles",
+            FigureId::Fig12 => "cycles/switch",
+            FigureId::Fig13 => "traps per save/restore",
+        }
+    }
+
+    /// The matrix this figure needs. Figures 11–13 share one spec, so
+    /// they share one sweep (and, through the sweep engine, one set of
+    /// cached runs).
+    pub fn spec(self, corpus: CorpusSpec, windows: &[usize]) -> MatrixSpec {
+        match self {
+            FigureId::Fig11 | FigureId::Fig12 | FigureId::Fig13 => {
+                Sweep::high_spec(corpus, windows, SchedulingPolicy::Fifo)
+            }
+            FigureId::Fig14 => Sweep::low_spec(corpus, windows, SchedulingPolicy::Fifo),
+            FigureId::Fig15 => Sweep::high_spec(corpus, windows, SchedulingPolicy::WorkingSet),
+        }
+    }
+
+    /// Assembles the figure from an executed sweep of [`FigureId::spec`].
+    pub fn from_sweep(self, sweep: &Sweep) -> FigureResult {
+        let series = match self {
+            FigureId::Fig11 | FigureId::Fig14 | FigureId::Fig15 => sweep.execution_time_series(),
+            FigureId::Fig12 => sweep.avg_switch_series(),
+            FigureId::Fig13 => sweep.trap_probability_series(),
+        };
+        figure(self.title(), self.value_name(), series)
+    }
+
+    /// Runs the figure's sweep and assembles the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failed run.
+    pub fn run(
+        self,
+        corpus: CorpusSpec,
+        windows: &[usize],
+        progress: impl Fn(usize, usize) + Sync,
+    ) -> Result<FigureResult, RtError> {
+        let records = run_matrix(&self.spec(corpus, windows), progress)?;
+        Ok(self.from_sweep(&Sweep::from_records(records)))
+    }
+}
 
 /// Figure 11: execution time vs window count, high concurrency, FIFO.
 ///
@@ -303,12 +439,7 @@ pub fn fig11(
     windows: &[usize],
     progress: impl Fn(usize, usize) + Sync,
 ) -> Result<FigureResult, RtError> {
-    let sweep = Sweep::high(corpus, windows, SchedulingPolicy::Fifo, progress)?;
-    Ok(figure_from(
-        "Figure 11: execution time at high concurrency (FIFO)",
-        "cycles",
-        sweep.execution_time_series(),
-    ))
+    FigureId::Fig11.run(corpus, windows, progress)
 }
 
 /// Figure 12: average context-switch time vs window count, high
@@ -322,12 +453,7 @@ pub fn fig12(
     windows: &[usize],
     progress: impl Fn(usize, usize) + Sync,
 ) -> Result<FigureResult, RtError> {
-    let sweep = Sweep::high(corpus, windows, SchedulingPolicy::Fifo, progress)?;
-    Ok(figure_from(
-        "Figure 12: average context-switch cycles at high concurrency",
-        "cycles/switch",
-        sweep.avg_switch_series(),
-    ))
+    FigureId::Fig12.run(corpus, windows, progress)
 }
 
 /// Figure 13: window-trap probability vs window count, high concurrency.
@@ -340,12 +466,7 @@ pub fn fig13(
     windows: &[usize],
     progress: impl Fn(usize, usize) + Sync,
 ) -> Result<FigureResult, RtError> {
-    let sweep = Sweep::high(corpus, windows, SchedulingPolicy::Fifo, progress)?;
-    Ok(figure_from(
-        "Figure 13: probability of window traps at high concurrency",
-        "traps per save/restore",
-        sweep.trap_probability_series(),
-    ))
+    FigureId::Fig13.run(corpus, windows, progress)
 }
 
 /// Figure 14: execution time vs window count, low concurrency, FIFO.
@@ -358,12 +479,7 @@ pub fn fig14(
     windows: &[usize],
     progress: impl Fn(usize, usize) + Sync,
 ) -> Result<FigureResult, RtError> {
-    let sweep = Sweep::low(corpus, windows, SchedulingPolicy::Fifo, progress)?;
-    Ok(figure_from(
-        "Figure 14: execution time at low concurrency (FIFO)",
-        "cycles",
-        sweep.execution_time_series(),
-    ))
+    FigureId::Fig14.run(corpus, windows, progress)
 }
 
 /// Figure 15: execution time vs window count, high concurrency, with the
@@ -377,15 +493,13 @@ pub fn fig15(
     windows: &[usize],
     progress: impl Fn(usize, usize) + Sync,
 ) -> Result<FigureResult, RtError> {
-    let sweep = Sweep::high(corpus, windows, SchedulingPolicy::WorkingSet, progress)?;
-    Ok(figure_from(
-        "Figure 15: execution time at high concurrency (working-set scheduling)",
-        "cycles",
-        sweep.execution_time_series(),
-    ))
+    FigureId::Fig15.run(corpus, windows, progress)
 }
 
-fn figure_from(title: &str, value_name: &str, series: Vec<Series>) -> FigureResult {
+/// Assembles a [`FigureResult`] from ready-made series — the last step
+/// of every `figNN` driver, usable directly with sweeps executed by an
+/// external engine.
+pub fn figure(title: &str, value_name: &str, series: Vec<Series>) -> FigureResult {
     let table = series_table(title, value_name, &series);
     FigureResult { title: title.to_string(), series, table }
 }

@@ -137,8 +137,12 @@ fn run_matrix_replayed(
     if let Some(e) = error.into_inner().expect("err poisoned") {
         return Err(e);
     }
-    let traces: Vec<Trace> =
-        traces.into_inner().expect("traces poisoned").into_iter().map(|t| t.expect("recorded")).collect();
+    let traces: Vec<Trace> = traces
+        .into_inner()
+        .expect("traces poisoned")
+        .into_iter()
+        .map(|t| t.expect("recorded"))
+        .collect();
 
     // Phase 2: replay every cell, in parallel.
     let mut cells = Vec::new();

@@ -124,10 +124,8 @@ pub fn series_table(title: &str, value_name: &str, series: &[Series]) -> TextTab
     headers.extend(series.iter().map(|s| s.label.clone()));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = TextTable::new(format!("{title} [{value_name}]"), &header_refs);
-    let axis: Vec<usize> = series
-        .first()
-        .map(|s| s.points.iter().map(|(n, _)| *n).collect())
-        .unwrap_or_default();
+    let axis: Vec<usize> =
+        series.first().map(|s| s.points.iter().map(|(n, _)| *n).collect()).unwrap_or_default();
     for n in axis {
         let mut row = vec![n.to_string()];
         for s in series {

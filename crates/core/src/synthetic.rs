@@ -97,23 +97,35 @@ fn stage_body(
                 ctx.close_writer(output)
             }
             Some(input) => {
-                while pump_item(ctx, spec.call_depth, spec.compute_per_frame, Some(input), output, None)? {}
+                while pump_item(
+                    ctx,
+                    spec.call_depth,
+                    spec.compute_per_frame,
+                    Some(input),
+                    output,
+                    None,
+                )? {}
                 ctx.close_writer(output)
             }
         }
     }
 }
 
-fn build(spec: SyntheticSpec, nwindows: usize, scheme: SchemeKind, policy: SchedulingPolicy, traced: bool) -> Result<Simulation, RtError> {
+fn build(
+    spec: SyntheticSpec,
+    nwindows: usize,
+    scheme: SchemeKind,
+    policy: SchedulingPolicy,
+    traced: bool,
+) -> Result<Simulation, RtError> {
     assert!(spec.threads >= 2, "a ring needs at least two threads");
     let mut sim = Simulation::with_scheme(nwindows, CostModel::s20(), build_scheme(scheme))?
         .with_policy(policy);
     if traced {
         sim = sim.with_trace_recording();
     }
-    let streams: Vec<StreamId> = (0..spec.threads)
-        .map(|i| sim.add_stream(format!("ring{i}"), spec.buffer, 1))
-        .collect();
+    let streams: Vec<StreamId> =
+        (0..spec.threads).map(|i| sim.add_stream(format!("ring{i}"), spec.buffer, 1)).collect();
     for i in 0..spec.threads {
         let input = if i == 0 { None } else { Some(streams[i - 1]) };
         let output = streams[i];
@@ -193,9 +205,8 @@ mod tests {
         // improving once the file covers the total window activity.
         let spec = SyntheticSpec { threads: 3, call_depth: 2, ..SyntheticSpec::small() };
         let nominal = spec.nominal_total_activity(); // 18 for (3 threads, depth 2)
-        let at = |w: usize| {
-            run(spec, w, SchemeKind::Sp, SchedulingPolicy::Fifo).unwrap().total_cycles()
-        };
+        let at =
+            |w: usize| run(spec, w, SchemeKind::Sp, SchedulingPolicy::Fifo).unwrap().total_cycles();
         let scarce = at(4);
         let covered = at(nominal);
         let plenty = at(40);

@@ -62,7 +62,9 @@ impl Timeline {
             }
             out.push('\n');
         }
-        out.push_str("    (digits: live frames by thread, letters: dead, p: PRW, R: reserved, *: CWP)\n");
+        out.push_str(
+            "    (digits: live frames by thread, letters: dead, p: PRW, R: reserved, *: CWP)\n",
+        );
         out
     }
 
@@ -159,9 +161,7 @@ mod tests {
         let ns = sample_timeline(&t, 16, build_scheme(SchemeKind::Ns), 200).unwrap();
         // Mean residency across the pipeline threads: under NS only the
         // running thread is ever resident, under SP most threads stay.
-        let mean = |tl: &Timeline| -> f64 {
-            (0..7).map(|i| tl.residency(i)).sum::<f64>() / 7.0
-        };
+        let mean = |tl: &Timeline| -> f64 { (0..7).map(|i| tl.residency(i)).sum::<f64>() / 7.0 };
         assert!(
             mean(&sp) > mean(&ns) + 0.3,
             "SP residency {:.2} must far exceed NS {:.2}",

@@ -59,12 +59,8 @@ pub fn analyze(sweep: &Sweep, model: AccessTimeModel) -> TradeoffResult {
     let optima = series
         .iter()
         .map(|s| {
-            let best = s
-                .points
-                .iter()
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .map(|(n, _)| *n)
-                .unwrap_or(0);
+            let best =
+                s.points.iter().min_by(|a, b| a.1.total_cmp(&b.1)).map(|(n, _)| *n).unwrap_or(0);
             (s.label.clone(), best)
         })
         .collect();
@@ -98,18 +94,12 @@ mod tests {
     #[test]
     fn heavy_access_penalty_moves_the_optimum_left() {
         let windows = vec![4usize, 8, 12, 16, 24, 32];
-        let sweep = Sweep::high(
-            CorpusSpec::scaled(5),
-            &windows,
-            SchedulingPolicy::Fifo,
-            |_, _| {},
-        )
-        .unwrap();
+        let sweep = Sweep::high(CorpusSpec::scaled(5), &windows, SchedulingPolicy::Fifo, |_, _| {})
+            .unwrap();
         let cheap = analyze(&sweep, AccessTimeModel { base_windows: 7, per_doubling: 0.01 });
         let pricey = analyze(&sweep, AccessTimeModel { base_windows: 7, per_doubling: 0.60 });
-        let optimum = |r: &TradeoffResult, label: &str| {
-            r.optima.iter().find(|(l, _)| l == label).unwrap().1
-        };
+        let optimum =
+            |r: &TradeoffResult, label: &str| r.optima.iter().find(|(l, _)| l == label).unwrap().1;
         // With near-free access scaling the optimum is a big file; with a
         // punitive one it shrinks.
         let sp_cheap = optimum(&cheap, "SP fine");

@@ -295,13 +295,19 @@ mod tests {
             assert!(c >= *lo && c <= *hi, "NS({},1) = {} not in {}..={}", i + 1, c, lo, hi);
         }
         // SNP rows.
-        let snp = [((0, 0), (113, 118)), ((0, 1), (142, 147)), ((1, 0), (162, 171)), ((1, 1), (187, 196))];
+        let snp = [
+            ((0, 0), (113, 118)),
+            ((0, 1), (142, 147)),
+            ((1, 0), (162, 171)),
+            ((1, 1), (187, 196)),
+        ];
         for ((s, r), (lo, hi)) in snp {
             let c = m.switch_cost(SchemeKind::Snp).cycles(s, r);
             assert!(c >= lo && c <= hi, "SNP({s},{r}) = {c} not in {lo}..={hi}");
         }
         // SP rows.
-        let sp = [((0, 0), (93, 98)), ((0, 1), (136, 141)), ((1, 1), (180, 197)), ((2, 1), (220, 237))];
+        let sp =
+            [((0, 0), (93, 98)), ((0, 1), (136, 141)), ((1, 1), (180, 197)), ((2, 1), (220, 237))];
         for ((s, r), (lo, hi)) in sp {
             let c = m.switch_cost(SchemeKind::Sp).cycles(s, r);
             assert!(c >= lo && c <= hi, "SP({s},{r}) = {c} not in {lo}..={hi}");
@@ -324,7 +330,8 @@ mod tests {
         // than the SNP scheme, because two windows have to be saved".
         let m = CostModel::s20();
         assert!(
-            m.switch_cost(SchemeKind::Sp).cycles(2, 1) > m.switch_cost(SchemeKind::Snp).cycles(1, 1)
+            m.switch_cost(SchemeKind::Sp).cycles(2, 1)
+                > m.switch_cost(SchemeKind::Snp).cycles(1, 1)
         );
     }
 
@@ -340,10 +347,7 @@ mod tests {
     #[test]
     fn overflow_cycles_scale_with_spills() {
         let m = CostModel::s20();
-        assert_eq!(
-            m.overflow_trap_cycles(2) - m.overflow_trap_cycles(1),
-            m.trap_window_transfer
-        );
+        assert_eq!(m.overflow_trap_cycles(2) - m.overflow_trap_cycles(1), m.trap_window_transfer);
     }
 
     #[test]

@@ -71,9 +71,11 @@ pub use backing::BackingStore;
 pub use cost::{CostModel, CycleCategory, CycleCounter, SchemeKind, SwitchCost};
 pub use error::MachineError;
 pub use machine::{ExecOutcome, Machine, TransferReason};
-pub use regfile::{Frame, RegisterFile, INS_PER_WINDOW, LOCALS_PER_WINDOW, OUTS_PER_WINDOW, REGS_PER_FRAME};
+pub use regfile::{
+    Frame, RegisterFile, INS_PER_WINDOW, LOCALS_PER_WINDOW, OUTS_PER_WINDOW, REGS_PER_FRAME,
+};
 pub use slot::SlotUse;
 pub use stats::{MachineStats, SwitchShape, ThreadStats};
 pub use thread::{ThreadId, ThreadState};
 pub use trap::WindowTrap;
-pub use window::{WindowIndex, Wim, MAX_WINDOWS, MIN_WINDOWS};
+pub use window::{Wim, WindowIndex, MAX_WINDOWS, MIN_WINDOWS};

@@ -17,7 +17,7 @@ use crate::slot::SlotUse;
 use crate::stats::MachineStats;
 use crate::thread::{ThreadId, ThreadState};
 use crate::trap::WindowTrap;
-use crate::window::{WindowIndex, Wim, MAX_WINDOWS, MIN_WINDOWS};
+use crate::window::{Wim, WindowIndex, MAX_WINDOWS, MIN_WINDOWS};
 
 /// Outcome of attempting a `save` or `restore` instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,7 +199,11 @@ impl Machine {
     /// # Errors
     ///
     /// Fails if the slot holds live data or the thread already started.
-    pub fn start_initial_frame(&mut self, t: ThreadId, slot: WindowIndex) -> Result<(), MachineError> {
+    pub fn start_initial_frame(
+        &mut self,
+        t: ThreadId,
+        slot: WindowIndex,
+    ) -> Result<(), MachineError> {
         if !self.slot_use(slot).is_discardable() {
             return Err(MachineError::BadSlotState { slot, expected: "free/dead/reserved-free" });
         }
@@ -259,7 +263,9 @@ impl Machine {
         if let Some(t) = t {
             let ts = self.thread(t)?;
             if !ts.started() || ts.terminated() {
-                return Err(MachineError::InvariantViolated("set_current on unstarted/terminated thread"));
+                return Err(MachineError::InvariantViolated(
+                    "set_current on unstarted/terminated thread",
+                ));
             }
             let top = ts.top().ok_or(MachineError::NoResidentWindows(t))?;
             self.cwp = top;
@@ -420,7 +426,11 @@ impl Machine {
     }
 
     fn do_save(&mut self, t: ThreadId, target: WindowIndex) -> Result<(), MachineError> {
-        debug_assert_eq!(self.slots[target.index()], SlotUse::Dead(t), "save into non-granted slot");
+        debug_assert_eq!(
+            self.slots[target.index()],
+            SlotUse::Dead(t),
+            "save into non-granted slot"
+        );
         self.slots[target.index()] = SlotUse::Live(t);
         let nw = self.nwindows;
         let ts = self.thread_mut(t)?;
@@ -436,7 +446,11 @@ impl Machine {
     }
 
     fn do_restore(&mut self, t: ThreadId, target: WindowIndex) -> Result<(), MachineError> {
-        debug_assert_eq!(self.slots[target.index()], SlotUse::Live(t), "restore into non-live slot");
+        debug_assert_eq!(
+            self.slots[target.index()],
+            SlotUse::Live(t),
+            "restore into non-live slot"
+        );
         let old_top = self.cwp;
         self.slots[old_top.index()] = SlotUse::Dead(t);
         let ts = self.thread_mut(t)?;
@@ -462,7 +476,11 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`MachineError::NoResidentWindows`] if `t` has none.
-    pub fn spill_bottom(&mut self, t: ThreadId, reason: TransferReason) -> Result<(), MachineError> {
+    pub fn spill_bottom(
+        &mut self,
+        t: ThreadId,
+        reason: TransferReason,
+    ) -> Result<(), MachineError> {
         let nw = self.nwindows;
         let ts = self.thread(t)?;
         let bottom = ts.bottom(nw).ok_or(MachineError::NoResidentWindows(t))?;
@@ -492,7 +510,12 @@ impl Machine {
     ///
     /// Fails if the save-area is empty, the slot holds live data, or the
     /// slot is not adjacent below the resident run.
-    pub fn restore_into(&mut self, t: ThreadId, slot: WindowIndex, reason: TransferReason) -> Result<(), MachineError> {
+    pub fn restore_into(
+        &mut self,
+        t: ThreadId,
+        slot: WindowIndex,
+        reason: TransferReason,
+    ) -> Result<(), MachineError> {
         if !self.slot_use(slot).is_discardable() {
             return Err(MachineError::BadSlotState { slot, expected: "discardable for restore" });
         }
@@ -505,7 +528,10 @@ impl Machine {
         if resident > 0 {
             let bottom = ts.bottom(nw).expect("resident > 0 implies bottom");
             if bottom.below(nw) != slot {
-                return Err(MachineError::BadSlotState { slot, expected: "adjacent below stack-bottom" });
+                return Err(MachineError::BadSlotState {
+                    slot,
+                    expected: "adjacent below stack-bottom",
+                });
             }
         }
         let ts = self.thread_mut(t)?;
@@ -590,7 +616,10 @@ impl Machine {
     pub fn set_reserved(&mut self, slot: Option<WindowIndex>) -> Result<(), MachineError> {
         if let Some(s) = slot {
             if !self.slot_use(s).is_discardable() {
-                return Err(MachineError::BadSlotState { slot: s, expected: "discardable for reservation" });
+                return Err(MachineError::BadSlotState {
+                    slot: s,
+                    expected: "discardable for reservation",
+                });
             }
         }
         if let Some(old) = self.reserved {
@@ -616,7 +645,10 @@ impl Machine {
             return Err(MachineError::BadSlotState { slot, expected: "discardable for PRW" });
         }
         if self.slot_use(slot) == SlotUse::Reserved {
-            return Err(MachineError::BadSlotState { slot, expected: "not the global reserved window" });
+            return Err(MachineError::BadSlotState {
+                slot,
+                expected: "not the global reserved window",
+            });
         }
         if self.thread(t)?.prw().is_some() {
             return Err(MachineError::InvariantViolated("thread already has a PRW"));
@@ -635,10 +667,10 @@ impl Machine {
     ///
     /// Fails if `t` has no PRW.
     pub fn steal_prw(&mut self, t: ThreadId) -> Result<(), MachineError> {
-        let prw = self.thread(t)?.prw().ok_or(MachineError::BadSlotState {
-            slot: self.cwp,
-            expected: "thread owns a PRW",
-        })?;
+        let prw = self
+            .thread(t)?
+            .prw()
+            .ok_or(MachineError::BadSlotState { slot: self.cwp, expected: "thread owns a PRW" })?;
         let mut outs = [0u64; 8];
         for (reg, out) in outs.iter_mut().enumerate() {
             *out = self.regfile.read_in(prw, reg);
@@ -658,10 +690,10 @@ impl Machine {
     ///
     /// Fails if `t` has no PRW.
     pub fn release_prw(&mut self, t: ThreadId) -> Result<(), MachineError> {
-        let prw = self.thread(t)?.prw().ok_or(MachineError::BadSlotState {
-            slot: self.cwp,
-            expected: "thread owns a PRW",
-        })?;
+        let prw = self
+            .thread(t)?
+            .prw()
+            .ok_or(MachineError::BadSlotState { slot: self.cwp, expected: "thread owns a PRW" })?;
         self.thread_mut(t)?.set_prw(None);
         self.slots[prw.index()] = SlotUse::Free;
         self.recompute_wim();
@@ -713,7 +745,11 @@ impl Machine {
     /// # Errors
     ///
     /// Propagates spill errors (none occur for a consistent thread).
-    pub fn flush_thread(&mut self, t: ThreadId, reason: TransferReason) -> Result<usize, MachineError> {
+    pub fn flush_thread(
+        &mut self,
+        t: ThreadId,
+        reason: TransferReason,
+    ) -> Result<usize, MachineError> {
         let count = self.thread(t)?.resident();
         for _ in 0..count {
             self.spill_bottom(t, reason)?;
@@ -780,21 +816,27 @@ impl Machine {
     /// never occurs under NS/SNP).
     pub fn force_reserved_walk(&mut self) -> Result<usize, MachineError> {
         let t = self.require_current()?;
-        let reserved = self.reserved.ok_or(MachineError::InvariantViolated("walk without reserved window"))?;
+        let reserved =
+            self.reserved.ok_or(MachineError::InvariantViolated("walk without reserved window"))?;
         let victim = reserved.above(self.nwindows);
         let mut spills = 0;
         match self.slot_use(victim) {
             SlotUse::Live(owner) => {
                 let bottom = self.thread(owner)?.bottom(self.nwindows);
                 if bottom != Some(victim) {
-                    return Err(MachineError::InvariantViolated("walk victim is a live non-bottom window"));
+                    return Err(MachineError::InvariantViolated(
+                        "walk victim is a live non-bottom window",
+                    ));
                 }
                 self.spill_bottom(owner, TransferReason::Trap)?;
                 spills = 1;
             }
             SlotUse::Free | SlotUse::Dead(_) => {}
             SlotUse::Prw(_) => {
-                return Err(MachineError::BadSlotState { slot: victim, expected: "no PRW under NS/SNP" })
+                return Err(MachineError::BadSlotState {
+                    slot: victim,
+                    expected: "no PRW under NS/SNP",
+                })
             }
             SlotUse::Reserved => {
                 return Err(MachineError::InvariantViolated("two reserved windows"));
@@ -816,7 +858,8 @@ impl Machine {
     /// Fails if the current thread has no PRW.
     pub fn force_prw_walk(&mut self) -> Result<(usize, usize), MachineError> {
         let t = self.require_current()?;
-        let prw = self.thread(t)?.prw().ok_or(MachineError::InvariantViolated("SP walk without PRW"))?;
+        let prw =
+            self.thread(t)?.prw().ok_or(MachineError::InvariantViolated("SP walk without PRW"))?;
         let victim = prw.above(self.nwindows);
         let mut spills = 0;
         let mut steals = 0;
@@ -824,7 +867,9 @@ impl Machine {
             SlotUse::Live(owner) => {
                 let bottom = self.thread(owner)?.bottom(self.nwindows);
                 if bottom != Some(victim) {
-                    return Err(MachineError::InvariantViolated("walk victim is a live non-bottom window"));
+                    return Err(MachineError::InvariantViolated(
+                        "walk victim is a live non-bottom window",
+                    ));
                 }
                 self.spill_bottom(owner, TransferReason::Trap)?;
                 spills = 1;
@@ -835,7 +880,10 @@ impl Machine {
             }
             SlotUse::Free | SlotUse::Dead(_) => {}
             SlotUse::Reserved => {
-                return Err(MachineError::BadSlotState { slot: victim, expected: "no global reservation under SP" })
+                return Err(MachineError::BadSlotState {
+                    slot: victim,
+                    expected: "no global reservation under SP",
+                })
             }
         }
         // Move the PRW up: old slot becomes the current thread's to save
@@ -864,7 +912,13 @@ impl Machine {
     /// Records a context switch away from `from` that transferred the
     /// given number of windows, charging the scheme's calibrated switch
     /// cost (paper Table 2).
-    pub fn record_context_switch(&mut self, from: Option<ThreadId>, scheme: SchemeKind, saves: u32, restores: u32) {
+    pub fn record_context_switch(
+        &mut self,
+        from: Option<ThreadId>,
+        scheme: SchemeKind,
+        saves: u32,
+        restores: u32,
+    ) {
         let cost = self.cost.switch_cost(scheme).cycles(saves as usize, restores as usize);
         self.counter.charge(CycleCategory::ContextSwitch, cost);
         self.stats.record_switch(from, saves, restores);
@@ -888,14 +942,14 @@ impl Machine {
             match self.slots[i] {
                 SlotUse::Live(t) => {
                     if t.index() >= self.threads.len() {
-                        return Err(MachineError::InvariantViolated("live slot owned by unknown thread"));
+                        return Err(MachineError::InvariantViolated(
+                            "live slot owned by unknown thread",
+                        ));
                     }
                     live_counts[t.index()] += 1;
                 }
                 SlotUse::Reserved => reserved_count += 1,
-                SlotUse::Prw(t)
-                    if self.threads[t.index()].prw() != Some(WindowIndex::new(i)) =>
-                {
+                SlotUse::Prw(t) if self.threads[t.index()].prw() != Some(WindowIndex::new(i)) => {
                     return Err(MachineError::InvariantViolated("PRW slot not recorded by owner"));
                 }
                 _ => {}
@@ -938,7 +992,9 @@ impl Machine {
         // CWP must point at the current thread's stack-top.
         if let Some(t) = self.current {
             if self.threads[t.index()].top() != Some(self.cwp) {
-                return Err(MachineError::InvariantViolated("CWP not at current thread's stack-top"));
+                return Err(MachineError::InvariantViolated(
+                    "CWP not at current thread's stack-top",
+                ));
             }
         }
         // WIM must be exactly the derived mask.
@@ -1183,7 +1239,10 @@ mod tests {
         match m.try_restore().unwrap() {
             ExecOutcome::Trapped(trap) => {
                 assert!(trap.is_underflow());
-                assert_eq!(m.inplace_underflow(true), Err(MachineError::BackingEmpty(ThreadId::new(0))));
+                assert_eq!(
+                    m.inplace_underflow(true),
+                    Err(MachineError::BackingEmpty(ThreadId::new(0)))
+                );
             }
             other => panic!("expected underflow, got {other:?}"),
         }
@@ -1312,7 +1371,8 @@ mod tests {
         save(&mut m);
         save(&mut m);
         m.release_thread(t).unwrap();
-        let live = (0..8).filter(|i| matches!(m.slot_use(WindowIndex::new(*i)), SlotUse::Live(_))).count();
+        let live =
+            (0..8).filter(|i| matches!(m.slot_use(WindowIndex::new(*i)), SlotUse::Live(_))).count();
         assert_eq!(live, 0);
         assert!(m.current_thread().is_none());
         assert!(m.thread(t).unwrap().terminated());
@@ -1332,7 +1392,10 @@ mod tests {
     fn record_context_switch_charges_scheme_cost() {
         let (mut m, t) = machine_with_thread(8);
         m.record_context_switch(Some(t), SchemeKind::Sp, 0, 0);
-        assert_eq!(m.cycles().category(CycleCategory::ContextSwitch), m.cost().switch_sp.cycles(0, 0));
+        assert_eq!(
+            m.cycles().category(CycleCategory::ContextSwitch),
+            m.cost().switch_sp.cycles(0, 0)
+        );
         assert_eq!(m.stats().context_switches, 1);
     }
 

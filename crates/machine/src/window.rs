@@ -254,4 +254,83 @@ mod tests {
     fn window_index_display() {
         assert_eq!(WindowIndex::new(4).to_string(), "W4");
     }
+
+    #[test]
+    fn cyclic_arithmetic_at_minimum_sweep_size() {
+        // N = 4 is the smallest window count the paper sweeps; every
+        // index is one step from wrap-around in some direction.
+        let n = 4;
+        for i in 0..n {
+            let w = WindowIndex::new(i);
+            assert_eq!(w.above(n).index(), (i + 3) % 4);
+            assert_eq!(w.below(n).index(), (i + 1) % 4);
+            // A full cycle in either direction is the identity.
+            assert_eq!(w.below_by(n, n), w);
+            assert_eq!(w.above_by(n, n), w);
+            // below_by past one full cycle reduces modulo n.
+            assert_eq!(w.below_by(n + 1, n), w.below(n));
+            assert_eq!(w.above_by(n + 1, n), w.above(n));
+        }
+        // Distances cover the whole ring and complement each other.
+        let a = WindowIndex::new(1);
+        let b = WindowIndex::new(3);
+        assert_eq!(a.distance_below_to(b, n), 2);
+        assert_eq!(b.distance_below_to(a, n), n - 2);
+    }
+
+    #[test]
+    fn cyclic_arithmetic_at_maximum_sweep_size() {
+        // N = 32 is the top of the paper's sweep (and SPARC's limit).
+        let n = 32;
+        assert_eq!(WindowIndex::new(0).above(n), WindowIndex::new(31));
+        assert_eq!(WindowIndex::new(31).below(n), WindowIndex::new(0));
+        for i in 0..n {
+            let w = WindowIndex::new(i);
+            assert_eq!(w.below_by(n, n), w);
+            assert_eq!(w.above_by(n, n), w);
+            assert_eq!(w.above_by(7, n).below_by(7, n), w);
+            assert_eq!(w.distance_below_to(w.below_by(17, n), n), 17);
+        }
+    }
+
+    #[test]
+    fn wim_edges_at_n4() {
+        let mut wim = Wim::new(4);
+        assert_eq!(wim.nwindows(), 4);
+        // Setting a bit twice is idempotent; clearing an unset bit is a
+        // no-op.
+        wim.set(WindowIndex::new(0));
+        wim.set(WindowIndex::new(0));
+        assert_eq!(wim.count_set(), 1);
+        wim.clear(WindowIndex::new(1));
+        assert_eq!(wim.count_set(), 1);
+        // Full mask covers exactly the low 4 bits.
+        for i in 0..4 {
+            wim.set(WindowIndex::new(i));
+        }
+        assert_eq!(wim.bits(), 0b1111);
+        assert_eq!(wim.count_set(), 4);
+        assert_eq!(wim.to_string(), "1111");
+    }
+
+    #[test]
+    fn wim_edges_at_n32() {
+        let mut wim = Wim::new(32);
+        // The top window's bit is bit 31 — the last one that matters for
+        // the paper's largest configuration.
+        let top = WindowIndex::new(31);
+        wim.set(top);
+        assert!(wim.is_set(top));
+        assert_eq!(wim.bits(), 1 << 31);
+        assert_eq!(wim.count_set(), 1);
+        // Neighbours across the wrap boundary are distinct bits.
+        wim.set(top.below(32)); // window 0
+        assert_eq!(wim.bits(), (1 << 31) | 1);
+        assert_eq!(wim.count_set(), 2);
+        wim.clear(top);
+        assert_eq!(wim.bits(), 1);
+        // Display shows all 32 positions, MSB first.
+        assert_eq!(wim.to_string().len(), 32);
+        assert!(wim.to_string().ends_with('1'));
+    }
 }

@@ -3,9 +3,7 @@
 //! single-thread save/restore round trips against a software model.
 
 use proptest::prelude::*;
-use regwin_machine::{
-    BackingStore, ExecOutcome, Frame, Machine, RegisterFile, Wim, WindowIndex,
-};
+use regwin_machine::{BackingStore, ExecOutcome, Frame, Machine, RegisterFile, Wim, WindowIndex};
 
 proptest! {
     #[test]

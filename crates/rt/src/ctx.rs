@@ -2,8 +2,8 @@
 
 use crate::error::RtError;
 use crate::sim::{Shared, SimState, Turn, Wait};
-use crate::trace::TraceEvent;
 use crate::stream::StreamId;
+use crate::trace::TraceEvent;
 use parking_lot::MutexGuard;
 use regwin_machine::ThreadId;
 use regwin_traps::RestoreInstr;
@@ -155,6 +155,10 @@ impl Ctx {
 
     /// Writes a whole byte slice, blocking as needed.
     ///
+    /// Bytes from concurrent writers of the same stream may interleave
+    /// if this thread blocks mid-slice on a full buffer; use
+    /// [`Ctx::write_record`] when the slice must stay contiguous.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`Ctx::write_byte`].
@@ -163,6 +167,58 @@ impl Ctx {
             self.write_byte(stream, b)?;
         }
         Ok(())
+    }
+
+    /// Writes `bytes` as one atomic record with respect to the stream's
+    /// other writers: a per-stream record lock is held across the whole
+    /// write, so even when this thread blocks mid-record on a full
+    /// buffer no other writer can interleave bytes into it — the rt
+    /// analogue of POSIX `PIPE_BUF` atomicity. Records may be larger
+    /// than the stream capacity; the lock simply stays held across the
+    /// resulting blocking writes. Not reentrant: a thread must not call
+    /// this while already holding the same stream's record lock.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ctx::write_byte`].
+    pub fn write_record(&mut self, stream: StreamId, bytes: &[u8]) -> Result<(), RtError> {
+        self.lock_record(stream)?;
+        let result = self.write_all(stream, bytes);
+        // Release even when the write failed, so other writers are not
+        // wedged behind a dead record.
+        self.unlock_record(stream);
+        result
+    }
+
+    /// Acquires the record lock on `stream`, blocking (and
+    /// context-switching) while another writer holds it.
+    fn lock_record(&mut self, stream: StreamId) -> Result<(), RtError> {
+        loop {
+            let mut st = self.lock();
+            if st.streams.get(stream.0).is_none() {
+                return Err(RtError::UnknownStream(stream.0));
+            }
+            match st.record_locks.get(&stream) {
+                None => {
+                    st.record_locks.insert(stream, self.tid);
+                    return Ok(());
+                }
+                Some(owner) => {
+                    debug_assert_ne!(*owner, self.tid, "record lock is not reentrant");
+                    st.waiting.insert(self.tid, Wait::WriteLocked(stream));
+                    st.blocked_on_write[self.tid.index()] += 1;
+                    self.block(st)?;
+                }
+            }
+        }
+    }
+
+    /// Releases the record lock on `stream` and wakes one waiting writer.
+    fn unlock_record(&mut self, stream: StreamId) {
+        let mut st = self.lock();
+        if st.record_locks.remove(&stream).is_some() {
+            st.wake_one_lock_waiter(stream);
+        }
     }
 
     /// Closes this thread's writer end of `stream`, waking blocked

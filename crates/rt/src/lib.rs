@@ -64,9 +64,9 @@ mod trace_io;
 pub use ctx::Ctx;
 pub use error::RtError;
 pub use metrics::{RunReport, ThreadReport};
+pub use sched::ReadyQueue;
 pub use sched::SchedulingPolicy;
 pub use sim::{Simulation, ThreadBody};
-pub use sched::ReadyQueue;
 pub use stream::{Stream, StreamId};
 pub use trace::{Trace, TraceEvent};
 

@@ -1,7 +1,7 @@
 //! Run reports: the metrics the paper's figures are drawn from.
 
-use regwin_machine::{CycleCategory, CycleCounter, MachineStats, SchemeKind};
 use crate::sched::SchedulingPolicy;
+use regwin_machine::{CycleCategory, CycleCounter, MachineStats, SchemeKind};
 use std::fmt;
 
 /// Per-thread outcome of a simulation run.
@@ -87,7 +87,12 @@ impl fmt::Display for RunReport {
             writeln!(
                 f,
                 "  {:<12} switches={:<8} saves={:<8} restores={:<8} blk(r/w)={}/{}",
-                t.name, t.context_switches, t.saves, t.restores, t.blocked_on_read, t.blocked_on_write
+                t.name,
+                t.context_switches,
+                t.saves,
+                t.restores,
+                t.blocked_on_read,
+                t.blocked_on_write
             )?;
         }
         Ok(())

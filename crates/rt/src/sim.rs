@@ -34,6 +34,9 @@ pub(crate) enum Turn {
 pub(crate) enum Wait {
     ReadEmpty(StreamId),
     WriteFull(StreamId),
+    /// Another writer holds the stream's record lock (see
+    /// [`Ctx::write_record`](crate::Ctx::write_record)).
+    WriteLocked(StreamId),
 }
 
 pub(crate) struct SimState {
@@ -49,6 +52,10 @@ pub(crate) struct SimState {
     pub(crate) blocked_on_read: Vec<u64>,
     pub(crate) blocked_on_write: Vec<u64>,
     pub(crate) stream_byte_cycles: u64,
+    /// Per-stream record locks: while a writer holds one, other writers
+    /// of the same stream block instead of interleaving bytes into its
+    /// record (the rt analogue of POSIX `PIPE_BUF` atomicity).
+    pub(crate) record_locks: BTreeMap<StreamId, ThreadId>,
     pub(crate) trace: Option<Trace>,
     /// Sum of ready-queue lengths observed at each dispatch, and the
     /// number of dispatches — the paper's *parallel slackness* (§5).
@@ -71,11 +78,7 @@ impl SimState {
 
     /// Wakes the lowest-id thread blocked reading `s` (one byte arrived).
     pub(crate) fn wake_one_reader(&mut self, s: StreamId) {
-        let woken = self
-            .waiting
-            .iter()
-            .find(|(_, w)| **w == Wait::ReadEmpty(s))
-            .map(|(t, _)| *t);
+        let woken = self.waiting.iter().find(|(_, w)| **w == Wait::ReadEmpty(s)).map(|(t, _)| *t);
         if let Some(t) = woken {
             self.waiting.remove(&t);
             let has = self.has_windows(t);
@@ -102,11 +105,18 @@ impl SimState {
     /// Wakes the lowest-id thread blocked writing `s` (one byte of space
     /// appeared).
     pub(crate) fn wake_one_writer(&mut self, s: StreamId) {
-        let woken = self
-            .waiting
-            .iter()
-            .find(|(_, w)| **w == Wait::WriteFull(s))
-            .map(|(t, _)| *t);
+        let woken = self.waiting.iter().find(|(_, w)| **w == Wait::WriteFull(s)).map(|(t, _)| *t);
+        if let Some(t) = woken {
+            self.waiting.remove(&t);
+            let has = self.has_windows(t);
+            self.ready.enqueue_woken(t, has);
+        }
+    }
+
+    /// Wakes the lowest-id thread waiting for the record lock on `s`
+    /// (the previous holder released it).
+    pub(crate) fn wake_one_lock_waiter(&mut self, s: StreamId) {
+        let woken = self.waiting.iter().find(|(_, w)| **w == Wait::WriteLocked(s)).map(|(t, _)| *t);
         if let Some(t) = woken {
             self.waiting.remove(&t);
             let has = self.has_windows(t);
@@ -169,6 +179,7 @@ impl Simulation {
             blocked_on_read: Vec::new(),
             blocked_on_write: Vec::new(),
             stream_byte_cycles: 4,
+            record_locks: BTreeMap::new(),
             trace: None,
             slack_sum: 0,
             dispatches: 0,
@@ -209,7 +220,12 @@ impl Simulation {
 
     /// Adds a bounded FIFO stream with the given capacity in bytes and
     /// number of writer ends.
-    pub fn add_stream(&mut self, name: impl Into<String>, capacity: usize, writers: usize) -> StreamId {
+    pub fn add_stream(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        writers: usize,
+    ) -> StreamId {
         let mut st = self.shared.state.lock();
         let id = StreamId(st.streams.len());
         st.streams.push(Stream::new(name, capacity, writers));
@@ -309,11 +325,8 @@ impl Simulation {
         };
         drop(st);
         let mut st = self.shared.state.lock();
-        let slackness = if st.dispatches == 0 {
-            0.0
-        } else {
-            st.slack_sum as f64 / st.dispatches as f64
-        };
+        let slackness =
+            if st.dispatches == 0 { 0.0 } else { st.slack_sum as f64 / st.dispatches as f64 };
         let trace = st.trace.take().map(|mut t| {
             t.set_threads(
                 st.names.clone(),
@@ -364,6 +377,12 @@ impl Simulation {
                                 }
                                 Wait::WriteFull(s) => {
                                     format!("{name} writing full {}", st.streams[s.0].name())
+                                }
+                                Wait::WriteLocked(s) => {
+                                    format!(
+                                        "{name} awaiting writer lock on {}",
+                                        st.streams[s.0].name()
+                                    )
                                 }
                             }
                         })

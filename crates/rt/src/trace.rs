@@ -183,10 +183,7 @@ mod tests {
         t.push(TraceEvent::Compute(4));
         t.push(TraceEvent::Save);
         t.push(TraceEvent::Compute(5));
-        assert_eq!(
-            t.events(),
-            &[TraceEvent::Compute(7), TraceEvent::Save, TraceEvent::Compute(5)]
-        );
+        assert_eq!(t.events(), &[TraceEvent::Compute(7), TraceEvent::Save, TraceEvent::Compute(5)]);
     }
 
     #[test]

@@ -155,12 +155,7 @@ mod tests {
         t.push_raw(TraceEvent::SwitchTo(ThreadId::new(1)));
         t.push_raw(TraceEvent::Restore);
         t.push_raw(TraceEvent::Terminate);
-        t.set_threads(
-            vec!["alpha".into(), "beta".into()],
-            vec![1, 2],
-            vec![3, 4],
-            1.25,
-        );
+        t.set_threads(vec!["alpha".into(), "beta".into()], vec![1, 2], vec![3, 4], 1.25);
         t
     }
 

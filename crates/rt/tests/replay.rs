@@ -7,11 +7,7 @@ use regwin_rt::{RtError, RunReport, SchedulingPolicy, Simulation, Trace};
 use regwin_traps::{build_scheme, SchemeKind};
 
 /// A three-stage pipeline with helper-call structure, recorded.
-fn recorded_pipeline(
-    scheme: SchemeKind,
-    nwindows: usize,
-    capacity: usize,
-) -> (RunReport, Trace) {
+fn recorded_pipeline(scheme: SchemeKind, nwindows: usize, capacity: usize) -> (RunReport, Trace) {
     let mut sim = Simulation::new(nwindows, scheme)
         .unwrap()
         .with_policy(SchedulingPolicy::Fifo)

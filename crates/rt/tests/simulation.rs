@@ -137,8 +137,7 @@ fn per_thread_reports_cover_all_threads() {
 /// Switches recorded with `from == None` (first dispatches after spawn or
 /// termination) are not attributed to any thread.
 fn countable_first_dispatches(report: &RunReport) -> u64 {
-    report.stats.context_switches
-        - report.threads.iter().map(|t| t.context_switches).sum::<u64>()
+    report.stats.context_switches - report.threads.iter().map(|t| t.context_switches).sum::<u64>()
 }
 
 #[test]
@@ -262,28 +261,26 @@ fn working_set_policy_reduces_switch_cost_under_pressure() {
         }
         for (i, &out) in streams.iter().enumerate() {
             let inp = prev;
-            sim.spawn(format!("stage{i}"), move |ctx| {
-                match inp {
-                    None => {
-                        for b in 0..120u32 {
-                            ctx.call(|ctx| {
-                                ctx.compute(2);
-                                Ok(())
-                            })?;
-                            ctx.write_byte(out, (b % 256) as u8)?;
-                        }
-                        ctx.close_writer(out)
+            sim.spawn(format!("stage{i}"), move |ctx| match inp {
+                None => {
+                    for b in 0..120u32 {
+                        ctx.call(|ctx| {
+                            ctx.compute(2);
+                            Ok(())
+                        })?;
+                        ctx.write_byte(out, (b % 256) as u8)?;
                     }
-                    Some(inp) => {
-                        while let Some(b) = ctx.read_byte(inp)? {
-                            ctx.call(|ctx| {
-                                ctx.compute(2);
-                                Ok(())
-                            })?;
-                            ctx.write_byte(out, b)?;
-                        }
-                        ctx.close_writer(out)
+                    ctx.close_writer(out)
+                }
+                Some(inp) => {
+                    while let Some(b) = ctx.read_byte(inp)? {
+                        ctx.call(|ctx| {
+                            ctx.compute(2);
+                            Ok(())
+                        })?;
+                        ctx.write_byte(out, b)?;
                     }
+                    ctx.close_writer(out)
                 }
             });
             prev = Some(out);

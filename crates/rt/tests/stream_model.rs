@@ -13,11 +13,7 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u8>().prop_map(Op::Push),
-        Just(Op::Pop),
-        Just(Op::CloseWriter),
-    ]
+    prop_oneof![any::<u8>().prop_map(Op::Push), Just(Op::Pop), Just(Op::CloseWriter),]
 }
 
 proptest! {

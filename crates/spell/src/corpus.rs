@@ -128,8 +128,14 @@ impl Corpus {
         let mut column = 0usize;
         doc.extend_from_slice(b"\\documentclass{article}\n\\begin{document}\n");
         let commands: [&str; 8] = [
-            "\\section{", "\\subsection{", "\\emph{", "\\cite{windows93}",
-            "\\ref{fig:traps}", "\\begin{itemize}", "\\item", "\\end{itemize}",
+            "\\section{",
+            "\\subsection{",
+            "\\emph{",
+            "\\cite{windows93}",
+            "\\ref{fig:traps}",
+            "\\begin{itemize}",
+            "\\item",
+            "\\end{itemize}",
         ];
         let mut open_brace = false;
         while doc.len() < spec.doc_bytes.saturating_sub(20) {
@@ -154,10 +160,7 @@ impl Corpus {
                 for _ in 0..32 {
                     let w = &vocab[rng.random_range(0..vocab.len())];
                     let m = mutate(w, &mut rng);
-                    if m.len() >= 3
-                        && !main.contains_with_derivatives(&m)
-                        && !stop.contains(&m)
-                    {
+                    if m.len() >= 3 && !main.contains_with_derivatives(&m) && !stop.contains(&m) {
                         form = Some(m);
                         break;
                     }

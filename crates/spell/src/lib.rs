@@ -54,9 +54,9 @@ pub mod affix;
 pub mod corpus;
 pub mod delatex;
 pub mod dict;
-pub mod reference;
 mod pipeline;
 mod pipeline_traced;
+pub mod reference;
 mod threads;
 mod words;
 

@@ -238,12 +238,10 @@ mod tests {
         // fewer context switches than high concurrency (M = N), as in
         // Table 1 (T6: 12 501 at M=N=4 vs 49 at M=1024).
         let corpus = CorpusSpec::small();
-        let high = SpellPipeline::new(SpellConfig::new(corpus, 4, 4))
-            .run(8, SchemeKind::Sp)
-            .unwrap();
-        let low = SpellPipeline::new(SpellConfig::new(corpus, 1024, 4))
-            .run(8, SchemeKind::Sp)
-            .unwrap();
+        let high =
+            SpellPipeline::new(SpellConfig::new(corpus, 4, 4)).run(8, SchemeKind::Sp).unwrap();
+        let low =
+            SpellPipeline::new(SpellConfig::new(corpus, 1024, 4)).run(8, SchemeKind::Sp).unwrap();
         let t6_high = high.report.threads[5].context_switches;
         let t6_low = low.report.threads[5].context_switches;
         assert!(

@@ -29,8 +29,8 @@ impl SpellPipeline {
 
 #[cfg(test)]
 mod tests {
-    use crate::SpellConfig;
     use super::*;
+    use crate::SpellConfig;
 
     #[test]
     fn traced_run_replays_exactly_across_schemes_and_windows() {
@@ -44,13 +44,8 @@ mod tests {
         // direct run.
         for (scheme, windows) in [(SchemeKind::Ns, 5), (SchemeKind::Snp, 12), (SchemeKind::Sp, 4)] {
             let direct = pipeline.run(windows, scheme).unwrap();
-            let replayed =
-                trace.replay(windows, CostModel::s20(), build_scheme(scheme)).unwrap();
-            assert_eq!(
-                replayed.total_cycles(),
-                direct.report.total_cycles(),
-                "{scheme}@{windows}"
-            );
+            let replayed = trace.replay(windows, CostModel::s20(), build_scheme(scheme)).unwrap();
+            assert_eq!(replayed.total_cycles(), direct.report.total_cycles(), "{scheme}@{windows}");
             assert_eq!(replayed.stats.overflow_traps, direct.report.stats.overflow_traps);
             assert_eq!(
                 replayed.threads.iter().map(|t| t.context_switches).collect::<Vec<_>>(),

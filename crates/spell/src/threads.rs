@@ -122,8 +122,14 @@ pub(crate) fn run_delatex(ctx: &mut Ctx, s1: StreamId, s2: StreamId) -> Result<(
 fn emit_word(ctx: &mut Ctx, word: &str, out: StreamId) -> Result<(), RtError> {
     ctx.call(|ctx| {
         ctx.compute(word.len() as u64);
-        ctx.write_all(out, word.as_bytes())?;
-        ctx.write_byte(out, b'\n')
+        // One atomic record: S4 has two writers (T2's stop-list hits and
+        // T3's misspellings), and without record atomicity a writer that
+        // blocks mid-word on a full buffer gets the other writer's bytes
+        // spliced into its line.
+        let mut record = Vec::with_capacity(word.len() + 1);
+        record.extend_from_slice(word.as_bytes());
+        record.push(b'\n');
+        ctx.write_record(out, &record)
     })
 }
 

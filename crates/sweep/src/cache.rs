@@ -1,0 +1,142 @@
+//! The content-addressed result cache.
+//!
+//! One file per job, named by the key's FNV-1a id:
+//! `<dir>/<id>.json` containing `{version, key, report}`. The canonical
+//! key string is stored alongside the report and verified on load, so a
+//! (vanishingly unlikely) hash collision or a stale file from an old
+//! format version degrades to a cache miss, never to wrong data.
+
+use crate::json::{obj, parse, Value};
+use crate::key::{JobKey, FORMAT_VERSION};
+use crate::serial::{report_from_value, report_to_value};
+use regwin_rt::RunReport;
+use std::path::{Path, PathBuf};
+
+/// A directory of cached run reports.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &JobKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.id()))
+    }
+
+    /// Loads the cached report for `key`, or `None` on miss. Corrupt,
+    /// mismatched or old-format entries count as misses.
+    pub fn load(&self, key: &JobKey) -> Option<RunReport> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let v = parse(&text).ok()?;
+        if v.get("version")?.as_u64()? != u64::from(FORMAT_VERSION) {
+            return None;
+        }
+        if v.get("key")?.as_str()? != key.canonical() {
+            return None;
+        }
+        report_from_value(v.get("report")?).ok()
+    }
+
+    /// Stores `report` under `key`. Write failures are reported to
+    /// stderr but do not fail the sweep — the cache is an accelerator,
+    /// not a correctness dependency.
+    pub fn store(&self, key: &JobKey, report: &RunReport) {
+        if let Err(e) = std::fs::create_dir_all(&self.dir) {
+            eprintln!("warning: cannot create cache dir {}: {e}", self.dir.display());
+            return;
+        }
+        let entry = obj(vec![
+            ("version", Value::Int(u64::from(FORMAT_VERSION))),
+            ("key", Value::Str(key.canonical())),
+            ("report", report_to_value(report)),
+        ]);
+        let path = self.path_for(key);
+        // Write-then-rename so a concurrent reader never sees a torn
+        // entry (two workers may race to store the same key; both write
+        // identical bytes, so either rename winning is fine).
+        let tmp = self.dir.join(format!("{}.tmp.{}", key.id(), std::process::id()));
+        let result =
+            std::fs::write(&tmp, entry.to_json()).and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = result {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("warning: cannot write cache entry {}: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec};
+    use regwin_machine::SchemeKind;
+    use regwin_rt::SchedulingPolicy;
+    use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("regwin-sweep-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_key() -> JobKey {
+        let spec = MatrixSpec {
+            corpus: CorpusSpec::small(),
+            behaviors: vec![Behavior::new(Concurrency::High, Granularity::Medium)],
+            schemes: vec![SchemeKind::Sp],
+            windows: vec![8],
+            policy: SchedulingPolicy::Fifo,
+        };
+        JobKey::for_cell(&spec, spec.behaviors[0], SchemeKind::Sp, 8)
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let cache = ResultCache::new(tmpdir("roundtrip"));
+        let key = sample_key();
+        assert!(cache.load(&key).is_none(), "fresh cache must miss");
+        let report =
+            SpellPipeline::new(SpellConfig::small()).run(8, SchemeKind::Sp).unwrap().report;
+        cache.store(&key, &report);
+        let loaded = cache.load(&key).expect("hit after store");
+        assert_eq!(loaded.total_cycles(), report.total_cycles());
+        assert_eq!(loaded.stats, report.stats);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn mismatched_canonical_key_is_a_miss() {
+        let cache = ResultCache::new(tmpdir("mismatch"));
+        let key = sample_key();
+        let report =
+            SpellPipeline::new(SpellConfig::small()).run(8, SchemeKind::Sp).unwrap().report;
+        cache.store(&key, &report);
+        // Simulate a hash collision: same file name, different canonical.
+        let mut other = key.clone();
+        other.experiment = "other-experiment".into();
+        let entry_path = cache.dir().join(format!("{}.json", other.id()));
+        std::fs::copy(cache.dir().join(format!("{}.json", key.id())), entry_path).unwrap();
+        assert!(cache.load(&other).is_none(), "canonical-key check must reject");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let cache = ResultCache::new(tmpdir("corrupt"));
+        let key = sample_key();
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        std::fs::write(cache.dir().join(format!("{}.json", key.id())), "{not json").unwrap();
+        assert!(cache.load(&key).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

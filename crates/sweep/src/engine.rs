@@ -1,0 +1,574 @@
+//! The sweep engine: declarative matrix → job graph → parallel worker
+//! pool → content-addressed cache → structured progress events.
+//!
+//! Jobs are pure functions of their [`JobKey`]; the engine probes the
+//! cache first, fans the misses out across a pool of OS threads with a
+//! shared work queue, stores fresh results, and streams one JSON event
+//! per job to stderr. Results come back in deterministic
+//! (behaviour-major, then scheme, then window) order regardless of
+//! completion order or worker count.
+//!
+//! Under FIFO scheduling the engine keeps the paper's emulator
+//! methodology: one recorded execution per behaviour, replayed for
+//! every (scheme × window) cell — and it only records a behaviour's
+//! trace when at least one of its cells actually missed the cache.
+
+use crate::cache::ResultCache;
+use crate::json::{obj, Value};
+use crate::key::JobKey;
+use regwin_core::{MatrixSpec, RunRecord};
+use regwin_machine::CostModel;
+use regwin_rt::{RtError, RunReport, SchedulingPolicy, Trace};
+use regwin_spell::{Corpus, SpellConfig, SpellPipeline};
+use regwin_traps::{build_scheme, SchemeKind};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SweepConfig {
+    /// Cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads; `0` means one per available CPU.
+    pub workers: usize,
+    /// Stream one JSON event per job to stderr.
+    pub stream_events: bool,
+}
+
+/// What happened to one job, for the artifact and the summary.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Content hash (cache file stem).
+    pub id: String,
+    /// Canonical key string.
+    pub key: String,
+    /// Human-readable label.
+    pub label: String,
+    /// Whether the result came from the cache.
+    pub cache_hit: bool,
+    /// Wall time spent on this job (≈0 for hits).
+    pub wall_ms: f64,
+    /// The result's total simulated cycles.
+    pub total_cycles: u64,
+}
+
+/// Aggregate counters for one engine lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepSummary {
+    /// Jobs executed or served from cache.
+    pub jobs: usize,
+    /// Cache hits.
+    pub cache_hits: usize,
+    /// Cache misses (actually simulated).
+    pub cache_misses: usize,
+}
+
+/// One schedulable unit: a key plus the closure computing its report.
+pub struct Job<'a> {
+    key: JobKey,
+    run: Box<dyn Fn() -> Result<RunReport, RtError> + Sync + 'a>,
+}
+
+impl<'a> Job<'a> {
+    /// A job computing the report for `key` via `run`.
+    pub fn new(key: JobKey, run: impl Fn() -> Result<RunReport, RtError> + Sync + 'a) -> Self {
+        Job { key, run: Box::new(run) }
+    }
+
+    /// The job's key.
+    pub fn key(&self) -> &JobKey {
+        &self.key
+    }
+}
+
+impl std::fmt::Debug for Job<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("key", &self.key).finish()
+    }
+}
+
+/// The experiment orchestrator. One engine instance accumulates the job
+/// log across every sweep it runs, so a multi-exhibit binary (repro-all)
+/// gets a single unified artifact.
+#[derive(Debug)]
+pub struct SweepEngine {
+    config: SweepConfig,
+    cache: Option<ResultCache>,
+    log: Mutex<Vec<JobRecord>>,
+    started: Instant,
+}
+
+impl SweepEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: SweepConfig) -> Self {
+        let cache = config.cache_dir.as_ref().map(ResultCache::new);
+        SweepEngine { config, cache, log: Mutex::new(Vec::new()), started: Instant::now() }
+    }
+
+    /// An engine with default configuration (no cache, auto workers,
+    /// quiet).
+    pub fn quiet() -> Self {
+        SweepEngine::new(SweepConfig::default())
+    }
+
+    /// The number of worker threads a pool of `total` jobs will use.
+    pub fn effective_workers(&self, total: usize) -> usize {
+        let hw = if self.config.workers > 0 {
+            self.config.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        };
+        hw.min(total.max(1))
+    }
+
+    /// Whether every key already has a valid cache entry — an unlogged
+    /// probe, used to skip expensive setup (like trace recording) that
+    /// only matters if something will actually run.
+    pub fn all_cached(&self, keys: &[JobKey]) -> bool {
+        match &self.cache {
+            Some(cache) => keys.iter().all(|k| cache.load(k).is_some()),
+            None => false,
+        }
+    }
+
+    fn emit(&self, event: Value) {
+        if self.config.stream_events {
+            eprintln!("{}", event.to_json());
+        }
+    }
+
+    fn log_job(&self, record: JobRecord) {
+        self.log.lock().expect("job log poisoned").push(record);
+    }
+
+    /// Runs a batch of keyed jobs: probes the cache, executes the misses
+    /// across the worker pool, stores fresh results, and returns the
+    /// reports in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job error.
+    pub fn run_jobs(&self, jobs: &[Job<'_>]) -> Result<Vec<RunReport>, RtError> {
+        let mut results: Vec<Option<RunReport>> = Vec::with_capacity(jobs.len());
+        let mut miss_indices = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let cached = self.cache.as_ref().and_then(|c| c.load(&job.key));
+            match cached {
+                Some(report) => {
+                    self.emit(obj(vec![
+                        ("event", Value::Str("job_done".into())),
+                        ("id", Value::Str(job.key.id())),
+                        ("label", Value::Str(job.key.label())),
+                        ("cache", Value::Str("hit".into())),
+                        ("wall_ms", Value::Float(0.0)),
+                        ("cycles", Value::Int(report.total_cycles())),
+                    ]));
+                    self.log_job(JobRecord {
+                        id: job.key.id(),
+                        key: job.key.canonical(),
+                        label: job.key.label(),
+                        cache_hit: true,
+                        wall_ms: 0.0,
+                        total_cycles: report.total_cycles(),
+                    });
+                    results.push(Some(report));
+                }
+                None => {
+                    miss_indices.push(i);
+                    results.push(None);
+                }
+            }
+        }
+
+        let computed =
+            run_indexed(self.effective_workers(miss_indices.len()), miss_indices.len(), |mi| {
+                let job = &jobs[miss_indices[mi]];
+                self.emit(obj(vec![
+                    ("event", Value::Str("job_start".into())),
+                    ("id", Value::Str(job.key.id())),
+                    ("label", Value::Str(job.key.label())),
+                ]));
+                let t0 = Instant::now();
+                let report = (job.run)()?;
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                if let Some(cache) = &self.cache {
+                    cache.store(&job.key, &report);
+                }
+                self.emit(obj(vec![
+                    ("event", Value::Str("job_done".into())),
+                    ("id", Value::Str(job.key.id())),
+                    ("label", Value::Str(job.key.label())),
+                    ("cache", Value::Str("miss".into())),
+                    ("wall_ms", Value::Float(wall_ms)),
+                    ("cycles", Value::Int(report.total_cycles())),
+                ]));
+                self.log_job(JobRecord {
+                    id: job.key.id(),
+                    key: job.key.canonical(),
+                    label: job.key.label(),
+                    cache_hit: false,
+                    wall_ms,
+                    total_cycles: report.total_cycles(),
+                });
+                Ok(report)
+            })?;
+
+        for (mi, report) in miss_indices.into_iter().zip(computed) {
+            results[mi] = Some(report);
+        }
+        Ok(results.into_iter().map(|r| r.expect("every job resolved")).collect())
+    }
+
+    /// Executes every cell of `spec` — the engine's counterpart of
+    /// [`regwin_core::run_matrix`], with caching, events and the
+    /// record-once/replay-many FIFO fast path. Records are returned in
+    /// the same deterministic behaviour-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first run error.
+    pub fn run_matrix(&self, spec: &MatrixSpec) -> Result<Vec<RunRecord>, RtError> {
+        let mut cells = Vec::new();
+        for (bi, &behavior) in spec.behaviors.iter().enumerate() {
+            for &scheme in &spec.schemes {
+                for &nwindows in &spec.windows {
+                    cells.push((bi, behavior, scheme, nwindows));
+                }
+            }
+        }
+        let keys: Vec<JobKey> = cells
+            .iter()
+            .map(|&(_, behavior, scheme, nwindows)| {
+                JobKey::for_cell(spec, behavior, scheme, nwindows)
+            })
+            .collect();
+        self.emit(obj(vec![
+            ("event", Value::Str("sweep_start".into())),
+            ("jobs", Value::Int(cells.len() as u64)),
+            ("workers", Value::Int(self.effective_workers(cells.len()) as u64)),
+            ("policy", Value::Str(spec.policy.name().into())),
+        ]));
+        let sweep_t0 = Instant::now();
+
+        // Unlogged pre-probe: which behaviours actually need a recorded
+        // trace? (Only consulted to skip recording; run_jobs does the
+        // authoritative, logged probe.)
+        let behavior_missing: Vec<bool> = {
+            let mut missing = vec![false; spec.behaviors.len()];
+            for (&(bi, ..), key) in cells.iter().zip(&keys) {
+                if !missing[bi] && self.cache.as_ref().and_then(|c| c.load(key)).is_none() {
+                    missing[bi] = true;
+                }
+            }
+            missing
+        };
+
+        let corpus = Corpus::generate(&spec.corpus);
+
+        // FIFO: the schedule depends only on the buffer configuration
+        // (paper §5.2), so record once per behaviour and replay each
+        // cell; replay-equals-direct is guaranteed by the rt test suite.
+        let traces: Vec<Option<Trace>> = if spec.policy == SchedulingPolicy::Fifo {
+            let to_record: Vec<usize> =
+                (0..spec.behaviors.len()).filter(|&bi| behavior_missing[bi]).collect();
+            let recorded =
+                run_indexed(self.effective_workers(to_record.len()), to_record.len(), |i| {
+                    let behavior = spec.behaviors[to_record[i]];
+                    let (m, n) = behavior.buffers();
+                    self.emit(obj(vec![
+                        ("event", Value::Str("trace_record".into())),
+                        ("behavior", Value::Str(behavior.to_string())),
+                    ]));
+                    let config = SpellConfig::new(spec.corpus, m, n).with_policy(spec.policy);
+                    let pipeline = SpellPipeline::with_corpus(corpus.clone(), config);
+                    let (_, trace) = pipeline.run_traced(8, SchemeKind::Sp)?;
+                    Ok(trace)
+                })?;
+            let mut traces = vec![None; spec.behaviors.len()];
+            for (bi, trace) in to_record.into_iter().zip(recorded) {
+                traces[bi] = Some(trace);
+            }
+            traces
+        } else {
+            vec![None; spec.behaviors.len()]
+        };
+
+        let jobs: Vec<Job<'_>> = cells
+            .iter()
+            .zip(keys)
+            .map(|(&(bi, behavior, scheme, nwindows), key)| {
+                let corpus = &corpus;
+                let traces = &traces;
+                Job::new(key, move || match &traces[bi] {
+                    Some(trace) => trace.replay(nwindows, CostModel::s20(), build_scheme(scheme)),
+                    // No trace: direct run (working-set policy, or a
+                    // cache entry that vanished after the pre-probe).
+                    None => {
+                        let (m, n) = behavior.buffers();
+                        let config = SpellConfig::new(spec.corpus, m, n).with_policy(spec.policy);
+                        let pipeline = SpellPipeline::with_corpus(corpus.clone(), config);
+                        Ok(pipeline.run(nwindows, scheme)?.report)
+                    }
+                })
+            })
+            .collect();
+
+        let reports = self.run_jobs(&jobs)?;
+        let summary = self.summary();
+        self.emit(obj(vec![
+            ("event", Value::Str("sweep_done".into())),
+            ("jobs", Value::Int(cells.len() as u64)),
+            ("cache_hits", Value::Int(summary.cache_hits as u64)),
+            ("cache_misses", Value::Int(summary.cache_misses as u64)),
+            ("wall_ms", Value::Float(sweep_t0.elapsed().as_secs_f64() * 1e3)),
+        ]));
+
+        Ok(cells
+            .into_iter()
+            .zip(reports)
+            .map(|((_, behavior, scheme, nwindows), report)| RunRecord {
+                behavior,
+                scheme,
+                nwindows,
+                policy: spec.policy,
+                report,
+            })
+            .collect())
+    }
+
+    /// Counters over every job this engine has run so far.
+    pub fn summary(&self) -> SweepSummary {
+        let log = self.log.lock().expect("job log poisoned");
+        let cache_hits = log.iter().filter(|j| j.cache_hit).count();
+        SweepSummary { jobs: log.len(), cache_hits, cache_misses: log.len() - cache_hits }
+    }
+
+    /// The `BENCH_sweep.json` artifact: engine configuration, aggregate
+    /// counters and the full per-job log with wall times.
+    pub fn artifact_value(&self) -> Value {
+        let log = self.log.lock().expect("job log poisoned");
+        let summary_hits = log.iter().filter(|j| j.cache_hit).count();
+        let jobs = Value::Arr(
+            log.iter()
+                .map(|j| {
+                    obj(vec![
+                        ("id", Value::Str(j.id.clone())),
+                        ("key", Value::Str(j.key.clone())),
+                        ("label", Value::Str(j.label.clone())),
+                        ("cache", Value::Str(if j.cache_hit { "hit" } else { "miss" }.into())),
+                        ("wall_ms", Value::Float(j.wall_ms)),
+                        ("total_cycles", Value::Int(j.total_cycles)),
+                    ])
+                })
+                .collect(),
+        );
+        obj(vec![
+            ("version", Value::Int(u64::from(crate::key::FORMAT_VERSION))),
+            (
+                "cache_dir",
+                match &self.config.cache_dir {
+                    Some(d) => Value::Str(d.display().to_string()),
+                    None => Value::Null,
+                },
+            ),
+            ("jobs_total", Value::Int(log.len() as u64)),
+            ("cache_hits", Value::Int(summary_hits as u64)),
+            ("cache_misses", Value::Int((log.len() - summary_hits) as u64)),
+            ("wall_ms", Value::Float(self.started.elapsed().as_secs_f64() * 1e3)),
+            ("jobs", jobs),
+        ])
+    }
+
+    /// Writes [`SweepEngine::artifact_value`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_artifact(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.artifact_value().to_json())
+    }
+}
+
+/// Serializes run records (without any timing data) to deterministic
+/// JSON: the same matrix produces byte-identical output no matter the
+/// worker count or cache state.
+pub fn records_to_json(records: &[RunRecord]) -> String {
+    Value::Arr(
+        records
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("behavior", Value::Str(r.behavior.to_string())),
+                    ("scheme", Value::Str(r.scheme.name().into())),
+                    ("policy", Value::Str(r.policy.name().into())),
+                    ("nwindows", Value::Int(r.nwindows as u64)),
+                    ("report", crate::serial::report_to_value(&r.report)),
+                ])
+            })
+            .collect(),
+    )
+    .to_json()
+}
+
+/// Runs `f(0..total)` across `workers` OS threads with a shared index
+/// queue; results return in index order. The first error wins and stops
+/// the queue.
+fn run_indexed<T: Send>(
+    workers: usize,
+    total: usize,
+    f: impl Fn(usize) -> Result<T, RtError> + Sync,
+) -> Result<Vec<T>, RtError> {
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let next = Mutex::new(0usize);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..total).map(|_| None).collect());
+    let error: Mutex<Option<RtError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.clamp(1, total) {
+            scope.spawn(|| loop {
+                let idx = {
+                    let mut n = next.lock().expect("queue poisoned");
+                    if *n >= total || error.lock().expect("error poisoned").is_some() {
+                        return;
+                    }
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                match f(idx) {
+                    Ok(v) => results.lock().expect("results poisoned")[idx] = Some(v),
+                    Err(e) => {
+                        let mut slot = error.lock().expect("error poisoned");
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = error.into_inner().expect("error poisoned") {
+        return Err(e);
+    }
+    Ok(results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("all indices completed"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regwin_core::{run_matrix, Behavior, Concurrency, Granularity};
+    use regwin_spell::CorpusSpec;
+
+    fn small_spec() -> MatrixSpec {
+        MatrixSpec {
+            corpus: CorpusSpec::small(),
+            behaviors: vec![Behavior::new(Concurrency::High, Granularity::Medium)],
+            schemes: vec![SchemeKind::Ns, SchemeKind::Sp],
+            windows: vec![4, 8],
+            policy: SchedulingPolicy::Fifo,
+        }
+    }
+
+    #[test]
+    fn engine_matches_core_run_matrix() {
+        let spec = small_spec();
+        let engine = SweepEngine::quiet();
+        let ours = engine.run_matrix(&spec).unwrap();
+        let reference = run_matrix(&spec, |_, _| {}).unwrap();
+        assert_eq!(ours.len(), reference.len());
+        for (a, b) in ours.iter().zip(&reference) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.nwindows, b.nwindows);
+            assert_eq!(a.report.total_cycles(), b.report.total_cycles());
+            assert_eq!(a.report.stats, b.report.stats);
+        }
+    }
+
+    #[test]
+    fn engine_matches_core_on_working_set() {
+        let mut spec = small_spec();
+        spec.policy = SchedulingPolicy::WorkingSet;
+        spec.windows = vec![6];
+        let engine = SweepEngine::quiet();
+        let ours = engine.run_matrix(&spec).unwrap();
+        let reference = run_matrix(&spec, |_, _| {}).unwrap();
+        for (a, b) in ours.iter().zip(&reference) {
+            assert_eq!(a.report.total_cycles(), b.report.total_cycles());
+        }
+    }
+
+    #[test]
+    fn second_run_hits_cache_for_every_cell() {
+        let dir =
+            std::env::temp_dir().join(format!("regwin-sweep-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec();
+        let total = spec.len();
+
+        let first = SweepEngine::new(SweepConfig {
+            cache_dir: Some(dir.clone()),
+            ..SweepConfig::default()
+        });
+        let cold = first.run_matrix(&spec).unwrap();
+        assert_eq!(first.summary().cache_misses, total);
+        assert_eq!(first.summary().cache_hits, 0);
+
+        let second = SweepEngine::new(SweepConfig {
+            cache_dir: Some(dir.clone()),
+            ..SweepConfig::default()
+        });
+        let warm = second.run_matrix(&spec).unwrap();
+        assert_eq!(second.summary().cache_hits, total);
+        assert_eq!(second.summary().cache_misses, 0);
+        assert_eq!(records_to_json(&cold), records_to_json(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifact_reflects_the_job_log() {
+        let engine = SweepEngine::quiet();
+        let spec = MatrixSpec { windows: vec![8], schemes: vec![SchemeKind::Sp], ..small_spec() };
+        engine.run_matrix(&spec).unwrap();
+        let artifact = engine.artifact_value();
+        assert_eq!(artifact.get("jobs_total").unwrap().as_u64(), Some(1));
+        assert_eq!(artifact.get("cache_misses").unwrap().as_u64(), Some(1));
+        assert_eq!(artifact.get("jobs").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn run_jobs_preserves_input_order() {
+        let engine = SweepEngine::quiet();
+        let spec = small_spec();
+        // Two jobs whose reports differ by window count; order must hold.
+        let keys: Vec<JobKey> = [12, 4]
+            .iter()
+            .map(|&w| JobKey::for_cell(&spec, spec.behaviors[0], SchemeKind::Sp, w))
+            .collect();
+        let jobs: Vec<Job<'_>> = keys
+            .into_iter()
+            .map(|key| {
+                let w = key.nwindows;
+                Job::new(key, move || {
+                    let config = SpellConfig::new(CorpusSpec::small(), 4, 4);
+                    Ok(SpellPipeline::new(config).run(w, SchemeKind::Sp)?.report)
+                })
+            })
+            .collect();
+        let reports = engine.run_jobs(&jobs).unwrap();
+        assert_eq!(reports[0].nwindows, 12);
+        assert_eq!(reports[1].nwindows, 4);
+    }
+}

@@ -1,0 +1,63 @@
+//! # regwin-sweep
+//!
+//! A parallel, cached, observable experiment-orchestration subsystem
+//! for the regwin evaluation suite.
+//!
+//! The repro binaries describe *what* to measure — a sweep matrix of
+//! (behaviour × scheme × window count) cells, or a list of ablation
+//! variants — and this crate turns that description into a job graph:
+//!
+//! 1. **Identity** ([`key`]): every job is a pure function of its
+//!    configuration; the canonical key string and its FNV-1a hash name
+//!    the job everywhere (events, artifact, cache file).
+//! 2. **Cache** ([`cache`]): one JSON file per job id. Hits skip
+//!    simulation entirely; the stored canonical key is verified on
+//!    load, so collisions and stale formats degrade to misses.
+//! 3. **Execution** ([`engine`]): misses fan out across an OS-thread
+//!    pool with a shared work queue. Under FIFO scheduling the engine
+//!    records one trace per behaviour — and only for behaviours that
+//!    actually missed — then replays each cell, exactly like the
+//!    paper's register-window emulator methodology.
+//! 4. **Observability** ([`engine`]): one JSON event per job on stderr
+//!    (start/finish, cache hit/miss, wall time, simulated cycles), an
+//!    aggregate [`SweepSummary`], and a `BENCH_sweep.json` artifact
+//!    with the full job log.
+//!
+//! Results are returned in a deterministic order and serialize
+//! deterministically ([`records_to_json`] is byte-identical across
+//! worker counts and cache states), so downstream tables and figures
+//! never depend on scheduling luck.
+//!
+//! ```rust
+//! use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec};
+//! use regwin_core::{CorpusSpec, SchedulingPolicy, SchemeKind};
+//! use regwin_sweep::SweepEngine;
+//!
+//! let spec = MatrixSpec {
+//!     corpus: CorpusSpec::small(),
+//!     behaviors: vec![Behavior::new(Concurrency::High, Granularity::Medium)],
+//!     schemes: vec![SchemeKind::Sp],
+//!     windows: vec![8],
+//!     policy: SchedulingPolicy::Fifo,
+//! };
+//! let engine = SweepEngine::quiet();
+//! let records = engine.run_matrix(&spec).unwrap();
+//! assert_eq!(records.len(), 1);
+//! assert_eq!(engine.summary().jobs, 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod key;
+pub mod serial;
+pub mod studies;
+
+pub use cache::ResultCache;
+pub use engine::{records_to_json, Job, JobRecord, SweepConfig, SweepEngine, SweepSummary};
+pub use key::{JobKey, FORMAT_VERSION};
+pub use serial::{report_from_json, report_to_json, DecodeError};
+pub use studies::run_ablation;

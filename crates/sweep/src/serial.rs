@@ -1,0 +1,265 @@
+//! [`RunReport`] ⇄ JSON, lossless and byte-deterministic.
+//!
+//! `CycleCounter` keeps its fields private, so cycles serialize by
+//! category through the public [`CycleCategory`] accessors and rebuild
+//! through `charge()`. `switch_shapes` is a `BTreeMap`, so its
+//! iteration order — and therefore the serialized form — is already
+//! deterministic; nothing in a report goes through a `HashMap`.
+
+use crate::json::{obj, parse, Value};
+use regwin_machine::{
+    CycleCategory, CycleCounter, MachineStats, SchemeKind, SwitchShape, ThreadStats,
+};
+use regwin_rt::{RunReport, SchedulingPolicy, ThreadReport};
+
+/// A deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot decode report: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn category_name(c: CycleCategory) -> &'static str {
+    match c {
+        CycleCategory::App => "app",
+        CycleCategory::WindowInstr => "window_instr",
+        CycleCategory::OverflowTrap => "overflow_trap",
+        CycleCategory::UnderflowTrap => "underflow_trap",
+        CycleCategory::ContextSwitch => "context_switch",
+    }
+}
+
+/// Serializes a report to a JSON value.
+pub fn report_to_value(report: &RunReport) -> Value {
+    let cycles = Value::Obj(
+        CycleCategory::ALL
+            .iter()
+            .map(|&c| (category_name(c).to_string(), Value::Int(report.cycles.category(c))))
+            .collect(),
+    );
+    let shapes = Value::Arr(
+        report
+            .stats
+            .switch_shapes
+            .iter()
+            .map(|(shape, count)| {
+                obj(vec![
+                    ("saves", Value::Int(u64::from(shape.saves))),
+                    ("restores", Value::Int(u64::from(shape.restores))),
+                    ("count", Value::Int(*count)),
+                ])
+            })
+            .collect(),
+    );
+    let thread_stats = Value::Arr(
+        report
+            .stats
+            .threads
+            .iter()
+            .map(|t| {
+                obj(vec![
+                    ("switches_out", Value::Int(t.switches_out)),
+                    ("saves", Value::Int(t.saves)),
+                    ("restores", Value::Int(t.restores)),
+                ])
+            })
+            .collect(),
+    );
+    let stats = obj(vec![
+        ("saves_executed", Value::Int(report.stats.saves_executed)),
+        ("restores_executed", Value::Int(report.stats.restores_executed)),
+        ("overflow_traps", Value::Int(report.stats.overflow_traps)),
+        ("underflow_traps", Value::Int(report.stats.underflow_traps)),
+        ("overflow_spills", Value::Int(report.stats.overflow_spills)),
+        ("underflow_restores", Value::Int(report.stats.underflow_restores)),
+        ("context_switches", Value::Int(report.stats.context_switches)),
+        ("switch_saves", Value::Int(report.stats.switch_saves)),
+        ("switch_restores", Value::Int(report.stats.switch_restores)),
+        ("switch_shapes", shapes),
+        ("threads", thread_stats),
+    ]);
+    let threads = Value::Arr(
+        report
+            .threads
+            .iter()
+            .map(|t| {
+                obj(vec![
+                    ("name", Value::Str(t.name.clone())),
+                    ("context_switches", Value::Int(t.context_switches)),
+                    ("saves", Value::Int(t.saves)),
+                    ("restores", Value::Int(t.restores)),
+                    ("blocked_on_read", Value::Int(t.blocked_on_read)),
+                    ("blocked_on_write", Value::Int(t.blocked_on_write)),
+                ])
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("scheme", Value::Str(report.scheme.name().to_string())),
+        ("policy", Value::Str(report.policy.name().to_string())),
+        ("nwindows", Value::Int(report.nwindows as u64)),
+        ("cycles", cycles),
+        ("stats", stats),
+        ("threads", threads),
+        ("avg_parallel_slackness", Value::Float(report.avg_parallel_slackness)),
+    ])
+}
+
+/// Serializes a report to a compact JSON string.
+pub fn report_to_json(report: &RunReport) -> String {
+    report_to_value(report).to_json()
+}
+
+fn need<'a>(v: &'a Value, key: &str) -> Result<&'a Value, DecodeError> {
+    v.get(key).ok_or_else(|| DecodeError(format!("missing field '{key}'")))
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, DecodeError> {
+    need(v, key)?.as_u64().ok_or_else(|| DecodeError(format!("field '{key}' is not an integer")))
+}
+
+fn scheme_from_name(name: &str) -> Result<SchemeKind, DecodeError> {
+    SchemeKind::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| DecodeError(format!("unknown scheme '{name}'")))
+}
+
+fn policy_from_name(name: &str) -> Result<SchedulingPolicy, DecodeError> {
+    SchedulingPolicy::ALL
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| DecodeError(format!("unknown policy '{name}'")))
+}
+
+/// Deserializes a report from a JSON value.
+///
+/// # Errors
+///
+/// Fails on missing or mistyped fields.
+pub fn report_from_value(v: &Value) -> Result<RunReport, DecodeError> {
+    let scheme = scheme_from_name(
+        need(v, "scheme")?.as_str().ok_or_else(|| DecodeError("scheme not a string".into()))?,
+    )?;
+    let policy = policy_from_name(
+        need(v, "policy")?.as_str().ok_or_else(|| DecodeError("policy not a string".into()))?,
+    )?;
+    let nwindows = need_u64(v, "nwindows")? as usize;
+
+    let cycles_v = need(v, "cycles")?;
+    let mut cycles = CycleCounter::new();
+    for c in CycleCategory::ALL {
+        cycles.charge(c, need_u64(cycles_v, category_name(c))?);
+    }
+
+    let stats_v = need(v, "stats")?;
+    let mut stats = MachineStats::new();
+    stats.saves_executed = need_u64(stats_v, "saves_executed")?;
+    stats.restores_executed = need_u64(stats_v, "restores_executed")?;
+    stats.overflow_traps = need_u64(stats_v, "overflow_traps")?;
+    stats.underflow_traps = need_u64(stats_v, "underflow_traps")?;
+    stats.overflow_spills = need_u64(stats_v, "overflow_spills")?;
+    stats.underflow_restores = need_u64(stats_v, "underflow_restores")?;
+    stats.context_switches = need_u64(stats_v, "context_switches")?;
+    stats.switch_saves = need_u64(stats_v, "switch_saves")?;
+    stats.switch_restores = need_u64(stats_v, "switch_restores")?;
+    for shape_v in need(stats_v, "switch_shapes")?
+        .as_arr()
+        .ok_or_else(|| DecodeError("switch_shapes not an array".into()))?
+    {
+        let shape = SwitchShape {
+            saves: need_u64(shape_v, "saves")? as u32,
+            restores: need_u64(shape_v, "restores")? as u32,
+        };
+        stats.switch_shapes.insert(shape, need_u64(shape_v, "count")?);
+    }
+    for t in need(stats_v, "threads")?
+        .as_arr()
+        .ok_or_else(|| DecodeError("stats.threads not an array".into()))?
+    {
+        stats.threads.push(ThreadStats {
+            switches_out: need_u64(t, "switches_out")?,
+            saves: need_u64(t, "saves")?,
+            restores: need_u64(t, "restores")?,
+        });
+    }
+
+    let mut threads = Vec::new();
+    for t in
+        need(v, "threads")?.as_arr().ok_or_else(|| DecodeError("threads not an array".into()))?
+    {
+        threads.push(ThreadReport {
+            name: need(t, "name")?
+                .as_str()
+                .ok_or_else(|| DecodeError("thread name not a string".into()))?
+                .to_string(),
+            context_switches: need_u64(t, "context_switches")?,
+            saves: need_u64(t, "saves")?,
+            restores: need_u64(t, "restores")?,
+            blocked_on_read: need_u64(t, "blocked_on_read")?,
+            blocked_on_write: need_u64(t, "blocked_on_write")?,
+        });
+    }
+
+    let avg_parallel_slackness = need(v, "avg_parallel_slackness")?
+        .as_f64()
+        .ok_or_else(|| DecodeError("avg_parallel_slackness not a number".into()))?;
+
+    Ok(RunReport { scheme, policy, nwindows, cycles, stats, threads, avg_parallel_slackness })
+}
+
+/// Deserializes a report from a JSON string.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or missing fields.
+pub fn report_from_json(text: &str) -> Result<RunReport, DecodeError> {
+    let v = parse(text).map_err(|e| DecodeError(e.to_string()))?;
+    report_from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regwin_spell::{SpellConfig, SpellPipeline};
+
+    #[test]
+    fn real_report_roundtrips_exactly() {
+        let outcome = SpellPipeline::new(SpellConfig::small()).run(8, SchemeKind::Sp).unwrap();
+        let r = outcome.report;
+        let text = report_to_json(&r);
+        let back = report_from_json(&text).unwrap();
+        assert_eq!(back.scheme, r.scheme);
+        assert_eq!(back.policy, r.policy);
+        assert_eq!(back.nwindows, r.nwindows);
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.stats, r.stats);
+        assert_eq!(back.threads, r.threads);
+        assert_eq!(back.avg_parallel_slackness, r.avg_parallel_slackness);
+        // And serialization itself is stable.
+        assert_eq!(report_to_json(&back), text);
+    }
+
+    #[test]
+    fn derived_metrics_survive_the_roundtrip() {
+        let outcome = SpellPipeline::new(SpellConfig::small()).run(6, SchemeKind::Ns).unwrap();
+        let r = outcome.report;
+        let back = report_from_json(&report_to_json(&r)).unwrap();
+        assert_eq!(back.total_cycles(), r.total_cycles());
+        assert_eq!(back.overhead_cycles(), r.overhead_cycles());
+        assert_eq!(back.avg_switch_cycles(), r.avg_switch_cycles());
+        assert_eq!(back.trap_probability(), r.trap_probability());
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let outcome = SpellPipeline::new(SpellConfig::small()).run(8, SchemeKind::Snp).unwrap();
+        let text = report_to_json(&outcome.report).replace("\"nwindows\"", "\"notwindows\"");
+        assert!(report_from_json(&text).is_err());
+    }
+}

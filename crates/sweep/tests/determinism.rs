@@ -1,0 +1,67 @@
+//! Worker-count determinism: the same sweep matrix must serialize to
+//! byte-identical JSON whether it ran on one worker or eight, and
+//! whether results came from simulation or from the cache. Any leak of
+//! completion order or `HashMap` iteration order into the records would
+//! break this.
+
+use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec};
+use regwin_core::{CorpusSpec, SchedulingPolicy, SchemeKind};
+use regwin_sweep::{records_to_json, SweepConfig, SweepEngine};
+
+fn spec(policy: SchedulingPolicy) -> MatrixSpec {
+    MatrixSpec {
+        corpus: CorpusSpec::small(),
+        behaviors: vec![
+            Behavior::new(Concurrency::High, Granularity::Medium),
+            Behavior::new(Concurrency::Low, Granularity::Fine),
+        ],
+        schemes: SchemeKind::ALL.to_vec(),
+        windows: vec![4, 8],
+        policy,
+    }
+}
+
+fn engine(workers: usize) -> SweepEngine {
+    SweepEngine::new(SweepConfig { cache_dir: None, workers, stream_events: false })
+}
+
+#[test]
+fn serial_and_parallel_sweeps_serialize_identically() {
+    let spec = spec(SchedulingPolicy::Fifo);
+    let serial = engine(1).run_matrix(&spec).unwrap();
+    let parallel = engine(8).run_matrix(&spec).unwrap();
+    assert_eq!(serial.len(), spec.len());
+    assert_eq!(records_to_json(&serial), records_to_json(&parallel));
+}
+
+#[test]
+fn working_set_policy_is_also_worker_independent() {
+    let spec = spec(SchedulingPolicy::WorkingSet);
+    let serial = engine(1).run_matrix(&spec).unwrap();
+    let parallel = engine(8).run_matrix(&spec).unwrap();
+    assert_eq!(records_to_json(&serial), records_to_json(&parallel));
+}
+
+#[test]
+fn cached_results_serialize_identically_to_fresh_ones() {
+    let dir = std::env::temp_dir().join(format!("regwin-sweep-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = spec(SchedulingPolicy::Fifo);
+
+    let fresh = engine(8).run_matrix(&spec).unwrap();
+    let cold = SweepEngine::new(SweepConfig {
+        cache_dir: Some(dir.clone()),
+        workers: 8,
+        stream_events: false,
+    });
+    cold.run_matrix(&spec).unwrap();
+    let warm = SweepEngine::new(SweepConfig {
+        cache_dir: Some(dir.clone()),
+        workers: 8,
+        stream_events: false,
+    });
+    let cached = warm.run_matrix(&spec).unwrap();
+    assert_eq!(warm.summary().cache_hits, spec.len(), "second run must be all hits");
+    assert_eq!(records_to_json(&fresh), records_to_json(&cached));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -60,7 +60,9 @@ pub fn displace(m: &mut Machine, slot: WindowIndex) -> Result<DisplaceOutcome, S
         SlotUse::Free | SlotUse::Dead(_) | SlotUse::Reserved => Ok(DisplaceOutcome::default()),
         SlotUse::Live(owner) => {
             if m.thread(owner)?.bottom(m.nwindows()) != Some(slot) {
-                return Err(SchemeError::AllocationFailed("would displace a live non-bottom window"));
+                return Err(SchemeError::AllocationFailed(
+                    "would displace a live non-bottom window",
+                ));
             }
             m.spill_bottom(owner, TransferReason::Switch)?;
             Ok(DisplaceOutcome { spilled: true, stole_prw: false })
@@ -301,7 +303,8 @@ mod policy_getter_tests {
 
     #[test]
     fn allocator_reports_its_policy() {
-        for policy in [AllocPolicy::AboveSuspended, AllocPolicy::FirstFree, AllocPolicy::LruBottom] {
+        for policy in [AllocPolicy::AboveSuspended, AllocPolicy::FirstFree, AllocPolicy::LruBottom]
+        {
             assert_eq!(Allocator::new(policy).policy(), policy);
         }
     }

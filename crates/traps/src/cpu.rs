@@ -4,9 +4,7 @@
 use crate::error::SchemeError;
 use crate::restore_emul::RestoreInstr;
 use crate::scheme::{Scheme, UnderflowResolution};
-use regwin_machine::{
-    CostModel, ExecOutcome, Machine, MachineStats, SchemeKind, ThreadId,
-};
+use regwin_machine::{CostModel, ExecOutcome, Machine, MachineStats, SchemeKind, ThreadId};
 
 /// A simulated CPU: composes a [`Machine`] with a [`Scheme`] so that
 /// callers see trap-free `save`/`restore`/`switch_to` operations, the way
@@ -126,7 +124,8 @@ impl Cpu {
     pub fn restore_with(&mut self, instr: &RestoreInstr) -> Result<(), SchemeError> {
         // Sources are read in the callee's window, which the restore (or
         // the in-place handler) replaces — read them up front.
-        let result = if instr.is_trivial() { None } else { Some(instr.read_sources(&self.machine)?) };
+        let result =
+            if instr.is_trivial() { None } else { Some(instr.read_sources(&self.machine)?) };
         match self.machine.try_restore()? {
             ExecOutcome::Completed => {
                 if let Some(v) = result {
@@ -353,10 +352,25 @@ mod tests {
     #[test]
     fn schemes_agree_on_register_semantics() {
         let trace: Vec<(usize, &str)> = vec![
-            (0, "call"), (0, "call"), (1, "sched"), (1, "call"), (0, "sched"),
-            (0, "ret"), (2, "sched"), (2, "call"), (2, "call"), (1, "sched"),
-            (1, "ret"), (0, "sched"), (0, "ret"), (2, "sched"), (2, "ret"),
-            (2, "ret"), (1, "sched"), (0, "sched"), (0, "call"),
+            (0, "call"),
+            (0, "call"),
+            (1, "sched"),
+            (1, "call"),
+            (0, "sched"),
+            (0, "ret"),
+            (2, "sched"),
+            (2, "call"),
+            (2, "call"),
+            (1, "sched"),
+            (1, "ret"),
+            (0, "sched"),
+            (0, "ret"),
+            (2, "sched"),
+            (2, "ret"),
+            (2, "ret"),
+            (1, "sched"),
+            (0, "sched"),
+            (0, "call"),
         ];
         let mut observations: Vec<Vec<u64>> = Vec::new();
         for mut cpu in all_cpus(5) {

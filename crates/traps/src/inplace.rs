@@ -101,7 +101,8 @@ mod tests {
             match m.try_restore().unwrap() {
                 ExecOutcome::Completed => {}
                 ExecOutcome::Trapped(_) => {
-                    handle_inplace_underflow(&mut m, CopyMode::Full, &RestoreInstr::trivial()).unwrap();
+                    handle_inplace_underflow(&mut m, CopyMode::Full, &RestoreInstr::trivial())
+                        .unwrap();
                 }
             }
             assert_eq!(m.read_local(0).unwrap(), d);
@@ -137,8 +138,12 @@ mod tests {
                 ExecOutcome::Completed => {}
                 ExecOutcome::Trapped(_) => {
                     m.write_in(0, 31337).unwrap(); // %i0 = return value
-                    handle_inplace_underflow(&mut m, CopyMode::ReturnOnly, &RestoreInstr::trivial())
-                        .unwrap();
+                    handle_inplace_underflow(
+                        &mut m,
+                        CopyMode::ReturnOnly,
+                        &RestoreInstr::trivial(),
+                    )
+                    .unwrap();
                     assert_eq!(m.read_out(0).unwrap(), 31337);
                     break;
                 }
@@ -158,9 +163,14 @@ mod tests {
                 ExecOutcome::Trapped(_) => {
                     assert!(matches!(b.try_restore().unwrap(), ExecOutcome::Trapped(_)));
                     let base_a = a.cycles().category(CycleCategory::UnderflowTrap);
-                    handle_inplace_underflow(&mut a, CopyMode::Full, &RestoreInstr::trivial()).unwrap();
-                    handle_inplace_underflow(&mut b, CopyMode::ReturnOnly, &RestoreInstr::trivial())
+                    handle_inplace_underflow(&mut a, CopyMode::Full, &RestoreInstr::trivial())
                         .unwrap();
+                    handle_inplace_underflow(
+                        &mut b,
+                        CopyMode::ReturnOnly,
+                        &RestoreInstr::trivial(),
+                    )
+                    .unwrap();
                     let cost_a = a.cycles().category(CycleCategory::UnderflowTrap) - base_a;
                     let cost_b = b.cycles().category(CycleCategory::UnderflowTrap);
                     assert!(cost_a > cost_b);

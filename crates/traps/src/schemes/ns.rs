@@ -16,9 +16,7 @@ use crate::conventional::handle_conventional_underflow;
 use crate::error::SchemeError;
 use crate::restore_emul::RestoreInstr;
 use crate::scheme::{Scheme, UnderflowResolution};
-use regwin_machine::{
-    CycleCategory, Machine, SchemeKind, ThreadId, TransferReason, WindowTrap,
-};
+use regwin_machine::{CycleCategory, Machine, SchemeKind, ThreadId, TransferReason, WindowTrap};
 
 /// The non-sharing scheme. See the module docs.
 #[derive(Debug, Clone)]
@@ -159,9 +157,8 @@ impl Scheme for NsScheme {
         // Classic placement: the incoming stack-top directly above the
         // reservation, preserving the invariant that the reserved window
         // sits directly below the stack-bottom.
-        let reserved = m
-            .reserved()
-            .ok_or(SchemeError::AllocationFailed("NS requires a reserved window"))?;
+        let reserved =
+            m.reserved().ok_or(SchemeError::AllocationFailed("NS requires a reserved window"))?;
         let slot = reserved.above(m.nwindows());
         let started = m.thread(to)?.started();
         if started {
@@ -323,11 +320,9 @@ mod tests {
 
     #[test]
     fn batched_unwind_preserves_values_after_switches() {
-        let mut cpu = Cpu::new(
-            8,
-            Box::new(NsScheme::new().with_overflow_batch(2).with_underflow_batch(2)),
-        )
-        .unwrap();
+        let mut cpu =
+            Cpu::new(8, Box::new(NsScheme::new().with_overflow_batch(2).with_underflow_batch(2)))
+                .unwrap();
         let a = cpu.add_thread();
         let b = cpu.add_thread();
         cpu.switch_to(a).unwrap();

@@ -16,9 +16,7 @@ use crate::error::SchemeError;
 use crate::inplace::{handle_inplace_underflow, CopyMode};
 use crate::restore_emul::RestoreInstr;
 use crate::scheme::{Scheme, UnderflowResolution};
-use regwin_machine::{
-    CycleCategory, Machine, SchemeKind, ThreadId, TransferReason, WindowTrap,
-};
+use regwin_machine::{CycleCategory, Machine, SchemeKind, ThreadId, TransferReason, WindowTrap};
 
 /// The sharing scheme without private reserved windows. See module docs.
 #[derive(Debug, Clone)]
@@ -274,11 +272,7 @@ mod tests {
 
     #[test]
     fn flush_variant_writes_windows_out_at_switch() {
-        let mut cpu = Cpu::new(
-            16,
-            Box::new(SnpScheme::new().with_flush_on_suspend(true)),
-        )
-        .unwrap();
+        let mut cpu = Cpu::new(16, Box::new(SnpScheme::new().with_flush_on_suspend(true))).unwrap();
         let a = cpu.add_thread();
         let b = cpu.add_thread();
         cpu.switch_to(a).unwrap();

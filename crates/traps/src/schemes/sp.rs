@@ -17,9 +17,7 @@ use crate::error::SchemeError;
 use crate::inplace::{handle_inplace_underflow, CopyMode};
 use crate::restore_emul::RestoreInstr;
 use crate::scheme::{Scheme, UnderflowResolution};
-use regwin_machine::{
-    CycleCategory, Machine, SchemeKind, ThreadId, TransferReason, WindowTrap,
-};
+use regwin_machine::{CycleCategory, Machine, SchemeKind, ThreadId, TransferReason, WindowTrap};
 
 /// The sharing scheme with a private reserved window per thread. See the
 /// module docs.

@@ -21,9 +21,7 @@ fn main() -> Result<(), RtError> {
     let primes_found = Arc::new(Mutex::new(Vec::<u8>::new()));
     let mut results = Vec::new();
 
-    for (scheme, nwindows) in
-        SchemeKind::ALL.iter().flat_map(|s| [(*s, 8usize), (*s, 24)])
-    {
+    for (scheme, nwindows) in SchemeKind::ALL.iter().flat_map(|s| [(*s, 8usize), (*s, 24)]) {
         let mut sim = Simulation::new(nwindows, scheme)?;
         let mut input = sim.add_stream("candidates", 1, 1);
 

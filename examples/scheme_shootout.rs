@@ -16,10 +16,8 @@ fn main() -> Result<(), RtError> {
     let pipeline = SpellPipeline::new(config);
 
     let windows = [4usize, 5, 6, 7, 8, 10, 12, 16, 24, 32];
-    let mut series: Vec<Series> = SchemeKind::ALL
-        .iter()
-        .map(|s| Series::new(s.name().to_string()))
-        .collect();
+    let mut series: Vec<Series> =
+        SchemeKind::ALL.iter().map(|s| Series::new(s.name().to_string())).collect();
 
     for &w in &windows {
         for (i, &scheme) in SchemeKind::ALL.iter().enumerate() {
@@ -28,14 +26,15 @@ fn main() -> Result<(), RtError> {
         }
     }
 
-    println!("{}", series_table("Execution time, fine granularity / high concurrency", "cycles", &series));
+    println!(
+        "{}",
+        series_table("Execution time, fine granularity / high concurrency", "cycles", &series)
+    );
 
     // Locate the crossover: the smallest window count where SP beats NS.
     let ns = &series[0];
     let sp = &series[2];
-    let crossover = windows
-        .iter()
-        .find(|&&w| sp.at(w).unwrap() < ns.at(w).unwrap());
+    let crossover = windows.iter().find(|&&w| sp.at(w).unwrap() < ns.at(w).unwrap());
     match crossover {
         Some(w) => println!("SP overtakes NS at {w} windows"),
         None => println!("no crossover within the sweep"),

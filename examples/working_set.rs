@@ -11,8 +11,7 @@
 use regwin::prelude::*;
 
 fn run(policy: SchedulingPolicy, nwindows: usize) -> Result<RunReport, RtError> {
-    let config =
-        SpellConfig::new(CorpusSpec::scaled(10), 1, 1).with_policy(policy);
+    let config = SpellConfig::new(CorpusSpec::scaled(10), 1, 1).with_policy(policy);
     Ok(SpellPipeline::new(config).run(nwindows, SchemeKind::Sp)?.report)
 }
 

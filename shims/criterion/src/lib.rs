@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the `regwin-bench` benches use —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::throughput`],
+//! [`Bencher::iter`] and [`Bencher::iter_with_setup`] — with a simple
+//! measurement loop: warm up briefly, then time batches until a fixed
+//! measurement budget elapses and report mean ns/iteration (plus
+//! throughput when declared). No statistics, plotting, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(300), measurement: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("\n{name}");
+        BenchmarkGroup { criterion: self, throughput: None }
+    }
+
+    /// Accepted for API compatibility; the shim's measurement loop is
+    /// time-budgeted, so the requested sample count is ignored.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; the shim's measurement loop is
+    /// time-budgeted, so the requested sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        eprintln!("  {id:<24} {ns:>12.1} ns/iter{rate}");
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark measurement handle.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by the untimed `setup`.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a group function running each listed benchmark. Supports
+/// both the short form (`criterion_group!(benches, a, b)`) and the long
+/// form with an explicit `config` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(10),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.iters > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+}

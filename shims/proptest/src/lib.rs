@@ -1,0 +1,130 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container cannot reach crates.io, so this path dependency
+//! provides the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * strategies: integer ranges, `any::<T>()`, `&str` regex literals
+//!   (character-class-with-repetition subset), tuples, [`Just`],
+//!   `prop_oneof!` (weighted or not), `.prop_map(..)`, `.boxed()`,
+//!   `prop::collection::{vec, hash_set}`.
+//!
+//! Semantics differences from real proptest, deliberately accepted:
+//! cases are generated from a deterministic per-test seed (test-name
+//! hash × case index), failures panic immediately instead of shrinking,
+//! and the default case count is 256 (overridable per test via
+//! `ProptestConfig::with_cases` or globally via `PROPTEST_CASES`).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, OneOf, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Strategy modules namespaced the way proptest's prelude exposes them.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{HashSetStrategy, Strategy, VecStrategy};
+        use std::hash::Hash;
+        use std::ops::Range;
+
+        /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// A strategy for `HashSet<S::Value>` with a target size drawn
+        /// from `size` (duplicates are retried a bounded number of
+        /// times, so very small value domains may undershoot).
+        pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+        where
+            S::Value: Eq + Hash,
+        {
+            HashSetStrategy { element, size }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, OneOf, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure; this
+/// shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Builds a strategy choosing among alternatives, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares deterministic property tests. Each `fn name(arg in strategy,
+/// ...) { body }` becomes a `#[test]` that runs the body for
+/// `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: config resolved, expand each test. `#[test]` itself is
+    // captured by the attribute repetition and re-emitted verbatim
+    // (matching it as a literal token would make the grammar ambiguous).
+    (@expand ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut runner_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut runner_rng);
+                    )+
+                    $body
+                }
+            }
+        )+
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::proptest!(@expand ($cfg) $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()) $($rest)+);
+    };
+}

@@ -1,0 +1,361 @@
+//! Strategies: composable random-value generators.
+
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Box::new(move |rng: &mut TestRng| self.generate(rng)) }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A weighted choice among type-erased alternatives (built by
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a choice from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+        OneOf { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.below(self.total_weight);
+        for (w, strat) in &self.arms {
+            let w = u64::from(*w);
+            if roll < w {
+                return strat.generate(rng);
+            }
+            roll -= w;
+        }
+        unreachable!("roll below total weight")
+    }
+}
+
+// ------------------------------------------------------------------
+// Integer ranges
+// ------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ------------------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.next_u64() & 1 == 1 {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: PhantomData }
+}
+
+// ------------------------------------------------------------------
+// Tuples of strategies
+// ------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ------------------------------------------------------------------
+// Regex string literals
+// ------------------------------------------------------------------
+
+/// `&str` literals act as regex strategies. This shim supports the
+/// subset the workspace uses: one character class with a repetition,
+/// e.g. `"[a-z]{3,12}"` or `"[a-z]{4}"`, plus plain literal strings.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_repeat(self) {
+            Some((lo, hi, min, max)) => {
+                let len = min + rng.below((max - min + 1) as u64) as usize;
+                let span = u64::from(hi - lo) + 1;
+                (0..len).map(|_| char::from(lo + rng.below(span) as u8)).collect()
+            }
+            None => {
+                assert!(
+                    !self.contains(['[', ']', '{', '}', '*', '+', '?', '(', ')', '|', '\\']),
+                    "unsupported regex strategy {self:?}: this proptest shim only \
+                     handles '[x-y]{{m,n}}' character classes and literal strings"
+                );
+                (*self).to_string()
+            }
+        }
+    }
+}
+
+/// Parses `[x-y]{m,n}` / `[x-y]{m}` into `(x, y, m, n)`.
+fn parse_class_repeat(pattern: &str) -> Option<(u8, u8, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let class = class.as_bytes();
+    let (lo, hi) = match class {
+        [lo, b'-', hi] => (*lo, *hi),
+        _ => return None,
+    };
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let m = counts.trim().parse().ok()?;
+            (m, m)
+        }
+    };
+    (lo <= hi && min <= max).then_some((lo, hi, min, max))
+}
+
+// ------------------------------------------------------------------
+// Collections
+// ------------------------------------------------------------------
+
+/// The strategy built by [`prop::collection::vec`](crate::prop::collection::vec).
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// The strategy built by
+/// [`prop::collection::hash_set`](crate::prop::collection::hash_set).
+pub struct HashSetStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.generate(rng);
+        let mut set = HashSet::with_capacity(target);
+        // Bounded retries: tiny value domains may undershoot the target,
+        // which matches proptest's behaviour of giving up on filters.
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 10 + 100 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy_tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let s = (-100i16..100).generate(&mut r);
+            assert!((-100..100).contains(&s));
+            let i = (2usize..=64).generate(&mut r);
+            assert!((2..=64).contains(&i));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{3,12}".generate(&mut r);
+            assert!((3..=12).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_honours_weights() {
+        let choice = crate::prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut r = rng();
+        let trues = (0..1000).filter(|_| choice.generate(&mut r)).count();
+        assert!(trues > 700, "expected mostly true, got {trues}/1000");
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut r = rng();
+        let v = prop::collection::vec(any::<u8>(), 2..5).generate(&mut r);
+        assert!((2..5).contains(&v.len()));
+        let s = prop::collection::hash_set("[a-z]{3,8}", 4..9).generate(&mut r);
+        assert!((4..9).contains(&s.len()));
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let strat = (0u8..7, -100i16..100).prop_map(|(a, b)| (i32::from(a), i32::from(b)));
+        let mut r = rng();
+        let (a, b) = strat.generate(&mut r);
+        assert!((0..7).contains(&a));
+        assert!((-100..100).contains(&b));
+    }
+}

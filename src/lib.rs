@@ -27,6 +27,7 @@
 //! | [`rt`] | non-preemptive runtime: streams, schedulers, trace record/replay |
 //! | [`spell`] | the 7-thread spell-checker workload + synthetic corpus |
 //! | [`core`] | experiment drivers for every table and figure |
+//! | [`sweep`] | parallel, cached, observable experiment orchestration |
 //! | [`asm`] | SPARC-subset assembler/interpreter on the window machine |
 //!
 //! ## Quick start
@@ -60,6 +61,7 @@ pub use regwin_core as core;
 pub use regwin_machine as machine;
 pub use regwin_rt as rt;
 pub use regwin_spell as spell;
+pub use regwin_sweep as sweep;
 pub use regwin_traps as traps;
 
 /// The most commonly used types, re-exported flat.
@@ -68,5 +70,6 @@ pub mod prelude {
     pub use regwin_machine::{CostModel, Machine, SchemeKind, ThreadId, WindowIndex};
     pub use regwin_rt::{Ctx, RtError, RunReport, SchedulingPolicy, Simulation};
     pub use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
+    pub use regwin_sweep::{SweepConfig, SweepEngine};
     pub use regwin_traps::{build_scheme, Cpu, NsScheme, Scheme, SnpScheme, SpScheme};
 }

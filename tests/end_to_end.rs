@@ -15,11 +15,7 @@ fn the_full_stack_produces_correct_spellcheck_results() {
     for scheme in SchemeKind::ALL {
         for nwindows in [4, 7, 8, 16, 32] {
             let outcome = pipeline.run(nwindows, scheme).unwrap();
-            assert_eq!(
-                outcome.sorted_misspellings(),
-                expected,
-                "{scheme} at {nwindows} windows"
-            );
+            assert_eq!(outcome.sorted_misspellings(), expected, "{scheme} at {nwindows} windows");
         }
     }
 }

@@ -17,8 +17,7 @@ fn quiet(_: usize, _: usize) {}
 #[ignore = "paper-scale run (~minutes); run with --ignored --release"]
 fn full_scale_figure_11_12_13_shapes() {
     let windows = MatrixSpec::paper_window_sweep();
-    let sweep =
-        Sweep::high(CorpusSpec::paper(), &windows, SchedulingPolicy::Fifo, quiet).unwrap();
+    let sweep = Sweep::high(CorpusSpec::paper(), &windows, SchedulingPolicy::Fifo, quiet).unwrap();
 
     let time = sweep.execution_time_series();
     let get = |series: &[regwin::core::Series], label: &str, w: usize| {
@@ -46,13 +45,7 @@ fn full_scale_working_set_rescues_seven_windows() {
     let fifo = Sweep::high(CorpusSpec::paper(), &[7], SchedulingPolicy::Fifo, quiet).unwrap();
     let ws = Sweep::high(CorpusSpec::paper(), &[7], SchedulingPolicy::WorkingSet, quiet).unwrap();
     let value = |sweep: &Sweep| {
-        sweep
-            .execution_time_series()
-            .iter()
-            .find(|s| s.label == "SP fine")
-            .unwrap()
-            .at(7)
-            .unwrap()
+        sweep.execution_time_series().iter().find(|s| s.label == "SP fine").unwrap().at(7).unwrap()
     };
     assert!(
         value(&ws) < value(&fifo) * 0.8,

@@ -55,9 +55,8 @@ fn observed_switch_shapes_match_table2_rows() {
 fn high_concurrency_sweep_reproduces_figure_11_shape() {
     let sweep = Sweep::high(corpus(), &windows(), SchedulingPolicy::Fifo, quiet).unwrap();
     let series = sweep.execution_time_series();
-    let get = |label: &str, w: usize| {
-        series.iter().find(|s| s.label == label).unwrap().at(w).unwrap()
-    };
+    let get =
+        |label: &str, w: usize| series.iter().find(|s| s.label == label).unwrap().at(w).unwrap();
     // With sufficient windows the best scheme is SP (paper §6.3).
     assert!(get("SP fine", 32) < get("SNP fine", 32));
     assert!(get("SNP fine", 32) < get("NS fine", 32));
@@ -72,9 +71,8 @@ fn high_concurrency_sweep_reproduces_figure_11_shape() {
 fn figure_12_switch_costs_approach_best_case_with_many_windows() {
     let sweep = Sweep::high(corpus(), &windows(), SchedulingPolicy::Fifo, quiet).unwrap();
     let series = sweep.avg_switch_series();
-    let get = |label: &str, w: usize| {
-        series.iter().find(|s| s.label == label).unwrap().at(w).unwrap()
-    };
+    let get =
+        |label: &str, w: usize| series.iter().find(|s| s.label == label).unwrap().at(w).unwrap();
     // SP's best case is 93–98 cycles, SNP's 113–118 (Table 2); with many
     // windows "most context switches are done without any window
     // transfer" (§6.3).
@@ -88,9 +86,8 @@ fn figure_12_switch_costs_approach_best_case_with_many_windows() {
 fn figure_13_trap_probability_collapses_for_sharing_schemes() {
     let sweep = Sweep::high(corpus(), &windows(), SchedulingPolicy::Fifo, quiet).unwrap();
     let series = sweep.trap_probability_series();
-    let get = |label: &str, w: usize| {
-        series.iter().find(|s| s.label == label).unwrap().at(w).unwrap()
-    };
+    let get =
+        |label: &str, w: usize| series.iter().find(|s| s.label == label).unwrap().at(w).unwrap();
     assert!(get("SP fine", 32) < 0.02);
     assert!(get("SNP fine", 32) < 0.02);
     // NS keeps paying its flush-and-refill traps no matter how many
@@ -102,8 +99,8 @@ fn figure_13_trap_probability_collapses_for_sharing_schemes() {
 fn figure_14_low_concurrency_needs_more_windows_to_saturate() {
     // §6.4: total window activity is larger at low concurrency (coarse
     // granularity), so saturation needs ~20 windows.
-    let sweep = Sweep::low(corpus(), &[4, 8, 12, 16, 20, 32], SchedulingPolicy::Fifo, quiet)
-        .unwrap();
+    let sweep =
+        Sweep::low(corpus(), &[4, 8, 12, 16, 20, 32], SchedulingPolicy::Fifo, quiet).unwrap();
     let series = sweep.execution_time_series();
     let sp = series.iter().find(|s| s.label == "SP coarse").unwrap();
     let at8 = sp.at(8).unwrap();
@@ -119,13 +116,7 @@ fn figure_15_working_set_rescues_sharing_at_few_windows() {
     let fifo = Sweep::high(corpus(), &[7, 8], SchedulingPolicy::Fifo, quiet).unwrap();
     let ws = Sweep::high(corpus(), &[7, 8], SchedulingPolicy::WorkingSet, quiet).unwrap();
     let get = |sweep: &Sweep, label: &str, w: usize| {
-        sweep
-            .execution_time_series()
-            .iter()
-            .find(|s| s.label == label)
-            .unwrap()
-            .at(w)
-            .unwrap()
+        sweep.execution_time_series().iter().find(|s| s.label == label).unwrap().at(w).unwrap()
     };
     // "the sharing schemes work well with even seven or eight windows"
     for w in [7usize, 8] {

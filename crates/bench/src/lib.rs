@@ -24,6 +24,12 @@
 //! default `target/sweep-cache`), `--no-cache`, `--jobs <n>` (worker
 //! threads, default one per CPU).
 //!
+//! Hardening and fault-injection flags (see `EXPERIMENTS.md`):
+//! `--fault-seed <u64>` / `--fault-plan <kind@index,...>` inject a
+//! deterministic fault plan, `--job-timeout-ms <ms>`, `--retries <n>`
+//! and `--retry-backoff-ms <ms>` bound each job attempt, and
+//! `--fail-on-quarantine` turns any quarantined job into exit status 3.
+//!
 //! All repro binaries execute through the `regwin-sweep` engine: jobs
 //! are content-addressed, cached across invocations, fanned out over a
 //! worker pool, and logged to a `BENCH_sweep.json` artifact.
@@ -32,10 +38,11 @@
 
 use regwin_core::figures::{FigureId, Sweep};
 use regwin_core::{CorpusSpec, MatrixSpec, TextTable};
-use regwin_rt::RtError;
+use regwin_rt::{FaultPlan, RtError};
 use regwin_sweep::{SweepConfig, SweepEngine};
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
 pub use regwin_core::figures::FigureResult;
 
@@ -52,6 +59,18 @@ pub struct Args {
     pub cache_dir: Option<PathBuf>,
     /// Worker threads (`0` = one per CPU).
     pub jobs: usize,
+    /// Seed for a derived fault plan (`--fault-seed`).
+    pub fault_seed: Option<u64>,
+    /// Explicit `kind@index` fault spec (`--fault-plan`).
+    pub fault_plan: Option<String>,
+    /// Per-job attempt timeout in milliseconds (`--job-timeout-ms`).
+    pub job_timeout_ms: Option<u64>,
+    /// Retries after a failed attempt (`--retries`).
+    pub retries: u32,
+    /// Linear retry backoff step in milliseconds (`--retry-backoff-ms`).
+    pub retry_backoff_ms: u64,
+    /// Exit nonzero if any job was quarantined (`--fail-on-quarantine`).
+    pub fail_on_quarantine: bool,
 }
 
 impl Args {
@@ -63,6 +82,12 @@ impl Args {
             out_dir: None,
             cache_dir: Some(PathBuf::from("target/sweep-cache")),
             jobs: 0,
+            fault_seed: None,
+            fault_plan: None,
+            job_timeout_ms: None,
+            retries: 0,
+            retry_backoff_ms: 100,
+            fail_on_quarantine: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -91,6 +116,38 @@ impl Args {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--jobs needs a thread count"));
                 }
+                "--fault-seed" => {
+                    args.fault_seed = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--fault-seed needs a u64 seed")),
+                    );
+                }
+                "--fault-plan" => {
+                    args.fault_plan = Some(
+                        it.next().unwrap_or_else(|| usage("--fault-plan needs a kind@index spec")),
+                    );
+                }
+                "--job-timeout-ms" => {
+                    args.job_timeout_ms = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--job-timeout-ms needs milliseconds")),
+                    );
+                }
+                "--retries" => {
+                    args.retries = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--retries needs a count"));
+                }
+                "--retry-backoff-ms" => {
+                    args.retry_backoff_ms = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--retry-backoff-ms needs milliseconds"));
+                }
+                "--fail-on-quarantine" => args.fail_on_quarantine = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -98,30 +155,67 @@ impl Args {
         args
     }
 
+    /// The fault plan this invocation injects: `--fault-plan` parsed
+    /// (with `--fault-seed` as the corruption-mask seed), or a plan
+    /// derived from `--fault-seed` alone, or `None`.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        match (&self.fault_plan, self.fault_seed) {
+            (Some(spec), seed) => {
+                let plan =
+                    FaultPlan::parse(spec).unwrap_or_else(|e| usage(&format!("--fault-plan: {e}")));
+                Some(plan.with_seed(seed.unwrap_or(0)))
+            }
+            (None, Some(seed)) => Some(FaultPlan::from_seed(seed)),
+            (None, None) => None,
+        }
+    }
+
     /// The sweep engine for this invocation: caching per `--cache-dir`/
-    /// `--no-cache`, `--jobs` workers, progress events on stderr.
+    /// `--no-cache`, `--jobs` workers, progress events on stderr, and
+    /// the hardening/fault-injection knobs.
     pub fn engine(&self) -> SweepEngine {
+        let plan = self.fault_plan();
+        if let Some(plan) = &plan {
+            eprintln!("fault plan: {plan} (seed {})", plan.seed());
+        }
         SweepEngine::new(SweepConfig {
             cache_dir: self.cache_dir.clone(),
             workers: self.jobs,
             stream_events: true,
+            job_timeout: self.job_timeout_ms.map(Duration::from_millis),
+            retries: self.retries,
+            retry_backoff: Duration::from_millis(self.retry_backoff_ms),
+            fault_plan: plan,
         })
     }
 
     /// Prints the engine's aggregate counters and writes the
     /// `BENCH_sweep.json` artifact (into `--out` if given, else the
     /// current directory). Call once per binary, after the last sweep.
+    /// With `--fail-on-quarantine`, exits with status 3 if any job was
+    /// quarantined (after writing the artifact, so the quarantine
+    /// section is always on disk for inspection).
     pub fn finish(&self, engine: &SweepEngine) {
         let s = engine.summary();
         eprintln!(
-            "sweep: {} jobs, {} cache hits, {} executed",
-            s.jobs, s.cache_hits, s.cache_misses
+            "sweep: {} jobs, {} cache hits, {} executed, {} quarantined",
+            s.jobs, s.cache_hits, s.cache_misses, s.quarantined
         );
+        for q in engine.quarantine() {
+            eprintln!(
+                "  quarantined [{}] {} after {} attempts: {}",
+                q.reason, q.label, q.attempts, q.detail
+            );
+        }
         let path =
             self.out_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_sweep.json");
         match engine.write_artifact(&path) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+        if self.fail_on_quarantine && s.quarantined > 0 {
+            eprintln!("error: {} job(s) quarantined (--fail-on-quarantine)", s.quarantined);
+            std::process::exit(3);
         }
     }
 
@@ -167,7 +261,10 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!(
         "usage: repro-* [--scale <pct>] [--quick] [--out <dir>] \
-         [--jobs <n>] [--cache-dir <dir> | --no-cache]"
+         [--jobs <n>] [--cache-dir <dir> | --no-cache] \
+         [--fault-seed <u64>] [--fault-plan <kind@index,...>] \
+         [--job-timeout-ms <ms>] [--retries <n>] [--retry-backoff-ms <ms>] \
+         [--fail-on-quarantine]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

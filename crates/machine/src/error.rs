@@ -44,6 +44,24 @@ pub enum MachineError {
     /// or in the machine itself; surfaced rather than silently corrupting
     /// the simulation).
     InvariantViolated(&'static str),
+    /// A window index outside the machine's cyclic buffer was passed to
+    /// an operation (e.g. from a malformed trace or config).
+    BadWindowIndex {
+        /// The rejected raw window index.
+        window: usize,
+        /// The machine's window count.
+        nwindows: usize,
+    },
+    /// A deliberately injected fault (see [`crate::FaultSchedule`]) fired
+    /// at this site. Fault-injection runs use this variant to prove that
+    /// unmasked faults surface as typed errors instead of panics or
+    /// silently wrong numbers.
+    FaultInjected {
+        /// The injection site: `"spill"`, `"fill"` or `"trap"`.
+        site: &'static str,
+        /// The 0-based per-site event index at which the fault fired.
+        index: u64,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -67,6 +85,12 @@ impl fmt::Display for MachineError {
                 write!(f, "target window {target} still invalid after trap handling")
             }
             MachineError::InvariantViolated(what) => write!(f, "invariant violated: {what}"),
+            MachineError::BadWindowIndex { window, nwindows } => {
+                write!(f, "window index {window} out of range for {nwindows} windows")
+            }
+            MachineError::FaultInjected { site, index } => {
+                write!(f, "injected fault at {site} event {index}")
+            }
         }
     }
 }
@@ -88,6 +112,8 @@ mod tests {
             MachineError::NoResidentWindows(ThreadId::new(1)),
             MachineError::StillInvalid { target: WindowIndex::new(2) },
             MachineError::InvariantViolated("test"),
+            MachineError::BadWindowIndex { window: 99, nwindows: 8 },
+            MachineError::FaultInjected { site: "spill", index: 7 },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

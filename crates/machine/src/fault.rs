@@ -1,0 +1,193 @@
+//! Deterministic fault injection into machine-level transfers.
+//!
+//! A [`FaultSchedule`] is plain data attached to a [`crate::Machine`]:
+//! it names 0-based event indices at which a backing-store **spill** or
+//! **fill** transfer is perturbed, or at which a window-trap delivery is
+//! dropped. The machine consults the schedule at each such event and
+//! either corrupts the transferred frame (a *masked* fault — the
+//! simulation's reported numbers must not change, which the differential
+//! oracle tests assert) or fails the operation with a typed
+//! [`MachineError::FaultInjected`] (an *unmasked* fault — it must
+//! surface as an error, never as a panic or a silently wrong number).
+//!
+//! The schedule is deliberately deterministic: the same schedule on the
+//! same workload fires at exactly the same events on every run, so fault
+//! experiments are reproducible and cacheable-adjacent tooling can
+//! reason about them. Seeding and parsing live one layer up in
+//! `regwin-rt::fault`, which compiles a `FaultPlan` down to this type.
+
+use crate::error::MachineError;
+use crate::regfile::Frame;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What to do to one spill or fill transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferFault {
+    /// XOR every transferred register with this nonzero mask — a masked
+    /// fault: the frame is corrupted but the operation succeeds.
+    Corrupt {
+        /// The XOR mask applied to all 16 registers of the frame.
+        xor: u64,
+    },
+    /// Fail the transfer with [`MachineError::FaultInjected`].
+    Fail,
+}
+
+/// A deterministic schedule of machine-level faults.
+///
+/// Each site (spill, fill, trap) keeps its own 0-based event counter;
+/// a fault registered at index *i* fires exactly when the *i*-th event
+/// of that site occurs. Schedules are consumed by a running machine
+/// (counters advance), so install a fresh clone per run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    spill: BTreeMap<u64, TransferFault>,
+    fill: BTreeMap<u64, TransferFault>,
+    trap_drop: BTreeSet<u64>,
+    spills_seen: u64,
+    fills_seen: u64,
+    traps_seen: u64,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults fire).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Whether the schedule contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.spill.is_empty() && self.fill.is_empty() && self.trap_drop.is_empty()
+    }
+
+    /// Registers a fault on the `at`-th backing-store spill.
+    #[must_use]
+    pub fn on_spill(mut self, at: u64, fault: TransferFault) -> Self {
+        self.spill.insert(at, fault);
+        self
+    }
+
+    /// Registers a fault on the `at`-th backing-store fill.
+    #[must_use]
+    pub fn on_fill(mut self, at: u64, fault: TransferFault) -> Self {
+        self.fill.insert(at, fault);
+        self
+    }
+
+    /// Drops delivery of the `at`-th window trap (the machine reports it
+    /// as [`MachineError::FaultInjected`] with site `"trap"`, since a
+    /// lost trap cannot be safely serviced).
+    #[must_use]
+    pub fn on_trap_drop(mut self, at: u64) -> Self {
+        self.trap_drop.insert(at);
+        self
+    }
+
+    /// Advances the spill counter and returns the corruption mask to
+    /// apply to the spilled frame, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::FaultInjected`] when this spill is
+    /// scheduled to fail.
+    pub(crate) fn next_spill(&mut self) -> Result<Option<u64>, MachineError> {
+        let index = self.spills_seen;
+        self.spills_seen += 1;
+        match self.spill.get(&index) {
+            Some(TransferFault::Corrupt { xor }) => Ok(Some(*xor)),
+            Some(TransferFault::Fail) => Err(MachineError::FaultInjected { site: "spill", index }),
+            None => Ok(None),
+        }
+    }
+
+    /// Advances the fill counter and returns the corruption mask to
+    /// apply to the filled frame, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::FaultInjected`] when this fill is
+    /// scheduled to fail.
+    pub(crate) fn next_fill(&mut self) -> Result<Option<u64>, MachineError> {
+        let index = self.fills_seen;
+        self.fills_seen += 1;
+        match self.fill.get(&index) {
+            Some(TransferFault::Corrupt { xor }) => Ok(Some(*xor)),
+            Some(TransferFault::Fail) => Err(MachineError::FaultInjected { site: "fill", index }),
+            None => Ok(None),
+        }
+    }
+
+    /// Advances the trap counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::FaultInjected`] when delivery of this
+    /// trap is scheduled to be dropped.
+    pub(crate) fn next_trap(&mut self) -> Result<(), MachineError> {
+        let index = self.traps_seen;
+        self.traps_seen += 1;
+        if self.trap_drop.contains(&index) {
+            return Err(MachineError::FaultInjected { site: "trap", index });
+        }
+        Ok(())
+    }
+}
+
+/// XORs every register of `frame` with `xor` — the masked-corruption
+/// primitive. Self-inverse: applying the same mask twice restores the
+/// original frame.
+pub fn corrupt_frame(frame: &mut Frame, xor: u64) {
+    for r in frame.ins.iter_mut().chain(frame.locals.iter_mut()) {
+        *r ^= xor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_never_fires() {
+        let mut s = FaultSchedule::new();
+        assert!(s.is_empty());
+        for _ in 0..100 {
+            assert_eq!(s.next_spill(), Ok(None));
+            assert_eq!(s.next_fill(), Ok(None));
+            assert_eq!(s.next_trap(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn faults_fire_at_their_exact_index() {
+        let mut s = FaultSchedule::new()
+            .on_spill(2, TransferFault::Corrupt { xor: 0xff })
+            .on_spill(4, TransferFault::Fail)
+            .on_fill(1, TransferFault::Fail)
+            .on_trap_drop(3);
+        assert!(!s.is_empty());
+        assert_eq!(s.next_spill(), Ok(None)); // 0
+        assert_eq!(s.next_spill(), Ok(None)); // 1
+        assert_eq!(s.next_spill(), Ok(Some(0xff))); // 2
+        assert_eq!(s.next_spill(), Ok(None)); // 3
+        assert_eq!(s.next_spill(), Err(MachineError::FaultInjected { site: "spill", index: 4 }));
+        assert_eq!(s.next_fill(), Ok(None)); // 0
+        assert_eq!(s.next_fill(), Err(MachineError::FaultInjected { site: "fill", index: 1 }));
+        for i in 0..3 {
+            assert_eq!(s.next_trap(), Ok(()), "trap {i}");
+        }
+        assert_eq!(s.next_trap(), Err(MachineError::FaultInjected { site: "trap", index: 3 }));
+        assert_eq!(s.next_trap(), Ok(())); // 4: counting continues past the drop
+    }
+
+    #[test]
+    fn corrupt_frame_is_self_inverse() {
+        let mut f = Frame::zeroed();
+        f.ins[0] = 0x1234;
+        f.locals[7] = 0x5678;
+        let original = f;
+        corrupt_frame(&mut f, 0xdead_beef);
+        assert_ne!(f, original);
+        corrupt_frame(&mut f, 0xdead_beef);
+        assert_eq!(f, original);
+    }
+}

@@ -59,6 +59,7 @@
 mod backing;
 mod cost;
 mod error;
+mod fault;
 mod machine;
 mod regfile;
 mod slot;
@@ -70,6 +71,7 @@ mod window;
 pub use backing::BackingStore;
 pub use cost::{CostModel, CycleCategory, CycleCounter, SchemeKind, SwitchCost};
 pub use error::MachineError;
+pub use fault::{corrupt_frame, FaultSchedule, TransferFault};
 pub use machine::{ExecOutcome, Machine, TransferReason};
 pub use regfile::{
     Frame, RegisterFile, INS_PER_WINDOW, LOCALS_PER_WINDOW, OUTS_PER_WINDOW, REGS_PER_FRAME,

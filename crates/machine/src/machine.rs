@@ -12,6 +12,7 @@
 use crate::backing::BackingStore;
 use crate::cost::{CostModel, CycleCategory, CycleCounter, SchemeKind};
 use crate::error::MachineError;
+use crate::fault::{corrupt_frame, FaultSchedule};
 use crate::regfile::{Frame, RegisterFile};
 use crate::slot::SlotUse;
 use crate::stats::MachineStats;
@@ -57,6 +58,7 @@ pub struct Machine {
     cost: CostModel,
     counter: CycleCounter,
     stats: MachineStats,
+    faults: Option<FaultSchedule>,
 }
 
 impl Machine {
@@ -96,6 +98,7 @@ impl Machine {
             cost,
             counter: CycleCounter::new(),
             stats: MachineStats::new(),
+            faults: None,
         };
         machine.recompute_wim();
         Ok(machine)
@@ -132,8 +135,40 @@ impl Machine {
     }
 
     /// Usage of window slot `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range; entry points taking externally
+    /// supplied window indices validate via
+    /// [`MachineError::BadWindowIndex`] before reaching here.
     pub fn slot_use(&self, w: WindowIndex) -> SlotUse {
         self.slots[w.index()]
+    }
+
+    /// Installs (or with `None` removes) a deterministic fault schedule.
+    /// The schedule perturbs subsequent spill/fill transfers and trap
+    /// deliveries at its chosen event indices; see [`FaultSchedule`].
+    pub fn set_fault_schedule(&mut self, faults: Option<FaultSchedule>) {
+        self.faults = faults;
+    }
+
+    /// The installed fault schedule, if any (counters reflect events
+    /// already consumed by the run).
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
+    }
+
+    /// Validates an externally supplied window index against the cyclic
+    /// buffer size, so malformed traces and configs surface as typed
+    /// errors instead of indexing panics.
+    fn check_window(&self, w: WindowIndex) -> Result<(), MachineError> {
+        if w.index() >= self.nwindows {
+            return Err(MachineError::BadWindowIndex {
+                window: w.index(),
+                nwindows: self.nwindows,
+            });
+        }
+        Ok(())
     }
 
     /// The bookkeeping state of thread `t`.
@@ -204,6 +239,7 @@ impl Machine {
         t: ThreadId,
         slot: WindowIndex,
     ) -> Result<(), MachineError> {
+        self.check_window(slot)?;
         if !self.slot_use(slot).is_discardable() {
             return Err(MachineError::BadSlotState { slot, expected: "free/dead/reserved-free" });
         }
@@ -368,6 +404,9 @@ impl Machine {
         let t = self.require_current()?;
         let target = self.cwp.above(self.nwindows);
         if self.wim.is_set(target) {
+            if let Some(fs) = self.faults.as_mut() {
+                fs.next_trap()?;
+            }
             self.stats.overflow_traps += 1;
             return Ok(ExecOutcome::Trapped(WindowTrap::Overflow { target }));
         }
@@ -386,6 +425,9 @@ impl Machine {
         let t = self.require_current()?;
         let target = self.cwp.below(self.nwindows);
         if self.wim.is_set(target) {
+            if let Some(fs) = self.faults.as_mut() {
+                fs.next_trap()?;
+            }
             self.stats.underflow_traps += 1;
             return Ok(ExecOutcome::Trapped(WindowTrap::Underflow { target }));
         }
@@ -484,8 +526,17 @@ impl Machine {
         let nw = self.nwindows;
         let ts = self.thread(t)?;
         let bottom = ts.bottom(nw).ok_or(MachineError::NoResidentWindows(t))?;
-        let frame = self.regfile.frame(bottom);
         let resident = ts.resident();
+        // Consult the fault schedule before mutating anything: a failed
+        // spill leaves the machine state untouched.
+        let spill_xor = match self.faults.as_mut() {
+            Some(fs) => fs.next_spill()?,
+            None => None,
+        };
+        let mut frame = self.regfile.frame(bottom);
+        if let Some(xor) = spill_xor {
+            corrupt_frame(&mut frame, xor);
+        }
         let ts = self.thread_mut(t)?;
         ts.backing_mut().push(frame);
         ts.set_resident(resident - 1);
@@ -516,6 +567,7 @@ impl Machine {
         slot: WindowIndex,
         reason: TransferReason,
     ) -> Result<(), MachineError> {
+        self.check_window(slot)?;
         if !self.slot_use(slot).is_discardable() {
             return Err(MachineError::BadSlotState { slot, expected: "discardable for restore" });
         }
@@ -534,8 +586,17 @@ impl Machine {
                 });
             }
         }
+        // Consult the fault schedule after validation, before the pop: a
+        // failed fill leaves the backing store intact.
+        let fill_xor = match self.faults.as_mut() {
+            Some(fs) => fs.next_fill()?,
+            None => None,
+        };
         let ts = self.thread_mut(t)?;
-        let frame = ts.backing_mut().pop().ok_or(MachineError::BackingEmpty(t))?;
+        let mut frame = ts.backing_mut().pop().ok_or(MachineError::BackingEmpty(t))?;
+        if let Some(xor) = fill_xor {
+            corrupt_frame(&mut frame, xor);
+        }
         if resident == 0 {
             ts.set_top(Some(slot));
         }
@@ -571,10 +632,17 @@ impl Machine {
             return Err(MachineError::InvariantViolated("in-place underflow with resident != 1"));
         }
         let slot = self.cwp;
-        let frame = {
+        let fill_xor = match self.faults.as_mut() {
+            Some(fs) => fs.next_fill()?,
+            None => None,
+        };
+        let mut frame = {
             let ts = self.thread_mut(t)?;
             ts.backing_mut().pop().ok_or(MachineError::BackingEmpty(t))?
         };
+        if let Some(xor) = fill_xor {
+            corrupt_frame(&mut frame, xor);
+        }
         if full_copy {
             self.regfile.copy_ins_to_outs(slot);
         } else {
@@ -597,6 +665,7 @@ impl Machine {
     /// Fails if the slot holds a live frame or a PRW.
     pub fn grant_slot(&mut self, t: ThreadId, slot: WindowIndex) -> Result<(), MachineError> {
         self.thread(t)?;
+        self.check_window(slot)?;
         match self.slot_use(slot) {
             SlotUse::Free | SlotUse::Dead(_) => {
                 self.slots[slot.index()] = SlotUse::Dead(t);
@@ -615,6 +684,7 @@ impl Machine {
     /// Fails if the new slot holds a live frame or a PRW.
     pub fn set_reserved(&mut self, slot: Option<WindowIndex>) -> Result<(), MachineError> {
         if let Some(s) = slot {
+            self.check_window(s)?;
             if !self.slot_use(s).is_discardable() {
                 return Err(MachineError::BadSlotState {
                     slot: s,
@@ -641,6 +711,7 @@ impl Machine {
     ///
     /// Fails if the slot holds live data or `t` already has a PRW.
     pub fn assign_prw(&mut self, t: ThreadId, slot: WindowIndex) -> Result<(), MachineError> {
+        self.check_window(slot)?;
         if !self.slot_use(slot).is_discardable() {
             return Err(MachineError::BadSlotState { slot, expected: "discardable for PRW" });
         }
@@ -1436,5 +1507,90 @@ mod tests {
         let (mut m, _t) = machine_with_thread(8);
         m.wim.set(m.cwp());
         assert!(m.check_invariants().is_err());
+    }
+
+    #[test]
+    fn out_of_range_windows_are_typed_errors_not_panics() {
+        let mut m = Machine::new(4).unwrap();
+        let t = m.add_thread();
+        let bad = WindowIndex::new(99);
+        let expect = Err(MachineError::BadWindowIndex { window: 99, nwindows: 4 });
+        assert_eq!(m.start_initial_frame(t, bad), expect);
+        assert_eq!(m.restore_into(t, bad, TransferReason::Switch), expect);
+        assert_eq!(m.grant_slot(t, bad), expect);
+        assert_eq!(m.set_reserved(Some(bad)), expect);
+        assert_eq!(m.assign_prw(t, bad), expect);
+    }
+
+    #[test]
+    fn injected_spill_failure_surfaces_as_typed_error() {
+        use crate::fault::{FaultSchedule, TransferFault};
+        let (mut m, t) = machine_with_thread(4);
+        m.set_fault_schedule(Some(FaultSchedule::new().on_spill(0, TransferFault::Fail)));
+        save(&mut m);
+        save(&mut m);
+        // The machine is full; the next save's overflow walk must spill —
+        // and that spill is scheduled to fail.
+        match m.try_save().unwrap() {
+            ExecOutcome::Trapped(_) => {
+                assert_eq!(
+                    m.force_reserved_walk(),
+                    Err(MachineError::FaultInjected { site: "spill", index: 0 })
+                );
+            }
+            other => panic!("expected overflow, got {other:?}"),
+        }
+        let _ = t;
+    }
+
+    #[test]
+    fn injected_trap_drop_surfaces_as_typed_error() {
+        use crate::fault::FaultSchedule;
+        let (mut m, _t) = machine_with_thread(4);
+        save(&mut m);
+        save(&mut m);
+        // The next save traps; its delivery is scheduled to drop.
+        m.set_fault_schedule(Some(FaultSchedule::new().on_trap_drop(0)));
+        assert_eq!(m.try_save(), Err(MachineError::FaultInjected { site: "trap", index: 0 }));
+    }
+
+    #[test]
+    fn corrupting_spill_then_fill_with_same_mask_roundtrips() {
+        use crate::fault::{FaultSchedule, TransferFault};
+        let (mut m, t) = machine_with_thread(8);
+        m.write_local(0, 0xabcd).unwrap();
+        save(&mut m);
+        // Corrupt the frame on the way out AND on the way back in with
+        // the same mask: XOR twice is the identity, so the refilled
+        // values must be intact (corrupt_frame is self-inverse).
+        m.set_fault_schedule(Some(
+            FaultSchedule::new()
+                .on_spill(0, TransferFault::Corrupt { xor: 0x5555 })
+                .on_fill(0, TransferFault::Corrupt { xor: 0x5555 }),
+        ));
+        let bottom = m.thread(t).unwrap().bottom(8).unwrap();
+        m.spill_bottom(t, TransferReason::Switch).unwrap();
+        m.restore_into(t, bottom, TransferReason::Switch).unwrap();
+        // The outer frame (the corrupted+restored one) holds 0xabcd.
+        assert_eq!(m.frame_at(bottom).locals[0], 0xabcd);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn corrupting_spill_alone_perturbs_the_refilled_frame() {
+        use crate::fault::{FaultSchedule, TransferFault};
+        let (mut m, t) = machine_with_thread(8);
+        m.write_local(0, 0xabcd).unwrap();
+        save(&mut m);
+        m.set_fault_schedule(Some(
+            FaultSchedule::new().on_spill(0, TransferFault::Corrupt { xor: 0xff }),
+        ));
+        let bottom = m.thread(t).unwrap().bottom(8).unwrap();
+        m.spill_bottom(t, TransferReason::Switch).unwrap();
+        m.restore_into(t, bottom, TransferReason::Switch).unwrap();
+        assert_eq!(m.frame_at(bottom).locals[0], 0xabcd ^ 0xff);
+        // Structural invariants hold even with corrupted data — the
+        // fault perturbs values, never bookkeeping.
+        m.check_invariants().unwrap();
     }
 }

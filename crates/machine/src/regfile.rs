@@ -95,29 +95,55 @@ impl RegisterFile {
     }
 
     /// Writes `in` register `reg` of window `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= 8` or `w` is out of range.
     pub fn write_in(&mut self, w: WindowIndex, reg: usize, value: u64) {
+        debug_assert!(reg < INS_PER_WINDOW, "in register {reg} out of range");
+        debug_assert!(w.index() < self.nwindows, "window {w} out of range");
         self.frames[w.index()].ins[reg] = value;
     }
 
     /// Reads `local` register `reg` of window `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= 8` or `w` is out of range.
     pub fn read_local(&self, w: WindowIndex, reg: usize) -> u64 {
         self.frames[w.index()].locals[reg]
     }
 
     /// Writes `local` register `reg` of window `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= 8` or `w` is out of range.
     pub fn write_local(&mut self, w: WindowIndex, reg: usize, value: u64) {
+        debug_assert!(reg < LOCALS_PER_WINDOW, "local register {reg} out of range");
+        debug_assert!(w.index() < self.nwindows, "window {w} out of range");
         self.frames[w.index()].locals[reg] = value;
     }
 
     /// Reads `out` register `reg` of window `w` — physically the `in`
     /// register of the window above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= 8` or `w` is out of range.
     pub fn read_out(&self, w: WindowIndex, reg: usize) -> u64 {
         self.read_in(w.above(self.nwindows), reg)
     }
 
     /// Writes `out` register `reg` of window `w` — physically the `in`
     /// register of the window above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= 8` or `w` is out of range.
     pub fn write_out(&mut self, w: WindowIndex, reg: usize, value: u64) {
+        debug_assert!(reg < OUTS_PER_WINDOW, "out register {reg} out of range");
+        debug_assert!(w.index() < self.nwindows, "window {w} out of range");
         self.write_in(w.above(self.nwindows), reg, value);
     }
 

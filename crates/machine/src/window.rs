@@ -6,8 +6,10 @@ use std::fmt;
 /// the running procedure and one kept invalid to catch wrap-around).
 pub const MIN_WINDOWS: usize = 2;
 
-/// Largest supported number of windows. The paper's register-window
-/// emulator sweeps 4–32; the SPARC architecture allows up to 32.
+/// Largest supported number of windows. The SPARC architecture caps the
+/// implementation at 32 windows and the paper's emulator sweeps 4–32,
+/// but this simulator accepts up to 64 — one [`Wim`] bit per bit of the
+/// `u64` mask — so sweeps can explore beyond the architectural limit.
 pub const MAX_WINDOWS: usize = 64;
 
 /// Index of a physical register window in the cyclic window buffer.
@@ -54,15 +56,23 @@ impl WindowIndex {
     }
 
     /// The window `k` steps below this one, cyclically.
+    ///
+    /// `k` is reduced modulo `nwindows` first, so arbitrarily large step
+    /// counts are exact — the sum can never overflow `usize`.
     #[must_use]
     pub const fn below_by(self, k: usize, nwindows: usize) -> Self {
-        WindowIndex((self.0 + k) % nwindows)
+        WindowIndex((self.0 % nwindows + k % nwindows) % nwindows)
     }
 
     /// The window `k` steps above this one, cyclically.
+    ///
+    /// `k` is reduced modulo `nwindows` first. The previous formulation
+    /// `self.0 + k * (nwindows - 1)` overflowed (silently wrapping in
+    /// release builds) for large `k` and returned a wrong window; the
+    /// modular form is exact for every `k`.
     #[must_use]
     pub const fn above_by(self, k: usize, nwindows: usize) -> Self {
-        WindowIndex((self.0 + k * (nwindows - 1)) % nwindows)
+        WindowIndex((self.0 % nwindows + nwindows - k % nwindows) % nwindows)
     }
 
     /// Cyclic distance from `self` going **below** (downward) until
@@ -311,6 +321,194 @@ mod tests {
         assert_eq!(wim.bits(), 0b1111);
         assert_eq!(wim.count_set(), 4);
         assert_eq!(wim.to_string(), "1111");
+    }
+
+    #[test]
+    fn above_by_is_exact_for_large_step_counts() {
+        // Regression: the old `self.0 + k * (nwindows - 1)` overflowed
+        // for large `k` (silently wrapping in release builds) and
+        // returned a wrong window. The modular form must agree with
+        // explicit reduction of `k` for steps far beyond any realistic
+        // call depth, right up to `usize::MAX`.
+        for n in [2usize, 4, 7, 32, 64] {
+            for i in 0..n {
+                let w = WindowIndex::new(i);
+                for k in [
+                    usize::MAX,
+                    usize::MAX - 1,
+                    usize::MAX / 2,
+                    u32::MAX as usize,
+                    1 << 40,
+                    12_345_678_901,
+                ] {
+                    assert_eq!(w.above_by(k, n), w.above_by(k % n, n), "above_by k={k} n={n}");
+                    assert_eq!(w.below_by(k, n), w.below_by(k % n, n), "below_by k={k} n={n}");
+                    // Opposite directions with the same step count cancel.
+                    assert_eq!(w.above_by(k, n).below_by(k, n), w);
+                }
+                // Sanity anchor: a huge exact multiple of n is the identity.
+                let whole = (usize::MAX / n) * n;
+                assert_eq!(w.above_by(whole, n), w);
+                assert_eq!(w.below_by(whole, n), w);
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_arithmetic_at_n2_minimum() {
+        // MIN_WINDOWS = 2: every step is a wrap; above and below
+        // coincide.
+        let n = MIN_WINDOWS;
+        let w0 = WindowIndex::new(0);
+        let w1 = WindowIndex::new(1);
+        assert_eq!(w0.above(n), w1);
+        assert_eq!(w0.below(n), w1);
+        assert_eq!(w1.above(n), w0);
+        assert_eq!(w1.below(n), w0);
+        for k in 0..8 {
+            let expect = if k % 2 == 0 { w0 } else { w1 };
+            assert_eq!(w0.above_by(k, n), expect);
+            assert_eq!(w0.below_by(k, n), expect);
+        }
+        assert_eq!(w0.distance_below_to(w1, n), 1);
+        assert_eq!(w1.distance_below_to(w0, n), 1);
+    }
+
+    #[test]
+    fn wim_edges_at_n2() {
+        let mut wim = Wim::new(MIN_WINDOWS);
+        wim.set(WindowIndex::new(0));
+        wim.set(WindowIndex::new(1));
+        assert_eq!(wim.bits(), 0b11);
+        assert_eq!(wim.count_set(), 2);
+        assert_eq!(wim.to_string(), "11");
+        wim.clear(WindowIndex::new(0));
+        assert_eq!(wim.bits(), 0b10);
+        wim.clear_all();
+        assert_eq!(wim.count_set(), 0);
+    }
+
+    #[test]
+    fn wim_edges_at_n64_bit63() {
+        // N = MAX_WINDOWS = 64 exercises bit 63, the top of the u64
+        // mask, where an off-by-one shift would overflow.
+        let n = MAX_WINDOWS;
+        let mut wim = Wim::new(n);
+        let top = WindowIndex::new(63);
+        wim.set(top);
+        assert!(wim.is_set(top));
+        assert_eq!(wim.bits(), 1u64 << 63);
+        assert_eq!(wim.count_set(), 1);
+        // Setting bit 63 twice is idempotent.
+        wim.set(top);
+        assert_eq!(wim.count_set(), 1);
+        // Its cyclic neighbours sit at the other end of the mask.
+        assert_eq!(top.below(n), WindowIndex::new(0));
+        assert_eq!(WindowIndex::new(0).above(n), top);
+        wim.set(top.below(n));
+        assert_eq!(wim.bits(), (1u64 << 63) | 1);
+        assert_eq!(wim.count_set(), 2);
+        // Clearing bit 63 leaves bit 0 untouched.
+        wim.clear(top);
+        assert!(!wim.is_set(top));
+        assert_eq!(wim.bits(), 1);
+        // Display covers all 64 positions, MSB first.
+        wim.set(top);
+        let s = wim.to_string();
+        assert_eq!(s.len(), 64);
+        assert!(s.starts_with('1') && s.ends_with('1'));
+        // A full mask saturates without overflow.
+        for i in 0..n {
+            wim.set(WindowIndex::new(i));
+        }
+        assert_eq!(wim.bits(), u64::MAX);
+        assert_eq!(wim.count_set(), 64);
+    }
+
+    /// Deterministic pseudo-random step counts for the property tests
+    /// (no external RNG crate in the build environment).
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn property_above_below_inverse_all_n() {
+        // above/below are inverses at every index for every legal N.
+        for n in MIN_WINDOWS..=MAX_WINDOWS {
+            for i in 0..n {
+                let w = WindowIndex::new(i);
+                assert_eq!(w.above(n).below(n), w, "n={n} i={i}");
+                assert_eq!(w.below(n).above(n), w, "n={n} i={i}");
+                // One step in either direction is distance 1 (or 1 == n-1
+                // when n == 2, which the modulus handles uniformly).
+                assert_eq!(w.distance_below_to(w.below(n), n), 1);
+                assert_eq!(w.below(n).distance_below_to(w, n), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn property_by_steps_compose_with_distance_all_n() {
+        // For random k: below_by(k) lands exactly k%n steps below, and
+        // above_by(k) cancels it; distance_below_to recovers the step.
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        for n in MIN_WINDOWS..=MAX_WINDOWS {
+            for _ in 0..16 {
+                let i = (splitmix64(&mut rng) as usize) % n;
+                let k = splitmix64(&mut rng) as usize; // full-range step
+                let w = WindowIndex::new(i);
+                let down = w.below_by(k, n);
+                assert_eq!(w.distance_below_to(down, n), k % n, "n={n} i={i} k={k}");
+                assert_eq!(down.above_by(k, n), w, "n={n} i={i} k={k}");
+                assert_eq!(w.above_by(k, n).below_by(k, n), w, "n={n} i={i} k={k}");
+                // k steps one at a time agrees with below_by(k%n).
+                let mut s = w;
+                for _ in 0..(k % n) {
+                    s = s.below(n);
+                }
+                assert_eq!(down, s, "n={n} i={i} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn property_wim_rotation_preserves_count_set_all_n() {
+        // Rotating every set bit by one window (in either direction) is a
+        // permutation of the mask: count_set must be invariant.
+        let mut rng = 0x0fed_cba9_8765_4321u64;
+        for n in MIN_WINDOWS..=MAX_WINDOWS {
+            for _ in 0..8 {
+                let mut wim = Wim::new(n);
+                let nbits = 1 + (splitmix64(&mut rng) as usize) % n;
+                for _ in 0..nbits {
+                    wim.set(WindowIndex::new((splitmix64(&mut rng) as usize) % n));
+                }
+                let before = wim.count_set();
+                for dir in 0..2 {
+                    let mut rotated = Wim::new(n);
+                    for i in 0..n {
+                        let w = WindowIndex::new(i);
+                        if wim.is_set(w) {
+                            rotated.set(if dir == 0 { w.above(n) } else { w.below(n) });
+                        }
+                    }
+                    assert_eq!(rotated.count_set(), before, "n={n} dir={dir}");
+                    // Rotating back recovers the original bit pattern.
+                    let mut back = Wim::new(n);
+                    for i in 0..n {
+                        let w = WindowIndex::new(i);
+                        if rotated.is_set(w) {
+                            back.set(if dir == 0 { w.below(n) } else { w.above(n) });
+                        }
+                    }
+                    assert_eq!(back.bits(), wim.bits(), "n={n} dir={dir}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -110,6 +110,11 @@ impl Ctx {
                 return Err(RtError::UnknownStream(stream.0));
             }
             if let Some(b) = st.streams[stream.0].pop() {
+                let index = st.stream_reads_seen;
+                st.stream_reads_seen += 1;
+                if st.stream_read_fails.remove(&index) {
+                    return Err(RtError::FaultInjected { site: "stream-read", index });
+                }
                 let cycles = st.stream_byte_cycles;
                 st.record(TraceEvent::Compute(cycles));
                 st.cpu.compute(cycles);
@@ -141,6 +146,11 @@ impl Ctx {
                 return Err(RtError::WriteAfterClose(stream.0));
             }
             if st.streams[stream.0].push(byte) {
+                let index = st.stream_writes_seen;
+                st.stream_writes_seen += 1;
+                if st.stream_write_fails.remove(&index) {
+                    return Err(RtError::FaultInjected { site: "stream-write", index });
+                }
                 let cycles = st.stream_byte_cycles;
                 st.record(TraceEvent::Compute(cycles));
                 st.cpu.compute(cycles);

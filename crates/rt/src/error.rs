@@ -31,6 +31,22 @@ pub enum RtError {
         /// What was wrong with the stream.
         detail: String,
     },
+    /// A simulation was configured with invalid parameters (e.g. a
+    /// zero-capacity stream).
+    BadConfig {
+        /// What was wrong with the configuration.
+        detail: String,
+    },
+    /// A deliberately injected runtime-level fault fired (see
+    /// [`crate::FaultPlan`]); machine-level injected faults surface as
+    /// [`RtError::Scheme`] wrapping
+    /// [`regwin_machine::MachineError::FaultInjected`].
+    FaultInjected {
+        /// The injection site: `"stream-read"` or `"stream-write"`.
+        site: &'static str,
+        /// The 0-based per-site event index at which the fault fired.
+        index: u64,
+    },
 }
 
 impl fmt::Display for RtError {
@@ -43,6 +59,10 @@ impl fmt::Display for RtError {
             RtError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
             RtError::WriteAfterClose(id) => write!(f, "write to stream {id} after close"),
             RtError::CorruptTrace { detail } => write!(f, "corrupt trace: {detail}"),
+            RtError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+            RtError::FaultInjected { site, index } => {
+                write!(f, "injected fault at {site} event {index}")
+            }
         }
     }
 }
@@ -79,5 +99,8 @@ mod tests {
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&RtError::Aborted).is_none());
         assert!(RtError::Deadlock { detail: "x".into() }.to_string().contains("deadlock"));
+        assert!(RtError::BadConfig { detail: "m = 0".into() }.to_string().contains("m = 0"));
+        let fault = RtError::FaultInjected { site: "stream-read", index: 3 };
+        assert!(fault.to_string().contains("stream-read"));
     }
 }

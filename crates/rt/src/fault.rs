@@ -1,0 +1,390 @@
+//! Seeded, deterministic fault plans for simulation runs and sweeps.
+//!
+//! A [`FaultPlan`] names faults to inject at chosen 0-based event
+//! indices. It spans three layers:
+//!
+//! * **machine faults** (spill/fill corruption or failure, trap drops)
+//!   compile down to a [`regwin_machine::FaultSchedule`] installed on
+//!   the simulation's CPU;
+//! * **stream faults** fail the N-th stream byte read or write with a
+//!   typed [`crate::RtError::FaultInjected`];
+//! * **worker faults** target the sweep engine: panic or stall the
+//!   worker executing the N-th job, exercising its `catch_unwind` /
+//!   timeout / quarantine machinery.
+//!
+//! Faults are *masked* (spill/fill corruption: the run must still
+//! produce byte-identical reported numbers, because reports contain
+//! only cycle counts and event statistics, never register contents) or
+//! *unmasked* (everything else: the run must fail with a typed error or
+//! land in the sweep quarantine — never panic the process, and never
+//! silently change a reported number). The differential oracle tests in
+//! `crates/rt/tests/fault_oracle.rs` enforce exactly this split.
+//!
+//! Plans are deterministic by construction: [`FaultPlan::from_seed`]
+//! derives event indices and corruption masks from a `splitmix64`
+//! chain, and [`FaultPlan::parse`] accepts explicit `kind@index` specs,
+//! so any faulty run can be reproduced exactly from its seed or spec.
+
+use regwin_machine::{FaultSchedule, TransferFault};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The kinds of deterministic faults a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// XOR the frame of the N-th backing-store spill (masked).
+    SpillCorrupt,
+    /// Fail the N-th backing-store spill with a typed error (unmasked).
+    SpillFail,
+    /// XOR the frame of the N-th backing-store fill (masked).
+    FillCorrupt,
+    /// Fail the N-th backing-store fill with a typed error (unmasked).
+    FillFail,
+    /// Drop delivery of the N-th window trap (unmasked).
+    TrapDrop,
+    /// Fail the N-th successful stream byte read (unmasked).
+    StreamReadFail,
+    /// Fail the N-th successful stream byte write (unmasked).
+    StreamWriteFail,
+    /// Panic the sweep worker executing the N-th job (quarantined).
+    WorkerPanic,
+    /// Stall the sweep worker executing the N-th job past its timeout
+    /// (quarantined).
+    WorkerStall,
+}
+
+impl FaultKind {
+    /// All kinds, in canonical order.
+    pub const ALL: [FaultKind; 9] = [
+        FaultKind::SpillCorrupt,
+        FaultKind::SpillFail,
+        FaultKind::FillCorrupt,
+        FaultKind::FillFail,
+        FaultKind::TrapDrop,
+        FaultKind::StreamReadFail,
+        FaultKind::StreamWriteFail,
+        FaultKind::WorkerPanic,
+        FaultKind::WorkerStall,
+    ];
+
+    /// The canonical spec name (accepted back by [`FaultPlan::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::SpillCorrupt => "spill-corrupt",
+            FaultKind::SpillFail => "spill-fail",
+            FaultKind::FillCorrupt => "fill-corrupt",
+            FaultKind::FillFail => "fill-fail",
+            FaultKind::TrapDrop => "trap-drop",
+            FaultKind::StreamReadFail => "stream-read-fail",
+            FaultKind::StreamWriteFail => "stream-write-fail",
+            FaultKind::WorkerPanic => "panic",
+            FaultKind::WorkerStall => "stall",
+        }
+    }
+
+    /// Parses a canonical spec name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Whether this fault is *masked*: the run succeeds and its reported
+    /// numbers must be byte-identical to a fault-free run.
+    pub fn is_masked(self) -> bool {
+        matches!(self, FaultKind::SpillCorrupt | FaultKind::FillCorrupt)
+    }
+
+    /// Whether this fault targets the sweep worker rather than the
+    /// simulation itself.
+    pub fn is_worker(self) -> bool {
+        matches!(self, FaultKind::WorkerPanic | FaultKind::WorkerStall)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One planned fault: a kind and the 0-based per-kind event index at
+/// which it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultEvent {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// 0-based index of the targeted event (spills, fills, traps,
+    /// stream reads/writes and sweep jobs each keep their own counter).
+    pub at: u64,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind, self.at)
+    }
+}
+
+/// What an injected worker fault does to a sweep job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Panic inside the worker (caught by the engine's `catch_unwind`).
+    Panic,
+    /// Sleep past the job's wall-clock timeout.
+    Stall,
+}
+
+/// A deterministic, seeded plan of faults to inject into a run.
+///
+/// Construct with [`FaultPlan::from_seed`], [`FaultPlan::parse`] or the
+/// [`FaultPlan::with_event`] builder; install on a simulation via
+/// `Simulation::with_fault_plan` or hand to the sweep engine through
+/// `SweepConfig::fault_plan`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Derives a small deterministic plan from `seed`: one masked spill
+    /// corruption, one masked fill corruption, one worker panic and one
+    /// worker stall, at seed-dependent event indices. The same seed
+    /// always produces the same plan.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || splitmix64(&mut state);
+        FaultPlan {
+            seed,
+            events: vec![
+                FaultEvent { kind: FaultKind::SpillCorrupt, at: next() % 32 },
+                FaultEvent { kind: FaultKind::FillCorrupt, at: next() % 32 },
+                FaultEvent { kind: FaultKind::WorkerPanic, at: next() % 8 },
+                FaultEvent { kind: FaultKind::WorkerStall, at: next() % 8 },
+            ],
+        }
+    }
+
+    /// Parses a comma-separated `kind@index` spec, e.g.
+    /// `"spill-corrupt@12,panic@1,stall@2"`. Kind names are the
+    /// [`FaultKind::name`] strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed
+    /// entry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, at) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault '{part}' is not of the form kind@index"))?;
+            let kind = FaultKind::from_name(kind.trim()).ok_or_else(|| {
+                let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown fault kind '{kind}' (expected one of: {})", names.join(", "))
+            })?;
+            let at: u64 = at
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault index '{at}' is not a non-negative integer"))?;
+            plan.events.push(FaultEvent { kind, at });
+        }
+        Ok(plan)
+    }
+
+    /// Adds one fault event (builder style).
+    #[must_use]
+    pub fn with_event(mut self, kind: FaultKind, at: u64) -> Self {
+        self.events.push(FaultEvent { kind, at });
+        self
+    }
+
+    /// Sets the seed used to derive corruption masks (defaults to 0; the
+    /// mask for an event also mixes in its index, so distinct events get
+    /// distinct nonzero masks even under the default seed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The seed corruption masks derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The planned fault events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether any planned fault acts inside the simulation (machine or
+    /// stream faults, as opposed to worker faults).
+    pub fn has_sim_faults(&self) -> bool {
+        self.events.iter().any(|e| !e.kind.is_worker())
+    }
+
+    /// Whether any planned fault targets sweep workers.
+    pub fn has_worker_faults(&self) -> bool {
+        self.events.iter().any(|e| e.kind.is_worker())
+    }
+
+    /// The canonical `kind@index` spec string ([`FaultPlan::parse`]
+    /// round-trips it).
+    pub fn canonical(&self) -> String {
+        let parts: Vec<String> = self.events.iter().map(|e| e.to_string()).collect();
+        parts.join(",")
+    }
+
+    /// Compiles the machine-level portion of the plan into a fresh
+    /// [`FaultSchedule`] (internal event counters at zero — install one
+    /// clone per run).
+    pub fn machine_schedule(&self) -> FaultSchedule {
+        let mut schedule = FaultSchedule::new();
+        for e in &self.events {
+            schedule = match e.kind {
+                FaultKind::SpillCorrupt => {
+                    schedule.on_spill(e.at, TransferFault::Corrupt { xor: self.mask_for(e.at) })
+                }
+                FaultKind::SpillFail => schedule.on_spill(e.at, TransferFault::Fail),
+                FaultKind::FillCorrupt => {
+                    schedule.on_fill(e.at, TransferFault::Corrupt { xor: self.mask_for(e.at) })
+                }
+                FaultKind::FillFail => schedule.on_fill(e.at, TransferFault::Fail),
+                FaultKind::TrapDrop => schedule.on_trap_drop(e.at),
+                _ => schedule,
+            };
+        }
+        schedule
+    }
+
+    /// Event indices of planned stream-read failures.
+    pub(crate) fn stream_read_fails(&self) -> BTreeSet<u64> {
+        self.events.iter().filter(|e| e.kind == FaultKind::StreamReadFail).map(|e| e.at).collect()
+    }
+
+    /// Event indices of planned stream-write failures.
+    pub(crate) fn stream_write_fails(&self) -> BTreeSet<u64> {
+        self.events.iter().filter(|e| e.kind == FaultKind::StreamWriteFail).map(|e| e.at).collect()
+    }
+
+    /// The worker fault (if any) targeting sweep job number `seq`. When
+    /// both a panic and a stall target the same job, the panic wins.
+    pub fn worker_fault_at(&self, seq: u64) -> Option<WorkerFault> {
+        let mut found = None;
+        for e in &self.events {
+            match e.kind {
+                FaultKind::WorkerPanic if e.at == seq => return Some(WorkerFault::Panic),
+                FaultKind::WorkerStall if e.at == seq => found = Some(WorkerFault::Stall),
+                _ => {}
+            }
+        }
+        found
+    }
+
+    /// The nonzero corruption mask for the event at index `at`, derived
+    /// deterministically from the plan seed.
+    fn mask_for(&self, at: u64) -> u64 {
+        let mut state = self.seed ^ at.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        splitmix64(&mut state) | 1
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            f.write_str("(no faults)")
+        } else {
+            f.write_str(&self.canonical())
+        }
+    }
+}
+
+/// The splitmix64 generator step: deterministic, dependency-free
+/// pseudo-randomness for seed-derived plans and corruption masks.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_canonical() {
+        let plan = FaultPlan::parse("spill-corrupt@12, panic@1,stall@2").unwrap();
+        assert_eq!(plan.canonical(), "spill-corrupt@12,panic@1,stall@2");
+        let again = FaultPlan::parse(&plan.canonical()).unwrap();
+        assert_eq!(plan, again);
+        assert!(plan.has_sim_faults());
+        assert!(plan.has_worker_faults());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("spill-corrupt").is_err());
+        assert!(FaultPlan::parse("bogus@3").is_err());
+        assert!(FaultPlan::parse("panic@minus-one").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn every_kind_name_round_trips() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        assert_eq!(FaultPlan::from_seed(42), FaultPlan::from_seed(42));
+        assert_ne!(FaultPlan::from_seed(42), FaultPlan::from_seed(43));
+        let plan = FaultPlan::from_seed(7);
+        assert!(plan.has_sim_faults());
+        assert!(plan.has_worker_faults());
+        // Seeded sim faults are all masked: safe to run anywhere.
+        assert!(plan.events().iter().filter(|e| !e.kind.is_worker()).all(|e| e.kind.is_masked()));
+    }
+
+    #[test]
+    fn machine_schedule_covers_machine_kinds_only() {
+        let plan = FaultPlan::parse("spill-fail@0,trap-drop@2,stream-read-fail@1,panic@0").unwrap();
+        let schedule = plan.machine_schedule();
+        assert!(!schedule.is_empty());
+        assert_eq!(plan.stream_read_fails().into_iter().collect::<Vec<_>>(), vec![1]);
+        assert!(plan.stream_write_fails().is_empty());
+        assert_eq!(plan.worker_fault_at(0), Some(WorkerFault::Panic));
+        assert_eq!(plan.worker_fault_at(1), None);
+    }
+
+    #[test]
+    fn worker_panic_wins_over_stall_on_same_job() {
+        let plan = FaultPlan::new()
+            .with_event(FaultKind::WorkerStall, 3)
+            .with_event(FaultKind::WorkerPanic, 3);
+        assert_eq!(plan.worker_fault_at(3), Some(WorkerFault::Panic));
+    }
+
+    #[test]
+    fn corruption_masks_are_nonzero_and_seed_dependent() {
+        let a = FaultPlan::new().with_seed(1);
+        let b = FaultPlan::new().with_seed(2);
+        for at in 0..64 {
+            assert_ne!(a.mask_for(at), 0);
+            assert_ne!(a.mask_for(at), b.mask_for(at));
+        }
+    }
+}

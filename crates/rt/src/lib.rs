@@ -54,6 +54,7 @@
 
 mod ctx;
 mod error;
+mod fault;
 mod metrics;
 mod sched;
 mod sim;
@@ -63,6 +64,7 @@ mod trace_io;
 
 pub use ctx::Ctx;
 pub use error::RtError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, WorkerFault};
 pub use metrics::{RunReport, ThreadReport};
 pub use sched::ReadyQueue;
 pub use sched::SchedulingPolicy;
@@ -71,3 +73,4 @@ pub use stream::{Stream, StreamId};
 pub use trace::{Trace, TraceEvent};
 
 pub use regwin_machine::ThreadId;
+pub use regwin_machine::{FaultSchedule, TransferFault};

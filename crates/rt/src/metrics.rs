@@ -22,7 +22,12 @@ pub struct ThreadReport {
 }
 
 /// The complete result of a simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every reported number — it is the equality used
+/// by the fault-injection differential oracle ("a masked fault must
+/// reproduce the byte-identical report"). No `Eq`: the struct carries an
+/// `f64`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Scheme the run used.
     pub scheme: SchemeKind,

@@ -8,6 +8,7 @@
 
 use crate::ctx::Ctx;
 use crate::error::RtError;
+use crate::fault::FaultPlan;
 use crate::metrics::{RunReport, ThreadReport};
 use crate::sched::{ReadyQueue, SchedulingPolicy};
 use crate::stream::{Stream, StreamId};
@@ -15,7 +16,7 @@ use crate::trace::{Trace, TraceEvent};
 use parking_lot::{Condvar, Mutex};
 use regwin_machine::{CostModel, ThreadId};
 use regwin_traps::{build_scheme, Cpu, Scheme, SchemeKind};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// A thread body: a closure run once on its own coroutine, communicating
@@ -61,6 +62,14 @@ pub(crate) struct SimState {
     /// number of dispatches — the paper's *parallel slackness* (§5).
     pub(crate) slack_sum: u64,
     pub(crate) dispatches: u64,
+    /// Event indices at which the N-th successful stream byte read /
+    /// write fails with a typed error (installed by
+    /// [`Simulation::with_fault_plan`]).
+    pub(crate) stream_read_fails: BTreeSet<u64>,
+    pub(crate) stream_write_fails: BTreeSet<u64>,
+    /// Successful stream byte reads / writes seen so far.
+    pub(crate) stream_reads_seen: u64,
+    pub(crate) stream_writes_seen: u64,
 }
 
 impl SimState {
@@ -183,6 +192,10 @@ impl Simulation {
             trace: None,
             slack_sum: 0,
             dispatches: 0,
+            stream_read_fails: BTreeSet::new(),
+            stream_write_fails: BTreeSet::new(),
+            stream_reads_seen: 0,
+            stream_writes_seen: 0,
         };
         Ok(Simulation {
             shared: Arc::new(Shared {
@@ -218,8 +231,29 @@ impl Simulation {
         self
     }
 
+    /// Installs a deterministic [`FaultPlan`]: its machine-level faults
+    /// become a fresh fault schedule on the CPU, and its stream faults
+    /// fail the chosen byte transfers with typed errors. Worker faults
+    /// in the plan are ignored here (they only apply to sweep jobs).
+    #[must_use]
+    pub fn with_fault_plan(self, plan: &FaultPlan) -> Self {
+        {
+            let mut st = self.shared.state.lock();
+            let schedule = plan.machine_schedule();
+            st.cpu.set_fault_schedule(if schedule.is_empty() { None } else { Some(schedule) });
+            st.stream_read_fails = plan.stream_read_fails();
+            st.stream_write_fails = plan.stream_write_fails();
+        }
+        self
+    }
+
     /// Adds a bounded FIFO stream with the given capacity in bytes and
     /// number of writer ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; config-driven callers should use
+    /// [`Simulation::try_add_stream`] instead.
     pub fn add_stream(
         &mut self,
         name: impl Into<String>,
@@ -230,6 +264,28 @@ impl Simulation {
         let id = StreamId(st.streams.len());
         st.streams.push(Stream::new(name, capacity, writers));
         id
+    }
+
+    /// Adds a bounded FIFO stream, validating the configuration instead
+    /// of panicking — for streams whose parameters come from external
+    /// configs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::BadConfig`] when `capacity` is zero.
+    pub fn try_add_stream(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        writers: usize,
+    ) -> Result<StreamId, RtError> {
+        let name = name.into();
+        if capacity == 0 {
+            return Err(RtError::BadConfig {
+                detail: format!("stream '{name}' has zero capacity"),
+            });
+        }
+        Ok(self.add_stream(name, capacity, writers))
     }
 
     /// Spawns a simulated thread. Threads are dispatched in spawn order.

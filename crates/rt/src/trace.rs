@@ -15,7 +15,7 @@
 
 use crate::error::RtError;
 use crate::metrics::{RunReport, ThreadReport};
-use regwin_machine::{CostModel, ThreadId};
+use regwin_machine::{CostModel, FaultSchedule, ThreadId};
 use regwin_traps::{Cpu, Scheme};
 
 /// One recorded event. Saves and restores apply to the thread that is
@@ -129,15 +129,50 @@ impl Trace {
         cost: CostModel,
         scheme: Box<dyn Scheme>,
     ) -> Result<RunReport, RtError> {
+        self.replay_with_faults(nwindows, cost, scheme, None)
+    }
+
+    /// Like [`Trace::replay`], but with an optional machine-level fault
+    /// schedule installed on the fresh CPU before replay begins — the
+    /// sweep engine's path for fault-injection runs over cached traces.
+    /// (Stream faults cannot apply here: a trace contains no stream
+    /// operations, only their cycle costs.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme/machine errors, including typed
+    /// [`regwin_machine::MachineError::FaultInjected`] errors from
+    /// unmasked faults, and [`RtError::CorruptTrace`] for a trace whose
+    /// events reference unknown threads.
+    pub fn replay_with_faults(
+        &self,
+        nwindows: usize,
+        cost: CostModel,
+        scheme: Box<dyn Scheme>,
+        faults: Option<FaultSchedule>,
+    ) -> Result<RunReport, RtError> {
         let kind = scheme.kind();
         let mut cpu = Cpu::with_cost_model(nwindows, cost, scheme)?;
+        if let Some(schedule) = faults {
+            cpu.set_fault_schedule(Some(schedule));
+        }
         let threads: Vec<ThreadId> = (0..self.names.len()).map(|_| cpu.add_thread()).collect();
         for event in &self.events {
             match *event {
                 TraceEvent::Save => cpu.save()?,
                 TraceEvent::Restore => cpu.restore()?,
                 TraceEvent::Compute(c) => cpu.compute(c),
-                TraceEvent::SwitchTo(t) => cpu.switch_to(threads[t.index()])?,
+                TraceEvent::SwitchTo(t) => {
+                    let thread =
+                        threads.get(t.index()).copied().ok_or_else(|| RtError::CorruptTrace {
+                            detail: format!(
+                                "switch to unknown thread {} (trace has {} threads)",
+                                t.index(),
+                                threads.len()
+                            ),
+                        })?;
+                    cpu.switch_to(thread)?;
+                }
                 TraceEvent::Terminate => {
                     cpu.terminate_current()?;
                 }

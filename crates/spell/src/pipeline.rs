@@ -5,7 +5,7 @@ use crate::corpus::{Corpus, CorpusSpec};
 use crate::reference;
 use crate::threads;
 use regwin_machine::CostModel;
-use regwin_rt::{RtError, RunReport, SchedulingPolicy, Simulation};
+use regwin_rt::{FaultPlan, RtError, RunReport, SchedulingPolicy, Simulation};
 use regwin_traps::{build_scheme, Scheme, SchemeKind};
 use std::sync::{Arc, Mutex};
 
@@ -136,7 +136,32 @@ impl SpellPipeline {
         cost: CostModel,
         scheme: Box<dyn Scheme>,
     ) -> Result<SpellOutcome, RtError> {
-        let (report, output, _) = self.run_inner(nwindows, cost, scheme, false)?;
+        let (report, output, _) = self.run_inner(nwindows, cost, scheme, false, None)?;
+        Ok(SpellOutcome { report, output })
+    }
+
+    /// Runs the pipeline with the given fault plan installed: the plan's
+    /// spill/fill/trap faults perturb the simulated machine and its
+    /// stream faults perturb the pipeline's record I/O, all at the plan's
+    /// deterministic event indices.
+    ///
+    /// A *masked* fault (value corruption) must leave the returned report
+    /// identical to a fault-free run; an *unmasked* fault surfaces as a
+    /// typed error — see `regwin_rt::FaultPlan`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors, including the typed
+    /// [`RtError::FaultInjected`] / machine `FaultInjected` errors raised
+    /// by unmasked injected faults.
+    pub fn run_faulted(
+        &self,
+        nwindows: usize,
+        scheme: SchemeKind,
+        plan: &FaultPlan,
+    ) -> Result<SpellOutcome, RtError> {
+        let (report, output, _) =
+            self.run_inner(nwindows, CostModel::s20(), build_scheme(scheme), false, Some(plan))?;
         Ok(SpellOutcome { report, output })
     }
 
@@ -146,11 +171,23 @@ impl SpellPipeline {
         cost: CostModel,
         scheme: Box<dyn Scheme>,
         traced: bool,
+        fault: Option<&FaultPlan>,
     ) -> Result<(regwin_rt::RunReport, Vec<u8>, Option<regwin_rt::Trace>), RtError> {
+        if self.config.m == 0 || self.config.n == 0 {
+            return Err(RtError::BadConfig {
+                detail: format!(
+                    "buffer sizes must be nonzero (M = {}, N = {})",
+                    self.config.m, self.config.n
+                ),
+            });
+        }
         let mut sim =
             Simulation::with_scheme(nwindows, cost, scheme)?.with_policy(self.config.policy);
         if traced {
             sim = sim.with_trace_recording();
+        }
+        if let Some(plan) = fault {
+            sim = sim.with_fault_plan(plan);
         }
 
         let m = self.config.m;

@@ -22,7 +22,7 @@ impl SpellPipeline {
         scheme: SchemeKind,
     ) -> Result<(SpellOutcome, Trace), RtError> {
         let (report, output, trace) =
-            self.run_inner(nwindows, CostModel::s20(), build_scheme(scheme), true)?;
+            self.run_inner(nwindows, CostModel::s20(), build_scheme(scheme), true, None)?;
         Ok((SpellOutcome { report, output }, trace.expect("recording was enabled")))
     }
 }

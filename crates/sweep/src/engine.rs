@@ -18,22 +18,37 @@ use crate::json::{obj, Value};
 use crate::key::JobKey;
 use regwin_core::{MatrixSpec, RunRecord};
 use regwin_machine::CostModel;
-use regwin_rt::{RtError, RunReport, SchedulingPolicy, Trace};
+use regwin_rt::{FaultPlan, RtError, RunReport, SchedulingPolicy, Trace, WorkerFault};
 use regwin_spell::{Corpus, SpellConfig, SpellPipeline};
 use regwin_traps::{build_scheme, SchemeKind};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
 pub struct SweepConfig {
-    /// Cache directory; `None` disables caching.
+    /// Cache directory; `None` disables caching. Ignored (treated as
+    /// `None`) while a non-empty fault plan is active, so injected
+    /// faults can neither poison the cache nor be masked by it.
     pub cache_dir: Option<PathBuf>,
     /// Worker threads; `0` means one per available CPU.
     pub workers: usize,
     /// Stream one JSON event per job to stderr.
     pub stream_events: bool,
+    /// Wall-clock limit per job attempt; `None` disables timeouts.
+    pub job_timeout: Option<Duration>,
+    /// Extra attempts after a failed one (panic, timeout or error)
+    /// before the job is quarantined.
+    pub retries: u32,
+    /// Backoff slept before retry attempt `k` is `k × retry_backoff`
+    /// (linear).
+    pub retry_backoff: Duration,
+    /// Deterministic fault plan injected into jobs and workers; `None`
+    /// or an empty plan injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// What happened to one job, for the artifact and the summary.
@@ -53,6 +68,25 @@ pub struct JobRecord {
     pub total_cycles: u64,
 }
 
+/// What happened to one job the engine gave up on: every attempt
+/// panicked, timed out or returned an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Content hash (cache file stem).
+    pub id: String,
+    /// Canonical key string.
+    pub key: String,
+    /// Human-readable label.
+    pub label: String,
+    /// Why the final attempt failed: `"panic"`, `"timeout"` or
+    /// `"error"`.
+    pub reason: &'static str,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+    /// The final attempt's panic message or error display.
+    pub detail: String,
+}
+
 /// Aggregate counters for one engine lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SweepSummary {
@@ -62,6 +96,8 @@ pub struct SweepSummary {
     pub cache_hits: usize,
     /// Cache misses (actually simulated).
     pub cache_misses: usize,
+    /// Jobs quarantined after exhausting every attempt.
+    pub quarantined: usize,
 }
 
 /// One schedulable unit: a key plus the closure computing its report.
@@ -96,14 +132,29 @@ pub struct SweepEngine {
     config: SweepConfig,
     cache: Option<ResultCache>,
     log: Mutex<Vec<JobRecord>>,
+    quarantine: Mutex<Vec<QuarantineRecord>>,
+    /// Engine-lifetime job sequence counter: worker faults target the
+    /// N-th cache-missing job across every batch this engine runs.
+    seq: AtomicU64,
     started: Instant,
 }
 
 impl SweepEngine {
     /// An engine with the given configuration.
     pub fn new(config: SweepConfig) -> Self {
-        let cache = config.cache_dir.as_ref().map(ResultCache::new);
-        SweepEngine { config, cache, log: Mutex::new(Vec::new()), started: Instant::now() }
+        // A fault plan disables the cache entirely: faulty results must
+        // never be stored, and cached results must never shadow the
+        // injection the caller asked for.
+        let faulty = config.fault_plan.as_ref().is_some_and(|p| !p.is_empty());
+        let cache = if faulty { None } else { config.cache_dir.as_ref().map(ResultCache::new) };
+        SweepEngine {
+            config,
+            cache,
+            log: Mutex::new(Vec::new()),
+            quarantine: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            started: Instant::now(),
+        }
     }
 
     /// An engine with default configuration (no cache, auto workers,
@@ -146,11 +197,14 @@ impl SweepEngine {
     /// across the worker pool, stores fresh results, and returns the
     /// reports in input order.
     ///
-    /// # Errors
-    ///
-    /// Returns the first job error.
-    pub fn run_jobs(&self, jobs: &[Job<'_>]) -> Result<Vec<RunReport>, RtError> {
-        let mut results: Vec<Option<RunReport>> = Vec::with_capacity(jobs.len());
+    /// Every miss runs under `catch_unwind`, an optional per-attempt
+    /// wall-clock timeout and bounded retry-with-backoff
+    /// ([`SweepConfig`]); a job whose attempts are all exhausted lands
+    /// in the quarantine log ([`SweepEngine::quarantine`]) and returns
+    /// `None` in its slot instead of aborting the batch — the remaining
+    /// cells always complete.
+    pub fn run_jobs(&self, jobs: &[Job<'_>]) -> Vec<Option<RunReport>> {
+        let mut results: Vec<Option<RunReport>> = (0..jobs.len()).map(|_| None).collect();
         let mut miss_indices = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
             let cached = self.cache.as_ref().and_then(|c| c.load(&job.key));
@@ -172,62 +226,53 @@ impl SweepEngine {
                         wall_ms: 0.0,
                         total_cycles: report.total_cycles(),
                     });
-                    results.push(Some(report));
+                    results[i] = Some(report);
                 }
-                None => {
-                    miss_indices.push(i);
-                    results.push(None);
-                }
+                None => miss_indices.push(i),
             }
         }
-
-        let computed =
-            run_indexed(self.effective_workers(miss_indices.len()), miss_indices.len(), |mi| {
-                let job = &jobs[miss_indices[mi]];
-                self.emit(obj(vec![
-                    ("event", Value::Str("job_start".into())),
-                    ("id", Value::Str(job.key.id())),
-                    ("label", Value::Str(job.key.label())),
-                ]));
-                let t0 = Instant::now();
-                let report = (job.run)()?;
-                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-                if let Some(cache) = &self.cache {
-                    cache.store(&job.key, &report);
-                }
-                self.emit(obj(vec![
-                    ("event", Value::Str("job_done".into())),
-                    ("id", Value::Str(job.key.id())),
-                    ("label", Value::Str(job.key.label())),
-                    ("cache", Value::Str("miss".into())),
-                    ("wall_ms", Value::Float(wall_ms)),
-                    ("cycles", Value::Int(report.total_cycles())),
-                ]));
-                self.log_job(JobRecord {
-                    id: job.key.id(),
-                    key: job.key.canonical(),
-                    label: job.key.label(),
-                    cache_hit: false,
-                    wall_ms,
-                    total_cycles: report.total_cycles(),
-                });
-                Ok(report)
-            })?;
-
-        for (mi, report) in miss_indices.into_iter().zip(computed) {
-            results[mi] = Some(report);
+        if miss_indices.is_empty() {
+            return results;
         }
-        Ok(results.into_iter().map(|r| r.expect("every job resolved")).collect())
+
+        let total = miss_indices.len();
+        let base_seq = self.seq.fetch_add(total as u64, Ordering::Relaxed);
+        let next = AtomicUsize::new(0);
+        let computed: Mutex<Vec<Option<RunReport>>> =
+            Mutex::new((0..total).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            let next = &next;
+            let computed = &computed;
+            let miss_indices = &miss_indices;
+            for _ in 0..self.effective_workers(total) {
+                scope.spawn(move || loop {
+                    let mi = next.fetch_add(1, Ordering::Relaxed);
+                    if mi >= total {
+                        return;
+                    }
+                    let job = &jobs[miss_indices[mi]];
+                    let report = execute_job(self, scope, job, base_seq + mi as u64);
+                    computed.lock().expect("results poisoned")[mi] = report;
+                });
+            }
+        });
+        for (mi, report) in miss_indices.into_iter().zip(computed.into_inner().expect("results")) {
+            results[mi] = report;
+        }
+        results
     }
 
     /// Executes every cell of `spec` — the engine's counterpart of
     /// [`regwin_core::run_matrix`], with caching, events and the
     /// record-once/replay-many FIFO fast path. Records are returned in
-    /// the same deterministic behaviour-major order.
+    /// the same deterministic behaviour-major order; cells that land in
+    /// quarantine are simply absent from the returned records (and
+    /// present in [`SweepEngine::quarantine`]).
     ///
     /// # Errors
     ///
-    /// Returns the first run error.
+    /// Returns the first trace-recording error (cell execution itself
+    /// never aborts the sweep — failures quarantine instead).
     pub fn run_matrix(&self, spec: &MatrixSpec) -> Result<Vec<RunRecord>, RtError> {
         let mut cells = Vec::new();
         for (bi, &behavior) in spec.behaviors.iter().enumerate() {
@@ -294,6 +339,11 @@ impl SweepEngine {
             vec![None; spec.behaviors.len()]
         };
 
+        // Simulation-level faults (machine and stream) are installed
+        // into every cell; the trace-replay path carries the machine
+        // portion only, since a trace has no stream operations.
+        let sim_plan = self.config.fault_plan.as_ref().filter(|p| p.has_sim_faults());
+
         let jobs: Vec<Job<'_>> = cells
             .iter()
             .zip(keys)
@@ -301,53 +351,75 @@ impl SweepEngine {
                 let corpus = &corpus;
                 let traces = &traces;
                 Job::new(key, move || match &traces[bi] {
-                    Some(trace) => trace.replay(nwindows, CostModel::s20(), build_scheme(scheme)),
+                    Some(trace) => trace.replay_with_faults(
+                        nwindows,
+                        CostModel::s20(),
+                        build_scheme(scheme),
+                        sim_plan.map(FaultPlan::machine_schedule),
+                    ),
                     // No trace: direct run (working-set policy, or a
                     // cache entry that vanished after the pre-probe).
                     None => {
                         let (m, n) = behavior.buffers();
                         let config = SpellConfig::new(spec.corpus, m, n).with_policy(spec.policy);
                         let pipeline = SpellPipeline::with_corpus(corpus.clone(), config);
-                        Ok(pipeline.run(nwindows, scheme)?.report)
+                        match sim_plan {
+                            Some(plan) => Ok(pipeline.run_faulted(nwindows, scheme, plan)?.report),
+                            None => Ok(pipeline.run(nwindows, scheme)?.report),
+                        }
                     }
                 })
             })
             .collect();
 
-        let reports = self.run_jobs(&jobs)?;
+        let reports = self.run_jobs(&jobs);
         let summary = self.summary();
         self.emit(obj(vec![
             ("event", Value::Str("sweep_done".into())),
             ("jobs", Value::Int(cells.len() as u64)),
             ("cache_hits", Value::Int(summary.cache_hits as u64)),
             ("cache_misses", Value::Int(summary.cache_misses as u64)),
+            ("quarantined", Value::Int(summary.quarantined as u64)),
             ("wall_ms", Value::Float(sweep_t0.elapsed().as_secs_f64() * 1e3)),
         ]));
 
         Ok(cells
             .into_iter()
             .zip(reports)
-            .map(|((_, behavior, scheme, nwindows), report)| RunRecord {
-                behavior,
-                scheme,
-                nwindows,
-                policy: spec.policy,
-                report,
+            .filter_map(|((_, behavior, scheme, nwindows), report)| {
+                report.map(|report| RunRecord {
+                    behavior,
+                    scheme,
+                    nwindows,
+                    policy: spec.policy,
+                    report,
+                })
             })
             .collect())
+    }
+
+    /// The jobs quarantined so far (empty on a healthy run).
+    pub fn quarantine(&self) -> Vec<QuarantineRecord> {
+        self.quarantine.lock().expect("quarantine poisoned").clone()
     }
 
     /// Counters over every job this engine has run so far.
     pub fn summary(&self) -> SweepSummary {
         let log = self.log.lock().expect("job log poisoned");
         let cache_hits = log.iter().filter(|j| j.cache_hit).count();
-        SweepSummary { jobs: log.len(), cache_hits, cache_misses: log.len() - cache_hits }
+        SweepSummary {
+            jobs: log.len(),
+            cache_hits,
+            cache_misses: log.len() - cache_hits,
+            quarantined: self.quarantine.lock().expect("quarantine poisoned").len(),
+        }
     }
 
     /// The `BENCH_sweep.json` artifact: engine configuration, aggregate
     /// counters and the full per-job log with wall times.
     pub fn artifact_value(&self) -> Value {
         let log = self.log.lock().expect("job log poisoned");
+        let quarantine = self.quarantine.lock().expect("quarantine poisoned");
         let summary_hits = log.iter().filter(|j| j.cache_hit).count();
         let jobs = Value::Arr(
             log.iter()
@@ -375,8 +447,27 @@ impl SweepEngine {
             ("jobs_total", Value::Int(log.len() as u64)),
             ("cache_hits", Value::Int(summary_hits as u64)),
             ("cache_misses", Value::Int((log.len() - summary_hits) as u64)),
+            ("quarantined", Value::Int(quarantine.len() as u64)),
             ("wall_ms", Value::Float(self.started.elapsed().as_secs_f64() * 1e3)),
             ("jobs", jobs),
+            (
+                "quarantine",
+                Value::Arr(
+                    quarantine
+                        .iter()
+                        .map(|q| {
+                            obj(vec![
+                                ("id", Value::Str(q.id.clone())),
+                                ("key", Value::Str(q.key.clone())),
+                                ("label", Value::Str(q.label.clone())),
+                                ("reason", Value::Str(q.reason.into())),
+                                ("attempts", Value::Int(u64::from(q.attempts))),
+                                ("detail", Value::Str(q.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -416,9 +507,157 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
     .to_json()
 }
 
+/// The result of one attempt at one job.
+enum AttemptOutcome {
+    Done(RunReport),
+    Error(RtError),
+    Panic(String),
+    Timeout(Duration),
+}
+
+/// Renders a caught panic payload for the quarantine log.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one attempt of `job` under `catch_unwind` and (when configured)
+/// the per-attempt wall-clock timeout. Timed attempts run on a thread
+/// spawned on the worker pool's own scope: a timed-out attempt is
+/// abandoned (its channel send goes nowhere) but still joined at scope
+/// exit, so nothing leaks past `run_jobs`.
+fn run_attempt<'scope, 'env>(
+    engine: &'env SweepEngine,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    job: &'env Job<'env>,
+    injected: Option<WorkerFault>,
+    seq: u64,
+) -> AttemptOutcome {
+    let timeout = engine.config.job_timeout;
+    let body = move || -> Result<RunReport, RtError> {
+        match injected {
+            Some(WorkerFault::Panic) => panic!("injected worker panic (job seq {seq})"),
+            Some(WorkerFault::Stall) => {
+                // Overshoot the timeout but still terminate, so the
+                // scope join at the end of run_jobs never wedges.
+                let nap =
+                    timeout.map_or(Duration::from_millis(50), |t| t + Duration::from_millis(150));
+                std::thread::sleep(nap);
+            }
+            None => {}
+        }
+        (job.run)()
+    };
+    match timeout {
+        None => match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(Ok(report)) => AttemptOutcome::Done(report),
+            Ok(Err(e)) => AttemptOutcome::Error(e),
+            Err(payload) => AttemptOutcome::Panic(panic_message(payload.as_ref())),
+        },
+        Some(limit) => {
+            let (tx, rx) = mpsc::channel();
+            scope.spawn(move || {
+                let _ = tx.send(catch_unwind(AssertUnwindSafe(body)));
+            });
+            match rx.recv_timeout(limit) {
+                Ok(Ok(Ok(report))) => AttemptOutcome::Done(report),
+                Ok(Ok(Err(e))) => AttemptOutcome::Error(e),
+                Ok(Err(payload)) => AttemptOutcome::Panic(panic_message(payload.as_ref())),
+                Err(_) => AttemptOutcome::Timeout(limit),
+            }
+        }
+    }
+}
+
+/// Drives one cache-missing job to success or quarantine: up to
+/// `1 + retries` attempts with linear backoff, each hardened by
+/// [`run_attempt`]. Success stores to cache and logs the job; exhausted
+/// attempts emit a `job_quarantined` event and record the final failure.
+fn execute_job<'scope, 'env>(
+    engine: &'env SweepEngine,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    job: &'env Job<'env>,
+    seq: u64,
+) -> Option<RunReport> {
+    let injected = engine.config.fault_plan.as_ref().and_then(|p| p.worker_fault_at(seq));
+    engine.emit(obj(vec![
+        ("event", Value::Str("job_start".into())),
+        ("id", Value::Str(job.key.id())),
+        ("label", Value::Str(job.key.label())),
+    ]));
+    let t0 = Instant::now();
+    let attempts = engine.config.retries.saturating_add(1);
+    let mut last_failure = ("error", String::new());
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            std::thread::sleep(engine.config.retry_backoff * (attempt - 1));
+            engine.emit(obj(vec![
+                ("event", Value::Str("job_retry".into())),
+                ("id", Value::Str(job.key.id())),
+                ("label", Value::Str(job.key.label())),
+                ("attempt", Value::Int(u64::from(attempt))),
+            ]));
+        }
+        match run_attempt(engine, scope, job, injected, seq) {
+            AttemptOutcome::Done(report) => {
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                if let Some(cache) = &engine.cache {
+                    cache.store(&job.key, &report);
+                }
+                engine.emit(obj(vec![
+                    ("event", Value::Str("job_done".into())),
+                    ("id", Value::Str(job.key.id())),
+                    ("label", Value::Str(job.key.label())),
+                    ("cache", Value::Str("miss".into())),
+                    ("wall_ms", Value::Float(wall_ms)),
+                    ("cycles", Value::Int(report.total_cycles())),
+                ]));
+                engine.log_job(JobRecord {
+                    id: job.key.id(),
+                    key: job.key.canonical(),
+                    label: job.key.label(),
+                    cache_hit: false,
+                    wall_ms,
+                    total_cycles: report.total_cycles(),
+                });
+                return Some(report);
+            }
+            AttemptOutcome::Error(e) => last_failure = ("error", e.to_string()),
+            AttemptOutcome::Panic(msg) => last_failure = ("panic", msg),
+            AttemptOutcome::Timeout(limit) => {
+                last_failure =
+                    ("timeout", format!("exceeded {}ms wall-clock limit", limit.as_millis()));
+            }
+        }
+    }
+    let (reason, detail) = last_failure;
+    engine.emit(obj(vec![
+        ("event", Value::Str("job_quarantined".into())),
+        ("id", Value::Str(job.key.id())),
+        ("label", Value::Str(job.key.label())),
+        ("reason", Value::Str(reason.into())),
+        ("attempts", Value::Int(u64::from(attempts))),
+    ]));
+    engine.quarantine.lock().expect("quarantine poisoned").push(QuarantineRecord {
+        id: job.key.id(),
+        key: job.key.canonical(),
+        label: job.key.label(),
+        reason,
+        attempts,
+        detail,
+    });
+    None
+}
+
 /// Runs `f(0..total)` across `workers` OS threads with a shared index
 /// queue; results return in index order. The first error wins and stops
-/// the queue.
+/// the queue; a panic inside `f` is caught and converted to a typed
+/// [`RtError::ThreadPanicked`] rather than tearing down the pool.
 fn run_indexed<T: Send>(
     workers: usize,
     total: usize,
@@ -442,7 +681,12 @@ fn run_indexed<T: Send>(
                     *n += 1;
                     i
                 };
-                match f(idx) {
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(idx))).unwrap_or_else(|p| {
+                    Err(RtError::ThreadPanicked {
+                        name: format!("sweep-{idx}: {}", panic_message(p.as_ref())),
+                    })
+                });
+                match outcome {
                     Ok(v) => results.lock().expect("results poisoned")[idx] = Some(v),
                     Err(e) => {
                         let mut slot = error.lock().expect("error poisoned");
@@ -567,8 +811,9 @@ mod tests {
                 })
             })
             .collect();
-        let reports = engine.run_jobs(&jobs).unwrap();
-        assert_eq!(reports[0].nwindows, 12);
-        assert_eq!(reports[1].nwindows, 4);
+        let reports = engine.run_jobs(&jobs);
+        assert_eq!(reports[0].as_ref().unwrap().nwindows, 12);
+        assert_eq!(reports[1].as_ref().unwrap().nwindows, 4);
+        assert!(engine.quarantine().is_empty());
     }
 }

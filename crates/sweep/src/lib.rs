@@ -57,7 +57,9 @@ pub mod serial;
 pub mod studies;
 
 pub use cache::ResultCache;
-pub use engine::{records_to_json, Job, JobRecord, SweepConfig, SweepEngine, SweepSummary};
+pub use engine::{
+    records_to_json, Job, JobRecord, QuarantineRecord, SweepConfig, SweepEngine, SweepSummary,
+};
 pub use key::{JobKey, FORMAT_VERSION};
 pub use serial::{report_from_json, report_to_json, DecodeError};
 pub use studies::run_ablation;

@@ -68,10 +68,13 @@ pub fn run_ablation(
             })
         })
         .collect();
-    let reports = engine.run_jobs(&jobs)?;
+    let reports = engine.run_jobs(&jobs);
 
     let mut series: Vec<Series> = Vec::new();
     for ((label, w), report) in cells.into_iter().zip(reports) {
+        // A quarantined cell is absent from its series (the engine's
+        // quarantine log has the failure).
+        let Some(report) = report else { continue };
         match series.last_mut().filter(|s| s.label == label) {
             Some(s) => s.push(w, report.total_cycles() as f64),
             None => {

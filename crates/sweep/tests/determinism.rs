@@ -22,7 +22,7 @@ fn spec(policy: SchedulingPolicy) -> MatrixSpec {
 }
 
 fn engine(workers: usize) -> SweepEngine {
-    SweepEngine::new(SweepConfig { cache_dir: None, workers, stream_events: false })
+    SweepEngine::new(SweepConfig { cache_dir: None, workers, ..SweepConfig::default() })
 }
 
 #[test]
@@ -52,13 +52,13 @@ fn cached_results_serialize_identically_to_fresh_ones() {
     let cold = SweepEngine::new(SweepConfig {
         cache_dir: Some(dir.clone()),
         workers: 8,
-        stream_events: false,
+        ..SweepConfig::default()
     });
     cold.run_matrix(&spec).unwrap();
     let warm = SweepEngine::new(SweepConfig {
         cache_dir: Some(dir.clone()),
         workers: 8,
-        stream_events: false,
+        ..SweepConfig::default()
     });
     let cached = warm.run_matrix(&spec).unwrap();
     assert_eq!(warm.summary().cache_hits, spec.len(), "second run must be all hits");

@@ -1,0 +1,146 @@
+//! Sweep-engine hardening: injected worker panics and stalls must not
+//! abort the sweep — every other cell completes, and the failures land
+//! in the quarantine section of the artifact with their canonical keys.
+//! A hardened engine with no faults must produce byte-identical records
+//! to the plain engine, and masked simulation faults must too.
+
+use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec};
+use regwin_core::{CorpusSpec, SchedulingPolicy, SchemeKind};
+use regwin_rt::FaultPlan;
+use regwin_sweep::{records_to_json, SweepConfig, SweepEngine};
+use std::time::Duration;
+
+fn spec() -> MatrixSpec {
+    MatrixSpec {
+        corpus: CorpusSpec::small(),
+        behaviors: vec![Behavior::new(Concurrency::High, Granularity::Medium)],
+        schemes: vec![SchemeKind::Sp],
+        windows: vec![4, 6, 8, 12],
+        policy: SchedulingPolicy::Fifo,
+    }
+}
+
+fn hardened(plan: Option<FaultPlan>) -> SweepEngine {
+    SweepEngine::new(SweepConfig {
+        workers: 2,
+        job_timeout: Some(Duration::from_millis(2000)),
+        retries: 1,
+        retry_backoff: Duration::from_millis(5),
+        fault_plan: plan,
+        ..SweepConfig::default()
+    })
+}
+
+#[test]
+fn injected_panic_and_stall_quarantine_without_aborting_the_sweep() {
+    let spec = spec();
+    let clean = SweepEngine::quiet().run_matrix(&spec).unwrap();
+    assert_eq!(clean.len(), 4);
+
+    // Job sequence numbers follow cell order: seq 1 is the 6-window
+    // cell, seq 2 the 8-window cell.
+    let plan = FaultPlan::parse("panic@1,stall@2").unwrap();
+    let engine = hardened(Some(plan));
+    let records = engine.run_matrix(&spec).unwrap();
+
+    // The two healthy cells completed and match the clean run exactly.
+    assert_eq!(
+        records.iter().map(|r| r.nwindows).collect::<Vec<_>>(),
+        vec![4, 12],
+        "only the faulted cells may be missing"
+    );
+    for record in &records {
+        let reference = clean.iter().find(|c| c.nwindows == record.nwindows).unwrap();
+        assert_eq!(record.report, reference.report);
+    }
+
+    // Both failures are quarantined, with their reasons, attempt counts
+    // and canonical keys.
+    let quarantine = engine.quarantine();
+    assert_eq!(quarantine.len(), 2);
+    let panic = quarantine.iter().find(|q| q.reason == "panic").unwrap();
+    let timeout = quarantine.iter().find(|q| q.reason == "timeout").unwrap();
+    assert_eq!(panic.attempts, 2);
+    assert_eq!(timeout.attempts, 2);
+    assert!(panic.key.contains("|w=6|"), "panic hit the 6-window cell: {}", panic.key);
+    assert!(timeout.key.contains("|w=8|"), "stall hit the 8-window cell: {}", timeout.key);
+    assert!(panic.detail.contains("injected worker panic"), "{}", panic.detail);
+    assert!(timeout.detail.contains("wall-clock"), "{}", timeout.detail);
+    assert_eq!(engine.summary().quarantined, 2);
+
+    // The artifact carries the quarantine section.
+    let artifact = engine.artifact_value();
+    assert_eq!(artifact.get("quarantined").unwrap().as_u64(), Some(2));
+    assert_eq!(artifact.get("quarantine").unwrap().as_arr().unwrap().len(), 2);
+}
+
+#[test]
+fn hardened_engine_without_faults_is_byte_identical_to_plain() {
+    let spec = spec();
+    let plain = SweepEngine::quiet().run_matrix(&spec).unwrap();
+    let engine = hardened(None);
+    let guarded = engine.run_matrix(&spec).unwrap();
+    assert_eq!(records_to_json(&plain), records_to_json(&guarded));
+    assert!(engine.quarantine().is_empty());
+    assert_eq!(engine.summary().quarantined, 0);
+}
+
+#[test]
+fn masked_simulation_faults_leave_records_byte_identical() {
+    let spec = spec();
+    let plain = SweepEngine::quiet().run_matrix(&spec).unwrap();
+    let plan = FaultPlan::parse("spill-corrupt@0,fill-corrupt@1").unwrap().with_seed(7);
+    assert!(plan.events().iter().all(|e| e.kind.is_masked()));
+    let engine = hardened(Some(plan));
+    let records = engine.run_matrix(&spec).unwrap();
+    assert_eq!(records_to_json(&plain), records_to_json(&records));
+    assert!(engine.quarantine().is_empty());
+}
+
+#[test]
+fn unmasked_simulation_faults_quarantine_with_reason_error() {
+    let spec = MatrixSpec { windows: vec![4], ..spec() };
+    let plan = FaultPlan::parse("spill-fail@0").unwrap();
+    let engine = hardened(Some(plan));
+    let records = engine.run_matrix(&spec).unwrap();
+    assert!(records.is_empty(), "the only cell must be quarantined");
+    let quarantine = engine.quarantine();
+    assert_eq!(quarantine.len(), 1);
+    assert_eq!(quarantine[0].reason, "error");
+    assert!(
+        quarantine[0].detail.contains("injected fault at spill event 0"),
+        "{}",
+        quarantine[0].detail
+    );
+}
+
+#[test]
+fn fault_plans_bypass_the_cache_entirely() {
+    let dir = std::env::temp_dir().join(format!("regwin-quarantine-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = MatrixSpec { windows: vec![4], ..spec() };
+
+    // Seed the cache with clean results.
+    let warmup =
+        SweepEngine::new(SweepConfig { cache_dir: Some(dir.clone()), ..SweepConfig::default() });
+    warmup.run_matrix(&spec).unwrap();
+    assert_eq!(warmup.summary().cache_misses, 1);
+
+    // A faulted engine pointed at the same cache must neither read it
+    // (the injection would be shadowed) nor write to it.
+    let plan = FaultPlan::parse("spill-corrupt@0").unwrap();
+    let engine = SweepEngine::new(SweepConfig {
+        cache_dir: Some(dir.clone()),
+        fault_plan: Some(plan),
+        ..SweepConfig::default()
+    });
+    engine.run_matrix(&spec).unwrap();
+    assert_eq!(engine.summary().cache_hits, 0, "fault runs must not read the cache");
+
+    // And a later clean engine still hits the original entry.
+    let clean =
+        SweepEngine::new(SweepConfig { cache_dir: Some(dir.clone()), ..SweepConfig::default() });
+    clean.run_matrix(&spec).unwrap();
+    assert_eq!(clean.summary().cache_hits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

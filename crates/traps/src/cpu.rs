@@ -4,7 +4,9 @@
 use crate::error::SchemeError;
 use crate::restore_emul::RestoreInstr;
 use crate::scheme::{Scheme, UnderflowResolution};
-use regwin_machine::{CostModel, ExecOutcome, Machine, MachineStats, SchemeKind, ThreadId};
+use regwin_machine::{
+    CostModel, ExecOutcome, FaultSchedule, Machine, MachineStats, SchemeKind, ThreadId,
+};
 
 /// A simulated CPU: composes a [`Machine`] with a [`Scheme`] so that
 /// callers see trap-free `save`/`restore`/`switch_to` operations, the way
@@ -78,6 +80,13 @@ impl Cpu {
     /// The underlying machine (read-only).
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// Installs (or with `None` removes) a deterministic fault schedule
+    /// on the underlying machine; see
+    /// [`regwin_machine::FaultSchedule`].
+    pub fn set_fault_schedule(&mut self, faults: Option<FaultSchedule>) {
+        self.machine.set_fault_schedule(faults);
     }
 
     /// The currently running thread.

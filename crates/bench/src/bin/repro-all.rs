@@ -20,7 +20,8 @@ fn main() {
     eprintln!("Table 1 ({}% corpus)...", args.scale);
     let table1 = figures::table1_from_records(
         &engine.run_matrix(&figures::table1_spec(corpus)).expect("table 1 runs"),
-    );
+    )
+    .expect("table 1 assembles (a quarantined cell leaves a typed gap)");
     println!("{}", table1.table);
     args.save_csv("table1", &table1.table);
 

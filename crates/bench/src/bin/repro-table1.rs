@@ -8,7 +8,8 @@ fn main() {
     let engine = args.engine();
     eprintln!("Table 1 ({}% corpus)...", args.scale);
     let records = engine.run_matrix(&figures::table1_spec(args.corpus())).expect("table 1 runs");
-    let result = figures::table1_from_records(&records);
+    let result = figures::table1_from_records(&records)
+        .expect("table 1 assembles (a quarantined cell leaves a typed gap)");
     println!("{}", result.table);
     args.save_csv("table1", &result.table);
     args.finish(&engine);

@@ -12,10 +12,13 @@ use regwin_machine::CostModel;
 use regwin_rt::{RtError, Trace};
 use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
 use regwin_traps::{AllocPolicy, CopyMode, NsScheme, Scheme, SchemeKind, SnpScheme, SpScheme};
+use std::sync::Arc;
 
 /// A named scheme-variant factory for an ablation study. `Send + Sync`
-/// so an external engine can build scheme instances from worker threads.
-pub type VariantFactory = Box<dyn Fn() -> Box<dyn Scheme> + Send + Sync>;
+/// so an external engine can build scheme instances from worker
+/// threads, and `Arc` (not `Box`) so such an engine can hand a clone to
+/// a detached timed-attempt thread that may outlive the study call.
+pub type VariantFactory = Arc<dyn Fn() -> Box<dyn Scheme> + Send + Sync>;
 
 /// One ablation study's variant list, separated from execution so an
 /// external engine can run the variants as cacheable jobs.
@@ -56,11 +59,11 @@ pub fn alloc_policy_variants() -> VariantSet {
     for policy in [AllocPolicy::AboveSuspended, AllocPolicy::FirstFree, AllocPolicy::LruBottom] {
         variants.push((
             format!("SNP {policy:?}"),
-            Box::new(move || Box::new(SnpScheme::new().with_alloc_policy(policy))),
+            Arc::new(move || Box::new(SnpScheme::new().with_alloc_policy(policy))),
         ));
         variants.push((
             format!("SP {policy:?}"),
-            Box::new(move || Box::new(SpScheme::new().with_alloc_policy(policy))),
+            Arc::new(move || Box::new(SpScheme::new().with_alloc_policy(policy))),
         ));
     }
     VariantSet {
@@ -75,19 +78,19 @@ pub fn copy_mode_variants() -> VariantSet {
     let variants: Vec<(String, VariantFactory)> = vec![
         (
             "SP full-copy".into(),
-            Box::new(|| Box::new(SpScheme::new().with_copy_mode(CopyMode::Full))),
+            Arc::new(|| Box::new(SpScheme::new().with_copy_mode(CopyMode::Full))),
         ),
         (
             "SP return-only".into(),
-            Box::new(|| Box::new(SpScheme::new().with_copy_mode(CopyMode::ReturnOnly))),
+            Arc::new(|| Box::new(SpScheme::new().with_copy_mode(CopyMode::ReturnOnly))),
         ),
         (
             "SNP full-copy".into(),
-            Box::new(|| Box::new(SnpScheme::new().with_copy_mode(CopyMode::Full))),
+            Arc::new(|| Box::new(SnpScheme::new().with_copy_mode(CopyMode::Full))),
         ),
         (
             "SNP return-only".into(),
-            Box::new(|| Box::new(SnpScheme::new().with_copy_mode(CopyMode::ReturnOnly))),
+            Arc::new(|| Box::new(SnpScheme::new().with_copy_mode(CopyMode::ReturnOnly))),
         ),
     ];
     VariantSet {
@@ -100,10 +103,10 @@ pub fn copy_mode_variants() -> VariantSet {
 /// §4.4 variant list: leave-in-situ vs flush-type context switches.
 pub fn flush_type_variants() -> VariantSet {
     let variants: Vec<(String, VariantFactory)> = vec![
-        ("SP in-situ".into(), Box::new(|| Box::new(SpScheme::new()))),
-        ("SP flush".into(), Box::new(|| Box::new(SpScheme::new().with_flush_on_suspend(true)))),
-        ("SNP in-situ".into(), Box::new(|| Box::new(SnpScheme::new()))),
-        ("SNP flush".into(), Box::new(|| Box::new(SnpScheme::new().with_flush_on_suspend(true)))),
+        ("SP in-situ".into(), Arc::new(|| Box::new(SpScheme::new()))),
+        ("SP flush".into(), Arc::new(|| Box::new(SpScheme::new().with_flush_on_suspend(true)))),
+        ("SNP in-situ".into(), Arc::new(|| Box::new(SnpScheme::new()))),
+        ("SNP flush".into(), Arc::new(|| Box::new(SnpScheme::new().with_flush_on_suspend(true)))),
     ];
     VariantSet {
         slug: "flush",
@@ -118,7 +121,7 @@ pub fn spill_batch_variants() -> VariantSet {
     for batch in [1usize, 2, 4] {
         variants.push((
             format!("NS batch {batch}"),
-            Box::new(move || {
+            Arc::new(move || {
                 Box::new(NsScheme::new().with_overflow_batch(batch).with_underflow_batch(batch))
             }),
         ));

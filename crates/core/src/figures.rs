@@ -184,18 +184,34 @@ pub fn table1(
     corpus: CorpusSpec,
     progress: impl Fn(usize, usize) + Sync,
 ) -> Result<Table1Result, RtError> {
-    Ok(table1_from_records(&run_matrix(&table1_spec(corpus), progress)?))
+    table1_from_records(&run_matrix(&table1_spec(corpus), progress)?)
 }
 
-/// Assembles Table 1 from already-executed [`table1_spec`] records (in
-/// their deterministic [`Behavior::ALL`] order).
-pub fn table1_from_records(records: &[RunRecord]) -> Table1Result {
-    let nthreads = records[0].report.threads.len();
-    let thread_names: Vec<String> =
-        records[0].report.threads.iter().map(|t| t.name.clone()).collect();
+/// Assembles Table 1 from already-executed [`table1_spec`] records.
+/// Records are matched to behaviours by identity, not position, so the
+/// input order does not matter.
+///
+/// # Errors
+///
+/// Returns [`RtError::MissingRecord`] if any behaviour of
+/// [`Behavior::ALL`] has no record — e.g. because the sweep engine
+/// quarantined that cell — rather than silently shifting the remaining
+/// counts into the wrong columns.
+pub fn table1_from_records(records: &[RunRecord]) -> Result<Table1Result, RtError> {
+    let by_behavior: Vec<&RunRecord> = Behavior::ALL
+        .iter()
+        .map(|&b| {
+            records.iter().find(|r| r.behavior == b).ok_or_else(|| RtError::MissingRecord {
+                detail: format!("table 1: no record for behaviour '{b}' (cell quarantined?)"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let first = by_behavior[0];
+    let nthreads = first.report.threads.len();
+    let thread_names: Vec<String> = first.report.threads.iter().map(|t| t.name.clone()).collect();
     let mut switch_counts = vec![vec![0u64; Behavior::ALL.len()]; nthreads];
     let mut save_counts = vec![0u64; nthreads];
-    for (b, record) in records.iter().enumerate() {
+    for (b, record) in by_behavior.iter().enumerate() {
         for (t, tr) in record.report.threads.iter().enumerate() {
             switch_counts[t][b] = tr.context_switches;
             save_counts[t] = tr.saves; // identical across behaviours
@@ -222,7 +238,7 @@ pub fn table1_from_records(records: &[RunRecord]) -> Table1Result {
     total_row.push(result.save_counts.iter().sum::<u64>().to_string());
     let mut table = result.table.clone();
     table.row(total_row);
-    Table1Result { table, ..result }
+    Ok(Table1Result { table, ..result })
 }
 
 // --------------------------------------------------------------------
@@ -530,6 +546,28 @@ mod tests {
         assert!(totals[0] > totals[3]);
         // Save counts are nonzero for every thread.
         assert!(r.save_counts.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn table1_assembly_is_order_independent_and_rejects_gaps() {
+        let records = run_matrix(&table1_spec(CorpusSpec::small()), quiet).unwrap();
+        let direct = table1_from_records(&records).unwrap();
+
+        // Identity-keyed assembly: shuffling the records changes nothing.
+        let mut reversed = records.clone();
+        reversed.reverse();
+        let from_reversed = table1_from_records(&reversed).unwrap();
+        assert_eq!(direct.switch_counts, from_reversed.switch_counts);
+        assert_eq!(direct.save_counts, from_reversed.save_counts);
+
+        // A gap (e.g. a quarantined sweep cell) is a typed error naming
+        // the missing behaviour, never a silently shifted table.
+        let mut gapped = records.clone();
+        let dropped = gapped.remove(2);
+        let err = table1_from_records(&gapped).unwrap_err();
+        assert!(matches!(err, RtError::MissingRecord { .. }), "{err}");
+        assert!(err.to_string().contains(&dropped.behavior.to_string()), "{err}");
+        assert!(table1_from_records(&[]).is_err());
     }
 
     #[test]

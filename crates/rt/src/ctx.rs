@@ -109,12 +109,16 @@ impl Ctx {
             if st.streams.get(stream.0).is_none() {
                 return Err(RtError::UnknownStream(stream.0));
             }
-            if let Some(b) = st.streams[stream.0].pop() {
+            if !st.streams[stream.0].is_empty() {
+                // Consult the fault plan before touching the stream, so
+                // a failed read leaves the byte in place — mirroring the
+                // machine's failed-spill-leaves-state-untouched ordering.
                 let index = st.stream_reads_seen;
                 st.stream_reads_seen += 1;
                 if st.stream_read_fails.remove(&index) {
                     return Err(RtError::FaultInjected { site: "stream-read", index });
                 }
+                let b = st.streams[stream.0].pop().expect("non-empty under the lock");
                 let cycles = st.stream_byte_cycles;
                 st.record(TraceEvent::Compute(cycles));
                 st.cpu.compute(cycles);
@@ -145,12 +149,16 @@ impl Ctx {
             if st.streams[stream.0].is_closed() {
                 return Err(RtError::WriteAfterClose(stream.0));
             }
-            if st.streams[stream.0].push(byte) {
+            if !st.streams[stream.0].is_full() {
+                // Fault check before the push: a failed write must not
+                // have buffered the byte (see the read-side comment).
                 let index = st.stream_writes_seen;
                 st.stream_writes_seen += 1;
                 if st.stream_write_fails.remove(&index) {
                     return Err(RtError::FaultInjected { site: "stream-write", index });
                 }
+                let pushed = st.streams[stream.0].push(byte);
+                debug_assert!(pushed, "non-full under the lock");
                 let cycles = st.stream_byte_cycles;
                 st.record(TraceEvent::Compute(cycles));
                 st.cpu.compute(cycles);

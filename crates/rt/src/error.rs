@@ -37,6 +37,13 @@ pub enum RtError {
         /// What was wrong with the configuration.
         detail: String,
     },
+    /// A table/figure assembler was handed an incomplete set of run
+    /// records — typically because a sweep cell was quarantined — and
+    /// refused to build a silently wrong exhibit from the gap.
+    MissingRecord {
+        /// The missing cell, human-readable.
+        detail: String,
+    },
     /// A deliberately injected runtime-level fault fired (see
     /// [`crate::FaultPlan`]); machine-level injected faults surface as
     /// [`RtError::Scheme`] wrapping
@@ -60,6 +67,7 @@ impl fmt::Display for RtError {
             RtError::WriteAfterClose(id) => write!(f, "write to stream {id} after close"),
             RtError::CorruptTrace { detail } => write!(f, "corrupt trace: {detail}"),
             RtError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+            RtError::MissingRecord { detail } => write!(f, "missing run record: {detail}"),
             RtError::FaultInjected { site, index } => {
                 write!(f, "injected fault at {site} event {index}")
             }
@@ -102,5 +110,7 @@ mod tests {
         assert!(RtError::BadConfig { detail: "m = 0".into() }.to_string().contains("m = 0"));
         let fault = RtError::FaultInjected { site: "stream-read", index: 3 };
         assert!(fault.to_string().contains("stream-read"));
+        let missing = RtError::MissingRecord { detail: "behaviour 'x'".into() };
+        assert!(missing.to_string().contains("behaviour 'x'"));
     }
 }

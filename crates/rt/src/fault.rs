@@ -7,7 +7,8 @@
 //!   compile down to a [`regwin_machine::FaultSchedule`] installed on
 //!   the simulation's CPU;
 //! * **stream faults** fail the N-th stream byte read or write with a
-//!   typed [`crate::RtError::FaultInjected`];
+//!   typed [`crate::RtError::FaultInjected`], before the byte is
+//!   transferred;
 //! * **worker faults** target the sweep engine: panic or stall the
 //!   worker executing the N-th job, exercising its `catch_unwind` /
 //!   timeout / quarantine machinery.
@@ -42,14 +43,22 @@ pub enum FaultKind {
     FillFail,
     /// Drop delivery of the N-th window trap (unmasked).
     TrapDrop,
-    /// Fail the N-th successful stream byte read (unmasked).
+    /// Fail the N-th stream byte read that would otherwise succeed
+    /// (unmasked). Fires *before* the transfer: the byte stays in the
+    /// stream, matching the machine's failed-spill-leaves-state-
+    /// untouched convention.
     StreamReadFail,
-    /// Fail the N-th successful stream byte write (unmasked).
+    /// Fail the N-th stream byte write that would otherwise succeed
+    /// (unmasked). Fires *before* the transfer: nothing is buffered.
     StreamWriteFail,
     /// Panic the sweep worker executing the N-th job (quarantined).
+    /// Worker faults are per *job*, not per attempt — every retry would
+    /// fail identically, so the engine makes a single attempt.
     WorkerPanic,
     /// Stall the sweep worker executing the N-th job past its timeout
-    /// (quarantined).
+    /// (quarantined; per-job like [`FaultKind::WorkerPanic`]). Only
+    /// observable when a job timeout is configured — the engine warns
+    /// otherwise.
     WorkerStall,
 }
 

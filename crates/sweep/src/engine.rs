@@ -18,13 +18,13 @@ use crate::json::{obj, Value};
 use crate::key::JobKey;
 use regwin_core::{MatrixSpec, RunRecord};
 use regwin_machine::CostModel;
-use regwin_rt::{FaultPlan, RtError, RunReport, SchedulingPolicy, Trace, WorkerFault};
+use regwin_rt::{FaultKind, FaultPlan, RtError, RunReport, SchedulingPolicy, Trace, WorkerFault};
 use regwin_spell::{Corpus, SpellConfig, SpellPipeline};
 use regwin_traps::{build_scheme, SchemeKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -38,7 +38,11 @@ pub struct SweepConfig {
     pub workers: usize,
     /// Stream one JSON event per job to stderr.
     pub stream_events: bool,
-    /// Wall-clock limit per job attempt; `None` disables timeouts.
+    /// Wall-clock limit per job attempt; `None` disables timeouts. A
+    /// timed-out attempt's thread is abandoned (detached), so even a
+    /// job that never returns cannot wedge the sweep — the abandoned
+    /// thread and whatever it still references leak for as long as it
+    /// keeps running.
     pub job_timeout: Option<Duration>,
     /// Extra attempts after a failed one (panic, timeout or error)
     /// before the job is quarantined.
@@ -101,15 +105,24 @@ pub struct SweepSummary {
 }
 
 /// One schedulable unit: a key plus the closure computing its report.
-pub struct Job<'a> {
+///
+/// The closure is owned, `Send + Sync` and `'static` (share data into
+/// it via `Arc`/`Copy`, not borrows): a timed attempt runs the closure
+/// on a detached thread that may outlive the batch when the attempt
+/// times out, which is what lets the engine abandon — rather than
+/// join — a wedged job.
+pub struct Job {
     key: JobKey,
-    run: Box<dyn Fn() -> Result<RunReport, RtError> + Sync + 'a>,
+    run: Arc<dyn Fn() -> Result<RunReport, RtError> + Send + Sync>,
 }
 
-impl<'a> Job<'a> {
+impl Job {
     /// A job computing the report for `key` via `run`.
-    pub fn new(key: JobKey, run: impl Fn() -> Result<RunReport, RtError> + Sync + 'a) -> Self {
-        Job { key, run: Box::new(run) }
+    pub fn new(
+        key: JobKey,
+        run: impl Fn() -> Result<RunReport, RtError> + Send + Sync + 'static,
+    ) -> Self {
+        Job { key, run: Arc::new(run) }
     }
 
     /// The job's key.
@@ -118,7 +131,7 @@ impl<'a> Job<'a> {
     }
 }
 
-impl std::fmt::Debug for Job<'_> {
+impl std::fmt::Debug for Job {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Job").field("key", &self.key).finish()
     }
@@ -147,6 +160,20 @@ impl SweepEngine {
         // injection the caller asked for.
         let faulty = config.fault_plan.as_ref().is_some_and(|p| !p.is_empty());
         let cache = if faulty { None } else { config.cache_dir.as_ref().map(ResultCache::new) };
+        // A stall can only be observed through a timeout; without one
+        // the injection silently degrades to a short nap and the job
+        // succeeds, so tell the user their plan is a no-op.
+        if config.job_timeout.is_none()
+            && config
+                .fault_plan
+                .as_ref()
+                .is_some_and(|p| p.events().iter().any(|e| e.kind == FaultKind::WorkerStall))
+        {
+            eprintln!(
+                "warning: fault plan injects worker stalls but no job timeout is configured; \
+                 stalls cannot time out and will not quarantine (set --job-timeout-ms)"
+            );
+        }
         SweepEngine {
             config,
             cache,
@@ -203,7 +230,7 @@ impl SweepEngine {
     /// in the quarantine log ([`SweepEngine::quarantine`]) and returns
     /// `None` in its slot instead of aborting the batch — the remaining
     /// cells always complete.
-    pub fn run_jobs(&self, jobs: &[Job<'_>]) -> Vec<Option<RunReport>> {
+    pub fn run_jobs(&self, jobs: &[Job]) -> Vec<Option<RunReport>> {
         let mut results: Vec<Option<RunReport>> = (0..jobs.len()).map(|_| None).collect();
         let mut miss_indices = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
@@ -251,7 +278,7 @@ impl SweepEngine {
                         return;
                     }
                     let job = &jobs[miss_indices[mi]];
-                    let report = execute_job(self, scope, job, base_seq + mi as u64);
+                    let report = execute_job(self, job, base_seq + mi as u64);
                     computed.lock().expect("results poisoned")[mi] = report;
                 });
             }
@@ -267,7 +294,11 @@ impl SweepEngine {
     /// record-once/replay-many FIFO fast path. Records are returned in
     /// the same deterministic behaviour-major order; cells that land in
     /// quarantine are simply absent from the returned records (and
-    /// present in [`SweepEngine::quarantine`]).
+    /// present in [`SweepEngine::quarantine`]). Consumers must therefore
+    /// match records to cells by identity (behaviour, scheme, window
+    /// count), never by position — e.g.
+    /// `regwin_core::figures::table1_from_records` keys by behaviour and
+    /// returns a typed error when handed a gapped set.
     ///
     /// # Errors
     ///
@@ -309,12 +340,14 @@ impl SweepEngine {
             missing
         };
 
-        let corpus = Corpus::generate(&spec.corpus);
+        // Shared job data goes in `Arc`s (not borrows): a timed-out
+        // attempt's detached thread may outlive this call.
+        let corpus = Arc::new(Corpus::generate(&spec.corpus));
 
         // FIFO: the schedule depends only on the buffer configuration
         // (paper §5.2), so record once per behaviour and replay each
         // cell; replay-equals-direct is guaranteed by the rt test suite.
-        let traces: Vec<Option<Trace>> = if spec.policy == SchedulingPolicy::Fifo {
+        let traces: Arc<Vec<Option<Trace>>> = Arc::new(if spec.policy == SchedulingPolicy::Fifo {
             let to_record: Vec<usize> =
                 (0..spec.behaviors.len()).filter(|&bi| behavior_missing[bi]).collect();
             let recorded =
@@ -326,7 +359,7 @@ impl SweepEngine {
                         ("behavior", Value::Str(behavior.to_string())),
                     ]));
                     let config = SpellConfig::new(spec.corpus, m, n).with_policy(spec.policy);
-                    let pipeline = SpellPipeline::with_corpus(corpus.clone(), config);
+                    let pipeline = SpellPipeline::with_corpus((*corpus).clone(), config);
                     let (_, trace) = pipeline.run_traced(8, SchemeKind::Sp)?;
                     Ok(trace)
                 })?;
@@ -337,33 +370,41 @@ impl SweepEngine {
             traces
         } else {
             vec![None; spec.behaviors.len()]
-        };
+        });
 
         // Simulation-level faults (machine and stream) are installed
         // into every cell; the trace-replay path carries the machine
         // portion only, since a trace has no stream operations.
-        let sim_plan = self.config.fault_plan.as_ref().filter(|p| p.has_sim_faults());
+        let sim_plan: Option<Arc<FaultPlan>> = self
+            .config
+            .fault_plan
+            .as_ref()
+            .filter(|p| p.has_sim_faults())
+            .map(|p| Arc::new(p.clone()));
 
-        let jobs: Vec<Job<'_>> = cells
+        let corpus_spec = spec.corpus;
+        let policy = spec.policy;
+        let jobs: Vec<Job> = cells
             .iter()
             .zip(keys)
             .map(|(&(bi, behavior, scheme, nwindows), key)| {
-                let corpus = &corpus;
-                let traces = &traces;
+                let corpus = Arc::clone(&corpus);
+                let traces = Arc::clone(&traces);
+                let sim_plan = sim_plan.clone();
                 Job::new(key, move || match &traces[bi] {
                     Some(trace) => trace.replay_with_faults(
                         nwindows,
                         CostModel::s20(),
                         build_scheme(scheme),
-                        sim_plan.map(FaultPlan::machine_schedule),
+                        sim_plan.as_deref().map(FaultPlan::machine_schedule),
                     ),
                     // No trace: direct run (working-set policy, or a
                     // cache entry that vanished after the pre-probe).
                     None => {
                         let (m, n) = behavior.buffers();
-                        let config = SpellConfig::new(spec.corpus, m, n).with_policy(spec.policy);
-                        let pipeline = SpellPipeline::with_corpus(corpus.clone(), config);
-                        match sim_plan {
+                        let config = SpellConfig::new(corpus_spec, m, n).with_policy(policy);
+                        let pipeline = SpellPipeline::with_corpus((*corpus).clone(), config);
+                        match &sim_plan {
                             Some(plan) => Ok(pipeline.run_faulted(nwindows, scheme, plan)?.report),
                             None => Ok(pipeline.run(nwindows, scheme)?.report),
                         }
@@ -527,31 +568,35 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Runs one attempt of `job` under `catch_unwind` and (when configured)
-/// the per-attempt wall-clock timeout. Timed attempts run on a thread
-/// spawned on the worker pool's own scope: a timed-out attempt is
-/// abandoned (its channel send goes nowhere) but still joined at scope
-/// exit, so nothing leaks past `run_jobs`.
-fn run_attempt<'scope, 'env>(
-    engine: &'env SweepEngine,
-    scope: &'scope std::thread::Scope<'scope, 'env>,
-    job: &'env Job<'env>,
+/// the per-attempt wall-clock timeout. Timed attempts run on a
+/// *detached* thread owning a clone of the job's closure: a timed-out
+/// attempt is abandoned — its channel send goes nowhere and nothing
+/// ever joins it — so even a job that never returns cannot wedge the
+/// sweep. The abandoned thread (and whatever its closure still
+/// references) leaks for as long as it keeps running; that is the price
+/// of a hard wall-clock bound.
+fn run_attempt(
+    engine: &SweepEngine,
+    job: &Job,
     injected: Option<WorkerFault>,
     seq: u64,
 ) -> AttemptOutcome {
     let timeout = engine.config.job_timeout;
+    let run = Arc::clone(&job.run);
     let body = move || -> Result<RunReport, RtError> {
         match injected {
             Some(WorkerFault::Panic) => panic!("injected worker panic (job seq {seq})"),
             Some(WorkerFault::Stall) => {
                 // Overshoot the timeout but still terminate, so the
-                // scope join at the end of run_jobs never wedges.
+                // injected stall leaks its abandoned thread only
+                // briefly (a real wedged job would leak it for good).
                 let nap =
                     timeout.map_or(Duration::from_millis(50), |t| t + Duration::from_millis(150));
                 std::thread::sleep(nap);
             }
             None => {}
         }
-        (job.run)()
+        (run)()
     };
     match timeout {
         None => match catch_unwind(AssertUnwindSafe(body)) {
@@ -561,9 +606,16 @@ fn run_attempt<'scope, 'env>(
         },
         Some(limit) => {
             let (tx, rx) = mpsc::channel();
-            scope.spawn(move || {
-                let _ = tx.send(catch_unwind(AssertUnwindSafe(body)));
-            });
+            let spawned = std::thread::Builder::new().name(format!("regwin-attempt-{seq}")).spawn(
+                move || {
+                    let _ = tx.send(catch_unwind(AssertUnwindSafe(body)));
+                },
+            );
+            if let Err(e) = spawned {
+                return AttemptOutcome::Error(RtError::BadConfig {
+                    detail: format!("cannot spawn timed attempt thread: {e}"),
+                });
+            }
             match rx.recv_timeout(limit) {
                 Ok(Ok(Ok(report))) => AttemptOutcome::Done(report),
                 Ok(Ok(Err(e))) => AttemptOutcome::Error(e),
@@ -578,12 +630,11 @@ fn run_attempt<'scope, 'env>(
 /// `1 + retries` attempts with linear backoff, each hardened by
 /// [`run_attempt`]. Success stores to cache and logs the job; exhausted
 /// attempts emit a `job_quarantined` event and record the final failure.
-fn execute_job<'scope, 'env>(
-    engine: &'env SweepEngine,
-    scope: &'scope std::thread::Scope<'scope, 'env>,
-    job: &'env Job<'env>,
-    seq: u64,
-) -> Option<RunReport> {
+///
+/// An injected worker fault is deterministic *per job* — every attempt
+/// would fail identically — so a faulted job makes a single attempt
+/// instead of burning the configured retries and their backoff sleeps.
+fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
     let injected = engine.config.fault_plan.as_ref().and_then(|p| p.worker_fault_at(seq));
     engine.emit(obj(vec![
         ("event", Value::Str("job_start".into())),
@@ -591,11 +642,11 @@ fn execute_job<'scope, 'env>(
         ("label", Value::Str(job.key.label())),
     ]));
     let t0 = Instant::now();
-    let attempts = engine.config.retries.saturating_add(1);
+    let attempts = if injected.is_some() { 1 } else { engine.config.retries.saturating_add(1) };
     let mut last_failure = ("error", String::new());
     for attempt in 1..=attempts {
         if attempt > 1 {
-            std::thread::sleep(engine.config.retry_backoff * (attempt - 1));
+            std::thread::sleep(engine.config.retry_backoff.saturating_mul(attempt - 1));
             engine.emit(obj(vec![
                 ("event", Value::Str("job_retry".into())),
                 ("id", Value::Str(job.key.id())),
@@ -603,7 +654,7 @@ fn execute_job<'scope, 'env>(
                 ("attempt", Value::Int(u64::from(attempt))),
             ]));
         }
-        match run_attempt(engine, scope, job, injected, seq) {
+        match run_attempt(engine, job, injected, seq) {
             AttemptOutcome::Done(report) => {
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
                 if let Some(cache) = &engine.cache {
@@ -801,7 +852,7 @@ mod tests {
             .iter()
             .map(|&w| JobKey::for_cell(&spec, spec.behaviors[0], SchemeKind::Sp, w))
             .collect();
-        let jobs: Vec<Job<'_>> = keys
+        let jobs: Vec<Job> = keys
             .into_iter()
             .map(|key| {
                 let w = key.nwindows;
@@ -815,5 +866,31 @@ mod tests {
         assert_eq!(reports[0].as_ref().unwrap().nwindows, 12);
         assert_eq!(reports[1].as_ref().unwrap().nwindows, 4);
         assert!(engine.quarantine().is_empty());
+    }
+
+    #[test]
+    fn timeout_bounds_a_job_that_never_finishes() {
+        let engine = SweepEngine::new(SweepConfig {
+            job_timeout: Some(Duration::from_millis(100)),
+            ..SweepConfig::default()
+        });
+        let spec = small_spec();
+        let key = JobKey::for_cell(&spec, spec.behaviors[0], SchemeKind::Sp, 8);
+        // Sleeps far past the timeout — stands in for a genuinely wedged
+        // job. Its detached attempt thread is abandoned, never joined.
+        let jobs = vec![Job::new(key, || {
+            std::thread::sleep(Duration::from_secs(30));
+            Err(RtError::Aborted)
+        })];
+        let t0 = Instant::now();
+        let reports = engine.run_jobs(&jobs);
+        assert!(reports[0].is_none());
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "run_jobs must abandon the wedged attempt, not join it"
+        );
+        let quarantine = engine.quarantine();
+        assert_eq!(quarantine.len(), 1);
+        assert_eq!(quarantine[0].reason, "timeout");
     }
 }

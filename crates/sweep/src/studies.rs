@@ -13,6 +13,7 @@ use regwin_core::Series;
 use regwin_machine::CostModel;
 use regwin_rt::{RtError, SchedulingPolicy};
 use regwin_spell::CorpusSpec;
+use std::sync::Arc;
 
 fn cell_key(set: &VariantSet, corpus: CorpusSpec, label: &str, nwindows: usize) -> JobKey {
     JobKey {
@@ -51,16 +52,19 @@ pub fn run_ablation(
         cells.iter().map(|&(label, w)| cell_key(set, corpus, label, w)).collect();
 
     // Record the (expensive) base trace only when some cell will
-    // actually replay it.
-    let trace = if engine.all_cached(&keys) { None } else { Some(record_base_trace(corpus)?) };
+    // actually replay it. `Arc`, because jobs must own their data: a
+    // timed-out attempt's detached thread may outlive this call.
+    let trace =
+        if engine.all_cached(&keys) { None } else { Some(Arc::new(record_base_trace(corpus)?)) };
 
-    let jobs: Vec<Job<'_>> = cells
+    let jobs: Vec<Job> = cells
         .iter()
         .zip(keys)
         .map(|(&(label, w), key)| {
-            let make = &set.variants.iter().find(|(l, _)| l == label).expect("label from set").1;
-            let trace = trace.as_ref();
-            Job::new(key, move || match trace {
+            let make =
+                set.variants.iter().find(|(l, _)| l == label).expect("label from set").1.clone();
+            let trace = trace.clone();
+            Job::new(key, move || match &trace {
                 Some(trace) => trace.replay(w, CostModel::s20(), make()),
                 // Every cell was cached at probe time but one vanished
                 // since: re-record rather than fail the study.

@@ -60,8 +60,10 @@ fn injected_panic_and_stall_quarantine_without_aborting_the_sweep() {
     assert_eq!(quarantine.len(), 2);
     let panic = quarantine.iter().find(|q| q.reason == "panic").unwrap();
     let timeout = quarantine.iter().find(|q| q.reason == "timeout").unwrap();
-    assert_eq!(panic.attempts, 2);
-    assert_eq!(timeout.attempts, 2);
+    // Injected worker faults are deterministic per job, so the engine
+    // makes a single attempt instead of burning the configured retry.
+    assert_eq!(panic.attempts, 1);
+    assert_eq!(timeout.attempts, 1);
     assert!(panic.key.contains("|w=6|"), "panic hit the 6-window cell: {}", panic.key);
     assert!(timeout.key.contains("|w=8|"), "stall hit the 8-window cell: {}", timeout.key);
     assert!(panic.detail.contains("injected worker panic"), "{}", panic.detail);

@@ -30,6 +30,12 @@
 //! and `--retry-backoff-ms <ms>` bound each job attempt, and
 //! `--fail-on-quarantine` turns any quarantined job into exit status 3.
 //!
+//! Observability flags: `--trace-out <file>` writes the deterministic
+//! JSONL job trace and `--metrics` prints the deterministic metrics
+//! section (global and per-scheme typed counters) to stdout; both
+//! derive purely from the run reports, so their bytes are identical
+//! across `--jobs` counts and cache states.
+//!
 //! All repro binaries execute through the `regwin-sweep` engine: jobs
 //! are content-addressed, cached across invocations, fanned out over a
 //! worker pool, and logged to a `BENCH_sweep.json` artifact.
@@ -71,6 +77,10 @@ pub struct Args {
     pub retry_backoff_ms: u64,
     /// Exit nonzero if any job was quarantined (`--fail-on-quarantine`).
     pub fail_on_quarantine: bool,
+    /// Write the deterministic JSONL job trace here (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// Print the deterministic metrics section to stdout (`--metrics`).
+    pub metrics: bool,
 }
 
 impl Args {
@@ -88,6 +98,8 @@ impl Args {
             retries: 0,
             retry_backoff_ms: 100,
             fail_on_quarantine: false,
+            trace_out: None,
+            metrics: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -148,6 +160,12 @@ impl Args {
                         .unwrap_or_else(|| usage("--retry-backoff-ms needs milliseconds"));
                 }
                 "--fail-on-quarantine" => args.fail_on_quarantine = true,
+                "--trace-out" => {
+                    args.trace_out = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--trace-out needs a file path")),
+                    ));
+                }
+                "--metrics" => args.metrics = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -178,15 +196,22 @@ impl Args {
         if let Some(plan) = &plan {
             eprintln!("fault plan: {plan} (seed {})", plan.seed());
         }
-        SweepEngine::new(SweepConfig {
-            cache_dir: self.cache_dir.clone(),
-            workers: self.jobs,
-            stream_events: true,
-            job_timeout: self.job_timeout_ms.map(Duration::from_millis),
-            retries: self.retries,
-            retry_backoff: Duration::from_millis(self.retry_backoff_ms),
-            fault_plan: plan,
-        })
+        let mut builder = SweepConfig::builder()
+            .workers(self.jobs)
+            .stream_events(true)
+            .retries(self.retries)
+            .retry_backoff(Duration::from_millis(self.retry_backoff_ms));
+        if let Some(dir) = &self.cache_dir {
+            builder = builder.cache_dir(dir.clone());
+        }
+        if let Some(ms) = self.job_timeout_ms {
+            builder = builder.job_timeout(Duration::from_millis(ms));
+        }
+        if let Some(plan) = plan {
+            builder = builder.fault_plan(plan);
+        }
+        let config = builder.build().unwrap_or_else(|e| usage(&e.to_string()));
+        SweepEngine::with_config(config)
     }
 
     /// Prints the engine's aggregate counters and writes the
@@ -212,6 +237,15 @@ impl Args {
         match engine.write_artifact(&path) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+        if let Some(trace_path) = &self.trace_out {
+            match engine.write_trace(trace_path) {
+                Ok(()) => eprintln!("wrote {}", trace_path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", trace_path.display()),
+            }
+        }
+        if self.metrics {
+            println!("{}", engine.metrics_value().to_json());
         }
         if self.fail_on_quarantine && s.quarantined > 0 {
             eprintln!("error: {} job(s) quarantined (--fail-on-quarantine)", s.quarantined);
@@ -264,7 +298,7 @@ fn usage(problem: &str) -> ! {
          [--jobs <n>] [--cache-dir <dir> | --no-cache] \
          [--fault-seed <u64>] [--fault-plan <kind@index,...>] \
          [--job-timeout-ms <ms>] [--retries <n>] [--retry-backoff-ms <ms>] \
-         [--fail-on-quarantine]"
+         [--fail-on-quarantine] [--trace-out <file>] [--metrics]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

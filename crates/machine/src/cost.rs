@@ -209,6 +209,18 @@ impl CycleCategory {
         CycleCategory::UnderflowTrap,
         CycleCategory::ContextSwitch,
     ];
+
+    /// The observability [`Metric`](regwin_obs::Metric) this category's
+    /// cycles are reported under.
+    pub fn metric(self) -> regwin_obs::Metric {
+        match self {
+            CycleCategory::App => regwin_obs::Metric::CyclesApp,
+            CycleCategory::WindowInstr => regwin_obs::Metric::CyclesWindowInstr,
+            CycleCategory::OverflowTrap => regwin_obs::Metric::CyclesOverflowTrap,
+            CycleCategory::UnderflowTrap => regwin_obs::Metric::CyclesUnderflowTrap,
+            CycleCategory::ContextSwitch => regwin_obs::Metric::CyclesContextSwitch,
+        }
+    }
 }
 
 /// A cycle counter with per-category totals — the measurement instrument
@@ -261,6 +273,17 @@ impl CycleCounter {
     /// compute): the overhead the schemes compete on.
     pub fn overhead(&self) -> u64 {
         self.total() - self.app
+    }
+
+    /// The per-category totals as an observability
+    /// [`MetricSet`](regwin_obs::MetricSet), one `Cycles*` counter per
+    /// category.
+    pub fn as_metrics(&self) -> regwin_obs::MetricSet {
+        let mut set = regwin_obs::MetricSet::new();
+        for cat in CycleCategory::ALL {
+            set.add(cat.metric(), self.category(cat));
+        }
+        set
     }
 }
 

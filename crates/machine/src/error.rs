@@ -11,7 +11,12 @@ use std::fmt;
 /// runtime* — e.g. spilling a window that holds no live frame, or
 /// restoring past a thread's outermost frame. Window traps are not
 /// errors; they are reported through [`crate::WindowTrap`].
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must include a
+/// wildcard arm, so new failure modes can be added without a breaking
+/// release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MachineError {
     /// The requested window count is outside `MIN_WINDOWS..=MAX_WINDOWS`.
     BadWindowCount {

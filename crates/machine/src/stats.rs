@@ -1,6 +1,13 @@
 //! Event counters matching the paper's reported metrics.
+//!
+//! [`MachineStats`] predates the unified observability layer in
+//! `regwin-obs` and its layout is frozen (it participates in report
+//! equality checks and cache serialization). New consumers should read
+//! counters through [`MachineStats::as_metrics`], which presents the
+//! same totals as a typed [`MetricSet`](regwin_obs::MetricSet).
 
 use crate::thread::ThreadId;
+use regwin_obs::{Metric, MetricSet};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -102,6 +109,25 @@ impl MachineStats {
     /// Per-thread `save` instruction counts (Table 1 right column).
     pub fn saves_per_thread(&self) -> Vec<u64> {
         self.threads.iter().map(|t| t.saves).collect()
+    }
+
+    /// The machine-wide counters as a typed [`MetricSet`] — the unified
+    /// observability view of these statistics. Covers every counter this
+    /// struct tracks directly; probe-only enrichments (spill/fill byte
+    /// counts, flush events) are reported live through the machine's
+    /// installed probe instead.
+    pub fn as_metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add(Metric::SavesExecuted, self.saves_executed);
+        set.add(Metric::RestoresExecuted, self.restores_executed);
+        set.add(Metric::OverflowTraps, self.overflow_traps);
+        set.add(Metric::UnderflowTraps, self.underflow_traps);
+        set.add(Metric::OverflowSpills, self.overflow_spills);
+        set.add(Metric::UnderflowRestores, self.underflow_restores);
+        set.add(Metric::ContextSwitches, self.context_switches);
+        set.add(Metric::SwitchSaves, self.switch_saves);
+        set.add(Metric::SwitchRestores, self.switch_restores);
+        set
     }
 }
 

@@ -1,0 +1,148 @@
+//! A small power-of-two-bucketed histogram for latencies and depths.
+
+use std::fmt;
+
+/// Number of buckets: bucket `i` holds values whose bit length is `i`
+/// (bucket 0 holds the value 0), so the full `u64` range is covered.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram: bucket `i` counts values in
+/// `[2^(i-1), 2^i)` (bucket 0 counts zeros). Recording is O(1), the
+/// memory footprint is fixed, and merging is element-wise addition —
+/// the same commutativity that makes [`crate::MetricSet`] aggregation
+/// order-independent.
+///
+/// Used for wall-clock latency and queue-depth distributions, which are
+/// inherently nondeterministic and therefore reported *separately* from
+/// the deterministic metric counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: [0; BUCKETS], total: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(inclusive_lower_bound, count)` pairs in
+    /// ascending order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                (lo, c)
+            })
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.1} max={}", self.total, self.mean(), self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), u64::MAX);
+        let buckets = h.buckets();
+        // 0 → bucket 0; 1 → [1,2); 2,3 → [2,4); 4,7 → [4,8); 8 → [8,16);
+        // 1024 → [1024,2048); MAX → top bucket.
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[1], (1, 1));
+        assert_eq!(buckets[2], (2, 2));
+        assert_eq!(buckets[3], (4, 2));
+        assert_eq!(buckets[4], (8, 1));
+        assert_eq!(buckets[5], (1024, 1));
+        assert_eq!(buckets[6], (1 << 63, 1));
+    }
+
+    #[test]
+    fn merge_adds_counts_and_tracks_extrema() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(100);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 106);
+        assert_eq!(a.max(), 100);
+        assert!((a.mean() - 106.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.buckets().is_empty());
+        assert!(!h.to_string().is_empty());
+    }
+}

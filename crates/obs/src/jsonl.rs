@@ -1,0 +1,124 @@
+//! Deterministic JSONL row encoding for trace output.
+//!
+//! The sweep engine writes one JSON object per line. Determinism
+//! requirements rule out floats (formatting is platform-dependent in
+//! edge cases) and unordered maps, so [`Row`] only accepts strings and
+//! unsigned integers, and emits fields in insertion order.
+
+/// Builder for one JSON object line. Fields appear in the order they
+/// were added; values are limited to strings and `u64` so the encoding
+/// is byte-deterministic.
+///
+/// ```rust
+/// use regwin_obs::jsonl::Row;
+///
+/// let line = Row::new().str("kind", "trap").int("cycles", 93).finish();
+/// assert_eq!(line, r#"{"kind":"trap","cycles":93}"#);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Row {
+    buf: String,
+}
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Self {
+        Row { buf: String::from("{") }
+    }
+
+    fn sep(&mut self) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        self.sep();
+        push_json_string(&mut self.buf, name);
+        self.buf.push(':');
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        push_json_string(&mut self.buf, value);
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn int(mut self, name: &str, value: u64) -> Self {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends a pre-encoded JSON value verbatim. The caller is
+    /// responsible for `value` being valid, deterministic JSON.
+    pub fn raw(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns the encoded line (no trailing
+    /// newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal with the mandatory
+/// escapes (quote, backslash, control characters).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_keep_insertion_order() {
+        let line = Row::new().str("b", "x").int("a", 1).finish();
+        assert_eq!(line, r#"{"b":"x","a":1}"#);
+    }
+
+    #[test]
+    fn empty_row_is_an_empty_object() {
+        assert_eq!(Row::new().finish(), "{}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let line = Row::new().str("s", "a\"b\\c\nd\te\u{1}").finish();
+        assert_eq!(line, "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+    }
+
+    #[test]
+    fn raw_embeds_verbatim() {
+        let inner = Row::new().int("n", 2).finish();
+        let line = Row::new().raw("obj", &inner).raw("arr", "[1,2]").finish();
+        assert_eq!(line, r#"{"obj":{"n":2},"arr":[1,2]}"#);
+    }
+
+    #[test]
+    fn large_ints_are_exact() {
+        let line = Row::new().int("v", u64::MAX).finish();
+        assert_eq!(line, format!(r#"{{"v":{}}}"#, u64::MAX));
+    }
+}

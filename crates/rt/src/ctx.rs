@@ -6,6 +6,7 @@ use crate::stream::StreamId;
 use crate::trace::TraceEvent;
 use parking_lot::MutexGuard;
 use regwin_machine::ThreadId;
+use regwin_obs::Metric;
 use regwin_traps::RestoreInstr;
 use std::sync::Arc;
 
@@ -122,6 +123,7 @@ impl Ctx {
                 let cycles = st.stream_byte_cycles;
                 st.record(TraceEvent::Compute(cycles));
                 st.cpu.compute(cycles);
+                st.bump(Metric::StreamBytesRead, 1);
                 st.wake_one_writer(stream);
                 return Ok(Some(b));
             }
@@ -130,6 +132,7 @@ impl Ctx {
             }
             st.waiting.insert(self.tid, Wait::ReadEmpty(stream));
             st.blocked_on_read[self.tid.index()] += 1;
+            st.bump(Metric::StreamWaitsRead, 1);
             self.block(st)?;
         }
     }
@@ -162,11 +165,13 @@ impl Ctx {
                 let cycles = st.stream_byte_cycles;
                 st.record(TraceEvent::Compute(cycles));
                 st.cpu.compute(cycles);
+                st.bump(Metric::StreamBytesWritten, 1);
                 st.wake_one_reader(stream);
                 return Ok(());
             }
             st.waiting.insert(self.tid, Wait::WriteFull(stream));
             st.blocked_on_write[self.tid.index()] += 1;
+            st.bump(Metric::StreamWaitsWrite, 1);
             self.block(st)?;
         }
     }
@@ -225,6 +230,7 @@ impl Ctx {
                     debug_assert_ne!(*owner, self.tid, "record lock is not reentrant");
                     st.waiting.insert(self.tid, Wait::WriteLocked(stream));
                     st.blocked_on_write[self.tid.index()] += 1;
+                    st.bump(Metric::StreamWaitsWrite, 1);
                     self.block(st)?;
                 }
             }

@@ -6,7 +6,11 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors raised by the runtime.
+///
+/// The enum is `#[non_exhaustive]`: new failure modes may be added
+/// without a semver break, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RtError {
     /// An underlying scheme or machine operation failed.
     Scheme(SchemeError),

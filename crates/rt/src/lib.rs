@@ -55,7 +55,9 @@
 mod ctx;
 mod error;
 mod fault;
-mod metrics;
+#[deprecated(note = "renamed to `report`; use `regwin_rt::report` or the crate-root re-exports")]
+pub mod metrics;
+pub mod report;
 mod sched;
 mod sim;
 mod stream;
@@ -65,7 +67,7 @@ mod trace_io;
 pub use ctx::Ctx;
 pub use error::RtError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, WorkerFault};
-pub use metrics::{RunReport, ThreadReport};
+pub use report::{RunReport, ThreadReport};
 pub use sched::ReadyQueue;
 pub use sched::SchedulingPolicy;
 pub use sim::{Simulation, ThreadBody};

@@ -9,12 +9,13 @@
 use crate::ctx::Ctx;
 use crate::error::RtError;
 use crate::fault::FaultPlan;
-use crate::metrics::{RunReport, ThreadReport};
+use crate::report::{RunReport, ThreadReport};
 use crate::sched::{ReadyQueue, SchedulingPolicy};
 use crate::stream::{Stream, StreamId};
 use crate::trace::{Trace, TraceEvent};
 use parking_lot::{Condvar, Mutex};
 use regwin_machine::{CostModel, ThreadId};
+use regwin_obs::{Metric, Probe, ProbeEvent, SpanKind};
 use regwin_traps::{build_scheme, Cpu, Scheme, SchemeKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -76,6 +77,14 @@ impl SimState {
     pub(crate) fn record(&mut self, event: TraceEvent) {
         if let Some(trace) = &mut self.trace {
             trace.push(event);
+        }
+    }
+
+    /// Reports a counter increment to the probe installed on the CPU, if
+    /// any (runtime-level events ride the same probe as machine events).
+    pub(crate) fn bump(&self, metric: Metric, delta: u64) {
+        if let Some(p) = self.cpu.machine().probe() {
+            p.record(&ProbeEvent::Counter { metric, delta });
         }
     }
 }
@@ -231,6 +240,17 @@ impl Simulation {
         self
     }
 
+    /// Installs an instrumentation probe on the simulated CPU. The
+    /// machine's counters, the CPU's trap and switch spans, the
+    /// scheduler's dispatch events and ready-queue gauge, and the stream
+    /// wait/byte counters are all reported through it, and the whole run
+    /// is wrapped in a `Simulation` span named after the scheme.
+    #[must_use]
+    pub fn with_probe(self, probe: Arc<dyn Probe>) -> Self {
+        self.shared.state.lock().cpu.set_probe(Some(probe));
+        self
+    }
+
     /// Installs a deterministic [`FaultPlan`]: its machine-level faults
     /// become a fresh fault schedule on the CPU, and its stream faults
     /// fail the chosen byte transfers with typed errors. Worker faults
@@ -324,6 +344,13 @@ impl Simulation {
     /// Same conditions as [`Simulation::run`].
     pub fn run_with_trace(mut self) -> Result<(RunReport, Option<Trace>), RtError> {
         let nthreads = self.bodies.len();
+        let probe = self.shared.state.lock().cpu.machine().probe().cloned();
+        if let Some(p) = &probe {
+            p.record(&ProbeEvent::SpanStart {
+                kind: SpanKind::Simulation,
+                name: self.scheme.name(),
+            });
+        }
         let mut workers = Vec::with_capacity(nthreads);
         for (i, slot) in self.bodies.iter_mut().enumerate() {
             let body = slot.take().expect("body taken once");
@@ -345,6 +372,13 @@ impl Simulation {
         }
 
         let st = self.shared.state.lock();
+        if let Some(p) = &probe {
+            p.record(&ProbeEvent::SpanEnd {
+                kind: SpanKind::Simulation,
+                name: self.scheme.name(),
+                cycles: st.cpu.machine().cycles().total(),
+            });
+        }
         if let Some(e) = &st.error {
             return Err(e.clone());
         }
@@ -416,6 +450,13 @@ impl Simulation {
                     // other runnable threads: the parallel slackness.
                     st.slack_sum += st.ready.len() as u64;
                     st.dispatches += 1;
+                    st.bump(Metric::Dispatches, 1);
+                    if let Some(p) = st.cpu.machine().probe() {
+                        p.record(&ProbeEvent::Gauge {
+                            name: "ready_queue_depth",
+                            value: st.ready.len() as u64,
+                        });
+                    }
                     st.record(TraceEvent::SwitchTo(next));
                     st.cpu.switch_to(next)?;
                     st.turn = Turn::Worker(next);

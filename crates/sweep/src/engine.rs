@@ -18,9 +18,12 @@ use crate::json::{obj, Value};
 use crate::key::JobKey;
 use regwin_core::{MatrixSpec, RunRecord};
 use regwin_machine::CostModel;
+use regwin_obs::jsonl::Row;
+use regwin_obs::{Histogram, Metric, MetricSet, Probe, ProbeEvent, SpanKind};
 use regwin_rt::{FaultKind, FaultPlan, RtError, RunReport, SchedulingPolicy, Trace, WorkerFault};
 use regwin_spell::{Corpus, SpellConfig, SpellPipeline};
 use regwin_traps::{build_scheme, SchemeKind};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -53,6 +56,156 @@ pub struct SweepConfig {
     /// Deterministic fault plan injected into jobs and workers; `None`
     /// or an empty plan injects nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// Instrumentation sink for job-lifecycle events: a `Job` span per
+    /// completed cell plus cache-hit/miss, retry and quarantine
+    /// counters. `None` (the default) costs one branch per event site.
+    pub probe: Option<Arc<dyn Probe>>,
+}
+
+impl SweepConfig {
+    /// A validating builder — the preferred way to construct a config.
+    /// Unlike filling the struct in by hand, the builder rejects
+    /// inconsistent combinations (see [`SweepConfigError`]) at build
+    /// time instead of warning at run time.
+    pub fn builder() -> SweepConfigBuilder {
+        SweepConfigBuilder::default()
+    }
+
+    /// Checks the configuration for combinations that cannot behave as
+    /// asked. [`SweepConfigBuilder::build`] calls this; struct-literal
+    /// configs that skip it are only warned about on stderr when the
+    /// engine starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), SweepConfigError> {
+        if self.job_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(SweepConfigError::ZeroTimeout);
+        }
+        if self.job_timeout.is_none()
+            && self
+                .fault_plan
+                .as_ref()
+                .is_some_and(|p| p.events().iter().any(|e| e.kind == FaultKind::WorkerStall))
+        {
+            return Err(SweepConfigError::StallWithoutTimeout);
+        }
+        Ok(())
+    }
+}
+
+/// A [`SweepConfig`] combination that cannot behave as asked, rejected
+/// by [`SweepConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SweepConfigError {
+    /// The fault plan injects worker stalls but no job timeout is
+    /// configured. A stall can only be observed through a timeout;
+    /// without one the injection silently degrades to a short nap and
+    /// the job succeeds.
+    StallWithoutTimeout,
+    /// The job timeout is zero: every attempt would time out instantly
+    /// and every job would quarantine.
+    ZeroTimeout,
+}
+
+impl std::fmt::Display for SweepConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepConfigError::StallWithoutTimeout => write!(
+                f,
+                "fault plan injects worker stalls but no job timeout is configured; \
+                 stalls cannot time out and will not quarantine (set a job timeout)"
+            ),
+            SweepConfigError::ZeroTimeout => {
+                write!(f, "job timeout is zero: every attempt would quarantine instantly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepConfigError {}
+
+impl From<SweepConfigError> for RtError {
+    fn from(e: SweepConfigError) -> Self {
+        RtError::BadConfig { detail: e.to_string() }
+    }
+}
+
+/// Builder for [`SweepConfig`]; see [`SweepConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepConfigBuilder {
+    config: SweepConfig,
+}
+
+impl SweepConfigBuilder {
+    /// Sets the cache directory (caching is off without one).
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the worker-thread count; `0` means one per available CPU.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Streams one JSON event per job to stderr.
+    #[must_use]
+    pub fn stream_events(mut self, on: bool) -> Self {
+        self.config.stream_events = on;
+        self
+    }
+
+    /// Sets the per-attempt wall-clock limit.
+    #[must_use]
+    pub fn job_timeout(mut self, limit: Duration) -> Self {
+        self.config.job_timeout = Some(limit);
+        self
+    }
+
+    /// Sets the extra attempts after a failed one.
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.config.retries = retries;
+        self
+    }
+
+    /// Sets the linear retry backoff unit.
+    #[must_use]
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.config.retry_backoff = backoff;
+        self
+    }
+
+    /// Installs a deterministic fault plan.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.config.fault_plan = Some(plan);
+        self
+    }
+
+    /// Installs an instrumentation probe for job-lifecycle events.
+    #[must_use]
+    pub fn probe(mut self, probe: Arc<dyn Probe>) -> Self {
+        self.config.probe = Some(probe);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects inconsistent combinations — notably stall injection
+    /// without a job timeout ([`SweepConfigError::StallWithoutTimeout`]).
+    pub fn build(self) -> Result<SweepConfig, SweepConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// What happened to one job, for the artifact and the summary.
@@ -146,39 +299,79 @@ pub struct SweepEngine {
     cache: Option<ResultCache>,
     log: Mutex<Vec<JobRecord>>,
     quarantine: Mutex<Vec<QuarantineRecord>>,
+    obs: Mutex<ObsAggregate>,
     /// Engine-lifetime job sequence counter: worker faults target the
     /// N-th cache-missing job across every batch this engine runs.
     seq: AtomicU64,
     started: Instant,
 }
 
+/// One completed job's deterministic observability record: derived
+/// purely from the run report, so cache hits and fresh runs contribute
+/// byte-identical rows.
+#[derive(Debug, Clone)]
+struct TraceRow {
+    key: String,
+    scheme: &'static str,
+    total_cycles: u64,
+    metrics: MetricSet,
+}
+
+/// Everything the engine aggregates for the `metrics`/`timings`
+/// artifact sections and the JSONL trace.
+#[derive(Debug, Default)]
+struct ObsAggregate {
+    /// Report-derived counters over every job (deterministic).
+    sim: MetricSet,
+    /// The same, split by scheme (deterministic).
+    per_scheme: BTreeMap<&'static str, MetricSet>,
+    /// One row per completed job, for the JSONL trace (deterministic
+    /// once sorted by key).
+    rows: Vec<TraceRow>,
+    /// Engine operational counters — cache hits/misses, retries,
+    /// quarantines. Cache-state dependent, so kept out of `metrics`.
+    ops: MetricSet,
+    /// Wall-clock latency of cache hits, in microseconds.
+    hit_wall_us: Histogram,
+    /// Wall-clock latency of cache misses (actual simulation), in
+    /// microseconds.
+    miss_wall_us: Histogram,
+}
+
 impl SweepEngine {
     /// An engine with the given configuration.
+    ///
+    /// Deprecated in favour of [`SweepEngine::with_config`] fed by
+    /// [`SweepConfig::builder`], which rejects inconsistent configs as
+    /// typed errors instead of stderr warnings.
+    #[deprecated(
+        note = "build the config with `SweepConfig::builder()` and use `SweepEngine::with_config`"
+    )]
     pub fn new(config: SweepConfig) -> Self {
+        SweepEngine::with_config(config)
+    }
+
+    /// An engine with the given configuration.
+    ///
+    /// Configs produced by [`SweepConfig::builder`] are already
+    /// validated; hand-filled struct literals that would fail
+    /// [`SweepConfig::validate`] are accepted here for compatibility,
+    /// with the problem reported as a stderr warning.
+    pub fn with_config(config: SweepConfig) -> Self {
         // A fault plan disables the cache entirely: faulty results must
         // never be stored, and cached results must never shadow the
         // injection the caller asked for.
         let faulty = config.fault_plan.as_ref().is_some_and(|p| !p.is_empty());
         let cache = if faulty { None } else { config.cache_dir.as_ref().map(ResultCache::new) };
-        // A stall can only be observed through a timeout; without one
-        // the injection silently degrades to a short nap and the job
-        // succeeds, so tell the user their plan is a no-op.
-        if config.job_timeout.is_none()
-            && config
-                .fault_plan
-                .as_ref()
-                .is_some_and(|p| p.events().iter().any(|e| e.kind == FaultKind::WorkerStall))
-        {
-            eprintln!(
-                "warning: fault plan injects worker stalls but no job timeout is configured; \
-                 stalls cannot time out and will not quarantine (set --job-timeout-ms)"
-            );
+        if let Err(e) = config.validate() {
+            eprintln!("warning: {e}");
         }
         SweepEngine {
             config,
             cache,
             log: Mutex::new(Vec::new()),
             quarantine: Mutex::new(Vec::new()),
+            obs: Mutex::new(ObsAggregate::default()),
             seq: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -187,7 +380,7 @@ impl SweepEngine {
     /// An engine with default configuration (no cache, auto workers,
     /// quiet).
     pub fn quiet() -> Self {
-        SweepEngine::new(SweepConfig::default())
+        SweepEngine::with_config(SweepConfig::default())
     }
 
     /// The number of worker threads a pool of `total` jobs will use.
@@ -218,6 +411,53 @@ impl SweepEngine {
 
     fn log_job(&self, record: JobRecord) {
         self.log.lock().expect("job log poisoned").push(record);
+    }
+
+    fn probe_event(&self, event: &ProbeEvent<'_>) {
+        if let Some(p) = &self.config.probe {
+            p.record(event);
+        }
+    }
+
+    /// Counts one engine operational event (retry, quarantine, cache
+    /// hit/miss) in the `timings` aggregate and forwards it to the
+    /// configured probe.
+    fn note_op(&self, metric: Metric) {
+        self.probe_event(&ProbeEvent::Counter { metric, delta: 1 });
+        self.obs.lock().expect("obs poisoned").ops.add(metric, 1);
+    }
+
+    /// Folds one completed job into the observability aggregate. The
+    /// metric/trace contribution derives purely from the report, so a
+    /// cache hit and the run that produced the cached entry contribute
+    /// identically — which is what keeps the `metrics` section and the
+    /// JSONL trace byte-stable across worker counts and cache states.
+    fn observe_job(&self, key: &JobKey, report: &RunReport, cache_hit: bool, wall_ms: f64) {
+        let canonical = key.canonical();
+        let metrics = report.as_metrics();
+        let scheme = report.scheme.name();
+        self.probe_event(&ProbeEvent::SpanStart { kind: SpanKind::Job, name: &canonical });
+        self.note_op(if cache_hit { Metric::CacheHits } else { Metric::CacheMisses });
+        self.probe_event(&ProbeEvent::SpanEnd {
+            kind: SpanKind::Job,
+            name: &canonical,
+            cycles: report.total_cycles(),
+        });
+        let mut obs = self.obs.lock().expect("obs poisoned");
+        obs.sim.merge(&metrics);
+        obs.per_scheme.entry(scheme).or_default().merge(&metrics);
+        let wall_us = (wall_ms * 1e3) as u64;
+        if cache_hit {
+            obs.hit_wall_us.record(wall_us);
+        } else {
+            obs.miss_wall_us.record(wall_us);
+        }
+        obs.rows.push(TraceRow {
+            key: canonical,
+            scheme,
+            total_cycles: report.total_cycles(),
+            metrics,
+        });
     }
 
     /// Runs a batch of keyed jobs: probes the cache, executes the misses
@@ -253,6 +493,7 @@ impl SweepEngine {
                         wall_ms: 0.0,
                         total_cycles: report.total_cycles(),
                     });
+                    self.observe_job(&job.key, &report, true, 0.0);
                     results[i] = Some(report);
                 }
                 None => miss_indices.push(i),
@@ -490,6 +731,8 @@ impl SweepEngine {
             ("cache_misses", Value::Int((log.len() - summary_hits) as u64)),
             ("quarantined", Value::Int(quarantine.len() as u64)),
             ("wall_ms", Value::Float(self.started.elapsed().as_secs_f64() * 1e3)),
+            ("metrics", self.metrics_value()),
+            ("timings", self.timings_value()),
             ("jobs", jobs),
             (
                 "quarantine",
@@ -512,6 +755,104 @@ impl SweepEngine {
         ])
     }
 
+    /// The deterministic `metrics` artifact section: typed counters
+    /// derived purely from the run reports — global totals and a
+    /// per-scheme split. Byte-identical across worker counts and cache
+    /// states, because equal reports yield equal metric sets.
+    pub fn metrics_value(&self) -> Value {
+        let obs = self.obs.lock().expect("obs poisoned");
+        obj(vec![
+            ("global", metric_set_value(&obs.sim)),
+            (
+                "per_scheme",
+                Value::Obj(
+                    obs.per_scheme
+                        .iter()
+                        .map(|(scheme, set)| ((*scheme).to_string(), metric_set_value(set)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The wall-clock `timings` artifact section: engine operational
+    /// counters (cache hits/misses, retries, quarantines) and cache
+    /// hit/miss latency histograms in microseconds. Unlike
+    /// [`SweepEngine::metrics_value`] this section is *not*
+    /// deterministic — it measures the host, not the simulation.
+    pub fn timings_value(&self) -> Value {
+        let obs = self.obs.lock().expect("obs poisoned");
+        obj(vec![
+            ("ops", metric_set_value(&obs.ops)),
+            ("cache_hit_wall_us", histogram_value(&obs.hit_wall_us)),
+            ("cache_miss_wall_us", histogram_value(&obs.miss_wall_us)),
+        ])
+    }
+
+    /// The deterministic JSONL trace of every job observed so far, one
+    /// event object per line: a `job` span per cell wrapping a
+    /// `simulation` span wrapping the job's nonzero counters in
+    /// canonical [`Metric`] order. Rows are sorted by canonical job key,
+    /// and every value derives from the run report, so the bytes are
+    /// identical across worker counts, completion orders and cache
+    /// states.
+    pub fn trace_string(&self) -> String {
+        let obs = self.obs.lock().expect("obs poisoned");
+        let mut rows: Vec<&TraceRow> = obs.rows.iter().collect();
+        rows.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut out = String::new();
+        let mut line = |row: Row| {
+            out.push_str(&row.finish());
+            out.push('\n');
+        };
+        for row in rows {
+            line(Row::new().str("event", "span_start").str("kind", "job").str("name", &row.key));
+            line(
+                Row::new()
+                    .str("event", "span_start")
+                    .str("kind", "simulation")
+                    .str("name", row.scheme),
+            );
+            for (metric, value) in row.metrics.iter_nonzero() {
+                line(
+                    Row::new()
+                        .str("event", "counter")
+                        .str("metric", metric.name())
+                        .int("value", value),
+                );
+            }
+            line(
+                Row::new()
+                    .str("event", "span_end")
+                    .str("kind", "simulation")
+                    .str("name", row.scheme)
+                    .int("cycles", row.total_cycles),
+            );
+            line(
+                Row::new()
+                    .str("event", "span_end")
+                    .str("kind", "job")
+                    .str("name", &row.key)
+                    .int("cycles", row.total_cycles),
+            );
+        }
+        out
+    }
+
+    /// Writes [`SweepEngine::trace_string`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_trace(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.trace_string())
+    }
+
     /// Writes [`SweepEngine::artifact_value`] to `path`.
     ///
     /// # Errors
@@ -525,6 +866,22 @@ impl SweepEngine {
         }
         std::fs::write(path, self.artifact_value().to_json())
     }
+}
+
+/// A [`MetricSet`] as a JSON object: nonzero counters in canonical
+/// [`Metric::ALL`] order.
+fn metric_set_value(set: &MetricSet) -> Value {
+    Value::Obj(set.iter_nonzero().map(|(m, v)| (m.name().to_string(), Value::Int(v))).collect())
+}
+
+/// A [`Histogram`] summary as a JSON object.
+fn histogram_value(h: &Histogram) -> Value {
+    obj(vec![
+        ("count", Value::Int(h.count())),
+        ("sum", Value::Int(h.sum())),
+        ("max", Value::Int(h.max())),
+        ("mean", Value::Float(h.mean())),
+    ])
 }
 
 /// Serializes run records (without any timing data) to deterministic
@@ -647,6 +1004,7 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
     for attempt in 1..=attempts {
         if attempt > 1 {
             std::thread::sleep(engine.config.retry_backoff.saturating_mul(attempt - 1));
+            engine.note_op(Metric::JobRetries);
             engine.emit(obj(vec![
                 ("event", Value::Str("job_retry".into())),
                 ("id", Value::Str(job.key.id())),
@@ -676,6 +1034,7 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
                     wall_ms,
                     total_cycles: report.total_cycles(),
                 });
+                engine.observe_job(&job.key, &report, false, wall_ms);
                 return Some(report);
             }
             AttemptOutcome::Error(e) => last_failure = ("error", e.to_string()),
@@ -687,6 +1046,7 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
         }
     }
     let (reason, detail) = last_failure;
+    engine.note_op(Metric::JobsQuarantined);
     engine.emit(obj(vec![
         ("event", Value::Str("job_quarantined".into())),
         ("id", Value::Str(job.key.id())),
@@ -813,7 +1173,7 @@ mod tests {
         let spec = small_spec();
         let total = spec.len();
 
-        let first = SweepEngine::new(SweepConfig {
+        let first = SweepEngine::with_config(SweepConfig {
             cache_dir: Some(dir.clone()),
             ..SweepConfig::default()
         });
@@ -821,7 +1181,7 @@ mod tests {
         assert_eq!(first.summary().cache_misses, total);
         assert_eq!(first.summary().cache_hits, 0);
 
-        let second = SweepEngine::new(SweepConfig {
+        let second = SweepEngine::with_config(SweepConfig {
             cache_dir: Some(dir.clone()),
             ..SweepConfig::default()
         });
@@ -869,8 +1229,120 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_stall_injection_without_timeout() {
+        let plan = FaultPlan::new().with_event(FaultKind::WorkerStall, 0);
+        let err = SweepConfig::builder().fault_plan(plan.clone()).build().unwrap_err();
+        assert_eq!(err, SweepConfigError::StallWithoutTimeout);
+        assert!(RtError::from(err).to_string().contains("stall"));
+
+        // The same plan is fine once a timeout makes stalls observable.
+        let config = SweepConfig::builder()
+            .fault_plan(plan)
+            .job_timeout(Duration::from_millis(200))
+            .retries(1)
+            .build()
+            .unwrap();
+        assert_eq!(config.retries, 1);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_timeout() {
+        let err = SweepConfig::builder().job_timeout(Duration::ZERO).build().unwrap_err();
+        assert_eq!(err, SweepConfigError::ZeroTimeout);
+    }
+
+    #[test]
+    fn metrics_and_trace_are_cache_state_independent() {
+        let dir =
+            std::env::temp_dir().join(format!("regwin-sweep-obs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec();
+
+        let cold =
+            SweepEngine::with_config(SweepConfig::builder().cache_dir(&dir).build().unwrap());
+        cold.run_matrix(&spec).unwrap();
+        let warm =
+            SweepEngine::with_config(SweepConfig::builder().cache_dir(&dir).build().unwrap());
+        warm.run_matrix(&spec).unwrap();
+        assert_eq!(warm.summary().cache_hits, spec.len());
+
+        assert_eq!(cold.metrics_value().to_json(), warm.metrics_value().to_json());
+        assert_eq!(cold.trace_string(), warm.trace_string());
+        // The timings section is the one place hits and misses differ.
+        let warm_ops = warm.timings_value();
+        assert_eq!(
+            warm_ops.get("ops").unwrap().get("cache_hits").unwrap().as_u64(),
+            Some(spec.len() as u64)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_cycle_totals_match_the_reports() {
+        let engine = SweepEngine::quiet();
+        let spec = small_spec();
+        let records = engine.run_matrix(&spec).unwrap();
+
+        // Sum each scheme's simulated cycles straight from the reports.
+        let mut expected: BTreeMap<&str, u64> = BTreeMap::new();
+        for r in &records {
+            *expected.entry(r.scheme.name()).or_default() += r.report.total_cycles();
+        }
+
+        // Re-derive the same totals from the JSONL trace's simulation
+        // span-end lines.
+        let mut traced: BTreeMap<String, u64> = BTreeMap::new();
+        for line in engine.trace_string().lines() {
+            let v = crate::json::parse(line).unwrap();
+            if v.get("event").unwrap().as_str() == Some("span_end")
+                && v.get("kind").unwrap().as_str() == Some("simulation")
+            {
+                let scheme = v.get("name").unwrap().as_str().unwrap().to_string();
+                *traced.entry(scheme).or_default() += v.get("cycles").unwrap().as_u64().unwrap();
+            }
+        }
+        assert_eq!(traced.len(), expected.len());
+        for (scheme, cycles) in expected {
+            assert_eq!(traced.get(scheme), Some(&cycles), "{scheme}");
+        }
+
+        // The metrics section's per-scheme cycle attribution must add up
+        // to the same totals.
+        let metrics = engine.metrics_value();
+        let per_scheme = metrics.get("per_scheme").unwrap();
+        for r in &records {
+            let set = per_scheme.get(r.scheme.name()).unwrap();
+            let attributed: u64 = [
+                "cycles_app",
+                "cycles_window_instr",
+                "cycles_overflow_trap",
+                "cycles_underflow_trap",
+                "cycles_context_switch",
+            ]
+            .iter()
+            .map(|k| set.get(k).and_then(Value::as_u64).unwrap_or(0))
+            .sum();
+            assert_eq!(attributed, traced[r.scheme.name()], "{}", r.scheme);
+        }
+    }
+
+    #[test]
+    fn job_probe_sees_lifecycle_events() {
+        let probe = Arc::new(regwin_obs::RecordingProbe::new());
+        let engine = SweepEngine::with_config(
+            SweepConfig::builder().probe(probe.clone() as Arc<dyn Probe>).build().unwrap(),
+        );
+        let spec = small_spec();
+        engine.run_matrix(&spec).unwrap();
+        assert_eq!(probe.span_count(SpanKind::Job), spec.len());
+        assert_eq!(probe.counter_total(Metric::CacheMisses), spec.len() as u64);
+        assert_eq!(probe.counter_total(Metric::CacheHits), 0);
+    }
+
+    #[test]
     fn timeout_bounds_a_job_that_never_finishes() {
-        let engine = SweepEngine::new(SweepConfig {
+        let engine = SweepEngine::with_config(SweepConfig {
             job_timeout: Some(Duration::from_millis(100)),
             ..SweepConfig::default()
         });

@@ -58,7 +58,8 @@ pub mod studies;
 
 pub use cache::ResultCache;
 pub use engine::{
-    records_to_json, Job, JobRecord, QuarantineRecord, SweepConfig, SweepEngine, SweepSummary,
+    records_to_json, Job, JobRecord, QuarantineRecord, SweepConfig, SweepConfigBuilder,
+    SweepConfigError, SweepEngine, SweepSummary,
 };
 pub use key::{JobKey, FORMAT_VERSION};
 pub use serial::{report_from_json, report_to_json, DecodeError};

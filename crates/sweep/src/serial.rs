@@ -24,6 +24,12 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+impl From<DecodeError> for regwin_rt::RtError {
+    fn from(e: DecodeError) -> Self {
+        regwin_rt::RtError::CorruptTrace { detail: e.to_string() }
+    }
+}
+
 fn category_name(c: CycleCategory) -> &'static str {
     match c {
         CycleCategory::App => "app",

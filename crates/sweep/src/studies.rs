@@ -121,14 +121,14 @@ mod tests {
         let corpus = CorpusSpec::small();
         let set = spill_batch_variants();
 
-        let cold = SweepEngine::new(SweepConfig {
+        let cold = SweepEngine::with_config(SweepConfig {
             cache_dir: Some(dir.clone()),
             ..SweepConfig::default()
         });
         let first = run_ablation(&cold, corpus, &[6], &set).unwrap();
         assert_eq!(cold.summary().cache_misses, set.variants.len());
 
-        let warm = SweepEngine::new(SweepConfig {
+        let warm = SweepEngine::with_config(SweepConfig {
             cache_dir: Some(dir.clone()),
             ..SweepConfig::default()
         });

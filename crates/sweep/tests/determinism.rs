@@ -2,7 +2,9 @@
 //! byte-identical JSON whether it ran on one worker or eight, and
 //! whether results came from simulation or from the cache. Any leak of
 //! completion order or `HashMap` iteration order into the records would
-//! break this.
+//! break this. The same holds for the observability outputs: the JSONL
+//! trace and the artifact's `metrics` section are derived purely from
+//! the run reports, so they must be byte-identical too.
 
 use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec};
 use regwin_core::{CorpusSpec, SchedulingPolicy, SchemeKind};
@@ -22,7 +24,7 @@ fn spec(policy: SchedulingPolicy) -> MatrixSpec {
 }
 
 fn engine(workers: usize) -> SweepEngine {
-    SweepEngine::new(SweepConfig { cache_dir: None, workers, ..SweepConfig::default() })
+    SweepEngine::with_config(SweepConfig { cache_dir: None, workers, ..SweepConfig::default() })
 }
 
 #[test]
@@ -49,13 +51,13 @@ fn cached_results_serialize_identically_to_fresh_ones() {
     let spec = spec(SchedulingPolicy::Fifo);
 
     let fresh = engine(8).run_matrix(&spec).unwrap();
-    let cold = SweepEngine::new(SweepConfig {
+    let cold = SweepEngine::with_config(SweepConfig {
         cache_dir: Some(dir.clone()),
         workers: 8,
         ..SweepConfig::default()
     });
     cold.run_matrix(&spec).unwrap();
-    let warm = SweepEngine::new(SweepConfig {
+    let warm = SweepEngine::with_config(SweepConfig {
         cache_dir: Some(dir.clone()),
         workers: 8,
         ..SweepConfig::default()
@@ -64,4 +66,64 @@ fn cached_results_serialize_identically_to_fresh_ones() {
     assert_eq!(warm.summary().cache_hits, spec.len(), "second run must be all hits");
     assert_eq!(records_to_json(&fresh), records_to_json(&cached));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The artifact's `metrics` section, rendered to JSON on its own.
+fn metrics_json(engine: &SweepEngine) -> String {
+    engine.artifact_value().get("metrics").unwrap().to_json()
+}
+
+#[test]
+fn trace_and_metrics_are_worker_count_independent() {
+    let spec = spec(SchedulingPolicy::Fifo);
+    let serial = engine(1);
+    serial.run_matrix(&spec).unwrap();
+    let parallel = engine(8);
+    parallel.run_matrix(&spec).unwrap();
+    assert_eq!(serial.trace_string(), parallel.trace_string());
+    assert_eq!(metrics_json(&serial), metrics_json(&parallel));
+    assert!(!serial.trace_string().is_empty());
+}
+
+#[test]
+fn trace_and_metrics_are_cache_state_independent() {
+    let dir =
+        std::env::temp_dir().join(format!("regwin-sweep-obs-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = spec(SchedulingPolicy::Fifo);
+
+    let cold = SweepEngine::with_config(
+        SweepConfig::builder().cache_dir(dir.clone()).workers(8).build().unwrap(),
+    );
+    cold.run_matrix(&spec).unwrap();
+    let warm = SweepEngine::with_config(
+        SweepConfig::builder().cache_dir(dir.clone()).workers(1).build().unwrap(),
+    );
+    warm.run_matrix(&spec).unwrap();
+    assert_eq!(warm.summary().cache_hits, spec.len(), "second run must be all hits");
+
+    // Cold misses and warm hits must produce byte-identical traces and
+    // metrics: both derive purely from the (equal) run reports.
+    assert_eq!(cold.trace_string(), warm.trace_string());
+    assert_eq!(metrics_json(&cold), metrics_json(&warm));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_file_round_trips_through_write_trace() {
+    let spec = spec(SchedulingPolicy::Fifo);
+    let eng = engine(4);
+    eng.run_matrix(&spec).unwrap();
+    let path = std::env::temp_dir()
+        .join(format!("regwin-sweep-trace-{}", std::process::id()))
+        .join("trace.jsonl");
+    eng.write_trace(&path).unwrap();
+    let on_disk = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(on_disk, eng.trace_string());
+    // Every line is a standalone JSON object with an `event` field.
+    for line in on_disk.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "bad JSONL line: {line}");
+        assert!(line.contains("\"event\":"), "line missing event field: {line}");
+    }
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
 }

@@ -21,7 +21,7 @@ fn spec() -> MatrixSpec {
 }
 
 fn hardened(plan: Option<FaultPlan>) -> SweepEngine {
-    SweepEngine::new(SweepConfig {
+    SweepEngine::with_config(SweepConfig {
         workers: 2,
         job_timeout: Some(Duration::from_millis(2000)),
         retries: 1,
@@ -123,15 +123,17 @@ fn fault_plans_bypass_the_cache_entirely() {
     let spec = MatrixSpec { windows: vec![4], ..spec() };
 
     // Seed the cache with clean results.
-    let warmup =
-        SweepEngine::new(SweepConfig { cache_dir: Some(dir.clone()), ..SweepConfig::default() });
+    let warmup = SweepEngine::with_config(SweepConfig {
+        cache_dir: Some(dir.clone()),
+        ..SweepConfig::default()
+    });
     warmup.run_matrix(&spec).unwrap();
     assert_eq!(warmup.summary().cache_misses, 1);
 
     // A faulted engine pointed at the same cache must neither read it
     // (the injection would be shadowed) nor write to it.
     let plan = FaultPlan::parse("spill-corrupt@0").unwrap();
-    let engine = SweepEngine::new(SweepConfig {
+    let engine = SweepEngine::with_config(SweepConfig {
         cache_dir: Some(dir.clone()),
         fault_plan: Some(plan),
         ..SweepConfig::default()
@@ -140,8 +142,10 @@ fn fault_plans_bypass_the_cache_entirely() {
     assert_eq!(engine.summary().cache_hits, 0, "fault runs must not read the cache");
 
     // And a later clean engine still hits the original entry.
-    let clean =
-        SweepEngine::new(SweepConfig { cache_dir: Some(dir.clone()), ..SweepConfig::default() });
+    let clean = SweepEngine::with_config(SweepConfig {
+        cache_dir: Some(dir.clone()),
+        ..SweepConfig::default()
+    });
     clean.run_matrix(&spec).unwrap();
     assert_eq!(clean.summary().cache_hits, 1);
     let _ = std::fs::remove_dir_all(&dir);

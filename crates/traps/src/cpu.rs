@@ -7,6 +7,8 @@ use crate::scheme::{Scheme, UnderflowResolution};
 use regwin_machine::{
     CostModel, ExecOutcome, FaultSchedule, Machine, MachineStats, SchemeKind, ThreadId,
 };
+use regwin_obs::{Probe, ProbeEvent, SpanKind};
+use std::sync::Arc;
 
 /// A simulated CPU: composes a [`Machine`] with a [`Scheme`] so that
 /// callers see trap-free `save`/`restore`/`switch_to` operations, the way
@@ -89,6 +91,32 @@ impl Cpu {
         self.machine.set_fault_schedule(faults);
     }
 
+    /// Installs (or with `None` removes) an instrumentation probe on the
+    /// underlying machine. Besides the machine's own counters, the CPU
+    /// reports a `Trap` span around every overflow/underflow handler
+    /// invocation and a `Switch` span around every context switch, each
+    /// carrying the simulated cycles the scheme spent inside.
+    pub fn set_probe(&mut self, probe: Option<Arc<dyn Probe>>) {
+        self.machine.set_probe(probe);
+    }
+
+    /// Opens a span on the installed probe and returns the state needed
+    /// to close it: the probe handle and the cycle total at entry.
+    fn span_open(&self, kind: SpanKind, name: &'static str) -> Option<(Arc<dyn Probe>, u64)> {
+        let probe = self.machine.probe()?.clone();
+        probe.record(&ProbeEvent::SpanStart { kind, name });
+        Some((probe, self.machine.cycles().total()))
+    }
+
+    /// Closes a span opened with [`Cpu::span_open`], attributing the
+    /// cycles charged in between.
+    fn span_close(&self, open: Option<(Arc<dyn Probe>, u64)>, kind: SpanKind, name: &'static str) {
+        if let Some((probe, before)) = open {
+            let cycles = self.machine.cycles().total().saturating_sub(before);
+            probe.record(&ProbeEvent::SpanEnd { kind, name, cycles });
+        }
+    }
+
     /// The currently running thread.
     pub fn current_thread(&self) -> Option<ThreadId> {
         self.machine.current_thread()
@@ -105,8 +133,10 @@ impl Cpu {
         match self.machine.try_save()? {
             ExecOutcome::Completed => Ok(()),
             ExecOutcome::Trapped(trap) => {
+                let span = self.span_open(SpanKind::Trap, "overflow");
                 self.scheme.on_overflow(&mut self.machine, trap)?;
                 self.machine.complete_save()?;
+                self.span_close(span, SpanKind::Trap, "overflow");
                 Ok(())
             }
         }
@@ -143,13 +173,18 @@ impl Cpu {
                 Ok(())
             }
             ExecOutcome::Trapped(trap) => {
+                let span = self.span_open(SpanKind::Trap, "underflow");
                 match self.scheme.on_underflow(&mut self.machine, trap, instr)? {
-                    UnderflowResolution::AlreadyComplete => Ok(()),
+                    UnderflowResolution::AlreadyComplete => {
+                        self.span_close(span, SpanKind::Trap, "underflow");
+                        Ok(())
+                    }
                     UnderflowResolution::CompleteRestore => {
                         self.machine.complete_restore()?;
                         if let Some(v) = result {
                             instr.write_destination(&mut self.machine, v)?;
                         }
+                        self.span_close(span, SpanKind::Trap, "underflow");
                         Ok(())
                     }
                 }
@@ -168,7 +203,10 @@ impl Cpu {
         if from == Some(to) {
             return Ok(());
         }
-        self.scheme.context_switch(&mut self.machine, from, to)
+        let span = self.span_open(SpanKind::Switch, "switch");
+        self.scheme.context_switch(&mut self.machine, from, to)?;
+        self.span_close(span, SpanKind::Switch, "switch");
+        Ok(())
     }
 
     /// Terminates the current thread, releasing all its windows and
@@ -352,6 +390,66 @@ mod tests {
             cpu.save().unwrap();
             cpu.restore().unwrap();
             assert!(cpu.total_cycles() >= c0 + 1002);
+        }
+    }
+
+    #[test]
+    fn trap_spans_carry_the_cycles_the_counter_attributes() {
+        use regwin_machine::CycleCategory;
+        use regwin_obs::{OwnedProbeEvent, RecordingProbe};
+        for mut cpu in all_cpus(4) {
+            let probe = Arc::new(RecordingProbe::new());
+            cpu.set_probe(Some(probe.clone()));
+            let t = cpu.add_thread();
+            cpu.switch_to(t).unwrap();
+            for _ in 0..6 {
+                cpu.save().unwrap();
+            }
+            for _ in 0..6 {
+                cpu.restore().unwrap();
+            }
+            // Every taken trap produced one span; the summed span cycles
+            // equal the trap-category cycle attribution (overflow and
+            // underflow handlers charge only their own categories).
+            let span_cycles: u64 = probe
+                .events()
+                .iter()
+                .map(|e| match e {
+                    OwnedProbeEvent::SpanEnd { kind: SpanKind::Trap, cycles, .. } => *cycles,
+                    _ => 0,
+                })
+                .sum();
+            // The spans also cover the WindowInstr cycles of the
+            // re-executed save/restore inside the handler, so the summed
+            // span cycles bound the trap-category attribution from above.
+            let trap_cycles = cpu.machine().cycles().category(CycleCategory::OverflowTrap)
+                + cpu.machine().cycles().category(CycleCategory::UnderflowTrap);
+            let traps = cpu.stats().overflow_traps + cpu.stats().underflow_traps;
+            assert_eq!(probe.span_count(SpanKind::Trap) as u64, traps, "{:?}", cpu.scheme_kind());
+            assert!(span_cycles >= trap_cycles, "{:?}", cpu.scheme_kind());
+            assert!(trap_cycles > 0, "{:?}", cpu.scheme_kind());
+            cpu.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn switch_spans_cover_every_context_switch() {
+        use regwin_obs::RecordingProbe;
+        for mut cpu in all_cpus(8) {
+            let probe = Arc::new(RecordingProbe::new());
+            cpu.set_probe(Some(probe.clone()));
+            let a = cpu.add_thread();
+            let b = cpu.add_thread();
+            cpu.switch_to(a).unwrap();
+            cpu.switch_to(b).unwrap();
+            cpu.switch_to(b).unwrap(); // no-op: not a switch, no span
+            cpu.switch_to(a).unwrap();
+            assert_eq!(
+                probe.span_count(SpanKind::Switch) as u64,
+                cpu.stats().context_switches,
+                "{:?}",
+                cpu.scheme_kind()
+            );
         }
     }
 

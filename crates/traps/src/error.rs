@@ -5,7 +5,12 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors raised by window-management schemes and the [`crate::Cpu`].
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must include a
+/// wildcard arm, so new failure modes can be added without a breaking
+/// release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SchemeError {
     /// An underlying machine operation failed.
     Machine(MachineError),

@@ -30,6 +30,15 @@
 //! and `--retry-backoff-ms <ms>` bound each job attempt, and
 //! `--fail-on-quarantine` turns any quarantined job into exit status 3.
 //!
+//! Recovery flags (see the Recovery section of `EXPERIMENTS.md`):
+//! `--journal` keeps a crash-safe write-ahead journal next to the
+//! artifact (`BENCH_sweep.json.journal.jsonl`), `--resume` replays it
+//! after a crash so only unfinished jobs re-run (the resumed artifact
+//! is byte-identical to an uninterrupted one), and
+//! `--abandoned-cap <n>` bounds the detached threads leaked by
+//! timed-out attempts, quarantining further jobs instead of spawning
+//! past the cap.
+//!
 //! Observability flags: `--trace-out <file>` writes the deterministic
 //! JSONL job trace and `--metrics` prints the deterministic metrics
 //! section (global and per-scheme typed counters) to stdout; both
@@ -81,6 +90,14 @@ pub struct Args {
     pub trace_out: Option<PathBuf>,
     /// Print the deterministic metrics section to stdout (`--metrics`).
     pub metrics: bool,
+    /// Keep a crash-safe write-ahead journal next to the artifact
+    /// (`--journal`); implied by `--resume`.
+    pub journal: bool,
+    /// Replay the journal and re-run only unfinished jobs (`--resume`).
+    pub resume: bool,
+    /// Cap on abandoned (timed-out, detached) attempt threads
+    /// (`--abandoned-cap`).
+    pub abandoned_cap: Option<usize>,
 }
 
 impl Args {
@@ -100,6 +117,9 @@ impl Args {
             fail_on_quarantine: false,
             trace_out: None,
             metrics: false,
+            journal: false,
+            resume: false,
+            abandoned_cap: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -166,6 +186,18 @@ impl Args {
                     ));
                 }
                 "--metrics" => args.metrics = true,
+                "--journal" => args.journal = true,
+                "--resume" => {
+                    args.journal = true;
+                    args.resume = true;
+                }
+                "--abandoned-cap" => {
+                    args.abandoned_cap = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--abandoned-cap needs a count")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -210,8 +242,28 @@ impl Args {
         if let Some(plan) = plan {
             builder = builder.fault_plan(plan);
         }
+        if self.journal {
+            builder = builder.journal(self.journal_path()).resume(self.resume);
+        }
+        if let Some(cap) = self.abandoned_cap {
+            builder = builder.abandoned_cap(cap);
+        }
         let config = builder.build().unwrap_or_else(|e| usage(&e.to_string()));
         SweepEngine::with_config(config)
+    }
+
+    /// The `BENCH_sweep.json` artifact path for this invocation (into
+    /// `--out` if given, else the current directory).
+    pub fn artifact_path(&self) -> PathBuf {
+        self.out_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_sweep.json")
+    }
+
+    /// The write-ahead journal path: the artifact path with a
+    /// `.journal.jsonl` suffix.
+    pub fn journal_path(&self) -> PathBuf {
+        let mut name = self.artifact_path().into_os_string();
+        name.push(".journal.jsonl");
+        PathBuf::from(name)
     }
 
     /// Prints the engine's aggregate counters and writes the
@@ -232,8 +284,7 @@ impl Args {
                 q.reason, q.label, q.attempts, q.detail
             );
         }
-        let path =
-            self.out_dir.clone().unwrap_or_else(|| PathBuf::from(".")).join("BENCH_sweep.json");
+        let path = self.artifact_path();
         match engine.write_artifact(&path) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
@@ -280,7 +331,7 @@ impl Args {
                 return;
             }
             let path = dir.join(format!("{name}.csv"));
-            if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            if let Err(e) = regwin_sweep::write_file_atomic(&path, &table.to_csv()) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
             } else {
                 eprintln!("wrote {}", path.display());
@@ -298,7 +349,8 @@ fn usage(problem: &str) -> ! {
          [--jobs <n>] [--cache-dir <dir> | --no-cache] \
          [--fault-seed <u64>] [--fault-plan <kind@index,...>] \
          [--job-timeout-ms <ms>] [--retries <n>] [--retry-backoff-ms <ms>] \
-         [--fail-on-quarantine] [--trace-out <file>] [--metrics]"
+         [--fail-on-quarantine] [--trace-out <file>] [--metrics] \
+         [--journal] [--resume] [--abandoned-cap <n>]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

@@ -57,6 +57,18 @@ pub enum MachineError {
         /// The machine's window count.
         nwindows: usize,
     },
+    /// The window auditor found a **dirty** live window (written since it
+    /// became current, so no pristine copy exists anywhere) whose
+    /// contents no longer match their recorded checksum. The frame
+    /// cannot be repaired; the runtime is expected to quarantine the
+    /// owning thread and let the rest of the simulation degrade
+    /// gracefully.
+    UnrecoverableCorruption {
+        /// The corrupted physical window.
+        window: WindowIndex,
+        /// The thread whose live frame it holds.
+        owner: ThreadId,
+    },
     /// A deliberately injected fault (see [`crate::FaultSchedule`]) fired
     /// at this site. Fault-injection runs use this variant to prove that
     /// unmasked faults surface as typed errors instead of panics or
@@ -93,6 +105,9 @@ impl fmt::Display for MachineError {
             MachineError::BadWindowIndex { window, nwindows } => {
                 write!(f, "window index {window} out of range for {nwindows} windows")
             }
+            MachineError::UnrecoverableCorruption { window, owner } => {
+                write!(f, "unrecoverable corruption in dirty window {window} owned by {owner}")
+            }
             MachineError::FaultInjected { site, index } => {
                 write!(f, "injected fault at {site} event {index}")
             }
@@ -118,6 +133,10 @@ mod tests {
             MachineError::StillInvalid { target: WindowIndex::new(2) },
             MachineError::InvariantViolated("test"),
             MachineError::BadWindowIndex { window: 99, nwindows: 8 },
+            MachineError::UnrecoverableCorruption {
+                window: WindowIndex::new(5),
+                owner: ThreadId::new(2),
+            },
             MachineError::FaultInjected { site: "spill", index: 7 },
         ];
         for e in errors {

@@ -44,9 +44,11 @@ pub struct FaultSchedule {
     spill: BTreeMap<u64, TransferFault>,
     fill: BTreeMap<u64, TransferFault>,
     trap_drop: BTreeSet<u64>,
+    resident: BTreeMap<u64, u64>,
     spills_seen: u64,
     fills_seen: u64,
     traps_seen: u64,
+    residents_seen: u64,
 }
 
 impl FaultSchedule {
@@ -57,7 +59,10 @@ impl FaultSchedule {
 
     /// Whether the schedule contains no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.spill.is_empty() && self.fill.is_empty() && self.trap_drop.is_empty()
+        self.spill.is_empty()
+            && self.fill.is_empty()
+            && self.trap_drop.is_empty()
+            && self.resident.is_empty()
     }
 
     /// Registers a fault on the `at`-th backing-store spill.
@@ -80,6 +85,18 @@ impl FaultSchedule {
     #[must_use]
     pub fn on_trap_drop(mut self, at: u64) -> Self {
         self.trap_drop.insert(at);
+        self
+    }
+
+    /// Registers an in-place corruption of the window made current by
+    /// the `at`-th executed `save`: the resident frame is XORed with
+    /// `xor` *after* the save completes, modelling a bit-flip in a live
+    /// (dirty) window. Unlike spill/fill corruption there is no pristine
+    /// copy to repair from, so an enabled window auditor must report it
+    /// as unrecoverable.
+    #[must_use]
+    pub fn on_resident_corrupt(mut self, at: u64, xor: u64) -> Self {
+        self.resident.insert(at, xor);
         self
     }
 
@@ -131,6 +148,15 @@ impl FaultSchedule {
         }
         Ok(())
     }
+
+    /// Advances the resident-corruption counter (one tick per executed
+    /// `save`) and returns the XOR mask to apply in place to the newly
+    /// current window, if any.
+    pub(crate) fn next_resident(&mut self) -> Option<u64> {
+        let index = self.residents_seen;
+        self.residents_seen += 1;
+        self.resident.get(&index).copied()
+    }
 }
 
 /// XORs every register of `frame` with `xor` — the masked-corruption
@@ -155,6 +181,15 @@ mod tests {
             assert_eq!(s.next_fill(), Ok(None));
             assert_eq!(s.next_trap(), Ok(()));
         }
+    }
+
+    #[test]
+    fn resident_faults_fire_at_their_save_index() {
+        let mut s = FaultSchedule::new().on_resident_corrupt(1, 0xbeef);
+        assert!(!s.is_empty());
+        assert_eq!(s.next_resident(), None); // save 0
+        assert_eq!(s.next_resident(), Some(0xbeef)); // save 1
+        assert_eq!(s.next_resident(), None); // save 2
     }
 
     #[test]

@@ -56,6 +56,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod audit;
 mod backing;
 mod cost;
 mod error;
@@ -68,6 +69,7 @@ mod thread;
 mod trap;
 mod window;
 
+pub use audit::{frame_checksum, WindowAuditor, WindowTag};
 pub use backing::BackingStore;
 pub use cost::{CostModel, CycleCategory, CycleCounter, SchemeKind, SwitchCost};
 pub use error::MachineError;

@@ -9,6 +9,7 @@
 //! built from. *Policy* — which window to spill, where to restore, what a
 //! context switch does — lives in the `regwin-traps` schemes.
 
+use crate::audit::{frame_checksum, WindowAuditor, WindowTag};
 use crate::backing::BackingStore;
 use crate::cost::{CostModel, CycleCategory, CycleCounter, SchemeKind};
 use crate::error::MachineError;
@@ -65,6 +66,7 @@ pub struct Machine {
     stats: MachineStats,
     faults: Option<FaultSchedule>,
     probe: Option<Arc<dyn Probe>>,
+    auditor: Option<WindowAuditor>,
 }
 
 impl Machine {
@@ -106,6 +108,7 @@ impl Machine {
             stats: MachineStats::new(),
             faults: None,
             probe: None,
+            auditor: None,
         };
         machine.recompute_wim();
         Ok(machine)
@@ -176,6 +179,34 @@ impl Machine {
     /// The installed instrumentation probe, if any.
     pub fn probe(&self) -> Option<&Arc<dyn Probe>> {
         self.probe.as_ref()
+    }
+
+    /// Enables per-window integrity auditing (see [`WindowAuditor`]).
+    /// Every live frame gains a checksum tag that legitimate machine
+    /// operations keep current; [`Machine::audit_thread`] then detects
+    /// out-of-band corruption, repairs **clean** windows from the
+    /// pristine copy recorded at fill time, and reports corrupted
+    /// **dirty** windows as [`MachineError::UnrecoverableCorruption`].
+    /// Auditing never touches statistics or the cycle counter, so an
+    /// audited run that only repairs produces a byte-identical report.
+    /// Threads already holding live frames are tagged dirty as-is.
+    pub fn enable_auditor(&mut self) {
+        let mut auditor = WindowAuditor::new(self.nwindows);
+        for ts in &self.threads {
+            if let Some(top) = ts.top() {
+                let mut w = top;
+                for _ in 0..ts.resident() {
+                    auditor.mark_dirty(w, frame_checksum(&self.regfile.frame(w)));
+                    w = w.below(self.nwindows);
+                }
+            }
+        }
+        self.auditor = Some(auditor);
+    }
+
+    /// The window auditor, if auditing is enabled.
+    pub fn auditor(&self) -> Option<&WindowAuditor> {
+        self.auditor.as_ref()
     }
 
     /// Validates an externally supplied window index against the cyclic
@@ -275,6 +306,7 @@ impl Machine {
         ts.set_started();
         self.regfile.clear_frame(slot);
         self.slots[slot.index()] = SlotUse::Live(t);
+        self.auditor_tag_dirty(slot);
         Ok(())
     }
 
@@ -289,6 +321,7 @@ impl Machine {
             match self.slots[i] {
                 SlotUse::Live(o) | SlotUse::Dead(o) | SlotUse::Prw(o) if o == t => {
                     self.slots[i] = SlotUse::Free;
+                    self.auditor_untrack(WindowIndex::new(i));
                 }
                 _ => {}
             }
@@ -353,6 +386,7 @@ impl Machine {
     pub fn write_in(&mut self, reg: usize, value: u64) -> Result<(), MachineError> {
         self.require_current()?;
         self.regfile.write_in(self.cwp, reg, value);
+        self.auditor_note_write(self.cwp);
         Ok(())
     }
 
@@ -374,6 +408,7 @@ impl Machine {
     pub fn write_local(&mut self, reg: usize, value: u64) -> Result<(), MachineError> {
         self.require_current()?;
         self.regfile.write_local(self.cwp, reg, value);
+        self.auditor_note_write(self.cwp);
         Ok(())
     }
 
@@ -396,6 +431,7 @@ impl Machine {
     pub fn write_out(&mut self, reg: usize, value: u64) -> Result<(), MachineError> {
         self.require_current()?;
         self.regfile.write_out(self.cwp, reg, value);
+        self.auditor_note_write(self.cwp.above(self.nwindows));
         Ok(())
     }
 
@@ -507,6 +543,20 @@ impl Machine {
         self.stats.threads[t.index()].saves += 1;
         self.bump(Metric::SavesExecuted, 1);
         self.charge_cycles(CycleCategory::WindowInstr, self.cost.window_instr);
+        self.auditor_tag_dirty(target);
+        // Scheduled resident corruption strikes the newly current window
+        // *after* the save (and after its tag was recorded): a bit-flip in
+        // a live dirty frame, bypassing the auditor's bookkeeping so the
+        // mismatch is only discovered at the next audit.
+        let resident_xor = match self.faults.as_mut() {
+            Some(fs) => fs.next_resident(),
+            None => None,
+        };
+        if let Some(xor) = resident_xor {
+            let mut frame = self.regfile.frame(target);
+            corrupt_frame(&mut frame, xor);
+            self.regfile.set_frame(target, frame);
+        }
         Ok(())
     }
 
@@ -518,6 +568,7 @@ impl Machine {
         );
         let old_top = self.cwp;
         self.slots[old_top.index()] = SlotUse::Dead(t);
+        self.auditor_untrack(old_top);
         let ts = self.thread_mut(t)?;
         if ts.resident() < 2 {
             return Err(MachineError::InvariantViolated("trap-free restore with resident < 2"));
@@ -557,17 +608,33 @@ impl Machine {
             Some(fs) => fs.next_spill()?,
             None => None,
         };
-        let mut frame = self.regfile.frame(bottom);
+        let pristine = self.regfile.frame(bottom);
+        let pristine_sum = frame_checksum(&pristine);
+        let mut frame = pristine;
         if let Some(xor) = spill_xor {
             corrupt_frame(&mut frame, xor);
         }
+        let audit_on = self.auditor.is_some();
         let ts = self.thread_mut(t)?;
-        ts.backing_mut().push(frame);
+        ts.backing_mut().push_with_sum(frame, pristine_sum);
         ts.set_resident(resident - 1);
         if resident == 1 {
             ts.set_top(None);
         }
+        // With auditing on, a corrupted spill transfer is caught right
+        // here — the stored bytes disagree with the pristine checksum —
+        // and repaired while the pristine frame is still in hand. The
+        // backing store therefore always holds pristine frames.
+        let spill_repaired = audit_on && !ts.backing().verify_top();
+        if spill_repaired {
+            ts.backing_mut().set_top(pristine);
+        }
         self.slots[bottom.index()] = SlotUse::Free;
+        self.auditor_untrack(bottom);
+        if spill_repaired {
+            self.auditor.as_mut().expect("audit_on implies auditor").add_repairs(1);
+            self.bump(Metric::WindowRepairs, 1);
+        }
         if reason == TransferReason::Trap {
             self.stats.overflow_spills += 1;
             self.bump(Metric::OverflowSpills, 1);
@@ -619,7 +686,9 @@ impl Machine {
             None => None,
         };
         let ts = self.thread_mut(t)?;
-        let mut frame = ts.backing_mut().pop().ok_or(MachineError::BackingEmpty(t))?;
+        let (pristine, sum) =
+            ts.backing_mut().pop_with_sum().ok_or(MachineError::BackingEmpty(t))?;
+        let mut frame = pristine;
         if let Some(xor) = fill_xor {
             corrupt_frame(&mut frame, xor);
         }
@@ -629,6 +698,9 @@ impl Machine {
         ts.set_resident(resident + 1);
         self.regfile.set_frame(slot, frame);
         self.slots[slot.index()] = SlotUse::Live(t);
+        if let Some(a) = self.auditor.as_mut() {
+            a.mark_clean(slot, sum, pristine);
+        }
         if reason == TransferReason::Trap {
             self.stats.underflow_restores += 1;
             self.bump(Metric::UnderflowRestores, 1);
@@ -664,10 +736,11 @@ impl Machine {
             Some(fs) => fs.next_fill()?,
             None => None,
         };
-        let mut frame = {
+        let (pristine, sum) = {
             let ts = self.thread_mut(t)?;
-            ts.backing_mut().pop().ok_or(MachineError::BackingEmpty(t))?
+            ts.backing_mut().pop_with_sum().ok_or(MachineError::BackingEmpty(t))?
         };
+        let mut frame = pristine;
         if let Some(xor) = fill_xor {
             corrupt_frame(&mut frame, xor);
         }
@@ -676,7 +749,11 @@ impl Machine {
         } else {
             self.regfile.copy_return_ins_to_outs(slot);
         }
+        self.auditor_note_write(slot.above(self.nwindows));
         self.regfile.set_frame(slot, frame);
+        if let Some(a) = self.auditor.as_mut() {
+            a.mark_clean(slot, sum, pristine);
+        }
         // The callee's frame is gone and the caller's occupies its slot:
         // top, resident and the slot map are all unchanged.
         self.stats.underflow_restores += 1;
@@ -836,6 +913,7 @@ impl Machine {
         for (reg, value) in outs.iter().enumerate() {
             self.regfile.write_in(above, reg, *value);
         }
+        self.auditor_note_write(above);
         Ok(())
     }
 
@@ -1120,6 +1198,79 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
+    // Window-state auditing
+    // ------------------------------------------------------------------
+
+    /// Runs one audit pass over thread `t`: verifies the structural
+    /// machine invariants ([`Machine::check_invariants`]) and then the
+    /// integrity checksum of every live window of `t`. Clean windows
+    /// that fail their check are repaired from the pristine frame
+    /// recorded at fill time; returns how many were repaired. A no-op
+    /// (returning 0) when auditing is not enabled.
+    ///
+    /// Repairs are counted on the auditor and reported to the probe as
+    /// [`Metric::WindowRepairs`], but deliberately charge no cycles and
+    /// touch no statistics: a run whose corruption was fully repaired
+    /// reports exactly the same numbers as a fault-free run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::UnrecoverableCorruption`] when a dirty
+    /// window of `t` fails its check (no pristine copy exists), and
+    /// propagates structural invariant violations.
+    pub fn audit_thread(&mut self, t: ThreadId) -> Result<u64, MachineError> {
+        if self.auditor.is_none() {
+            return Ok(0);
+        }
+        self.check_invariants()?;
+        let windows = self.live_windows_of(t)?;
+        let mut repaired = 0u64;
+        for w in windows {
+            let actual = frame_checksum(&self.regfile.frame(w));
+            match self.auditor.as_ref().expect("checked above").tag(w) {
+                WindowTag::Untracked => {}
+                WindowTag::Dirty { sum } => {
+                    if actual != sum {
+                        return Err(MachineError::UnrecoverableCorruption { window: w, owner: t });
+                    }
+                }
+                WindowTag::Clean { sum, pristine } => {
+                    if actual != sum {
+                        if frame_checksum(&pristine) != sum {
+                            // The retained copy itself is damaged: there
+                            // is nothing trustworthy to repair from.
+                            return Err(MachineError::UnrecoverableCorruption {
+                                window: w,
+                                owner: t,
+                            });
+                        }
+                        self.regfile.set_frame(w, pristine);
+                        repaired += 1;
+                    }
+                }
+            }
+        }
+        if repaired > 0 {
+            self.auditor.as_mut().expect("checked above").add_repairs(repaired);
+            self.bump(Metric::WindowRepairs, repaired);
+        }
+        Ok(repaired)
+    }
+
+    /// [`Machine::audit_thread`] for the current thread; a no-op when no
+    /// thread is current or auditing is not enabled.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::audit_thread`].
+    pub fn audit_current(&mut self) -> Result<u64, MachineError> {
+        match self.current {
+            Some(t) => self.audit_thread(t),
+            None => Ok(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
@@ -1146,6 +1297,36 @@ impl Machine {
 
     fn thread_mut(&mut self, t: ThreadId) -> Result<&mut ThreadState, MachineError> {
         self.threads.get_mut(t.index()).ok_or(MachineError::UnknownThread(t))
+    }
+
+    /// Tags `w` as a dirty live frame with its current checksum (no-op
+    /// without an auditor).
+    fn auditor_tag_dirty(&mut self, w: WindowIndex) {
+        if self.auditor.is_some() {
+            let sum = frame_checksum(&self.regfile.frame(w));
+            if let Some(a) = self.auditor.as_mut() {
+                a.mark_dirty(w, sum);
+            }
+        }
+    }
+
+    /// Re-checksums `w` after a legitimate register write, if it holds a
+    /// tracked live frame (writes always dirty a window: its pristine
+    /// fill copy, if any, no longer describes it).
+    fn auditor_note_write(&mut self, w: WindowIndex) {
+        if self.auditor.as_ref().is_some_and(|a| a.is_tracked(w)) {
+            let sum = frame_checksum(&self.regfile.frame(w));
+            if let Some(a) = self.auditor.as_mut() {
+                a.mark_dirty(w, sum);
+            }
+        }
+    }
+
+    /// Stops tracking `w` (no-op without an auditor).
+    fn auditor_untrack(&mut self, w: WindowIndex) {
+        if let Some(a) = self.auditor.as_mut() {
+            a.untrack(w);
+        }
     }
 
     fn recompute_wim(&mut self) {
@@ -1704,5 +1885,73 @@ mod tests {
         // Structural invariants hold even with corrupted data — the
         // fault perturbs values, never bookkeeping.
         m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn auditor_repairs_corrupted_spill_at_spill_time() {
+        use crate::fault::{FaultSchedule, TransferFault};
+        let (mut m, t) = machine_with_thread(8);
+        m.enable_auditor();
+        m.write_local(0, 0xabcd).unwrap();
+        save(&mut m);
+        m.set_fault_schedule(Some(
+            FaultSchedule::new().on_spill(0, TransferFault::Corrupt { xor: 0xff }),
+        ));
+        let bottom = m.thread(t).unwrap().bottom(8).unwrap();
+        m.spill_bottom(t, TransferReason::Switch).unwrap();
+        // The corrupted transfer was detected against the pristine
+        // checksum and repaired before the pristine copy was lost.
+        assert!(m.backing_of(t).unwrap().verify_top());
+        assert_eq!(m.auditor().unwrap().repairs(), 1);
+        m.restore_into(t, bottom, TransferReason::Switch).unwrap();
+        assert_eq!(m.frame_at(bottom).locals[0], 0xabcd);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn auditor_repairs_corrupted_fill_on_audit() {
+        use crate::fault::{FaultSchedule, TransferFault};
+        let (mut m, t) = machine_with_thread(8);
+        m.enable_auditor();
+        m.write_local(0, 0xabcd).unwrap();
+        save(&mut m);
+        m.set_fault_schedule(Some(
+            FaultSchedule::new().on_fill(0, TransferFault::Corrupt { xor: 0xff }),
+        ));
+        let bottom = m.thread(t).unwrap().bottom(8).unwrap();
+        m.spill_bottom(t, TransferReason::Switch).unwrap();
+        m.restore_into(t, bottom, TransferReason::Switch).unwrap();
+        // Corrupted in transfer: the live frame is wrong until audited.
+        assert_eq!(m.frame_at(bottom).locals[0], 0xabcd ^ 0xff);
+        assert_eq!(m.audit_thread(t).unwrap(), 1);
+        assert_eq!(m.frame_at(bottom).locals[0], 0xabcd);
+        assert_eq!(m.auditor().unwrap().repairs(), 1);
+        // A second pass finds nothing left to repair.
+        assert_eq!(m.audit_thread(t).unwrap(), 0);
+    }
+
+    #[test]
+    fn auditor_reports_dirty_window_corruption_as_unrecoverable() {
+        use crate::fault::FaultSchedule;
+        let (mut m, t) = machine_with_thread(8);
+        m.enable_auditor();
+        m.set_fault_schedule(Some(FaultSchedule::new().on_resident_corrupt(0, 0xff)));
+        save(&mut m); // save 0: the new current window is hit in place
+        let window = m.cwp();
+        assert_eq!(
+            m.audit_current(),
+            Err(MachineError::UnrecoverableCorruption { window, owner: t })
+        );
+        assert_eq!(m.auditor().unwrap().repairs(), 0);
+    }
+
+    #[test]
+    fn audit_is_a_noop_without_auditor() {
+        use crate::fault::FaultSchedule;
+        let (mut m, _t) = machine_with_thread(8);
+        m.set_fault_schedule(Some(FaultSchedule::new().on_resident_corrupt(0, 0xff)));
+        save(&mut m);
+        assert_eq!(m.audit_current(), Ok(0));
+        assert!(m.auditor().is_none());
     }
 }

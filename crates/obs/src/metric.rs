@@ -67,11 +67,20 @@ pub enum Metric {
     JobRetries,
     /// Sweep jobs quarantined after exhausting every attempt.
     JobsQuarantined,
+    /// Corrupted-but-clean windows repaired by the window auditor from
+    /// the backing stack.
+    WindowRepairs,
+    /// Simulated threads quarantined by the runtime after unrecoverable
+    /// window corruption.
+    ThreadsQuarantined,
+    /// Timed-out job attempts whose detached worker thread was
+    /// abandoned (left running, never joined).
+    AbandonedThreads,
 }
 
 impl Metric {
     /// Every metric, in canonical serialization order.
-    pub const ALL: [Metric; 26] = [
+    pub const ALL: [Metric; 29] = [
         Metric::SavesExecuted,
         Metric::RestoresExecuted,
         Metric::OverflowTraps,
@@ -98,6 +107,9 @@ impl Metric {
         Metric::CacheMisses,
         Metric::JobRetries,
         Metric::JobsQuarantined,
+        Metric::WindowRepairs,
+        Metric::ThreadsQuarantined,
+        Metric::AbandonedThreads,
     ];
 
     /// The metric's stable snake_case name, used in JSON output.
@@ -129,6 +141,9 @@ impl Metric {
             Metric::CacheMisses => "cache_misses",
             Metric::JobRetries => "job_retries",
             Metric::JobsQuarantined => "jobs_quarantined",
+            Metric::WindowRepairs => "window_repairs",
+            Metric::ThreadsQuarantined => "threads_quarantined",
+            Metric::AbandonedThreads => "abandoned_threads",
         }
     }
 

@@ -17,6 +17,9 @@ pub enum SpanKind {
     Trap,
     /// One context switch performed by the scheduler.
     Switch,
+    /// One window-state audit pass (integrity verification and repair)
+    /// run by the machine's window auditor.
+    Audit,
 }
 
 impl SpanKind {
@@ -27,6 +30,7 @@ impl SpanKind {
             SpanKind::Simulation => "simulation",
             SpanKind::Trap => "trap",
             SpanKind::Switch => "switch",
+            SpanKind::Audit => "audit",
         }
     }
 }

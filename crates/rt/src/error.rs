@@ -1,6 +1,6 @@
 //! Runtime error type.
 
-use regwin_machine::MachineError;
+use regwin_machine::{MachineError, ThreadId};
 use regwin_traps::SchemeError;
 use std::error::Error;
 use std::fmt;
@@ -58,6 +58,23 @@ pub enum RtError {
         /// The 0-based per-site event index at which the fault fired.
         index: u64,
     },
+}
+
+impl RtError {
+    /// The simulated thread whose *dirty* window failed its integrity
+    /// check, when this error wraps
+    /// [`MachineError::UnrecoverableCorruption`] — the signal the
+    /// runtime quarantines on (only that thread is abandoned; the rest
+    /// of the simulation continues).
+    pub fn unrecoverable_owner(&self) -> Option<ThreadId> {
+        match self {
+            RtError::Scheme(SchemeError::Machine(MachineError::UnrecoverableCorruption {
+                owner,
+                ..
+            })) => Some(*owner),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RtError {

@@ -60,11 +60,17 @@ pub enum FaultKind {
     /// observable when a job timeout is configured — the engine warns
     /// otherwise.
     WorkerStall,
+    /// XOR the live window made current by the N-th executed `save`, in
+    /// place, after the save completes. A bit-flip in a *dirty* resident
+    /// frame: no pristine copy exists, so with window auditing enabled
+    /// the run must quarantine the owning thread (and without auditing
+    /// it silently perturbs register values — never reported numbers).
+    ResidentCorrupt,
 }
 
 impl FaultKind {
     /// All kinds, in canonical order.
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::SpillCorrupt,
         FaultKind::SpillFail,
         FaultKind::FillCorrupt,
@@ -74,6 +80,7 @@ impl FaultKind {
         FaultKind::StreamWriteFail,
         FaultKind::WorkerPanic,
         FaultKind::WorkerStall,
+        FaultKind::ResidentCorrupt,
     ];
 
     /// The canonical spec name (accepted back by [`FaultPlan::parse`]).
@@ -88,6 +95,7 @@ impl FaultKind {
             FaultKind::StreamWriteFail => "stream-write-fail",
             FaultKind::WorkerPanic => "panic",
             FaultKind::WorkerStall => "stall",
+            FaultKind::ResidentCorrupt => "resident-corrupt",
         }
     }
 
@@ -269,6 +277,9 @@ impl FaultPlan {
                 }
                 FaultKind::FillFail => schedule.on_fill(e.at, TransferFault::Fail),
                 FaultKind::TrapDrop => schedule.on_trap_drop(e.at),
+                FaultKind::ResidentCorrupt => {
+                    schedule.on_resident_corrupt(e.at, self.mask_for(e.at))
+                }
                 _ => schedule,
             };
         }

@@ -24,6 +24,9 @@ pub struct ThreadReport {
     pub blocked_on_read: u64,
     /// Times it blocked on a full output stream.
     pub blocked_on_write: u64,
+    /// Whether the runtime abandoned this thread after unrecoverable
+    /// window corruption (its counters stop at the quarantine point).
+    pub quarantined: bool,
 }
 
 /// The complete result of a simulation run.
@@ -92,6 +95,9 @@ impl RunReport {
         for t in &self.threads {
             set.add(Metric::StreamWaitsRead, t.blocked_on_read);
             set.add(Metric::StreamWaitsWrite, t.blocked_on_write);
+            if t.quarantined {
+                set.add(Metric::ThreadsQuarantined, 1);
+            }
         }
         set
     }
@@ -114,13 +120,14 @@ impl fmt::Display for RunReport {
         for t in &self.threads {
             writeln!(
                 f,
-                "  {:<12} switches={:<8} saves={:<8} restores={:<8} blk(r/w)={}/{}",
+                "  {:<12} switches={:<8} saves={:<8} restores={:<8} blk(r/w)={}/{}{}",
                 t.name,
                 t.context_switches,
                 t.saves,
                 t.restores,
                 t.blocked_on_read,
-                t.blocked_on_write
+                t.blocked_on_write,
+                if t.quarantined { "  [quarantined]" } else { "" }
             )?;
         }
         Ok(())

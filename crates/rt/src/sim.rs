@@ -48,6 +48,9 @@ pub(crate) struct SimState {
     pub(crate) waiting: BTreeMap<ThreadId, Wait>,
     pub(crate) turn: Turn,
     pub(crate) finished: Vec<bool>,
+    /// Threads abandoned after unrecoverable window corruption (their
+    /// machine state was evicted; the rest of the run continues).
+    pub(crate) quarantined: Vec<bool>,
     pub(crate) error: Option<RtError>,
     pub(crate) stop: bool,
     pub(crate) names: Vec<String>,
@@ -141,6 +144,29 @@ impl SimState {
             self.ready.enqueue_woken(t, has);
         }
     }
+
+    /// Abandons `t` after unrecoverable window corruption: evicts its
+    /// windows from the machine wholesale (nothing is flushed — the data
+    /// is untrustworthy), releases any stream record lock it holds, and
+    /// marks it finished so the rest of the run can complete without it.
+    /// Idempotent. Threads blocked on a stream only `t` feeds will
+    /// surface as an ordinary typed [`RtError::Deadlock`].
+    pub(crate) fn quarantine_thread(&mut self, t: ThreadId) {
+        if self.quarantined.get(t.index()).copied().unwrap_or(true) {
+            return;
+        }
+        self.quarantined[t.index()] = true;
+        self.finished[t.index()] = true;
+        self.waiting.remove(&t);
+        let held: Vec<StreamId> =
+            self.record_locks.iter().filter(|(_, h)| **h == t).map(|(s, _)| *s).collect();
+        for s in held {
+            self.record_locks.remove(&s);
+            self.wake_one_lock_waiter(s);
+        }
+        let _ = self.cpu.release_thread(t);
+        self.bump(Metric::ThreadsQuarantined, 1);
+    }
 }
 
 pub(crate) struct Shared {
@@ -191,6 +217,7 @@ impl Simulation {
             waiting: BTreeMap::new(),
             turn: Turn::Scheduler,
             finished: Vec::new(),
+            quarantined: Vec::new(),
             error: None,
             stop: false,
             names: Vec::new(),
@@ -248,6 +275,19 @@ impl Simulation {
     #[must_use]
     pub fn with_probe(self, probe: Arc<dyn Probe>) -> Self {
         self.shared.state.lock().cpu.set_probe(Some(probe));
+        self
+    }
+
+    /// Enables the window integrity auditor: per-frame checksums are
+    /// verified at trap boundaries and context switches, *clean*
+    /// (unmodified since fill) windows that fail the check are repaired
+    /// transparently from the backing stack, and a thread whose *dirty*
+    /// window fails is quarantined — abandoned with the `quarantined`
+    /// mark in its [`ThreadReport`] — while the rest of the simulation
+    /// keeps running.
+    #[must_use]
+    pub fn with_window_audit(self) -> Self {
+        self.shared.state.lock().cpu.enable_window_audit();
         self
     }
 
@@ -318,6 +358,7 @@ impl Simulation {
         let t = st.cpu.add_thread();
         st.names.push(name.into());
         st.finished.push(false);
+        st.quarantined.push(false);
         st.blocked_on_read.push(0);
         st.blocked_on_write.push(0);
         st.ready.enqueue_new(t);
@@ -397,6 +438,7 @@ impl Simulation {
                     restores: ts.restores,
                     blocked_on_read: st.blocked_on_read[i],
                     blocked_on_write: st.blocked_on_write[i],
+                    quarantined: st.quarantined[i],
                 }
             })
             .collect();
@@ -446,6 +488,36 @@ impl Simulation {
             }
             match st.ready.pop() {
                 Some(next) => {
+                    if st.quarantined[next.index()] {
+                        continue;
+                    }
+                    // The switch-boundary audit may quarantine either
+                    // side: the outgoing thread (retry the dispatch once
+                    // without it) or `next` itself (skip it and pick
+                    // another thread).
+                    let mut dispatched = false;
+                    for _ in 0..2 {
+                        match st.cpu.switch_to(next) {
+                            Ok(()) => {
+                                dispatched = true;
+                                break;
+                            }
+                            Err(e) => {
+                                let e = RtError::from(e);
+                                let Some(owner) = e.unrecoverable_owner() else {
+                                    st.stop = true;
+                                    return Err(e);
+                                };
+                                st.quarantine_thread(owner);
+                                if owner == next {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !dispatched {
+                        continue;
+                    }
                     // The queue length *after* popping is the number of
                     // other runnable threads: the parallel slackness.
                     st.slack_sum += st.ready.len() as u64;
@@ -458,7 +530,6 @@ impl Simulation {
                         });
                     }
                     st.record(TraceEvent::SwitchTo(next));
-                    st.cpu.switch_to(next)?;
                     st.turn = Turn::Worker(next);
                     shared.worker_cv.notify_all();
                 }
@@ -533,7 +604,9 @@ fn worker_main(shared: Arc<Shared>, tid: ThreadId, body: ThreadBody) {
         }
         Ok(Err(RtError::Aborted)) => {}
         Ok(Err(e)) => {
-            if st.error.is_none() {
+            if e.unrecoverable_owner() == Some(tid) {
+                st.quarantine_thread(tid);
+            } else if st.error.is_none() {
                 st.error = Some(e);
             }
         }

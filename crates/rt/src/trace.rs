@@ -192,6 +192,7 @@ impl Trace {
                     restores: ts.restores,
                     blocked_on_read: self.blocked_on_read.get(i).copied().unwrap_or(0),
                     blocked_on_write: self.blocked_on_write.get(i).copied().unwrap_or(0),
+                    quarantined: false,
                 }
             })
             .collect();

@@ -1,13 +1,18 @@
 //! The content-addressed result cache.
 //!
 //! One file per job, named by the key's FNV-1a id:
-//! `<dir>/<id>.json` containing `{version, key, report}`. The canonical
-//! key string is stored alongside the report and verified on load, so a
-//! (vanishingly unlikely) hash collision or a stale file from an old
-//! format version degrades to a cache miss, never to wrong data.
+//! `<dir>/<id>.json` containing `{version, key, sum, report}`. The
+//! canonical key string is stored alongside the report and verified on
+//! load, so a (vanishingly unlikely) hash collision or a stale file
+//! from an old format version degrades to a cache miss, never to wrong
+//! data; `sum` is an FNV-1a content checksum of the serialized report,
+//! so a truncated or bit-flipped entry is also a miss. Any entry that
+//! fails validation is deleted on the spot, leaving the slot free to be
+//! rewritten with fresh bytes when the job re-runs.
 
+use crate::engine::write_file_atomic;
 use crate::json::{obj, parse, Value};
-use crate::key::{JobKey, FORMAT_VERSION};
+use crate::key::{fnv1a, JobKey, FORMAT_VERSION};
 use crate::serial::{report_from_value, report_to_value};
 use regwin_rt::RunReport;
 use std::path::{Path, PathBuf};
@@ -34,17 +39,18 @@ impl ResultCache {
     }
 
     /// Loads the cached report for `key`, or `None` on miss. Corrupt,
-    /// mismatched or old-format entries count as misses.
+    /// truncated, checksum-mismatched or old-format entries count as
+    /// misses *and are deleted*, so the next store rewrites the slot.
     pub fn load(&self, key: &JobKey) -> Option<RunReport> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        let v = parse(&text).ok()?;
-        if v.get("version")?.as_u64()? != u64::from(FORMAT_VERSION) {
-            return None;
+        let path = self.path_for(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match decode_entry(&text, key) {
+            Some(report) => Some(report),
+            None => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
         }
-        if v.get("key")?.as_str()? != key.canonical() {
-            return None;
-        }
-        report_from_value(v.get("report")?).ok()
     }
 
     /// Stores `report` under `key`. Write failures are reported to
@@ -55,23 +61,43 @@ impl ResultCache {
             eprintln!("warning: cannot create cache dir {}: {e}", self.dir.display());
             return;
         }
+        let report_v = report_to_value(report);
+        let sum = fnv1a(report_v.to_json().as_bytes());
         let entry = obj(vec![
             ("version", Value::Int(u64::from(FORMAT_VERSION))),
             ("key", Value::Str(key.canonical())),
-            ("report", report_to_value(report)),
+            ("sum", Value::Str(format!("{sum:016x}"))),
+            ("report", report_v),
         ]);
         let path = self.path_for(key);
         // Write-then-rename so a concurrent reader never sees a torn
         // entry (two workers may race to store the same key; both write
         // identical bytes, so either rename winning is fine).
-        let tmp = self.dir.join(format!("{}.tmp.{}", key.id(), std::process::id()));
-        let result =
-            std::fs::write(&tmp, entry.to_json()).and_then(|()| std::fs::rename(&tmp, &path));
-        if let Err(e) = result {
-            let _ = std::fs::remove_file(&tmp);
+        if let Err(e) = write_file_atomic(&path, &entry.to_json()) {
             eprintln!("warning: cannot write cache entry {}: {e}", path.display());
         }
     }
+}
+
+/// Validates one cache file's text against `key`: format version,
+/// canonical key, and the report's content checksum (the stored report
+/// sub-value re-serializes to the exact bytes that were hashed at store
+/// time, because `Value::to_json` is deterministic and parsing
+/// round-trips it).
+fn decode_entry(text: &str, key: &JobKey) -> Option<RunReport> {
+    let v = parse(text).ok()?;
+    if v.get("version")?.as_u64()? != u64::from(FORMAT_VERSION) {
+        return None;
+    }
+    if v.get("key")?.as_str()? != key.canonical() {
+        return None;
+    }
+    let report_v = v.get("report")?;
+    let sum = u64::from_str_radix(v.get("sum")?.as_str()?, 16).ok()?;
+    if fnv1a(report_v.to_json().as_bytes()) != sum {
+        return None;
+    }
+    report_from_value(report_v).ok()
 }
 
 #[cfg(test)]
@@ -131,12 +157,56 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entry_is_a_miss() {
+    fn corrupt_entry_is_a_miss_and_is_deleted() {
         let cache = ResultCache::new(tmpdir("corrupt"));
         let key = sample_key();
         std::fs::create_dir_all(cache.dir()).unwrap();
-        std::fs::write(cache.dir().join(format!("{}.json", key.id())), "{not json").unwrap();
+        let path = cache.dir().join(format!("{}.json", key.id()));
+        std::fs::write(&path, "{not json").unwrap();
         assert!(cache.load(&key).is_none());
+        assert!(!path.exists(), "corrupt entry must be deleted so the slot can be rewritten");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn truncated_entry_with_valid_json_prefix_is_a_miss() {
+        let cache = ResultCache::new(tmpdir("truncated"));
+        let key = sample_key();
+        let report =
+            SpellPipeline::new(SpellConfig::small()).run(8, SchemeKind::Sp).unwrap().report;
+        cache.store(&key, &report);
+        let path = cache.dir().join(format!("{}.json", key.id()));
+        // A crash mid-write could leave a prefix; chop the entry so it
+        // is damaged even if the prefix happens to still parse.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(cache.load(&key).is_none());
+        assert!(!path.exists());
+        // The slot rewrites cleanly and hits again.
+        cache.store(&key, &report);
+        assert!(cache.load(&key).is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn bit_flipped_report_fails_the_content_checksum() {
+        let cache = ResultCache::new(tmpdir("bitflip"));
+        let key = sample_key();
+        let report =
+            SpellPipeline::new(SpellConfig::small()).run(8, SchemeKind::Sp).unwrap().report;
+        cache.store(&key, &report);
+        let path = cache.dir().join(format!("{}.json", key.id()));
+        // Tamper inside the report payload only: the file is still
+        // valid JSON with the right version and key, so only the
+        // content checksum can catch it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let needle = format!("\"saves_executed\":{}", report.stats.saves_executed);
+        let tampered = text
+            .replace(&needle, &format!("\"saves_executed\":{}", report.stats.saves_executed + 1));
+        assert_ne!(text, tampered, "test must actually tamper");
+        std::fs::write(&path, tampered).unwrap();
+        assert!(cache.load(&key).is_none());
+        assert!(!path.exists());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

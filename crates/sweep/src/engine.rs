@@ -14,6 +14,7 @@
 //! trace when at least one of its cells actually missed the cache.
 
 use crate::cache::ResultCache;
+use crate::journal::{replay_journal, JournalReplay, SweepJournal};
 use crate::json::{obj, Value};
 use crate::key::JobKey;
 use regwin_core::{MatrixSpec, RunRecord};
@@ -60,6 +61,23 @@ pub struct SweepConfig {
     /// completed cell plus cache-hit/miss, retry and quarantine
     /// counters. `None` (the default) costs one branch per event site.
     pub probe: Option<Arc<dyn Probe>>,
+    /// Write-ahead journal path: every completed or quarantined job is
+    /// appended (checksummed and fsync'd) the moment it finishes, so a
+    /// killed sweep can resume. Journaling also switches the
+    /// `BENCH_sweep.json` artifact into deterministic mode — wall-clock
+    /// fields are zeroed and the job/quarantine logs are sorted by key —
+    /// so an interrupted-then-resumed sweep produces an artifact
+    /// byte-identical to an uninterrupted one.
+    pub journal_path: Option<PathBuf>,
+    /// Replay an existing journal at `journal_path` before running:
+    /// jobs it records as finished are served from their journaled
+    /// reports instead of re-running. Requires `journal_path`.
+    pub resume: bool,
+    /// Cap on abandoned attempt threads (each timed-out attempt leaks
+    /// its detached OS thread). Once the cap is reached, further jobs
+    /// are quarantined with reason `"abandoned-cap"` instead of
+    /// spawning new attempt threads. `None` (the default) never caps.
+    pub abandoned_cap: Option<usize>,
 }
 
 impl SweepConfig {
@@ -91,6 +109,12 @@ impl SweepConfig {
         {
             return Err(SweepConfigError::StallWithoutTimeout);
         }
+        if self.resume && self.journal_path.is_none() {
+            return Err(SweepConfigError::ResumeWithoutJournal);
+        }
+        if self.abandoned_cap.is_some() && self.job_timeout.is_none() {
+            return Err(SweepConfigError::AbandonedCapWithoutTimeout);
+        }
         Ok(())
     }
 }
@@ -108,6 +132,13 @@ pub enum SweepConfigError {
     /// The job timeout is zero: every attempt would time out instantly
     /// and every job would quarantine.
     ZeroTimeout,
+    /// `resume` was requested without a `journal_path`: there is no
+    /// journal to replay.
+    ResumeWithoutJournal,
+    /// An abandoned-thread cap was set without a job timeout: attempts
+    /// are only ever abandoned when they time out, so the cap could
+    /// never trip.
+    AbandonedCapWithoutTimeout,
 }
 
 impl std::fmt::Display for SweepConfigError {
@@ -121,6 +152,14 @@ impl std::fmt::Display for SweepConfigError {
             SweepConfigError::ZeroTimeout => {
                 write!(f, "job timeout is zero: every attempt would quarantine instantly")
             }
+            SweepConfigError::ResumeWithoutJournal => {
+                write!(f, "resume requested without a journal path; nothing to replay")
+            }
+            SweepConfigError::AbandonedCapWithoutTimeout => write!(
+                f,
+                "abandoned-thread cap set without a job timeout; attempts are only \
+                 abandoned on timeout, so the cap could never trip (set a job timeout)"
+            ),
         }
     }
 }
@@ -193,6 +232,30 @@ impl SweepConfigBuilder {
     #[must_use]
     pub fn probe(mut self, probe: Arc<dyn Probe>) -> Self {
         self.config.probe = Some(probe);
+        self
+    }
+
+    /// Enables the crash-safe write-ahead journal at `path` (see
+    /// [`SweepConfig::journal_path`]).
+    #[must_use]
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.journal_path = Some(path.into());
+        self
+    }
+
+    /// Replays the journal before running, so only unfinished jobs
+    /// re-run (see [`SweepConfig::resume`]).
+    #[must_use]
+    pub fn resume(mut self, on: bool) -> Self {
+        self.config.resume = on;
+        self
+    }
+
+    /// Caps the abandoned attempt threads a sweep may accumulate (see
+    /// [`SweepConfig::abandoned_cap`]).
+    #[must_use]
+    pub fn abandoned_cap(mut self, cap: usize) -> Self {
+        self.config.abandoned_cap = Some(cap);
         self
     }
 
@@ -304,6 +367,19 @@ pub struct SweepEngine {
     /// N-th cache-missing job across every batch this engine runs.
     seq: AtomicU64,
     started: Instant,
+    /// The write-ahead journal, when configured.
+    journal: Option<SweepJournal>,
+    /// Jobs replayed from the journal on resume (canonical key →
+    /// record + report); consulted before the cache, never re-run.
+    resumed: BTreeMap<String, (JobRecord, RunReport)>,
+    /// Keys the replayed journal already quarantined; skipped outright.
+    resumed_quarantine: std::collections::BTreeSet<String>,
+    /// Detached attempt threads abandoned to timeouts so far.
+    abandoned: AtomicU64,
+    /// Journaling is on: zero wall-clock fields and sort logs in the
+    /// artifact, so resumed and uninterrupted runs serialize
+    /// byte-identically.
+    deterministic: bool,
 }
 
 /// One completed job's deterministic observability record: derived
@@ -366,15 +442,41 @@ impl SweepEngine {
         if let Err(e) = config.validate() {
             eprintln!("warning: {e}");
         }
-        SweepEngine {
+        let deterministic = config.journal_path.is_some();
+        let (journal, replay) = match &config.journal_path {
+            Some(path) if config.resume => {
+                let replay = replay_journal(path);
+                (open_journal(SweepJournal::append_to(path)), replay)
+            }
+            Some(path) => (open_journal(SweepJournal::create(path)), JournalReplay::default()),
+            None => (None, JournalReplay::default()),
+        };
+        let resumed_quarantine = replay
+            .quarantined
+            .iter()
+            .map(|q| q.key.clone())
+            .collect::<std::collections::BTreeSet<_>>();
+        let replayed_quarantines = replay.quarantined.len();
+        let engine = SweepEngine {
             config,
             cache,
             log: Mutex::new(Vec::new()),
-            quarantine: Mutex::new(Vec::new()),
+            quarantine: Mutex::new(replay.quarantined),
             obs: Mutex::new(ObsAggregate::default()),
             seq: AtomicU64::new(0),
             started: Instant::now(),
+            journal,
+            resumed: replay.jobs,
+            resumed_quarantine,
+            abandoned: AtomicU64::new(0),
+            deterministic,
+        };
+        // Replayed quarantines keep their operational counter, so the
+        // resumed artifact's `timings.ops` matches the original run's.
+        for _ in 0..replayed_quarantines {
+            engine.note_op(Metric::JobsQuarantined);
         }
+        engine
     }
 
     /// An engine with default configuration (no cache, auto workers,
@@ -411,6 +513,33 @@ impl SweepEngine {
 
     fn log_job(&self, record: JobRecord) {
         self.log.lock().expect("job log poisoned").push(record);
+    }
+
+    /// Appends a completed job to the write-ahead journal, if one is
+    /// configured. Journal write failures degrade resumability, not
+    /// correctness, so they warn instead of failing the job.
+    fn journal_job(&self, record: &JobRecord, report: &RunReport) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append_job(record, report) {
+                eprintln!("warning: cannot journal job {}: {e}", record.id);
+            }
+        }
+    }
+
+    /// Appends a quarantine record to the write-ahead journal, if one
+    /// is configured.
+    fn journal_quarantine(&self, q: &QuarantineRecord) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append_quarantine(q) {
+                eprintln!("warning: cannot journal quarantine {}: {e}", q.id);
+            }
+        }
+    }
+
+    /// Detached attempt threads abandoned to timeouts so far (see
+    /// [`SweepConfig::abandoned_cap`]).
+    pub fn abandoned_threads(&self) -> u64 {
+        self.abandoned.load(Ordering::Relaxed)
     }
 
     fn probe_event(&self, event: &ProbeEvent<'_>) {
@@ -474,6 +603,30 @@ impl SweepEngine {
         let mut results: Vec<Option<RunReport>> = (0..jobs.len()).map(|_| None).collect();
         let mut miss_indices = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
+            let canonical = job.key.canonical();
+            // A resumed journal outranks the cache: it records exactly
+            // what the interrupted run completed, including each job's
+            // original hit/miss flag, which is what keeps the resumed
+            // artifact byte-identical to an uninterrupted one.
+            if let Some((record, report)) = self.resumed.get(&canonical) {
+                self.emit(obj(vec![
+                    ("event", Value::Str("job_done".into())),
+                    ("id", Value::Str(record.id.clone())),
+                    ("label", Value::Str(record.label.clone())),
+                    ("cache", Value::Str("journal".into())),
+                    ("wall_ms", Value::Float(0.0)),
+                    ("cycles", Value::Int(record.total_cycles)),
+                ]));
+                self.log_job(record.clone());
+                self.observe_job(&job.key, report, record.cache_hit, 0.0);
+                results[i] = Some(report.clone());
+                continue;
+            }
+            if self.resumed_quarantine.contains(&canonical) {
+                // The interrupted run already gave up on this job; its
+                // quarantine record was replayed at engine construction.
+                continue;
+            }
             let cached = self.cache.as_ref().and_then(|c| c.load(&job.key));
             match cached {
                 Some(report) => {
@@ -485,14 +638,16 @@ impl SweepEngine {
                         ("wall_ms", Value::Float(0.0)),
                         ("cycles", Value::Int(report.total_cycles())),
                     ]));
-                    self.log_job(JobRecord {
+                    let record = JobRecord {
                         id: job.key.id(),
-                        key: job.key.canonical(),
+                        key: canonical,
                         label: job.key.label(),
                         cache_hit: true,
                         wall_ms: 0.0,
                         total_cycles: report.total_cycles(),
-                    });
+                    };
+                    self.journal_job(&record, &report);
+                    self.log_job(record);
                     self.observe_job(&job.key, &report, true, 0.0);
                     results[i] = Some(report);
                 }
@@ -700,8 +855,15 @@ impl SweepEngine {
     /// The `BENCH_sweep.json` artifact: engine configuration, aggregate
     /// counters and the full per-job log with wall times.
     pub fn artifact_value(&self) -> Value {
-        let log = self.log.lock().expect("job log poisoned");
-        let quarantine = self.quarantine.lock().expect("quarantine poisoned");
+        let mut log = self.log.lock().expect("job log poisoned").clone();
+        let mut quarantine = self.quarantine.lock().expect("quarantine poisoned").clone();
+        if self.deterministic {
+            // Journaled runs promise a byte-identical artifact whether
+            // the sweep ran straight through or was killed and resumed:
+            // order by canonical key instead of completion order.
+            log.sort_by(|a, b| a.key.cmp(&b.key));
+            quarantine.sort_by(|a, b| a.key.cmp(&b.key));
+        }
         let summary_hits = log.iter().filter(|j| j.cache_hit).count();
         let jobs = Value::Arr(
             log.iter()
@@ -730,7 +892,14 @@ impl SweepEngine {
             ("cache_hits", Value::Int(summary_hits as u64)),
             ("cache_misses", Value::Int((log.len() - summary_hits) as u64)),
             ("quarantined", Value::Int(quarantine.len() as u64)),
-            ("wall_ms", Value::Float(self.started.elapsed().as_secs_f64() * 1e3)),
+            (
+                "wall_ms",
+                Value::Float(if self.deterministic {
+                    0.0
+                } else {
+                    self.started.elapsed().as_secs_f64() * 1e3
+                }),
+            ),
             ("metrics", self.metrics_value()),
             ("timings", self.timings_value()),
             ("jobs", jobs),
@@ -845,12 +1014,7 @@ impl SweepEngine {
     ///
     /// Propagates filesystem errors.
     pub fn write_trace(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, self.trace_string())
+        write_file_atomic(path, &self.trace_string())
     }
 
     /// Writes [`SweepEngine::artifact_value`] to `path`.
@@ -859,12 +1023,47 @@ impl SweepEngine {
     ///
     /// Propagates filesystem errors.
     pub fn write_artifact(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
+        write_file_atomic(path, &self.artifact_value().to_json())
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// process-unique `.tmp` sibling first and are renamed into place, so a
+/// crash mid-write can never leave a torn file at `path`. Parent
+/// directories are created as needed; concurrent writers of identical
+/// bytes race benignly (either rename winning leaves the same file).
+///
+/// # Errors
+///
+/// Propagates filesystem errors (the temporary file is cleaned up).
+pub fn write_file_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, self.artifact_value().to_json())
+    }
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    let tmp = path.with_file_name(format!("{name}.tmp.{}", std::process::id()));
+    let result = std::fs::write(&tmp, contents).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Converts a journal-open result into the engine's optional journal,
+/// downgrading failure to a warning: a sweep without its journal is
+/// still correct, just not resumable.
+fn open_journal(result: std::io::Result<SweepJournal>) -> Option<SweepJournal> {
+    match result {
+        Ok(journal) => Some(journal),
+        Err(e) => {
+            eprintln!("warning: cannot open sweep journal: {e}");
+            None
+        }
     }
 }
 
@@ -992,6 +1191,34 @@ fn run_attempt(
 /// would fail identically — so a faulted job makes a single attempt
 /// instead of burning the configured retries and their backoff sleeps.
 fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
+    // Each timed-out attempt leaks a detached OS thread; past the
+    // configured cap, refuse to spawn more and quarantine instead, so a
+    // systematically wedged sweep degrades to a bounded leak.
+    if let Some(cap) = engine.config.abandoned_cap {
+        if engine.abandoned_threads() >= cap as u64 {
+            let q = QuarantineRecord {
+                id: job.key.id(),
+                key: job.key.canonical(),
+                label: job.key.label(),
+                reason: "abandoned-cap",
+                attempts: 0,
+                detail: format!(
+                    "abandoned-thread cap ({cap}) reached; not spawning another attempt"
+                ),
+            };
+            engine.note_op(Metric::JobsQuarantined);
+            engine.emit(obj(vec![
+                ("event", Value::Str("job_quarantined".into())),
+                ("id", Value::Str(q.id.clone())),
+                ("label", Value::Str(q.label.clone())),
+                ("reason", Value::Str(q.reason.into())),
+                ("attempts", Value::Int(0)),
+            ]));
+            engine.journal_quarantine(&q);
+            engine.quarantine.lock().expect("quarantine poisoned").push(q);
+            return None;
+        }
+    }
     let injected = engine.config.fault_plan.as_ref().and_then(|p| p.worker_fault_at(seq));
     engine.emit(obj(vec![
         ("event", Value::Str("job_start".into())),
@@ -1015,6 +1242,9 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
         match run_attempt(engine, job, injected, seq) {
             AttemptOutcome::Done(report) => {
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                // Deterministic (journaled) artifacts zero the one
+                // nondeterministic per-job field.
+                let wall_ms = if engine.deterministic { 0.0 } else { wall_ms };
                 if let Some(cache) = &engine.cache {
                     cache.store(&job.key, &report);
                 }
@@ -1026,20 +1256,24 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
                     ("wall_ms", Value::Float(wall_ms)),
                     ("cycles", Value::Int(report.total_cycles())),
                 ]));
-                engine.log_job(JobRecord {
+                let record = JobRecord {
                     id: job.key.id(),
                     key: job.key.canonical(),
                     label: job.key.label(),
                     cache_hit: false,
                     wall_ms,
                     total_cycles: report.total_cycles(),
-                });
+                };
+                engine.journal_job(&record, &report);
+                engine.log_job(record);
                 engine.observe_job(&job.key, &report, false, wall_ms);
                 return Some(report);
             }
             AttemptOutcome::Error(e) => last_failure = ("error", e.to_string()),
             AttemptOutcome::Panic(msg) => last_failure = ("panic", msg),
             AttemptOutcome::Timeout(limit) => {
+                engine.abandoned.fetch_add(1, Ordering::Relaxed);
+                engine.note_op(Metric::AbandonedThreads);
                 last_failure =
                     ("timeout", format!("exceeded {}ms wall-clock limit", limit.as_millis()));
             }
@@ -1054,14 +1288,16 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
         ("reason", Value::Str(reason.into())),
         ("attempts", Value::Int(u64::from(attempts))),
     ]));
-    engine.quarantine.lock().expect("quarantine poisoned").push(QuarantineRecord {
+    let q = QuarantineRecord {
         id: job.key.id(),
         key: job.key.canonical(),
         label: job.key.label(),
         reason,
         attempts,
         detail,
-    });
+    };
+    engine.journal_quarantine(&q);
+    engine.quarantine.lock().expect("quarantine poisoned").push(q);
     None
 }
 
@@ -1338,6 +1574,86 @@ mod tests {
         assert_eq!(probe.span_count(SpanKind::Job), spec.len());
         assert_eq!(probe.counter_total(Metric::CacheMisses), spec.len() as u64);
         assert_eq!(probe.counter_total(Metric::CacheHits), 0);
+    }
+
+    #[test]
+    fn killed_sweep_resumes_to_a_byte_identical_artifact() {
+        let dir =
+            std::env::temp_dir().join(format!("regwin-sweep-resume-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("BENCH_sweep.json.journal.jsonl");
+        let spec = small_spec(); // 4 cells
+
+        // Reference: an uninterrupted journaled run.
+        let reference =
+            SweepEngine::with_config(SweepConfig::builder().journal(&journal).build().unwrap());
+        reference.run_matrix(&spec).unwrap();
+        let want = reference.artifact_value().to_json();
+
+        // Simulate kill -9 after two jobs: keep two intact journal
+        // lines plus a torn third (an append cut mid-way).
+        let full = std::fs::read_to_string(&journal).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        assert_eq!(lines.len(), spec.len());
+        let torn = format!("{}\n{}\n{}", lines[0], lines[1], &lines[2][..lines[2].len() / 2]);
+        std::fs::write(&journal, torn).unwrap();
+
+        let resumed = SweepEngine::with_config(
+            SweepConfig::builder().journal(&journal).resume(true).build().unwrap(),
+        );
+        let records = resumed.run_matrix(&spec).unwrap();
+        assert_eq!(records.len(), spec.len(), "resume must complete every cell");
+        assert_eq!(
+            resumed.artifact_value().to_json(),
+            want,
+            "resumed artifact must be byte-identical to the uninterrupted one"
+        );
+        // And the journal is whole again: a second resume re-runs nothing.
+        let replay = crate::journal::replay_journal(&journal);
+        assert_eq!(replay.jobs.len(), spec.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn builder_rejects_resume_without_journal_and_cap_without_timeout() {
+        assert_eq!(
+            SweepConfig::builder().resume(true).build().unwrap_err(),
+            SweepConfigError::ResumeWithoutJournal
+        );
+        assert_eq!(
+            SweepConfig::builder().abandoned_cap(2).build().unwrap_err(),
+            SweepConfigError::AbandonedCapWithoutTimeout
+        );
+    }
+
+    #[test]
+    fn abandoned_cap_quarantines_instead_of_spawning_more_attempts() {
+        let engine = SweepEngine::with_config(
+            SweepConfig::builder()
+                .job_timeout(Duration::from_millis(50))
+                .abandoned_cap(1)
+                .workers(1)
+                .build()
+                .unwrap(),
+        );
+        let spec = small_spec();
+        let jobs: Vec<Job> = [4usize, 8]
+            .iter()
+            .map(|&w| {
+                let key = JobKey::for_cell(&spec, spec.behaviors[0], SchemeKind::Sp, w);
+                Job::new(key, || {
+                    std::thread::sleep(Duration::from_secs(30));
+                    Err(RtError::Aborted)
+                })
+            })
+            .collect();
+        let reports = engine.run_jobs(&jobs);
+        assert!(reports.iter().all(Option::is_none));
+        assert_eq!(engine.abandoned_threads(), 1, "only the first job may leak a thread");
+        let quarantine = engine.quarantine();
+        assert_eq!(quarantine.len(), 2);
+        assert_eq!(quarantine[0].reason, "timeout");
+        assert_eq!(quarantine[1].reason, "abandoned-cap");
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Crash-safe write-ahead journal for resumable sweeps.
+//!
+//! Alongside the `BENCH_sweep.json` artifact the engine can keep a
+//! `*.journal.jsonl` file: one checksummed JSON line appended — and
+//! fsync'd — the moment each job completes or is quarantined. Killing a
+//! sweep at any instant (including `kill -9` mid-append) therefore
+//! loses at most the in-flight jobs: on `--resume` the journal is
+//! replayed, finished jobs are served from their journaled reports, and
+//! only the unfinished remainder re-runs. A torn final line (the only
+//! kind of damage an append-then-fsync discipline can leave) fails its
+//! checksum and is skipped.
+//!
+//! Line format: `{"sum":"<16-hex>","payload":{...}}` where `sum` is the
+//! FNV-1a hash of the payload's compact serialization. Payloads carry a
+//! `"type"` of `"job"` (a [`JobRecord`] plus its full [`RunReport`]) or
+//! `"quarantine"` (a [`QuarantineRecord`]).
+
+use crate::engine::{JobRecord, QuarantineRecord};
+use crate::json::{obj, parse, Value};
+use crate::key::{fnv1a, FORMAT_VERSION};
+use crate::serial::{report_from_value, report_to_value};
+use regwin_rt::RunReport;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// An append-only, fsync'd journal of completed sweep jobs.
+#[derive(Debug)]
+pub struct SweepJournal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+/// Everything a journal knew at the moment of the crash: finished jobs
+/// keyed by canonical key string, plus the quarantine log.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Completed jobs: canonical key → (log record, full report).
+    pub jobs: BTreeMap<String, (JobRecord, RunReport)>,
+    /// Jobs the crashed run had already given up on.
+    pub quarantined: Vec<QuarantineRecord>,
+}
+
+impl SweepJournal {
+    /// Starts a fresh journal at `path`, truncating any previous one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(SweepJournal { file: Mutex::new(file), path })
+    }
+
+    /// Reopens an existing journal at `path` for appending (resume); a
+    /// missing file is created empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append_to(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        // A kill -9 mid-append can leave a torn, newline-less final
+        // line; terminate it so fresh appends start a new line (the
+        // torn one then simply fails its checksum on the next replay)
+        // instead of gluing onto the garbage and corrupting themselves.
+        let torn_tail = std::fs::read(&path)
+            .map(|bytes| bytes.last().is_some_and(|&b| b != b'\n'))
+            .unwrap_or(false);
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if torn_tail {
+            file.write_all(b"\n")?;
+        }
+        Ok(SweepJournal { file: Mutex::new(file), path })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Journals one completed job (record plus its full report).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; the line is flushed and fsync'd
+    /// before this returns, so a success means the entry survives
+    /// `kill -9`.
+    pub fn append_job(&self, record: &JobRecord, report: &RunReport) -> std::io::Result<()> {
+        self.append_payload(obj(vec![
+            ("type", Value::Str("job".into())),
+            ("version", Value::Int(u64::from(FORMAT_VERSION))),
+            ("id", Value::Str(record.id.clone())),
+            ("key", Value::Str(record.key.clone())),
+            ("label", Value::Str(record.label.clone())),
+            ("cache", Value::Str(if record.cache_hit { "hit" } else { "miss" }.into())),
+            ("total_cycles", Value::Int(record.total_cycles)),
+            ("report", report_to_value(report)),
+        ]))
+    }
+
+    /// Journals one quarantined job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (flushed and fsync'd like
+    /// [`SweepJournal::append_job`]).
+    pub fn append_quarantine(&self, q: &QuarantineRecord) -> std::io::Result<()> {
+        self.append_payload(obj(vec![
+            ("type", Value::Str("quarantine".into())),
+            ("version", Value::Int(u64::from(FORMAT_VERSION))),
+            ("id", Value::Str(q.id.clone())),
+            ("key", Value::Str(q.key.clone())),
+            ("label", Value::Str(q.label.clone())),
+            ("reason", Value::Str(q.reason.into())),
+            ("attempts", Value::Int(u64::from(q.attempts))),
+            ("detail", Value::Str(q.detail.clone())),
+        ]))
+    }
+
+    fn append_payload(&self, payload: Value) -> std::io::Result<()> {
+        let payload_text = payload.to_json();
+        let sum = fnv1a(payload_text.as_bytes());
+        let line = format!("{{\"sum\":\"{sum:016x}\",\"payload\":{payload_text}}}\n");
+        let mut file = self.file.lock().expect("journal poisoned");
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        file.sync_data()
+    }
+}
+
+/// Replays a journal: checksummed, current-format lines become finished
+/// jobs or quarantine records; torn or stale lines are skipped. A
+/// missing file replays as empty (nothing was finished).
+pub fn replay_journal(path: &Path) -> JournalReplay {
+    let mut replay = JournalReplay::default();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return replay;
+    };
+    for line in text.lines() {
+        let Some(payload) = verify_line(line) else {
+            continue;
+        };
+        if payload.get("version").and_then(Value::as_u64) != Some(u64::from(FORMAT_VERSION)) {
+            continue;
+        }
+        match payload.get("type").and_then(Value::as_str) {
+            Some("job") => {
+                if let Some((record, report)) = decode_job(&payload) {
+                    replay.jobs.insert(record.key.clone(), (record, report));
+                }
+            }
+            Some("quarantine") => {
+                if let Some(q) = decode_quarantine(&payload) {
+                    replay.quarantined.push(q);
+                }
+            }
+            _ => {}
+        }
+    }
+    replay
+}
+
+/// Parses one journal line and verifies its checksum, returning the
+/// payload. The payload's compact re-serialization is byte-identical to
+/// what [`SweepJournal`] hashed at append time (`Value::to_json` is
+/// deterministic and parse/serialize round-trips exactly), so the
+/// stored sum can be checked against the re-serialized payload.
+fn verify_line(line: &str) -> Option<Value> {
+    let v = parse(line).ok()?;
+    let sum = u64::from_str_radix(v.get("sum")?.as_str()?, 16).ok()?;
+    let payload = v.get("payload")?;
+    if fnv1a(payload.to_json().as_bytes()) != sum {
+        return None;
+    }
+    Some(payload.clone())
+}
+
+fn decode_job(payload: &Value) -> Option<(JobRecord, RunReport)> {
+    let report = report_from_value(payload.get("report")?).ok()?;
+    let record = JobRecord {
+        id: payload.get("id")?.as_str()?.to_string(),
+        key: payload.get("key")?.as_str()?.to_string(),
+        label: payload.get("label")?.as_str()?.to_string(),
+        cache_hit: payload.get("cache")?.as_str()? == "hit",
+        wall_ms: 0.0,
+        total_cycles: payload.get("total_cycles")?.as_u64()?,
+    };
+    Some((record, report))
+}
+
+fn decode_quarantine(payload: &Value) -> Option<QuarantineRecord> {
+    // `reason` needs a `&'static str`; map through the known set so a
+    // hand-edited journal cannot smuggle in an arbitrary string.
+    let reason = match payload.get("reason")?.as_str()? {
+        "panic" => "panic",
+        "timeout" => "timeout",
+        "error" => "error",
+        "abandoned-cap" => "abandoned-cap",
+        _ => return None,
+    };
+    Some(QuarantineRecord {
+        id: payload.get("id")?.as_str()?.to_string(),
+        key: payload.get("key")?.as_str()?.to_string(),
+        label: payload.get("label")?.as_str()?.to_string(),
+        reason,
+        attempts: payload.get("attempts")?.as_u64()? as u32,
+        detail: payload.get("detail")?.as_str()?.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regwin_machine::SchemeKind;
+    use regwin_spell::{SpellConfig, SpellPipeline};
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("regwin-journal-test-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    fn sample() -> (JobRecord, RunReport) {
+        let report =
+            SpellPipeline::new(SpellConfig::small()).run(8, SchemeKind::Sp).unwrap().report;
+        let record = JobRecord {
+            id: "00000000deadbeef".into(),
+            key: "v2|exp=test".into(),
+            label: "SP w=8".into(),
+            cache_hit: false,
+            wall_ms: 0.0,
+            total_cycles: report.total_cycles(),
+        };
+        (record, report)
+    }
+
+    #[test]
+    fn append_then_replay_roundtrips() {
+        let path = tmpfile("roundtrip");
+        let (record, report) = sample();
+        let journal = SweepJournal::create(&path).unwrap();
+        journal.append_job(&record, &report).unwrap();
+        journal
+            .append_quarantine(&QuarantineRecord {
+                id: "beef".into(),
+                key: "v2|exp=bad".into(),
+                label: "NS w=4".into(),
+                reason: "timeout",
+                attempts: 3,
+                detail: "exceeded 100ms".into(),
+            })
+            .unwrap();
+        let replay = replay_journal(&path);
+        assert_eq!(replay.jobs.len(), 1);
+        let (rec, rep) = &replay.jobs[&record.key];
+        assert_eq!(rec.id, record.id);
+        assert_eq!(rec.total_cycles, record.total_cycles);
+        assert_eq!(rep, &report);
+        assert_eq!(replay.quarantined.len(), 1);
+        assert_eq!(replay.quarantined[0].reason, "timeout");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let path = tmpfile("torn");
+        let (record, report) = sample();
+        let journal = SweepJournal::create(&path).unwrap();
+        journal.append_job(&record, &report).unwrap();
+        journal.append_job(&record, &report).unwrap();
+        // Simulate kill -9 mid-append: chop the file mid-way through
+        // the second line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first_len = text.lines().next().unwrap().len();
+        std::fs::write(&path, &text[..first_len + 1 + 20]).unwrap();
+        let replay = replay_journal(&path);
+        assert_eq!(replay.jobs.len(), 1, "intact first line survives, torn second is dropped");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tampered_payload_fails_its_checksum() {
+        let path = tmpfile("tamper");
+        let (record, report) = sample();
+        let journal = SweepJournal::create(&path).unwrap();
+        journal.append_job(&record, &report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"cache\":\"miss\"", "\"cache\":\"hit!\"")).unwrap();
+        assert!(replay_journal(&path).jobs.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_replays_empty() {
+        let replay = replay_journal(Path::new("/nonexistent/regwin.journal.jsonl"));
+        assert!(replay.jobs.is_empty());
+        assert!(replay.quarantined.is_empty());
+    }
+}

@@ -45,6 +45,14 @@ impl Value {
         }
     }
 
+    /// The value as a `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an `f64` (integers widen).
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -14,7 +14,7 @@ use regwin_spell::CorpusSpec;
 
 /// Bump to invalidate all previously cached results (serialization or
 /// simulation semantics changed).
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// The complete identity of one sweep job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,8 +90,9 @@ impl JobKey {
     }
 }
 
-/// 64-bit FNV-1a.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// 64-bit FNV-1a — names cache entries and checksums cache/journal
+/// payloads.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

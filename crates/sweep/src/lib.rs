@@ -51,6 +51,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod journal;
 pub mod json;
 pub mod key;
 pub mod serial;
@@ -58,9 +59,10 @@ pub mod studies;
 
 pub use cache::ResultCache;
 pub use engine::{
-    records_to_json, Job, JobRecord, QuarantineRecord, SweepConfig, SweepConfigBuilder,
-    SweepConfigError, SweepEngine, SweepSummary,
+    records_to_json, write_file_atomic, Job, JobRecord, QuarantineRecord, SweepConfig,
+    SweepConfigBuilder, SweepConfigError, SweepEngine, SweepSummary,
 };
+pub use journal::{replay_journal, JournalReplay, SweepJournal};
 pub use key::{JobKey, FORMAT_VERSION};
 pub use serial::{report_from_json, report_to_json, DecodeError};
 pub use studies::run_ablation;

@@ -101,6 +101,7 @@ pub fn report_to_value(report: &RunReport) -> Value {
                     ("restores", Value::Int(t.restores)),
                     ("blocked_on_read", Value::Int(t.blocked_on_read)),
                     ("blocked_on_write", Value::Int(t.blocked_on_write)),
+                    ("quarantined", Value::Bool(t.quarantined)),
                 ])
             })
             .collect(),
@@ -209,6 +210,9 @@ pub fn report_from_value(v: &Value) -> Result<RunReport, DecodeError> {
             restores: need_u64(t, "restores")?,
             blocked_on_read: need_u64(t, "blocked_on_read")?,
             blocked_on_write: need_u64(t, "blocked_on_write")?,
+            quarantined: need(t, "quarantined")?
+                .as_bool()
+                .ok_or_else(|| DecodeError("thread quarantined not a boolean".into()))?,
         });
     }
 

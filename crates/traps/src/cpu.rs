@@ -122,6 +122,69 @@ impl Cpu {
         self.machine.current_thread()
     }
 
+    /// Enables window-state integrity auditing on the underlying machine
+    /// (see [`regwin_machine::WindowAuditor`]). From now on the CPU
+    /// audits the affected thread's live windows at every trap boundary
+    /// (after overflow/underflow resolution) and on both sides of every
+    /// context switch, repairing clean windows from the backing stack
+    /// and surfacing dirty-window corruption as a typed error.
+    pub fn enable_window_audit(&mut self) {
+        self.machine.enable_auditor();
+    }
+
+    /// Total windows repaired by the auditor so far (0 when auditing is
+    /// not enabled).
+    pub fn window_repairs(&self) -> u64 {
+        self.machine.auditor().map_or(0, |a| a.repairs())
+    }
+
+    /// Runs one on-demand audit pass over thread `t`; see
+    /// [`regwin_machine::Machine::audit_thread`]. A no-op without
+    /// auditing enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`regwin_machine::MachineError::UnrecoverableCorruption`]
+    /// for corrupted dirty windows.
+    pub fn audit_thread(&mut self, t: ThreadId) -> Result<u64, SchemeError> {
+        let span = self.audit_span_open();
+        let repaired = self.machine.audit_thread(t)?;
+        self.span_close(span, SpanKind::Audit, "audit");
+        Ok(repaired)
+    }
+
+    /// Audits the current thread at a trap or switch boundary; a no-op
+    /// when auditing is off or no thread is current.
+    fn audit_current(&mut self) -> Result<(), SchemeError> {
+        let span = self.audit_span_open();
+        self.machine.audit_current()?;
+        self.span_close(span, SpanKind::Audit, "audit");
+        Ok(())
+    }
+
+    /// Opens an `Audit` span only when there is something to observe:
+    /// auditing enabled and a probe installed.
+    fn audit_span_open(&self) -> Option<(Arc<dyn Probe>, u64)> {
+        if self.machine.auditor().is_some() {
+            self.span_open(SpanKind::Audit, "audit")
+        } else {
+            None
+        }
+    }
+
+    /// Releases every window and memory frame of thread `t` without it
+    /// being current — the quarantine primitive: when a thread's window
+    /// state is unrecoverably corrupt, the runtime evicts it from the
+    /// register file wholesale (its windows become free for the healthy
+    /// threads; nothing is flushed, the data is untrustworthy anyway).
+    ///
+    /// # Errors
+    ///
+    /// Fails for an unknown thread id.
+    pub fn release_thread(&mut self, t: ThreadId) -> Result<(), SchemeError> {
+        Ok(self.machine.release_thread(t)?)
+    }
+
     /// Executes a `save` (procedure entry), resolving any overflow trap
     /// through the scheme.
     ///
@@ -137,6 +200,7 @@ impl Cpu {
                 self.scheme.on_overflow(&mut self.machine, trap)?;
                 self.machine.complete_save()?;
                 self.span_close(span, SpanKind::Trap, "overflow");
+                self.audit_current()?;
                 Ok(())
             }
         }
@@ -177,6 +241,7 @@ impl Cpu {
                 match self.scheme.on_underflow(&mut self.machine, trap, instr)? {
                     UnderflowResolution::AlreadyComplete => {
                         self.span_close(span, SpanKind::Trap, "underflow");
+                        self.audit_current()?;
                         Ok(())
                     }
                     UnderflowResolution::CompleteRestore => {
@@ -185,6 +250,7 @@ impl Cpu {
                             instr.write_destination(&mut self.machine, v)?;
                         }
                         self.span_close(span, SpanKind::Trap, "underflow");
+                        self.audit_current()?;
                         Ok(())
                     }
                 }
@@ -203,9 +269,18 @@ impl Cpu {
         if from == Some(to) {
             return Ok(());
         }
+        // Audit the outgoing thread before its windows are disturbed and
+        // the incoming one once it is resumed, so corruption is pinned to
+        // the thread that owned the CPU when it happened.
+        if let Some(f) = from {
+            let span = self.audit_span_open();
+            self.machine.audit_thread(f)?;
+            self.span_close(span, SpanKind::Audit, "audit");
+        }
         let span = self.span_open(SpanKind::Switch, "switch");
         self.scheme.context_switch(&mut self.machine, from, to)?;
         self.span_close(span, SpanKind::Switch, "switch");
+        self.audit_current()?;
         Ok(())
     }
 
@@ -513,5 +588,39 @@ mod tests {
         }
         assert_eq!(observations[0], observations[1], "NS vs SNP");
         assert_eq!(observations[0], observations[2], "NS vs SP");
+    }
+
+    #[test]
+    fn audited_cpu_repairs_masked_fill_corruption_transparently() {
+        use regwin_machine::TransferFault;
+        for mut cpu in all_cpus(4) {
+            cpu.enable_window_audit();
+            // Corrupt the first three fill transfers; the audit pass at
+            // each underflow-trap boundary must repair them before the
+            // application reads the restored registers.
+            let mut faults = FaultSchedule::new();
+            for i in 0..3 {
+                faults = faults.on_fill(i, TransferFault::Corrupt { xor: 0xdead });
+            }
+            cpu.set_fault_schedule(Some(faults));
+            let t = cpu.add_thread();
+            cpu.switch_to(t).unwrap();
+            cpu.write_local(0, 100).unwrap();
+            for depth in 2..=8u64 {
+                cpu.save().unwrap();
+                cpu.write_local(0, 100 * depth).unwrap();
+            }
+            for depth in (1..=7u64).rev() {
+                cpu.restore().unwrap();
+                assert_eq!(
+                    cpu.read_local(0).unwrap(),
+                    100 * depth,
+                    "{:?} depth {depth}",
+                    cpu.scheme_kind()
+                );
+            }
+            assert!(cpu.window_repairs() > 0, "{:?}", cpu.scheme_kind());
+            cpu.check_invariants().unwrap();
+        }
     }
 }

@@ -1,0 +1,56 @@
+//! Machine-level micro-benchmark: times the simulator's primitive
+//! operations (trap-free save/restore, overflow, underflow, context
+//! switch, audit pass) with window auditing off and on, and writes the
+//! deterministic-order `BENCH_machine.json` document.
+//!
+//! Usage: `repro-microbench [--quick] [--out <file>]`
+
+use regwin_bench::microbench::{microbench_to_json, run_microbench, MicrobenchConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_machine.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro-microbench [--quick] [--out <file>]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: repro-microbench [--quick] [--out <file>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = if quick { MicrobenchConfig::quick() } else { MicrobenchConfig::full() };
+    let ms = run_microbench(cfg);
+    println!("{:<10} {:>6} {:>8} {:>14} {:>12}", "op", "audit", "ops", "cycles/op", "ns/op");
+    for m in &ms {
+        println!(
+            "{:<10} {:>6} {:>8} {:>14.2} {:>12.1}",
+            m.op,
+            if m.audit { "on" } else { "off" },
+            m.ops,
+            m.cycles_per_op,
+            m.ns_per_op
+        );
+    }
+    let doc = microbench_to_json(cfg, quick, &ms);
+    let mut body = doc.to_json();
+    body.push('\n');
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("failed to write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", out.display());
+}

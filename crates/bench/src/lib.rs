@@ -45,6 +45,11 @@
 //! derive purely from the run reports, so their bytes are identical
 //! across `--jobs` counts and cache states.
 //!
+//! Integrity: `--audit` switches window auditing on inside every
+//! simulated run. Auditing never changes any reported number — it buys
+//! masked-corruption repair and quarantine of unrecoverable corruption
+//! — so audited and unaudited invocations share cache entries.
+//!
 //! All repro binaries execute through the `regwin-sweep` engine: jobs
 //! are content-addressed, cached across invocations, fanned out over a
 //! worker pool, and logged to a `BENCH_sweep.json` artifact.
@@ -60,6 +65,8 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 pub use regwin_core::figures::FigureResult;
+
+pub mod microbench;
 
 /// Parsed command-line options shared by all repro binaries.
 #[derive(Debug, Clone)]
@@ -98,6 +105,10 @@ pub struct Args {
     /// Cap on abandoned (timed-out, detached) attempt threads
     /// (`--abandoned-cap`).
     pub abandoned_cap: Option<usize>,
+    /// Enable window integrity auditing in every simulated run
+    /// (`--audit`). Audited runs report identical numbers — the flag
+    /// buys corruption detection and repair, not different results.
+    pub audit: bool,
 }
 
 impl Args {
@@ -120,6 +131,7 @@ impl Args {
             journal: false,
             resume: false,
             abandoned_cap: None,
+            audit: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -198,6 +210,7 @@ impl Args {
                             .unwrap_or_else(|| usage("--abandoned-cap needs a count")),
                     );
                 }
+                "--audit" => args.audit = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -248,6 +261,7 @@ impl Args {
         if let Some(cap) = self.abandoned_cap {
             builder = builder.abandoned_cap(cap);
         }
+        builder = builder.window_audit(self.audit);
         let config = builder.build().unwrap_or_else(|e| usage(&e.to_string()));
         SweepEngine::with_config(config)
     }
@@ -350,7 +364,7 @@ fn usage(problem: &str) -> ! {
          [--fault-seed <u64>] [--fault-plan <kind@index,...>] \
          [--job-timeout-ms <ms>] [--retries <n>] [--retry-backoff-ms <ms>] \
          [--fail-on-quarantine] [--trace-out <file>] [--metrics] \
-         [--journal] [--resume] [--abandoned-cap <n>]"
+         [--journal] [--resume] [--abandoned-cap <n>] [--audit]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

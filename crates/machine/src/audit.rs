@@ -64,18 +64,50 @@ pub enum WindowTag {
 /// Per-window integrity bookkeeping for one [`crate::Machine`]. The
 /// machine drives the tag lifecycle (fill → `Clean`, any legitimate
 /// write → `Dirty`, slot release → `Untracked`) and runs the actual
-/// verification passes; the auditor owns the tags and the repair
-/// counter.
+/// verification passes; the auditor owns the tags, the pending-write
+/// bitmask and the repair counter.
+///
+/// Checksums are computed *lazily*: a legitimate register write only
+/// sets the window's bit in `pending` (one OR on the hot path), and the
+/// next audit point re-establishes that window's reference checksum
+/// from the frame as it stands. Any tag transition (fill, fresh dirty
+/// tag, untrack) clears the bit, so a stale pending mark can never
+/// shadow a `Clean` tag's pristine copy or an eagerly recorded
+/// reference.
+///
+/// Verification is equally lazy. Every path that can perturb a live
+/// frame behind the tags' back (a corrupted fill transfer, a scheduled
+/// resident bit-flip) also sets the window's bit in `suspect` — and
+/// always *after* recording a trustworthy reference for it. An audit
+/// pass therefore only needs to examine suspect windows: a window
+/// whose bit is clear provably matches its reference (or has a stale
+/// reference that nothing will ever consult), so a fault-free audit
+/// point is a single bitmask test that computes no checksum at all.
 #[derive(Debug, Clone)]
 pub struct WindowAuditor {
     tags: Vec<WindowTag>,
+    /// Bit `w` set ⇢ window `w` was legitimately written since its
+    /// reference checksum was last established. One `u64` suffices:
+    /// [`crate::Machine::new`] rejects window counts above 64.
+    pending: u64,
+    /// Bit `w` set ⇢ window `w` may have been perturbed behind the
+    /// tags' back since its reference was recorded, and must be
+    /// verified (and repaired, if possible) at the next audit point.
+    suspect: u64,
     repairs: u64,
+    checksums: u64,
 }
 
 impl WindowAuditor {
     /// An auditor for `nwindows` physical windows, all untracked.
     pub fn new(nwindows: usize) -> Self {
-        WindowAuditor { tags: vec![WindowTag::Untracked; nwindows], repairs: 0 }
+        WindowAuditor {
+            tags: vec![WindowTag::Untracked; nwindows],
+            pending: 0,
+            suspect: 0,
+            repairs: 0,
+            checksums: 0,
+        }
     }
 
     /// The tag currently recorded for window `w`.
@@ -88,19 +120,76 @@ impl WindowAuditor {
         self.tags[w.index()] != WindowTag::Untracked
     }
 
-    /// Tags `w` as a dirty live frame with checksum `sum`.
-    pub(crate) fn mark_dirty(&mut self, w: WindowIndex, sum: u64) {
-        self.tags[w.index()] = WindowTag::Dirty { sum };
+    /// Notes a legitimate write to window `w` — the entire per-write
+    /// cost of auditing.
+    pub(crate) fn note_pending(&mut self, w: WindowIndex) {
+        self.pending |= 1u64 << w.index();
     }
 
-    /// Tags `w` as a clean live frame filled with `pristine`.
+    /// Whether window `w` has a legitimate write pending (its reference
+    /// checksum is stale).
+    pub fn is_pending(&self, w: WindowIndex) -> bool {
+        self.pending & (1u64 << w.index()) != 0
+    }
+
+    /// Takes (tests and clears) window `w`'s pending-write bit.
+    pub(crate) fn take_pending(&mut self, w: WindowIndex) -> bool {
+        let bit = 1u64 << w.index();
+        let was = self.pending & bit != 0;
+        self.pending &= !bit;
+        was
+    }
+
+    /// Flags window `w` as possibly perturbed behind the tags' back —
+    /// called by the fault-injection sites, always after a trustworthy
+    /// reference for `w` has been recorded.
+    pub(crate) fn note_suspect(&mut self, w: WindowIndex) {
+        self.suspect |= 1u64 << w.index();
+    }
+
+    /// Whether window `w` must be verified at the next audit point.
+    pub fn is_suspect(&self, w: WindowIndex) -> bool {
+        self.suspect & (1u64 << w.index()) != 0
+    }
+
+    /// Whether any window at all awaits verification — the audit-point
+    /// fast path: when this is false the whole pass is skipped.
+    pub fn any_suspect(&self) -> bool {
+        self.suspect != 0
+    }
+
+    /// Takes (tests and clears) window `w`'s suspect bit.
+    pub(crate) fn take_suspect(&mut self, w: WindowIndex) -> bool {
+        let bit = 1u64 << w.index();
+        let was = self.suspect & bit != 0;
+        self.suspect &= !bit;
+        was
+    }
+
+    /// Tags `w` as a dirty live frame with checksum `sum`. The fresh
+    /// reference supersedes any pending or suspect mark.
+    pub(crate) fn mark_dirty(&mut self, w: WindowIndex, sum: u64) {
+        self.tags[w.index()] = WindowTag::Dirty { sum };
+        let bit = 1u64 << w.index();
+        self.pending &= !bit;
+        self.suspect &= !bit;
+    }
+
+    /// Tags `w` as a clean live frame filled with `pristine`. The fresh
+    /// reference supersedes any pending or suspect mark.
     pub(crate) fn mark_clean(&mut self, w: WindowIndex, sum: u64, pristine: Frame) {
         self.tags[w.index()] = WindowTag::Clean { sum, pristine };
+        let bit = 1u64 << w.index();
+        self.pending &= !bit;
+        self.suspect &= !bit;
     }
 
     /// Stops tracking `w` (the slot no longer holds a live frame).
     pub(crate) fn untrack(&mut self, w: WindowIndex) {
         self.tags[w.index()] = WindowTag::Untracked;
+        let bit = 1u64 << w.index();
+        self.pending &= !bit;
+        self.suspect &= !bit;
     }
 
     /// Counts `n` repairs performed by a verification pass.
@@ -108,10 +197,25 @@ impl WindowAuditor {
         self.repairs = self.repairs.saturating_add(n);
     }
 
+    /// Counts `n` audit-purpose frame checksums computed by the machine
+    /// on this auditor's behalf.
+    pub(crate) fn add_checksums(&mut self, n: u64) {
+        self.checksums = self.checksums.saturating_add(n);
+    }
+
     /// Total windows (resident frames and backing-stack tops) repaired
     /// so far.
     pub fn repairs(&self) -> u64 {
         self.repairs
+    }
+
+    /// Total frame checksums computed for auditing so far. Lazy
+    /// auditing concentrates these at the corruption-capable transfers
+    /// themselves: between two audits the count stays flat no matter
+    /// how many registers are written, and a fault-free run computes
+    /// none at all after the enable-time baseline.
+    pub fn checksums(&self) -> u64 {
+        self.checksums
     }
 }
 
@@ -160,5 +264,70 @@ mod tests {
         assert_eq!(a.repairs(), 0);
         a.add_repairs(2);
         assert_eq!(a.repairs(), 2);
+    }
+
+    #[test]
+    fn pending_bits_are_per_window_and_cleared_by_tag_transitions() {
+        let mut a = WindowAuditor::new(64);
+        let w2 = WindowIndex::new(2);
+        let w63 = WindowIndex::new(63);
+        assert!(!a.is_pending(w2));
+        a.note_pending(w2);
+        a.note_pending(w63);
+        assert!(a.is_pending(w2) && a.is_pending(w63));
+        // take is test-and-clear, per window.
+        assert!(a.take_pending(w2));
+        assert!(!a.is_pending(w2) && a.is_pending(w63));
+        assert!(!a.take_pending(w2));
+        // Every tag transition clears the bit: a stale pending mark must
+        // never survive into a fresh Clean/Dirty reference (it would make
+        // the next audit re-baseline a corrupted frame).
+        a.note_pending(w2);
+        a.mark_clean(w2, 0, Frame::zeroed());
+        assert!(!a.is_pending(w2));
+        a.note_pending(w2);
+        a.mark_dirty(w2, 1);
+        assert!(!a.is_pending(w2));
+        a.note_pending(w2);
+        a.untrack(w2);
+        assert!(!a.is_pending(w2));
+        // w63 was untouched throughout.
+        assert!(a.take_pending(w63));
+    }
+
+    #[test]
+    fn suspect_bits_gate_verification_and_clear_on_transitions() {
+        let mut a = WindowAuditor::new(64);
+        let w = WindowIndex::new(3);
+        let w63 = WindowIndex::new(63);
+        assert!(!a.any_suspect());
+        a.note_suspect(w);
+        a.note_suspect(w63);
+        assert!(a.any_suspect() && a.is_suspect(w) && a.is_suspect(w63));
+        // take is test-and-clear, per window.
+        assert!(a.take_suspect(w));
+        assert!(!a.take_suspect(w) && a.is_suspect(w63));
+        assert!(a.take_suspect(w63));
+        assert!(!a.any_suspect());
+        // A fresh reference supersedes suspicion: the injection sites
+        // always record the trustworthy reference first, then flag.
+        a.note_suspect(w);
+        a.mark_dirty(w, 1);
+        assert!(!a.is_suspect(w));
+        a.note_suspect(w);
+        a.mark_clean(w, 0, Frame::zeroed());
+        assert!(!a.is_suspect(w));
+        a.note_suspect(w);
+        a.untrack(w);
+        assert!(!a.is_suspect(w) && !a.any_suspect());
+    }
+
+    #[test]
+    fn checksum_counter_accumulates() {
+        let mut a = WindowAuditor::new(4);
+        assert_eq!(a.checksums(), 0);
+        a.add_checksums(3);
+        a.add_checksums(2);
+        assert_eq!(a.checksums(), 5);
     }
 }

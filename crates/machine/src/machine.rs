@@ -20,7 +20,7 @@ use crate::stats::MachineStats;
 use crate::thread::{ThreadId, ThreadState};
 use crate::trap::WindowTrap;
 use crate::window::{Wim, WindowIndex, MAX_WINDOWS, MIN_WINDOWS};
-use regwin_obs::{Metric, Probe, ProbeEvent};
+use regwin_obs::{Metric, MetricSet, Probe, ProbeEvent};
 use std::sync::Arc;
 
 /// Bytes moved per window transfer: 16 registers of 8 bytes each.
@@ -66,6 +66,10 @@ pub struct Machine {
     stats: MachineStats,
     faults: Option<FaultSchedule>,
     probe: Option<Arc<dyn Probe>>,
+    /// Counter deltas accumulated since the last [`Machine::flush_probe`].
+    /// Buffering turns one dynamic probe dispatch per event into one
+    /// array add, flushed in canonical order at span boundaries.
+    pending_metrics: MetricSet,
     auditor: Option<WindowAuditor>,
 }
 
@@ -108,6 +112,7 @@ impl Machine {
             stats: MachineStats::new(),
             faults: None,
             probe: None,
+            pending_metrics: MetricSet::new(),
             auditor: None,
         };
         machine.recompute_wim();
@@ -168,12 +173,32 @@ impl Machine {
         self.faults.as_ref()
     }
 
-    /// Installs (or with `None` removes) an instrumentation probe. Every
-    /// subsequent window event, transfer and cycle charge is reported to
-    /// it; with no probe installed the only cost per event site is one
-    /// `Option` branch.
+    /// Installs (or with `None` removes) an instrumentation probe.
+    /// Counter deltas are *batched*: event sites accumulate into a local
+    /// [`MetricSet`] and [`Machine::flush_probe`] delivers the totals in
+    /// canonical order — callers flush at span boundaries, so no counter
+    /// dispatch happens on the per-event hot path. With no probe
+    /// installed the only cost per event site is one `Option` branch.
+    /// Deltas still pending for a previously installed probe are flushed
+    /// to it first.
     pub fn set_probe(&mut self, probe: Option<Arc<dyn Probe>>) {
+        self.flush_probe();
         self.probe = probe;
+    }
+
+    /// Delivers every buffered counter delta to the installed probe (in
+    /// [`Metric::ALL`] order, zero deltas skipped) and clears the buffer.
+    /// Cheap when nothing is pending; a no-op without a probe.
+    pub fn flush_probe(&mut self) {
+        if self.pending_metrics.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_metrics);
+        if let Some(p) = &self.probe {
+            for (metric, delta) in pending.iter_nonzero() {
+                p.record(&ProbeEvent::Counter { metric, delta });
+            }
+        }
     }
 
     /// The installed instrumentation probe, if any.
@@ -192,15 +217,18 @@ impl Machine {
     /// Threads already holding live frames are tagged dirty as-is.
     pub fn enable_auditor(&mut self) {
         let mut auditor = WindowAuditor::new(self.nwindows);
+        let mut computed = 0u64;
         for ts in &self.threads {
             if let Some(top) = ts.top() {
                 let mut w = top;
                 for _ in 0..ts.resident() {
                     auditor.mark_dirty(w, frame_checksum(&self.regfile.frame(w)));
+                    computed += 1;
                     w = w.below(self.nwindows);
                 }
             }
         }
+        auditor.add_checksums(computed);
         self.auditor = Some(auditor);
     }
 
@@ -553,6 +581,18 @@ impl Machine {
             None => None,
         };
         if let Some(xor) = resident_xor {
+            // Materialize the pre-corruption reference checksum eagerly:
+            // under lazy auditing the window's bit is merely pending, and
+            // the next audit would otherwise re-baseline the corrupted
+            // bytes and accept them. The suspect mark is what makes the
+            // next audit examine this window at all.
+            let reference =
+                self.auditor.as_ref().map(|_| frame_checksum(&self.regfile.frame(target)));
+            if let (Some(sum), Some(a)) = (reference, self.auditor.as_mut()) {
+                a.mark_dirty(target, sum);
+                a.add_checksums(1);
+                a.note_suspect(target);
+            }
             let mut frame = self.regfile.frame(target);
             corrupt_frame(&mut frame, xor);
             self.regfile.set_frame(target, frame);
@@ -624,8 +664,10 @@ impl Machine {
         // With auditing on, a corrupted spill transfer is caught right
         // here — the stored bytes disagree with the pristine checksum —
         // and repaired while the pristine frame is still in hand. The
-        // backing store therefore always holds pristine frames.
-        let spill_repaired = audit_on && !ts.backing().verify_top();
+        // backing store therefore always holds pristine frames. The
+        // transfer is the only thing that can perturb the bytes between
+        // push and verify, so a fault-free spill skips the re-checksum.
+        let spill_repaired = audit_on && spill_xor.is_some() && !ts.backing().verify_top();
         if spill_repaired {
             ts.backing_mut().set_top(pristine);
         }
@@ -700,6 +742,12 @@ impl Machine {
         self.slots[slot.index()] = SlotUse::Live(t);
         if let Some(a) = self.auditor.as_mut() {
             a.mark_clean(slot, sum, pristine);
+            // A perturbed fill is the only way the live bytes can
+            // disagree with the pristine reference just recorded: flag
+            // the window so the next audit verifies (and repairs) it.
+            if fill_xor.is_some() {
+                a.note_suspect(slot);
+            }
         }
         if reason == TransferReason::Trap {
             self.stats.underflow_restores += 1;
@@ -753,6 +801,9 @@ impl Machine {
         self.regfile.set_frame(slot, frame);
         if let Some(a) = self.auditor.as_mut() {
             a.mark_clean(slot, sum, pristine);
+            if fill_xor.is_some() {
+                a.note_suspect(slot);
+            }
         }
         // The callee's frame is gone and the caller's occupies its slot:
         // top, resident and the slot map are all unchanged.
@@ -1201,12 +1252,17 @@ impl Machine {
     // Window-state auditing
     // ------------------------------------------------------------------
 
-    /// Runs one audit pass over thread `t`: verifies the structural
-    /// machine invariants ([`Machine::check_invariants`]) and then the
-    /// integrity checksum of every live window of `t`. Clean windows
-    /// that fail their check are repaired from the pristine frame
-    /// recorded at fill time; returns how many were repaired. A no-op
-    /// (returning 0) when auditing is not enabled.
+    /// Runs one audit pass over thread `t`: verifies the integrity
+    /// checksum of every *suspect* live window of `t` — a window is
+    /// suspect exactly when a corruption-capable transfer touched it
+    /// since its reference checksum was recorded, so a window with a
+    /// clear bit provably still matches its reference and is skipped.
+    /// On a fault-free run every audit point reduces to one bitmask
+    /// test. When suspects exist, the structural machine invariants
+    /// ([`Machine::check_invariants`]) are verified first. Clean
+    /// windows that fail their check are repaired from the pristine
+    /// frame recorded at fill time; returns how many were repaired. A
+    /// no-op (returning 0) when auditing is not enabled.
     ///
     /// Repairs are counted on the auditor and reported to the probe as
     /// [`Metric::WindowRepairs`], but deliberately charge no cycles and
@@ -1219,14 +1275,32 @@ impl Machine {
     /// window of `t` fails its check (no pristine copy exists), and
     /// propagates structural invariant violations.
     pub fn audit_thread(&mut self, t: ThreadId) -> Result<u64, MachineError> {
-        if self.auditor.is_none() {
-            return Ok(0);
+        match self.auditor.as_ref() {
+            None => return Ok(0),
+            Some(a) if !a.any_suspect() => return Ok(0),
+            Some(_) => {}
         }
         self.check_invariants()?;
         let windows = self.live_windows_of(t)?;
         let mut repaired = 0u64;
+        let mut computed = 0u64;
         for w in windows {
+            if !self.auditor.as_mut().expect("checked above").take_suspect(w) {
+                continue;
+            }
+            // A pending legitimate write over a suspect window means the
+            // thread wrote it after the perturbation: the frame as it
+            // stands is the legitimate state, so re-establish the
+            // reference from it — exactly what the pre-suspect lazy
+            // audit did — and move on.
+            if self.auditor.as_mut().expect("checked above").take_pending(w) {
+                let sum = frame_checksum(&self.regfile.frame(w));
+                computed += 1;
+                self.auditor.as_mut().expect("checked above").mark_dirty(w, sum);
+                continue;
+            }
             let actual = frame_checksum(&self.regfile.frame(w));
+            computed += 1;
             match self.auditor.as_ref().expect("checked above").tag(w) {
                 WindowTag::Untracked => {}
                 WindowTag::Dirty { sum } => {
@@ -1236,6 +1310,7 @@ impl Machine {
                 }
                 WindowTag::Clean { sum, pristine } => {
                     if actual != sum {
+                        computed += 1;
                         if frame_checksum(&pristine) != sum {
                             // The retained copy itself is damaged: there
                             // is nothing trustworthy to repair from.
@@ -1250,8 +1325,12 @@ impl Machine {
                 }
             }
         }
+        let auditor = self.auditor.as_mut().expect("checked above");
+        auditor.add_checksums(computed);
         if repaired > 0 {
-            self.auditor.as_mut().expect("checked above").add_repairs(repaired);
+            auditor.add_repairs(repaired);
+        }
+        if repaired > 0 {
             self.bump(Metric::WindowRepairs, repaired);
         }
         Ok(repaired)
@@ -1278,10 +1357,11 @@ impl Machine {
         self.current.ok_or(MachineError::NoCurrentThread)
     }
 
-    /// Reports a counter increment to the installed probe, if any.
-    fn bump(&self, metric: Metric, delta: u64) {
-        if let Some(p) = &self.probe {
-            p.record(&ProbeEvent::Counter { metric, delta });
+    /// Buffers a counter increment for the installed probe, if any; the
+    /// delta reaches the probe at the next [`Machine::flush_probe`].
+    fn bump(&mut self, metric: Metric, delta: u64) {
+        if self.probe.is_some() {
+            self.pending_metrics.add(metric, delta);
         }
     }
 
@@ -1299,25 +1379,25 @@ impl Machine {
         self.threads.get_mut(t.index()).ok_or(MachineError::UnknownThread(t))
     }
 
-    /// Tags `w` as a dirty live frame with its current checksum (no-op
-    /// without an auditor).
+    /// Tags `w` as a dirty live frame whose reference checksum is
+    /// pending: it will be established from the frame bytes at the next
+    /// audit point. The placeholder sum is never consulted — the pending
+    /// bit forces a recompute first. No-op without an auditor.
     fn auditor_tag_dirty(&mut self, w: WindowIndex) {
-        if self.auditor.is_some() {
-            let sum = frame_checksum(&self.regfile.frame(w));
-            if let Some(a) = self.auditor.as_mut() {
-                a.mark_dirty(w, sum);
-            }
+        if let Some(a) = self.auditor.as_mut() {
+            a.mark_dirty(w, 0);
+            a.note_pending(w);
         }
     }
 
-    /// Re-checksums `w` after a legitimate register write, if it holds a
-    /// tracked live frame (writes always dirty a window: its pristine
-    /// fill copy, if any, no longer describes it).
+    /// Notes a legitimate register write to `w`, if it holds a tracked
+    /// live frame (writes always dirty a window: its pristine fill copy,
+    /// if any, no longer describes it). The entire per-write cost is one
+    /// bit OR — no checksum is computed until the next audit point.
     fn auditor_note_write(&mut self, w: WindowIndex) {
-        if self.auditor.as_ref().is_some_and(|a| a.is_tracked(w)) {
-            let sum = frame_checksum(&self.regfile.frame(w));
-            if let Some(a) = self.auditor.as_mut() {
-                a.mark_dirty(w, sum);
+        if let Some(a) = self.auditor.as_mut() {
+            if a.is_tracked(w) {
+                a.note_pending(w);
             }
         }
     }
@@ -1824,6 +1904,7 @@ mod tests {
             restore_conventional(&mut m, t);
         }
         m.record_context_switch(Some(t), SchemeKind::Snp, 1, 1);
+        m.flush_probe();
         let snap = probe.snapshot();
         let stats = m.stats();
         // Direct counters must agree exactly — but note the probe was
@@ -1865,6 +1946,7 @@ mod tests {
         m.set_probe(Some(probe.clone()));
         let mut clone = m.clone();
         save(&mut clone);
+        clone.flush_probe();
         assert_eq!(probe.snapshot().get(Metric::SavesExecuted), 1);
         assert!(m.probe().is_some());
     }
@@ -1943,6 +2025,65 @@ mod tests {
             Err(MachineError::UnrecoverableCorruption { window, owner: t })
         );
         assert_eq!(m.auditor().unwrap().repairs(), 0);
+    }
+
+    #[test]
+    fn probe_counters_are_buffered_until_flush() {
+        use regwin_obs::MetricProbe;
+        let (mut m, _t) = machine_with_thread(8);
+        let probe = Arc::new(MetricProbe::new());
+        m.set_probe(Some(probe.clone()));
+        save(&mut m);
+        // Nothing reaches the probe until the flush delivers the batch.
+        assert_eq!(probe.snapshot().get(Metric::SavesExecuted), 0);
+        m.flush_probe();
+        assert_eq!(probe.snapshot().get(Metric::SavesExecuted), 1);
+        // Replacing the probe flushes what the old one is still owed.
+        save(&mut m);
+        m.set_probe(None);
+        assert_eq!(probe.snapshot().get(Metric::SavesExecuted), 2);
+    }
+
+    #[test]
+    fn no_checksums_are_computed_between_audit_points() {
+        use crate::fault::{FaultSchedule, TransferFault};
+        let (mut m, t) = machine_with_thread(8);
+        m.enable_auditor();
+        let base = m.auditor().unwrap().checksums();
+        // A burst of register writes, saves and restores between two
+        // audit points computes no checksum at all: each write costs one
+        // pending-bit OR, each save a placeholder tag.
+        for _ in 0..100 {
+            m.write_local(0, 7).unwrap();
+            m.write_in(1, 9).unwrap();
+            m.write_out(2, 11).unwrap();
+        }
+        save(&mut m);
+        m.write_local(3, 13).unwrap();
+        restore_conventional(&mut m, t);
+        assert_eq!(m.auditor().unwrap().checksums(), base);
+        // Fault-free audit points are just as free: no window is
+        // suspect, so the pass is a single bitmask test.
+        assert_eq!(m.audit_thread(t).unwrap(), 0);
+        assert_eq!(m.auditor().unwrap().checksums(), base);
+        // Only a corruption-capable transfer makes an audit pay. A
+        // corrupted fill marks its window suspect; the fill itself
+        // still computes nothing.
+        m.set_fault_schedule(Some(
+            FaultSchedule::new().on_fill(0, TransferFault::Corrupt { xor: 0xff }),
+        ));
+        let bottom = m.thread(t).unwrap().bottom(8).unwrap();
+        m.spill_bottom(t, TransferReason::Switch).unwrap();
+        m.restore_into(t, bottom, TransferReason::Switch).unwrap();
+        assert_eq!(m.auditor().unwrap().checksums(), base);
+        assert!(m.auditor().unwrap().is_suspect(bottom));
+        // The audit verifies exactly the one suspect window (and
+        // repairs it), then the steady state is free again.
+        assert_eq!(m.audit_thread(t).unwrap(), 1);
+        let after = m.auditor().unwrap().checksums();
+        assert!(after > base);
+        assert_eq!(m.audit_thread(t).unwrap(), 0);
+        assert_eq!(m.auditor().unwrap().checksums(), after);
     }
 
     #[test]

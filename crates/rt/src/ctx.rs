@@ -285,9 +285,9 @@ impl Ctx {
     /// waiting-reason must already be registered in `st`.
     fn block(&self, mut st: MutexGuard<'_, SimState>) -> Result<(), RtError> {
         st.turn = Turn::Scheduler;
-        self.shared.sched_cv.notify_all();
+        self.shared.sched_cv.notify_one();
         while st.turn != Turn::Worker(self.tid) && !st.stop {
-            self.shared.worker_cv.wait(&mut st);
+            self.shared.worker_cv(self.tid).wait(&mut st);
         }
         if st.stop {
             return Err(RtError::Aborted);

@@ -18,7 +18,7 @@ use regwin_machine::{CostModel, ThreadId};
 use regwin_obs::{Metric, Probe, ProbeEvent, SpanKind};
 use regwin_traps::{build_scheme, Cpu, Scheme, SchemeKind};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A thread body: a closure run once on its own coroutine, communicating
 /// and computing exclusively through the [`Ctx`] it receives.
@@ -172,7 +172,32 @@ impl SimState {
 pub(crate) struct Shared {
     pub(crate) state: Mutex<SimState>,
     pub(crate) sched_cv: Condvar,
-    pub(crate) worker_cv: Condvar,
+    /// One condvar per worker thread, sized at run start. The turn
+    /// protocol admits exactly one runnable worker at a time, so the
+    /// scheduler wakes precisely that worker's condvar — a shared
+    /// condvar would make every dispatch a thundering herd in which
+    /// all parked workers wake, contend for the state lock, find it is
+    /// not their turn, and park again (two futex round-trips per
+    /// bystander per context switch).
+    pub(crate) worker_cvs: OnceLock<Box<[Condvar]>>,
+}
+
+impl Shared {
+    /// The dispatch condvar worker `tid` parks on. Only callable after
+    /// the run has started (the slice is sized when workers spawn).
+    pub(crate) fn worker_cv(&self, tid: ThreadId) -> &Condvar {
+        &self.worker_cvs.get().expect("worker condvars sized at run start")[tid.index()]
+    }
+
+    /// Wakes every parked worker (stop/teardown paths). Each condvar
+    /// has at most one waiter, so `notify_one` per condvar suffices.
+    pub(crate) fn notify_all_workers(&self) {
+        if let Some(cvs) = self.worker_cvs.get() {
+            for cv in cvs.iter() {
+                cv.notify_one();
+            }
+        }
+    }
 }
 
 /// A configured simulation: a CPU (windows + scheme), a set of streams,
@@ -237,7 +262,7 @@ impl Simulation {
             shared: Arc::new(Shared {
                 state: Mutex::new(state),
                 sched_cv: Condvar::new(),
-                worker_cv: Condvar::new(),
+                worker_cvs: OnceLock::new(),
             }),
             bodies: Vec::new(),
             scheme: kind,
@@ -392,6 +417,10 @@ impl Simulation {
                 name: self.scheme.name(),
             });
         }
+        self.shared
+            .worker_cvs
+            .set((0..nthreads).map(|_| Condvar::new()).collect())
+            .unwrap_or_else(|_| unreachable!("run consumes the simulation"));
         let mut workers = Vec::with_capacity(nthreads);
         for (i, slot) in self.bodies.iter_mut().enumerate() {
             let body = slot.take().expect("body taken once");
@@ -406,13 +435,17 @@ impl Simulation {
         {
             let mut st = self.shared.state.lock();
             st.stop = true;
-            self.shared.worker_cv.notify_all();
+            self.shared.notify_all_workers();
+            drop(st);
         }
         for w in workers {
             let _ = w.join();
         }
 
-        let st = self.shared.state.lock();
+        let mut st = self.shared.state.lock();
+        // Deliver whatever counter deltas the machine still holds before
+        // the Simulation span closes, so every event lands inside it.
+        st.cpu.flush_probe();
         if let Some(p) = &probe {
             p.record(&ProbeEvent::SpanEnd {
                 kind: SpanKind::Simulation,
@@ -531,7 +564,7 @@ impl Simulation {
                     }
                     st.record(TraceEvent::SwitchTo(next));
                     st.turn = Turn::Worker(next);
-                    shared.worker_cv.notify_all();
+                    shared.worker_cv(next).notify_one();
                 }
                 None => {
                     let detail: Vec<String> = st
@@ -578,7 +611,7 @@ fn worker_main(shared: Arc<Shared>, tid: ThreadId, body: ThreadBody) {
     {
         let mut st = shared.state.lock();
         while st.turn != Turn::Worker(tid) && !st.stop {
-            shared.worker_cv.wait(&mut st);
+            shared.worker_cv(tid).wait(&mut st);
         }
         if st.stop {
             st.finished[tid.index()] = true;
@@ -617,5 +650,5 @@ fn worker_main(shared: Arc<Shared>, tid: ThreadId, body: ThreadBody) {
         }
     }
     st.turn = Turn::Scheduler;
-    shared.sched_cv.notify_all();
+    shared.sched_cv.notify_one();
 }

@@ -151,8 +151,35 @@ impl Trace {
         scheme: Box<dyn Scheme>,
         faults: Option<FaultSchedule>,
     ) -> Result<RunReport, RtError> {
+        self.replay_with_options(nwindows, cost, scheme, faults, false)
+    }
+
+    /// Like [`Trace::replay_with_faults`], with window integrity auditing
+    /// optionally enabled on the replay CPU. Auditing never touches the
+    /// cycle counter or statistics, so an audited replay's report is
+    /// byte-identical to an unaudited one; a masked corruption from the
+    /// fault schedule is repaired silently, while unrecoverable
+    /// corruption surfaces as an error (replay has no scheduler to
+    /// quarantine the owning thread).
+    ///
+    /// # Errors
+    ///
+    /// As [`Trace::replay_with_faults`], plus
+    /// [`regwin_machine::MachineError::UnrecoverableCorruption`] when the
+    /// auditor detects a dirty-frame mismatch.
+    pub fn replay_with_options(
+        &self,
+        nwindows: usize,
+        cost: CostModel,
+        scheme: Box<dyn Scheme>,
+        faults: Option<FaultSchedule>,
+        audit: bool,
+    ) -> Result<RunReport, RtError> {
         let kind = scheme.kind();
         let mut cpu = Cpu::with_cost_model(nwindows, cost, scheme)?;
+        if audit {
+            cpu.enable_window_audit();
+        }
         if let Some(schedule) = faults {
             cpu.set_fault_schedule(Some(schedule));
         }

@@ -85,18 +85,31 @@ impl SpellOutcome {
 pub struct SpellPipeline {
     corpus: Corpus,
     config: SpellConfig,
+    audit: bool,
 }
 
 impl SpellPipeline {
     /// Generates the corpus for `config` and prepares the pipeline.
     pub fn new(config: SpellConfig) -> Self {
-        SpellPipeline { corpus: Corpus::generate(&config.corpus), config }
+        SpellPipeline { corpus: Corpus::generate(&config.corpus), config, audit: false }
     }
 
     /// Uses an already-generated corpus (to share one corpus across many
     /// runs of a sweep).
     pub fn with_corpus(corpus: Corpus, config: SpellConfig) -> Self {
-        SpellPipeline { corpus, config }
+        SpellPipeline { corpus, config, audit: false }
+    }
+
+    /// Enables window integrity auditing on every run of this pipeline.
+    ///
+    /// Auditing is pure bookkeeping: it never touches the cycle counter
+    /// or statistics, so an audited run's report is byte-identical to an
+    /// unaudited one — masked corruption is repaired silently and
+    /// unmasked corruption quarantines the owning thread.
+    #[must_use]
+    pub fn with_window_audit(mut self) -> Self {
+        self.audit = true;
+        self
     }
 
     /// The corpus this pipeline checks.
@@ -185,6 +198,9 @@ impl SpellPipeline {
             Simulation::with_scheme(nwindows, cost, scheme)?.with_policy(self.config.policy);
         if traced {
             sim = sim.with_trace_recording();
+        }
+        if self.audit {
+            sim = sim.with_window_audit();
         }
         if let Some(plan) = fault {
             sim = sim.with_fault_plan(plan);

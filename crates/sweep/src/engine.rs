@@ -31,6 +31,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// File inside the cache directory holding LPT scheduling hints: a JSON
+/// object mapping job id → wall ms measured the last time the job
+/// actually ran. Purely advisory — it orders cold-sweep execution,
+/// never results.
+const WALL_HINTS_FILE: &str = "wall_hints.json";
+
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
 pub struct SweepConfig {
@@ -78,6 +84,12 @@ pub struct SweepConfig {
     /// are quarantined with reason `"abandoned-cap"` instead of
     /// spawning new attempt threads. `None` (the default) never caps.
     pub abandoned_cap: Option<usize>,
+    /// Enable window integrity auditing inside every simulated run.
+    /// Auditing never touches cycle counts or statistics, so audited
+    /// and unaudited runs produce identical reports and legitimately
+    /// share cache entries; the flag buys masked-corruption repair (and
+    /// quarantine of unrecoverable corruption), not different numbers.
+    pub audit: bool,
 }
 
 impl SweepConfig {
@@ -259,6 +271,14 @@ impl SweepConfigBuilder {
         self
     }
 
+    /// Enables window integrity auditing in every job's simulation (see
+    /// [`SweepConfig::audit`]).
+    #[must_use]
+    pub fn window_audit(mut self, on: bool) -> Self {
+        self.config.audit = on;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -380,6 +400,10 @@ pub struct SweepEngine {
     /// artifact, so resumed and uninterrupted runs serialize
     /// byte-identically.
     deterministic: bool,
+    /// Measured wall times of this engine's cache-missing jobs (job id
+    /// → ms), merged into the cache directory's hint store after each
+    /// batch to seed LPT scheduling of future cold sweeps.
+    wall_hints: Mutex<BTreeMap<String, f64>>,
 }
 
 /// One completed job's deterministic observability record: derived
@@ -407,11 +431,12 @@ struct ObsAggregate {
     /// Engine operational counters — cache hits/misses, retries,
     /// quarantines. Cache-state dependent, so kept out of `metrics`.
     ops: MetricSet,
-    /// Wall-clock latency of cache hits, in microseconds.
-    hit_wall_us: Histogram,
+    /// Wall-clock latency of cache hits (entry load + validation), in
+    /// nanoseconds.
+    hit_wall_ns: Histogram,
     /// Wall-clock latency of cache misses (actual simulation), in
-    /// microseconds.
-    miss_wall_us: Histogram,
+    /// nanoseconds.
+    miss_wall_ns: Histogram,
 }
 
 impl SweepEngine {
@@ -470,6 +495,7 @@ impl SweepEngine {
             resumed_quarantine,
             abandoned: AtomicU64::new(0),
             deterministic,
+            wall_hints: Mutex::new(BTreeMap::new()),
         };
         // Replayed quarantines keep their operational counter, so the
         // resumed artifact's `timings.ops` matches the original run's.
@@ -548,6 +574,49 @@ impl SweepEngine {
         }
     }
 
+    /// Loads the persisted LPT scheduling hints (job id → wall ms of a
+    /// prior cache miss) from the cache directory. Absent or
+    /// unparseable files degrade scheduling quality, never correctness.
+    fn load_wall_hints(&self) -> BTreeMap<String, f64> {
+        let Some(cache) = &self.cache else { return BTreeMap::new() };
+        let Ok(text) = std::fs::read_to_string(cache.dir().join(WALL_HINTS_FILE)) else {
+            return BTreeMap::new();
+        };
+        match crate::json::parse(&text) {
+            Ok(Value::Obj(pairs)) => {
+                pairs.into_iter().filter_map(|(id, v)| v.as_f64().map(|ms| (id, ms))).collect()
+            }
+            _ => BTreeMap::new(),
+        }
+    }
+
+    /// Remembers one cache-missing job's measured wall time for future
+    /// LPT scheduling. Only meaningful with a cache (hints live in the
+    /// cache directory, and a fault-plan run's wall times would
+    /// mislead — fault plans disable the cache, so they skip here too).
+    fn note_wall_hint(&self, id: String, wall_ms: f64) {
+        if self.cache.is_some() {
+            self.wall_hints.lock().expect("wall hints poisoned").insert(id, wall_ms);
+        }
+    }
+
+    /// Merges this engine's measured wall times into the cache
+    /// directory's hint store. Write failures cost future scheduling
+    /// quality, not correctness, so they are silently ignored.
+    fn persist_wall_hints(&self) {
+        let Some(cache) = &self.cache else { return };
+        let fresh = self.wall_hints.lock().expect("wall hints poisoned");
+        if fresh.is_empty() {
+            return;
+        }
+        let mut merged = self.load_wall_hints();
+        for (id, ms) in fresh.iter() {
+            merged.insert(id.clone(), *ms);
+        }
+        let value = Value::Obj(merged.into_iter().map(|(id, ms)| (id, Value::Float(ms))).collect());
+        let _ = write_file_atomic(&cache.dir().join(WALL_HINTS_FILE), &value.to_json());
+    }
+
     /// Counts one engine operational event (retry, quarantine, cache
     /// hit/miss) in the `timings` aggregate and forwards it to the
     /// configured probe.
@@ -575,11 +644,13 @@ impl SweepEngine {
         let mut obs = self.obs.lock().expect("obs poisoned");
         obs.sim.merge(&metrics);
         obs.per_scheme.entry(scheme).or_default().merge(&metrics);
-        let wall_us = (wall_ms * 1e3) as u64;
+        // Nanoseconds: a warm hit costs single-digit microseconds or
+        // less, which a microsecond histogram truncates to a flat zero.
+        let wall_ns = (wall_ms * 1e6) as u64;
         if cache_hit {
-            obs.hit_wall_us.record(wall_us);
+            obs.hit_wall_ns.record(wall_ns);
         } else {
-            obs.miss_wall_us.record(wall_us);
+            obs.miss_wall_ns.record(wall_ns);
         }
         obs.rows.push(TraceRow {
             key: canonical,
@@ -627,15 +698,20 @@ impl SweepEngine {
                 // quarantine record was replayed at engine construction.
                 continue;
             }
+            let t_load = Instant::now();
             let cached = self.cache.as_ref().and_then(|c| c.load(&job.key));
             match cached {
                 Some(report) => {
+                    // A hit's wall time is the load-and-validate cost —
+                    // real, if small; deterministic artifacts zero it.
+                    let load_ms = t_load.elapsed().as_secs_f64() * 1e3;
+                    let wall_ms = if self.deterministic { 0.0 } else { load_ms };
                     self.emit(obj(vec![
                         ("event", Value::Str("job_done".into())),
                         ("id", Value::Str(job.key.id())),
                         ("label", Value::Str(job.key.label())),
                         ("cache", Value::Str("hit".into())),
-                        ("wall_ms", Value::Float(0.0)),
+                        ("wall_ms", Value::Float(wall_ms)),
                         ("cycles", Value::Int(report.total_cycles())),
                     ]));
                     let record = JobRecord {
@@ -643,12 +719,12 @@ impl SweepEngine {
                         key: canonical,
                         label: job.key.label(),
                         cache_hit: true,
-                        wall_ms: 0.0,
+                        wall_ms,
                         total_cycles: report.total_cycles(),
                     };
                     self.journal_job(&record, &report);
                     self.log_job(record);
-                    self.observe_job(&job.key, &report, true, 0.0);
+                    self.observe_job(&job.key, &report, true, wall_ms);
                     results[i] = Some(report);
                 }
                 None => miss_indices.push(i),
@@ -656,6 +732,32 @@ impl SweepEngine {
         }
         if miss_indices.is_empty() {
             return results;
+        }
+
+        // LPT (longest-processing-time-first): when prior runs left
+        // wall-time hints in the cache directory, start the
+        // expected-longest misses first so the pool's tail stays short.
+        // Ordering only affects which worker picks which job — results
+        // return in input order and deterministic artifacts sort by
+        // key — so a missing or stale hint file costs schedule quality,
+        // nothing else. Unhinted jobs follow the hinted ones in
+        // canonical key order; with no hint file at all the misses keep
+        // the caller's deterministic matrix order (which also keeps
+        // worker-fault sequence targeting stable — fault plans disable
+        // the cache, so they can never load hints).
+        if miss_indices.len() > 1 {
+            let hints = self.load_wall_hints();
+            if !hints.is_empty() {
+                let mut decorated: Vec<(usize, f64, String)> = miss_indices
+                    .iter()
+                    .map(|&i| {
+                        let hint = hints.get(&jobs[i].key.id()).copied().unwrap_or(0.0);
+                        (i, hint, jobs[i].key.canonical())
+                    })
+                    .collect();
+                decorated.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.2.cmp(&b.2)));
+                miss_indices = decorated.into_iter().map(|(i, ..)| i).collect();
+            }
         }
 
         let total = miss_indices.len();
@@ -679,6 +781,7 @@ impl SweepEngine {
                 });
             }
         });
+        self.persist_wall_hints();
         for (mi, report) in miss_indices.into_iter().zip(computed.into_inner().expect("results")) {
             results[mi] = report;
         }
@@ -715,26 +818,44 @@ impl SweepEngine {
                 JobKey::for_cell(spec, behavior, scheme, nwindows)
             })
             .collect();
+        // Unlogged pre-probe: which cells will actually run? Decides
+        // which behaviours need a recorded trace and how wide the miss
+        // fan-out will really be. (run_jobs does the authoritative,
+        // logged probe.)
+        let (behavior_missing, missing_cells) = {
+            let mut missing = vec![false; spec.behaviors.len()];
+            let mut missing_cells = 0usize;
+            for (&(bi, ..), key) in cells.iter().zip(&keys) {
+                let canonical = key.canonical();
+                if self.resumed.contains_key(&canonical)
+                    || self.resumed_quarantine.contains(&canonical)
+                {
+                    continue;
+                }
+                if self.cache.as_ref().and_then(|c| c.load(key)).is_none() {
+                    missing[bi] = true;
+                    missing_cells += 1;
+                }
+            }
+            (missing, missing_cells)
+        };
         self.emit(obj(vec![
             ("event", Value::Str("sweep_start".into())),
             ("jobs", Value::Int(cells.len() as u64)),
-            ("workers", Value::Int(self.effective_workers(cells.len()) as u64)),
+            // The worker count the miss fan-out will actually use — a
+            // warm sweep with one miss reports one worker, not the full
+            // pool width, and a fully warm sweep spawns none at all.
+            (
+                "workers",
+                Value::Int(if missing_cells == 0 {
+                    0
+                } else {
+                    self.effective_workers(missing_cells) as u64
+                }),
+            ),
             ("policy", Value::Str(spec.policy.name().into())),
         ]));
         let sweep_t0 = Instant::now();
-
-        // Unlogged pre-probe: which behaviours actually need a recorded
-        // trace? (Only consulted to skip recording; run_jobs does the
-        // authoritative, logged probe.)
-        let behavior_missing: Vec<bool> = {
-            let mut missing = vec![false; spec.behaviors.len()];
-            for (&(bi, ..), key) in cells.iter().zip(&keys) {
-                if !missing[bi] && self.cache.as_ref().and_then(|c| c.load(key)).is_none() {
-                    missing[bi] = true;
-                }
-            }
-            missing
-        };
 
         // Shared job data goes in `Arc`s (not borrows): a timed-out
         // attempt's detached thread may outlive this call.
@@ -755,7 +876,10 @@ impl SweepEngine {
                         ("behavior", Value::Str(behavior.to_string())),
                     ]));
                     let config = SpellConfig::new(spec.corpus, m, n).with_policy(spec.policy);
-                    let pipeline = SpellPipeline::with_corpus((*corpus).clone(), config);
+                    let mut pipeline = SpellPipeline::with_corpus((*corpus).clone(), config);
+                    if self.config.audit {
+                        pipeline = pipeline.with_window_audit();
+                    }
                     let (_, trace) = pipeline.run_traced(8, SchemeKind::Sp)?;
                     Ok(trace)
                 })?;
@@ -780,6 +904,7 @@ impl SweepEngine {
 
         let corpus_spec = spec.corpus;
         let policy = spec.policy;
+        let audit = self.config.audit;
         let jobs: Vec<Job> = cells
             .iter()
             .zip(keys)
@@ -788,18 +913,22 @@ impl SweepEngine {
                 let traces = Arc::clone(&traces);
                 let sim_plan = sim_plan.clone();
                 Job::new(key, move || match &traces[bi] {
-                    Some(trace) => trace.replay_with_faults(
+                    Some(trace) => trace.replay_with_options(
                         nwindows,
                         CostModel::s20(),
                         build_scheme(scheme),
                         sim_plan.as_deref().map(FaultPlan::machine_schedule),
+                        audit,
                     ),
                     // No trace: direct run (working-set policy, or a
                     // cache entry that vanished after the pre-probe).
                     None => {
                         let (m, n) = behavior.buffers();
                         let config = SpellConfig::new(corpus_spec, m, n).with_policy(policy);
-                        let pipeline = SpellPipeline::with_corpus((*corpus).clone(), config);
+                        let mut pipeline = SpellPipeline::with_corpus((*corpus).clone(), config);
+                        if audit {
+                            pipeline = pipeline.with_window_audit();
+                        }
                         match &sim_plan {
                             Some(plan) => Ok(pipeline.run_faulted(nwindows, scheme, plan)?.report),
                             None => Ok(pipeline.run(nwindows, scheme)?.report),
@@ -946,15 +1075,18 @@ impl SweepEngine {
 
     /// The wall-clock `timings` artifact section: engine operational
     /// counters (cache hits/misses, retries, quarantines) and cache
-    /// hit/miss latency histograms in microseconds. Unlike
-    /// [`SweepEngine::metrics_value`] this section is *not*
-    /// deterministic — it measures the host, not the simulation.
+    /// hit/miss latency histograms in nanoseconds (`schema: 2` — schema
+    /// 1 recorded microseconds, which truncated every warm hit to a
+    /// flat zero). Unlike [`SweepEngine::metrics_value`] this section
+    /// is *not* deterministic — it measures the host, not the
+    /// simulation.
     pub fn timings_value(&self) -> Value {
         let obs = self.obs.lock().expect("obs poisoned");
         obj(vec![
+            ("schema", Value::Int(2)),
             ("ops", metric_set_value(&obs.ops)),
-            ("cache_hit_wall_us", histogram_value(&obs.hit_wall_us)),
-            ("cache_miss_wall_us", histogram_value(&obs.miss_wall_us)),
+            ("cache_hit_wall_ns", histogram_value(&obs.hit_wall_ns)),
+            ("cache_miss_wall_ns", histogram_value(&obs.miss_wall_ns)),
         ])
     }
 
@@ -1242,6 +1374,9 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
         match run_attempt(engine, job, injected, seq) {
             AttemptOutcome::Done(report) => {
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                // The real wall time seeds LPT scheduling of future
+                // cold sweeps, even when the artifact zeroes it below.
+                engine.note_wall_hint(job.key.id(), wall_ms);
                 // Deterministic (journaled) artifacts zero the one
                 // nondeterministic per-job field.
                 let wall_ms = if engine.deterministic { 0.0 } else { wall_ms };
@@ -1462,6 +1597,42 @@ mod tests {
         assert_eq!(reports[0].as_ref().unwrap().nwindows, 12);
         assert_eq!(reports[1].as_ref().unwrap().nwindows, 4);
         assert!(engine.quarantine().is_empty());
+    }
+
+    #[test]
+    fn lpt_scheduling_keeps_the_deterministic_artifact_byte_identical() {
+        let dir =
+            std::env::temp_dir().join(format!("regwin-sweep-lpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec();
+        let config = |journal: &str| SweepConfig {
+            cache_dir: Some(dir.clone()),
+            journal_path: Some(dir.join(journal)),
+            ..SweepConfig::default()
+        };
+        // Cold pass one: no wall hints exist yet, so the misses run in
+        // canonical key order.
+        let first = SweepEngine::with_config(config("j1.jsonl"));
+        first.run_matrix(&spec).unwrap();
+        assert_eq!(first.summary().cache_misses, spec.len());
+        let baseline = first.artifact_value().to_json();
+        assert!(dir.join(WALL_HINTS_FILE).exists(), "cold pass persists wall hints");
+        // Drop the cached results but keep the hints: pass two is cold
+        // again, and this time schedules its misses longest-first.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name.ends_with(".json") && name != WALL_HINTS_FILE {
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+        let second = SweepEngine::with_config(config("j2.jsonl"));
+        second.run_matrix(&spec).unwrap();
+        assert_eq!(second.summary().cache_misses, spec.len());
+        // Scheduling order is pure wall-clock policy: the deterministic
+        // artifact must not change by a byte.
+        assert_eq!(second.artifact_value().to_json(), baseline);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

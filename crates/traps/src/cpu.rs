@@ -95,23 +95,43 @@ impl Cpu {
     /// underlying machine. Besides the machine's own counters, the CPU
     /// reports a `Trap` span around every overflow/underflow handler
     /// invocation and a `Switch` span around every context switch, each
-    /// carrying the simulated cycles the scheme spent inside.
+    /// carrying the simulated cycles the scheme spent inside. Machine
+    /// counter deltas are batched and reach the probe at span boundaries
+    /// (or an explicit [`Cpu::flush_probe`]), not one dispatch per event.
     pub fn set_probe(&mut self, probe: Option<Arc<dyn Probe>>) {
         self.machine.set_probe(probe);
     }
 
+    /// Delivers the machine's buffered counter deltas to the installed
+    /// probe; see [`regwin_machine::Machine::flush_probe`]. Spans flush
+    /// automatically on both sides — call this only at a boundary of
+    /// your own, e.g. before reading a metric snapshot mid-run.
+    pub fn flush_probe(&mut self) {
+        self.machine.flush_probe();
+    }
+
     /// Opens a span on the installed probe and returns the state needed
     /// to close it: the probe handle and the cycle total at entry.
-    fn span_open(&self, kind: SpanKind, name: &'static str) -> Option<(Arc<dyn Probe>, u64)> {
+    /// Buffered counter deltas are flushed first, so events charged
+    /// before the span stay outside it.
+    fn span_open(&mut self, kind: SpanKind, name: &'static str) -> Option<(Arc<dyn Probe>, u64)> {
+        self.machine.flush_probe();
         let probe = self.machine.probe()?.clone();
         probe.record(&ProbeEvent::SpanStart { kind, name });
         Some((probe, self.machine.cycles().total()))
     }
 
     /// Closes a span opened with [`Cpu::span_open`], attributing the
-    /// cycles charged in between.
-    fn span_close(&self, open: Option<(Arc<dyn Probe>, u64)>, kind: SpanKind, name: &'static str) {
+    /// cycles charged in between. Counter deltas buffered inside the
+    /// span are flushed before the `SpanEnd`, so they land inside it.
+    fn span_close(
+        &mut self,
+        open: Option<(Arc<dyn Probe>, u64)>,
+        kind: SpanKind,
+        name: &'static str,
+    ) {
         if let Some((probe, before)) = open {
+            self.machine.flush_probe();
             let cycles = self.machine.cycles().total().saturating_sub(before);
             probe.record(&ProbeEvent::SpanEnd { kind, name, cycles });
         }
@@ -164,7 +184,7 @@ impl Cpu {
 
     /// Opens an `Audit` span only when there is something to observe:
     /// auditing enabled and a probe installed.
-    fn audit_span_open(&self) -> Option<(Arc<dyn Probe>, u64)> {
+    fn audit_span_open(&mut self) -> Option<(Arc<dyn Probe>, u64)> {
         if self.machine.auditor().is_some() {
             self.span_open(SpanKind::Audit, "audit")
         } else {

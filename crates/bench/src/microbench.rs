@@ -21,7 +21,9 @@
 //! `BENCH_machine.json` document written by the `repro-microbench`
 //! binary.
 
+use regwin_cluster::{BusConfig, ClusterBuilder};
 use regwin_machine::ThreadId;
+use regwin_rt::Simulation;
 use regwin_sweep::json::{obj, Value};
 use regwin_traps::{build_scheme, Cpu, SchemeKind};
 use std::time::Instant;
@@ -31,7 +33,8 @@ use std::time::Instant;
 const DEPTH: u64 = 40;
 
 /// The fixed set of operations measured, in report order.
-pub const OPS: [&str; 6] = ["save", "restore", "overflow", "underflow", "switch", "audit"];
+pub const OPS: [&str; 7] =
+    ["save", "restore", "overflow", "underflow", "switch", "switch_cross_pe", "audit"];
 
 /// One measured cell: an operation under one audit setting.
 #[derive(Debug, Clone, PartialEq)]
@@ -263,6 +266,76 @@ fn bench_audit(cfg: MicrobenchConfig, audit: bool) -> OpMeasurement {
     }
 }
 
+/// Measures cross-PE byte transport: a minimal 2-PE cluster whose
+/// sender thread streams `iters` bytes over the default shared bus to a
+/// reader on the other PE. The cycle column is the cluster makespan
+/// divided by the byte count — the amortised per-byte cost of the full
+/// send/arbitrate/deliver/receive path, deterministic like every other
+/// cycle number here. The cluster is rebuilt every round, so ns per op
+/// includes construction; that is the real cost a sweep job pays.
+fn bench_switch_cross_pe(cfg: MicrobenchConfig, audit: bool) -> OpMeasurement {
+    let ops = cfg.iters;
+    let mut ns = Vec::with_capacity(cfg.rounds);
+    let mut makespan = 0u64;
+    for _ in 0..cfg.rounds {
+        let t0 = Instant::now();
+        let mut tx = Simulation::new(8, SchemeKind::Sp).expect("tx PE");
+        let mut rx = Simulation::new(8, SchemeKind::Sp).expect("rx PE");
+        if audit {
+            tx = tx.with_window_audit();
+            rx = rx.with_window_audit();
+        }
+        let up = tx.add_stream("S1:uplink", 8, 1);
+        tx.mark_stream_outbound(up);
+        tx.spawn("T1:send", move |ctx| {
+            let mut left = ops;
+            while left > 0 {
+                let chunk = left.min(4);
+                ctx.call(|ctx| {
+                    ctx.compute(2);
+                    for i in 0..chunk {
+                        ctx.write_byte(up, (i & 0xff) as u8)?;
+                    }
+                    Ok(())
+                })?;
+                left -= chunk;
+            }
+            ctx.close_writer(up)
+        });
+        let down = rx.add_stream("S1:inbound", 8, 1);
+        rx.mark_stream_inbound(down);
+        rx.spawn("T1:recv", move |ctx| loop {
+            let eof = ctx.call(|ctx| {
+                ctx.compute(2);
+                for _ in 0..4 {
+                    if ctx.read_byte(down)?.is_none() {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            })?;
+            if eof {
+                return Ok(());
+            }
+        });
+        let mut builder = ClusterBuilder::new(BusConfig::default());
+        builder.add_pe(tx.start());
+        builder.add_pe(rx.start());
+        builder.route(0, up, 1, down);
+        let report = builder.run().expect("cross-PE microbench cluster");
+        ns.push(t0.elapsed().as_nanos() as f64 / ops as f64);
+        makespan = report.summary.makespan_cycles;
+        debug_assert_eq!(report.summary.messages, ops);
+    }
+    OpMeasurement {
+        op: "switch_cross_pe",
+        audit,
+        ops,
+        cycles_per_op: makespan as f64 / ops as f64,
+        ns_per_op: median(ns),
+    }
+}
+
 /// Runs every cell of the micro-benchmark matrix: each operation in
 /// [`OPS`], unaudited then audited, in deterministic order.
 pub fn run_microbench(cfg: MicrobenchConfig) -> Vec<OpMeasurement> {
@@ -271,6 +344,7 @@ pub fn run_microbench(cfg: MicrobenchConfig) -> Vec<OpMeasurement> {
         out.extend(bench_save_restore(cfg, audit));
         out.extend(bench_traps(cfg, audit));
         out.push(bench_switch(cfg, audit));
+        out.push(bench_switch_cross_pe(cfg, audit));
         out.push(bench_audit(cfg, audit));
     }
     // Report in op-major order (both audit settings of an op adjacent).

@@ -1,0 +1,325 @@
+//! The shared bus: the cluster's single contended resource.
+//!
+//! Every cross-PE byte crosses one bus, modelled the way the PIE64
+//! prototype shares its inter-PE network: a request is raised when the
+//! sending PE completes the send, the arbiter picks among pending
+//! requests (fixed-priority or round-robin), the wire is occupied for
+//! `cycles_per_byte`, and the payload lands at the receiver after a
+//! further `latency` cycles. The gap between a request and its grant is
+//! the *contention stall* — charged to the requesting PE in the run's
+//! [`regwin_rt::BusSummary`], which is what the saturation figure
+//! plots.
+//!
+//! Requests from one PE are queued FIFO, so per-sender byte order is
+//! preserved under both arbitration policies; arbitration only decides
+//! how requests from *different* PEs interleave.
+
+use crate::component::{Component, ComponentId, Message, Outbox, Status};
+use regwin_rt::StreamId;
+use std::collections::{HashMap, VecDeque};
+
+/// How the bus picks among PEs with pending requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arbitration {
+    /// The lowest-numbered requesting PE always wins. Simple, starves
+    /// high-numbered PEs under saturation.
+    FixedPriority,
+    /// A rotating cursor: after PE *i* is granted, PE *i*+1 is checked
+    /// first for the next grant. Fair under saturation.
+    RoundRobin,
+}
+
+impl Arbitration {
+    /// The canonical lowercase name (CLI flag value, artifact field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Arbitration::FixedPriority => "fixed",
+            Arbitration::RoundRobin => "rr",
+        }
+    }
+
+    /// Parses a canonical name.
+    pub fn parse(s: &str) -> Option<Arbitration> {
+        match s {
+            "fixed" | "fixed-priority" => Some(Arbitration::FixedPriority),
+            "rr" | "round-robin" => Some(Arbitration::RoundRobin),
+            _ => None,
+        }
+    }
+}
+
+/// Bus timing and arbitration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Arbitration policy.
+    pub arbitration: Arbitration,
+    /// Cycles the wire is occupied per payload byte (close messages
+    /// are free: they ride the last byte's framing).
+    pub cycles_per_byte: u64,
+    /// Propagation delay from grant completion to delivery at the
+    /// receiving PE.
+    pub latency: u64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig { arbitration: Arbitration::RoundRobin, cycles_per_byte: 2, latency: 4 }
+    }
+}
+
+/// One queued request: the envelope tick it was raised at plus the
+/// payload (`None` = close marker).
+#[derive(Debug, Clone, Copy)]
+struct PendingRequest {
+    tick: u64,
+    stream: StreamId,
+    payload: Option<u8>,
+}
+
+/// The shared-bus component: per-PE FIFO request queues, the arbiter,
+/// and the contention accounting the saturation figure is drawn from.
+#[derive(Debug)]
+pub struct Bus {
+    cfg: BusConfig,
+    npes: usize,
+    /// Routes an outbound stream of a sending PE to the inbound stream
+    /// of the receiving PE.
+    routes: HashMap<(ComponentId, StreamId), (ComponentId, StreamId)>,
+    queues: Vec<VecDeque<PendingRequest>>,
+    busy_until: u64,
+    rr_cursor: usize,
+    grants: u64,
+    messages: u64,
+    per_pe_stall: Vec<u64>,
+}
+
+impl Bus {
+    /// A bus serving `npes` PEs with the given configuration.
+    pub fn new(cfg: BusConfig, npes: usize) -> Self {
+        Bus {
+            cfg,
+            npes,
+            routes: HashMap::new(),
+            queues: (0..npes).map(|_| VecDeque::new()).collect(),
+            busy_until: 0,
+            rr_cursor: 0,
+            grants: 0,
+            messages: 0,
+            per_pe_stall: vec![0; npes],
+        }
+    }
+
+    /// Routes `(from_pe, outbound stream)` to `(to_pe, inbound
+    /// stream)`. Every outbound stream a PE drains must be routed
+    /// before the run starts.
+    pub fn add_route(
+        &mut self,
+        from_pe: ComponentId,
+        outbound: StreamId,
+        to_pe: ComponentId,
+        inbound: StreamId,
+    ) {
+        self.routes.insert((from_pe, outbound), (to_pe, inbound));
+    }
+
+    /// Bus transactions granted so far (payload bytes plus closes).
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Payload bytes delivered so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Contention stall cycles charged to each requesting PE: for
+    /// every granted request, the grant tick minus the request tick.
+    pub fn per_pe_stall(&self) -> &[u64] {
+        &self.per_pe_stall
+    }
+
+    /// Grants every queued request, emitting a [`Message::Grant`] to
+    /// the sender (payload bytes only — closes occupy no sender
+    /// capacity) and a [`Message::Deliver`] to the routed target.
+    fn arbitrate(&mut self, out: &mut Outbox) -> Status {
+        loop {
+            // The earliest instant any queued request exists; the bus
+            // cannot decide before it is both free and has a request.
+            let Some(floor) = self.queues.iter().filter_map(|q| q.front()).map(|r| r.tick).min()
+            else {
+                return Status::Idle;
+            };
+            let t = self.busy_until.max(floor);
+            // Requests raised by time t compete for this grant; later
+            // ones wait for the next arbitration round.
+            let eligible =
+                |pe: usize| self.queues[pe].front().map(|r| r.tick <= t).unwrap_or(false);
+            let pe = match self.cfg.arbitration {
+                Arbitration::FixedPriority => (0..self.npes).find(|&p| eligible(p)),
+                Arbitration::RoundRobin => (0..self.npes)
+                    .map(|off| (self.rr_cursor + off) % self.npes)
+                    .find(|&p| eligible(p)),
+            }
+            .expect("a request at the floor tick is always eligible");
+            let req = self.queues[pe].pop_front().expect("eligible queue has a head");
+            let grant_tick = t;
+            self.per_pe_stall[pe] += grant_tick - req.tick;
+            self.grants += 1;
+            let cost = if req.payload.is_some() { self.cfg.cycles_per_byte } else { 0 };
+            self.busy_until = grant_tick + cost;
+            if req.payload.is_some() {
+                self.messages += 1;
+                out.send(pe, grant_tick, Message::Grant { stream: req.stream });
+            }
+            let &(to_pe, inbound) = self
+                .routes
+                .get(&(pe, req.stream))
+                .unwrap_or_else(|| panic!("unrouted outbound stream on PE {pe}"));
+            out.send(
+                to_pe,
+                grant_tick + cost + self.cfg.latency,
+                Message::Deliver { stream: inbound, payload: req.payload },
+            );
+            if self.cfg.arbitration == Arbitration::RoundRobin {
+                self.rr_cursor = (pe + 1) % self.npes;
+            }
+        }
+    }
+}
+
+impl Component for Bus {
+    fn on_tick(&mut self, _now: u64, inbox: Vec<(u64, Message)>, out: &mut Outbox) -> Status {
+        for (tick, msg) in inbox {
+            match msg {
+                Message::Request { from_pe, stream, payload } => {
+                    self.queues[from_pe].push_back(PendingRequest { tick, stream, payload });
+                }
+                Message::Grant { .. } | Message::Deliver { .. } => {
+                    unreachable!("only PEs receive grants and deliveries")
+                }
+            }
+        }
+        self.arbitrate(out)
+    }
+
+    fn is_done(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    fn blocked_detail(&self) -> Option<String> {
+        let pending: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
+        if pending == 0 {
+            None
+        } else {
+            Some(format!("bus holds {pending} ungranted requests"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(sim: &mut regwin_rt::Simulation, name: &str) -> StreamId {
+        sim.add_stream(name, 4, 1)
+    }
+
+    /// Builds a 2-PE bus with routes (pe 0, a) → (pe 1, b) and
+    /// (pe 1, a) → (pe 0, b), returning (bus, a, b).
+    fn two_pe_bus(arb: Arbitration) -> (Bus, StreamId, StreamId) {
+        let mut sim = regwin_rt::Simulation::new(8, regwin_traps::SchemeKind::Sp).expect("sim");
+        let a = sid(&mut sim, "a");
+        let b = sid(&mut sim, "b");
+        let mut bus = Bus::new(BusConfig { arbitration: arb, cycles_per_byte: 2, latency: 4 }, 2);
+        bus.add_route(0, a, 1, b);
+        bus.add_route(1, a, 0, b);
+        (bus, a, b)
+    }
+
+    fn req(pe: ComponentId, tick: u64, stream: StreamId, byte: u8) -> (u64, Message) {
+        (tick, Message::Request { from_pe: pe, stream, payload: Some(byte) })
+    }
+
+    #[test]
+    fn fixed_priority_grants_the_lower_pe_first() {
+        let (mut bus, a, b) = two_pe_bus(Arbitration::FixedPriority);
+        let mut out = Outbox::new();
+        // Both PEs request at tick 10; PE 0 must win both rounds.
+        bus.on_tick(10, vec![req(1, 10, a, 7), req(0, 10, a, 3)], &mut out);
+        // Grants: PE 0 at 10, PE 1 at 12 (2 cycles/byte wire time).
+        let grants: Vec<_> = out
+            .sends
+            .iter()
+            .filter(|(_, _, m)| matches!(m, Message::Grant { .. }))
+            .map(|&(to, tick, _)| (to, tick))
+            .collect();
+        assert_eq!(grants, vec![(0, 10), (1, 12)]);
+        // PE 1 stalled 2 cycles waiting for the wire; PE 0 none.
+        assert_eq!(bus.per_pe_stall(), &[0, 2]);
+        // Deliveries land at grant + wire + latency, on stream b.
+        let delivers: Vec<_> = out
+            .sends
+            .iter()
+            .filter(|(_, _, m)| matches!(m, Message::Deliver { .. }))
+            .map(|&(to, tick, m)| (to, tick, m))
+            .collect();
+        assert_eq!(
+            delivers,
+            vec![
+                (1, 16, Message::Deliver { stream: b, payload: Some(3) }),
+                (0, 18, Message::Deliver { stream: b, payload: Some(7) }),
+            ]
+        );
+        assert_eq!(bus.grants(), 2);
+        assert_eq!(bus.messages(), 2);
+    }
+
+    #[test]
+    fn round_robin_alternates_between_saturating_pes() {
+        let (mut bus, a, _) = two_pe_bus(Arbitration::RoundRobin);
+        let mut out = Outbox::new();
+        // Two requests each, all raised at tick 0: grants must
+        // alternate 0, 1, 0, 1 instead of draining PE 0 first.
+        bus.on_tick(
+            0,
+            vec![req(0, 0, a, 1), req(0, 0, a, 2), req(1, 0, a, 8), req(1, 0, a, 9)],
+            &mut out,
+        );
+        let grant_order: Vec<_> = out
+            .sends
+            .iter()
+            .filter(|(_, _, m)| matches!(m, Message::Grant { .. }))
+            .map(|&(to, _, _)| to)
+            .collect();
+        assert_eq!(grant_order, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn close_messages_cost_no_wire_time() {
+        let (mut bus, a, b) = two_pe_bus(Arbitration::FixedPriority);
+        let mut out = Outbox::new();
+        bus.on_tick(
+            5,
+            vec![(5, Message::Request { from_pe: 0, stream: a, payload: None })],
+            &mut out,
+        );
+        // No Grant (closes hold no sender capacity); Deliver at
+        // tick 5 + 0 wire + 4 latency closing stream b.
+        assert_eq!(out.sends, vec![(1, 9, Message::Deliver { stream: b, payload: None })]);
+        assert_eq!(bus.grants(), 1);
+        assert_eq!(bus.messages(), 0);
+    }
+
+    #[test]
+    fn a_granted_bus_is_done_and_an_ungranted_one_reports_detail() {
+        let (mut bus, a, _) = two_pe_bus(Arbitration::RoundRobin);
+        assert!(bus.is_done());
+        // Enqueue without arbitrating (call on_tick with a request but
+        // inspect state before arbitration is impossible from outside;
+        // instead verify after a normal tick the queue drains).
+        let mut out = Outbox::new();
+        bus.on_tick(0, vec![req(0, 0, a, 1)], &mut out);
+        assert!(bus.is_done());
+        assert!(bus.blocked_detail().is_none());
+    }
+}

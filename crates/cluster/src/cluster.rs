@@ -1,0 +1,275 @@
+//! Composing started simulations and a bus into one cluster run.
+//!
+//! A [`ClusterBuilder`] collects one [`StartedSim`] per PE plus the
+//! routes between their outbound and inbound streams, then
+//! [`ClusterBuilder::run`] drives everything through the event
+//! scheduler and folds the per-PE reports and bus counters into a
+//! [`ClusterReport`].
+//!
+//! **The 1-PE differential oracle.** A cluster of one PE has no routes
+//! and never touches the bus, and its PE is driven through exactly the
+//! `start → step → finish` entry points the legacy
+//! [`regwin_rt::Simulation::run_with_trace`] path is implemented on.
+//! [`ClusterReport::merged`] returns that PE's report verbatim
+//! (`bus: None`), so a 1-PE cluster is cycle- and byte-identical to the
+//! single-machine simulator by construction — the anchor every
+//! determinism test in `tests/cluster_determinism.rs` leans on.
+
+use crate::bus::{Bus, BusConfig};
+use crate::component::{Component, ComponentId, Message, Outbox, Status};
+use crate::run_components;
+use regwin_machine::{CycleCategory, CycleCounter, MachineStats};
+use regwin_rt::{BusSummary, RtError, RunReport, StartedSim, StepOutcome, StreamId, ThreadReport};
+
+/// One PE of the cluster: a started simulation plus its event-protocol
+/// adapter.
+struct ClusterPe {
+    id: ComponentId,
+    bus_id: ComponentId,
+    sim: StartedSim,
+    done: bool,
+}
+
+impl ClusterPe {
+    /// Forwards every completed send to the bus as a request.
+    fn flush_outbound(&mut self, out: &mut Outbox) {
+        for ev in self.sim.drain_outbound() {
+            out.send(
+                self.bus_id,
+                ev.tick,
+                Message::Request { from_pe: self.id, stream: ev.stream, payload: ev.payload },
+            );
+        }
+    }
+}
+
+impl Component for ClusterPe {
+    fn on_tick(&mut self, _now: u64, inbox: Vec<(u64, Message)>, out: &mut Outbox) -> Status {
+        for (tick, msg) in inbox {
+            match msg {
+                Message::Grant { stream } => self.sim.grant_send(stream),
+                Message::Deliver { stream, payload } => self.sim.deliver(stream, payload, tick),
+                Message::Request { .. } => unreachable!("only the bus receives requests"),
+            }
+        }
+        match self.sim.step() {
+            Ok(StepOutcome::Done) => {
+                self.flush_outbound(out);
+                self.done = true;
+                Status::Done
+            }
+            Ok(StepOutcome::Blocked) => {
+                self.flush_outbound(out);
+                Status::Idle
+            }
+            Err(e) => Status::Failed(e),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn blocked_detail(&self) -> Option<String> {
+        Some(format!("PE {}: {}", self.id, self.sim.blocked_detail()))
+    }
+}
+
+/// Either node kind the event loop drives (PEs first, the bus last —
+/// so at equal ticks PEs fire in PE order before the bus arbitrates).
+enum Node {
+    Pe(ClusterPe),
+    Bus(Bus),
+}
+
+impl Component for Node {
+    fn on_tick(&mut self, now: u64, inbox: Vec<(u64, Message)>, out: &mut Outbox) -> Status {
+        match self {
+            Node::Pe(pe) => pe.on_tick(now, inbox, out),
+            Node::Bus(bus) => bus.on_tick(now, inbox, out),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self {
+            Node::Pe(pe) => pe.is_done(),
+            Node::Bus(bus) => Component::is_done(bus),
+        }
+    }
+
+    fn blocked_detail(&self) -> Option<String> {
+        match self {
+            Node::Pe(pe) => pe.blocked_detail(),
+            Node::Bus(bus) => Component::blocked_detail(bus),
+        }
+    }
+}
+
+/// Assembles PEs and routes, then runs the cluster.
+pub struct ClusterBuilder {
+    cfg: BusConfig,
+    sims: Vec<StartedSim>,
+    routes: Vec<(ComponentId, StreamId, ComponentId, StreamId)>,
+}
+
+impl ClusterBuilder {
+    /// A builder for a cluster whose bus uses `cfg`.
+    pub fn new(cfg: BusConfig) -> Self {
+        ClusterBuilder { cfg, sims: Vec::new(), routes: Vec::new() }
+    }
+
+    /// Adds a PE (a simulation already started via
+    /// [`regwin_rt::Simulation::start`]); returns its PE number.
+    pub fn add_pe(&mut self, sim: StartedSim) -> ComponentId {
+        self.sims.push(sim);
+        self.sims.len() - 1
+    }
+
+    /// Routes `outbound` (marked via
+    /// [`regwin_rt::Simulation::mark_stream_outbound`] on PE
+    /// `from_pe`) to `inbound` (marked inbound on PE `to_pe`).
+    pub fn route(
+        &mut self,
+        from_pe: ComponentId,
+        outbound: StreamId,
+        to_pe: ComponentId,
+        inbound: StreamId,
+    ) {
+        self.routes.push((from_pe, outbound, to_pe, inbound));
+    }
+
+    /// Runs the cluster to completion and folds the results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first PE error (thread failure, unmasked fault,
+    /// per-PE deadlock) and reports cluster-wide deadlocks assembled
+    /// from every stuck PE's detail. [`RtError::BadConfig`] when the
+    /// cluster has no PEs or a route references an unknown PE.
+    pub fn run(self) -> Result<ClusterReport, RtError> {
+        let npes = self.sims.len();
+        if npes == 0 {
+            return Err(RtError::BadConfig { detail: "cluster has no PEs".into() });
+        }
+        if let Some(&(f, _, t, _)) =
+            self.routes.iter().find(|&&(f, _, t, _)| f >= npes || t >= npes)
+        {
+            return Err(RtError::BadConfig {
+                detail: format!("route references PE {} of {npes}", f.max(t)),
+            });
+        }
+        let bus_id = npes;
+        let mut bus = Bus::new(self.cfg, npes);
+        for (f, o, t, i) in self.routes {
+            bus.add_route(f, o, t, i);
+        }
+        let mut nodes: Vec<Node> = self
+            .sims
+            .into_iter()
+            .enumerate()
+            .map(|(id, sim)| Node::Pe(ClusterPe { id, bus_id, sim, done: false }))
+            .collect();
+        nodes.push(Node::Bus(bus));
+        run_components(&mut nodes)?;
+
+        let mut reports = Vec::with_capacity(npes);
+        let mut grants = 0;
+        let mut messages = 0;
+        let mut arb_stall = vec![0u64; npes];
+        for node in nodes {
+            match node {
+                Node::Pe(pe) => {
+                    let (report, _) = pe.sim.finish()?;
+                    reports.push(report);
+                }
+                Node::Bus(bus) => {
+                    grants = bus.grants();
+                    messages = bus.messages();
+                    arb_stall.copy_from_slice(bus.per_pe_stall());
+                }
+            }
+        }
+        let per_pe_cycles: Vec<u64> = reports.iter().map(|r| r.cycles.total()).collect();
+        let per_pe_stalls: Vec<u64> = reports
+            .iter()
+            .zip(&arb_stall)
+            .map(|(r, &arb)| arb + r.cycles.category(CycleCategory::BusStall))
+            .collect();
+        let summary = BusSummary {
+            pes: npes,
+            grants,
+            messages,
+            stall_cycles: per_pe_stalls.iter().sum(),
+            makespan_cycles: per_pe_cycles.iter().copied().max().unwrap_or(0),
+            per_pe_cycles,
+            per_pe_stalls,
+        };
+        Ok(ClusterReport { reports, summary })
+    }
+}
+
+/// The complete result of a cluster run: every PE's own report plus
+/// the shared-bus totals.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-PE run reports, indexed by PE number (`bus` is `None` in
+    /// each — bus totals are cluster-level, see `summary`).
+    pub reports: Vec<RunReport>,
+    /// The shared-bus totals and per-PE cycle/stall vectors.
+    pub summary: BusSummary,
+}
+
+impl ClusterReport {
+    /// Folds the per-PE reports into one cluster-wide [`RunReport`].
+    ///
+    /// For a 1-PE cluster this returns PE 0's report **verbatim**
+    /// (`bus: None`) — byte-identical to the legacy single-machine
+    /// path. For larger clusters, cycles and machine statistics are
+    /// summed, thread reports are concatenated under `peN/` name
+    /// prefixes, parallel slackness is averaged over PEs, and the
+    /// scheme/policy/window labels are PE 0's (per-PE values stay in
+    /// [`ClusterReport::reports`]).
+    pub fn merged(&self) -> RunReport {
+        if self.reports.len() == 1 {
+            return self.reports[0].clone();
+        }
+        let mut cycles = CycleCounter::new();
+        let mut stats = MachineStats::new();
+        let mut threads: Vec<ThreadReport> = Vec::new();
+        let mut slack = 0.0;
+        for (pe, r) in self.reports.iter().enumerate() {
+            for cat in CycleCategory::ALL {
+                cycles.charge(cat, r.cycles.category(cat));
+            }
+            stats.saves_executed += r.stats.saves_executed;
+            stats.restores_executed += r.stats.restores_executed;
+            stats.overflow_traps += r.stats.overflow_traps;
+            stats.underflow_traps += r.stats.underflow_traps;
+            stats.overflow_spills += r.stats.overflow_spills;
+            stats.underflow_restores += r.stats.underflow_restores;
+            stats.context_switches += r.stats.context_switches;
+            stats.switch_saves += r.stats.switch_saves;
+            stats.switch_restores += r.stats.switch_restores;
+            for (shape, n) in &r.stats.switch_shapes {
+                *stats.switch_shapes.entry(*shape).or_insert(0) += n;
+            }
+            stats.threads.extend(r.stats.threads.iter().copied());
+            threads.extend(
+                r.threads
+                    .iter()
+                    .map(|t| ThreadReport { name: format!("pe{pe}/{}", t.name), ..t.clone() }),
+            );
+            slack += r.avg_parallel_slackness;
+        }
+        RunReport {
+            scheme: self.reports[0].scheme,
+            policy: self.reports[0].policy,
+            nwindows: self.reports[0].nwindows,
+            cycles,
+            stats,
+            threads,
+            avg_parallel_slackness: slack / self.reports.len() as f64,
+            bus: Some(self.summary.clone()),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # regwin-cluster
+//!
+//! Discrete-event simulation of a **multi-PE PIE64 cluster**: N
+//! single-PE regwin machines composed over one contended shared bus,
+//! the configuration the source paper's register-window schemes were
+//! designed for (*"Multiple Threads in Cyclic Register Windows"*,
+//! Hidaka, Koike, Tanaka — ISCA 1993, §2: PIE64 couples hundreds of
+//! inference PEs through shared network resources).
+//!
+//! Three layers:
+//!
+//! * [`Component`] / [`EventScheduler`] — the deterministic
+//!   discrete-event substrate. Components exchange messages through
+//!   mailboxes; a min-heap keyed `(tick, component_id)` orders every
+//!   firing, with stable id-order tie-breaks.
+//! * [`Bus`] — per-PE FIFO request queues, fixed-priority or
+//!   round-robin arbitration, wire occupancy and delivery latency.
+//!   Contention stalls are charged to the requesting PE.
+//! * [`ClusterBuilder`] / [`run_spell_cluster`] — composition: each PE
+//!   is a [`regwin_rt::StartedSim`] stepped between bus interactions;
+//!   the spell workload shards its corpus across PEs and routes every
+//!   remote PE's misspelling report to a collector on PE 0.
+//!
+//! A 1-PE cluster is **byte-identical** to the legacy single-machine
+//! path by construction (see [`ClusterReport::merged`]) — the
+//! differential oracle the determinism suite pins down.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod bus;
+mod cluster;
+mod component;
+mod spell;
+
+pub use bus::{Arbitration, Bus, BusConfig};
+pub use cluster::{ClusterBuilder, ClusterReport};
+pub use component::{
+    run_components, Component, ComponentId, EventScheduler, Message, Outbox, Status,
+};
+pub use spell::{run_spell_cluster, ClusterConfig, ClusterOutcome, PeConfig};

@@ -1,0 +1,127 @@
+//! Cluster determinism suite: the 1-PE differential oracle, repeat-run
+//! byte identity, mixed-scheme clusters, and `pe:`-qualified faults.
+
+use regwin_cluster::{run_spell_cluster, Arbitration, BusConfig, ClusterConfig, PeConfig};
+use regwin_rt::FaultPlan;
+use regwin_spell::{SpellConfig, SpellPipeline};
+use regwin_traps::SchemeKind;
+
+fn small_cluster(npes: usize) -> ClusterConfig {
+    ClusterConfig::homogeneous(npes, SchemeKind::Sp, 8, SpellConfig::small())
+}
+
+#[test]
+fn one_pe_cluster_is_identical_to_the_legacy_single_machine_path() {
+    let outcome = run_spell_cluster(&small_cluster(1), None).expect("1-PE cluster");
+    let legacy =
+        SpellPipeline::new(SpellConfig::small()).run(8, SchemeKind::Sp).expect("legacy run");
+    // The differential oracle: every reported number equal, the merged
+    // report carries no bus section, and the output bytes match.
+    assert_eq!(outcome.report.merged(), legacy.report);
+    assert!(outcome.report.merged().bus.is_none());
+    assert_eq!(outcome.outputs, vec![legacy.output]);
+    // The bus saw no traffic at all.
+    assert_eq!(outcome.report.summary.grants, 0);
+    assert_eq!(outcome.report.summary.messages, 0);
+    assert_eq!(outcome.report.summary.stall_cycles, 0);
+}
+
+#[test]
+fn every_pe_shard_arrives_at_the_collector_intact() {
+    let cfg = small_cluster(4);
+    let outcome = run_spell_cluster(&cfg, None).expect("4-PE cluster");
+    assert_eq!(outcome.outputs.len(), 4);
+    // Each PE checks its own shard (seed + pe); its output must equal
+    // what a standalone machine produces for that shard — PE 0 locally,
+    // PEs 1-3 after crossing the bus byte-for-byte.
+    for pe in 0..4 {
+        let mut config = SpellConfig::small();
+        config.corpus.seed += pe as u64;
+        let legacy = SpellPipeline::new(config).run(8, SchemeKind::Sp).expect("shard run");
+        assert_eq!(outcome.outputs[pe], legacy.output, "PE {pe} shard output");
+    }
+    // Every remote byte crossed the bus exactly once.
+    let remote_bytes: u64 = outcome.outputs[1..].iter().map(|o| o.len() as u64).sum();
+    assert_eq!(outcome.report.summary.messages, remote_bytes);
+    // Grants = payload bytes + one close per remote PE.
+    assert_eq!(outcome.report.summary.grants, remote_bytes + 3);
+    let merged = outcome.report.merged();
+    let bus = merged.bus.as_ref().expect("multi-PE merged report has a bus section");
+    assert_eq!(bus.pes, 4);
+    assert_eq!(bus.per_pe_cycles.len(), 4);
+    assert_eq!(bus.makespan_cycles, *bus.per_pe_cycles.iter().max().unwrap());
+}
+
+#[test]
+fn same_config_twice_is_byte_identical() {
+    for arbitration in [Arbitration::FixedPriority, Arbitration::RoundRobin] {
+        let mut cfg = small_cluster(4);
+        cfg.bus.arbitration = arbitration;
+        let a = run_spell_cluster(&cfg, None).expect("first run");
+        let b = run_spell_cluster(&cfg, None).expect("second run");
+        assert_eq!(a.report.merged(), b.report.merged(), "{arbitration:?}");
+        assert_eq!(a.report.summary, b.report.summary, "{arbitration:?}");
+        assert_eq!(a.outputs, b.outputs, "{arbitration:?}");
+    }
+}
+
+#[test]
+fn mixed_scheme_clusters_run_and_report_each_pe_under_its_own_scheme() {
+    let mut cfg = small_cluster(3);
+    cfg.pes = vec![
+        PeConfig { scheme: SchemeKind::Ns, nwindows: 8 },
+        PeConfig { scheme: SchemeKind::Sp, nwindows: 8 },
+        PeConfig { scheme: SchemeKind::Snp, nwindows: 12 },
+    ];
+    let a = run_spell_cluster(&cfg, None).expect("mixed cluster");
+    let b = run_spell_cluster(&cfg, None).expect("mixed cluster repeat");
+    assert_eq!(a.report.merged(), b.report.merged());
+    let schemes: Vec<_> = a.report.reports.iter().map(|r| r.scheme).collect();
+    assert_eq!(schemes, vec![SchemeKind::Ns, SchemeKind::Sp, SchemeKind::Snp]);
+    let windows: Vec<_> = a.report.reports.iter().map(|r| r.nwindows).collect();
+    assert_eq!(windows, vec![8, 8, 12]);
+    // NS takes more overhead cycles than SP on the same shard size, so
+    // the PEs genuinely ran different schemes.
+    assert_ne!(
+        a.report.reports[0].cycles.overhead(),
+        a.report.reports[1].cycles.overhead(),
+        "NS and SP PEs must not report identical overhead"
+    );
+}
+
+#[test]
+fn contention_stalls_appear_once_the_bus_is_shared() {
+    let mut cfg = small_cluster(4);
+    cfg.bus =
+        BusConfig { arbitration: Arbitration::FixedPriority, cycles_per_byte: 64, latency: 16 };
+    let outcome = run_spell_cluster(&cfg, None).expect("slow-bus cluster");
+    // With a 64-cycles/byte wire, three PEs pushing reports through one
+    // bus must collide somewhere.
+    assert!(
+        outcome.report.summary.stall_cycles > 0,
+        "expected contention stalls on a saturated bus, summary: {:?}",
+        outcome.report.summary
+    );
+}
+
+#[test]
+fn pe_qualified_fault_on_an_absent_pe_changes_nothing() {
+    let plan = FaultPlan::parse("stream-read-fail@0 pe:2").expect("plan");
+    let cfg = small_cluster(2); // PEs 0 and 1 only — pe:2 never fires.
+    let clean = run_spell_cluster(&cfg, None).expect("fault-free");
+    let faulted = run_spell_cluster(&cfg, Some(&plan)).expect("pe:2 fault on 2-PE cluster");
+    assert_eq!(clean.report.merged(), faulted.report.merged());
+    assert_eq!(clean.outputs, faulted.outputs);
+}
+
+#[test]
+fn pe_qualified_fault_fires_only_on_its_pe() {
+    let plan = FaultPlan::parse("stream-read-fail@0 pe:2").expect("plan");
+    let cfg = small_cluster(3); // now PE 2 exists — the fault must fire.
+    let err = run_spell_cluster(&cfg, Some(&plan)).expect_err("unmasked fault on PE 2");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("fault") || msg.contains("Fault") || msg.contains("injected"),
+        "unexpected error: {msg}"
+    );
+}

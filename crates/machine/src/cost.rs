@@ -198,16 +198,21 @@ pub enum CycleCategory {
     UnderflowTrap,
     /// Context switching (including switch-time window transfers).
     ContextSwitch,
+    /// Idle cycles waiting on the shared cluster bus (a PE whose
+    /// threads are all blocked on a cross-PE stream until a delivery
+    /// tick). Never charged on the legacy single-machine path.
+    BusStall,
 }
 
 impl CycleCategory {
     /// All categories.
-    pub const ALL: [CycleCategory; 5] = [
+    pub const ALL: [CycleCategory; 6] = [
         CycleCategory::App,
         CycleCategory::WindowInstr,
         CycleCategory::OverflowTrap,
         CycleCategory::UnderflowTrap,
         CycleCategory::ContextSwitch,
+        CycleCategory::BusStall,
     ];
 
     /// The observability [`Metric`](regwin_obs::Metric) this category's
@@ -219,6 +224,7 @@ impl CycleCategory {
             CycleCategory::OverflowTrap => regwin_obs::Metric::CyclesOverflowTrap,
             CycleCategory::UnderflowTrap => regwin_obs::Metric::CyclesUnderflowTrap,
             CycleCategory::ContextSwitch => regwin_obs::Metric::CyclesContextSwitch,
+            CycleCategory::BusStall => regwin_obs::Metric::BusStallCycles,
         }
     }
 }
@@ -234,6 +240,7 @@ pub struct CycleCounter {
     overflow: u64,
     underflow: u64,
     switch_: u64,
+    bus_stall: u64,
 }
 
 impl CycleCounter {
@@ -250,6 +257,7 @@ impl CycleCounter {
             CycleCategory::OverflowTrap => self.overflow += cycles,
             CycleCategory::UnderflowTrap => self.underflow += cycles,
             CycleCategory::ContextSwitch => self.switch_ += cycles,
+            CycleCategory::BusStall => self.bus_stall += cycles,
         }
     }
 
@@ -261,12 +269,18 @@ impl CycleCounter {
             CycleCategory::OverflowTrap => self.overflow,
             CycleCategory::UnderflowTrap => self.underflow,
             CycleCategory::ContextSwitch => self.switch_,
+            CycleCategory::BusStall => self.bus_stall,
         }
     }
 
     /// Total cycles across all categories — the paper's "execution time".
     pub fn total(&self) -> u64 {
-        self.app + self.window_instr + self.overflow + self.underflow + self.switch_
+        self.app
+            + self.window_instr
+            + self.overflow
+            + self.underflow
+            + self.switch_
+            + self.bus_stall
     }
 
     /// Cycles spent on window management only (everything but application
@@ -291,13 +305,14 @@ impl fmt::Display for CycleCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "total={} (app={} instr={} ovf={} unf={} switch={})",
+            "total={} (app={} instr={} ovf={} unf={} switch={} bus={})",
             self.total(),
             self.app,
             self.window_instr,
             self.overflow,
             self.underflow,
-            self.switch_
+            self.switch_,
+            self.bus_stall
         )
     }
 }

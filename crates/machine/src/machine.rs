@@ -1161,6 +1161,23 @@ impl Machine {
         self.bump(Metric::SwitchRestores, u64::from(restores));
     }
 
+    /// Advances the machine's local clock to the externally supplied
+    /// `tick`, charging the gap (if any) as [`CycleCategory::BusStall`]
+    /// idle time. The entry point an external discrete-event scheduler
+    /// uses to clock the machine: a PE whose threads are all blocked on
+    /// a cross-PE stream sits idle until the bus delivery tick, and
+    /// those idle cycles are real simulated time on this PE's timeline.
+    /// Returns the cycles charged (0 when the clock is already at or
+    /// past `tick`).
+    pub fn step_to_tick(&mut self, tick: u64) -> u64 {
+        let now = self.counter.total();
+        let gap = tick.saturating_sub(now);
+        if gap > 0 {
+            self.charge_cycles(CycleCategory::BusStall, gap);
+        }
+        gap
+    }
+
     // ------------------------------------------------------------------
     // Invariant checking (used heavily by tests; cheap enough for debug)
     // ------------------------------------------------------------------

@@ -76,11 +76,20 @@ pub enum Metric {
     /// Timed-out job attempts whose detached worker thread was
     /// abandoned (left running, never joined).
     AbandonedThreads,
+    /// Shared-bus transactions granted to a PE (cluster runs only).
+    BusGrants,
+    /// Cycles a PE lost to the shared bus: arbitration contention on
+    /// the sending side plus idle waiting for a delivery on the
+    /// receiving side (cluster runs only).
+    BusStallCycles,
+    /// Cross-PE message payload bytes delivered over the shared bus
+    /// (cluster runs only).
+    CrossPeMessages,
 }
 
 impl Metric {
     /// Every metric, in canonical serialization order.
-    pub const ALL: [Metric; 29] = [
+    pub const ALL: [Metric; 32] = [
         Metric::SavesExecuted,
         Metric::RestoresExecuted,
         Metric::OverflowTraps,
@@ -110,6 +119,9 @@ impl Metric {
         Metric::WindowRepairs,
         Metric::ThreadsQuarantined,
         Metric::AbandonedThreads,
+        Metric::BusGrants,
+        Metric::BusStallCycles,
+        Metric::CrossPeMessages,
     ];
 
     /// The metric's stable snake_case name, used in JSON output.
@@ -144,6 +156,9 @@ impl Metric {
             Metric::WindowRepairs => "window_repairs",
             Metric::ThreadsQuarantined => "threads_quarantined",
             Metric::AbandonedThreads => "abandoned_threads",
+            Metric::BusGrants => "bus_grants",
+            Metric::BusStallCycles => "bus_stall_cycles",
+            Metric::CrossPeMessages => "cross_pe_messages",
         }
     }
 

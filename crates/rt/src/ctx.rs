@@ -2,7 +2,7 @@
 
 use crate::error::RtError;
 use crate::sim::{Shared, SimState, Turn, Wait};
-use crate::stream::StreamId;
+use crate::stream::{RemoteEnd, StreamId};
 use crate::trace::TraceEvent;
 use parking_lot::MutexGuard;
 use regwin_machine::ThreadId;
@@ -166,6 +166,12 @@ impl Ctx {
                 st.record(TraceEvent::Compute(cycles));
                 st.cpu.compute(cycles);
                 st.bump(Metric::StreamBytesWritten, 1);
+                if st.streams[stream.0].remote() == Some(RemoteEnd::Outbound) {
+                    // Timestamp the byte's completion for the cluster
+                    // bus: it becomes the request's arrival tick.
+                    let tick = st.cpu.total_cycles();
+                    st.streams[stream.0].note_send_tick(tick);
+                }
                 st.wake_one_reader(stream);
                 return Ok(());
             }
@@ -257,6 +263,10 @@ impl Ctx {
             return Err(RtError::UnknownStream(stream.0));
         }
         if st.streams[stream.0].close_writer() == 0 {
+            if st.streams[stream.0].remote() == Some(RemoteEnd::Outbound) {
+                let tick = st.cpu.total_cycles();
+                st.streams[stream.0].note_close_tick(tick);
+            }
             st.wake_all_readers(stream);
         }
         Ok(())

@@ -132,11 +132,21 @@ pub struct FaultEvent {
     /// 0-based index of the targeted event (spills, fills, traps,
     /// stream reads/writes and sweep jobs each keep their own counter).
     pub at: u64,
+    /// The cluster PE the fault targets (spec qualifier `pe:N`).
+    /// Defaults to 0, so unqualified plans keep their historical
+    /// meaning: on the legacy single-machine path only PE-0 events
+    /// apply, and a 1-PE cluster behaves identically. Worker faults
+    /// target sweep jobs, not PEs, and ignore this field.
+    pub pe: u64,
 }
 
 impl fmt::Display for FaultEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}", self.kind, self.at)
+        write!(f, "{}@{}", self.kind, self.at)?;
+        if self.pe != 0 {
+            write!(f, " pe:{}", self.pe)?;
+        }
+        Ok(())
     }
 }
 
@@ -177,17 +187,20 @@ impl FaultPlan {
         FaultPlan {
             seed,
             events: vec![
-                FaultEvent { kind: FaultKind::SpillCorrupt, at: next() % 32 },
-                FaultEvent { kind: FaultKind::FillCorrupt, at: next() % 32 },
-                FaultEvent { kind: FaultKind::WorkerPanic, at: next() % 8 },
-                FaultEvent { kind: FaultKind::WorkerStall, at: next() % 8 },
+                FaultEvent { kind: FaultKind::SpillCorrupt, at: next() % 32, pe: 0 },
+                FaultEvent { kind: FaultKind::FillCorrupt, at: next() % 32, pe: 0 },
+                FaultEvent { kind: FaultKind::WorkerPanic, at: next() % 8, pe: 0 },
+                FaultEvent { kind: FaultKind::WorkerStall, at: next() % 8, pe: 0 },
             ],
         }
     }
 
     /// Parses a comma-separated `kind@index` spec, e.g.
     /// `"spill-corrupt@12,panic@1,stall@2"`. Kind names are the
-    /// [`FaultKind::name`] strings.
+    /// [`FaultKind::name`] strings. An entry may carry a
+    /// space-separated `pe:N` qualifier (e.g. `"spill-corrupt@3 pe:2"`)
+    /// targeting a specific cluster PE; unqualified entries target
+    /// PE 0, preserving their historical single-machine meaning.
     ///
     /// # Errors
     ///
@@ -196,7 +209,9 @@ impl FaultPlan {
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::new();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-            let (kind, at) = part
+            let mut tokens = part.split_whitespace();
+            let head = tokens.next().expect("non-empty after the filter");
+            let (kind, at) = head
                 .split_once('@')
                 .ok_or_else(|| format!("fault '{part}' is not of the form kind@index"))?;
             let kind = FaultKind::from_name(kind.trim()).ok_or_else(|| {
@@ -207,15 +222,30 @@ impl FaultPlan {
                 .trim()
                 .parse()
                 .map_err(|_| format!("fault index '{at}' is not a non-negative integer"))?;
-            plan.events.push(FaultEvent { kind, at });
+            let mut pe = 0u64;
+            for qualifier in tokens {
+                let value = qualifier.strip_prefix("pe:").ok_or_else(|| {
+                    format!("unknown fault qualifier '{qualifier}' (expected pe:N)")
+                })?;
+                pe = value
+                    .parse()
+                    .map_err(|_| format!("fault PE '{value}' is not a non-negative integer"))?;
+            }
+            plan.events.push(FaultEvent { kind, at, pe });
         }
         Ok(plan)
     }
 
-    /// Adds one fault event (builder style).
+    /// Adds one fault event targeting PE 0 (builder style).
     #[must_use]
-    pub fn with_event(mut self, kind: FaultKind, at: u64) -> Self {
-        self.events.push(FaultEvent { kind, at });
+    pub fn with_event(self, kind: FaultKind, at: u64) -> Self {
+        self.with_event_on_pe(kind, at, 0)
+    }
+
+    /// Adds one fault event targeting cluster PE `pe` (builder style).
+    #[must_use]
+    pub fn with_event_on_pe(mut self, kind: FaultKind, at: u64, pe: u64) -> Self {
+        self.events.push(FaultEvent { kind, at, pe });
         self
     }
 
@@ -261,12 +291,32 @@ impl FaultPlan {
         parts.join(",")
     }
 
+    /// The sub-plan targeting cluster PE `pe`: its matching events with
+    /// the qualifier stripped (so they read as local PE-0 events), the
+    /// seed preserved. Corruption masks depend only on the seed and the
+    /// event index, so a `pe:`-qualified fault injects exactly what the
+    /// unqualified fault would inject on a lone machine — the property
+    /// the cluster fault-parity regression test pins down. Worker
+    /// faults are job-level and excluded.
+    pub fn for_pe(&self, pe: u64) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            events: self
+                .events
+                .iter()
+                .filter(|e| !e.kind.is_worker() && e.pe == pe)
+                .map(|e| FaultEvent { kind: e.kind, at: e.at, pe: 0 })
+                .collect(),
+        }
+    }
+
     /// Compiles the machine-level portion of the plan into a fresh
     /// [`FaultSchedule`] (internal event counters at zero — install one
-    /// clone per run).
+    /// clone per run). Only PE-0 events apply: on the legacy
+    /// single-machine path a `pe:`-qualified fault has nowhere to fire.
     pub fn machine_schedule(&self) -> FaultSchedule {
         let mut schedule = FaultSchedule::new();
-        for e in &self.events {
+        for e in self.events.iter().filter(|e| e.pe == 0) {
             schedule = match e.kind {
                 FaultKind::SpillCorrupt => {
                     schedule.on_spill(e.at, TransferFault::Corrupt { xor: self.mask_for(e.at) })
@@ -286,14 +336,24 @@ impl FaultPlan {
         schedule
     }
 
-    /// Event indices of planned stream-read failures.
+    /// Event indices of planned stream-read failures (PE-0 events only,
+    /// matching [`FaultPlan::machine_schedule`]).
     pub(crate) fn stream_read_fails(&self) -> BTreeSet<u64> {
-        self.events.iter().filter(|e| e.kind == FaultKind::StreamReadFail).map(|e| e.at).collect()
+        self.events
+            .iter()
+            .filter(|e| e.kind == FaultKind::StreamReadFail && e.pe == 0)
+            .map(|e| e.at)
+            .collect()
     }
 
-    /// Event indices of planned stream-write failures.
+    /// Event indices of planned stream-write failures (PE-0 events
+    /// only, matching [`FaultPlan::machine_schedule`]).
     pub(crate) fn stream_write_fails(&self) -> BTreeSet<u64> {
-        self.events.iter().filter(|e| e.kind == FaultKind::StreamWriteFail).map(|e| e.at).collect()
+        self.events
+            .iter()
+            .filter(|e| e.kind == FaultKind::StreamWriteFail && e.pe == 0)
+            .map(|e| e.at)
+            .collect()
     }
 
     /// The worker fault (if any) targeting sweep job number `seq`. When
@@ -396,6 +456,42 @@ mod tests {
             .with_event(FaultKind::WorkerStall, 3)
             .with_event(FaultKind::WorkerPanic, 3);
         assert_eq!(plan.worker_fault_at(3), Some(WorkerFault::Panic));
+    }
+
+    #[test]
+    fn pe_qualifier_round_trips_and_defaults_to_zero() {
+        let plan = FaultPlan::parse("spill-corrupt@3 pe:2, fill-fail@1").unwrap();
+        assert_eq!(plan.canonical(), "spill-corrupt@3 pe:2,fill-fail@1");
+        assert_eq!(FaultPlan::parse(&plan.canonical()).unwrap(), plan);
+        assert_eq!(plan.events()[0].pe, 2);
+        assert_eq!(plan.events()[1].pe, 0);
+        assert!(FaultPlan::parse("spill-corrupt@3 cpu:2").is_err());
+        assert!(FaultPlan::parse("spill-corrupt@3 pe:x").is_err());
+    }
+
+    #[test]
+    fn pe_qualified_faults_do_not_fire_on_the_single_machine_path() {
+        let qualified = FaultPlan::parse("spill-fail@0 pe:2,stream-read-fail@1 pe:2").unwrap();
+        assert!(qualified.machine_schedule().is_empty());
+        assert!(qualified.stream_read_fails().is_empty());
+        // Unqualified plans keep their historical meaning (PE 0).
+        let unqualified = FaultPlan::parse("spill-fail@0,stream-read-fail@1").unwrap();
+        assert!(!unqualified.machine_schedule().is_empty());
+        assert_eq!(unqualified.stream_read_fails().into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn for_pe_extracts_the_matching_sub_plan() {
+        let plan = FaultPlan::parse("spill-corrupt@3 pe:2,fill-corrupt@5,panic@0").unwrap();
+        let pe2 = plan.for_pe(2);
+        assert_eq!(pe2.canonical(), "spill-corrupt@3");
+        let pe0 = plan.for_pe(0);
+        // Worker faults are job-level, not per-PE.
+        assert_eq!(pe0.canonical(), "fill-corrupt@5");
+        // The sub-plan keeps the seed, so masks match an unqualified
+        // plan running on that PE alone.
+        let direct = FaultPlan::parse("spill-corrupt@3").unwrap().with_seed(plan.seed());
+        assert_eq!(pe2.machine_schedule(), direct.machine_schedule());
     }
 
     #[test]

@@ -67,10 +67,10 @@ mod trace_io;
 pub use ctx::Ctx;
 pub use error::RtError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, WorkerFault};
-pub use report::{RunReport, ThreadReport};
+pub use report::{BusSummary, RunReport, ThreadReport};
 pub use sched::ReadyQueue;
 pub use sched::SchedulingPolicy;
-pub use sim::{Simulation, ThreadBody};
+pub use sim::{SendEvent, Simulation, StartedSim, StepOutcome, ThreadBody};
 pub use stream::{Stream, StreamId};
 pub use trace::{Trace, TraceEvent};
 

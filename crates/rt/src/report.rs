@@ -29,6 +29,30 @@ pub struct ThreadReport {
     pub quarantined: bool,
 }
 
+/// Shared-bus totals of a multi-PE cluster run, attached to the merged
+/// [`RunReport`] by `regwin-cluster`. Always `None` on the legacy
+/// single-machine path and on a 1-PE cluster (which must stay
+/// byte-identical to it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusSummary {
+    /// Number of PEs in the cluster.
+    pub pes: usize,
+    /// Bus transactions granted (bytes moved plus close messages).
+    pub grants: u64,
+    /// Cross-PE message payload bytes delivered.
+    pub messages: u64,
+    /// Total cycles PEs lost to the bus: sender-side arbitration
+    /// contention (grant tick minus request tick, charged to the
+    /// requesting PE) plus receiver-side idle waits for a delivery.
+    pub stall_cycles: u64,
+    /// Cluster makespan: the largest per-PE cycle total.
+    pub makespan_cycles: u64,
+    /// Each PE's local cycle total, indexed by PE number.
+    pub per_pe_cycles: Vec<u64>,
+    /// Each PE's bus-stall cycles (both stall sources), by PE number.
+    pub per_pe_stalls: Vec<u64>,
+}
+
 /// The complete result of a simulation run.
 ///
 /// `PartialEq` compares every reported number — it is the equality used
@@ -53,6 +77,9 @@ pub struct RunReport {
     /// slackness* (§5): "the number of threads available for execution
     /// at a given time, excepting currently executed threads".
     pub avg_parallel_slackness: f64,
+    /// Shared-bus totals when the run was a multi-PE cluster; `None`
+    /// on the single-machine path and on a 1-PE cluster.
+    pub bus: Option<BusSummary>,
 }
 
 impl RunReport {
@@ -99,6 +126,16 @@ impl RunReport {
                 set.add(Metric::ThreadsQuarantined, 1);
             }
         }
+        if let Some(bus) = &self.bus {
+            set.add(Metric::BusGrants, bus.grants);
+            set.add(Metric::CrossPeMessages, bus.messages);
+            // Receiver-side idle waits already arrive via the cycle
+            // counter's BusStall category; add only the sender-side
+            // arbitration share so the metric covers both sources
+            // without double counting.
+            let receiver_side = self.cycles.category(CycleCategory::BusStall);
+            set.add(Metric::BusStallCycles, bus.stall_cycles.saturating_sub(receiver_side));
+        }
         set
     }
 }
@@ -130,6 +167,13 @@ impl fmt::Display for RunReport {
                 if t.quarantined { "  [quarantined]" } else { "" }
             )?;
         }
+        if let Some(bus) = &self.bus {
+            writeln!(
+                f,
+                "  bus: {} PEs, {} grants, {} messages, {} stall cycles, makespan {}",
+                bus.pes, bus.grants, bus.messages, bus.stall_cycles, bus.makespan_cycles
+            )?;
+        }
         Ok(())
     }
 }
@@ -147,6 +191,7 @@ mod tests {
             stats: MachineStats::new(),
             threads: vec![],
             avg_parallel_slackness: 0.0,
+            bus: None,
         }
     }
 

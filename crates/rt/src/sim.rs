@@ -11,7 +11,7 @@ use crate::error::RtError;
 use crate::fault::FaultPlan;
 use crate::report::{RunReport, ThreadReport};
 use crate::sched::{ReadyQueue, SchedulingPolicy};
-use crate::stream::{Stream, StreamId};
+use crate::stream::{RemoteEnd, Stream, StreamId};
 use crate::trace::{Trace, TraceEvent};
 use parking_lot::{Condvar, Mutex};
 use regwin_machine::{CostModel, ThreadId};
@@ -373,6 +373,26 @@ impl Simulation {
         Ok(self.add_stream(name, capacity, writers))
     }
 
+    /// Marks `stream` as the *outbound* end of a cross-PE link: local
+    /// threads write to it, the cluster bus drains it. Its capacity
+    /// counts bytes still in flight on the bus, so writers see
+    /// end-to-end backpressure. Only meaningful under an external
+    /// driver ([`Simulation::start`]); the plain [`Simulation::run`]
+    /// path never drains it.
+    pub fn mark_stream_outbound(&mut self, stream: StreamId) {
+        let mut st = self.shared.state.lock();
+        st.streams[stream.0].set_remote(RemoteEnd::Outbound);
+    }
+
+    /// Marks `stream` as the *inbound* end of a cross-PE link: the
+    /// cluster bus delivers into it, local threads read from it. Create
+    /// it with one writer (the bus); it closes when the sending PE's
+    /// close message is delivered.
+    pub fn mark_stream_inbound(&mut self, stream: StreamId) {
+        let mut st = self.shared.state.lock();
+        st.streams[stream.0].set_remote(RemoteEnd::Inbound);
+    }
+
     /// Spawns a simulated thread. Threads are dispatched in spawn order.
     pub fn spawn(
         &mut self,
@@ -408,7 +428,25 @@ impl Simulation {
     /// # Errors
     ///
     /// Same conditions as [`Simulation::run`].
-    pub fn run_with_trace(mut self) -> Result<(RunReport, Option<Trace>), RtError> {
+    pub fn run_with_trace(self) -> Result<(RunReport, Option<Trace>), RtError> {
+        let mut started = self.start();
+        // Without remote streams a step can only end at Done or an
+        // error, so one step drives the whole run; the legacy path is
+        // exactly start → step → finish.
+        let stepped = started.step();
+        debug_assert!(
+            !matches!(stepped, Ok(StepOutcome::Blocked)),
+            "a simulation without remote streams cannot block on the bus"
+        );
+        started.finish()
+    }
+
+    /// Spawns the worker threads and hands back a [`StartedSim`] that an
+    /// external discrete-event driver (the `regwin-cluster` scheduler)
+    /// clocks explicitly via [`StartedSim::step`]. The plain
+    /// [`Simulation::run`] path is implemented on top of this and runs
+    /// exactly one step.
+    pub fn start(mut self) -> StartedSim {
         let nthreads = self.bodies.len();
         let probe = self.shared.state.lock().cpu.machine().probe().cloned();
         if let Some(p) = &probe {
@@ -420,7 +458,7 @@ impl Simulation {
         self.shared
             .worker_cvs
             .set((0..nthreads).map(|_| Condvar::new()).collect())
-            .unwrap_or_else(|_| unreachable!("run consumes the simulation"));
+            .unwrap_or_else(|_| unreachable!("start consumes the simulation"));
         let mut workers = Vec::with_capacity(nthreads);
         for (i, slot) in self.bodies.iter_mut().enumerate() {
             let body = slot.take().expect("body taken once");
@@ -428,25 +466,196 @@ impl Simulation {
             let tid = ThreadId::new(i);
             workers.push(std::thread::spawn(move || worker_main(shared, tid, body)));
         }
-
-        let result = self.scheduler_loop(nthreads);
-
-        // Release any still-parked workers and join them.
-        {
-            let mut st = self.shared.state.lock();
-            st.stop = true;
-            self.shared.notify_all_workers();
-            drop(st);
+        StartedSim {
+            shared: Arc::clone(&self.shared),
+            workers,
+            scheme: self.scheme,
+            nwindows: self.nwindows,
+            nthreads,
+            probe,
+            loop_result: Ok(()),
+            shut_down: false,
         }
-        for w in workers {
-            let _ = w.join();
-        }
+    }
+}
 
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("scheme", &self.scheme)
+            .field("nwindows", &self.nwindows)
+            .field("threads", &self.bodies.len())
+            .finish()
+    }
+}
+
+/// How a [`StartedSim::step`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Every thread finished; call [`StartedSim::finish`].
+    Done,
+    /// No thread is runnable, but at least one is blocked on a cross-PE
+    /// stream the bus can still make progress on — the PE is waiting
+    /// for a bus grant or delivery.
+    Blocked,
+}
+
+/// One byte (or close) drained from an outbound cross-PE stream: the
+/// bus request the sending PE raises at local time `tick`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendEvent {
+    /// The outbound stream the event came from (sender-local id).
+    pub stream: StreamId,
+    /// The payload byte, or `None` for the writer-close message.
+    pub payload: Option<u8>,
+    /// The sender's local cycle count when the send completed.
+    pub tick: u64,
+}
+
+/// A running simulation under external control: worker threads are
+/// spawned and parked, and the embedded scheduler only advances when
+/// [`StartedSim::step`] is called. Between steps, an external driver
+/// drains outbound bytes, grants bus requests and delivers inbound
+/// bytes — the PE-side half of the cluster's discrete-event protocol.
+///
+/// Dropping a `StartedSim` without calling [`StartedSim::finish`] stops
+/// and joins the workers (aborting unfinished threads), so an external
+/// driver that fails mid-run leaks nothing.
+pub struct StartedSim {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    scheme: SchemeKind,
+    nwindows: usize,
+    nthreads: usize,
+    probe: Option<Arc<dyn Probe>>,
+    /// The scheduler loop's terminal result, reproduced by
+    /// [`StartedSim::finish`] in exactly the position the legacy
+    /// single-call path reported it.
+    loop_result: Result<(), RtError>,
+    shut_down: bool,
+}
+
+impl StartedSim {
+    /// Runs the embedded scheduler until every thread finished
+    /// ([`StepOutcome::Done`]), no thread can run without bus progress
+    /// ([`StepOutcome::Blocked`]), or the run fails. Deterministic: the
+    /// turn-token protocol serializes all execution, so the outcome
+    /// depends only on workload state at entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first thread error or a deadlock description exactly
+    /// as [`Simulation::run`] would.
+    pub fn step(&mut self) -> Result<StepOutcome, RtError> {
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        loop {
+            while st.turn != Turn::Scheduler && st.error.is_none() {
+                shared.sched_cv.wait(&mut st);
+            }
+            if st.error.is_some() {
+                st.stop = true;
+                let e = st.error.clone().unwrap();
+                self.loop_result = Err(e.clone());
+                return Err(e);
+            }
+            let finished_count = st.finished.iter().filter(|f| **f).count();
+            if finished_count == self.nthreads {
+                return Ok(StepOutcome::Done);
+            }
+            match st.ready.pop() {
+                Some(next) => {
+                    if st.quarantined[next.index()] {
+                        continue;
+                    }
+                    // The switch-boundary audit may quarantine either
+                    // side: the outgoing thread (retry the dispatch once
+                    // without it) or `next` itself (skip it and pick
+                    // another thread).
+                    let mut dispatched = false;
+                    for _ in 0..2 {
+                        match st.cpu.switch_to(next) {
+                            Ok(()) => {
+                                dispatched = true;
+                                break;
+                            }
+                            Err(e) => {
+                                let e = RtError::from(e);
+                                let Some(owner) = e.unrecoverable_owner() else {
+                                    st.stop = true;
+                                    self.loop_result = Err(e.clone());
+                                    return Err(e);
+                                };
+                                st.quarantine_thread(owner);
+                                if owner == next {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !dispatched {
+                        continue;
+                    }
+                    // The queue length *after* popping is the number of
+                    // other runnable threads: the parallel slackness.
+                    st.slack_sum += st.ready.len() as u64;
+                    st.dispatches += 1;
+                    st.bump(Metric::Dispatches, 1);
+                    if let Some(p) = st.cpu.machine().probe() {
+                        p.record(&ProbeEvent::Gauge {
+                            name: "ready_queue_depth",
+                            value: st.ready.len() as u64,
+                        });
+                    }
+                    st.record(TraceEvent::SwitchTo(next));
+                    st.turn = Turn::Worker(next);
+                    shared.worker_cv(next).notify_one();
+                }
+                None => {
+                    // A thread blocked on a cross-PE stream is waiting
+                    // on the bus, not on a local peer: an inbound read
+                    // can be satisfied by a future delivery, and an
+                    // outbound write frees up when a pending byte is
+                    // granted. Only when no such external progress is
+                    // possible is this a real deadlock.
+                    let bus_can_progress = st.waiting.values().any(|w| match w {
+                        Wait::ReadEmpty(s) => {
+                            st.streams[s.0].remote() == Some(RemoteEnd::Inbound)
+                                && !st.streams[s.0].is_closed()
+                        }
+                        Wait::WriteFull(s) => {
+                            st.streams[s.0].remote() == Some(RemoteEnd::Outbound)
+                                && st.streams[s.0].pending_send() > 0
+                        }
+                        Wait::WriteLocked(_) => false,
+                    });
+                    if bus_can_progress {
+                        return Ok(StepOutcome::Blocked);
+                    }
+                    st.stop = true;
+                    let e = RtError::Deadlock { detail: blocked_detail(&st) };
+                    self.loop_result = Err(e.clone());
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Stops and joins the workers, closes the probe span and builds
+    /// the report — byte-for-byte the tail of the legacy
+    /// [`Simulation::run_with_trace`] path.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first thread error, then any scheduler-loop error
+    /// from a prior [`StartedSim::step`], in that precedence order.
+    pub fn finish(mut self) -> Result<(RunReport, Option<Trace>), RtError> {
+        self.shutdown();
         let mut st = self.shared.state.lock();
         // Deliver whatever counter deltas the machine still holds before
         // the Simulation span closes, so every event lands inside it.
         st.cpu.flush_probe();
-        if let Some(p) = &probe {
+        if let Some(p) = &self.probe {
             p.record(&ProbeEvent::SpanEnd {
                 kind: SpanKind::Simulation,
                 name: self.scheme.name(),
@@ -456,7 +665,7 @@ impl Simulation {
         if let Some(e) = &st.error {
             return Err(e.clone());
         }
-        result?;
+        self.loop_result.clone()?;
         let machine = st.cpu.machine();
         let threads = st
             .names
@@ -487,6 +696,7 @@ impl Simulation {
             } else {
                 st.slack_sum as f64 / st.dispatches as f64
             },
+            bus: None,
         };
         drop(st);
         let mut st = self.shared.state.lock();
@@ -504,106 +714,135 @@ impl Simulation {
         Ok((report, trace))
     }
 
-    fn scheduler_loop(&self, nthreads: usize) -> Result<(), RtError> {
-        let shared = &self.shared;
-        let mut st = shared.state.lock();
-        loop {
-            while st.turn != Turn::Scheduler && st.error.is_none() {
-                shared.sched_cv.wait(&mut st);
+    /// The PE's local clock: total simulated cycles so far.
+    pub fn local_tick(&self) -> u64 {
+        self.shared.state.lock().cpu.total_cycles()
+    }
+
+    /// Drains every outbound cross-PE stream: buffered bytes become
+    /// [`SendEvent`]s (bus requests timestamped with their local send
+    /// tick), and a closed-and-drained stream emits its close message
+    /// exactly once, after all its bytes. Drained bytes stay in flight —
+    /// they occupy sender capacity until [`StartedSim::grant_send`].
+    pub fn drain_outbound(&mut self) -> Vec<SendEvent> {
+        let mut st = self.shared.state.lock();
+        let mut out = Vec::new();
+        for i in 0..st.streams.len() {
+            if st.streams[i].remote() != Some(RemoteEnd::Outbound) {
+                continue;
             }
-            if st.error.is_some() {
-                st.stop = true;
-                return Err(st.error.clone().unwrap());
+            while let Some((byte, tick)) = st.streams[i].take_send() {
+                out.push(SendEvent { stream: StreamId(i), payload: Some(byte), tick });
             }
-            let finished_count = st.finished.iter().filter(|f| **f).count();
-            if finished_count == nthreads {
-                return Ok(());
+            if st.streams[i].is_closed()
+                && st.streams[i].is_empty()
+                && !st.streams[i].close_forwarded()
+            {
+                let tick = st.streams[i].close_tick().unwrap_or(0);
+                st.streams[i].mark_close_forwarded();
+                out.push(SendEvent { stream: StreamId(i), payload: None, tick });
             }
-            match st.ready.pop() {
-                Some(next) => {
-                    if st.quarantined[next.index()] {
-                        continue;
-                    }
-                    // The switch-boundary audit may quarantine either
-                    // side: the outgoing thread (retry the dispatch once
-                    // without it) or `next` itself (skip it and pick
-                    // another thread).
-                    let mut dispatched = false;
-                    for _ in 0..2 {
-                        match st.cpu.switch_to(next) {
-                            Ok(()) => {
-                                dispatched = true;
-                                break;
-                            }
-                            Err(e) => {
-                                let e = RtError::from(e);
-                                let Some(owner) = e.unrecoverable_owner() else {
-                                    st.stop = true;
-                                    return Err(e);
-                                };
-                                st.quarantine_thread(owner);
-                                if owner == next {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    if !dispatched {
-                        continue;
-                    }
-                    // The queue length *after* popping is the number of
-                    // other runnable threads: the parallel slackness.
-                    st.slack_sum += st.ready.len() as u64;
-                    st.dispatches += 1;
-                    st.bump(Metric::Dispatches, 1);
-                    if let Some(p) = st.cpu.machine().probe() {
-                        p.record(&ProbeEvent::Gauge {
-                            name: "ready_queue_depth",
-                            value: st.ready.len() as u64,
-                        });
-                    }
-                    st.record(TraceEvent::SwitchTo(next));
-                    st.turn = Turn::Worker(next);
-                    shared.worker_cv(next).notify_one();
-                }
-                None => {
-                    let detail: Vec<String> = st
-                        .waiting
-                        .iter()
-                        .map(|(t, w)| {
-                            let name = &st.names[t.index()];
-                            match w {
-                                Wait::ReadEmpty(s) => {
-                                    format!("{name} reading empty {}", st.streams[s.0].name())
-                                }
-                                Wait::WriteFull(s) => {
-                                    format!("{name} writing full {}", st.streams[s.0].name())
-                                }
-                                Wait::WriteLocked(s) => {
-                                    format!(
-                                        "{name} awaiting writer lock on {}",
-                                        st.streams[s.0].name()
-                                    )
-                                }
-                            }
-                        })
-                        .collect();
-                    st.stop = true;
-                    return Err(RtError::Deadlock { detail: detail.join("; ") });
+        }
+        out
+    }
+
+    /// The bus granted one in-flight byte of the outbound `stream`:
+    /// frees a unit of sender capacity and wakes one blocked writer.
+    pub fn grant_send(&mut self, stream: StreamId) {
+        let mut st = self.shared.state.lock();
+        st.streams[stream.0].grant_send();
+        st.bump(Metric::BusGrants, 1);
+        st.wake_one_writer(stream);
+    }
+
+    /// Delivers a bus message into the inbound `stream` at bus time
+    /// `tick`: a payload byte is appended (the receive side is
+    /// elastic), `None` closes the stream's bus writer. If the PE is
+    /// quiesced (no runnable thread), its clock first advances to
+    /// `tick`, charging the gap as bus-stall idle time — the receiving
+    /// PE really did sit idle until the delivery arrived.
+    pub fn deliver(&mut self, stream: StreamId, payload: Option<u8>, tick: u64) {
+        let mut st = self.shared.state.lock();
+        if st.ready.is_empty() {
+            st.cpu.step_to_tick(tick);
+        }
+        match payload {
+            Some(byte) => {
+                st.streams[stream.0].push_unbounded(byte);
+                st.bump(Metric::CrossPeMessages, 1);
+                st.wake_one_reader(stream);
+            }
+            None => {
+                if st.streams[stream.0].close_writer() == 0 {
+                    st.wake_all_readers(stream);
                 }
             }
         }
     }
+
+    /// A human-readable description of what every blocked thread is
+    /// waiting for — the per-PE fragment of a cluster-level deadlock
+    /// report.
+    pub fn blocked_detail(&self) -> String {
+        blocked_detail(&self.shared.state.lock())
+    }
+
+    fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        // Release any still-parked workers and join them.
+        {
+            let mut st = self.shared.state.lock();
+            st.stop = true;
+            self.shared.notify_all_workers();
+            drop(st);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
 }
 
-impl std::fmt::Debug for Simulation {
+impl Drop for StartedSim {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for StartedSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Simulation")
+        f.debug_struct("StartedSim")
             .field("scheme", &self.scheme)
             .field("nwindows", &self.nwindows)
-            .field("threads", &self.bodies.len())
+            .field("threads", &self.nthreads)
             .finish()
     }
+}
+
+/// Formats what every blocked thread is waiting for (deadlock reports
+/// and cluster diagnostics).
+fn blocked_detail(st: &SimState) -> String {
+    let detail: Vec<String> = st
+        .waiting
+        .iter()
+        .map(|(t, w)| {
+            let name = &st.names[t.index()];
+            match w {
+                Wait::ReadEmpty(s) => {
+                    format!("{name} reading empty {}", st.streams[s.0].name())
+                }
+                Wait::WriteFull(s) => {
+                    format!("{name} writing full {}", st.streams[s.0].name())
+                }
+                Wait::WriteLocked(s) => {
+                    format!("{name} awaiting writer lock on {}", st.streams[s.0].name())
+                }
+            }
+        })
+        .collect();
+    detail.join("; ")
 }
 
 fn worker_main(shared: Arc<Shared>, tid: ThreadId, body: ThreadBody) {

@@ -25,6 +25,20 @@ impl fmt::Display for StreamId {
     }
 }
 
+/// Which cross-PE end a remote stream is, if any. A stream marked
+/// remote carries bytes across the cluster bus instead of between two
+/// local threads; the model follows the wait-free (1,N) mailbox motif —
+/// flow control lives entirely at the sending end (capacity counts
+/// bytes still in flight on the bus), while the receiving end accepts
+/// deliveries unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RemoteEnd {
+    /// Local threads write; the bus drains (send side on PE *i*).
+    Outbound,
+    /// The bus delivers; local threads read (receive side on PE *j*).
+    Inbound,
+}
+
 /// A bounded cyclic FIFO byte buffer with writer-counted close semantics
 /// (several threads may feed one stream, as T2 and T3 both feed the
 /// output stream in the spell checker).
@@ -36,6 +50,20 @@ pub struct Stream {
     writers: usize,
     bytes_written: u64,
     bytes_read: u64,
+    /// Cross-PE marking; `None` for ordinary intra-machine streams.
+    remote: Option<RemoteEnd>,
+    /// Outbound only: bytes handed to the bus but not yet granted —
+    /// they still occupy sender-side capacity, so a writer blocks until
+    /// the bus actually moves them.
+    in_flight: usize,
+    /// Outbound only: local completion tick of each buffered byte, in
+    /// lockstep with `buf` (only the bus pops an outbound stream).
+    send_ticks: VecDeque<u64>,
+    /// Outbound only: local tick at which the last writer closed.
+    close_tick: Option<u64>,
+    /// Outbound only: whether the close was already forwarded to the
+    /// bus (it is sent exactly once, after the buffered bytes).
+    close_forwarded: bool,
 }
 
 impl Stream {
@@ -54,6 +82,11 @@ impl Stream {
             writers,
             bytes_written: 0,
             bytes_read: 0,
+            remote: None,
+            in_flight: 0,
+            send_ticks: VecDeque::new(),
+            close_tick: None,
+            close_forwarded: false,
         }
     }
 
@@ -77,9 +110,11 @@ impl Stream {
         self.buf.is_empty()
     }
 
-    /// Whether the buffer is full.
+    /// Whether the buffer is full. For an outbound cross-PE stream,
+    /// bytes in flight on the bus still count against the capacity —
+    /// that is where the sender's flow control lives.
     pub fn is_full(&self) -> bool {
-        self.buf.len() >= self.capacity
+        self.buf.len() + self.in_flight >= self.capacity
     }
 
     /// Whether every writer has closed its end.
@@ -125,6 +160,79 @@ impl Stream {
     /// Total bytes ever read.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-PE (cluster bus) support
+    // ------------------------------------------------------------------
+
+    /// The stream's cross-PE marking, if any.
+    pub(crate) fn remote(&self) -> Option<RemoteEnd> {
+        self.remote
+    }
+
+    /// Marks the stream as one end of a cross-PE link.
+    pub(crate) fn set_remote(&mut self, end: RemoteEnd) {
+        self.remote = Some(end);
+    }
+
+    /// Outbound only: records the local completion tick of the byte
+    /// just pushed (kept in lockstep with the buffer).
+    pub(crate) fn note_send_tick(&mut self, tick: u64) {
+        self.send_ticks.push_back(tick);
+    }
+
+    /// Outbound only: records the local tick at which the last writer
+    /// closed, so the close can be forwarded over the bus in order.
+    pub(crate) fn note_close_tick(&mut self, tick: u64) {
+        self.close_tick = Some(tick);
+    }
+
+    /// Outbound only: the recorded close tick, if the stream closed.
+    pub(crate) fn close_tick(&self) -> Option<u64> {
+        self.close_tick
+    }
+
+    /// Outbound only: whether the close was already forwarded.
+    pub(crate) fn close_forwarded(&self) -> bool {
+        self.close_forwarded
+    }
+
+    /// Outbound only: marks the close as forwarded (exactly once).
+    pub(crate) fn mark_close_forwarded(&mut self) {
+        self.close_forwarded = true;
+    }
+
+    /// Outbound only: hands the oldest buffered byte (with its send
+    /// tick) to the bus. The byte leaves the buffer but keeps occupying
+    /// sender capacity until [`Stream::grant_send`].
+    pub(crate) fn take_send(&mut self) -> Option<(u8, u64)> {
+        let byte = self.pop()?;
+        let tick = self.send_ticks.pop_front().expect("send tick in lockstep with buffer");
+        self.in_flight += 1;
+        Some((byte, tick))
+    }
+
+    /// Outbound only: the bus granted one in-flight byte, freeing one
+    /// unit of sender-side capacity.
+    pub(crate) fn grant_send(&mut self) {
+        debug_assert!(self.in_flight > 0, "grant without an in-flight byte");
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    /// Outbound only: bytes drained to the bus but not yet granted plus
+    /// bytes still buffered — when nonzero, a blocked writer will be
+    /// unblocked by bus progress rather than by a local reader.
+    pub(crate) fn pending_send(&self) -> usize {
+        self.buf.len() + self.in_flight
+    }
+
+    /// Inbound only: accepts a bus delivery regardless of capacity (the
+    /// receive side of the (1,N) mailbox is elastic; flow control
+    /// already happened at the sender).
+    pub(crate) fn push_unbounded(&mut self, byte: u8) {
+        self.buf.push_back(byte);
+        self.bytes_written += 1;
     }
 }
 

@@ -231,6 +231,7 @@ impl Trace {
             stats: machine.stats().clone(),
             threads,
             avg_parallel_slackness: self.avg_parallel_slackness,
+            bus: None,
         })
     }
 }

@@ -5,7 +5,7 @@ use crate::corpus::{Corpus, CorpusSpec};
 use crate::reference;
 use crate::threads;
 use regwin_machine::CostModel;
-use regwin_rt::{FaultPlan, RtError, RunReport, SchedulingPolicy, Simulation};
+use regwin_rt::{FaultPlan, RtError, RunReport, SchedulingPolicy, Simulation, StreamId};
 use regwin_traps::{build_scheme, Scheme, SchemeKind};
 use std::sync::{Arc, Mutex};
 
@@ -178,14 +178,23 @@ impl SpellPipeline {
         Ok(SpellOutcome { report, output })
     }
 
-    pub(crate) fn run_inner(
+    /// Builds the bare simulation for this pipeline — window count,
+    /// cost model, scheme, scheduling policy and (if enabled) window
+    /// auditing — without wiring streams or threads. The entry point
+    /// external drivers (`regwin-cluster`) share with the legacy path,
+    /// so a 1-PE cluster constructs exactly the simulation
+    /// [`SpellPipeline::run`] constructs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero buffer sizes and window counts below the scheme's
+    /// minimum.
+    pub fn build_sim(
         &self,
         nwindows: usize,
         cost: CostModel,
         scheme: Box<dyn Scheme>,
-        traced: bool,
-        fault: Option<&FaultPlan>,
-    ) -> Result<(regwin_rt::RunReport, Vec<u8>, Option<regwin_rt::Trace>), RtError> {
+    ) -> Result<Simulation, RtError> {
         if self.config.m == 0 || self.config.n == 0 {
             return Err(RtError::BadConfig {
                 detail: format!(
@@ -196,16 +205,42 @@ impl SpellPipeline {
         }
         let mut sim =
             Simulation::with_scheme(nwindows, cost, scheme)?.with_policy(self.config.policy);
-        if traced {
-            sim = sim.with_trace_recording();
-        }
         if self.audit {
             sim = sim.with_window_audit();
         }
-        if let Some(plan) = fault {
-            sim = sim.with_fault_plan(plan);
-        }
+        Ok(sim)
+    }
 
+    /// Adds the six streams and spawns the seven threads of the paper's
+    /// Figure 10 pipeline onto `sim`, returning the sink T5 collects
+    /// reported words into. One shared wiring function serves both the
+    /// legacy single-machine path and every cluster PE, which is what
+    /// makes the 1-PE differential oracle hold by construction.
+    pub fn wire(&self, sim: &mut Simulation) -> Arc<Mutex<Vec<u8>>> {
+        let (s4, s5, s6) = self.wire_front(sim);
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let sink2 = Arc::clone(&sink);
+        sim.spawn("T5:output", move |ctx| threads::run_output(ctx, s4, sink2));
+        self.wire_back(sim, s5, s6);
+        sink
+    }
+
+    /// Like [`SpellPipeline::wire`], but T5 forwards each reported byte
+    /// to a fresh uplink stream (added after S6, with the given
+    /// capacity) instead of a local sink, closing it at end-of-stream.
+    /// The cluster marks the returned stream outbound and routes it to
+    /// a collector PE.
+    pub fn wire_with_uplink(&self, sim: &mut Simulation, uplink_capacity: usize) -> StreamId {
+        let (s4, s5, s6) = self.wire_front(sim);
+        let uplink = sim.add_stream("S7:uplink", uplink_capacity, 1);
+        sim.spawn("T5:output", move |ctx| threads::run_output_to_stream(ctx, s4, uplink));
+        self.wire_back(sim, s5, s6);
+        uplink
+    }
+
+    /// Streams plus threads T1–T4 (everything up to the T5 slot, whose
+    /// body the two wiring variants differ in).
+    fn wire_front(&self, sim: &mut Simulation) -> (StreamId, StreamId, StreamId) {
         let m = self.config.m;
         let n = self.config.n;
         let s1 = sim.add_stream("S1:doc", m, 1);
@@ -215,21 +250,39 @@ impl SpellPipeline {
         let s5 = sim.add_stream("S5:dict1", m, 1);
         let s6 = sim.add_stream("S6:dict2", m, 1);
 
-        let sink = Arc::new(Mutex::new(Vec::new()));
-
         // Spawn order follows the paper's thread numbering (Table 1).
         sim.spawn("T1:delatex", move |ctx| threads::run_delatex(ctx, s1, s2));
         sim.spawn("T2:spell1", move |ctx| threads::run_spell1(ctx, s5, s2, s3, s4));
         sim.spawn("T3:spell2", move |ctx| threads::run_spell2(ctx, s6, s3, s4));
         let doc = self.corpus.document.clone();
         sim.spawn("T4:input", move |ctx| threads::run_input(ctx, &doc, s1));
-        let sink2 = Arc::clone(&sink);
-        sim.spawn("T5:output", move |ctx| threads::run_output(ctx, s4, sink2));
+        (s4, s5, s6)
+    }
+
+    /// Threads T6–T7 (spawned after the T5 slot).
+    fn wire_back(&self, sim: &mut Simulation, s5: StreamId, s6: StreamId) {
         let dict1 = self.corpus.dict1.clone();
         sim.spawn("T6:dict1", move |ctx| threads::run_dict_feed(ctx, &dict1, s5));
         let dict2 = self.corpus.dict2.clone();
         sim.spawn("T7:dict2", move |ctx| threads::run_dict_feed(ctx, &dict2, s6));
+    }
 
+    pub(crate) fn run_inner(
+        &self,
+        nwindows: usize,
+        cost: CostModel,
+        scheme: Box<dyn Scheme>,
+        traced: bool,
+        fault: Option<&FaultPlan>,
+    ) -> Result<(regwin_rt::RunReport, Vec<u8>, Option<regwin_rt::Trace>), RtError> {
+        let mut sim = self.build_sim(nwindows, cost, scheme)?;
+        if traced {
+            sim = sim.with_trace_recording();
+        }
+        if let Some(plan) = fault {
+            sim = sim.with_fault_plan(plan);
+        }
+        let sink = self.wire(&mut sim);
         let (report, trace) = sim.run_with_trace()?;
         let output = Arc::try_unwrap(sink)
             .map(|m| m.into_inner().expect("sink poisoned"))

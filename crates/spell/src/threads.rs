@@ -68,6 +68,34 @@ pub(crate) fn run_output(
     }
 }
 
+/// T5 (cluster variant) — the output kernel thread of a non-collector
+/// PE: drains S4 into an uplink stream bound for the collector PE
+/// instead of a local buffer, closing the uplink at end-of-stream. The
+/// call-frame structure and per-chunk compute charge match
+/// [`run_output`] exactly, so a PE's window behaviour is independent of
+/// which variant it runs.
+pub(crate) fn run_output_to_stream(
+    ctx: &mut Ctx,
+    s4: StreamId,
+    uplink: StreamId,
+) -> Result<(), RtError> {
+    loop {
+        let eof = ctx.call(|ctx| {
+            ctx.compute(2);
+            for _ in 0..IO_CHUNK {
+                match ctx.read_byte(s4)? {
+                    Some(b) => ctx.write_byte(uplink, b)?,
+                    None => return Ok(true),
+                }
+            }
+            Ok(false)
+        })?;
+        if eof {
+            return ctx.close_writer(uplink);
+        }
+    }
+}
+
 /// T1 — delatex: strips LaTeX from S1, emits one word per line on S2.
 ///
 /// The stream read happens *inside* the per-character scanner frame, as

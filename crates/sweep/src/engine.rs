@@ -1238,7 +1238,7 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
 
 /// The result of one attempt at one job.
 enum AttemptOutcome {
-    Done(RunReport),
+    Done(Box<RunReport>),
     Error(RtError),
     Panic(String),
     Timeout(Duration),
@@ -1288,7 +1288,7 @@ fn run_attempt(
     };
     match timeout {
         None => match catch_unwind(AssertUnwindSafe(body)) {
-            Ok(Ok(report)) => AttemptOutcome::Done(report),
+            Ok(Ok(report)) => AttemptOutcome::Done(Box::new(report)),
             Ok(Err(e)) => AttemptOutcome::Error(e),
             Err(payload) => AttemptOutcome::Panic(panic_message(payload.as_ref())),
         },
@@ -1305,7 +1305,7 @@ fn run_attempt(
                 });
             }
             match rx.recv_timeout(limit) {
-                Ok(Ok(Ok(report))) => AttemptOutcome::Done(report),
+                Ok(Ok(Ok(report))) => AttemptOutcome::Done(Box::new(report)),
                 Ok(Ok(Err(e))) => AttemptOutcome::Error(e),
                 Ok(Err(payload)) => AttemptOutcome::Panic(panic_message(payload.as_ref())),
                 Err(_) => AttemptOutcome::Timeout(limit),
@@ -1402,7 +1402,7 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
                 engine.journal_job(&record, &report);
                 engine.log_job(record);
                 engine.observe_job(&job.key, &report, false, wall_ms);
-                return Some(report);
+                return Some(*report);
             }
             AttemptOutcome::Error(e) => last_failure = ("error", e.to_string()),
             AttemptOutcome::Panic(msg) => last_failure = ("panic", msg),

@@ -14,7 +14,10 @@ use regwin_spell::CorpusSpec;
 
 /// Bump to invalidate all previously cached results (serialization or
 /// simulation semantics changed).
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3: reports gained an optional `bus` section and the cycle counter a
+/// `bus_stall` category (multi-PE cluster runs).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The complete identity of one sweep job.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -10,7 +10,7 @@ use crate::json::{obj, parse, Value};
 use regwin_machine::{
     CycleCategory, CycleCounter, MachineStats, SchemeKind, SwitchShape, ThreadStats,
 };
-use regwin_rt::{RunReport, SchedulingPolicy, ThreadReport};
+use regwin_rt::{BusSummary, RunReport, SchedulingPolicy, ThreadReport};
 
 /// A deserialization failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +37,7 @@ fn category_name(c: CycleCategory) -> &'static str {
         CycleCategory::OverflowTrap => "overflow_trap",
         CycleCategory::UnderflowTrap => "underflow_trap",
         CycleCategory::ContextSwitch => "context_switch",
+        CycleCategory::BusStall => "bus_stall",
     }
 }
 
@@ -106,7 +107,7 @@ pub fn report_to_value(report: &RunReport) -> Value {
             })
             .collect(),
     );
-    obj(vec![
+    let mut fields = vec![
         ("scheme", Value::Str(report.scheme.name().to_string())),
         ("policy", Value::Str(report.policy.name().to_string())),
         ("nwindows", Value::Int(report.nwindows as u64)),
@@ -114,7 +115,30 @@ pub fn report_to_value(report: &RunReport) -> Value {
         ("stats", stats),
         ("threads", threads),
         ("avg_parallel_slackness", Value::Float(report.avg_parallel_slackness)),
-    ])
+    ];
+    // The bus section exists only for multi-PE cluster reports, so a
+    // legacy report's serialized form is unchanged byte-for-byte.
+    if let Some(bus) = &report.bus {
+        fields.push((
+            "bus",
+            obj(vec![
+                ("pes", Value::Int(bus.pes as u64)),
+                ("grants", Value::Int(bus.grants)),
+                ("messages", Value::Int(bus.messages)),
+                ("stall_cycles", Value::Int(bus.stall_cycles)),
+                ("makespan_cycles", Value::Int(bus.makespan_cycles)),
+                (
+                    "per_pe_cycles",
+                    Value::Arr(bus.per_pe_cycles.iter().map(|&c| Value::Int(c)).collect()),
+                ),
+                (
+                    "per_pe_stalls",
+                    Value::Arr(bus.per_pe_stalls.iter().map(|&c| Value::Int(c)).collect()),
+                ),
+            ]),
+        ));
+    }
+    obj(fields)
 }
 
 /// Serializes a report to a compact JSON string.
@@ -220,7 +244,33 @@ pub fn report_from_value(v: &Value) -> Result<RunReport, DecodeError> {
         .as_f64()
         .ok_or_else(|| DecodeError("avg_parallel_slackness not a number".into()))?;
 
-    Ok(RunReport { scheme, policy, nwindows, cycles, stats, threads, avg_parallel_slackness })
+    let bus = match v.get("bus") {
+        None => None,
+        Some(bus_v) => {
+            let per_pe_u64 = |key: &str| -> Result<Vec<u64>, DecodeError> {
+                need(bus_v, key)?
+                    .as_arr()
+                    .ok_or_else(|| DecodeError(format!("bus.{key} not an array")))?
+                    .iter()
+                    .map(|e| {
+                        e.as_u64()
+                            .ok_or_else(|| DecodeError(format!("bus.{key} entry not an integer")))
+                    })
+                    .collect()
+            };
+            Some(BusSummary {
+                pes: need_u64(bus_v, "pes")? as usize,
+                grants: need_u64(bus_v, "grants")?,
+                messages: need_u64(bus_v, "messages")?,
+                stall_cycles: need_u64(bus_v, "stall_cycles")?,
+                makespan_cycles: need_u64(bus_v, "makespan_cycles")?,
+                per_pe_cycles: per_pe_u64("per_pe_cycles")?,
+                per_pe_stalls: per_pe_u64("per_pe_stalls")?,
+            })
+        }
+    };
+
+    Ok(RunReport { scheme, policy, nwindows, cycles, stats, threads, avg_parallel_slackness, bus })
 }
 
 /// Deserializes a report from a JSON string.
@@ -264,6 +314,27 @@ mod tests {
         assert_eq!(back.overhead_cycles(), r.overhead_cycles());
         assert_eq!(back.avg_switch_cycles(), r.avg_switch_cycles());
         assert_eq!(back.trap_probability(), r.trap_probability());
+    }
+
+    #[test]
+    fn bus_section_roundtrips_and_is_absent_on_legacy_reports() {
+        let outcome = SpellPipeline::new(SpellConfig::small()).run(8, SchemeKind::Sp).unwrap();
+        let mut r = outcome.report;
+        assert!(r.bus.is_none());
+        assert!(!report_to_json(&r).contains("\"bus\""));
+        r.bus = Some(BusSummary {
+            pes: 4,
+            grants: 120,
+            messages: 116,
+            stall_cycles: 950,
+            makespan_cycles: 88_000,
+            per_pe_cycles: vec![88_000, 81_500, 80_250, 79_990],
+            per_pe_stalls: vec![0, 300, 310, 340],
+        });
+        let text = report_to_json(&r);
+        let back = report_from_json(&text).unwrap();
+        assert_eq!(back.bus, r.bus);
+        assert_eq!(report_to_json(&back), text);
     }
 
     #[test]

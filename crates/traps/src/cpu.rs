@@ -322,6 +322,14 @@ impl Cpu {
         self.machine.compute(cycles);
     }
 
+    /// Advances the machine's clock to an externally supplied `tick`,
+    /// charging the gap as bus-stall idle time; see
+    /// [`regwin_machine::Machine::step_to_tick`]. Returns the cycles
+    /// charged.
+    pub fn step_to_tick(&mut self, tick: u64) -> u64 {
+        self.machine.step_to_tick(tick)
+    }
+
     /// Reads `local` register `reg` of the current window.
     ///
     /// # Errors

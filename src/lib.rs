@@ -26,6 +26,7 @@
 //! | [`traps`] | trap handlers + the NS / SNP / SP schemes |
 //! | [`rt`] | non-preemptive runtime: streams, schedulers, trace record/replay |
 //! | [`spell`] | the 7-thread spell-checker workload + synthetic corpus |
+//! | [`cluster`] | discrete-event multi-PE simulation over a contended shared bus |
 //! | [`core`] | experiment drivers for every table and figure |
 //! | [`sweep`] | parallel, cached, observable experiment orchestration |
 //! | [`asm`] | SPARC-subset assembler/interpreter on the window machine |
@@ -57,6 +58,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub use regwin_asm as asm;
+pub use regwin_cluster as cluster;
 pub use regwin_core as core;
 pub use regwin_machine as machine;
 pub use regwin_rt as rt;
@@ -66,6 +68,7 @@ pub use regwin_traps as traps;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use regwin_cluster::{run_spell_cluster, ClusterConfig, PeConfig};
     pub use regwin_core::{Behavior, Concurrency, Granularity};
     pub use regwin_machine::{CostModel, Machine, SchemeKind, ThreadId, WindowIndex};
     pub use regwin_rt::{Ctx, RtError, RunReport, SchedulingPolicy, Simulation};

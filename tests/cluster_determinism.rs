@@ -1,0 +1,86 @@
+//! Workspace-level cluster determinism suite: the 1-PE serialized
+//! differential oracle and sweep-artifact byte identity across worker
+//! counts — the properties that make `BENCH_cluster.json` committable.
+
+use regwin::prelude::*;
+use regwin_cluster::run_spell_cluster;
+use regwin_sweep::{report_to_json, Job, JobKey};
+use std::path::PathBuf;
+
+fn cluster_key(pes: usize) -> JobKey {
+    let spell = SpellConfig::small();
+    JobKey {
+        experiment: format!("cluster-test:pes={pes}"),
+        corpus: spell.corpus,
+        m: spell.m,
+        n: spell.n,
+        policy: spell.policy,
+        scheme: "SP".to_string(),
+        nwindows: 8,
+        cost_model: "s20".to_string(),
+    }
+}
+
+fn cluster_jobs(pe_counts: &[usize]) -> Vec<Job> {
+    pe_counts
+        .iter()
+        .map(|&p| {
+            let cfg = ClusterConfig::homogeneous(p, SchemeKind::Sp, 8, SpellConfig::small());
+            Job::new(cluster_key(p), move || {
+                run_spell_cluster(&cfg, None).map(|o| o.report.merged())
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn one_pe_cluster_serializes_byte_identically_to_the_legacy_report() {
+    let cfg = ClusterConfig::homogeneous(1, SchemeKind::Sp, 8, SpellConfig::small());
+    let cluster = run_spell_cluster(&cfg, None).expect("1-PE cluster");
+    let legacy =
+        SpellPipeline::new(SpellConfig::small()).run(8, SchemeKind::Sp).expect("legacy run");
+    // Not just PartialEq: the *serialized* reports are byte-identical,
+    // so a 1-PE cluster cell and a legacy cell share cache entries and
+    // artifacts bit for bit.
+    assert_eq!(report_to_json(&cluster.report.merged()), report_to_json(&legacy.report));
+}
+
+#[test]
+fn cluster_sweep_artifacts_are_byte_identical_across_worker_counts() {
+    let tmp = std::env::temp_dir().join(format!("regwin-cluster-det-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("tmp dir");
+    // Journaled engines promise deterministic artifacts (wall times
+    // zeroed, job log in canonical key order); no cache, so both
+    // worker counts execute every job.
+    let runs: Vec<(String, String)> = [1usize, 8]
+        .iter()
+        .map(|&workers| {
+            let journal: PathBuf = tmp.join(format!("w{workers}.journal.jsonl"));
+            let engine = SweepEngine::with_config(
+                SweepConfig::builder()
+                    .workers(workers)
+                    .journal(journal)
+                    .build()
+                    .expect("sweep config"),
+            );
+            let jobs = cluster_jobs(&[1, 2, 4]);
+            let results = engine.run_jobs(&jobs);
+            assert!(results.iter().all(Option::is_some), "no job may quarantine");
+            (engine.artifact_value().to_json(), engine.trace_string())
+        })
+        .collect();
+    assert_eq!(runs[0].0, runs[1].0, "1 vs 8 sweep workers must agree byte-for-byte");
+    assert_eq!(runs[0].1, runs[1].1, "the JSONL job trace must agree byte-for-byte");
+    let _ = std::fs::remove_dir_all(tmp);
+}
+
+#[test]
+fn cluster_reports_round_trip_through_the_cache_serializer() {
+    let cfg = ClusterConfig::homogeneous(4, SchemeKind::Sp, 8, SpellConfig::small());
+    let merged = run_spell_cluster(&cfg, None).expect("4-PE cluster").report.merged();
+    assert!(merged.bus.is_some(), "multi-PE merged report carries the bus section");
+    let json = report_to_json(&merged);
+    let back = regwin_sweep::report_from_json(&json).expect("decode");
+    assert_eq!(back, merged);
+    assert_eq!(report_to_json(&back), json);
+}

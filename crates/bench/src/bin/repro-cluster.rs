@@ -12,10 +12,11 @@
 //!
 //! Usage: `repro-cluster [--quick] [--out <file>] [--jobs <n>]
 //! [--cache-dir <dir>] [--no-cache] [--arbitration <fixed|rr>]
-//! [--fault-plan <spec>] [--audit] [--check-1pe]`
+//! [--fault-plan <spec>] [--audit] [--check-1pe] [--policy <name>]`
 
 use regwin_cluster::{run_spell_cluster, Arbitration, BusConfig, ClusterConfig};
 use regwin_obs::Histogram;
+use regwin_rt::SchedulingPolicy;
 use regwin_spell::{SpellConfig, SpellPipeline};
 use regwin_sweep::json::{obj, Value};
 use regwin_sweep::{write_file_atomic, Job, JobKey, SweepConfig, SweepEngine};
@@ -29,7 +30,7 @@ const PE_COUNTS_QUICK: [usize; 3] = [1, 2, 4];
 
 const USAGE: &str = "usage: repro-cluster [--quick] [--out <file>] [--jobs <n>] \
 [--cache-dir <dir>] [--no-cache] [--arbitration <fixed|rr>] [--fault-plan <spec>] \
-[--audit] [--check-1pe]";
+[--audit] [--check-1pe] [--policy <FIFO|WorkingSet|WindowGreedy|Aging>]";
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
@@ -48,6 +49,7 @@ struct Opts {
     fault_plan: Option<String>,
     audit: bool,
     check_1pe: bool,
+    policy: SchedulingPolicy,
 }
 
 fn parse_opts() -> Opts {
@@ -60,6 +62,7 @@ fn parse_opts() -> Opts {
         fault_plan: None,
         audit: false,
         check_1pe: false,
+        policy: SchedulingPolicy::Fifo,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -92,6 +95,11 @@ fn parse_opts() -> Opts {
             }
             "--audit" => o.audit = true,
             "--check-1pe" => o.check_1pe = true,
+            "--policy" => {
+                let v = it.next().unwrap_or_else(|| usage("--policy needs a policy name"));
+                o.policy = SchedulingPolicy::parse(&v)
+                    .unwrap_or_else(|| usage(&format!("unknown policy {v:?}")));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -101,7 +109,7 @@ fn parse_opts() -> Opts {
 
 fn main() {
     let opts = parse_opts();
-    let spell = SpellConfig::small();
+    let spell = SpellConfig::small().with_policy(opts.policy);
     let scheme = SchemeKind::Sp;
     let nwindows = 8;
     let bus = BusConfig { arbitration: opts.arbitration, ..BusConfig::default() };

@@ -1,6 +1,7 @@
 //! Machine-level micro-benchmark: times the simulator's primitive
 //! operations (trap-free save/restore, overflow, underflow, context
-//! switch, audit pass) with window auditing off and on, and writes the
+//! switch, audit pass, scheduler enqueue/dispatch, wait-free counter
+//! publication) with window auditing off and on, and writes the
 //! deterministic-order `BENCH_machine.json` document.
 //!
 //! Usage: `repro-microbench [--quick] [--out <file>]`

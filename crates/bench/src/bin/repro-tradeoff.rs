@@ -6,15 +6,15 @@
 use regwin_bench::Args;
 use regwin_core::figures::Sweep;
 use regwin_core::tradeoff::{analyze, AccessTimeModel};
-use regwin_core::{SchedulingPolicy, TextTable};
+use regwin_core::TextTable;
 
 fn main() {
     let args = Args::parse();
     let engine = args.engine();
     let windows = args.windows();
-    eprintln!("High-concurrency sweep ({}% corpus)...", args.scale);
+    eprintln!("High-concurrency sweep ({}% corpus, {} policy)...", args.scale, args.policy);
     let records = engine
-        .run_matrix(&Sweep::high_spec(args.corpus(), &windows, SchedulingPolicy::Fifo))
+        .run_matrix(&Sweep::high_spec(args.corpus(), &windows, args.policy))
         .expect("sweep runs");
     let sweep = Sweep::from_records(records);
 

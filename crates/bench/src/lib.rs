@@ -17,12 +17,14 @@
 //! | `repro-fig15` | Figure 15 — working-set scheduling |
 //! | `repro-all` | everything above, sharing sweeps |
 //! | `repro-ablations` | §4.2/§4.3/§4.4 design-choice ablations |
+//! | `repro-sched` | scheduling-policy frontier (`BENCH_sched.json`) |
 //!
 //! Common flags: `--scale <pct>` (corpus size as % of the paper's,
 //! default 100), `--quick` (reduced window sweep), `--out <dir>` (also
 //! write CSV files), `--cache-dir <dir>` (result cache location,
 //! default `target/sweep-cache`), `--no-cache`, `--jobs <n>` (worker
-//! threads, default one per CPU).
+//! threads, default one per CPU), `--policy <name>` (ready-queue
+//! scheduling policy for the policy-parameterised binaries).
 //!
 //! Hardening and fault-injection flags (see `EXPERIMENTS.md`):
 //! `--fault-seed <u64>` / `--fault-plan <kind@index,...>` inject a
@@ -58,7 +60,7 @@
 
 use regwin_core::figures::{FigureId, Sweep};
 use regwin_core::{CorpusSpec, MatrixSpec, TextTable};
-use regwin_rt::{FaultPlan, RtError};
+use regwin_rt::{FaultPlan, RtError, SchedulingPolicy};
 use regwin_sweep::{SweepConfig, SweepEngine};
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -109,6 +111,11 @@ pub struct Args {
     /// (`--audit`). Audited runs report identical numbers — the flag
     /// buys corruption detection and repair, not different results.
     pub audit: bool,
+    /// Ready-queue scheduling policy for policy-parameterised sweeps
+    /// (`--policy`, default FIFO). Figure binaries that reproduce a
+    /// specific paper exhibit keep their fixed policy; `repro-tradeoff`,
+    /// `repro-cluster` and `repro-sched` honour this flag.
+    pub policy: SchedulingPolicy,
 }
 
 impl Args {
@@ -132,6 +139,7 @@ impl Args {
             resume: false,
             abandoned_cap: None,
             audit: false,
+            policy: SchedulingPolicy::Fifo,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -211,6 +219,15 @@ impl Args {
                     );
                 }
                 "--audit" => args.audit = true,
+                "--policy" => {
+                    let v = it.next().unwrap_or_else(|| usage("--policy needs a policy name"));
+                    args.policy = SchedulingPolicy::parse(&v).unwrap_or_else(|| {
+                        usage(&format!(
+                            "unknown policy {v:?} (expected one of: {})",
+                            SchedulingPolicy::ALL.map(|p| p.name()).join(", ")
+                        ))
+                    });
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -364,7 +381,8 @@ fn usage(problem: &str) -> ! {
          [--fault-seed <u64>] [--fault-plan <kind@index,...>] \
          [--job-timeout-ms <ms>] [--retries <n>] [--retry-backoff-ms <ms>] \
          [--fail-on-quarantine] [--trace-out <file>] [--metrics] \
-         [--journal] [--resume] [--abandoned-cap <n>] [--audit]"
+         [--journal] [--resume] [--abandoned-cap <n>] [--audit] \
+         [--policy <FIFO|WorkingSet|WindowGreedy|Aging>]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

@@ -3,9 +3,10 @@
 //!
 //! Where `BENCH_sweep.json` times whole sweep jobs, this module times
 //! the hot-path primitives they are made of — trap-free `save` and
-//! `restore`, overflow and underflow trap handling, context switches
-//! and window-audit passes — each with auditing off and on. Two numbers
-//! come out per (op, audit) cell:
+//! `restore`, overflow and underflow trap handling, context switches,
+//! window-audit passes, scheduler ready-queue enqueue/dispatch and the
+//! sweep engine's wait-free ops-counter publication — each with
+//! auditing off and on. Two numbers come out per (op, audit) cell:
 //!
 //! * **cycles per op** — simulated cycles charged by the cost model,
 //!   fully deterministic (identical across runs and machines);
@@ -23,7 +24,8 @@
 
 use regwin_cluster::{BusConfig, ClusterBuilder};
 use regwin_machine::ThreadId;
-use regwin_rt::Simulation;
+use regwin_obs::{AtomicMetricSet, Metric};
+use regwin_rt::{ReadyQueue, SchedulingPolicy, Simulation, WakeInfo};
 use regwin_sweep::json::{obj, Value};
 use regwin_traps::{build_scheme, Cpu, SchemeKind};
 use std::time::Instant;
@@ -32,9 +34,24 @@ use std::time::Instant;
 /// to be representative, shallow enough to never trap on 64 windows.
 const DEPTH: u64 = 40;
 
-/// The fixed set of operations measured, in report order.
-pub const OPS: [&str; 7] =
-    ["save", "restore", "overflow", "underflow", "switch", "switch_cross_pe", "audit"];
+/// The fixed set of operations measured, in report order. `enqueue` and
+/// `dispatch` time the scheduler ready-queue primitives (working-set
+/// policy, the residency-segmented one); `publish` times the sweep
+/// engine's wait-free per-worker ops-counter publication — one relaxed
+/// atomic add per event, the operation that replaced a mutex-guarded
+/// aggregate on the job hot path.
+pub const OPS: [&str; 10] = [
+    "save",
+    "restore",
+    "overflow",
+    "underflow",
+    "switch",
+    "switch_cross_pe",
+    "audit",
+    "enqueue",
+    "dispatch",
+    "publish",
+];
 
 /// One measured cell: an operation under one audit setting.
 #[derive(Debug, Clone, PartialEq)]
@@ -336,6 +353,66 @@ fn bench_switch_cross_pe(cfg: MicrobenchConfig, audit: bool) -> OpMeasurement {
     }
 }
 
+/// Measures the scheduler ready-queue primitives under the working-set
+/// policy (the residency-segmented queue): `enqueue` is one
+/// `enqueue_woken` with a wake snapshot alternating between resident
+/// and evicted threads, `dispatch` is one `pop`. Host-side runtime
+/// operations: no simulated cycles are charged, so the cycle column is
+/// zero by construction. Window auditing cannot affect a ready queue;
+/// both audit cells measure the identical operation.
+fn bench_sched(cfg: MicrobenchConfig, audit: bool) -> [OpMeasurement; 2] {
+    const QUEUE: u64 = 64;
+    let mut queue = ReadyQueue::new(SchedulingPolicy::WorkingSet);
+    let reps = (cfg.iters / QUEUE).max(1);
+    let ops = reps * QUEUE;
+    let mut enq_ns = Vec::with_capacity(cfg.rounds);
+    let mut pop_ns = Vec::with_capacity(cfg.rounds);
+    for _ in 0..cfg.rounds {
+        let mut e_ns = 0f64;
+        let mut p_ns = 0f64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for i in 0..QUEUE {
+                // Every other wake still has resident windows, so both
+                // queue segments see traffic.
+                let wake = WakeInfo { resident: (i % 2) as usize, free_windows: 4, nwindows: 8 };
+                queue.enqueue_woken(ThreadId::new(i as usize), wake);
+            }
+            e_ns += t0.elapsed().as_nanos() as f64;
+            let t1 = Instant::now();
+            while queue.pop().is_some() {}
+            p_ns += t1.elapsed().as_nanos() as f64;
+        }
+        enq_ns.push(e_ns / ops as f64);
+        pop_ns.push(p_ns / ops as f64);
+    }
+    [
+        OpMeasurement { op: "enqueue", audit, ops, cycles_per_op: 0.0, ns_per_op: median(enq_ns) },
+        OpMeasurement { op: "dispatch", audit, ops, cycles_per_op: 0.0, ns_per_op: median(pop_ns) },
+    ]
+}
+
+/// Measures one wait-free ops-counter publication: a relaxed atomic add
+/// into an [`AtomicMetricSet`] row, exactly what the sweep engine's job
+/// hot path performs per operational event instead of locking a shared
+/// aggregate. Host-side: no simulated cycles; auditing is irrelevant to
+/// an atomic add, so both audit cells measure the identical operation.
+fn bench_publish(cfg: MicrobenchConfig, audit: bool) -> OpMeasurement {
+    let row = AtomicMetricSet::new();
+    let ops = cfg.iters;
+    let mut ns = Vec::with_capacity(cfg.rounds);
+    for _ in 0..cfg.rounds {
+        let t0 = Instant::now();
+        for _ in 0..ops {
+            row.add(Metric::CacheHits, 1);
+        }
+        ns.push(t0.elapsed().as_nanos() as f64 / ops as f64);
+    }
+    // Read the row back so the timed adds cannot be optimized away.
+    assert_eq!(row.get(Metric::CacheHits), ops * cfg.rounds as u64);
+    OpMeasurement { op: "publish", audit, ops, cycles_per_op: 0.0, ns_per_op: median(ns) }
+}
+
 /// Runs every cell of the micro-benchmark matrix: each operation in
 /// [`OPS`], unaudited then audited, in deterministic order.
 pub fn run_microbench(cfg: MicrobenchConfig) -> Vec<OpMeasurement> {
@@ -346,6 +423,8 @@ pub fn run_microbench(cfg: MicrobenchConfig) -> Vec<OpMeasurement> {
         out.push(bench_switch(cfg, audit));
         out.push(bench_switch_cross_pe(cfg, audit));
         out.push(bench_audit(cfg, audit));
+        out.extend(bench_sched(cfg, audit));
+        out.push(bench_publish(cfg, audit));
     }
     // Report in op-major order (both audit settings of an op adjacent).
     out.sort_by_key(|m| (OPS.iter().position(|&o| o == m.op).expect("known op"), m.audit));

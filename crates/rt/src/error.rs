@@ -58,6 +58,14 @@ pub enum RtError {
         /// The 0-based per-site event index at which the fault fired.
         index: u64,
     },
+    /// The runtime reached a state its own protocol rules out — e.g.
+    /// the scheduler observed the stop flag with no recorded error.
+    /// Surfaced as a typed error so drivers report it instead of the
+    /// runtime panicking mid-protocol.
+    Internal {
+        /// What inconsistency was observed.
+        detail: String,
+    },
 }
 
 impl RtError {
@@ -92,6 +100,7 @@ impl fmt::Display for RtError {
             RtError::FaultInjected { site, index } => {
                 write!(f, "injected fault at {site} event {index}")
             }
+            RtError::Internal { detail } => write!(f, "internal runtime error: {detail}"),
         }
     }
 }

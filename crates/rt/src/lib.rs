@@ -11,8 +11,10 @@
 //! * scheduling is **non-preemptive**: "a thread execution continues
 //!   until an input (output) buffer becomes empty (full)";
 //! * the base scheduler is **FIFO**; the **working-set** refinement
-//!   (§4.6) enqueues an awoken thread at the *front* of the ready queue
-//!   when its windows are still resident, at the back otherwise;
+//!   (§4.6) dispatches awoken threads whose windows are still resident
+//!   ahead of everything else (FIFO among themselves). Scheduling is a
+//!   pluggable [`SchedPolicy`]: the crate also ships a conflict-aware
+//!   **WindowGreedy** policy and a starvation-bounded **Aging** hybrid;
 //! * every procedure call in a thread body maps to a `save`/`restore`
 //!   pair on the simulated CPU (via [`Ctx::call`]), so the window
 //!   activity of the workload is what drives the schemes' behaviour.
@@ -68,8 +70,10 @@ pub use ctx::Ctx;
 pub use error::RtError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, WorkerFault};
 pub use report::{BusSummary, RunReport, ThreadReport};
-pub use sched::ReadyQueue;
-pub use sched::SchedulingPolicy;
+pub use sched::{
+    AgingPolicy, FifoPolicy, ReadyQueue, SchedPolicy, SchedulingPolicy, WakeInfo,
+    WindowGreedyPolicy, WorkingSetPolicy, AGING_LIMIT,
+};
 pub use sim::{SendEvent, Simulation, StartedSim, StepOutcome, ThreadBody};
 pub use stream::{Stream, StreamId};
 pub use trace::{Trace, TraceEvent};

@@ -10,11 +10,11 @@ use crate::ctx::Ctx;
 use crate::error::RtError;
 use crate::fault::FaultPlan;
 use crate::report::{RunReport, ThreadReport};
-use crate::sched::{ReadyQueue, SchedulingPolicy};
+use crate::sched::{ReadyQueue, SchedPolicy, SchedulingPolicy, WakeInfo};
 use crate::stream::{RemoteEnd, Stream, StreamId};
 use crate::trace::{Trace, TraceEvent};
 use parking_lot::{Condvar, Mutex};
-use regwin_machine::{CostModel, ThreadId};
+use regwin_machine::{CostModel, ThreadId, WindowIndex};
 use regwin_obs::{Metric, Probe, ProbeEvent, SpanKind};
 use regwin_traps::{build_scheme, Cpu, Scheme, SchemeKind};
 use std::collections::{BTreeMap, BTreeSet};
@@ -93,8 +93,24 @@ impl SimState {
 }
 
 impl SimState {
-    pub(crate) fn has_windows(&self, t: ThreadId) -> bool {
-        self.cpu.machine().thread(t).map(|ts| ts.resident() > 0).unwrap_or(false)
+    /// The window-residency snapshot the scheduling policy sees when
+    /// `t` wakes. Policies that ignore residency (per
+    /// [`ReadyQueue::uses_residency`]) get a default snapshot so the
+    /// FIFO hot path never scans the register file.
+    pub(crate) fn wake_snapshot(&self, t: ThreadId) -> WakeInfo {
+        if !self.ready.uses_residency() {
+            return WakeInfo::default();
+        }
+        let machine = self.cpu.machine();
+        let nwindows = machine.nwindows();
+        let free_windows = (0..nwindows)
+            .filter(|&w| machine.slot_use(WindowIndex::new(w)).is_discardable())
+            .count();
+        WakeInfo {
+            resident: machine.thread(t).map(|ts| ts.resident()).unwrap_or(0),
+            free_windows,
+            nwindows,
+        }
     }
 
     /// Wakes the lowest-id thread blocked reading `s` (one byte arrived).
@@ -102,8 +118,8 @@ impl SimState {
         let woken = self.waiting.iter().find(|(_, w)| **w == Wait::ReadEmpty(s)).map(|(t, _)| *t);
         if let Some(t) = woken {
             self.waiting.remove(&t);
-            let has = self.has_windows(t);
-            self.ready.enqueue_woken(t, has);
+            let wake = self.wake_snapshot(t);
+            self.ready.enqueue_woken(t, wake);
         }
     }
 
@@ -118,8 +134,8 @@ impl SimState {
             .collect();
         for t in woken {
             self.waiting.remove(&t);
-            let has = self.has_windows(t);
-            self.ready.enqueue_woken(t, has);
+            let wake = self.wake_snapshot(t);
+            self.ready.enqueue_woken(t, wake);
         }
     }
 
@@ -129,8 +145,8 @@ impl SimState {
         let woken = self.waiting.iter().find(|(_, w)| **w == Wait::WriteFull(s)).map(|(t, _)| *t);
         if let Some(t) = woken {
             self.waiting.remove(&t);
-            let has = self.has_windows(t);
-            self.ready.enqueue_woken(t, has);
+            let wake = self.wake_snapshot(t);
+            self.ready.enqueue_woken(t, wake);
         }
     }
 
@@ -140,8 +156,8 @@ impl SimState {
         let woken = self.waiting.iter().find(|(_, w)| **w == Wait::WriteLocked(s)).map(|(t, _)| *t);
         if let Some(t) = woken {
             self.waiting.remove(&t);
-            let has = self.has_windows(t);
-            self.ready.enqueue_woken(t, has);
+            let wake = self.wake_snapshot(t);
+            self.ready.enqueue_woken(t, wake);
         }
     }
 
@@ -274,6 +290,20 @@ impl Simulation {
     #[must_use]
     pub fn with_policy(self, policy: SchedulingPolicy) -> Self {
         self.shared.state.lock().ready = ReadyQueue::new(policy);
+        self
+    }
+
+    /// Installs a caller-supplied [`SchedPolicy`] object — the plug-in
+    /// point for scheduling experiments not shipped in this crate. Must
+    /// be called before any [`Simulation::spawn`] (spawned threads are
+    /// already queued and would be lost with the old queue).
+    #[must_use]
+    pub fn with_sched_policy(self, imp: Box<dyn SchedPolicy>) -> Self {
+        {
+            let mut st = self.shared.state.lock();
+            debug_assert!(st.ready.is_empty(), "install the policy before spawning threads");
+            st.ready = ReadyQueue::with_impl(imp);
+        }
         self
     }
 
@@ -550,12 +580,18 @@ impl StartedSim {
         let shared = Arc::clone(&self.shared);
         let mut st = shared.state.lock();
         loop {
-            while st.turn != Turn::Scheduler && st.error.is_none() {
+            while st.turn != Turn::Scheduler && st.error.is_none() && !st.stop {
                 shared.sched_cv.wait(&mut st);
             }
-            if st.error.is_some() {
+            if st.error.is_some() || st.stop {
                 st.stop = true;
-                let e = st.error.clone().unwrap();
+                // The stop flag can be raised with no recorded error
+                // (e.g. an external driver tearing the PE down); surface
+                // that as a typed error rather than panicking on the
+                // empty error slot.
+                let e = st.error.clone().unwrap_or_else(|| RtError::Internal {
+                    detail: "scheduler observed the stop flag with no recorded error".to_string(),
+                });
                 self.loop_result = Err(e.clone());
                 return Err(e);
             }
@@ -890,4 +926,67 @@ fn worker_main(shared: Arc<Shared>, tid: ThreadId, body: ThreadBody) {
     }
     st.turn = Turn::Scheduler;
     shared.sched_cv.notify_one();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The stop flag raised with no recorded error (the corner an
+    /// external driver can produce) must surface as a typed
+    /// [`RtError::Internal`], not a panic on the empty error slot.
+    #[test]
+    fn stop_without_error_is_a_typed_internal_error() {
+        let mut sim = Simulation::new(8, SchemeKind::Sp).unwrap();
+        let pipe = sim.add_stream("pipe", 1, 1);
+        sim.spawn("blocked", move |ctx| {
+            // Blocks forever: nothing ever writes the stream.
+            ctx.read_byte(pipe)?;
+            Ok(())
+        });
+        let mut started = sim.start();
+        started.shared.state.lock().stop = true;
+        let err = started.step().unwrap_err();
+        assert!(matches!(err, RtError::Internal { .. }), "got {err:?}");
+        // finish() reproduces the scheduler-loop error and tears the
+        // workers down cleanly.
+        let finished = started.finish();
+        assert!(matches!(finished, Err(RtError::Internal { .. })), "got {finished:?}");
+    }
+
+    /// The same corner while the scheduler is parked waiting for a
+    /// worker turn: the wait loop must wake up and exit on the stop
+    /// flag instead of hanging.
+    #[test]
+    fn stop_mid_wait_wakes_the_scheduler() {
+        let mut sim = Simulation::new(8, SchemeKind::Sp).unwrap();
+        sim.spawn("spin", move |ctx| {
+            for _ in 0..64 {
+                ctx.call(|c| {
+                    c.compute(1);
+                    Ok(())
+                })?;
+            }
+            Ok(())
+        });
+        let started = sim.start();
+        let shared = Arc::clone(&started.shared);
+        let stopper = std::thread::spawn(move || {
+            let mut st = shared.state.lock();
+            st.stop = true;
+            shared.sched_cv.notify_one();
+            shared.notify_all_workers();
+            drop(st);
+        });
+        let mut started = started;
+        // Either the worker finished first (Done) or the stop landed
+        // mid-run (typed Internal error) — both are clean exits; the
+        // test is that neither path hangs or panics.
+        match started.step() {
+            Ok(StepOutcome::Done) => {}
+            Err(RtError::Internal { .. }) | Err(RtError::Aborted) => {}
+            other => panic!("unexpected step outcome: {other:?}"),
+        }
+        stopper.join().unwrap();
+    }
 }

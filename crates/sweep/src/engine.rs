@@ -20,7 +20,7 @@ use crate::key::JobKey;
 use regwin_core::{MatrixSpec, RunRecord};
 use regwin_machine::CostModel;
 use regwin_obs::jsonl::Row;
-use regwin_obs::{Histogram, Metric, MetricSet, Probe, ProbeEvent, SpanKind};
+use regwin_obs::{AtomicMetricSet, Histogram, Metric, MetricSet, Probe, ProbeEvent, SpanKind};
 use regwin_rt::{FaultKind, FaultPlan, RtError, RunReport, SchedulingPolicy, Trace, WorkerFault};
 use regwin_spell::{Corpus, SpellConfig, SpellPipeline};
 use regwin_traps::{build_scheme, SchemeKind};
@@ -383,6 +383,11 @@ pub struct SweepEngine {
     log: Mutex<Vec<JobRecord>>,
     quarantine: Mutex<Vec<QuarantineRecord>>,
     obs: Mutex<ObsAggregate>,
+    /// Wait-free (1,N) operational-counter publication: one atomic slot
+    /// row per participating thread (slot 0 = the orchestrating thread,
+    /// slot 1+w = pool worker `w`), summed at report time. The job hot
+    /// path bumps its own row with relaxed adds and never takes a lock.
+    ops_slots: OpsSlots,
     /// Engine-lifetime job sequence counter: worker faults target the
     /// N-th cache-missing job across every batch this engine runs.
     seq: AtomicU64,
@@ -428,15 +433,156 @@ struct ObsAggregate {
     /// One row per completed job, for the JSONL trace (deterministic
     /// once sorted by key).
     rows: Vec<TraceRow>,
-    /// Engine operational counters — cache hits/misses, retries,
-    /// quarantines. Cache-state dependent, so kept out of `metrics`.
-    ops: MetricSet,
     /// Wall-clock latency of cache hits (entry load + validation), in
     /// nanoseconds.
     hit_wall_ns: Histogram,
     /// Wall-clock latency of cache misses (actual simulation), in
     /// nanoseconds.
     miss_wall_ns: Histogram,
+}
+
+impl ObsAggregate {
+    /// Adds another aggregate into this one. Every constituent is
+    /// commutative (saturating counter sums, histogram bucket sums,
+    /// row concatenation later sorted by key), so merge order cannot
+    /// change any deterministic artifact section.
+    fn merge(&mut self, other: ObsAggregate) {
+        self.sim.merge(&other.sim);
+        for (scheme, set) in other.per_scheme {
+            self.per_scheme.entry(scheme).or_default().merge(&set);
+        }
+        self.rows.extend(other.rows);
+        self.hit_wall_ns.merge(&other.hit_wall_ns);
+        self.miss_wall_ns.merge(&other.miss_wall_ns);
+    }
+}
+
+/// The slot row written by the orchestrating (non-pool) thread.
+const MAIN_SLOT: usize = 0;
+
+/// A (1,N) single-writer/many-reader publication array for engine
+/// operational counters (cache hits/misses, retries, quarantines).
+/// Each participating thread owns one [`AtomicMetricSet`] row and
+/// publishes with relaxed atomic adds — wait-free, no CAS loop, no
+/// mutex — while any reader may sum every row at report time
+/// ([`OpsSlots::total`]). Relaxed ordering suffices: each counter is an
+/// independent monotone sum and the artifact readers run after the
+/// batch's pool has joined.
+#[derive(Debug)]
+struct OpsSlots {
+    slots: Box<[AtomicMetricSet]>,
+}
+
+impl OpsSlots {
+    /// A slot array for the orchestrating thread plus `workers` pool
+    /// threads.
+    fn new(workers: usize) -> Self {
+        OpsSlots { slots: (0..=workers).map(|_| AtomicMetricSet::new()).collect() }
+    }
+
+    /// Adds `delta` to `metric` in `slot`'s row (wait-free).
+    fn add(&self, slot: usize, metric: Metric, delta: u64) {
+        self.slots[slot].add(metric, delta);
+    }
+
+    /// Sums every row into one [`MetricSet`] (the report-time merge).
+    fn total(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        for slot in self.slots.iter() {
+            set.merge(&slot.snapshot());
+        }
+        set
+    }
+}
+
+/// Everything one thread accumulates locally while running jobs of a
+/// batch. Merged into the engine-wide aggregates exactly once per
+/// thread per batch — never from the per-job hot path.
+#[derive(Debug, Default)]
+struct LocalBatch {
+    log: Vec<JobRecord>,
+    obs: ObsAggregate,
+    wall_hints: Vec<(String, f64)>,
+}
+
+/// The per-thread publication sink for the job hot path. Structured
+/// records (job log entries, trace rows, metric merges, wall hints)
+/// accumulate thread-locally in a [`LocalBatch`]; operational counters
+/// go straight to this thread's wait-free [`OpsSlots`] row. A
+/// fault-free job therefore publishes its metrics and wall hints
+/// without acquiring a single engine mutex — only the failure paths
+/// (quarantine) and the once-per-batch merge ever lock.
+struct BatchSink<'e> {
+    engine: &'e SweepEngine,
+    slot: usize,
+    batch: LocalBatch,
+}
+
+impl<'e> BatchSink<'e> {
+    fn new(engine: &'e SweepEngine, slot: usize) -> Self {
+        BatchSink { engine, slot, batch: LocalBatch::default() }
+    }
+
+    /// Counts one engine operational event (retry, quarantine, cache
+    /// hit/miss) in this thread's ops row and forwards it to the
+    /// configured probe. Wait-free.
+    fn note_op(&self, metric: Metric) {
+        self.engine.probe_event(&ProbeEvent::Counter { metric, delta: 1 });
+        self.engine.ops_slots.add(self.slot, metric, 1);
+    }
+
+    /// Remembers one cache-missing job's measured wall time for future
+    /// LPT scheduling. Only meaningful with a cache (hints live in the
+    /// cache directory, and a fault-plan run's wall times would
+    /// mislead — fault plans disable the cache, so they skip here too).
+    fn note_wall_hint(&mut self, id: String, wall_ms: f64) {
+        if self.engine.cache.is_some() {
+            self.batch.wall_hints.push((id, wall_ms));
+        }
+    }
+
+    fn log_job(&mut self, record: JobRecord) {
+        self.batch.log.push(record);
+    }
+
+    /// Folds one completed job into the local observability batch. The
+    /// metric/trace contribution derives purely from the report, so a
+    /// cache hit and the run that produced the cached entry contribute
+    /// identically — which is what keeps the `metrics` section and the
+    /// JSONL trace byte-stable across worker counts and cache states.
+    fn observe_job(&mut self, key: &JobKey, report: &RunReport, cache_hit: bool, wall_ms: f64) {
+        let canonical = key.canonical();
+        let metrics = report.as_metrics();
+        let scheme = report.scheme.name();
+        self.engine.probe_event(&ProbeEvent::SpanStart { kind: SpanKind::Job, name: &canonical });
+        self.note_op(if cache_hit { Metric::CacheHits } else { Metric::CacheMisses });
+        self.engine.probe_event(&ProbeEvent::SpanEnd {
+            kind: SpanKind::Job,
+            name: &canonical,
+            cycles: report.total_cycles(),
+        });
+        let obs = &mut self.batch.obs;
+        obs.sim.merge(&metrics);
+        obs.per_scheme.entry(scheme).or_default().merge(&metrics);
+        // Nanoseconds: a warm hit costs single-digit microseconds or
+        // less, which a microsecond histogram truncates to a flat zero.
+        let wall_ns = (wall_ms * 1e6) as u64;
+        if cache_hit {
+            obs.hit_wall_ns.record(wall_ns);
+        } else {
+            obs.miss_wall_ns.record(wall_ns);
+        }
+        obs.rows.push(TraceRow {
+            key: canonical,
+            scheme,
+            total_cycles: report.total_cycles(),
+            metrics,
+        });
+    }
+
+    fn into_batch(self) -> LocalBatch {
+        self.batch
+    }
 }
 
 impl SweepEngine {
@@ -482,12 +628,14 @@ impl SweepEngine {
             .map(|q| q.key.clone())
             .collect::<std::collections::BTreeSet<_>>();
         let replayed_quarantines = replay.quarantined.len();
+        let pool_width = pool_width(&config);
         let engine = SweepEngine {
             config,
             cache,
             log: Mutex::new(Vec::new()),
             quarantine: Mutex::new(replay.quarantined),
             obs: Mutex::new(ObsAggregate::default()),
+            ops_slots: OpsSlots::new(pool_width),
             seq: AtomicU64::new(0),
             started: Instant::now(),
             journal,
@@ -500,7 +648,8 @@ impl SweepEngine {
         // Replayed quarantines keep their operational counter, so the
         // resumed artifact's `timings.ops` matches the original run's.
         for _ in 0..replayed_quarantines {
-            engine.note_op(Metric::JobsQuarantined);
+            engine.probe_event(&ProbeEvent::Counter { metric: Metric::JobsQuarantined, delta: 1 });
+            engine.ops_slots.add(MAIN_SLOT, Metric::JobsQuarantined, 1);
         }
         engine
     }
@@ -513,12 +662,7 @@ impl SweepEngine {
 
     /// The number of worker threads a pool of `total` jobs will use.
     pub fn effective_workers(&self, total: usize) -> usize {
-        let hw = if self.config.workers > 0 {
-            self.config.workers
-        } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        };
-        hw.min(total.max(1))
+        pool_width(&self.config).min(total.max(1))
     }
 
     /// Whether every key already has a valid cache entry — an unlogged
@@ -537,8 +681,27 @@ impl SweepEngine {
         }
     }
 
-    fn log_job(&self, record: JobRecord) {
-        self.log.lock().expect("job log poisoned").push(record);
+    /// Merges one thread's locally accumulated batch into the
+    /// engine-wide aggregates: the once-per-thread-per-batch step that
+    /// replaces per-job locking. Poisoned mutexes are recovered (the
+    /// protected data is a commutative aggregate, never left halfway
+    /// through an invariant), so a panicking job cannot take the whole
+    /// engine's reporting down with it.
+    fn absorb(&self, batch: LocalBatch) {
+        if !batch.log.is_empty() {
+            self.log.lock().unwrap_or_else(|e| e.into_inner()).extend(batch.log);
+        }
+        // Every observe_job pushes a row, so an empty row list means an
+        // empty aggregate: skip the lock entirely.
+        if !batch.obs.rows.is_empty() {
+            self.obs.lock().unwrap_or_else(|e| e.into_inner()).merge(batch.obs);
+        }
+        if !batch.wall_hints.is_empty() {
+            let mut hints = self.wall_hints.lock().unwrap_or_else(|e| e.into_inner());
+            for (id, ms) in batch.wall_hints {
+                hints.insert(id, ms);
+            }
+        }
     }
 
     /// Appends a completed job to the write-ahead journal, if one is
@@ -590,22 +753,12 @@ impl SweepEngine {
         }
     }
 
-    /// Remembers one cache-missing job's measured wall time for future
-    /// LPT scheduling. Only meaningful with a cache (hints live in the
-    /// cache directory, and a fault-plan run's wall times would
-    /// mislead — fault plans disable the cache, so they skip here too).
-    fn note_wall_hint(&self, id: String, wall_ms: f64) {
-        if self.cache.is_some() {
-            self.wall_hints.lock().expect("wall hints poisoned").insert(id, wall_ms);
-        }
-    }
-
     /// Merges this engine's measured wall times into the cache
     /// directory's hint store. Write failures cost future scheduling
     /// quality, not correctness, so they are silently ignored.
     fn persist_wall_hints(&self) {
         let Some(cache) = &self.cache else { return };
-        let fresh = self.wall_hints.lock().expect("wall hints poisoned");
+        let fresh = self.wall_hints.lock().unwrap_or_else(|e| e.into_inner());
         if fresh.is_empty() {
             return;
         }
@@ -615,49 +768,6 @@ impl SweepEngine {
         }
         let value = Value::Obj(merged.into_iter().map(|(id, ms)| (id, Value::Float(ms))).collect());
         let _ = write_file_atomic(&cache.dir().join(WALL_HINTS_FILE), &value.to_json());
-    }
-
-    /// Counts one engine operational event (retry, quarantine, cache
-    /// hit/miss) in the `timings` aggregate and forwards it to the
-    /// configured probe.
-    fn note_op(&self, metric: Metric) {
-        self.probe_event(&ProbeEvent::Counter { metric, delta: 1 });
-        self.obs.lock().expect("obs poisoned").ops.add(metric, 1);
-    }
-
-    /// Folds one completed job into the observability aggregate. The
-    /// metric/trace contribution derives purely from the report, so a
-    /// cache hit and the run that produced the cached entry contribute
-    /// identically — which is what keeps the `metrics` section and the
-    /// JSONL trace byte-stable across worker counts and cache states.
-    fn observe_job(&self, key: &JobKey, report: &RunReport, cache_hit: bool, wall_ms: f64) {
-        let canonical = key.canonical();
-        let metrics = report.as_metrics();
-        let scheme = report.scheme.name();
-        self.probe_event(&ProbeEvent::SpanStart { kind: SpanKind::Job, name: &canonical });
-        self.note_op(if cache_hit { Metric::CacheHits } else { Metric::CacheMisses });
-        self.probe_event(&ProbeEvent::SpanEnd {
-            kind: SpanKind::Job,
-            name: &canonical,
-            cycles: report.total_cycles(),
-        });
-        let mut obs = self.obs.lock().expect("obs poisoned");
-        obs.sim.merge(&metrics);
-        obs.per_scheme.entry(scheme).or_default().merge(&metrics);
-        // Nanoseconds: a warm hit costs single-digit microseconds or
-        // less, which a microsecond histogram truncates to a flat zero.
-        let wall_ns = (wall_ms * 1e6) as u64;
-        if cache_hit {
-            obs.hit_wall_ns.record(wall_ns);
-        } else {
-            obs.miss_wall_ns.record(wall_ns);
-        }
-        obs.rows.push(TraceRow {
-            key: canonical,
-            scheme,
-            total_cycles: report.total_cycles(),
-            metrics,
-        });
     }
 
     /// Runs a batch of keyed jobs: probes the cache, executes the misses
@@ -672,6 +782,7 @@ impl SweepEngine {
     /// cells always complete.
     pub fn run_jobs(&self, jobs: &[Job]) -> Vec<Option<RunReport>> {
         let mut results: Vec<Option<RunReport>> = (0..jobs.len()).map(|_| None).collect();
+        let mut main_sink = BatchSink::new(self, MAIN_SLOT);
         let mut miss_indices = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
             let canonical = job.key.canonical();
@@ -688,8 +799,8 @@ impl SweepEngine {
                     ("wall_ms", Value::Float(0.0)),
                     ("cycles", Value::Int(record.total_cycles)),
                 ]));
-                self.log_job(record.clone());
-                self.observe_job(&job.key, report, record.cache_hit, 0.0);
+                main_sink.log_job(record.clone());
+                main_sink.observe_job(&job.key, report, record.cache_hit, 0.0);
                 results[i] = Some(report.clone());
                 continue;
             }
@@ -723,13 +834,16 @@ impl SweepEngine {
                         total_cycles: report.total_cycles(),
                     };
                     self.journal_job(&record, &report);
-                    self.log_job(record);
-                    self.observe_job(&job.key, &report, true, wall_ms);
+                    main_sink.log_job(record);
+                    main_sink.observe_job(&job.key, &report, true, wall_ms);
                     results[i] = Some(report);
                 }
                 None => miss_indices.push(i),
             }
         }
+        // Hits merge before the miss pool spawns, keeping the job log's
+        // hits-before-misses order.
+        self.absorb(main_sink.into_batch());
         if miss_indices.is_empty() {
             return results;
         }
@@ -763,28 +877,44 @@ impl SweepEngine {
         let total = miss_indices.len();
         let base_seq = self.seq.fetch_add(total as u64, Ordering::Relaxed);
         let next = AtomicUsize::new(0);
-        let computed: Mutex<Vec<Option<RunReport>>> =
-            Mutex::new((0..total).map(|_| None).collect());
         std::thread::scope(|scope| {
             let next = &next;
-            let computed = &computed;
             let miss_indices = &miss_indices;
-            for _ in 0..self.effective_workers(total) {
-                scope.spawn(move || loop {
-                    let mi = next.fetch_add(1, Ordering::Relaxed);
-                    if mi >= total {
-                        return;
-                    }
-                    let job = &jobs[miss_indices[mi]];
-                    let report = execute_job(self, job, base_seq + mi as u64);
-                    computed.lock().expect("results poisoned")[mi] = report;
-                });
+            let handles: Vec<_> = (0..self.effective_workers(total))
+                .map(|w| {
+                    scope.spawn(move || {
+                        // Slot 1+w: this worker's private wait-free ops
+                        // row; the batch below is equally private.
+                        let mut sink = BatchSink::new(self, 1 + w);
+                        let mut out: Vec<(usize, Option<RunReport>)> = Vec::new();
+                        loop {
+                            let mi = next.fetch_add(1, Ordering::Relaxed);
+                            if mi >= total {
+                                break;
+                            }
+                            let i = miss_indices[mi];
+                            let report = execute_job(&mut sink, &jobs[i], base_seq + mi as u64);
+                            out.push((i, report));
+                        }
+                        (sink.into_batch(), out)
+                    })
+                })
+                .collect();
+            // Joining inside the scope hands each worker's local batch
+            // back with a happens-before edge — the merge needs no
+            // synchronization beyond the join itself.
+            for handle in handles {
+                let (batch, out) = match handle.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                self.absorb(batch);
+                for (i, report) in out {
+                    results[i] = report;
+                }
             }
         });
         self.persist_wall_hints();
-        for (mi, report) in miss_indices.into_iter().zip(computed.into_inner().expect("results")) {
-            results[mi] = report;
-        }
         results
     }
 
@@ -966,26 +1096,26 @@ impl SweepEngine {
 
     /// The jobs quarantined so far (empty on a healthy run).
     pub fn quarantine(&self) -> Vec<QuarantineRecord> {
-        self.quarantine.lock().expect("quarantine poisoned").clone()
+        self.quarantine.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Counters over every job this engine has run so far.
     pub fn summary(&self) -> SweepSummary {
-        let log = self.log.lock().expect("job log poisoned");
+        let log = self.log.lock().unwrap_or_else(|e| e.into_inner());
         let cache_hits = log.iter().filter(|j| j.cache_hit).count();
         SweepSummary {
             jobs: log.len(),
             cache_hits,
             cache_misses: log.len() - cache_hits,
-            quarantined: self.quarantine.lock().expect("quarantine poisoned").len(),
+            quarantined: self.quarantine.lock().unwrap_or_else(|e| e.into_inner()).len(),
         }
     }
 
     /// The `BENCH_sweep.json` artifact: engine configuration, aggregate
     /// counters and the full per-job log with wall times.
     pub fn artifact_value(&self) -> Value {
-        let mut log = self.log.lock().expect("job log poisoned").clone();
-        let mut quarantine = self.quarantine.lock().expect("quarantine poisoned").clone();
+        let mut log = self.log.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let mut quarantine = self.quarantine.lock().unwrap_or_else(|e| e.into_inner()).clone();
         if self.deterministic {
             // Journaled runs promise a byte-identical artifact whether
             // the sweep ran straight through or was killed and resumed:
@@ -1058,7 +1188,7 @@ impl SweepEngine {
     /// per-scheme split. Byte-identical across worker counts and cache
     /// states, because equal reports yield equal metric sets.
     pub fn metrics_value(&self) -> Value {
-        let obs = self.obs.lock().expect("obs poisoned");
+        let obs = self.obs.lock().unwrap_or_else(|e| e.into_inner());
         obj(vec![
             ("global", metric_set_value(&obs.sim)),
             (
@@ -1081,10 +1211,11 @@ impl SweepEngine {
     /// is *not* deterministic — it measures the host, not the
     /// simulation.
     pub fn timings_value(&self) -> Value {
-        let obs = self.obs.lock().expect("obs poisoned");
+        let obs = self.obs.lock().unwrap_or_else(|e| e.into_inner());
         obj(vec![
             ("schema", Value::Int(2)),
-            ("ops", metric_set_value(&obs.ops)),
+            // The report-time merge of the wait-free per-thread rows.
+            ("ops", metric_set_value(&self.ops_slots.total())),
             ("cache_hit_wall_ns", histogram_value(&obs.hit_wall_ns)),
             ("cache_miss_wall_ns", histogram_value(&obs.miss_wall_ns)),
         ])
@@ -1098,7 +1229,7 @@ impl SweepEngine {
     /// identical across worker counts, completion orders and cache
     /// states.
     pub fn trace_string(&self) -> String {
-        let obs = self.obs.lock().expect("obs poisoned");
+        let obs = self.obs.lock().unwrap_or_else(|e| e.into_inner());
         let mut rows: Vec<&TraceRow> = obs.rows.iter().collect();
         rows.sort_by(|a, b| a.key.cmp(&b.key));
         let mut out = String::new();
@@ -1156,6 +1287,18 @@ impl SweepEngine {
     /// Propagates filesystem errors.
     pub fn write_artifact(&self, path: &Path) -> std::io::Result<()> {
         write_file_atomic(path, &self.artifact_value().to_json())
+    }
+}
+
+/// The configured pool width before clamping to a batch's job count:
+/// the explicit worker setting, or one per available CPU. Also sizes
+/// the engine's wait-free ops-slot array (one row per pool worker plus
+/// the orchestrating thread).
+fn pool_width(config: &SweepConfig) -> usize {
+    if config.workers > 0 {
+        config.workers
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     }
 }
 
@@ -1322,7 +1465,12 @@ fn run_attempt(
 /// An injected worker fault is deterministic *per job* — every attempt
 /// would fail identically — so a faulted job makes a single attempt
 /// instead of burning the configured retries and their backoff sleeps.
-fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
+///
+/// The fault-free path publishes everything through `sink` — local
+/// accumulation plus this thread's wait-free ops row — and acquires no
+/// engine mutex; only quarantine (the failure path) locks.
+fn execute_job(sink: &mut BatchSink<'_>, job: &Job, seq: u64) -> Option<RunReport> {
+    let engine = sink.engine;
     // Each timed-out attempt leaks a detached OS thread; past the
     // configured cap, refuse to spawn more and quarantine instead, so a
     // systematically wedged sweep degrades to a bounded leak.
@@ -1338,7 +1486,7 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
                     "abandoned-thread cap ({cap}) reached; not spawning another attempt"
                 ),
             };
-            engine.note_op(Metric::JobsQuarantined);
+            sink.note_op(Metric::JobsQuarantined);
             engine.emit(obj(vec![
                 ("event", Value::Str("job_quarantined".into())),
                 ("id", Value::Str(q.id.clone())),
@@ -1347,7 +1495,7 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
                 ("attempts", Value::Int(0)),
             ]));
             engine.journal_quarantine(&q);
-            engine.quarantine.lock().expect("quarantine poisoned").push(q);
+            engine.quarantine.lock().unwrap_or_else(|e| e.into_inner()).push(q);
             return None;
         }
     }
@@ -1363,7 +1511,7 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
     for attempt in 1..=attempts {
         if attempt > 1 {
             std::thread::sleep(engine.config.retry_backoff.saturating_mul(attempt - 1));
-            engine.note_op(Metric::JobRetries);
+            sink.note_op(Metric::JobRetries);
             engine.emit(obj(vec![
                 ("event", Value::Str("job_retry".into())),
                 ("id", Value::Str(job.key.id())),
@@ -1376,7 +1524,7 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
                 // The real wall time seeds LPT scheduling of future
                 // cold sweeps, even when the artifact zeroes it below.
-                engine.note_wall_hint(job.key.id(), wall_ms);
+                sink.note_wall_hint(job.key.id(), wall_ms);
                 // Deterministic (journaled) artifacts zero the one
                 // nondeterministic per-job field.
                 let wall_ms = if engine.deterministic { 0.0 } else { wall_ms };
@@ -1400,22 +1548,22 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
                     total_cycles: report.total_cycles(),
                 };
                 engine.journal_job(&record, &report);
-                engine.log_job(record);
-                engine.observe_job(&job.key, &report, false, wall_ms);
+                sink.log_job(record);
+                sink.observe_job(&job.key, &report, false, wall_ms);
                 return Some(*report);
             }
             AttemptOutcome::Error(e) => last_failure = ("error", e.to_string()),
             AttemptOutcome::Panic(msg) => last_failure = ("panic", msg),
             AttemptOutcome::Timeout(limit) => {
                 engine.abandoned.fetch_add(1, Ordering::Relaxed);
-                engine.note_op(Metric::AbandonedThreads);
+                sink.note_op(Metric::AbandonedThreads);
                 last_failure =
                     ("timeout", format!("exceeded {}ms wall-clock limit", limit.as_millis()));
             }
         }
     }
     let (reason, detail) = last_failure;
-    engine.note_op(Metric::JobsQuarantined);
+    sink.note_op(Metric::JobsQuarantined);
     engine.emit(obj(vec![
         ("event", Value::Str("job_quarantined".into())),
         ("id", Value::Str(job.key.id())),
@@ -1432,7 +1580,7 @@ fn execute_job(engine: &SweepEngine, job: &Job, seq: u64) -> Option<RunReport> {
         detail,
     };
     engine.journal_quarantine(&q);
-    engine.quarantine.lock().expect("quarantine poisoned").push(q);
+    engine.quarantine.lock().unwrap_or_else(|e| e.into_inner()).push(q);
     None
 }
 
@@ -1455,8 +1603,8 @@ fn run_indexed<T: Send>(
         for _ in 0..workers.clamp(1, total) {
             scope.spawn(|| loop {
                 let idx = {
-                    let mut n = next.lock().expect("queue poisoned");
-                    if *n >= total || error.lock().expect("error poisoned").is_some() {
+                    let mut n = next.lock().unwrap_or_else(|e| e.into_inner());
+                    if *n >= total || error.lock().unwrap_or_else(|e| e.into_inner()).is_some() {
                         return;
                     }
                     let i = *n;
@@ -1469,9 +1617,11 @@ fn run_indexed<T: Send>(
                     })
                 });
                 match outcome {
-                    Ok(v) => results.lock().expect("results poisoned")[idx] = Some(v),
+                    Ok(v) => {
+                        results.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(v);
+                    }
                     Err(e) => {
-                        let mut slot = error.lock().expect("error poisoned");
+                        let mut slot = error.lock().unwrap_or_else(|e| e.into_inner());
                         if slot.is_none() {
                             *slot = Some(e);
                         }
@@ -1481,12 +1631,12 @@ fn run_indexed<T: Send>(
             });
         }
     });
-    if let Some(e) = error.into_inner().expect("error poisoned") {
+    if let Some(e) = error.into_inner().unwrap_or_else(|e| e.into_inner()) {
         return Err(e);
     }
     Ok(results
         .into_inner()
-        .expect("results poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .map(|r| r.expect("all indices completed"))
         .collect())
@@ -1825,6 +1975,131 @@ mod tests {
         assert_eq!(quarantine.len(), 2);
         assert_eq!(quarantine[0].reason, "timeout");
         assert_eq!(quarantine[1].reason, "abandoned-cap");
+    }
+
+    #[test]
+    fn sweep_survives_poisoned_engine_mutexes() {
+        // Poison every engine mutex the way a real panic would: a
+        // thread dies while holding the guard. The engine must recover
+        // the (commutative, never-half-updated) data instead of
+        // cascading the panic into every later job and reader.
+        fn poison<T: Send>(m: &Mutex<T>) {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                std::thread::scope(|scope| {
+                    scope.spawn(|| {
+                        let _guard = m.lock().unwrap();
+                        panic!("deliberate poison");
+                    });
+                });
+            }));
+            assert!(caught.is_err(), "poisoning panic must propagate");
+        }
+        let engine = SweepEngine::quiet();
+        poison(&engine.log);
+        poison(&engine.obs);
+        poison(&engine.quarantine);
+        poison(&engine.wall_hints);
+        assert!(engine.log.lock().is_err(), "log mutex must actually be poisoned");
+
+        let spec = small_spec();
+        let records = engine.run_matrix(&spec).unwrap();
+        assert_eq!(records.len(), spec.len());
+        assert!(engine.quarantine().is_empty());
+        assert_eq!(engine.summary().jobs, spec.len());
+        let artifact = engine.artifact_value();
+        assert_eq!(artifact.get("jobs_total").unwrap().as_u64(), Some(spec.len() as u64));
+        assert!(!engine.trace_string().is_empty());
+    }
+
+    #[test]
+    fn fault_free_hot_path_needs_no_engine_locks() {
+        // Hold the job-log, observability and wall-hint mutexes for as
+        // long as the jobs are computing. If the per-job hot path
+        // acquired any of them, no job could finish while they are held
+        // and the test would wedge; with wait-free publication every
+        // job completes and only the post-batch merge waits.
+        let engine = SweepEngine::with_config(SweepConfig { workers: 2, ..SweepConfig::default() });
+        let spec = small_spec();
+        let done = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = [4usize, 8, 12]
+            .iter()
+            .map(|&w| {
+                let key = JobKey::for_cell(&spec, spec.behaviors[0], SchemeKind::Sp, w);
+                let done = Arc::clone(&done);
+                Job::new(key, move || {
+                    let config = SpellConfig::new(CorpusSpec::small(), 4, 4);
+                    let report = SpellPipeline::new(config).run(w, SchemeKind::Sp)?.report;
+                    done.fetch_add(1, Ordering::SeqCst);
+                    Ok(report)
+                })
+            })
+            .collect();
+        let total = jobs.len();
+        std::thread::scope(|scope| {
+            let engine = &engine;
+            let done = Arc::clone(&done);
+            let (held_tx, held_rx) = mpsc::channel::<()>();
+            scope.spawn(move || {
+                let log = engine.log.lock().unwrap();
+                let obs = engine.obs.lock().unwrap();
+                let hints = engine.wall_hints.lock().unwrap();
+                held_tx.send(()).unwrap();
+                while done.load(Ordering::SeqCst) < total {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                drop((log, obs, hints));
+            });
+            held_rx.recv().unwrap();
+            let reports = engine.run_jobs(&jobs);
+            assert!(reports.iter().all(Option::is_some));
+        });
+        assert_eq!(engine.summary().cache_misses, total);
+        let timings = engine.timings_value();
+        assert_eq!(
+            timings.get("ops").unwrap().get("cache_misses").unwrap().as_u64(),
+            Some(total as u64),
+            "wait-free ops rows must still sum to the true counts"
+        );
+    }
+
+    #[test]
+    fn every_policy_is_byte_identical_across_workers_and_cache_states() {
+        for policy in SchedulingPolicy::ALL {
+            let dir = std::env::temp_dir().join(format!(
+                "regwin-sweep-policy-{}-{}",
+                policy.name(),
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let spec = MatrixSpec { policy, ..small_spec() };
+
+            // One worker, no cache.
+            let serial =
+                SweepEngine::with_config(SweepConfig { workers: 1, ..SweepConfig::default() });
+            let baseline = records_to_json(&serial.run_matrix(&spec).unwrap());
+
+            // Eight workers, cold cache.
+            let cold = SweepEngine::with_config(SweepConfig {
+                workers: 8,
+                cache_dir: Some(dir.clone()),
+                ..SweepConfig::default()
+            });
+            let cold_json = records_to_json(&cold.run_matrix(&spec).unwrap());
+            assert_eq!(cold.summary().cache_misses, spec.len());
+
+            // Eight workers, warm cache.
+            let warm = SweepEngine::with_config(SweepConfig {
+                workers: 8,
+                cache_dir: Some(dir.clone()),
+                ..SweepConfig::default()
+            });
+            let warm_json = records_to_json(&warm.run_matrix(&spec).unwrap());
+            assert_eq!(warm.summary().cache_hits, spec.len());
+
+            assert_eq!(baseline, cold_json, "{policy:?}: 1 vs 8 workers");
+            assert_eq!(baseline, warm_json, "{policy:?}: cold vs warm cache");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

@@ -135,7 +135,9 @@ impl SweepJournal {
         let payload_text = payload.to_json();
         let sum = fnv1a(payload_text.as_bytes());
         let line = format!("{{\"sum\":\"{sum:016x}\",\"payload\":{payload_text}}}\n");
-        let mut file = self.file.lock().expect("journal poisoned");
+        // Poison recovery: a panicking appender can at worst leave a
+        // torn final line, which replay already skips by checksum.
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
         file.write_all(line.as_bytes())?;
         file.flush()?;
         file.sync_data()

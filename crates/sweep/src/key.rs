@@ -17,7 +17,11 @@ use regwin_spell::CorpusSpec;
 ///
 /// v3: reports gained an optional `bus` section and the cycle counter a
 /// `bus_stall` category (multi-PE cluster runs).
-pub const FORMAT_VERSION: u32 = 3;
+///
+/// v4: the WorkingSet scheduler keeps resident threads FIFO among
+/// themselves (the wake-order bugfix changed WorkingSet schedules), and
+/// two new policies (WindowGreedy, Aging) joined the namespace.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// The complete identity of one sweep job.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -2,7 +2,7 @@
 //! emulator-methodology fast path the sweeps are built on.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use regwin_machine::CostModel;
+use regwin_machine::MachineConfig;
 use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
 use regwin_traps::{build_scheme, SchemeKind};
 use std::hint::black_box;
@@ -16,7 +16,7 @@ fn bench_replay(c: &mut Criterion) {
     for scheme in SchemeKind::ALL {
         group.bench_function(scheme.name(), |b| {
             b.iter(|| {
-                let report = trace.replay(8, CostModel::s20(), build_scheme(scheme)).unwrap();
+                let report = trace.replay(MachineConfig::new(8), build_scheme(scheme)).unwrap();
                 black_box(report.total_cycles())
             });
         });

@@ -12,9 +12,11 @@
 //!
 //! Usage: `repro-cluster [--quick] [--out <file>] [--jobs <n>]
 //! [--cache-dir <dir>] [--no-cache] [--arbitration <fixed|rr>]
-//! [--fault-plan <spec>] [--audit] [--check-1pe] [--policy <name>]`
+//! [--fault-plan <spec>] [--audit] [--check-1pe] [--policy <name>]
+//! [--timing <s20|pipeline>]`
 
 use regwin_cluster::{run_spell_cluster, Arbitration, BusConfig, ClusterConfig};
+use regwin_machine::TimingKind;
 use regwin_obs::Histogram;
 use regwin_rt::SchedulingPolicy;
 use regwin_spell::{SpellConfig, SpellPipeline};
@@ -30,7 +32,8 @@ const PE_COUNTS_QUICK: [usize; 3] = [1, 2, 4];
 
 const USAGE: &str = "usage: repro-cluster [--quick] [--out <file>] [--jobs <n>] \
 [--cache-dir <dir>] [--no-cache] [--arbitration <fixed|rr>] [--fault-plan <spec>] \
-[--audit] [--check-1pe] [--policy <FIFO|WorkingSet|WindowGreedy|Aging>]";
+[--audit] [--check-1pe] [--policy <FIFO|WorkingSet|WindowGreedy|Aging>] \
+[--timing <s20|pipeline>]";
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
@@ -50,6 +53,7 @@ struct Opts {
     audit: bool,
     check_1pe: bool,
     policy: SchedulingPolicy,
+    timing: TimingKind,
 }
 
 fn parse_opts() -> Opts {
@@ -63,6 +67,7 @@ fn parse_opts() -> Opts {
         audit: false,
         check_1pe: false,
         policy: SchedulingPolicy::Fifo,
+        timing: TimingKind::S20,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -100,6 +105,11 @@ fn parse_opts() -> Opts {
                 o.policy = SchedulingPolicy::parse(&v)
                     .unwrap_or_else(|| usage(&format!("unknown policy {v:?}")));
             }
+            "--timing" => {
+                let v = it.next().unwrap_or_else(|| usage("--timing needs s20|pipeline"));
+                o.timing = TimingKind::parse(&v)
+                    .unwrap_or_else(|| usage(&format!("unknown timing backend {v:?}")));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -109,7 +119,7 @@ fn parse_opts() -> Opts {
 
 fn main() {
     let opts = parse_opts();
-    let spell = SpellConfig::small().with_policy(opts.policy);
+    let spell = SpellConfig::small().with_policy(opts.policy).with_timing(opts.timing);
     let scheme = SchemeKind::Sp;
     let nwindows = 8;
     let bus = BusConfig { arbitration: opts.arbitration, ..BusConfig::default() };
@@ -151,7 +161,7 @@ fn main() {
                 policy: spell.policy,
                 scheme: scheme.name().to_string(),
                 nwindows,
-                cost_model: "s20".to_string(),
+                timing: spell.timing,
             };
             let mut cfg = ClusterConfig::homogeneous(p, scheme, nwindows, spell);
             cfg.bus = bus;

@@ -34,7 +34,7 @@ fn main() {
         eprintln!("{policy} policy sweep ({}% corpus)...", args.scale);
         let before = engine.quarantine().len();
         let records = engine
-            .run_matrix(&Sweep::high_spec(args.corpus(), &windows, policy))
+            .run_matrix(&Sweep::high_spec(args.corpus(), &windows, policy).with_timing(args.timing))
             .unwrap_or_else(|e| {
                 eprintln!("error: {policy} sweep failed: {e}");
                 std::process::exit(1);

@@ -12,9 +12,14 @@ fn main() {
     let args = Args::parse();
     let engine = args.engine();
     let windows = args.windows();
-    eprintln!("High-concurrency sweep ({}% corpus, {} policy)...", args.scale, args.policy);
+    eprintln!(
+        "High-concurrency sweep ({}% corpus, {} policy, {} timing)...",
+        args.scale, args.policy, args.timing
+    );
     let records = engine
-        .run_matrix(&Sweep::high_spec(args.corpus(), &windows, args.policy))
+        .run_matrix(
+            &Sweep::high_spec(args.corpus(), &windows, args.policy).with_timing(args.timing),
+        )
         .expect("sweep runs");
     let sweep = Sweep::from_records(records);
 

@@ -11,7 +11,7 @@
 //! ```
 
 use regwin_core::{activity, SchedulingPolicy, TextTable};
-use regwin_machine::CostModel;
+use regwin_machine::MachineConfig;
 use regwin_rt::Trace;
 use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
 use regwin_traps::{build_scheme, SchemeKind};
@@ -89,7 +89,7 @@ fn replay(path: &str, rest: &[String]) {
     );
     for scheme in SchemeKind::ALL {
         for &w in &windows {
-            match trace.replay(w, CostModel::s20(), build_scheme(scheme)) {
+            match trace.replay(MachineConfig::new(w), build_scheme(scheme)) {
                 Ok(report) => table.row(vec![
                     scheme.to_string(),
                     w.to_string(),

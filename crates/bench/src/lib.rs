@@ -60,6 +60,7 @@
 
 use regwin_core::figures::{FigureId, Sweep};
 use regwin_core::{CorpusSpec, MatrixSpec, TextTable};
+use regwin_machine::TimingKind;
 use regwin_rt::{FaultPlan, RtError, SchedulingPolicy};
 use regwin_sweep::{SweepConfig, SweepEngine};
 use std::io::Write as _;
@@ -116,6 +117,11 @@ pub struct Args {
     /// specific paper exhibit keep their fixed policy; `repro-tradeoff`,
     /// `repro-cluster` and `repro-sched` honour this flag.
     pub policy: SchedulingPolicy,
+    /// Timing backend for the parameterised sweeps (`--timing`, default
+    /// s20). Figure binaries that reproduce a specific paper exhibit
+    /// keep the flat s20 model; `repro-tradeoff`, `repro-sched` and
+    /// `repro-timing` honour this flag.
+    pub timing: TimingKind,
 }
 
 impl Args {
@@ -140,6 +146,7 @@ impl Args {
             abandoned_cap: None,
             audit: false,
             policy: SchedulingPolicy::Fifo,
+            timing: TimingKind::S20,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -225,6 +232,15 @@ impl Args {
                         usage(&format!(
                             "unknown policy {v:?} (expected one of: {})",
                             SchedulingPolicy::ALL.map(|p| p.name()).join(", ")
+                        ))
+                    });
+                }
+                "--timing" => {
+                    let v = it.next().unwrap_or_else(|| usage("--timing needs a backend name"));
+                    args.timing = TimingKind::parse(&v).unwrap_or_else(|| {
+                        usage(&format!(
+                            "unknown timing backend {v:?} (expected one of: {})",
+                            TimingKind::ALL.map(|t| t.name()).join(", ")
                         ))
                     });
                 }
@@ -382,7 +398,8 @@ fn usage(problem: &str) -> ! {
          [--job-timeout-ms <ms>] [--retries <n>] [--retry-backoff-ms <ms>] \
          [--fail-on-quarantine] [--trace-out <file>] [--metrics] \
          [--journal] [--resume] [--abandoned-cap <n>] [--audit] \
-         [--policy <FIFO|WorkingSet|WindowGreedy|Aging>]"
+         [--policy <FIFO|WorkingSet|WindowGreedy|Aging>] \
+         [--timing <s20|pipeline>]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

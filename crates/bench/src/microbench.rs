@@ -3,7 +3,8 @@
 //!
 //! Where `BENCH_sweep.json` times whole sweep jobs, this module times
 //! the hot-path primitives they are made of — trap-free `save` and
-//! `restore`, overflow and underflow trap handling, context switches,
+//! `restore`, overflow and underflow trap handling and context switches
+//! (each under both the flat `s20` and the pipelined timing backend),
 //! window-audit passes, scheduler ready-queue enqueue/dispatch and the
 //! sweep engine's wait-free ops-counter publication — each with
 //! auditing off and on. Two numbers come out per (op, audit) cell:
@@ -23,7 +24,7 @@
 //! binary.
 
 use regwin_cluster::{BusConfig, ClusterBuilder};
-use regwin_machine::ThreadId;
+use regwin_machine::{MachineConfig, ThreadId, TimingKind};
 use regwin_obs::{AtomicMetricSet, Metric};
 use regwin_rt::{ReadyQueue, SchedulingPolicy, Simulation, WakeInfo};
 use regwin_sweep::json::{obj, Value};
@@ -34,18 +35,25 @@ use std::time::Instant;
 /// to be representative, shallow enough to never trap on 64 windows.
 const DEPTH: u64 = 40;
 
-/// The fixed set of operations measured, in report order. `enqueue` and
+/// The fixed set of operations measured, in report order. The
+/// `*_pipeline` cells repeat the trap and switch measurements under the
+/// pipelined timing backend (scoreboard hazards plus a finite
+/// load/store queue) instead of the flat S-20 accounting, so the two
+/// charge regimes sit side by side in the report. `enqueue` and
 /// `dispatch` time the scheduler ready-queue primitives (working-set
 /// policy, the residency-segmented one); `publish` times the sweep
 /// engine's wait-free per-worker ops-counter publication — one relaxed
 /// atomic add per event, the operation that replaced a mutex-guarded
 /// aggregate on the job hot path.
-pub const OPS: [&str; 10] = [
+pub const OPS: [&str; 13] = [
     "save",
     "restore",
     "overflow",
+    "overflow_pipeline",
     "underflow",
+    "underflow_pipeline",
     "switch",
+    "switch_pipeline",
     "switch_cross_pe",
     "audit",
     "enqueue",
@@ -89,9 +97,10 @@ impl MicrobenchConfig {
     }
 }
 
-fn fresh_cpu(nwindows: usize, audit: bool) -> (Cpu, ThreadId) {
+fn fresh_cpu(nwindows: usize, audit: bool, timing: TimingKind) -> (Cpu, ThreadId) {
+    let config = MachineConfig::new(nwindows).with_timing(timing);
     let mut cpu =
-        Cpu::new(nwindows, build_scheme(SchemeKind::Sp)).expect("valid microbench window count");
+        Cpu::with_config(config, build_scheme(SchemeKind::Sp)).expect("valid microbench windows");
     if audit {
         cpu.enable_window_audit();
     }
@@ -108,7 +117,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 /// Measures trap-free `save` and `restore`: one warm 64-window CPU,
 /// cycling between depth 0 and [`DEPTH`] so no round ever traps.
 fn bench_save_restore(cfg: MicrobenchConfig, audit: bool) -> [OpMeasurement; 2] {
-    let (mut cpu, _t) = fresh_cpu(64, audit);
+    let (mut cpu, _t) = fresh_cpu(64, audit, TimingKind::S20);
     // Warm up: establish the resident run so later rounds are trap-free.
     for _ in 0..DEPTH {
         cpu.save().expect("warmup save");
@@ -167,9 +176,17 @@ fn bench_save_restore(cfg: MicrobenchConfig, audit: bool) -> [OpMeasurement; 2] 
 }
 
 /// Measures overflow-trapping saves and underflow-trapping restores on
-/// a saturated 4-window CPU (every timed op takes a trap).
-fn bench_traps(cfg: MicrobenchConfig, audit: bool) -> [OpMeasurement; 2] {
-    let (mut cpu, t) = fresh_cpu(4, audit);
+/// a saturated 4-window CPU (every timed op takes a trap). Run once per
+/// timing backend: under `s20` a trap pays the flat Table-2 aggregate,
+/// under `pipeline` the software handler cost plus load/store-queue
+/// issue and backpressure at the transfer site.
+fn bench_traps(
+    cfg: MicrobenchConfig,
+    audit: bool,
+    timing: TimingKind,
+    names: [&'static str; 2],
+) -> [OpMeasurement; 2] {
+    let (mut cpu, t) = fresh_cpu(4, audit, timing);
     // Saturate the file so every subsequent save overflows.
     for _ in 0..8 {
         cpu.save().expect("warmup save");
@@ -207,14 +224,14 @@ fn bench_traps(cfg: MicrobenchConfig, audit: bool) -> [OpMeasurement; 2] {
     }
     [
         OpMeasurement {
-            op: "overflow",
+            op: names[0],
             audit,
             ops,
             cycles_per_op: over_cycles as f64 / ops as f64,
             ns_per_op: median(over_ns),
         },
         OpMeasurement {
-            op: "underflow",
+            op: names[1],
             audit,
             ops,
             cycles_per_op: under_cycles as f64 / ops as f64,
@@ -224,8 +241,15 @@ fn bench_traps(cfg: MicrobenchConfig, audit: bool) -> [OpMeasurement; 2] {
 }
 
 /// Measures context switches: two threads ping-ponging on 8 windows.
-fn bench_switch(cfg: MicrobenchConfig, audit: bool) -> OpMeasurement {
-    let (mut cpu, a) = fresh_cpu(8, audit);
+/// Run once per timing backend — the flat Table-2 shape cost versus the
+/// pipeline's software base plus queued switch-time transfers.
+fn bench_switch(
+    cfg: MicrobenchConfig,
+    audit: bool,
+    timing: TimingKind,
+    name: &'static str,
+) -> OpMeasurement {
+    let (mut cpu, a) = fresh_cpu(8, audit, timing);
     let b = cpu.add_thread();
     cpu.switch_to(b).expect("warmup switch");
     cpu.switch_to(a).expect("warmup switch");
@@ -243,7 +267,7 @@ fn bench_switch(cfg: MicrobenchConfig, audit: bool) -> OpMeasurement {
         cycles = cpu.total_cycles() - c0;
     }
     OpMeasurement {
-        op: "switch",
+        op: name,
         audit,
         ops,
         cycles_per_op: cycles as f64 / ops as f64,
@@ -256,7 +280,7 @@ fn bench_switch(cfg: MicrobenchConfig, audit: bool) -> OpMeasurement {
 /// pass re-establishes one reference checksum and verifies the rest).
 /// Near-free with auditing off — the pass is a no-op then.
 fn bench_audit(cfg: MicrobenchConfig, audit: bool) -> OpMeasurement {
-    let (mut cpu, t) = fresh_cpu(64, audit);
+    let (mut cpu, t) = fresh_cpu(64, audit, TimingKind::S20);
     for _ in 0..DEPTH {
         cpu.save().expect("warmup save");
     }
@@ -419,8 +443,15 @@ pub fn run_microbench(cfg: MicrobenchConfig) -> Vec<OpMeasurement> {
     let mut out = Vec::with_capacity(OPS.len() * 2);
     for &audit in &[false, true] {
         out.extend(bench_save_restore(cfg, audit));
-        out.extend(bench_traps(cfg, audit));
-        out.push(bench_switch(cfg, audit));
+        out.extend(bench_traps(cfg, audit, TimingKind::S20, ["overflow", "underflow"]));
+        out.extend(bench_traps(
+            cfg,
+            audit,
+            TimingKind::Pipeline,
+            ["overflow_pipeline", "underflow_pipeline"],
+        ));
+        out.push(bench_switch(cfg, audit, TimingKind::S20, "switch"));
+        out.push(bench_switch(cfg, audit, TimingKind::Pipeline, "switch_pipeline"));
         out.push(bench_switch_cross_pe(cfg, audit));
         out.push(bench_audit(cfg, audit));
         out.extend(bench_sched(cfg, audit));
@@ -521,6 +552,12 @@ mod tests {
         // A trapping save costs strictly more simulated cycles than a
         // trap-free one (handler + spill on top of the instruction).
         assert!(overflow.cycles_per_op > save.cycles_per_op);
+        // The same holds under the pipeline backend: software handler
+        // plus LSQ issue/backpressure still dwarfs a bare window instr.
+        let over_pipe = ms.iter().find(|m| m.op == "overflow_pipeline" && !m.audit).expect("cell");
+        assert!(over_pipe.cycles_per_op > save.cycles_per_op);
+        // And the two backends genuinely price the trap differently.
+        assert_ne!(over_pipe.cycles_per_op, overflow.cycles_per_op);
         // Audit passes charge no simulated cycles at all.
         let audit = ms.iter().find(|m| m.op == "audit" && m.audit).expect("cell");
         assert_eq!(audit.cycles_per_op, 0.0);

@@ -11,7 +11,7 @@
 
 use crate::bus::BusConfig;
 use crate::cluster::{ClusterBuilder, ClusterReport};
-use regwin_machine::CostModel;
+use regwin_machine::{CostModel, MachineConfig};
 use regwin_rt::{FaultPlan, RtError};
 use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
 use regwin_traps::{build_scheme, SchemeKind};
@@ -37,7 +37,9 @@ pub struct ClusterConfig {
     /// The per-PE spell workload (PE *i* shards the corpus by running
     /// it with seed `spell.corpus.seed + i`).
     pub spell: SpellConfig,
-    /// Cost model every PE charges cycles under.
+    /// Cost model every PE charges cycles under. The timing backend
+    /// comes from `spell.timing`, so a 1-PE cluster stays byte-identical
+    /// to the single-machine path under either backend.
     pub cost: CostModel,
     /// Enable incremental window auditing on every PE.
     pub audit: bool,
@@ -99,11 +101,8 @@ pub fn run_spell_cluster(
     // every other PE, and the collector thread.
     {
         let pipeline = pipeline_for(cfg, 0);
-        let mut sim = pipeline.build_sim(
-            cfg.pes[0].nwindows,
-            cfg.cost.clone(),
-            build_scheme(cfg.pes[0].scheme),
-        )?;
+        let mut sim = pipeline
+            .build_sim(machine_config(cfg, &cfg.pes[0]), build_scheme(cfg.pes[0].scheme))?;
         if let Some(plan) = fault {
             sim = sim.with_fault_plan(&plan.for_pe(0));
         }
@@ -149,7 +148,7 @@ pub fn run_spell_cluster(
     for (pe, pe_cfg) in cfg.pes.iter().enumerate().skip(1) {
         let pipeline = pipeline_for(cfg, pe);
         let mut sim =
-            pipeline.build_sim(pe_cfg.nwindows, cfg.cost.clone(), build_scheme(pe_cfg.scheme))?;
+            pipeline.build_sim(machine_config(cfg, pe_cfg), build_scheme(pe_cfg.scheme))?;
         if let Some(plan) = fault {
             sim = sim.with_fault_plan(&plan.for_pe(pe as u64));
         }
@@ -166,6 +165,12 @@ pub fn run_spell_cluster(
         outputs.push(unwrap_sink(sink));
     }
     Ok(ClusterOutcome { report, outputs })
+}
+
+/// The machine configuration PE `pe_cfg` runs under: the cluster-wide
+/// cost model and timing backend at the PE's window count.
+fn machine_config(cfg: &ClusterConfig, pe_cfg: &PeConfig) -> MachineConfig {
+    MachineConfig::new(pe_cfg.nwindows).with_cost(cfg.cost.clone()).with_timing(cfg.spell.timing)
 }
 
 /// The pipeline PE `pe` runs: the base spell config with the corpus

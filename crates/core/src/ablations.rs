@@ -8,7 +8,7 @@
 //! *identical* workloads.
 
 use crate::report::{series_table, Series, TextTable};
-use regwin_machine::CostModel;
+use regwin_machine::MachineConfig;
 use regwin_rt::{RtError, Trace};
 use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
 use regwin_traps::{AllocPolicy, CopyMode, NsScheme, Scheme, SchemeKind, SnpScheme, SpScheme};
@@ -180,7 +180,7 @@ fn sweep_variants(
     for (label, make) in &set.variants {
         let mut s = Series::new(label.clone());
         for &w in windows {
-            let report = trace.replay(w, CostModel::s20(), make())?;
+            let report = trace.replay(MachineConfig::new(w), make())?;
             s.push(w, report.total_cycles() as f64);
         }
         series.push(s);
@@ -268,13 +268,11 @@ mod tests {
         // flush-everything switches, flushed frames are always needed
         // back, so batched refill is competitive here — see
         // EXPERIMENTS.md.)
-        use regwin_machine::CostModel;
         use regwin_traps::NsScheme;
         let t = trace();
         let run = |batch: usize| {
             t.replay(
-                16,
-                CostModel::s20(),
+                MachineConfig::new(16),
                 Box::new(NsScheme::new().with_overflow_batch(batch).with_underflow_batch(batch)),
             )
             .unwrap()

@@ -3,7 +3,7 @@
 use crate::behavior::{Behavior, Concurrency, Granularity};
 use crate::matrix::{run_matrix, MatrixSpec, RunRecord};
 use crate::report::{series_table, Series, TextTable};
-use regwin_machine::{CostModel, SchemeKind, SwitchShape};
+use regwin_machine::{CostModel, SchemeKind, SwitchShape, TimingKind};
 use regwin_rt::{RtError, SchedulingPolicy};
 use regwin_spell::CorpusSpec;
 
@@ -50,6 +50,7 @@ impl Sweep {
             schemes: SchemeKind::ALL.to_vec(),
             windows: windows.to_vec(),
             policy,
+            timing: TimingKind::S20,
         }
     }
 
@@ -170,6 +171,7 @@ pub fn table1_spec(corpus: CorpusSpec) -> MatrixSpec {
         schemes: vec![SchemeKind::Sp],
         windows: vec![8],
         policy: SchedulingPolicy::Fifo,
+        timing: TimingKind::S20,
     }
 }
 
@@ -284,6 +286,7 @@ pub fn table2_observed_spec(corpus: CorpusSpec) -> MatrixSpec {
         schemes: SchemeKind::ALL.to_vec(),
         windows: vec![8],
         policy: SchedulingPolicy::Fifo,
+        timing: TimingKind::S20,
     }
 }
 

@@ -40,6 +40,6 @@ pub use behavior::{Behavior, Concurrency, Granularity};
 pub use matrix::{run_matrix, MatrixSpec, RunRecord};
 pub use report::{Series, TextTable};
 
-pub use regwin_machine::SchemeKind;
+pub use regwin_machine::{SchemeKind, TimingKind};
 pub use regwin_rt::SchedulingPolicy;
 pub use regwin_spell::CorpusSpec;

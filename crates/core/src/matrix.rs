@@ -2,7 +2,7 @@
 //! window count × policy) combinations, in parallel across OS threads.
 
 use crate::behavior::Behavior;
-use regwin_machine::SchemeKind;
+use regwin_machine::{SchemeKind, TimingKind};
 use regwin_rt::{RtError, RunReport, SchedulingPolicy};
 use regwin_spell::{Corpus, CorpusSpec, SpellConfig, SpellPipeline};
 use std::sync::Mutex;
@@ -36,6 +36,8 @@ pub struct MatrixSpec {
     pub windows: Vec<usize>,
     /// Scheduling policy.
     pub policy: SchedulingPolicy,
+    /// Timing backend every cell charges cycles under.
+    pub timing: TimingKind,
 }
 
 impl MatrixSpec {
@@ -47,6 +49,13 @@ impl MatrixSpec {
     /// A reduced sweep for quick runs and tests.
     pub fn quick_window_sweep() -> Vec<usize> {
         vec![4, 6, 8, 12, 16, 24, 32]
+    }
+
+    /// Replaces the timing backend.
+    #[must_use]
+    pub fn with_timing(mut self, timing: TimingKind) -> Self {
+        self.timing = timing;
+        self
     }
 
     /// Number of runs this spec describes.
@@ -93,7 +102,7 @@ fn run_matrix_replayed(
     spec: &MatrixSpec,
     progress: impl Fn(usize, usize) + Sync,
 ) -> Result<Vec<RunRecord>, RtError> {
-    use regwin_machine::CostModel;
+    use regwin_machine::MachineConfig;
     use regwin_rt::Trace;
     use regwin_traps::build_scheme;
 
@@ -117,7 +126,9 @@ fn run_matrix_replayed(
                 };
                 let behavior = spec.behaviors[idx];
                 let (m, n_buf) = behavior.buffers();
-                let config = SpellConfig::new(spec.corpus, m, n_buf).with_policy(spec.policy);
+                let config = SpellConfig::new(spec.corpus, m, n_buf)
+                    .with_policy(spec.policy)
+                    .with_timing(spec.timing);
                 let pipeline = SpellPipeline::with_corpus(corpus.clone(), config);
                 match pipeline.run_traced(8, SchemeKind::Sp) {
                     Ok((_, trace)) => {
@@ -171,7 +182,8 @@ fn run_matrix_replayed(
                     i
                 };
                 let (bi, behavior, scheme, nwindows) = cells[idx];
-                match traces[bi].replay(nwindows, CostModel::s20(), build_scheme(scheme)) {
+                let config = MachineConfig::new(nwindows).with_timing(spec.timing);
+                match traces[bi].replay(config, build_scheme(scheme)) {
                     Ok(report) => {
                         results.lock().expect("results poisoned")[idx] = Some(RunRecord {
                             behavior,
@@ -245,7 +257,9 @@ fn run_matrix_direct(
                 };
                 let (behavior, scheme, nwindows) = cells[idx];
                 let (m, n_buf) = behavior.buffers();
-                let config = SpellConfig::new(spec.corpus, m, n_buf).with_policy(spec.policy);
+                let config = SpellConfig::new(spec.corpus, m, n_buf)
+                    .with_policy(spec.policy)
+                    .with_timing(spec.timing);
                 let pipeline = SpellPipeline::with_corpus(corpus.clone(), config);
                 match pipeline.run(nwindows, scheme) {
                     Ok(outcome) => {
@@ -297,6 +311,7 @@ mod tests {
             schemes: vec![SchemeKind::Ns, SchemeKind::Sp],
             windows: vec![4, 8],
             policy: SchedulingPolicy::Fifo,
+            timing: TimingKind::S20,
         };
         assert_eq!(spec.len(), 4);
         let calls = AtomicUsize::new(0);
@@ -321,6 +336,7 @@ mod tests {
             schemes: vec![SchemeKind::Snp],
             windows: vec![6],
             policy: SchedulingPolicy::Fifo,
+            timing: TimingKind::S20,
         };
         let records = run_matrix(&spec, |_, _| {}).unwrap();
         let config = SpellConfig::new(spec.corpus, 1, 1);

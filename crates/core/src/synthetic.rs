@@ -8,7 +8,7 @@
 //! per thread × concurrency, and the sharing schemes saturate once the
 //! file covers it).
 
-use regwin_machine::CostModel;
+use regwin_machine::MachineConfig;
 use regwin_rt::{Ctx, RtError, RunReport, SchedulingPolicy, Simulation, StreamId, Trace};
 use regwin_traps::{build_scheme, SchemeKind};
 
@@ -119,7 +119,7 @@ fn build(
     traced: bool,
 ) -> Result<Simulation, RtError> {
     assert!(spec.threads >= 2, "a ring needs at least two threads");
-    let mut sim = Simulation::with_scheme(nwindows, CostModel::s20(), build_scheme(scheme))?
+    let mut sim = Simulation::with_config(MachineConfig::new(nwindows), build_scheme(scheme))?
         .with_policy(policy);
     if traced {
         sim = sim.with_trace_recording();

@@ -8,7 +8,7 @@
 //! switch repaints the file.
 
 use crate::report::TextTable;
-use regwin_machine::{CostModel, SlotUse, WindowIndex};
+use regwin_machine::{MachineConfig, SlotUse, WindowIndex};
 use regwin_rt::{RtError, Trace, TraceEvent};
 use regwin_traps::{Cpu, RestoreInstr, Scheme};
 
@@ -107,7 +107,7 @@ pub fn sample_timeline(
     samples: usize,
 ) -> Result<Timeline, RtError> {
     let title = format!("{} on {} windows, {} samples", scheme.kind(), nwindows, samples.max(1));
-    let mut cpu = Cpu::with_cost_model(nwindows, CostModel::s20(), scheme)?;
+    let mut cpu = Cpu::with_config(MachineConfig::new(nwindows), scheme)?;
     let threads: Vec<_> = (0..trace.thread_names().len()).map(|_| cpu.add_thread()).collect();
     let stride = (trace.len() / samples.max(1)).max(1);
     let mut snapshots = Vec::new();

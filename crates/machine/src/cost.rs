@@ -202,17 +202,22 @@ pub enum CycleCategory {
     /// threads are all blocked on a cross-PE stream until a delivery
     /// tick). Never charged on the legacy single-machine path.
     BusStall,
+    /// Pipeline stall cycles: scoreboard hazards on window registers
+    /// and load/store-queue backpressure. Never charged by the flat
+    /// `s20` timing backend.
+    HazardStall,
 }
 
 impl CycleCategory {
     /// All categories.
-    pub const ALL: [CycleCategory; 6] = [
+    pub const ALL: [CycleCategory; 7] = [
         CycleCategory::App,
         CycleCategory::WindowInstr,
         CycleCategory::OverflowTrap,
         CycleCategory::UnderflowTrap,
         CycleCategory::ContextSwitch,
         CycleCategory::BusStall,
+        CycleCategory::HazardStall,
     ];
 
     /// The observability [`Metric`](regwin_obs::Metric) this category's
@@ -225,7 +230,13 @@ impl CycleCategory {
             CycleCategory::UnderflowTrap => regwin_obs::Metric::CyclesUnderflowTrap,
             CycleCategory::ContextSwitch => regwin_obs::Metric::CyclesContextSwitch,
             CycleCategory::BusStall => regwin_obs::Metric::BusStallCycles,
+            CycleCategory::HazardStall => regwin_obs::Metric::HazardStallCycles,
         }
+    }
+
+    /// The category's slot in [`CycleCategory::ALL`] (the discriminant).
+    fn index(self) -> usize {
+        self as usize
     }
 }
 
@@ -235,12 +246,9 @@ impl CycleCategory {
 /// simply never charged here, giving the same measurement semantics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CycleCounter {
-    app: u64,
-    window_instr: u64,
-    overflow: u64,
-    underflow: u64,
-    switch_: u64,
-    bus_stall: u64,
+    /// Per-category totals, indexed by [`CycleCategory`]'s discriminant —
+    /// one array so adding a category is a one-line enum change.
+    counts: [u64; CycleCategory::ALL.len()],
 }
 
 impl CycleCounter {
@@ -251,42 +259,23 @@ impl CycleCounter {
 
     /// Charges `cycles` to `category`.
     pub fn charge(&mut self, category: CycleCategory, cycles: u64) {
-        match category {
-            CycleCategory::App => self.app += cycles,
-            CycleCategory::WindowInstr => self.window_instr += cycles,
-            CycleCategory::OverflowTrap => self.overflow += cycles,
-            CycleCategory::UnderflowTrap => self.underflow += cycles,
-            CycleCategory::ContextSwitch => self.switch_ += cycles,
-            CycleCategory::BusStall => self.bus_stall += cycles,
-        }
+        self.counts[category.index()] += cycles;
     }
 
     /// Cycles charged to `category`.
     pub fn category(&self, category: CycleCategory) -> u64 {
-        match category {
-            CycleCategory::App => self.app,
-            CycleCategory::WindowInstr => self.window_instr,
-            CycleCategory::OverflowTrap => self.overflow,
-            CycleCategory::UnderflowTrap => self.underflow,
-            CycleCategory::ContextSwitch => self.switch_,
-            CycleCategory::BusStall => self.bus_stall,
-        }
+        self.counts[category.index()]
     }
 
     /// Total cycles across all categories — the paper's "execution time".
     pub fn total(&self) -> u64 {
-        self.app
-            + self.window_instr
-            + self.overflow
-            + self.underflow
-            + self.switch_
-            + self.bus_stall
+        self.counts.iter().sum()
     }
 
     /// Cycles spent on window management only (everything but application
     /// compute): the overhead the schemes compete on.
     pub fn overhead(&self) -> u64 {
-        self.total() - self.app
+        self.total() - self.category(CycleCategory::App)
     }
 
     /// The per-category totals as an observability
@@ -305,14 +294,15 @@ impl fmt::Display for CycleCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "total={} (app={} instr={} ovf={} unf={} switch={} bus={})",
+            "total={} (app={} instr={} ovf={} unf={} switch={} bus={} hazard={})",
             self.total(),
-            self.app,
-            self.window_instr,
-            self.overflow,
-            self.underflow,
-            self.switch_,
-            self.bus_stall
+            self.category(CycleCategory::App),
+            self.category(CycleCategory::WindowInstr),
+            self.category(CycleCategory::OverflowTrap),
+            self.category(CycleCategory::UnderflowTrap),
+            self.category(CycleCategory::ContextSwitch),
+            self.category(CycleCategory::BusStall),
+            self.category(CycleCategory::HazardStall)
         )
     }
 }
@@ -403,6 +393,24 @@ mod tests {
         assert_eq!(c.total(), 160);
         assert_eq!(c.overhead(), 60);
         assert_eq!(c.category(CycleCategory::App), 100);
+    }
+
+    #[test]
+    fn category_all_matches_discriminant_order() {
+        for (i, cat) in CycleCategory::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i, "{cat:?} out of order in ALL");
+        }
+    }
+
+    #[test]
+    fn hazard_stall_counts_like_any_category() {
+        let mut c = CycleCounter::new();
+        c.charge(CycleCategory::HazardStall, 7);
+        c.charge(CycleCategory::App, 3);
+        assert_eq!(c.category(CycleCategory::HazardStall), 7);
+        assert_eq!(c.total(), 10);
+        assert_eq!(c.overhead(), 7);
+        assert_eq!(c.as_metrics().get(regwin_obs::Metric::HazardStallCycles), 7);
     }
 
     #[test]

@@ -20,8 +20,11 @@
 //!   (implemented in the `regwin-traps` crate),
 //! * per-thread **memory save areas** (the register-save stacks that trap
 //!   handlers spill windows into and restore windows from), and
-//! * a **cycle counter** driven by a [`CostModel`] calibrated against the
-//!   paper's S-20 measurements (paper Table 2).
+//! * a **cycle counter** driven by a pluggable [`TimingModel`] backend:
+//!   the flat [`TimingKind::S20`] preset charges the [`CostModel`]
+//!   calibrated against the paper's S-20 measurements (paper Table 2),
+//!   while [`TimingKind::Pipeline`] re-prices window transfers through a
+//!   scoreboard-plus-load/store-queue pipeline model.
 //!
 //! Terminology follows the paper: window *i − 1* is **above** window *i*
 //! (the direction `save` moves), window *i + 1* is **below** it, a thread's
@@ -66,6 +69,7 @@ mod regfile;
 mod slot;
 mod stats;
 mod thread;
+mod timing;
 mod trap;
 mod window;
 
@@ -74,12 +78,13 @@ pub use backing::BackingStore;
 pub use cost::{CostModel, CycleCategory, CycleCounter, SchemeKind, SwitchCost};
 pub use error::MachineError;
 pub use fault::{corrupt_frame, FaultSchedule, TransferFault};
-pub use machine::{ExecOutcome, Machine, TransferReason};
+pub use machine::{ExecOutcome, Machine, MachineConfig, TransferReason};
 pub use regfile::{
     Frame, RegisterFile, INS_PER_WINDOW, LOCALS_PER_WINDOW, OUTS_PER_WINDOW, REGS_PER_FRAME,
 };
 pub use slot::SlotUse;
 pub use stats::{MachineStats, SwitchShape, ThreadStats};
 pub use thread::{ThreadId, ThreadState};
+pub use timing::{Charge, PipelineTiming, S20Timing, TimingKind, TimingModel};
 pub use trap::WindowTrap;
 pub use window::{Wim, WindowIndex, MAX_WINDOWS, MIN_WINDOWS};

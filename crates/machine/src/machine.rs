@@ -18,6 +18,7 @@ use crate::regfile::{Frame, RegisterFile, REGS_PER_FRAME};
 use crate::slot::SlotUse;
 use crate::stats::MachineStats;
 use crate::thread::{ThreadId, ThreadState};
+use crate::timing::{Charge, TimingKind, TimingModel};
 use crate::trap::WindowTrap;
 use crate::window::{Wim, WindowIndex, MAX_WINDOWS, MIN_WINDOWS};
 use regwin_obs::{Metric, MetricSet, Probe, ProbeEvent};
@@ -49,6 +50,62 @@ pub enum TransferReason {
     Switch,
 }
 
+/// The cycle category a per-window transfer charge belongs to: the
+/// given trap category for trap transfers, [`CycleCategory::ContextSwitch`]
+/// for switch-time transfers.
+fn transfer_category(reason: TransferReason, trap: CycleCategory) -> CycleCategory {
+    match reason {
+        TransferReason::Trap => trap,
+        TransferReason::Switch => CycleCategory::ContextSwitch,
+    }
+}
+
+/// Unified machine configuration: window count, cost table and timing
+/// backend in one value, threaded unchanged through every constructor
+/// layer (`Machine` → `Cpu` → `Simulation` → spell/cluster/sweep).
+///
+/// Replaces the old `new`/`with_cost_model`/`with_scheme` constructor
+/// sprawl: start from [`MachineConfig::new`] and override fields with
+/// the builder methods.
+///
+/// ```rust
+/// use regwin_machine::{MachineConfig, TimingKind};
+///
+/// let cfg = MachineConfig::new(8).with_timing(TimingKind::Pipeline);
+/// assert_eq!(cfg.nwindows, 8);
+/// assert_eq!(cfg.timing, TimingKind::Pipeline);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of physical register windows.
+    pub nwindows: usize,
+    /// Cycle cost table (software trap/switch costs for every backend;
+    /// the complete accounting for [`TimingKind::S20`]).
+    pub cost: CostModel,
+    /// Which timing backend prices the machine's events.
+    pub timing: TimingKind,
+}
+
+impl MachineConfig {
+    /// The default configuration: `nwindows` windows, the calibrated
+    /// [`CostModel::s20`] table, the flat [`TimingKind::S20`] backend.
+    pub fn new(nwindows: usize) -> Self {
+        MachineConfig { nwindows, cost: CostModel::s20(), timing: TimingKind::S20 }
+    }
+
+    /// Replaces the cost table.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the timing backend.
+    pub fn with_timing(mut self, timing: TimingKind) -> Self {
+        self.timing = timing;
+        self
+    }
+}
+
 /// The simulated register-window machine. See the crate docs for the model
 /// and the paper mapping.
 #[derive(Debug, Clone)]
@@ -62,6 +119,10 @@ pub struct Machine {
     current: Option<ThreadId>,
     reserved: Option<WindowIndex>,
     cost: CostModel,
+    timing: Box<dyn TimingModel>,
+    /// LSQ occupancy already published to the probe, so each publication
+    /// is a delta of the backend's monotone cumulative counter.
+    lsq_synced: u64,
     counter: CycleCounter,
     stats: MachineStats,
     faults: Option<FaultSchedule>,
@@ -83,21 +144,24 @@ impl Machine {
     /// Returns [`MachineError::BadWindowCount`] if `nwindows` is outside
     /// `MIN_WINDOWS..=MAX_WINDOWS`.
     pub fn new(nwindows: usize) -> Result<Self, MachineError> {
-        Self::with_cost_model(nwindows, CostModel::s20())
+        Self::with_config(MachineConfig::new(nwindows))
     }
 
-    /// Creates a machine with an explicit [`CostModel`].
+    /// Creates a machine from a [`MachineConfig`] (explicit cost table
+    /// and timing backend).
     ///
     /// # Errors
     ///
-    /// Returns [`MachineError::BadWindowCount`] if `nwindows` is outside
-    /// `MIN_WINDOWS..=MAX_WINDOWS`.
-    pub fn with_cost_model(nwindows: usize, cost: CostModel) -> Result<Self, MachineError> {
+    /// Returns [`MachineError::BadWindowCount`] if `config.nwindows` is
+    /// outside `MIN_WINDOWS..=MAX_WINDOWS`.
+    pub fn with_config(config: MachineConfig) -> Result<Self, MachineError> {
+        let MachineConfig { nwindows, cost, timing } = config;
         if !(MIN_WINDOWS..=MAX_WINDOWS).contains(&nwindows) {
             return Err(MachineError::BadWindowCount { requested: nwindows });
         }
         let mut slots = vec![SlotUse::Free; nwindows];
         slots[0] = SlotUse::Reserved;
+        let timing = timing.build(&cost, nwindows);
         let mut machine = Machine {
             nwindows,
             regfile: RegisterFile::new(nwindows),
@@ -108,6 +172,8 @@ impl Machine {
             current: None,
             reserved: Some(WindowIndex::new(0)),
             cost,
+            timing,
+            lsq_synced: 0,
             counter: CycleCounter::new(),
             stats: MachineStats::new(),
             faults: None,
@@ -267,6 +333,11 @@ impl Machine {
     /// The cost model in use.
     pub fn cost(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// Which timing backend prices this machine's events.
+    pub fn timing_kind(&self) -> TimingKind {
+        self.timing.kind()
     }
 
     /// The cycle counter.
@@ -570,7 +641,8 @@ impl Machine {
         self.stats.saves_executed += 1;
         self.stats.threads[t.index()].saves += 1;
         self.bump(Metric::SavesExecuted, 1);
-        self.charge_cycles(CycleCategory::WindowInstr, self.cost.window_instr);
+        let charge = self.timing.window_instr(self.counter.total(), target);
+        self.charge_timed(CycleCategory::WindowInstr, charge);
         self.auditor_tag_dirty(target);
         // Scheduled resident corruption strikes the newly current window
         // *after* the save (and after its tag was recorded): a bit-flip in
@@ -619,7 +691,8 @@ impl Machine {
         self.stats.restores_executed += 1;
         self.stats.threads[t.index()].restores += 1;
         self.bump(Metric::RestoresExecuted, 1);
-        self.charge_cycles(CycleCategory::WindowInstr, self.cost.window_instr);
+        let charge = self.timing.window_instr(self.counter.total(), target);
+        self.charge_timed(CycleCategory::WindowInstr, charge);
         Ok(())
     }
 
@@ -682,6 +755,11 @@ impl Machine {
             self.bump(Metric::OverflowSpills, 1);
         }
         self.bump(Metric::SpillBytes, FRAME_BYTES);
+        // Per-transfer timing charge point (zero under the flat s20
+        // backend, which prices transfers inside the trap/switch
+        // aggregates; queue-modelled under the pipeline backend).
+        let charge = self.timing.spill_transfer(self.counter.total(), bottom, reason);
+        self.charge_timed(transfer_category(reason, CycleCategory::OverflowTrap), charge);
         self.recompute_wim();
         Ok(())
     }
@@ -754,6 +832,8 @@ impl Machine {
             self.bump(Metric::UnderflowRestores, 1);
         }
         self.bump(Metric::FillBytes, FRAME_BYTES);
+        let charge = self.timing.fill_transfer(self.counter.total(), slot, reason);
+        self.charge_timed(transfer_category(reason, CycleCategory::UnderflowTrap), charge);
         self.recompute_wim();
         Ok(())
     }
@@ -813,6 +893,8 @@ impl Machine {
         self.bump(Metric::UnderflowRestores, 1);
         self.bump(Metric::RestoresExecuted, 1);
         self.bump(Metric::FillBytes, FRAME_BYTES);
+        let charge = self.timing.fill_transfer(self.counter.total(), slot, TransferReason::Trap);
+        self.charge_timed(CycleCategory::UnderflowTrap, charge);
         Ok(())
     }
 
@@ -1140,12 +1222,51 @@ impl Machine {
 
     /// Charges application compute cycles (the workload's own work).
     pub fn compute(&mut self, cycles: u64) {
-        self.charge_cycles(CycleCategory::App, cycles);
+        let charge = self.timing.app(self.counter.total(), cycles);
+        self.charge_timed(CycleCategory::App, charge);
+    }
+
+    /// Charges an overflow trap whose handler spilled `spills` windows
+    /// (scheme charge point — the per-spill transfers were already
+    /// charged by [`Machine::spill_bottom`] under backends that price
+    /// them individually).
+    pub fn charge_overflow_trap(&mut self, spills: usize) {
+        let charge = self.timing.overflow_trap(self.counter.total(), spills);
+        self.charge_timed(CycleCategory::OverflowTrap, charge);
+    }
+
+    /// Charges a conventional underflow trap (scheme charge point).
+    pub fn charge_underflow_conventional(&mut self) {
+        let charge = self.timing.underflow_conventional(self.counter.total());
+        self.charge_timed(CycleCategory::UnderflowTrap, charge);
+    }
+
+    /// Charges an in-place underflow trap with a full or partial `in`
+    /// copy (scheme charge point).
+    pub fn charge_underflow_inplace(&mut self, full_copy: bool) {
+        let charge = self.timing.underflow_inplace(self.counter.total(), full_copy);
+        self.charge_timed(CycleCategory::UnderflowTrap, charge);
+    }
+
+    /// Charges `windows` extra ahead-of-demand refills performed by a
+    /// batched underflow handler (scheme charge point).
+    pub fn charge_refill_extra(&mut self, windows: usize) {
+        let charge = self.timing.refill_extra(self.counter.total(), windows);
+        self.charge_timed(CycleCategory::UnderflowTrap, charge);
+    }
+
+    /// Charges `count` stack-top `out`-register transfers under
+    /// `category` (scheme charge point; SP charges these to overflow
+    /// traps when a PRW is stolen and to context switches otherwise).
+    pub fn charge_outs_transfer(&mut self, category: CycleCategory, count: usize) {
+        let charge = self.timing.outs_transfer(self.counter.total(), count);
+        self.charge_timed(category, charge);
     }
 
     /// Records a context switch away from `from` that transferred the
-    /// given number of windows, charging the scheme's calibrated switch
-    /// cost (paper Table 2).
+    /// given number of windows, charging the backend's switch cost (the
+    /// full calibrated Table-2 shape cost under `s20`; the software base
+    /// under `pipeline`, whose transfers paid at their spill/fill sites).
     pub fn record_context_switch(
         &mut self,
         from: Option<ThreadId>,
@@ -1153,8 +1274,13 @@ impl Machine {
         saves: u32,
         restores: u32,
     ) {
-        let cost = self.cost.switch_cost(scheme).cycles(saves as usize, restores as usize);
-        self.charge_cycles(CycleCategory::ContextSwitch, cost);
+        let charge = self.timing.context_switch(
+            self.counter.total(),
+            scheme,
+            saves as usize,
+            restores as usize,
+        );
+        self.charge_timed(CycleCategory::ContextSwitch, charge);
         self.stats.record_switch(from, saves, restores);
         self.bump(Metric::ContextSwitches, 1);
         self.bump(Metric::SwitchSaves, u64::from(saves));
@@ -1389,6 +1515,22 @@ impl Machine {
         self.counter.charge(category, cycles);
         if cycles != 0 {
             self.bump(category.metric(), cycles);
+        }
+    }
+
+    /// Charges a timing-backend [`Charge`]: base cycles to the event's
+    /// category, stall cycles to [`CycleCategory::HazardStall`], and
+    /// publishes any new LSQ residency as a metric delta. All-zero
+    /// charges (the s20 backend's transfer charge points) are free and
+    /// leave the probe stream untouched.
+    fn charge_timed(&mut self, category: CycleCategory, charge: Charge) {
+        self.charge_cycles(category, charge.base);
+        self.charge_cycles(CycleCategory::HazardStall, charge.hazard);
+        let ticks = self.timing.lsq_occupancy_ticks();
+        let delta = ticks - self.lsq_synced;
+        if delta > 0 {
+            self.lsq_synced = ticks;
+            self.bump(Metric::LsqOccupancyTicks, delta);
         }
     }
 

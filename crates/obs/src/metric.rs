@@ -86,11 +86,17 @@ pub enum Metric {
     /// Cross-PE message payload bytes delivered over the shared bus
     /// (cluster runs only).
     CrossPeMessages,
+    /// Pipeline stall cycles from window-register scoreboard hazards
+    /// and load/store-queue backpressure (pipeline timing backend only).
+    HazardStallCycles,
+    /// Cumulative cycles window transfers spent resident in the
+    /// load/store queue (pipeline timing backend only).
+    LsqOccupancyTicks,
 }
 
 impl Metric {
     /// Every metric, in canonical serialization order.
-    pub const ALL: [Metric; 32] = [
+    pub const ALL: [Metric; 34] = [
         Metric::SavesExecuted,
         Metric::RestoresExecuted,
         Metric::OverflowTraps,
@@ -123,6 +129,8 @@ impl Metric {
         Metric::BusGrants,
         Metric::BusStallCycles,
         Metric::CrossPeMessages,
+        Metric::HazardStallCycles,
+        Metric::LsqOccupancyTicks,
     ];
 
     /// The metric's stable snake_case name, used in JSON output.
@@ -160,6 +168,8 @@ impl Metric {
             Metric::BusGrants => "bus_grants",
             Metric::BusStallCycles => "bus_stall_cycles",
             Metric::CrossPeMessages => "cross_pe_messages",
+            Metric::HazardStallCycles => "hazard_stall_cycles",
+            Metric::LsqOccupancyTicks => "lsq_occupancy_ticks",
         }
     }
 
@@ -180,9 +190,17 @@ impl fmt::Display for Metric {
 /// order yields the same totals — the property the sweep engine's
 /// determinism guarantees rest on. Iteration always follows
 /// [`Metric::ALL`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricSet {
     counts: [u64; Metric::ALL.len()],
+}
+
+// Derived `Default` requires `[u64; N]: Default`, which the standard
+// library only provides for N ≤ 32.
+impl Default for MetricSet {
+    fn default() -> Self {
+        MetricSet { counts: [0; Metric::ALL.len()] }
+    }
 }
 
 impl MetricSet {
@@ -234,9 +252,15 @@ impl MetricSet {
 /// independent monotone sum; a snapshot taken while writers are active
 /// is a valid (if momentarily stale) lower bound, and exact once the
 /// writer has been joined.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AtomicMetricSet {
     counts: [AtomicU64; Metric::ALL.len()],
+}
+
+impl Default for AtomicMetricSet {
+    fn default() -> Self {
+        AtomicMetricSet { counts: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
 }
 
 impl AtomicMetricSet {

@@ -57,8 +57,6 @@
 mod ctx;
 mod error;
 mod fault;
-#[deprecated(note = "renamed to `report`; use `regwin_rt::report` or the crate-root re-exports")]
-pub mod metrics;
 pub mod report;
 mod sched;
 mod sim;

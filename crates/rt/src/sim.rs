@@ -14,7 +14,7 @@ use crate::sched::{ReadyQueue, SchedPolicy, SchedulingPolicy, WakeInfo};
 use crate::stream::{RemoteEnd, Stream, StreamId};
 use crate::trace::{Trace, TraceEvent};
 use parking_lot::{Condvar, Mutex};
-use regwin_machine::{CostModel, ThreadId, WindowIndex};
+use regwin_machine::{MachineConfig, ThreadId, WindowIndex};
 use regwin_obs::{Metric, Probe, ProbeEvent, SpanKind};
 use regwin_traps::{build_scheme, Cpu, Scheme, SchemeKind};
 use std::collections::{BTreeMap, BTreeSet};
@@ -229,28 +229,26 @@ pub struct Simulation {
 impl Simulation {
     /// Creates a simulation on `nwindows` windows managed by the given
     /// scheme (with its paper-default options), FIFO scheduling and the
-    /// S-20 cost model.
+    /// default machine configuration (S-20 cost model, `s20` timing).
     ///
     /// # Errors
     ///
     /// Fails if the window count is below the scheme's minimum.
     pub fn new(nwindows: usize, scheme: SchemeKind) -> Result<Self, RtError> {
-        Self::with_scheme(nwindows, CostModel::s20(), build_scheme(scheme))
+        Self::with_config(MachineConfig::new(nwindows), build_scheme(scheme))
     }
 
-    /// Creates a simulation with an explicit cost model and scheme
-    /// object (for non-default scheme options and ablations).
+    /// Creates a simulation from an explicit [`MachineConfig`] (cost
+    /// model and timing backend) and scheme object (for non-default
+    /// scheme options and ablations).
     ///
     /// # Errors
     ///
     /// Fails if the window count is below the scheme's minimum.
-    pub fn with_scheme(
-        nwindows: usize,
-        cost: CostModel,
-        scheme: Box<dyn Scheme>,
-    ) -> Result<Self, RtError> {
+    pub fn with_config(config: MachineConfig, scheme: Box<dyn Scheme>) -> Result<Self, RtError> {
         let kind = scheme.kind();
-        let cpu = Cpu::with_cost_model(nwindows, cost, scheme)?;
+        let nwindows = config.nwindows;
+        let cpu = Cpu::with_config(config, scheme)?;
         let state = SimState {
             cpu,
             streams: Vec::new(),

@@ -14,8 +14,8 @@
 //! `replay(record(run)) == run`, cycle for cycle.
 
 use crate::error::RtError;
-use crate::metrics::{RunReport, ThreadReport};
-use regwin_machine::{CostModel, FaultSchedule, ThreadId};
+use crate::report::{RunReport, ThreadReport};
+use regwin_machine::{FaultSchedule, MachineConfig, ThreadId};
 use regwin_traps::{Cpu, Scheme};
 
 /// One recorded event. Saves and restores apply to the thread that is
@@ -115,9 +115,10 @@ impl Trace {
         self.blocked_on_write.get(i).copied().unwrap_or(0)
     }
 
-    /// Replays the trace on a fresh CPU with the given window count, cost
-    /// model and scheme, reproducing the cycle counts and statistics the
-    /// same workload would produce in a direct run.
+    /// Replays the trace on a fresh CPU with the given machine
+    /// configuration (window count, cost model, timing backend) and
+    /// scheme, reproducing the cycle counts and statistics the same
+    /// workload would produce in a direct run.
     ///
     /// # Errors
     ///
@@ -125,11 +126,10 @@ impl Trace {
     /// from a successful run, on any valid configuration).
     pub fn replay(
         &self,
-        nwindows: usize,
-        cost: CostModel,
+        config: MachineConfig,
         scheme: Box<dyn Scheme>,
     ) -> Result<RunReport, RtError> {
-        self.replay_with_faults(nwindows, cost, scheme, None)
+        self.replay_with_faults(config, scheme, None)
     }
 
     /// Like [`Trace::replay`], but with an optional machine-level fault
@@ -146,12 +146,11 @@ impl Trace {
     /// events reference unknown threads.
     pub fn replay_with_faults(
         &self,
-        nwindows: usize,
-        cost: CostModel,
+        config: MachineConfig,
         scheme: Box<dyn Scheme>,
         faults: Option<FaultSchedule>,
     ) -> Result<RunReport, RtError> {
-        self.replay_with_options(nwindows, cost, scheme, faults, false)
+        self.replay_with_options(config, scheme, faults, false)
     }
 
     /// Like [`Trace::replay_with_faults`], with window integrity auditing
@@ -169,14 +168,14 @@ impl Trace {
     /// auditor detects a dirty-frame mismatch.
     pub fn replay_with_options(
         &self,
-        nwindows: usize,
-        cost: CostModel,
+        config: MachineConfig,
         scheme: Box<dyn Scheme>,
         faults: Option<FaultSchedule>,
         audit: bool,
     ) -> Result<RunReport, RtError> {
         let kind = scheme.kind();
-        let mut cpu = Cpu::with_cost_model(nwindows, cost, scheme)?;
+        let nwindows = config.nwindows;
+        let mut cpu = Cpu::with_config(config, scheme)?;
         if audit {
             cpu.enable_window_audit();
         }

@@ -2,7 +2,7 @@
 //! scheme and window count must reproduce a direct run *exactly* — every
 //! cycle, every trap, every switch shape.
 
-use regwin_machine::CostModel;
+use regwin_machine::MachineConfig;
 use regwin_rt::{RtError, RunReport, SchedulingPolicy, Simulation, Trace};
 use regwin_traps::{build_scheme, SchemeKind};
 
@@ -72,7 +72,8 @@ fn replay_reproduces_the_recording_run_exactly() {
     for scheme in SchemeKind::ALL {
         for nwindows in [4, 6, 8, 16] {
             let (direct, trace) = recorded_pipeline(scheme, nwindows, 2);
-            let replayed = trace.replay(nwindows, CostModel::s20(), build_scheme(scheme)).unwrap();
+            let replayed =
+                trace.replay(MachineConfig::new(nwindows), build_scheme(scheme)).unwrap();
             assert_reports_identical(&direct, &replayed, &format!("{scheme}@{nwindows}"));
         }
     }
@@ -90,7 +91,8 @@ fn one_trace_replays_across_all_schemes_and_window_counts() {
                 continue;
             }
             let (direct, _) = recorded_pipeline(scheme, nwindows, 2);
-            let replayed = trace.replay(nwindows, CostModel::s20(), build_scheme(scheme)).unwrap();
+            let replayed =
+                trace.replay(MachineConfig::new(nwindows), build_scheme(scheme)).unwrap();
             assert_reports_identical(&direct, &replayed, &format!("cross {scheme}@{nwindows}"));
         }
     }
@@ -152,6 +154,6 @@ fn recording_does_not_change_the_run() {
 #[test]
 fn replay_on_too_few_windows_errors_cleanly() {
     let (_, trace) = recorded_pipeline(SchemeKind::Sp, 8, 2);
-    let result = trace.replay(2, CostModel::s20(), build_scheme(SchemeKind::Ns));
+    let result = trace.replay(MachineConfig::new(2), build_scheme(SchemeKind::Ns));
     assert!(matches!(result, Err(RtError::Scheme(_))));
 }

@@ -4,7 +4,7 @@
 use crate::corpus::{Corpus, CorpusSpec};
 use crate::reference;
 use crate::threads;
-use regwin_machine::CostModel;
+use regwin_machine::{MachineConfig, TimingKind};
 use regwin_rt::{FaultPlan, RtError, RunReport, SchedulingPolicy, Simulation, StreamId};
 use regwin_traps::{build_scheme, Scheme, SchemeKind};
 use std::sync::{Arc, Mutex};
@@ -20,12 +20,14 @@ pub struct SpellConfig {
     pub n: usize,
     /// Scheduling policy (FIFO in all paper experiments except §6.5).
     pub policy: SchedulingPolicy,
+    /// Timing backend (the flat S-20 model in all paper experiments).
+    pub timing: TimingKind,
 }
 
 impl SpellConfig {
     /// A configuration over the given corpus with M and N buffer sizes.
     pub fn new(corpus: CorpusSpec, m: usize, n: usize) -> Self {
-        SpellConfig { corpus, m, n, policy: SchedulingPolicy::Fifo }
+        SpellConfig { corpus, m, n, policy: SchedulingPolicy::Fifo, timing: TimingKind::S20 }
     }
 
     /// A fast, scaled-down configuration for tests and examples.
@@ -45,6 +47,13 @@ impl SpellConfig {
     #[must_use]
     pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Replaces the timing backend.
+    #[must_use]
+    pub fn with_timing(mut self, timing: TimingKind) -> Self {
+        self.timing = timing;
         self
     }
 }
@@ -129,28 +138,35 @@ impl SpellPipeline {
     }
 
     /// Runs the pipeline on `nwindows` windows under `scheme` (with
-    /// paper-default options and the S-20 cost model).
+    /// paper-default options and this configuration's timing backend).
     ///
     /// # Errors
     ///
     /// Propagates runtime errors (deadlock, scheme failure).
     pub fn run(&self, nwindows: usize, scheme: SchemeKind) -> Result<SpellOutcome, RtError> {
-        self.run_with_scheme(nwindows, CostModel::s20(), build_scheme(scheme))
+        self.run_with_scheme(self.machine_config(nwindows), build_scheme(scheme))
     }
 
-    /// Runs with an explicit cost model and scheme object (ablations).
+    /// Runs with an explicit machine configuration (window count, cost
+    /// model, timing backend) and scheme object (ablations).
     ///
     /// # Errors
     ///
     /// Propagates runtime errors (deadlock, scheme failure).
     pub fn run_with_scheme(
         &self,
-        nwindows: usize,
-        cost: CostModel,
+        config: MachineConfig,
         scheme: Box<dyn Scheme>,
     ) -> Result<SpellOutcome, RtError> {
-        let (report, output, _) = self.run_inner(nwindows, cost, scheme, false, None)?;
+        let (report, output, _) = self.run_inner(config, scheme, false, None)?;
         Ok(SpellOutcome { report, output })
+    }
+
+    /// The machine configuration [`SpellPipeline::run`] uses at this
+    /// window count: the S-20 cost table plus the pipeline's configured
+    /// timing backend.
+    pub fn machine_config(&self, nwindows: usize) -> MachineConfig {
+        MachineConfig::new(nwindows).with_timing(self.config.timing)
     }
 
     /// Runs the pipeline with the given fault plan installed: the plan's
@@ -174,12 +190,12 @@ impl SpellPipeline {
         plan: &FaultPlan,
     ) -> Result<SpellOutcome, RtError> {
         let (report, output, _) =
-            self.run_inner(nwindows, CostModel::s20(), build_scheme(scheme), false, Some(plan))?;
+            self.run_inner(self.machine_config(nwindows), build_scheme(scheme), false, Some(plan))?;
         Ok(SpellOutcome { report, output })
     }
 
-    /// Builds the bare simulation for this pipeline — window count,
-    /// cost model, scheme, scheduling policy and (if enabled) window
+    /// Builds the bare simulation for this pipeline — machine
+    /// configuration, scheme, scheduling policy and (if enabled) window
     /// auditing — without wiring streams or threads. The entry point
     /// external drivers (`regwin-cluster`) share with the legacy path,
     /// so a 1-PE cluster constructs exactly the simulation
@@ -191,8 +207,7 @@ impl SpellPipeline {
     /// minimum.
     pub fn build_sim(
         &self,
-        nwindows: usize,
-        cost: CostModel,
+        config: MachineConfig,
         scheme: Box<dyn Scheme>,
     ) -> Result<Simulation, RtError> {
         if self.config.m == 0 || self.config.n == 0 {
@@ -203,8 +218,7 @@ impl SpellPipeline {
                 ),
             });
         }
-        let mut sim =
-            Simulation::with_scheme(nwindows, cost, scheme)?.with_policy(self.config.policy);
+        let mut sim = Simulation::with_config(config, scheme)?.with_policy(self.config.policy);
         if self.audit {
             sim = sim.with_window_audit();
         }
@@ -269,13 +283,12 @@ impl SpellPipeline {
 
     pub(crate) fn run_inner(
         &self,
-        nwindows: usize,
-        cost: CostModel,
+        config: MachineConfig,
         scheme: Box<dyn Scheme>,
         traced: bool,
         fault: Option<&FaultPlan>,
     ) -> Result<(regwin_rt::RunReport, Vec<u8>, Option<regwin_rt::Trace>), RtError> {
-        let mut sim = self.build_sim(nwindows, cost, scheme)?;
+        let mut sim = self.build_sim(config, scheme)?;
         if traced {
             sim = sim.with_trace_recording();
         }

@@ -2,7 +2,6 @@
 //! for trace-replay sweeps (the paper's emulator methodology, §6.1).
 
 use crate::pipeline::{SpellOutcome, SpellPipeline};
-use regwin_machine::CostModel;
 use regwin_rt::{RtError, Trace};
 use regwin_traps::{build_scheme, SchemeKind};
 
@@ -22,7 +21,7 @@ impl SpellPipeline {
         scheme: SchemeKind,
     ) -> Result<(SpellOutcome, Trace), RtError> {
         let (report, output, trace) =
-            self.run_inner(nwindows, CostModel::s20(), build_scheme(scheme), true, None)?;
+            self.run_inner(self.machine_config(nwindows), build_scheme(scheme), true, None)?;
         Ok((SpellOutcome { report, output }, trace.expect("recording was enabled")))
     }
 }
@@ -31,20 +30,21 @@ impl SpellPipeline {
 mod tests {
     use super::*;
     use crate::SpellConfig;
+    use regwin_machine::MachineConfig;
 
     #[test]
     fn traced_run_replays_exactly_across_schemes_and_windows() {
         let pipeline = SpellPipeline::new(SpellConfig::small());
         let (outcome, trace) = pipeline.run_traced(8, SchemeKind::Sp).unwrap();
         // Replay at the recording configuration reproduces it exactly.
-        let same = trace.replay(8, CostModel::s20(), build_scheme(SchemeKind::Sp)).unwrap();
+        let same = trace.replay(MachineConfig::new(8), build_scheme(SchemeKind::Sp)).unwrap();
         assert_eq!(same.total_cycles(), outcome.report.total_cycles());
         assert_eq!(same.stats.switch_shapes, outcome.report.stats.switch_shapes);
         // Replay at a different configuration equals that configuration's
         // direct run.
         for (scheme, windows) in [(SchemeKind::Ns, 5), (SchemeKind::Snp, 12), (SchemeKind::Sp, 4)] {
             let direct = pipeline.run(windows, scheme).unwrap();
-            let replayed = trace.replay(windows, CostModel::s20(), build_scheme(scheme)).unwrap();
+            let replayed = trace.replay(MachineConfig::new(windows), build_scheme(scheme)).unwrap();
             assert_eq!(replayed.total_cycles(), direct.report.total_cycles(), "{scheme}@{windows}");
             assert_eq!(replayed.stats.overflow_traps, direct.report.stats.overflow_traps);
             assert_eq!(

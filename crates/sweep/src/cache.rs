@@ -104,7 +104,7 @@ fn decode_entry(text: &str, key: &JobKey) -> Option<RunReport> {
 mod tests {
     use super::*;
     use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec};
-    use regwin_machine::SchemeKind;
+    use regwin_machine::{SchemeKind, TimingKind};
     use regwin_rt::SchedulingPolicy;
     use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
 
@@ -122,6 +122,7 @@ mod tests {
             schemes: vec![SchemeKind::Sp],
             windows: vec![8],
             policy: SchedulingPolicy::Fifo,
+            timing: TimingKind::S20,
         };
         JobKey::for_cell(&spec, spec.behaviors[0], SchemeKind::Sp, 8)
     }

@@ -18,7 +18,7 @@ use crate::journal::{replay_journal, JournalReplay, SweepJournal};
 use crate::json::{obj, Value};
 use crate::key::JobKey;
 use regwin_core::{MatrixSpec, RunRecord};
-use regwin_machine::CostModel;
+use regwin_machine::MachineConfig;
 use regwin_obs::jsonl::Row;
 use regwin_obs::{AtomicMetricSet, Histogram, Metric, MetricSet, Probe, ProbeEvent, SpanKind};
 use regwin_rt::{FaultKind, FaultPlan, RtError, RunReport, SchedulingPolicy, Trace, WorkerFault};
@@ -588,18 +588,6 @@ impl<'e> BatchSink<'e> {
 impl SweepEngine {
     /// An engine with the given configuration.
     ///
-    /// Deprecated in favour of [`SweepEngine::with_config`] fed by
-    /// [`SweepConfig::builder`], which rejects inconsistent configs as
-    /// typed errors instead of stderr warnings.
-    #[deprecated(
-        note = "build the config with `SweepConfig::builder()` and use `SweepEngine::with_config`"
-    )]
-    pub fn new(config: SweepConfig) -> Self {
-        SweepEngine::with_config(config)
-    }
-
-    /// An engine with the given configuration.
-    ///
     /// Configs produced by [`SweepConfig::builder`] are already
     /// validated; hand-filled struct literals that would fail
     /// [`SweepConfig::validate`] are accepted here for compatibility,
@@ -1034,6 +1022,7 @@ impl SweepEngine {
 
         let corpus_spec = spec.corpus;
         let policy = spec.policy;
+        let timing = spec.timing;
         let audit = self.config.audit;
         let jobs: Vec<Job> = cells
             .iter()
@@ -1044,8 +1033,7 @@ impl SweepEngine {
                 let sim_plan = sim_plan.clone();
                 Job::new(key, move || match &traces[bi] {
                     Some(trace) => trace.replay_with_options(
-                        nwindows,
-                        CostModel::s20(),
+                        MachineConfig::new(nwindows).with_timing(timing),
                         build_scheme(scheme),
                         sim_plan.as_deref().map(FaultPlan::machine_schedule),
                         audit,
@@ -1054,7 +1042,9 @@ impl SweepEngine {
                     // cache entry that vanished after the pre-probe).
                     None => {
                         let (m, n) = behavior.buffers();
-                        let config = SpellConfig::new(corpus_spec, m, n).with_policy(policy);
+                        let config = SpellConfig::new(corpus_spec, m, n)
+                            .with_policy(policy)
+                            .with_timing(timing);
                         let mut pipeline = SpellPipeline::with_corpus((*corpus).clone(), config);
                         if audit {
                             pipeline = pipeline.with_window_audit();
@@ -1646,6 +1636,7 @@ fn run_indexed<T: Send>(
 mod tests {
     use super::*;
     use regwin_core::{run_matrix, Behavior, Concurrency, Granularity};
+    use regwin_machine::TimingKind;
     use regwin_spell::CorpusSpec;
 
     fn small_spec() -> MatrixSpec {
@@ -1655,6 +1646,7 @@ mod tests {
             schemes: vec![SchemeKind::Ns, SchemeKind::Sp],
             windows: vec![4, 8],
             policy: SchedulingPolicy::Fifo,
+            timing: TimingKind::S20,
         }
     }
 

@@ -2,13 +2,13 @@
 //!
 //! A sweep job is a pure function of its configuration: corpus
 //! dimensions and seed, stream buffer sizes, scheduling policy, scheme
-//! (or ablation-variant label), window count and cost model. The
+//! (or ablation-variant label), window count and timing backend. The
 //! canonical key string spells all of those out; its FNV-1a hash names
 //! the cache entry. A format-version prefix invalidates every cached
 //! result when the serialization or the simulator's semantics change.
 
 use regwin_core::{Behavior, MatrixSpec};
-use regwin_machine::SchemeKind;
+use regwin_machine::{SchemeKind, TimingKind};
 use regwin_rt::SchedulingPolicy;
 use regwin_spell::CorpusSpec;
 
@@ -21,7 +21,11 @@ use regwin_spell::CorpusSpec;
 /// v4: the WorkingSet scheduler keeps resident threads FIFO among
 /// themselves (the wake-order bugfix changed WorkingSet schedules), and
 /// two new policies (WindowGreedy, Aging) joined the namespace.
-pub const FORMAT_VERSION: u32 = 4;
+///
+/// v5: the cost-model field became the timing-backend identifier
+/// (`s20` or `pipeline`), and reports gained the hazard-stall cycle
+/// category charged by the pipeline backend.
+pub const FORMAT_VERSION: u32 = 5;
 
 /// The complete identity of one sweep job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,8 +46,8 @@ pub struct JobKey {
     pub scheme: String,
     /// Physical window count.
     pub nwindows: usize,
-    /// Cost-model identifier (only `"s20"` today).
-    pub cost_model: String,
+    /// Timing backend the job charges cycles under.
+    pub timing: TimingKind,
 }
 
 impl JobKey {
@@ -63,14 +67,14 @@ impl JobKey {
             policy: spec.policy,
             scheme: scheme.name().to_string(),
             nwindows,
-            cost_model: "s20".to_string(),
+            timing: spec.timing,
         }
     }
 
     /// The canonical string: every field spelled out, in fixed order.
     pub fn canonical(&self) -> String {
         format!(
-            "v{}|exp={}|doc={}|dict={}|seed={}|m={}|n={}|policy={}|scheme={}|w={}|cost={}",
+            "v{}|exp={}|doc={}|dict={}|seed={}|m={}|n={}|policy={}|scheme={}|w={}|timing={}",
             FORMAT_VERSION,
             self.experiment,
             self.corpus.doc_bytes,
@@ -81,7 +85,7 @@ impl JobKey {
             self.policy,
             self.scheme,
             self.nwindows,
-            self.cost_model,
+            self.timing,
         )
     }
 
@@ -120,6 +124,7 @@ mod tests {
             schemes: vec![SchemeKind::Sp],
             windows: vec![8],
             policy: SchedulingPolicy::Fifo,
+            timing: TimingKind::S20,
         }
     }
 
@@ -133,6 +138,7 @@ mod tests {
         assert!(c.contains("policy=FIFO"));
         assert!(c.contains("w=8"));
         assert!(c.contains("m=1") && c.contains("n=1"));
+        assert!(c.contains("timing=s20"));
         assert!(c.starts_with(&format!("v{FORMAT_VERSION}|")));
     }
 

@@ -30,7 +30,7 @@
 //!
 //! ```rust
 //! use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec};
-//! use regwin_core::{CorpusSpec, SchedulingPolicy, SchemeKind};
+//! use regwin_core::{CorpusSpec, SchedulingPolicy, SchemeKind, TimingKind};
 //! use regwin_sweep::SweepEngine;
 //!
 //! let spec = MatrixSpec {
@@ -39,6 +39,7 @@
 //!     schemes: vec![SchemeKind::Sp],
 //!     windows: vec![8],
 //!     policy: SchedulingPolicy::Fifo,
+//!     timing: TimingKind::S20,
 //! };
 //! let engine = SweepEngine::quiet();
 //! let records = engine.run_matrix(&spec).unwrap();

@@ -38,6 +38,7 @@ fn category_name(c: CycleCategory) -> &'static str {
         CycleCategory::UnderflowTrap => "underflow_trap",
         CycleCategory::ContextSwitch => "context_switch",
         CycleCategory::BusStall => "bus_stall",
+        CycleCategory::HazardStall => "hazard_stall",
     }
 }
 

@@ -10,7 +10,7 @@ use crate::engine::{Job, SweepEngine};
 use crate::key::JobKey;
 use regwin_core::ablations::{ablation_from_series, record_base_trace, AblationResult, VariantSet};
 use regwin_core::Series;
-use regwin_machine::CostModel;
+use regwin_machine::{MachineConfig, TimingKind};
 use regwin_rt::{RtError, SchedulingPolicy};
 use regwin_spell::CorpusSpec;
 use std::sync::Arc;
@@ -26,7 +26,7 @@ fn cell_key(set: &VariantSet, corpus: CorpusSpec, label: &str, nwindows: usize) 
         policy: SchedulingPolicy::Fifo,
         scheme: label.to_string(),
         nwindows,
-        cost_model: "s20".to_string(),
+        timing: TimingKind::S20,
     }
 }
 
@@ -65,10 +65,10 @@ pub fn run_ablation(
                 set.variants.iter().find(|(l, _)| l == label).expect("label from set").1.clone();
             let trace = trace.clone();
             Job::new(key, move || match &trace {
-                Some(trace) => trace.replay(w, CostModel::s20(), make()),
+                Some(trace) => trace.replay(MachineConfig::new(w), make()),
                 // Every cell was cached at probe time but one vanished
                 // since: re-record rather than fail the study.
-                None => record_base_trace(corpus)?.replay(w, CostModel::s20(), make()),
+                None => record_base_trace(corpus)?.replay(MachineConfig::new(w), make()),
             })
         })
         .collect();

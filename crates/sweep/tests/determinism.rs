@@ -8,6 +8,7 @@
 
 use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec};
 use regwin_core::{CorpusSpec, SchedulingPolicy, SchemeKind};
+use regwin_machine::TimingKind;
 use regwin_sweep::{records_to_json, SweepConfig, SweepEngine};
 
 fn spec(policy: SchedulingPolicy) -> MatrixSpec {
@@ -20,6 +21,7 @@ fn spec(policy: SchedulingPolicy) -> MatrixSpec {
         schemes: SchemeKind::ALL.to_vec(),
         windows: vec![4, 8],
         policy,
+        timing: TimingKind::S20,
     }
 }
 

@@ -6,6 +6,7 @@
 
 use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec};
 use regwin_core::{CorpusSpec, SchedulingPolicy, SchemeKind};
+use regwin_machine::TimingKind;
 use regwin_rt::FaultPlan;
 use regwin_sweep::{records_to_json, SweepConfig, SweepEngine};
 use std::time::Duration;
@@ -17,6 +18,7 @@ fn spec() -> MatrixSpec {
         schemes: vec![SchemeKind::Sp],
         windows: vec![4, 6, 8, 12],
         policy: SchedulingPolicy::Fifo,
+        timing: TimingKind::S20,
     }
 }
 

@@ -8,7 +8,7 @@
 //! windows are shared among threads (paper §3.1).
 
 use crate::error::SchemeError;
-use regwin_machine::{CycleCategory, Machine, TransferReason, WindowTrap};
+use regwin_machine::{Machine, TransferReason, WindowTrap};
 
 /// Resolves an underflow trap with the conventional algorithm: restores
 /// the caller's frame into the trap target (the reserved window) and moves
@@ -41,15 +41,14 @@ pub fn handle_conventional_underflow(m: &mut Machine, trap: WindowTrap) -> Resul
     // restored, W4 becomes the new reserved window).
     m.set_reserved(Some(new_reserved))?;
     m.restore_into(t, target, TransferReason::Trap)?;
-    let cost = m.cost().conventional_underflow_cycles();
-    m.charge(CycleCategory::UnderflowTrap, cost);
+    m.charge_underflow_conventional();
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use regwin_machine::{ExecOutcome, SlotUse, WindowIndex};
+    use regwin_machine::{CycleCategory, ExecOutcome, SlotUse, WindowIndex};
 
     /// Single thread on a small machine, driven with classic handling.
     #[test]

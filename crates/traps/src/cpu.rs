@@ -5,7 +5,7 @@ use crate::error::SchemeError;
 use crate::restore_emul::RestoreInstr;
 use crate::scheme::{Scheme, UnderflowResolution};
 use regwin_machine::{
-    CostModel, ExecOutcome, FaultSchedule, Machine, MachineStats, SchemeKind, ThreadId,
+    ExecOutcome, FaultSchedule, Machine, MachineConfig, MachineStats, SchemeKind, ThreadId,
 };
 use regwin_obs::{Probe, ProbeEvent, SpanKind};
 use std::sync::Arc;
@@ -35,32 +35,36 @@ pub struct Cpu {
 }
 
 impl Cpu {
-    /// Creates a CPU with `nwindows` windows, the default S-20 cost model
-    /// and the given scheme.
+    /// Creates a CPU with `nwindows` windows, the default machine
+    /// configuration (S-20 cost model, flat `s20` timing backend) and
+    /// the given scheme.
     ///
     /// # Errors
     ///
     /// Fails if the window count is out of range or below the scheme's
     /// minimum.
     pub fn new(nwindows: usize, scheme: Box<dyn Scheme>) -> Result<Self, SchemeError> {
-        Self::with_cost_model(nwindows, CostModel::s20(), scheme)
+        Self::with_config(MachineConfig::new(nwindows), scheme)
     }
 
-    /// Creates a CPU with an explicit cost model.
+    /// Creates a CPU from an explicit [`MachineConfig`] (cost model and
+    /// timing backend).
     ///
     /// # Errors
     ///
     /// Fails if the window count is out of range or below the scheme's
     /// minimum.
-    pub fn with_cost_model(
-        nwindows: usize,
-        cost: CostModel,
+    pub fn with_config(
+        config: MachineConfig,
         mut scheme: Box<dyn Scheme>,
     ) -> Result<Self, SchemeError> {
-        if nwindows < scheme.min_windows() {
-            return Err(SchemeError::TooFewWindows { have: nwindows, need: scheme.min_windows() });
+        if config.nwindows < scheme.min_windows() {
+            return Err(SchemeError::TooFewWindows {
+                have: config.nwindows,
+                need: scheme.min_windows(),
+            });
         }
-        let mut machine = Machine::with_cost_model(nwindows, cost)?;
+        let mut machine = Machine::with_config(config)?;
         scheme.init(&mut machine)?;
         Ok(Cpu { machine, scheme })
     }

@@ -19,7 +19,7 @@
 
 use crate::error::SchemeError;
 use crate::restore_emul::RestoreInstr;
-use regwin_machine::{CycleCategory, Machine};
+use regwin_machine::Machine;
 
 /// Which `in` registers the handler copies to the `out` position before
 /// the in-place restore (paper §3.2).
@@ -64,8 +64,7 @@ pub fn handle_inplace_underflow(
     // The destination register lives in the caller's window, which now
     // occupies the same physical slot.
     instr.write_destination(m, result)?;
-    let cost = m.cost().inplace_underflow_cycles(mode.is_full());
-    m.charge(CycleCategory::UnderflowTrap, cost);
+    m.charge_underflow_inplace(mode.is_full());
     Ok(())
 }
 
@@ -73,7 +72,7 @@ pub fn handle_inplace_underflow(
 mod tests {
     use super::*;
     use crate::restore_emul::{Operand, Reg};
-    use regwin_machine::{ExecOutcome, WindowIndex};
+    use regwin_machine::{CycleCategory, ExecOutcome, WindowIndex};
 
     /// One thread, sharing-style setup: initial frame with slots granted
     /// by hand, deep calls, then in-place returns.

@@ -16,7 +16,7 @@ use crate::conventional::handle_conventional_underflow;
 use crate::error::SchemeError;
 use crate::restore_emul::RestoreInstr;
 use crate::scheme::{Scheme, UnderflowResolution};
-use regwin_machine::{CycleCategory, Machine, SchemeKind, ThreadId, TransferReason, WindowTrap};
+use regwin_machine::{Machine, SchemeKind, ThreadId, TransferReason, WindowTrap};
 
 /// The non-sharing scheme. See the module docs.
 #[derive(Debug, Clone)]
@@ -99,8 +99,7 @@ impl Scheme for NsScheme {
         for _ in 1..self.overflow_batch {
             spills += m.force_reserved_walk()?;
         }
-        let cost = m.cost().overflow_trap_cycles(spills);
-        m.charge(CycleCategory::OverflowTrap, cost);
+        m.charge_overflow_trap(spills);
         Ok(())
     }
 
@@ -133,8 +132,7 @@ impl Scheme for NsScheme {
                 m.restore_into(t, target, regwin_machine::TransferReason::Trap)?;
                 extra += 1;
             }
-            let per_window = m.cost().trap_window_transfer;
-            m.charge(CycleCategory::UnderflowTrap, extra * per_window);
+            m.charge_refill_extra(extra as usize);
         }
         Ok(UnderflowResolution::CompleteRestore)
     }

@@ -16,7 +16,7 @@ use crate::error::SchemeError;
 use crate::inplace::{handle_inplace_underflow, CopyMode};
 use crate::restore_emul::RestoreInstr;
 use crate::scheme::{Scheme, UnderflowResolution};
-use regwin_machine::{CycleCategory, Machine, SchemeKind, ThreadId, TransferReason, WindowTrap};
+use regwin_machine::{Machine, SchemeKind, ThreadId, TransferReason, WindowTrap};
 
 /// The sharing scheme without private reserved windows. See module docs.
 #[derive(Debug, Clone)]
@@ -89,8 +89,7 @@ impl Scheme for SnpScheme {
             });
         }
         let spills = m.force_reserved_walk()?;
-        let cost = m.cost().overflow_trap_cycles(spills);
-        m.charge(CycleCategory::OverflowTrap, cost);
+        m.charge_overflow_trap(spills);
         Ok(())
     }
 

@@ -64,8 +64,7 @@ impl SpScheme {
     /// Charges the TCB `out`-register traffic a displacement caused.
     fn charge_displacement_outs(m: &mut Machine, out: &DisplaceOutcome) {
         if out.stole_prw {
-            let c = m.cost().outs_transfer;
-            m.charge(CycleCategory::ContextSwitch, c);
+            m.charge_outs_transfer(CycleCategory::ContextSwitch, 1);
         }
     }
 }
@@ -100,9 +99,8 @@ impl Scheme for SpScheme {
             });
         }
         let (spills, steals) = m.force_prw_walk()?;
-        let mut cost = m.cost().overflow_trap_cycles(spills);
-        cost += m.cost().outs_transfer * steals as u64;
-        m.charge(CycleCategory::OverflowTrap, cost);
+        m.charge_overflow_trap(spills);
+        m.charge_outs_transfer(CycleCategory::OverflowTrap, steals);
         Ok(())
     }
 
@@ -161,8 +159,7 @@ impl Scheme for SpScheme {
                 m.assign_prw(to, desired)?;
                 m.set_current(Some(to))?;
                 m.restore_outs_from_tcb(to)?;
-                let c = m.cost().outs_transfer;
-                m.charge(CycleCategory::ContextSwitch, c);
+                m.charge_outs_transfer(CycleCategory::ContextSwitch, 1);
             }
         } else {
             // Windowless (or never started): allocate a stack-top slot and
@@ -197,8 +194,7 @@ impl Scheme for SpScheme {
             m.set_current(Some(to))?;
             if started {
                 m.restore_outs_from_tcb(to)?;
-                let c = m.cost().outs_transfer;
-                m.charge(CycleCategory::ContextSwitch, c);
+                m.charge_outs_transfer(CycleCategory::ContextSwitch, 1);
             }
         }
         self.alloc.note_scheduled(to);

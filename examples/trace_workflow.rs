@@ -8,7 +8,7 @@
 //! ```
 
 use regwin::core::{activity, timeline};
-use regwin::machine::CostModel;
+use regwin::machine::MachineConfig;
 use regwin::prelude::*;
 use regwin::traps::build_scheme;
 
@@ -27,7 +27,7 @@ fn main() -> Result<(), RtError> {
     println!("scheme  windows      cycles   avg switch   trap p");
     for scheme in SchemeKind::ALL {
         for windows in [6usize, 24] {
-            let report = trace.replay(windows, CostModel::s20(), build_scheme(scheme))?;
+            let report = trace.replay(MachineConfig::new(windows), build_scheme(scheme))?;
             println!(
                 "{:<6} {:>8} {:>11} {:>12.1} {:>8.4}",
                 scheme.name(),

@@ -70,7 +70,9 @@ pub use regwin_traps as traps;
 pub mod prelude {
     pub use regwin_cluster::{run_spell_cluster, ClusterConfig, PeConfig};
     pub use regwin_core::{Behavior, Concurrency, Granularity};
-    pub use regwin_machine::{CostModel, Machine, SchemeKind, ThreadId, WindowIndex};
+    pub use regwin_machine::{
+        CostModel, Machine, MachineConfig, SchemeKind, ThreadId, TimingKind, WindowIndex,
+    };
     pub use regwin_rt::{Ctx, RtError, RunReport, SchedulingPolicy, Simulation};
     pub use regwin_spell::{CorpusSpec, SpellConfig, SpellPipeline};
     pub use regwin_sweep::{SweepConfig, SweepEngine};

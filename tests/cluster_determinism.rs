@@ -17,7 +17,7 @@ fn cluster_key(pes: usize) -> JobKey {
         policy: spell.policy,
         scheme: "SP".to_string(),
         nwindows: 8,
-        cost_model: "s20".to_string(),
+        timing: spell.timing,
     }
 }
 

@@ -1,0 +1,172 @@
+//! Timing-backend differential suite: the properties that make the
+//! `TimingModel` trait refactor safe and `BENCH_timing.json`
+//! committable.
+//!
+//! The `s20` backend must be *invisible* — runs through the trait
+//! reproduce the pre-trait flat accounting exactly (the committed
+//! artifacts are additionally byte-compared by CI's timing-smoke job).
+//! The `pipeline` backend must be bit-deterministic: repeat runs,
+//! 1-vs-8-worker sweeps and cold-vs-warm cache states all serialize to
+//! identical bytes.
+
+use regwin::machine::CycleCategory;
+use regwin::prelude::*;
+use regwin_core::{MatrixSpec, SchedulingPolicy as Policy};
+use regwin_sweep::records_to_json;
+use regwin_traps::build_scheme;
+
+fn pipeline_with(timing: TimingKind) -> SpellPipeline {
+    SpellPipeline::new(SpellConfig::small().with_timing(timing))
+}
+
+/// A small sweep matrix under the given timing backend.
+fn spec(timing: TimingKind) -> MatrixSpec {
+    MatrixSpec {
+        corpus: CorpusSpec::small(),
+        behaviors: vec![
+            Behavior::new(Concurrency::High, Granularity::Medium),
+            Behavior::new(Concurrency::Low, Granularity::Fine),
+        ],
+        schemes: SchemeKind::ALL.to_vec(),
+        windows: vec![4, 8],
+        policy: Policy::Fifo,
+        timing,
+    }
+}
+
+fn engine(workers: usize) -> SweepEngine {
+    SweepEngine::with_config(SweepConfig { cache_dir: None, workers, ..SweepConfig::default() })
+}
+
+#[test]
+fn explicit_s20_timing_is_the_default_accounting() {
+    // `--timing s20` and the default configuration must be the same
+    // backend, not merely similar ones.
+    let default_cfg = SpellPipeline::new(SpellConfig::small());
+    let explicit = pipeline_with(TimingKind::S20);
+    for scheme in SchemeKind::ALL {
+        for nwindows in [4, 8, 16] {
+            let a = default_cfg.run(nwindows, scheme).unwrap();
+            let b = explicit.run(nwindows, scheme).unwrap();
+            assert_eq!(a.report.cycles, b.report.cycles, "{scheme} w={nwindows}");
+            assert_eq!(a.report.stats, b.report.stats, "{scheme} w={nwindows}");
+            assert_eq!(a.output, b.output, "{scheme} w={nwindows}");
+        }
+    }
+}
+
+#[test]
+fn s20_charges_no_hazard_stalls_and_pipeline_does() {
+    let s20 = pipeline_with(TimingKind::S20).run(4, SchemeKind::Sp).unwrap();
+    assert_eq!(s20.report.cycles.category(CycleCategory::HazardStall), 0);
+    // On a cramped window file the pipeline's scoreboard and LSQ
+    // backpressure must actually fire.
+    let pipe = pipeline_with(TimingKind::Pipeline).run(4, SchemeKind::Sp).unwrap();
+    assert!(pipe.report.cycles.category(CycleCategory::HazardStall) > 0);
+    // The backends price overhead differently but never change the
+    // application: same work, same answers.
+    assert_ne!(s20.report.total_cycles(), pipe.report.total_cycles());
+    assert_eq!(
+        s20.report.cycles.category(CycleCategory::App),
+        pipe.report.cycles.category(CycleCategory::App)
+    );
+    assert_eq!(s20.sorted_misspellings(), pipe.sorted_misspellings());
+}
+
+#[test]
+fn pipeline_repeat_runs_are_bit_identical() {
+    for scheme in SchemeKind::ALL {
+        let a = pipeline_with(TimingKind::Pipeline).run(7, scheme).unwrap();
+        let b = pipeline_with(TimingKind::Pipeline).run(7, scheme).unwrap();
+        assert_eq!(a.report.cycles, b.report.cycles, "{scheme}");
+        assert_eq!(a.report.stats, b.report.stats, "{scheme}");
+        assert_eq!(a.output, b.output, "{scheme}");
+    }
+}
+
+#[test]
+fn trace_replay_under_pipeline_matches_a_direct_pipeline_run() {
+    // The sweep engine's FIFO fast path replays one recorded trace
+    // under every configuration. Traces store *what happened*, not what
+    // it cost, so a replay with the pipeline backend must equal a
+    // direct pipeline simulation.
+    let recorder = SpellPipeline::new(SpellConfig::small());
+    let (_, trace) = recorder.run_traced(8, SchemeKind::Sp).unwrap();
+    for scheme in SchemeKind::ALL {
+        for nwindows in [4, 8, 16] {
+            let config = MachineConfig::new(nwindows).with_timing(TimingKind::Pipeline);
+            let replayed = trace.replay(config, build_scheme(scheme)).unwrap();
+            let direct = pipeline_with(TimingKind::Pipeline).run(nwindows, scheme).unwrap().report;
+            assert_eq!(replayed.cycles, direct.cycles, "{scheme} w={nwindows}");
+            assert_eq!(replayed.stats, direct.stats, "{scheme} w={nwindows}");
+        }
+    }
+}
+
+#[test]
+fn pipeline_sweep_is_worker_count_independent() {
+    let spec = spec(TimingKind::Pipeline);
+    let serial = engine(1).run_matrix(&spec).unwrap();
+    let parallel = engine(8).run_matrix(&spec).unwrap();
+    assert_eq!(serial.len(), spec.len());
+    assert_eq!(records_to_json(&serial), records_to_json(&parallel));
+}
+
+#[test]
+fn pipeline_sweep_is_cache_state_independent() {
+    let dir = std::env::temp_dir().join(format!("regwin-timing-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = spec(TimingKind::Pipeline);
+    let cold = SweepEngine::with_config(SweepConfig {
+        cache_dir: Some(dir.clone()),
+        workers: 8,
+        ..SweepConfig::default()
+    });
+    let fresh = cold.run_matrix(&spec).unwrap();
+    let warm = SweepEngine::with_config(SweepConfig {
+        cache_dir: Some(dir.clone()),
+        workers: 1,
+        ..SweepConfig::default()
+    });
+    let cached = warm.run_matrix(&spec).unwrap();
+    assert_eq!(warm.summary().cache_hits, spec.len(), "second run must be all hits");
+    assert_eq!(records_to_json(&fresh), records_to_json(&cached));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn backends_get_distinct_cache_entries() {
+    // A cached s20 result must never satisfy a pipeline job: the
+    // timing backend is part of the content address.
+    let dir = std::env::temp_dir().join(format!("regwin-timing-keys-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let eng = |d: &std::path::Path| {
+        SweepEngine::with_config(SweepConfig {
+            cache_dir: Some(d.to_path_buf()),
+            workers: 4,
+            ..SweepConfig::default()
+        })
+    };
+    let first = eng(&dir);
+    first.run_matrix(&spec(TimingKind::S20)).unwrap();
+    let second = eng(&dir);
+    let records = second.run_matrix(&spec(TimingKind::Pipeline)).unwrap();
+    assert_eq!(second.summary().cache_hits, 0, "pipeline jobs must not hit s20 entries");
+    assert_eq!(records.len(), spec(TimingKind::Pipeline).len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cluster_oracle_holds_under_the_pipeline_backend() {
+    // The 1-PE cluster differential (cluster == plain spell run) is a
+    // property of the simulation, not of any particular price list; it
+    // must survive a backend swap.
+    let spell = SpellConfig::small().with_timing(TimingKind::Pipeline);
+    let cfg = ClusterConfig::homogeneous(1, SchemeKind::Sp, 8, spell);
+    let cluster = run_spell_cluster(&cfg, None).unwrap();
+    let direct = SpellPipeline::new(spell).run(8, SchemeKind::Sp).unwrap();
+    assert_eq!(
+        regwin_sweep::report_to_json(&cluster.report.merged()),
+        regwin_sweep::report_to_json(&direct.report)
+    );
+}

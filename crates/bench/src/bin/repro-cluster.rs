@@ -162,6 +162,8 @@ fn main() {
                 scheme: scheme.name().to_string(),
                 nwindows,
                 timing: spell.timing,
+                gen: None,
+                fuzz: None,
             };
             let mut cfg = ClusterConfig::homogeneous(p, scheme, nwindows, spell);
             cfg.bus = bus;

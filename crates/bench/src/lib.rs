@@ -18,6 +18,7 @@
 //! | `repro-all` | everything above, sharing sweeps |
 //! | `repro-ablations` | §4.2/§4.3/§4.4 design-choice ablations |
 //! | `repro-sched` | scheduling-policy frontier (`BENCH_sched.json`) |
+//! | `repro-fuzz` | differential-oracle fuzz farm (`BENCH_fuzz.json`) |
 //!
 //! Common flags: `--scale <pct>` (corpus size as % of the paper's,
 //! default 100), `--quick` (reduced window sweep), `--out <dir>` (also
@@ -46,6 +47,14 @@
 //! section (global and per-scheme typed counters) to stdout; both
 //! derive purely from the run reports, so their bytes are identical
 //! across `--jobs` counts and cache states.
+//!
+//! Fuzz farm (`repro-fuzz`, see the Fuzz farm section of
+//! `EXPERIMENTS.md`): sweeps seeded synthetic scenarios × every policy
+//! × every timing backend through the differential-oracle invariant
+//! bundle of `regwin-gen`, writes the `BENCH_fuzz.json` census, and
+//! shrinks every divergence before reporting it. `--gen <scenario>`
+//! replays one canonical scenario string (the quarantine `repro` field)
+//! instead of sweeping.
 //!
 //! Integrity: `--audit` switches window auditing on inside every
 //! simulated run. Auditing never changes any reported number — it buys
@@ -122,6 +131,10 @@ pub struct Args {
     /// keep the flat s20 model; `repro-tradeoff`, `repro-sched` and
     /// `repro-timing` honour this flag.
     pub timing: TimingKind,
+    /// A canonical generated-scenario string (`--gen`, `repro-fuzz`
+    /// only): replay this single scenario's invariant bundle instead of
+    /// sweeping — the quarantine `repro` field pasted back in.
+    pub gen: Option<String>,
 }
 
 impl Args {
@@ -147,6 +160,7 @@ impl Args {
             audit: false,
             policy: SchedulingPolicy::Fifo,
             timing: TimingKind::S20,
+            gen: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -243,6 +257,12 @@ impl Args {
                             TimingKind::ALL.map(|t| t.name()).join(", ")
                         ))
                     });
+                }
+                "--gen" => {
+                    args.gen = Some(
+                        it.next()
+                            .unwrap_or_else(|| usage("--gen needs a canonical scenario string")),
+                    );
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -399,7 +419,7 @@ fn usage(problem: &str) -> ! {
          [--fail-on-quarantine] [--trace-out <file>] [--metrics] \
          [--journal] [--resume] [--abandoned-cap <n>] [--audit] \
          [--policy <FIFO|WorkingSet|WindowGreedy|Aging>] \
-         [--timing <s20|pipeline>]"
+         [--timing <s20|pipeline>] [--gen <scenario>]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

@@ -5,9 +5,10 @@
 //! the hot-path primitives they are made of — trap-free `save` and
 //! `restore`, overflow and underflow trap handling and context switches
 //! (each under both the flat `s20` and the pipelined timing backend),
-//! window-audit passes, scheduler ready-queue enqueue/dispatch and the
-//! sweep engine's wait-free ops-counter publication — each with
-//! auditing off and on. Two numbers come out per (op, audit) cell:
+//! window-audit passes, scheduler ready-queue enqueue/dispatch, the
+//! sweep engine's wait-free ops-counter publication and the fuzz farm's
+//! synthetic-scenario synthesis — each with auditing off and on. Two
+//! numbers come out per (op, audit) cell:
 //!
 //! * **cycles per op** — simulated cycles charged by the cost model,
 //!   fully deterministic (identical across runs and machines);
@@ -24,6 +25,7 @@
 //! binary.
 
 use regwin_cluster::{BusConfig, ClusterBuilder};
+use regwin_gen::{Workload, WorkloadSpec};
 use regwin_machine::{MachineConfig, ThreadId, TimingKind};
 use regwin_obs::{AtomicMetricSet, Metric};
 use regwin_rt::{ReadyQueue, SchedulingPolicy, Simulation, WakeInfo};
@@ -44,8 +46,10 @@ const DEPTH: u64 = 40;
 /// policy, the residency-segmented one); `publish` times the sweep
 /// engine's wait-free per-worker ops-counter publication — one relaxed
 /// atomic add per event, the operation that replaced a mutex-guarded
-/// aggregate on the job hot path.
-pub const OPS: [&str; 13] = [
+/// aggregate on the job hot path; `gen_scenario` times one full
+/// synthetic-workload synthesis — the per-job generator work of the
+/// `repro-fuzz` farm.
+pub const OPS: [&str; 14] = [
     "save",
     "restore",
     "overflow",
@@ -59,6 +63,7 @@ pub const OPS: [&str; 13] = [
     "enqueue",
     "dispatch",
     "publish",
+    "gen_scenario",
 ];
 
 /// One measured cell: an operation under one audit setting.
@@ -437,6 +442,29 @@ fn bench_publish(cfg: MicrobenchConfig, audit: bool) -> OpMeasurement {
     OpMeasurement { op: "publish", audit, ops, cycles_per_op: 0.0, ns_per_op: median(ns) }
 }
 
+/// Measures one full scenario synthesis — `WorkloadSpec::from_seed`
+/// plus `Workload::synthesize` over a rotating seed — the per-job
+/// generator work the `repro-fuzz` farm performs before any simulation
+/// starts. Host-side: no simulated cycles are charged, and auditing
+/// cannot affect synthesis, so both audit cells measure the identical
+/// operation.
+fn bench_gen_scenario(cfg: MicrobenchConfig, audit: bool) -> OpMeasurement {
+    let ops = cfg.iters;
+    let mut ns = Vec::with_capacity(cfg.rounds);
+    let mut threads = 0usize;
+    for _ in 0..cfg.rounds {
+        let t0 = Instant::now();
+        for i in 0..ops {
+            let wl = Workload::synthesize(&WorkloadSpec::from_seed(i));
+            threads += wl.threads.len();
+        }
+        ns.push(t0.elapsed().as_nanos() as f64 / ops as f64);
+    }
+    // Read the tally back so synthesis cannot be optimized away.
+    assert!(threads as u64 >= ops * cfg.rounds as u64);
+    OpMeasurement { op: "gen_scenario", audit, ops, cycles_per_op: 0.0, ns_per_op: median(ns) }
+}
+
 /// Runs every cell of the micro-benchmark matrix: each operation in
 /// [`OPS`], unaudited then audited, in deterministic order.
 pub fn run_microbench(cfg: MicrobenchConfig) -> Vec<OpMeasurement> {
@@ -456,6 +484,7 @@ pub fn run_microbench(cfg: MicrobenchConfig) -> Vec<OpMeasurement> {
         out.push(bench_audit(cfg, audit));
         out.extend(bench_sched(cfg, audit));
         out.push(bench_publish(cfg, audit));
+        out.push(bench_gen_scenario(cfg, audit));
     }
     // Report in op-major order (both audit settings of an op adjacent).
     out.sort_by_key(|m| (OPS.iter().position(|&o| o == m.op).expect("known op"), m.audit));

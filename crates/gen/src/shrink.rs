@@ -1,0 +1,101 @@
+//! Scenario shrinking: minimize a failing scenario before reporting.
+//!
+//! Greedy first-accept descent over [`WorkloadSpec::shrink_candidates`]
+//! plus fuzz-perturbation removal: each round tries the candidates in
+//! order (fewest-threads first) and restarts from the first one that
+//! still fails the [invariant bundle](crate::run_bundle). Deterministic
+//! — the same failing scenario always shrinks to the same minimum — and
+//! bounded by an evaluation budget, since every probe is a full bundle
+//! run.
+
+use crate::oracle::{run_bundle, Scenario};
+
+/// The outcome of shrinking one failing scenario.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The smallest scenario found that still fails the bundle.
+    pub scenario: Scenario,
+    /// The failure the minimal scenario produces.
+    pub detail: String,
+    /// Greedy rounds taken.
+    pub rounds: usize,
+    /// Bundle evaluations spent (probes, successful or not).
+    pub evaluations: usize,
+}
+
+/// Shrink candidates for a full scenario: every spec shrink, then the
+/// fuzz knob (drop the schedule perturbations entirely — if the
+/// failure survives, it was never a fuzzing artifact).
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out: Vec<Scenario> = sc
+        .spec
+        .shrink_candidates()
+        .into_iter()
+        .map(|spec| Scenario { spec, ..sc.clone() })
+        .collect();
+    if sc.fuzz.is_some() {
+        out.push(Scenario { fuzz: None, ..sc.clone() });
+    }
+    out
+}
+
+/// Minimizes `sc`, assuming it currently fails [`run_bundle`].
+///
+/// Returns `None` when `sc` does not fail (there is nothing to
+/// shrink). Otherwise greedily descends until no candidate fails or
+/// `max_evaluations` bundle runs have been spent, and returns the
+/// smallest still-failing scenario — which by construction reproduces
+/// a divergence, a property the regression tests pin down.
+pub fn shrink(sc: &Scenario, max_evaluations: usize) -> Option<ShrinkOutcome> {
+    let mut detail = run_bundle(sc).err()?.to_string();
+    let mut current = sc.clone();
+    let mut evaluations = 1;
+    let mut rounds = 0;
+    'outer: loop {
+        rounds += 1;
+        for cand in candidates(&current) {
+            if evaluations >= max_evaluations {
+                break 'outer;
+            }
+            evaluations += 1;
+            if let Err(e) = run_bundle(&cand) {
+                detail = e.to_string();
+                current = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Some(ShrinkOutcome { scenario: current, detail, rounds, evaluations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use regwin_rt::{FaultKind, FaultPlan};
+
+    #[test]
+    fn passing_scenarios_do_not_shrink() {
+        let sc = Scenario::new(WorkloadSpec::from_seed(1));
+        assert!(shrink(&sc, 50).is_none());
+    }
+
+    #[test]
+    fn shrunk_scenario_still_reproduces_the_divergence() {
+        let mut sc = Scenario::new(WorkloadSpec::from_seed(4));
+        sc.audit = true;
+        sc.fuzz = Some(0xABCD);
+        sc.fault = Some(FaultPlan::new().with_event(FaultKind::ResidentCorrupt, 2));
+        let outcome = shrink(&sc, 60).expect("injected unmasked fault must fail the bundle");
+        // The minimum still fails...
+        assert!(run_bundle(&outcome.scenario).is_err());
+        // ...and is genuinely smaller (or at worst equal, never bigger).
+        let size = |s: &Scenario| {
+            s.spec.threads() * usize::from(s.spec.payload) * usize::from(s.spec.max_depth)
+        };
+        assert!(size(&outcome.scenario) <= size(&sc));
+        assert!(outcome.evaluations <= 60);
+        assert!(!outcome.detail.is_empty());
+    }
+}

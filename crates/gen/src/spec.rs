@@ -1,0 +1,391 @@
+//! The seeded workload specification: a handful of integers and one
+//! depth distribution that fully determine a generated scenario.
+
+use std::fmt;
+
+/// The splitmix64 generator step — the same dependency-free PRNG the
+/// fault planner uses, so every derived quantity in this crate is a
+/// pure function of a `u64` seed.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-work-item call-depth distribution: how many nested
+/// [`Ctx::call`](regwin_rt::Ctx::call) frames a thread descends before
+/// touching its streams. Depth is what drives window overflow/underflow
+/// traps, so the distribution shape is the generator's main knob on the
+/// window-pressure profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepthDist {
+    /// Geometric: descend another frame with probability
+    /// `percent`/100, capped at the spec's recursion bound.
+    Geometric {
+        /// Continue-probability in percent (1..=95).
+        percent: u8,
+    },
+    /// Uniform over `lo..=hi` (both capped at the recursion bound).
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u8,
+        /// Inclusive upper bound.
+        hi: u8,
+    },
+    /// Bimodal: depth `lo` most of the time, a deep `hi` excursion
+    /// with probability `hi_percent`/100 — shallow steady-state with
+    /// occasional full-stack walks, the adversarial case for
+    /// residency-based schedulers.
+    Bimodal {
+        /// The common shallow depth.
+        lo: u8,
+        /// The rare deep depth.
+        hi: u8,
+        /// Probability of the deep excursion, in percent (1..=50).
+        hi_percent: u8,
+    },
+}
+
+impl DepthDist {
+    /// Samples a depth, capped at `max`.
+    pub fn sample(&self, state: &mut u64, max: u8) -> u8 {
+        let d = match *self {
+            DepthDist::Geometric { percent } => {
+                let mut depth = 0u8;
+                while depth < max && (splitmix64(state) % 100) < u64::from(percent) {
+                    depth += 1;
+                }
+                depth
+            }
+            DepthDist::Uniform { lo, hi } => {
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                lo + (splitmix64(state) % u64::from(hi - lo + 1)) as u8
+            }
+            DepthDist::Bimodal { lo, hi, hi_percent } => {
+                if (splitmix64(state) % 100) < u64::from(hi_percent) {
+                    hi
+                } else {
+                    lo
+                }
+            }
+        };
+        d.min(max)
+    }
+
+    /// The canonical grammar form: `geo:P`, `uni:LO-HI` or
+    /// `bi:LO-HI@P`.
+    pub fn canonical(&self) -> String {
+        match *self {
+            DepthDist::Geometric { percent } => format!("geo:{percent}"),
+            DepthDist::Uniform { lo, hi } => format!("uni:{lo}-{hi}"),
+            DepthDist::Bimodal { lo, hi, hi_percent } => format!("bi:{lo}-{hi}@{hi_percent}"),
+        }
+    }
+
+    /// Parses the canonical grammar form.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first token that does not fit the grammar.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (kind, rest) =
+            s.split_once(':').ok_or_else(|| format!("depth '{s}' is not kind:params"))?;
+        let int = |t: &str| -> Result<u8, String> {
+            t.parse().map_err(|_| format!("depth parameter '{t}' is not a small integer"))
+        };
+        match kind {
+            "geo" => Ok(DepthDist::Geometric { percent: int(rest)? }),
+            "uni" => {
+                let (lo, hi) = rest
+                    .split_once('-')
+                    .ok_or_else(|| format!("uniform depth '{rest}' is not LO-HI"))?;
+                Ok(DepthDist::Uniform { lo: int(lo)?, hi: int(hi)? })
+            }
+            "bi" => {
+                let (range, pct) = rest
+                    .split_once('@')
+                    .ok_or_else(|| format!("bimodal depth '{rest}' is not LO-HI@P"))?;
+                let (lo, hi) = range
+                    .split_once('-')
+                    .ok_or_else(|| format!("bimodal depth '{range}' is not LO-HI"))?;
+                Ok(DepthDist::Bimodal { lo: int(lo)?, hi: int(hi)?, hi_percent: int(pct)? })
+            }
+            _ => Err(format!("unknown depth distribution '{kind}' (expected geo, uni or bi)")),
+        }
+    }
+
+    /// Strictly simpler variants for the shrinker, shallowest first.
+    pub fn shrink(&self) -> Vec<DepthDist> {
+        match *self {
+            DepthDist::Geometric { percent } if percent > 10 => {
+                vec![DepthDist::Geometric { percent: percent / 2 }]
+            }
+            DepthDist::Uniform { lo, hi } if hi > lo => {
+                vec![DepthDist::Uniform { lo, hi: lo + (hi - lo) / 2 }]
+            }
+            DepthDist::Bimodal { lo, hi, hi_percent } if hi > lo + 1 => {
+                vec![DepthDist::Bimodal { lo, hi: lo + (hi - lo) / 2, hi_percent }]
+            }
+            DepthDist::Bimodal { lo, .. } => vec![DepthDist::Uniform { lo, hi: lo.max(1) }],
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for DepthDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// A fully seeded synthetic workload: producer/consumer chains of
+/// threads pushing a bounded byte payload through small cyclic streams,
+/// descending a sampled call depth per work item. Every field is a pure
+/// function of [`WorkloadSpec::from_seed`]'s seed, and the canonical
+/// string round-trips through [`WorkloadSpec::parse`], so a spec can
+/// ride inside a sweep job key and come back out of a quarantine
+/// record's reproducer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Seed for every sampled quantity (step depths, payload bytes).
+    pub seed: u64,
+    /// Parallel producer/consumer chains (1..=2).
+    pub chains: u8,
+    /// Threads per chain — source, `stages - 2` relays, sink (2..=4).
+    pub stages: u8,
+    /// Bytes each source pushes through its chain.
+    pub payload: u16,
+    /// Capacity of every stream; small values force a block (and a
+    /// context switch) every few bytes — the switch-pressure knob.
+    pub capacity: u8,
+    /// Per-work-item call-depth distribution.
+    pub depth: DepthDist,
+    /// Recursion bound: no work item descends deeper than this.
+    pub max_depth: u8,
+    /// Work items between pure-compute gap steps (burstiness: a source
+    /// emits `burst` bytes back-to-back, then computes while the chain
+    /// drains).
+    pub burst: u8,
+    /// Simulated cycles charged at the bottom of each descent.
+    pub compute: u16,
+}
+
+impl WorkloadSpec {
+    /// Derives a complete spec from one seed, splitmix64-style. The
+    /// ranges keep scenarios tiny (≤ 8 threads, ≤ 40 payload bytes) so
+    /// a fuzz sweep can afford thousands of them.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = |m: u64| splitmix64(&mut state) % m;
+        let chains = 1 + next(2) as u8;
+        let stages = 2 + next(3) as u8;
+        let payload = 8 + next(33) as u16;
+        let capacity = 1 + next(4) as u8;
+        let max_depth = 2 + next(6) as u8;
+        let depth = match next(3) {
+            0 => DepthDist::Geometric { percent: 30 + next(41) as u8 },
+            1 => {
+                let lo = next(3) as u8;
+                DepthDist::Uniform { lo, hi: lo + 1 + next(4) as u8 }
+            }
+            _ => DepthDist::Bimodal {
+                lo: next(2) as u8,
+                hi: 3 + next(5) as u8,
+                hi_percent: 10 + next(31) as u8,
+            },
+        };
+        let burst = 1 + next(7) as u8;
+        let compute = 1 + next(24) as u16;
+        WorkloadSpec { seed, chains, stages, payload, capacity, depth, max_depth, burst, compute }
+    }
+
+    /// Total thread count (`chains × stages`).
+    pub fn threads(&self) -> usize {
+        usize::from(self.chains) * usize::from(self.stages)
+    }
+
+    /// The canonical spec string (comma-separated `key=value`, the
+    /// grammar EXPERIMENTS.md documents). Contains no `|`, `;` or
+    /// whitespace, so it embeds cleanly in job-key canonicals and
+    /// scenario reproducer strings.
+    pub fn canonical(&self) -> String {
+        format!(
+            "seed={:#x},chains={},stages={},payload={},cap={},depth={},max={},burst={},compute={}",
+            self.seed,
+            self.chains,
+            self.stages,
+            self.payload,
+            self.capacity,
+            self.depth.canonical(),
+            self.max_depth,
+            self.burst,
+            self.compute,
+        )
+    }
+
+    /// Parses a canonical spec string ([`WorkloadSpec::canonical`]
+    /// round-trips).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or malformed field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut spec = WorkloadSpec::from_seed(0);
+        let mut saw_seed = false;
+        for field in s.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("spec field '{field}' is not key=value"))?;
+            let num = |v: &str| -> Result<u64, String> {
+                let v = v.trim();
+                if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    v.parse()
+                }
+                .map_err(|_| format!("spec value '{v}' is not an integer"))
+            };
+            match key.trim() {
+                "seed" => {
+                    spec = WorkloadSpec::from_seed(num(value)?);
+                    saw_seed = true;
+                }
+                "chains" => spec.chains = num(value)? as u8,
+                "stages" => spec.stages = num(value)? as u8,
+                "payload" => spec.payload = num(value)? as u16,
+                "cap" => spec.capacity = num(value)? as u8,
+                "depth" => spec.depth = DepthDist::parse(value.trim())?,
+                "max" => spec.max_depth = num(value)? as u8,
+                "burst" => spec.burst = num(value)? as u8,
+                "compute" => spec.compute = num(value)? as u16,
+                other => return Err(format!("unknown spec field '{other}'")),
+            }
+        }
+        if !saw_seed {
+            return Err("spec has no seed= field".into());
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Rejects degenerate dimensions a synthesized workload cannot run
+    /// with (hand-edited reproducer strings are the only way to reach
+    /// them; [`WorkloadSpec::from_seed`] stays in range by
+    /// construction).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chains == 0 || self.stages < 2 {
+            return Err(format!(
+                "spec needs at least 1 chain of 2 stages (chains={}, stages={})",
+                self.chains, self.stages
+            ));
+        }
+        if self.payload == 0 || self.capacity == 0 || self.burst == 0 {
+            return Err("payload, cap and burst must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// Strictly smaller candidate specs for the shrinker, most
+    /// aggressive first: fewer threads, a shorter payload, a shallower
+    /// stack, less compute. Every candidate validates.
+    pub fn shrink_candidates(&self) -> Vec<WorkloadSpec> {
+        let mut out = Vec::new();
+        if self.chains > 1 {
+            out.push(WorkloadSpec { chains: 1, ..*self });
+        }
+        if self.stages > 2 {
+            out.push(WorkloadSpec { stages: self.stages - 1, ..*self });
+        }
+        if self.payload > 2 {
+            out.push(WorkloadSpec { payload: self.payload / 2, ..*self });
+        }
+        if self.max_depth > 1 {
+            out.push(WorkloadSpec { max_depth: self.max_depth / 2, ..*self });
+        }
+        for depth in self.depth.shrink() {
+            out.push(WorkloadSpec { depth, ..*self });
+        }
+        if self.burst > 1 {
+            out.push(WorkloadSpec { burst: 1, ..*self });
+        }
+        if self.compute > 1 {
+            out.push(WorkloadSpec { compute: 1, ..*self });
+        }
+        out
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic_and_seed_sensitive() {
+        for seed in 0..200u64 {
+            assert_eq!(WorkloadSpec::from_seed(seed), WorkloadSpec::from_seed(seed));
+        }
+        let distinct: std::collections::HashSet<String> =
+            (0..200).map(|s| WorkloadSpec::from_seed(s).canonical()).collect();
+        assert!(distinct.len() > 150, "seeds collapse: only {} distinct specs", distinct.len());
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            let spec = WorkloadSpec::from_seed(seed);
+            let parsed = WorkloadSpec::parse(&spec.canonical()).unwrap();
+            assert_eq!(spec, parsed, "seed {seed:#x}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(WorkloadSpec::parse("").is_err());
+        assert!(WorkloadSpec::parse("chains=2").is_err(), "seedless spec accepted");
+        assert!(WorkloadSpec::parse("seed=1,bogus=3").is_err());
+        assert!(WorkloadSpec::parse("seed=1,depth=tri:4").is_err());
+        assert!(WorkloadSpec::parse("seed=1,chains=0").is_err());
+        assert!(WorkloadSpec::parse("seed=1,payload=0").is_err());
+    }
+
+    #[test]
+    fn depth_grammar_round_trips() {
+        for d in [
+            DepthDist::Geometric { percent: 40 },
+            DepthDist::Uniform { lo: 1, hi: 5 },
+            DepthDist::Bimodal { lo: 0, hi: 6, hi_percent: 25 },
+        ] {
+            assert_eq!(DepthDist::parse(&d.canonical()).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn samples_respect_the_recursion_bound() {
+        let mut state = 99u64;
+        for seed in 0..50u64 {
+            let spec = WorkloadSpec::from_seed(seed);
+            for _ in 0..100 {
+                assert!(spec.depth.sample(&mut state, spec.max_depth) <= spec.max_depth);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_valid_and_strictly_simpler() {
+        for seed in 0..50u64 {
+            let spec = WorkloadSpec::from_seed(seed);
+            for cand in spec.shrink_candidates() {
+                cand.validate().unwrap();
+                assert_ne!(cand, spec);
+            }
+        }
+    }
+}

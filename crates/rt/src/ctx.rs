@@ -61,10 +61,18 @@ impl Ctx {
         let result = f(self);
         // The restore must happen even if the body failed, to keep the
         // simulated stack balanced for diagnostics; the body error wins.
+        // If the thread lost its turn while the body was blocked (the
+        // sim stopped or the thread was quarantined), the shared
+        // machine is no longer ours to touch — skip the balancing
+        // restore and let the body's abort error propagate.
         let restored = {
-            let mut st = self.lock();
-            st.record(TraceEvent::Restore);
-            st.cpu.restore()
+            let mut st = self.shared.state.lock();
+            if st.turn == Turn::Worker(self.tid) && !st.stop {
+                st.record(TraceEvent::Restore);
+                st.cpu.restore()
+            } else {
+                Ok(())
+            }
         };
         let value = result?;
         restored?;
@@ -88,10 +96,15 @@ impl Ctx {
             st.cpu.save()?;
         }
         let result = f(self);
+        // Same lost-turn guard as [`Ctx::call`].
         let restored = {
-            let mut st = self.lock();
-            st.record(TraceEvent::Restore);
-            st.cpu.restore_with(&instr)
+            let mut st = self.shared.state.lock();
+            if st.turn == Turn::Worker(self.tid) && !st.stop {
+                st.record(TraceEvent::Restore);
+                st.cpu.restore_with(&instr)
+            } else {
+                Ok(())
+            }
         };
         let value = result?;
         restored?;

@@ -123,6 +123,95 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// Highest cluster PE a `pe:` qualifier may target (exclusive). The
+/// PIE64 machine the paper targets has 64 processing elements, and the
+/// cluster sweeps never build anything larger, so a spec naming PE 64+
+/// is a typo, not a bigger machine.
+pub const MAX_FAULT_PES: u64 = 64;
+
+/// A malformed [`FaultPlan`] spec entry, reported by
+/// [`FaultPlan::parse`].
+///
+/// Each variant carries the offending text so callers can surface the
+/// exact entry; `Display` renders the same human-readable messages the
+/// parser produced before this type existed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultPlanError {
+    /// An entry was not of the `kind@index` form.
+    Malformed {
+        /// The offending entry, verbatim.
+        entry: String,
+    },
+    /// The `kind` half named no known [`FaultKind`].
+    UnknownKind {
+        /// The unrecognised kind name.
+        kind: String,
+    },
+    /// The `@index` half did not parse as a non-negative integer.
+    BadIndex {
+        /// The unparseable index text.
+        index: String,
+    },
+    /// A qualifier other than `pe:N` followed the entry.
+    UnknownQualifier {
+        /// The unrecognised qualifier, verbatim.
+        qualifier: String,
+    },
+    /// The `pe:` qualifier's value did not parse as a non-negative
+    /// integer.
+    BadPe {
+        /// The unparseable PE text.
+        value: String,
+    },
+    /// The `pe:` qualifier named a PE at or beyond [`MAX_FAULT_PES`].
+    PeOutOfRange {
+        /// The out-of-range PE number.
+        pe: u64,
+    },
+    /// The same `(kind, index, pe)` event appeared twice. Duplicate
+    /// events used to be accepted silently even though only one copy
+    /// can ever fire (each counter passes an index once).
+    DuplicateEvent {
+        /// The canonical form of the repeated event.
+        entry: String,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::Malformed { entry } => {
+                write!(f, "fault '{entry}' is not of the form kind@index")
+            }
+            FaultPlanError::UnknownKind { kind } => {
+                let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+                write!(f, "unknown fault kind '{kind}' (expected one of: {})", names.join(", "))
+            }
+            FaultPlanError::BadIndex { index } => {
+                write!(f, "fault index '{index}' is not a non-negative integer")
+            }
+            FaultPlanError::UnknownQualifier { qualifier } => {
+                write!(f, "unknown fault qualifier '{qualifier}' (expected pe:N)")
+            }
+            FaultPlanError::BadPe { value } => {
+                write!(f, "fault PE '{value}' is not a non-negative integer")
+            }
+            FaultPlanError::PeOutOfRange { pe } => {
+                write!(
+                    f,
+                    "fault PE {pe} is out of range (the cluster tops out at {MAX_FAULT_PES} PEs)"
+                )
+            }
+            FaultPlanError::DuplicateEvent { entry } => {
+                write!(f, "duplicate fault event '{entry}' (each event index fires at most once)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// One planned fault: a kind and the 0-based per-kind event index at
 /// which it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -204,34 +293,42 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first malformed
-    /// entry.
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// Returns a typed [`FaultPlanError`] for the first bad entry:
+    /// malformed syntax, an unknown kind or qualifier, a `pe:` value at
+    /// or beyond [`MAX_FAULT_PES`], or a duplicate `(kind, index, pe)`
+    /// event (formerly accepted silently even though only one copy can
+    /// fire).
+    pub fn parse(spec: &str) -> Result<Self, FaultPlanError> {
         let mut plan = FaultPlan::new();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let mut tokens = part.split_whitespace();
             let head = tokens.next().expect("non-empty after the filter");
             let (kind, at) = head
                 .split_once('@')
-                .ok_or_else(|| format!("fault '{part}' is not of the form kind@index"))?;
-            let kind = FaultKind::from_name(kind.trim()).ok_or_else(|| {
-                let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
-                format!("unknown fault kind '{kind}' (expected one of: {})", names.join(", "))
-            })?;
+                .ok_or_else(|| FaultPlanError::Malformed { entry: part.to_string() })?;
+            let kind = FaultKind::from_name(kind.trim())
+                .ok_or_else(|| FaultPlanError::UnknownKind { kind: kind.to_string() })?;
             let at: u64 = at
                 .trim()
                 .parse()
-                .map_err(|_| format!("fault index '{at}' is not a non-negative integer"))?;
+                .map_err(|_| FaultPlanError::BadIndex { index: at.to_string() })?;
             let mut pe = 0u64;
             for qualifier in tokens {
                 let value = qualifier.strip_prefix("pe:").ok_or_else(|| {
-                    format!("unknown fault qualifier '{qualifier}' (expected pe:N)")
+                    FaultPlanError::UnknownQualifier { qualifier: qualifier.to_string() }
                 })?;
                 pe = value
                     .parse()
-                    .map_err(|_| format!("fault PE '{value}' is not a non-negative integer"))?;
+                    .map_err(|_| FaultPlanError::BadPe { value: value.to_string() })?;
+                if pe >= MAX_FAULT_PES {
+                    return Err(FaultPlanError::PeOutOfRange { pe });
+                }
             }
-            plan.events.push(FaultEvent { kind, at, pe });
+            let event = FaultEvent { kind, at, pe };
+            if plan.events.contains(&event) {
+                return Err(FaultPlanError::DuplicateEvent { entry: event.to_string() });
+            }
+            plan.events.push(event);
         }
         Ok(plan)
     }
@@ -389,8 +486,9 @@ impl fmt::Display for FaultPlan {
 }
 
 /// The splitmix64 generator step: deterministic, dependency-free
-/// pseudo-randomness for seed-derived plans and corruption masks.
-fn splitmix64(state: &mut u64) -> u64 {
+/// pseudo-randomness for seed-derived plans, corruption masks and the
+/// schedule fuzzer's perturbation draws.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -418,6 +516,54 @@ mod tests {
         assert!(FaultPlan::parse("bogus@3").is_err());
         assert!(FaultPlan::parse("panic@minus-one").is_err());
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_events() {
+        let err = FaultPlan::parse("spill-corrupt@12,panic@1,spill-corrupt@12").unwrap_err();
+        assert_eq!(err, FaultPlanError::DuplicateEvent { entry: "spill-corrupt@12".into() });
+        assert!(err.to_string().contains("duplicate fault event"));
+        // Same kind and index on distinct PEs are distinct events.
+        assert!(FaultPlan::parse("spill-corrupt@12,spill-corrupt@12 pe:1").is_ok());
+        // ... but repeating the qualified form is still a duplicate.
+        let err = FaultPlan::parse("spill-corrupt@12 pe:1,spill-corrupt@12 pe:1").unwrap_err();
+        assert_eq!(err, FaultPlanError::DuplicateEvent { entry: "spill-corrupt@12 pe:1".into() });
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_pe() {
+        assert!(FaultPlan::parse("spill-corrupt@3 pe:63").is_ok());
+        let err = FaultPlan::parse("spill-corrupt@3 pe:64").unwrap_err();
+        assert_eq!(err, FaultPlanError::PeOutOfRange { pe: 64 });
+        assert!(err.to_string().contains("out of range"));
+        assert_eq!(
+            FaultPlan::parse("fill-fail@0 pe:9000").unwrap_err(),
+            FaultPlanError::PeOutOfRange { pe: 9000 },
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert_eq!(
+            FaultPlan::parse("spill-corrupt").unwrap_err(),
+            FaultPlanError::Malformed { entry: "spill-corrupt".into() },
+        );
+        assert_eq!(
+            FaultPlan::parse("bogus@3").unwrap_err(),
+            FaultPlanError::UnknownKind { kind: "bogus".into() },
+        );
+        assert_eq!(
+            FaultPlan::parse("panic@minus-one").unwrap_err(),
+            FaultPlanError::BadIndex { index: "minus-one".into() },
+        );
+        assert_eq!(
+            FaultPlan::parse("spill-corrupt@3 cpu:2").unwrap_err(),
+            FaultPlanError::UnknownQualifier { qualifier: "cpu:2".into() },
+        );
+        assert_eq!(
+            FaultPlan::parse("spill-corrupt@3 pe:x").unwrap_err(),
+            FaultPlanError::BadPe { value: "x".into() },
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@
 mod ctx;
 mod error;
 mod fault;
+pub mod fuzz;
 pub mod report;
 mod sched;
 mod sim;
@@ -66,13 +67,14 @@ mod trace_io;
 
 pub use ctx::Ctx;
 pub use error::RtError;
-pub use fault::{FaultEvent, FaultKind, FaultPlan, WorkerFault};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, WorkerFault, MAX_FAULT_PES};
+pub use fuzz::{fuzzed_policy, Fuzzed};
 pub use report::{BusSummary, RunReport, ThreadReport};
 pub use sched::{
     AgingPolicy, FifoPolicy, ReadyQueue, SchedPolicy, SchedulingPolicy, WakeInfo,
     WindowGreedyPolicy, WorkingSetPolicy, AGING_LIMIT,
 };
-pub use sim::{SendEvent, Simulation, StartedSim, StepOutcome, ThreadBody};
+pub use sim::{SendEvent, SimOptions, Simulation, StartedSim, StepOutcome, ThreadBody};
 pub use stream::{Stream, StreamId};
 pub use trace::{Trace, TraceEvent};
 

@@ -216,6 +216,27 @@ impl Shared {
     }
 }
 
+/// The run options every harness threads through [`Simulation`]
+/// construction: scheduling, auditing, tracing, fault injection. One
+/// [`Simulation::assemble`] call applies them all, so the spell
+/// pipeline, the workload generator and the cluster PEs build their
+/// simulations through a single shared path instead of each repeating
+/// the same builder chain.
+#[derive(Debug, Default)]
+pub struct SimOptions {
+    /// Shipped scheduling policy id (ignored when `sched` is set).
+    pub policy: SchedulingPolicy,
+    /// A caller-supplied ready-queue implementation — the plug-in point
+    /// custom and [fuzzed](crate::Fuzzed) policies use.
+    pub sched: Option<Box<dyn SchedPolicy>>,
+    /// Enable checksummed window auditing (detect–repair–quarantine).
+    pub audit: bool,
+    /// Record an event trace for later replay.
+    pub traced: bool,
+    /// Machine/stream fault plan to install (PE-0 events).
+    pub fault: Option<FaultPlan>,
+}
+
 /// A configured simulation: a CPU (windows + scheme), a set of streams,
 /// and a set of threads to run to completion. See the crate docs for an
 /// example.
@@ -282,6 +303,35 @@ impl Simulation {
             scheme: kind,
             nwindows,
         })
+    }
+
+    /// Creates a simulation from a machine configuration, a scheme and
+    /// a full [`SimOptions`] bundle — the one-call assembly path shared
+    /// by the spell pipeline and the workload generator.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the window count is below the scheme's minimum.
+    pub fn assemble(
+        config: MachineConfig,
+        scheme: Box<dyn Scheme>,
+        opts: SimOptions,
+    ) -> Result<Self, RtError> {
+        let mut sim = Simulation::with_config(config, scheme)?;
+        sim = match opts.sched {
+            Some(imp) => sim.with_sched_policy(imp),
+            None => sim.with_policy(opts.policy),
+        };
+        if opts.audit {
+            sim = sim.with_window_audit();
+        }
+        if opts.traced {
+            sim = sim.with_trace_recording();
+        }
+        if let Some(plan) = &opts.fault {
+            sim = sim.with_fault_plan(plan);
+        }
+        Ok(sim)
     }
 
     /// Sets the scheduling policy (default: FIFO).

@@ -5,7 +5,9 @@ use crate::corpus::{Corpus, CorpusSpec};
 use crate::reference;
 use crate::threads;
 use regwin_machine::{MachineConfig, TimingKind};
-use regwin_rt::{FaultPlan, RtError, RunReport, SchedulingPolicy, Simulation, StreamId};
+use regwin_rt::{
+    FaultPlan, RtError, RunReport, SchedulingPolicy, SimOptions, Simulation, StreamId,
+};
 use regwin_traps::{build_scheme, Scheme, SchemeKind};
 use std::sync::{Arc, Mutex};
 
@@ -210,6 +212,21 @@ impl SpellPipeline {
         config: MachineConfig,
         scheme: Box<dyn Scheme>,
     ) -> Result<Simulation, RtError> {
+        self.build_sim_with(config, scheme, false, None)
+    }
+
+    /// [`SpellPipeline::build_sim`] plus the per-run options (trace
+    /// recording, fault plan), all applied through the shared
+    /// [`Simulation::assemble`] path — the same assembly the workload
+    /// generator uses, so spell runs and generated scenarios differ
+    /// only in what they wire, never in how the machine is set up.
+    fn build_sim_with(
+        &self,
+        config: MachineConfig,
+        scheme: Box<dyn Scheme>,
+        traced: bool,
+        fault: Option<&FaultPlan>,
+    ) -> Result<Simulation, RtError> {
         if self.config.m == 0 || self.config.n == 0 {
             return Err(RtError::BadConfig {
                 detail: format!(
@@ -218,11 +235,14 @@ impl SpellPipeline {
                 ),
             });
         }
-        let mut sim = Simulation::with_config(config, scheme)?.with_policy(self.config.policy);
-        if self.audit {
-            sim = sim.with_window_audit();
-        }
-        Ok(sim)
+        let opts = SimOptions {
+            policy: self.config.policy,
+            sched: None,
+            audit: self.audit,
+            traced,
+            fault: fault.cloned(),
+        };
+        Simulation::assemble(config, scheme, opts)
     }
 
     /// Adds the six streams and spawns the seven threads of the paper's
@@ -288,13 +308,7 @@ impl SpellPipeline {
         traced: bool,
         fault: Option<&FaultPlan>,
     ) -> Result<(regwin_rt::RunReport, Vec<u8>, Option<regwin_rt::Trace>), RtError> {
-        let mut sim = self.build_sim(config, scheme)?;
-        if traced {
-            sim = sim.with_trace_recording();
-        }
-        if let Some(plan) = fault {
-            sim = sim.with_fault_plan(plan);
-        }
+        let mut sim = self.build_sim_with(config, scheme, traced, fault)?;
         let sink = self.wire(&mut sim);
         let (report, trace) = sim.run_with_trace()?;
         let output = Arc::try_unwrap(sink)

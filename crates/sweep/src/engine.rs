@@ -325,6 +325,10 @@ pub struct QuarantineRecord {
     pub attempts: u32,
     /// The final attempt's panic message or error display.
     pub detail: String,
+    /// Canonical reproducer: the job key plus the engine-level fault
+    /// plan, seed and audit flag — everything needed to replay the
+    /// failing cell outside the sweep (see EXPERIMENTS.md).
+    pub repro: String,
 }
 
 /// Aggregate counters for one engine lifetime.
@@ -701,6 +705,21 @@ impl SweepEngine {
                 eprintln!("warning: cannot journal job {}: {e}", record.id);
             }
         }
+    }
+
+    /// The canonical reproducer string for a job under this engine's
+    /// configuration: the full key plus the engine-level fault plan,
+    /// fault seed and audit flag. Single-quoted fields, space-separated
+    /// — canonical strings contain neither quotes nor whitespace.
+    fn repro_string(&self, key: &JobKey) -> String {
+        let plan = self.config.fault_plan.as_ref();
+        format!(
+            "key='{}' audit={} plan='{}' planseed={:#x}",
+            key.canonical(),
+            u8::from(self.config.audit),
+            plan.map(FaultPlan::canonical).unwrap_or_else(|| "-".to_string()),
+            plan.map_or(0, FaultPlan::seed),
+        )
     }
 
     /// Appends a quarantine record to the write-ahead journal, if one
@@ -1165,6 +1184,7 @@ impl SweepEngine {
                                 ("reason", Value::Str(q.reason.into())),
                                 ("attempts", Value::Int(u64::from(q.attempts))),
                                 ("detail", Value::Str(q.detail.clone())),
+                                ("repro", Value::Str(q.repro.clone())),
                             ])
                         })
                         .collect(),
@@ -1475,6 +1495,7 @@ fn execute_job(sink: &mut BatchSink<'_>, job: &Job, seq: u64) -> Option<RunRepor
                 detail: format!(
                     "abandoned-thread cap ({cap}) reached; not spawning another attempt"
                 ),
+                repro: engine.repro_string(&job.key),
             };
             sink.note_op(Metric::JobsQuarantined);
             engine.emit(obj(vec![
@@ -1568,6 +1589,7 @@ fn execute_job(sink: &mut BatchSink<'_>, job: &Job, seq: u64) -> Option<RunRepor
         reason,
         attempts,
         detail,
+        repro: engine.repro_string(&job.key),
     };
     engine.journal_quarantine(&q);
     engine.quarantine.lock().unwrap_or_else(|e| e.into_inner()).push(q);

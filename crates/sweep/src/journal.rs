@@ -128,6 +128,7 @@ impl SweepJournal {
             ("reason", Value::Str(q.reason.into())),
             ("attempts", Value::Int(u64::from(q.attempts))),
             ("detail", Value::Str(q.detail.clone())),
+            ("repro", Value::Str(q.repro.clone())),
         ]))
     }
 
@@ -221,6 +222,9 @@ fn decode_quarantine(payload: &Value) -> Option<QuarantineRecord> {
         reason,
         attempts: payload.get("attempts")?.as_u64()? as u32,
         detail: payload.get("detail")?.as_str()?.to_string(),
+        // Absent in pre-v6 journals; those lines are version-filtered
+        // out anyway, but stay tolerant.
+        repro: payload.get("repro").and_then(Value::as_str).unwrap_or_default().to_string(),
     })
 }
 
@@ -262,6 +266,7 @@ mod tests {
                 reason: "timeout",
                 attempts: 3,
                 detail: "exceeded 100ms".into(),
+                repro: "key='v2|exp=bad' audit=0 plan='-' planseed=0x0".into(),
             })
             .unwrap();
         let replay = replay_journal(&path);
@@ -272,6 +277,7 @@ mod tests {
         assert_eq!(rep, &report);
         assert_eq!(replay.quarantined.len(), 1);
         assert_eq!(replay.quarantined[0].reason, "timeout");
+        assert_eq!(replay.quarantined[0].repro, "key='v2|exp=bad' audit=0 plan='-' planseed=0x0");
         let _ = std::fs::remove_file(&path);
     }
 

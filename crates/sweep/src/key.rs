@@ -25,7 +25,11 @@ use regwin_spell::CorpusSpec;
 /// v5: the cost-model field became the timing-backend identifier
 /// (`s20` or `pipeline`), and reports gained the hazard-stall cycle
 /// category charged by the pipeline backend.
-pub const FORMAT_VERSION: u32 = 5;
+///
+/// v6: keys gained the `gen`/`fuzz` dimensions for synthetic-workload
+/// fuzz-farm jobs (canonical scenario string and schedule-fuzz seed;
+/// `-` for spell-corpus jobs).
+pub const FORMAT_VERSION: u32 = 6;
 
 /// The complete identity of one sweep job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +52,13 @@ pub struct JobKey {
     pub nwindows: usize,
     /// Timing backend the job charges cycles under.
     pub timing: TimingKind,
+    /// Canonical synthetic-scenario string for fuzz-farm jobs
+    /// (`regwin_gen::Scenario::canonical`); `None` for spell-corpus
+    /// jobs.
+    pub gen: Option<String>,
+    /// Schedule-fuzz seed when the job's ready queue is wrapped in
+    /// `regwin_rt::Fuzzed`; `None` for unperturbed schedules.
+    pub fuzz: Option<u64>,
 }
 
 impl JobKey {
@@ -68,13 +79,17 @@ impl JobKey {
             scheme: scheme.name().to_string(),
             nwindows,
             timing: spec.timing,
+            gen: None,
+            fuzz: None,
         }
     }
 
     /// The canonical string: every field spelled out, in fixed order.
+    /// Optional dimensions serialize as `-` when absent so every key,
+    /// fuzz-farm or not, has the same shape.
     pub fn canonical(&self) -> String {
         format!(
-            "v{}|exp={}|doc={}|dict={}|seed={}|m={}|n={}|policy={}|scheme={}|w={}|timing={}",
+            "v{}|exp={}|doc={}|dict={}|seed={}|m={}|n={}|policy={}|scheme={}|w={}|timing={}|gen={}|fuzz={}",
             FORMAT_VERSION,
             self.experiment,
             self.corpus.doc_bytes,
@@ -86,6 +101,8 @@ impl JobKey {
             self.scheme,
             self.nwindows,
             self.timing,
+            self.gen.as_deref().unwrap_or("-"),
+            self.fuzz.map(|s| format!("{s:#x}")).unwrap_or_else(|| "-".to_string()),
         )
     }
 
@@ -139,7 +156,21 @@ mod tests {
         assert!(c.contains("w=8"));
         assert!(c.contains("m=1") && c.contains("n=1"));
         assert!(c.contains("timing=s20"));
+        assert!(c.ends_with("|gen=-|fuzz=-"));
         assert!(c.starts_with(&format!("v{FORMAT_VERSION}|")));
+    }
+
+    #[test]
+    fn gen_and_fuzz_dimensions_separate_ids() {
+        let s = spec();
+        let base = JobKey::for_cell(&s, s.behaviors[0], SchemeKind::Sp, 8);
+        let gen = JobKey { gen: Some("seed=0x2a".to_string()), ..base.clone() };
+        let fuzz = JobKey { fuzz: Some(0xBEEF), ..base.clone() };
+        assert_ne!(base.id(), gen.id());
+        assert_ne!(base.id(), fuzz.id());
+        assert_ne!(gen.id(), fuzz.id());
+        assert!(gen.canonical().contains("|gen=seed=0x2a|fuzz=-"));
+        assert!(fuzz.canonical().ends_with("|gen=-|fuzz=0xbeef"));
     }
 
     #[test]

@@ -27,6 +27,8 @@ fn cell_key(set: &VariantSet, corpus: CorpusSpec, label: &str, nwindows: usize) 
         scheme: label.to_string(),
         nwindows,
         timing: TimingKind::S20,
+        gen: None,
+        fuzz: None,
     }
 }
 

@@ -29,6 +29,7 @@
 //! | [`cluster`] | discrete-event multi-PE simulation over a contended shared bus |
 //! | [`core`] | experiment drivers for every table and figure |
 //! | [`sweep`] | parallel, cached, observable experiment orchestration |
+//! | [`gen`] | seeded workload generator + schedule-fuzzing differential oracle |
 //! | [`asm`] | SPARC-subset assembler/interpreter on the window machine |
 //!
 //! ## Quick start
@@ -60,6 +61,7 @@
 pub use regwin_asm as asm;
 pub use regwin_cluster as cluster;
 pub use regwin_core as core;
+pub use regwin_gen as gen;
 pub use regwin_machine as machine;
 pub use regwin_rt as rt;
 pub use regwin_spell as spell;

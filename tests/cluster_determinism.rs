@@ -18,6 +18,8 @@ fn cluster_key(pes: usize) -> JobKey {
         scheme: "SP".to_string(),
         nwindows: 8,
         timing: spell.timing,
+        gen: None,
+        fuzz: None,
     }
 }
 

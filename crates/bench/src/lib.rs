@@ -56,6 +56,14 @@
 //! replays one canonical scenario string (the quarantine `repro` field)
 //! instead of sweeping.
 //!
+//! Sweep service (`repro-tradeoff`, `repro-sched`; see the Sweep
+//! service section of `EXPERIMENTS.md`): `--server <socket>` runs the
+//! sweeps on a resident `regwin-served` daemon instead of in process.
+//! The daemon owns the cache, journal and worker pool (so the
+//! corresponding flags conflict with `--server`), streams job progress
+//! back live, and produces records — and a `BENCH_sweep.json` — that
+//! are byte-identical to the in-process deterministic path.
+//!
 //! Integrity: `--audit` switches window auditing on inside every
 //! simulated run. Auditing never changes any reported number — it buys
 //! masked-corruption repair and quarantine of unrecoverable corruption
@@ -68,12 +76,14 @@
 #![deny(missing_docs)]
 
 use regwin_core::figures::{FigureId, Sweep};
-use regwin_core::{CorpusSpec, MatrixSpec, TextTable};
+use regwin_core::{CorpusSpec, MatrixSpec, RunRecord, TextTable};
 use regwin_machine::TimingKind;
 use regwin_rt::{FaultPlan, RtError, SchedulingPolicy};
-use regwin_sweep::{SweepConfig, SweepEngine};
+use regwin_serve::ServeClient;
+use regwin_sweep::{QuarantineRecord, SweepConfig, SweepEngine, SweepSummary};
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Duration;
 
 pub use regwin_core::figures::FigureResult;
@@ -135,6 +145,12 @@ pub struct Args {
     /// only): replay this single scenario's invariant bundle instead of
     /// sweeping — the quarantine `repro` field pasted back in.
     pub gen: Option<String>,
+    /// Run sweeps on the resident daemon at this socket instead of in
+    /// process (`--server`, `repro-tradeoff`/`repro-sched`). The
+    /// daemon owns the cache, journal, workers and fault knobs, so
+    /// those flags conflict with this one. Artifacts are byte-identical
+    /// to the in-process deterministic path.
+    pub server: Option<PathBuf>,
 }
 
 impl Args {
@@ -161,6 +177,7 @@ impl Args {
             policy: SchedulingPolicy::Fifo,
             timing: TimingKind::S20,
             gen: None,
+            server: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -263,6 +280,11 @@ impl Args {
                         it.next()
                             .unwrap_or_else(|| usage("--gen needs a canonical scenario string")),
                     );
+                }
+                "--server" => {
+                    args.server = Some(PathBuf::from(
+                        it.next().unwrap_or_else(|| usage("--server needs a socket path")),
+                    ));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -371,6 +393,93 @@ impl Args {
         }
     }
 
+    /// The sweep session for this invocation: an in-process engine, or
+    /// — with `--server <socket>` — a thin client on the resident
+    /// daemon. `binary` names the invoking repro binary; together with
+    /// the sweep-defining flags it forms the stable session string the
+    /// daemon hashes into the journal identity, so re-running the same
+    /// invocation after a daemon restart resumes its journal.
+    pub fn session(&self, binary: &str) -> SweepSession {
+        let Some(socket) = &self.server else {
+            return SweepSession::Local(Box::new(self.engine()));
+        };
+        let conflicts: &[(&str, bool)] = &[
+            ("--journal/--resume", self.journal || self.resume),
+            ("--fault-seed", self.fault_seed.is_some()),
+            ("--fault-plan", self.fault_plan.is_some()),
+            ("--trace-out", self.trace_out.is_some()),
+            ("--metrics", self.metrics),
+            ("--audit", self.audit),
+            ("--job-timeout-ms", self.job_timeout_ms.is_some()),
+            ("--retries", self.retries > 0),
+            ("--abandoned-cap", self.abandoned_cap.is_some()),
+        ];
+        for (flag, set) in conflicts {
+            if *set {
+                usage(&format!("{flag} conflicts with --server (the daemon owns those knobs)"));
+            }
+        }
+        let session_string = format!(
+            "{binary}|scale={}|quick={}|policy={}|timing={}",
+            self.scale, self.quick, self.policy, self.timing
+        );
+        match ServeClient::connect(socket, &session_string) {
+            Ok(client) => {
+                eprintln!(
+                    "connected to sweep daemon at {} (session {})",
+                    socket.display(),
+                    client.session_id()
+                );
+                SweepSession::Remote(Mutex::new(client))
+            }
+            Err(e) => {
+                eprintln!("error: cannot reach sweep daemon: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`Args::finish`] for either kind of session: prints the sweep
+    /// summary and quarantine, then writes the `BENCH_sweep.json`
+    /// artifact — fetched from the daemon in `--server` mode, where its
+    /// bytes are identical to the in-process deterministic path.
+    pub fn finish_session(&self, session: &SweepSession) {
+        match session {
+            SweepSession::Local(engine) => self.finish(engine),
+            SweepSession::Remote(client) => {
+                let mut client = client.lock().unwrap_or_else(|e| e.into_inner());
+                let s = client.summary();
+                eprintln!(
+                    "sweep: {} jobs, {} cache hits, {} executed, {} quarantined",
+                    s.jobs, s.cache_hits, s.cache_misses, s.quarantined
+                );
+                for q in client.quarantine() {
+                    eprintln!(
+                        "  quarantined [{}] {} after {} attempts: {}",
+                        q.reason, q.label, q.attempts, q.detail
+                    );
+                }
+                let path = self.artifact_path();
+                if let Some(dir) = &self.out_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("warning: cannot create {}: {e}", dir.display());
+                    }
+                }
+                match client.artifact() {
+                    Ok(data) => match regwin_sweep::write_file_atomic(&path, &data) {
+                        Ok(()) => eprintln!("wrote {}", path.display()),
+                        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+                    },
+                    Err(e) => eprintln!("warning: cannot fetch artifact: {e}"),
+                }
+                if self.fail_on_quarantine && s.quarantined > 0 {
+                    eprintln!("error: {} job(s) quarantined (--fail-on-quarantine)", s.quarantined);
+                    std::process::exit(3);
+                }
+            }
+        }
+    }
+
     /// The corpus spec for this invocation.
     pub fn corpus(&self) -> CorpusSpec {
         if self.scale == 100 {
@@ -407,6 +516,60 @@ impl Args {
     }
 }
 
+/// Where a repro binary's sweeps execute: an in-process
+/// [`SweepEngine`], or a [`ServeClient`] session on the resident
+/// daemon (`--server`). Records — and therefore every table, figure
+/// and artifact derived from them — are identical either way.
+#[derive(Debug)]
+pub enum SweepSession {
+    /// The classic in-process engine (boxed: the engine is much larger
+    /// than the client handle).
+    Local(Box<SweepEngine>),
+    /// A thin-client session on a `regwin-served` daemon.
+    Remote(Mutex<ServeClient>),
+}
+
+impl SweepSession {
+    /// Runs one matrix, locally or on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Local sweep errors propagate as-is; daemon-side failures
+    /// (including a graceful drain cutting the sweep short) surface as
+    /// [`RtError::BadConfig`] carrying the daemon's message.
+    pub fn run_matrix(&self, spec: &MatrixSpec) -> Result<Vec<RunRecord>, RtError> {
+        match self {
+            SweepSession::Local(engine) => engine.run_matrix(spec),
+            SweepSession::Remote(client) => client
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .run_matrix(spec)
+                .map_err(|e| RtError::BadConfig { detail: e.to_string() }),
+        }
+    }
+
+    /// The sweep summary so far (daemon-side state in `--server` mode).
+    pub fn summary(&self) -> SweepSummary {
+        match self {
+            SweepSession::Local(engine) => engine.summary(),
+            SweepSession::Remote(client) => {
+                client.lock().unwrap_or_else(|e| e.into_inner()).summary()
+            }
+        }
+    }
+
+    /// The quarantine list so far (daemon-side state in `--server`
+    /// mode).
+    pub fn quarantine(&self) -> Vec<QuarantineRecord> {
+        match self {
+            SweepSession::Local(engine) => engine.quarantine(),
+            SweepSession::Remote(client) => {
+                client.lock().unwrap_or_else(|e| e.into_inner()).quarantine()
+            }
+        }
+    }
+}
+
 fn usage(problem: &str) -> ! {
     if !problem.is_empty() {
         eprintln!("error: {problem}");
@@ -419,7 +582,7 @@ fn usage(problem: &str) -> ! {
          [--fail-on-quarantine] [--trace-out <file>] [--metrics] \
          [--journal] [--resume] [--abandoned-cap <n>] [--audit] \
          [--policy <FIFO|WorkingSet|WindowGreedy|Aging>] \
-         [--timing <s20|pipeline>] [--gen <scenario>]"
+         [--timing <s20|pipeline>] [--gen <scenario>] [--server <socket>]"
     );
     std::process::exit(if problem.is_empty() { 0 } else { 2 });
 }

@@ -49,4 +49,5 @@ pub use histogram::Histogram;
 pub use metric::{AtomicMetricSet, Metric, MetricSet};
 pub use probe::{
     MetricProbe, NoopProbe, OwnedProbeEvent, Probe, ProbeEvent, RecordingProbe, SpanKind,
+    StreamProbe,
 };

@@ -1,0 +1,275 @@
+//! The thin client: speak the daemon protocol on behalf of a repro
+//! binary.
+//!
+//! A [`ServeClient`] replaces an in-process [`regwin_sweep::SweepEngine`]
+//! for the sweep half of a repro run: it ships each [`MatrixSpec`] to
+//! the daemon, relays streamed job-progress events to stderr, and
+//! returns the decoded run records — which are bit-equal to what the
+//! in-process engine would produce, so everything computed from them
+//! (tables, figures, artifacts) is byte-identical.
+
+use crate::protocol::{
+    frame_type, quarantine_from_value, records_from_value, spec_to_value, summary_from_value,
+    write_frame, FrameReader, PROTO_VERSION,
+};
+use regwin_core::{MatrixSpec, RunRecord};
+use regwin_sweep::json::{obj, Value};
+use regwin_sweep::{QuarantineRecord, SweepSummary};
+use std::fmt;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket died or the daemon closed it mid-exchange.
+    Io(std::io::Error),
+    /// The daemon sent something this client cannot decode.
+    Protocol(String),
+    /// The daemon is at its client limit.
+    Busy(String),
+    /// The daemon reported a sweep failure. `draining` is set when the
+    /// failure is a graceful shutdown cutting the sweep short (the
+    /// daemon journaled what finished; reconnect after restart to
+    /// resume).
+    Sweep {
+        /// The daemon's error message.
+        detail: String,
+        /// Whether the daemon was draining for shutdown.
+        draining: bool,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "server connection failed: {e}"),
+            ClientError::Protocol(detail) => write!(f, "server protocol error: {detail}"),
+            ClientError::Busy(detail) => write!(f, "server busy: {detail}"),
+            ClientError::Sweep { detail, .. } => write!(f, "server sweep failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected session with a sweep daemon.
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: FrameReader<UnixStream>,
+    writer: UnixStream,
+    session_id: String,
+    summary: SweepSummary,
+    quarantine: Vec<QuarantineRecord>,
+}
+
+impl ServeClient {
+    /// Connects to the daemon at `socket` and opens a session.
+    ///
+    /// `session` is a stable client-chosen string (for the repro
+    /// binaries: the binary name plus its sweep-defining flags); the
+    /// daemon hashes it into the session id that names the session's
+    /// journal, so re-running the same invocation after a daemon
+    /// restart resumes its journal.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] when the daemon is at its client limit,
+    /// [`ClientError::Io`]/[`ClientError::Protocol`] on a dead or
+    /// incompatible daemon.
+    pub fn connect(socket: &Path, session: &str) -> Result<Self, ClientError> {
+        let stream = UnixStream::connect(socket)?;
+        let writer = stream.try_clone()?;
+        let mut client = ServeClient {
+            reader: FrameReader::new(stream),
+            writer,
+            session_id: String::new(),
+            summary: SweepSummary::default(),
+            quarantine: Vec::new(),
+        };
+        write_frame(
+            &mut client.writer,
+            &obj(vec![
+                ("type", Value::Str("hello".into())),
+                ("proto", Value::Int(PROTO_VERSION)),
+                ("session", Value::Str(session.to_string())),
+            ]),
+        )?;
+        let frame = client.expect_frame()?;
+        match frame_type(&frame).unwrap_or("?") {
+            "ready" => {
+                client.session_id =
+                    frame.get("session_id").and_then(Value::as_str).unwrap_or("").to_string();
+                Ok(client)
+            }
+            "busy" => Err(ClientError::Busy(
+                frame.get("detail").and_then(Value::as_str).unwrap_or("no detail").to_string(),
+            )),
+            other => Err(ClientError::Protocol(format!("expected ready, got '{other}'"))),
+        }
+    }
+
+    /// The daemon-assigned session id (the FNV-1a hash of the session
+    /// string, in hex).
+    pub fn session_id(&self) -> &str {
+        &self.session_id
+    }
+
+    /// The daemon-side sweep summary after the last
+    /// [`ServeClient::run_matrix`].
+    pub fn summary(&self) -> SweepSummary {
+        self.summary
+    }
+
+    /// The daemon-side quarantine list after the last
+    /// [`ServeClient::run_matrix`].
+    pub fn quarantine(&self) -> Vec<QuarantineRecord> {
+        self.quarantine.clone()
+    }
+
+    fn expect_frame(&mut self) -> Result<Value, ClientError> {
+        self.reader
+            .next_frame()
+            .map_err(ClientError::from)?
+            .ok_or_else(|| ClientError::Protocol("daemon closed the connection".into()))
+    }
+
+    /// Runs `spec` on the daemon, relaying progress events to stderr,
+    /// and returns the run records.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Sweep`] when the daemon reports a failed (or
+    /// drain-interrupted) sweep; I/O and protocol errors as usual.
+    pub fn run_matrix(&mut self, spec: &MatrixSpec) -> Result<Vec<RunRecord>, ClientError> {
+        write_frame(
+            &mut self.writer,
+            &obj(vec![("type", Value::Str("sweep".into())), ("spec", spec_to_value(spec))]),
+        )?;
+        let mut done = 0usize;
+        loop {
+            let frame = self.expect_frame()?;
+            match frame_type(&frame).unwrap_or("?") {
+                "event" => {
+                    if let Some(data) = frame.get("data") {
+                        if data.get("ev").and_then(Value::as_str) == Some("end") {
+                            done += 1;
+                            eprint!("\r  {done}/{} runs (remote)", spec.len());
+                            if done == spec.len() {
+                                eprintln!();
+                            }
+                        }
+                    }
+                }
+                "records" => {
+                    self.summary = frame
+                        .get("summary")
+                        .ok_or_else(|| ClientError::Protocol("records without summary".into()))
+                        .and_then(|v| {
+                            summary_from_value(v).map_err(|e| ClientError::Protocol(e.0))
+                        })?;
+                    self.quarantine = frame
+                        .get("quarantine")
+                        .ok_or_else(|| ClientError::Protocol("records without quarantine".into()))
+                        .and_then(|v| {
+                            quarantine_from_value(v).map_err(|e| ClientError::Protocol(e.0))
+                        })?;
+                    let records = frame
+                        .get("records")
+                        .ok_or_else(|| {
+                            ClientError::Protocol("records frame without records".into())
+                        })
+                        .and_then(|v| {
+                            records_from_value(v).map_err(|e| ClientError::Protocol(e.0))
+                        })?;
+                    return Ok(records);
+                }
+                "sweep_error" => {
+                    return Err(ClientError::Sweep {
+                        detail: frame
+                            .get("detail")
+                            .and_then(Value::as_str)
+                            .unwrap_or("no detail")
+                            .to_string(),
+                        draining: frame.get("draining").and_then(Value::as_bool).unwrap_or(false),
+                    });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame '{other}' during sweep"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Fetches the session's artifact — exactly the bytes the daemon's
+    /// engine would write as `BENCH_sweep.json`.
+    ///
+    /// # Errors
+    ///
+    /// I/O and protocol errors.
+    pub fn artifact(&mut self) -> Result<String, ClientError> {
+        write_frame(&mut self.writer, &obj(vec![("type", Value::Str("artifact".into()))]))?;
+        loop {
+            let frame = self.expect_frame()?;
+            match frame_type(&frame).unwrap_or("?") {
+                // A straggling event from the sweep is harmless here.
+                "event" => {}
+                "artifact" => {
+                    return frame
+                        .get("data")
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| {
+                            ClientError::Protocol("artifact frame without data".into())
+                        });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame '{other}' awaiting artifact"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// I/O and protocol errors.
+    pub fn shutdown_daemon(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &obj(vec![("type", Value::Str("shutdown".into()))]))?;
+        loop {
+            let frame = self.expect_frame()?;
+            match frame_type(&frame).unwrap_or("?") {
+                "event" => {}
+                "ok" => return Ok(()),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame '{other}' awaiting shutdown ack"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Closes the session politely.
+    pub fn bye(mut self) {
+        let _ = write_frame(&mut self.writer, &obj(vec![("type", Value::Str("bye".into()))]));
+    }
+}

@@ -1,0 +1,33 @@
+//! # regwin-serve
+//!
+//! Sweep-as-a-service: a resident daemon that runs `regwin-sweep`
+//! matrices for thin clients over a local Unix-domain socket, speaking
+//! newline-delimited JSON (see [`protocol`]).
+//!
+//! Why a daemon? Repro binaries spend most of their wall-clock in the
+//! sweep; a resident daemon keeps one warm, multi-client-safe result
+//! cache and one bounded worker pool shared by every client, so
+//! concurrent repro invocations dedupe their overlapping job keys
+//! instead of each recomputing (or each fighting for every core).
+//!
+//! The correctness spine is byte-identity: session engines run in
+//! deterministic-artifact mode, records cross the wire losslessly, and
+//! a thin client's `BENCH_sweep.json` is byte-identical to the
+//! in-process path — `repro-tradeoff --server <socket>` and
+//! `repro-tradeoff --journal` must `cmp` equal. Graceful shutdown
+//! drains in-flight jobs into per-session journals; a restarted daemon
+//! resumes them so the eventual artifact is still byte-identical.
+//!
+//! Run the daemon with `cargo run --release -p regwin-serve --bin
+//! regwin-served -- --socket <path>`; point repro binaries at it with
+//! `--server <path>` (see EXPERIMENTS.md, "Sweep service").
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, ServeClient};
+pub use server::{Server, ServerConfig};

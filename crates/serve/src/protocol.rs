@@ -1,0 +1,449 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every frame is one JSON object on one line, with a `"type"` field
+//! naming the frame. The encoding reuses the deterministic
+//! [`regwin_sweep::json`] writer, so frame bytes are stable across
+//! machines — which is what lets the differential oracle `cmp` a thin
+//! client's artifact against the in-process path.
+//!
+//! Client → server frames:
+//!
+//! | type | fields | meaning |
+//! |------|--------|---------|
+//! | `hello` | `proto`, `session` | open a session; `session` is a stable client-chosen string |
+//! | `sweep` | `spec` | run one matrix through the session's engine |
+//! | `artifact` | — | request the session's `BENCH_sweep.json` bytes |
+//! | `shutdown` | — | ask the daemon to drain and exit |
+//! | `bye` | — | close the session |
+//!
+//! Server → client frames:
+//!
+//! | type | fields | meaning |
+//! |------|--------|---------|
+//! | `ready` | `proto`, `session_id` | session accepted |
+//! | `busy` | `detail` | daemon at `--max-clients`; try again later |
+//! | `event` | `data` | one streamed job-progress event (a [`regwin_obs::StreamProbe`] line) |
+//! | `records` | `records`, `summary`, `quarantine` | a sweep finished |
+//! | `sweep_error` | `detail`, `draining` | a sweep failed (or was cut short by a drain) |
+//! | `artifact` | `data` | the artifact bytes (exactly what the engine would write) |
+//! | `ok` | — | acknowledges `shutdown` |
+
+use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec, RunRecord};
+use regwin_machine::{SchemeKind, TimingKind};
+use regwin_rt::SchedulingPolicy;
+use regwin_spell::CorpusSpec;
+use regwin_sweep::json::{obj, parse, Value};
+use regwin_sweep::serial::{report_from_value, report_to_value};
+use regwin_sweep::{QuarantineRecord, SweepSummary};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// The protocol revision spoken by this crate. A `hello` carrying a
+/// different revision is rejected, so mismatched client/daemon builds
+/// fail loudly instead of mis-decoding each other's frames.
+pub const PROTO_VERSION: u64 = 1;
+
+/// A malformed or unexpected frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn bad(detail: impl Into<String>) -> ProtoError {
+    ProtoError(detail.into())
+}
+
+fn need<'v>(v: &'v Value, key: &str) -> Result<&'v Value, ProtoError> {
+    v.get(key).ok_or_else(|| bad(format!("missing field '{key}'")))
+}
+
+fn need_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, ProtoError> {
+    need(v, key)?.as_str().ok_or_else(|| bad(format!("field '{key}' not a string")))
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, ProtoError> {
+    need(v, key)?.as_u64().ok_or_else(|| bad(format!("field '{key}' not an integer")))
+}
+
+/// Writes one frame as a single line. Flushes, so the peer sees the
+/// frame immediately.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_frame(w: &mut impl Write, frame: &Value) -> std::io::Result<()> {
+    let mut line = frame.to_json();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` at a clean end of stream.
+///
+/// # Errors
+///
+/// I/O errors propagate; unparseable lines surface as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<Value>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    parse(line.trim_end()).map(Some).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad frame: {e}"))
+    })
+}
+
+/// A timeout-tolerant frame reader.
+///
+/// Unlike [`read_frame`] over a `BufRead`, a `FrameReader` keeps
+/// partially received bytes across calls: when the underlying stream
+/// has a read timeout (the daemon polls its shutdown flag between
+/// reads), a `WouldBlock`/`TimedOut` error surfaces to the caller
+/// *without* discarding a half-received frame.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: std::io::Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner, buf: Vec::new() }
+    }
+
+    /// The next frame; `Ok(None)` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Timeouts (`WouldBlock`/`TimedOut`) propagate with the partial
+    /// frame retained — call again to continue. Unparseable lines
+    /// surface as [`std::io::ErrorKind::InvalidData`].
+    pub fn next_frame(&mut self) -> std::io::Result<Option<Value>> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line);
+                return parse(text.trim_end()).map(Some).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad frame: {e}"))
+                });
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk)? {
+                0 => return Ok(None),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+}
+
+/// The `"type"` of a frame.
+///
+/// # Errors
+///
+/// Fails if the field is missing or not a string.
+pub fn frame_type(frame: &Value) -> Result<&str, ProtoError> {
+    need_str(frame, "type")
+}
+
+/// Encodes a [`MatrixSpec`] for a `sweep` frame.
+pub fn spec_to_value(spec: &MatrixSpec) -> Value {
+    obj(vec![
+        (
+            "corpus",
+            obj(vec![
+                ("doc_bytes", Value::Int(spec.corpus.doc_bytes as u64)),
+                ("dict_bytes", Value::Int(spec.corpus.dict_bytes as u64)),
+                ("seed", Value::Int(spec.corpus.seed)),
+            ]),
+        ),
+        (
+            "behaviors",
+            Value::Arr(spec.behaviors.iter().map(|b| Value::Str(b.to_string())).collect()),
+        ),
+        ("schemes", Value::Arr(spec.schemes.iter().map(|s| Value::Str(s.name().into())).collect())),
+        ("windows", Value::Arr(spec.windows.iter().map(|&w| Value::Int(w as u64)).collect())),
+        ("policy", Value::Str(spec.policy.name().into())),
+        ("timing", Value::Str(spec.timing.name().into())),
+    ])
+}
+
+/// Parses a behaviour from its `Display` form, e.g. `"high/fine"`.
+///
+/// # Errors
+///
+/// Fails on an unknown concurrency or granularity name.
+pub fn behavior_from_name(name: &str) -> Result<Behavior, ProtoError> {
+    let (conc, gran) =
+        name.split_once('/').ok_or_else(|| bad(format!("behavior '{name}' is not 'conc/gran'")))?;
+    let concurrency = Concurrency::ALL
+        .into_iter()
+        .find(|c| c.to_string() == conc)
+        .ok_or_else(|| bad(format!("unknown concurrency '{conc}'")))?;
+    let granularity = Granularity::ALL
+        .into_iter()
+        .find(|g| g.to_string() == gran)
+        .ok_or_else(|| bad(format!("unknown granularity '{gran}'")))?;
+    Ok(Behavior::new(concurrency, granularity))
+}
+
+fn scheme_from_name(name: &str) -> Result<SchemeKind, ProtoError> {
+    SchemeKind::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| bad(format!("unknown scheme '{name}'")))
+}
+
+/// Decodes the `spec` of a `sweep` frame.
+///
+/// # Errors
+///
+/// Fails on missing or mistyped fields.
+pub fn spec_from_value(v: &Value) -> Result<MatrixSpec, ProtoError> {
+    let corpus_v = need(v, "corpus")?;
+    let corpus = CorpusSpec {
+        doc_bytes: need_u64(corpus_v, "doc_bytes")? as usize,
+        dict_bytes: need_u64(corpus_v, "dict_bytes")? as usize,
+        seed: need_u64(corpus_v, "seed")?,
+    };
+    let behaviors = need(v, "behaviors")?
+        .as_arr()
+        .ok_or_else(|| bad("'behaviors' not an array"))?
+        .iter()
+        .map(|b| behavior_from_name(b.as_str().ok_or_else(|| bad("behavior not a string"))?))
+        .collect::<Result<Vec<_>, _>>()?;
+    let schemes = need(v, "schemes")?
+        .as_arr()
+        .ok_or_else(|| bad("'schemes' not an array"))?
+        .iter()
+        .map(|s| scheme_from_name(s.as_str().ok_or_else(|| bad("scheme not a string"))?))
+        .collect::<Result<Vec<_>, _>>()?;
+    let windows = need(v, "windows")?
+        .as_arr()
+        .ok_or_else(|| bad("'windows' not an array"))?
+        .iter()
+        .map(|w| w.as_u64().map(|w| w as usize).ok_or_else(|| bad("window not an integer")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let policy_name = need_str(v, "policy")?;
+    let policy = SchedulingPolicy::parse(policy_name)
+        .ok_or_else(|| bad(format!("unknown policy '{policy_name}'")))?;
+    let timing_name = need_str(v, "timing")?;
+    let timing = TimingKind::parse(timing_name)
+        .ok_or_else(|| bad(format!("unknown timing backend '{timing_name}'")))?;
+    Ok(MatrixSpec { corpus, behaviors, schemes, windows, policy, timing })
+}
+
+/// Encodes run records for a `records` frame (the same per-record shape
+/// as [`regwin_sweep::records_to_json`]).
+pub fn records_to_value(records: &[RunRecord]) -> Value {
+    Value::Arr(
+        records
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("behavior", Value::Str(r.behavior.to_string())),
+                    ("scheme", Value::Str(r.scheme.name().into())),
+                    ("policy", Value::Str(r.policy.name().into())),
+                    ("nwindows", Value::Int(r.nwindows as u64)),
+                    ("report", report_to_value(&r.report)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes the records of a `records` frame.
+///
+/// # Errors
+///
+/// Fails on missing or mistyped fields.
+pub fn records_from_value(v: &Value) -> Result<Vec<RunRecord>, ProtoError> {
+    v.as_arr()
+        .ok_or_else(|| bad("'records' not an array"))?
+        .iter()
+        .map(|r| {
+            let behavior = behavior_from_name(need_str(r, "behavior")?)?;
+            let scheme = scheme_from_name(need_str(r, "scheme")?)?;
+            let policy_name = need_str(r, "policy")?;
+            let policy = SchedulingPolicy::parse(policy_name)
+                .ok_or_else(|| bad(format!("unknown policy '{policy_name}'")))?;
+            let nwindows = need_u64(r, "nwindows")? as usize;
+            let report = report_from_value(need(r, "report")?)
+                .map_err(|e| bad(format!("bad report: {e}")))?;
+            Ok(RunRecord { behavior, scheme, policy, nwindows, report })
+        })
+        .collect()
+}
+
+/// Encodes a sweep summary for a `records` frame.
+pub fn summary_to_value(s: &SweepSummary) -> Value {
+    obj(vec![
+        ("jobs", Value::Int(s.jobs as u64)),
+        ("cache_hits", Value::Int(s.cache_hits as u64)),
+        ("cache_misses", Value::Int(s.cache_misses as u64)),
+        ("quarantined", Value::Int(s.quarantined as u64)),
+    ])
+}
+
+/// Decodes a `records` frame's summary.
+///
+/// # Errors
+///
+/// Fails on missing or mistyped fields.
+pub fn summary_from_value(v: &Value) -> Result<SweepSummary, ProtoError> {
+    Ok(SweepSummary {
+        jobs: need_u64(v, "jobs")? as usize,
+        cache_hits: need_u64(v, "cache_hits")? as usize,
+        cache_misses: need_u64(v, "cache_misses")? as usize,
+        quarantined: need_u64(v, "quarantined")? as usize,
+    })
+}
+
+/// Encodes the quarantine list for a `records` frame.
+pub fn quarantine_to_value(quarantine: &[QuarantineRecord]) -> Value {
+    Value::Arr(
+        quarantine
+            .iter()
+            .map(|q| {
+                obj(vec![
+                    ("id", Value::Str(q.id.clone())),
+                    ("key", Value::Str(q.key.clone())),
+                    ("label", Value::Str(q.label.clone())),
+                    ("reason", Value::Str(q.reason.into())),
+                    ("attempts", Value::Int(u64::from(q.attempts))),
+                    ("detail", Value::Str(q.detail.clone())),
+                    ("repro", Value::Str(q.repro.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a `records` frame's quarantine list.
+///
+/// The `reason` field round-trips through the three static reason
+/// strings the engine emits; anything else maps to `"error"`.
+///
+/// # Errors
+///
+/// Fails on missing or mistyped fields.
+pub fn quarantine_from_value(v: &Value) -> Result<Vec<QuarantineRecord>, ProtoError> {
+    v.as_arr()
+        .ok_or_else(|| bad("'quarantine' not an array"))?
+        .iter()
+        .map(|q| {
+            Ok(QuarantineRecord {
+                id: need_str(q, "id")?.to_string(),
+                key: need_str(q, "key")?.to_string(),
+                label: need_str(q, "label")?.to_string(),
+                reason: match need_str(q, "reason")? {
+                    "panic" => "panic",
+                    "timeout" => "timeout",
+                    _ => "error",
+                },
+                attempts: need_u64(q, "attempts")? as u32,
+                detail: need_str(q, "detail")?.to_string(),
+                repro: need_str(q, "repro")?.to_string(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MatrixSpec {
+        MatrixSpec {
+            corpus: CorpusSpec::small(),
+            behaviors: vec![
+                Behavior::new(Concurrency::High, Granularity::Coarse),
+                Behavior::new(Concurrency::Low, Granularity::Fine),
+            ],
+            schemes: vec![SchemeKind::Ns, SchemeKind::Sp],
+            windows: vec![4, 8, 16],
+            policy: SchedulingPolicy::WorkingSet,
+            timing: TimingKind::Pipeline,
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_the_wire_encoding() {
+        let s = spec();
+        let v = spec_to_value(&s);
+        let back = spec_from_value(&parse(&v.to_json()).unwrap()).unwrap();
+        assert_eq!(back.corpus, s.corpus);
+        assert_eq!(back.behaviors, s.behaviors);
+        assert_eq!(back.schemes, s.schemes);
+        assert_eq!(back.windows, s.windows);
+        assert_eq!(back.policy, s.policy);
+        assert_eq!(back.timing, s.timing);
+    }
+
+    #[test]
+    fn every_behavior_name_parses_back() {
+        for b in Behavior::ALL {
+            assert_eq!(behavior_from_name(&b.to_string()).unwrap(), b);
+        }
+        assert!(behavior_from_name("high").is_err());
+        assert!(behavior_from_name("high/blurry").is_err());
+    }
+
+    #[test]
+    fn records_round_trip_through_the_wire_encoding() {
+        let mut s = spec();
+        s.windows = vec![4];
+        let records = regwin_core::run_matrix(&s, |_, _| {}).expect("matrix runs");
+        let v = records_to_value(&records);
+        let back = records_from_value(&parse(&v.to_json()).unwrap()).unwrap();
+        assert_eq!(back.len(), records.len());
+        for (a, b) in back.iter().zip(&records) {
+            assert_eq!(a.behavior, b.behavior);
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.nwindows, b.nwindows);
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn frames_survive_a_buffered_pipe() {
+        let mut buf = Vec::new();
+        let f1 = obj(vec![("type", Value::Str("hello".into())), ("proto", Value::Int(1))]);
+        let f2 = obj(vec![("type", Value::Str("bye".into()))]);
+        write_frame(&mut buf, &f1).unwrap();
+        write_frame(&mut buf, &f2).unwrap();
+        let mut r = std::io::BufReader::new(&buf[..]);
+        let g1 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(frame_type(&g1).unwrap(), "hello");
+        assert_eq!(g1.get("proto").and_then(Value::as_u64), Some(1));
+        let g2 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(frame_type(&g2).unwrap(), "bye");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn summaries_and_quarantines_round_trip() {
+        let s = SweepSummary { jobs: 9, cache_hits: 4, cache_misses: 5, quarantined: 1 };
+        let back = summary_from_value(&summary_to_value(&s)).unwrap();
+        assert_eq!(back, s);
+        let q = vec![QuarantineRecord {
+            id: "deadbeef".into(),
+            key: "v6|exp=matrix".into(),
+            label: "SP FIFO w=8".into(),
+            reason: "timeout",
+            attempts: 3,
+            detail: "wedged".into(),
+            repro: "v6|... --fault-seed 1".into(),
+        }];
+        let back = quarantine_from_value(&quarantine_to_value(&q)).unwrap();
+        assert_eq!(back, q);
+    }
+}

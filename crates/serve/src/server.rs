@@ -1,0 +1,371 @@
+//! The resident sweep daemon.
+//!
+//! One [`Server`] owns a Unix-domain listener and serves each
+//! connection on its own thread. Every connection is a *session* with
+//! its own [`SweepEngine`] — all sessions share one result-cache
+//! directory (safe: the cache publishes atomically and reclaims
+//! corruption without deleting fresh entries) and one
+//! [`AdmissionGate`], which bounds the daemon's total concurrently
+//! executing jobs and rotates grants across sessions so concurrent
+//! clients interleave instead of queueing behind each other.
+//!
+//! Engines run in deterministic-artifact mode, so a thin client's
+//! artifact is byte-identical to what the same sweep produces in
+//! process. With a journal directory configured, each session journals
+//! under the FNV-1a hash of its client-chosen session string: a client
+//! reconnecting after a daemon restart resumes its journal and re-runs
+//! only unfinished jobs.
+//!
+//! Shutdown ([`Server::run`]'s flag, typically set from SIGTERM, or a
+//! client `shutdown` frame) closes the admission gate: in-flight jobs
+//! finish and journal, not-yet-admitted jobs are skipped, affected
+//! sweeps report a draining error to their client, and the daemon exits
+//! once every session thread has unwound.
+
+use crate::protocol::{
+    frame_type, quarantine_to_value, records_to_value, spec_from_value, summary_to_value,
+    write_frame, FrameReader, PROTO_VERSION,
+};
+use regwin_obs::{Probe, StreamProbe};
+use regwin_sweep::json::{obj, Value};
+use regwin_sweep::{fnv1a, AdmissionGate, SweepConfigError, SweepEngine};
+use std::io::{ErrorKind, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How the daemon is wired: where it listens and how its sessions run.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The Unix-domain socket path to listen on.
+    pub socket: PathBuf,
+    /// Shared result-cache directory (`None` disables caching).
+    pub cache_dir: Option<PathBuf>,
+    /// Per-session journal directory (`None` disables journaling and
+    /// with it restart-resume).
+    pub journal_dir: Option<PathBuf>,
+    /// Global concurrently-executing-job bound, and each session
+    /// engine's worker count (`0` = one per CPU).
+    pub workers: usize,
+    /// Connections beyond this count are turned away with a `busy`
+    /// frame.
+    pub max_clients: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            socket: PathBuf::from("regwin-served.sock"),
+            cache_dir: Some(PathBuf::from("target/sweep-cache")),
+            journal_dir: None,
+            workers: 0,
+            max_clients: 8,
+        }
+    }
+}
+
+/// State shared by the accept loop and every session thread.
+struct Shared {
+    config: ServerConfig,
+    gate: Arc<AdmissionGate>,
+    shutdown: Arc<AtomicBool>,
+    active: AtomicUsize,
+}
+
+/// The resident daemon. Construct with [`Server::bind`], then drive
+/// with [`Server::run`].
+pub struct Server {
+    listener: UnixListener,
+    shared: Arc<Shared>,
+}
+
+/// The effective worker count `workers` requests (`0` = one per CPU,
+/// mirroring the sweep engine's own default).
+fn effective_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    }
+}
+
+impl Server {
+    /// Binds the listening socket. A stale socket file left by a dead
+    /// daemon is replaced; a live daemon on the same path is an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors, and refuses the path if another daemon
+    /// is accepting on it.
+    pub fn bind(config: ServerConfig, shutdown: Arc<AtomicBool>) -> std::io::Result<Self> {
+        let listener = match UnixListener::bind(&config.socket) {
+            Ok(l) => l,
+            Err(e) if e.kind() == ErrorKind::AddrInUse => {
+                if UnixStream::connect(&config.socket).is_ok() {
+                    return Err(std::io::Error::new(
+                        ErrorKind::AddrInUse,
+                        format!("a daemon is already listening on {}", config.socket.display()),
+                    ));
+                }
+                std::fs::remove_file(&config.socket)?;
+                UnixListener::bind(&config.socket)?
+            }
+            Err(e) => return Err(e),
+        };
+        listener.set_nonblocking(true)?;
+        let gate = Arc::new(AdmissionGate::new(effective_workers(config.workers)));
+        let shared = Arc::new(Shared { config, gate, shutdown, active: AtomicUsize::new(0) });
+        Ok(Server { listener, shared })
+    }
+
+    /// The socket path this daemon is accepting on.
+    pub fn socket(&self) -> &PathBuf {
+        &self.shared.config.socket
+    }
+
+    /// Accepts and serves sessions until the shutdown flag is set, then
+    /// drains: closes the admission gate, joins every session thread
+    /// (in-flight jobs finish and journal; queued ones are skipped) and
+    /// removes the socket file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors other than the nonblocking poll's
+    /// `WouldBlock`.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    if self.shared.active.load(Ordering::SeqCst) >= self.shared.config.max_clients {
+                        let mut s = stream;
+                        let _ = write_frame(
+                            &mut s,
+                            &obj(vec![
+                                ("type", Value::Str("busy".into())),
+                                (
+                                    "detail",
+                                    Value::Str(format!(
+                                        "daemon at its {}-client limit",
+                                        self.shared.config.max_clients
+                                    )),
+                                ),
+                            ]),
+                        );
+                        continue;
+                    }
+                    self.shared.active.fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&self.shared);
+                    sessions.push(std::thread::spawn(move || {
+                        serve_session(stream, &shared);
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    sessions.retain(|h| !h.is_finished());
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: no new admissions; in-flight jobs finish and journal.
+        self.shared.gate.close();
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(&self.shared.config.socket);
+        Ok(())
+    }
+}
+
+/// Reads frames off `reader`, treating the poll timeout as "check the
+/// shutdown flag and keep waiting". Returns `None` on EOF, a dead peer,
+/// or daemon shutdown.
+fn next_frame(reader: &mut FrameReader<UnixStream>, shared: &Shared) -> Option<Value> {
+    loop {
+        match reader.next_frame() {
+            Ok(frame) => return frame,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn send(writer: &Mutex<UnixStream>, frame: &Value) -> bool {
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    write_frame(&mut *w, frame).is_ok()
+}
+
+/// Builds the session's engine: shared cache, deterministic artifacts,
+/// gate admission, a per-session resumable journal, and an event stream
+/// back to the client.
+///
+/// A journal already locked by a live engine (the same session string
+/// connected twice) degrades to an unjournaled session — results are
+/// still correct and deterministic, only restart-resume is lost.
+fn session_engine(shared: &Shared, session_id: u64, writer: Arc<Mutex<UnixStream>>) -> SweepEngine {
+    let builder = || {
+        let mut b = regwin_sweep::SweepConfig::builder()
+            .workers(shared.config.workers)
+            .deterministic_artifact(true)
+            .admission(Arc::clone(&shared.gate), session_id);
+        if let Some(dir) = &shared.config.cache_dir {
+            b = b.cache_dir(dir.clone());
+        }
+        let probe_writer = Arc::clone(&writer);
+        let probe = StreamProbe::new(move |line: &str| {
+            let mut w = probe_writer.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = w.write_all(format!("{{\"type\":\"event\",\"data\":{line}}}\n").as_bytes());
+            let _ = w.flush();
+        });
+        b.probe(Arc::new(probe) as Arc<dyn Probe>)
+    };
+    let journaled = shared.config.journal_dir.as_ref().map(|dir| {
+        builder()
+            .journal(dir.join(format!("{session_id:016x}.journal.jsonl")))
+            .resume(true)
+            .build()
+            .expect("journaled session config is valid")
+    });
+    match journaled {
+        None => SweepEngine::with_config(builder().build().expect("session config is valid")),
+        Some(config) => match SweepEngine::try_with_config(config) {
+            Ok(engine) => engine,
+            Err(SweepConfigError::JournalBusy { path }) => {
+                eprintln!(
+                    "session {session_id:016x}: journal {} is busy (same session connected \
+                     twice?); running unjournaled",
+                    path.display()
+                );
+                SweepEngine::with_config(builder().build().expect("session config is valid"))
+            }
+            Err(e) => {
+                eprintln!("session {session_id:016x}: {e}; running unjournaled");
+                SweepEngine::with_config(builder().build().expect("session config is valid"))
+            }
+        },
+    }
+}
+
+/// One connection, hello to bye.
+fn serve_session(stream: UnixStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(write_half) = stream.try_clone() else { return };
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut reader = FrameReader::new(stream);
+
+    // Handshake.
+    let Some(hello) = next_frame(&mut reader, shared) else { return };
+    let ok = frame_type(&hello) == Ok("hello")
+        && hello.get("proto").and_then(Value::as_u64) == Some(PROTO_VERSION);
+    let Some(session) = hello.get("session").and_then(Value::as_str) else { return };
+    if !ok {
+        let _ = send(
+            &writer,
+            &obj(vec![
+                ("type", Value::Str("sweep_error".into())),
+                ("detail", Value::Str(format!("expected hello with proto {PROTO_VERSION}"))),
+                ("draining", Value::Bool(false)),
+            ]),
+        );
+        return;
+    }
+    let session_id = fnv1a(session.as_bytes());
+    let engine = session_engine(shared, session_id, Arc::clone(&writer));
+    if !send(
+        &writer,
+        &obj(vec![
+            ("type", Value::Str("ready".into())),
+            ("proto", Value::Int(PROTO_VERSION)),
+            ("session_id", Value::Str(format!("{session_id:016x}"))),
+        ]),
+    ) {
+        return;
+    }
+
+    while let Some(frame) = next_frame(&mut reader, shared) {
+        match frame_type(&frame).unwrap_or("?") {
+            "sweep" => {
+                let spec = match frame.get("spec").ok_or(()).and_then(|v| {
+                    spec_from_value(v).map_err(|e| {
+                        let _ = send(
+                            &writer,
+                            &obj(vec![
+                                ("type", Value::Str("sweep_error".into())),
+                                ("detail", Value::Str(e.to_string())),
+                                ("draining", Value::Bool(false)),
+                            ]),
+                        );
+                    })
+                }) {
+                    Ok(spec) => spec,
+                    Err(()) => continue,
+                };
+                let skipped_before = engine.shutdown_skipped();
+                let outcome = engine.run_matrix(&spec);
+                let skipped = engine.shutdown_skipped() - skipped_before;
+                let reply = match outcome {
+                    Ok(_) if skipped > 0 => obj(vec![
+                        ("type", Value::Str("sweep_error".into())),
+                        (
+                            "detail",
+                            Value::Str(format!(
+                                "daemon draining: {skipped} job(s) were not admitted; completed \
+                                 jobs are journaled — reconnect after restart to resume"
+                            )),
+                        ),
+                        ("draining", Value::Bool(true)),
+                    ]),
+                    Ok(records) => obj(vec![
+                        ("type", Value::Str("records".into())),
+                        ("records", records_to_value(&records)),
+                        ("summary", summary_to_value(&engine.summary())),
+                        ("quarantine", quarantine_to_value(&engine.quarantine())),
+                    ]),
+                    Err(e) => obj(vec![
+                        ("type", Value::Str("sweep_error".into())),
+                        ("detail", Value::Str(e.to_string())),
+                        ("draining", Value::Bool(false)),
+                    ]),
+                };
+                if !send(&writer, &reply) {
+                    return;
+                }
+            }
+            "artifact" => {
+                // Exactly the bytes `SweepEngine::write_artifact` would
+                // write, so a thin client's file `cmp`s clean against
+                // the in-process path.
+                let data = engine.artifact_value().to_json();
+                if !send(
+                    &writer,
+                    &obj(vec![("type", Value::Str("artifact".into())), ("data", Value::Str(data))]),
+                ) {
+                    return;
+                }
+            }
+            "shutdown" => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.gate.close();
+                let _ = send(&writer, &obj(vec![("type", Value::Str("ok".into()))]));
+            }
+            "bye" => return,
+            other => {
+                let _ = send(
+                    &writer,
+                    &obj(vec![
+                        ("type", Value::Str("sweep_error".into())),
+                        ("detail", Value::Str(format!("unknown frame type '{other}'"))),
+                        ("draining", Value::Bool(false)),
+                    ]),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! End-to-end daemon tests: a server thread on a temp socket, real
+//! `ServeClient` sessions, and byte-identity against the in-process
+//! path — the differential oracle the whole service hangs on.
+
+use regwin_core::{Behavior, Concurrency, Granularity, MatrixSpec};
+use regwin_machine::{SchemeKind, TimingKind};
+use regwin_rt::SchedulingPolicy;
+use regwin_serve::{ClientError, ServeClient, Server, ServerConfig};
+use regwin_spell::CorpusSpec;
+use regwin_sweep::{SweepConfig, SweepEngine};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn spec_a() -> MatrixSpec {
+    MatrixSpec {
+        corpus: CorpusSpec::small(),
+        behaviors: vec![Behavior::new(Concurrency::High, Granularity::Medium)],
+        schemes: vec![SchemeKind::Ns, SchemeKind::Sp],
+        windows: vec![4, 8],
+        policy: SchedulingPolicy::Fifo,
+        timing: TimingKind::S20,
+    }
+}
+
+/// Overlaps `spec_a` on (NS, 8) and (SP, 8), adds (SNP, 8) and w=12.
+fn spec_b() -> MatrixSpec {
+    MatrixSpec {
+        corpus: CorpusSpec::small(),
+        behaviors: vec![Behavior::new(Concurrency::High, Granularity::Medium)],
+        schemes: vec![SchemeKind::Ns, SchemeKind::Snp, SchemeKind::Sp],
+        windows: vec![8, 12],
+        policy: SchedulingPolicy::Fifo,
+        timing: TimingKind::S20,
+    }
+}
+
+struct TestDaemon {
+    dir: PathBuf,
+    socket: PathBuf,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestDaemon {
+    fn start(tag: &str, max_clients: usize) -> Self {
+        let dir = std::env::temp_dir().join(format!("regwin-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self::restart(dir, max_clients)
+    }
+
+    /// Starts (or restarts) a daemon over an existing state directory,
+    /// reusing its cache and journals.
+    fn restart(dir: PathBuf, max_clients: usize) -> Self {
+        let socket = dir.join("daemon.sock");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let config = ServerConfig {
+            socket: socket.clone(),
+            cache_dir: Some(dir.join("cache")),
+            journal_dir: Some(dir.join("journals")),
+            workers: 2,
+            max_clients,
+        };
+        std::fs::create_dir_all(dir.join("journals")).unwrap();
+        let server = Server::bind(config, Arc::clone(&shutdown)).expect("daemon binds");
+        let handle = std::thread::spawn(move || server.run());
+        TestDaemon { dir, socket, shutdown, handle: Some(handle) }
+    }
+
+    fn connect(&self, session: &str) -> Result<ServeClient, ClientError> {
+        // The daemon thread may still be between bind and accept; the
+        // listener exists once bind returned, so connect just works.
+        ServeClient::connect(&self.socket, session)
+    }
+
+    /// Flips the shutdown flag and joins the daemon thread.
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            h.join().unwrap().expect("daemon exits cleanly");
+        }
+    }
+
+    /// Stops the daemon and deletes its state directory. Call at the
+    /// end of a test; plain `drop` keeps the directory so a restarted
+    /// daemon can reuse it.
+    fn cleanup(mut self) {
+        self.stop();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl Drop for TestDaemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The in-process ground truth for a session running `specs` in order:
+/// a fresh deterministic engine, no cache.
+fn reference(specs: &[MatrixSpec]) -> (Vec<Vec<regwin_core::RunRecord>>, String) {
+    let engine = SweepEngine::with_config(
+        SweepConfig::builder().deterministic_artifact(true).workers(2).build().unwrap(),
+    );
+    let records = specs.iter().map(|s| engine.run_matrix(s).expect("reference runs")).collect();
+    (records, engine.artifact_value().to_json())
+}
+
+fn assert_same_records(got: &[regwin_core::RunRecord], want: &[regwin_core::RunRecord]) {
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.behavior, w.behavior);
+        assert_eq!(g.scheme, w.scheme);
+        assert_eq!(g.policy, w.policy);
+        assert_eq!(g.nwindows, w.nwindows);
+        assert_eq!(g.report, w.report, "remote records must be bit-equal");
+    }
+}
+
+#[test]
+fn a_thin_client_matches_the_in_process_path_byte_for_byte() {
+    let daemon = TestDaemon::start("basic", 4);
+    let (want_records, want_artifact) = reference(&[spec_a()]);
+
+    let mut client = daemon.connect("basic-session").expect("client connects");
+    assert_eq!(client.session_id().len(), 16);
+    let records = client.run_matrix(&spec_a()).expect("remote sweep runs");
+    assert_same_records(&records, &want_records[0]);
+    let summary = client.summary();
+    assert_eq!(summary.jobs, spec_a().len());
+    assert_eq!(summary.quarantined, 0);
+    assert!(client.quarantine().is_empty());
+    let artifact = client.artifact().expect("artifact fetch");
+    assert_eq!(artifact, want_artifact, "thin-client artifact must be byte-identical");
+    client.bye();
+    daemon.cleanup();
+}
+
+#[test]
+fn two_concurrent_clients_with_overlapping_sweeps_both_match() {
+    let daemon = TestDaemon::start("pair", 4);
+    let (want_a, artifact_a) = reference(&[spec_a()]);
+    let (want_b, artifact_b) = reference(&[spec_b()]);
+
+    std::thread::scope(|scope| {
+        let socket_a: &Path = &daemon.socket;
+        let socket_b: &Path = &daemon.socket;
+        let a = scope.spawn(move || {
+            let mut client = ServeClient::connect(socket_a, "client-a").expect("a connects");
+            let records = client.run_matrix(&spec_a()).expect("a sweeps");
+            let artifact = client.artifact().expect("a artifact");
+            client.bye();
+            (records, artifact)
+        });
+        let b = scope.spawn(move || {
+            let mut client = ServeClient::connect(socket_b, "client-b").expect("b connects");
+            let records = client.run_matrix(&spec_b()).expect("b sweeps");
+            let artifact = client.artifact().expect("b artifact");
+            client.bye();
+            (records, artifact)
+        });
+        let (records, artifact) = a.join().unwrap();
+        assert_same_records(&records, &want_a[0]);
+        assert_eq!(artifact, artifact_a, "client a artifact must be byte-identical");
+        let (records, artifact) = b.join().unwrap();
+        assert_same_records(&records, &want_b[0]);
+        assert_eq!(artifact, artifact_b, "client b artifact must be byte-identical");
+    });
+    daemon.cleanup();
+}
+
+#[test]
+fn a_session_resumes_byte_identically_across_a_daemon_restart() {
+    let mut daemon = TestDaemon::start("resume", 4);
+    let (_, want_artifact) = reference(&[spec_b()]);
+
+    // First daemon lifetime: run the sweep and stop (the journal keeps
+    // every completed job).
+    let mut client = daemon.connect("resume-session").expect("client connects");
+    client.run_matrix(&spec_b()).expect("first run");
+    let first_artifact = client.artifact().expect("first artifact");
+    assert_eq!(first_artifact, want_artifact);
+    client.bye();
+    daemon.stop();
+    let dir = daemon.dir.clone();
+    drop(std::mem::replace(&mut daemon, TestDaemon::restart(dir.clone(), 4)));
+
+    // Second lifetime, same session string: the journal replays, the
+    // sweep is pure replay, and the artifact is byte-identical.
+    let mut client = daemon.connect("resume-session").expect("client reconnects");
+    let records = client.run_matrix(&spec_b()).expect("resumed run");
+    assert_eq!(records.len(), spec_b().len());
+    let artifact = client.artifact().expect("resumed artifact");
+    assert_eq!(artifact, want_artifact, "restart + resume must be byte-identical");
+    client.bye();
+    daemon.cleanup();
+}
+
+#[test]
+fn a_draining_daemon_cuts_sweeps_short_and_a_restart_completes_them() {
+    let mut daemon = TestDaemon::start("drain", 4);
+    let (_, want_artifact) = reference(&[spec_b()]);
+
+    let mut client = daemon.connect("drain-session").expect("client connects");
+    // Trip the drain before the sweep: depending on timing the session
+    // either errors the sweep (gate closed / draining) or the
+    // connection drops — both are acceptable shutdown behaviours, and
+    // either way nothing wrong lands in the journal.
+    daemon.shutdown.store(true, Ordering::SeqCst);
+    // Either the sweep slips in whole before the gate closes (legal —
+    // everything it finished is journaled like any other run), or it is
+    // cut short with a draining error / dropped connection.
+    if let Ok(records) = client.run_matrix(&spec_b()) {
+        assert_eq!(records.len(), spec_b().len());
+    }
+    daemon.stop();
+
+    // Restart: the same session completes the sweep and the artifact is
+    // byte-identical to an undisturbed run.
+    let dir = daemon.dir.clone();
+    drop(std::mem::replace(&mut daemon, TestDaemon::restart(dir, 4)));
+    let mut client = daemon.connect("drain-session").expect("client reconnects");
+    client.run_matrix(&spec_b()).expect("post-restart run");
+    let artifact = client.artifact().expect("post-restart artifact");
+    assert_eq!(artifact, want_artifact, "drain must never corrupt the journaled session");
+    client.bye();
+    daemon.cleanup();
+}
+
+#[test]
+fn the_client_limit_turns_extra_connections_away_with_busy() {
+    let daemon = TestDaemon::start("busy", 1);
+    let client = daemon.connect("first").expect("first client connects");
+    let second = daemon.connect("second");
+    match second {
+        Err(ClientError::Busy(detail)) => assert!(detail.contains("limit")),
+        other => panic!("expected busy, got {other:?}"),
+    }
+    client.bye();
+    daemon.cleanup();
+}

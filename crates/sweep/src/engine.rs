@@ -14,9 +14,11 @@
 //! trace when at least one of its cells actually missed the cache.
 
 use crate::cache::ResultCache;
-use crate::journal::{replay_journal, JournalReplay, SweepJournal};
+use crate::gate::AdmissionGate;
+use crate::journal::{replay_journal, JournalOpenError, JournalReplay, SweepJournal};
 use crate::json::{obj, Value};
 use crate::key::JobKey;
+use crate::lock::DirLock;
 use regwin_core::{MatrixSpec, RunRecord};
 use regwin_machine::MachineConfig;
 use regwin_obs::jsonl::Row;
@@ -90,6 +92,23 @@ pub struct SweepConfig {
     /// share cache entries; the flag buys masked-corruption repair (and
     /// quarantine of unrecoverable corruption), not different numbers.
     pub audit: bool,
+    /// Force deterministic artifacts even without a journal: wall-clock
+    /// fields are zeroed, logs sort by key, and cache-state-dependent
+    /// sections (`cache_dir`, hit/miss flags and counts, `timings`) are
+    /// omitted, so two engines produce byte-identical artifacts for the
+    /// same job set no matter how warm their caches were. Journaling
+    /// implies this mode.
+    pub deterministic_artifact: bool,
+    /// Cross-engine admission gate: when set, every cache-missing job
+    /// acquires a slot (as `admission_session`) before executing, so
+    /// several engines sharing one gate respect a global concurrency
+    /// bound with round-robin fairness across sessions. Jobs refused by
+    /// a closed gate (daemon drain) are *skipped* — not run, not
+    /// quarantined, not journaled — and counted in
+    /// [`SweepEngine::shutdown_skipped`].
+    pub admission: Option<Arc<AdmissionGate>>,
+    /// This engine's session id under `admission`.
+    pub admission_session: u64,
 }
 
 impl SweepConfig {
@@ -151,6 +170,16 @@ pub enum SweepConfigError {
     /// are only ever abandoned when they time out, so the cap could
     /// never trip.
     AbandonedCapWithoutTimeout,
+    /// The configured journal is locked by another live engine: a
+    /// journal is single-writer (two appenders would interleave torn
+    /// lines), so the second opener is rejected instead. Only
+    /// [`SweepEngine::try_with_config`] surfaces this;
+    /// [`SweepEngine::with_config`] downgrades it to a warning and runs
+    /// without a journal.
+    JournalBusy {
+        /// The busy journal's path.
+        path: PathBuf,
+    },
 }
 
 impl std::fmt::Display for SweepConfigError {
@@ -171,6 +200,12 @@ impl std::fmt::Display for SweepConfigError {
                 f,
                 "abandoned-thread cap set without a job timeout; attempts are only \
                  abandoned on timeout, so the cap could never trip (set a job timeout)"
+            ),
+            SweepConfigError::JournalBusy { path } => write!(
+                f,
+                "journal {} is locked by another live sweep engine (journals are \
+                 single-writer; use a distinct journal path per engine)",
+                path.display()
             ),
         }
     }
@@ -276,6 +311,23 @@ impl SweepConfigBuilder {
     #[must_use]
     pub fn window_audit(mut self, on: bool) -> Self {
         self.config.audit = on;
+        self
+    }
+
+    /// Forces deterministic artifacts without requiring a journal (see
+    /// [`SweepConfig::deterministic_artifact`]).
+    #[must_use]
+    pub fn deterministic_artifact(mut self, on: bool) -> Self {
+        self.config.deterministic_artifact = on;
+        self
+    }
+
+    /// Installs a cross-engine admission gate under which this engine
+    /// executes jobs as `session` (see [`SweepConfig::admission`]).
+    #[must_use]
+    pub fn admission(mut self, gate: Arc<AdmissionGate>, session: u64) -> Self {
+        self.config.admission = Some(gate);
+        self.config.admission_session = session;
         self
     }
 
@@ -405,6 +457,10 @@ pub struct SweepEngine {
     resumed_quarantine: std::collections::BTreeSet<String>,
     /// Detached attempt threads abandoned to timeouts so far.
     abandoned: AtomicU64,
+    /// Jobs skipped because the admission gate closed mid-batch
+    /// (daemon drain): never run, never quarantined, never journaled —
+    /// a resumed engine re-runs them.
+    skipped: AtomicU64,
     /// Journaling is on: zero wall-clock fields and sort logs in the
     /// artifact, so resumed and uninterrupted runs serialize
     /// byte-identically.
@@ -597,23 +653,69 @@ impl SweepEngine {
     /// [`SweepConfig::validate`] are accepted here for compatibility,
     /// with the problem reported as a stderr warning.
     pub fn with_config(config: SweepConfig) -> Self {
+        if let Err(e) = config.validate() {
+            eprintln!("warning: {e}");
+        }
+        let (journal, replay) = match Self::open_configured_journal(&config) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // A busy journal downgrades like any other journal-open
+                // failure on this compatibility path: the sweep still
+                // runs, just without resumability (and without torn
+                // interleaved lines). try_with_config surfaces it typed.
+                eprintln!("warning: {e}; journaling disabled");
+                (None, JournalReplay::default())
+            }
+        };
+        Self::assemble(config, journal, replay)
+    }
+
+    /// Like [`SweepEngine::with_config`], but config inconsistencies
+    /// and a busy journal are returned typed instead of warned about.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepConfigError::JournalBusy`] when another live engine holds
+    /// the configured journal's single-writer lock; any
+    /// [`SweepConfig::validate`] error otherwise.
+    pub fn try_with_config(config: SweepConfig) -> Result<Self, SweepConfigError> {
+        config.validate()?;
+        let (journal, replay) = Self::open_configured_journal(&config)?;
+        Ok(Self::assemble(config, journal, replay))
+    }
+
+    /// Opens (or resumes) the configured journal, taking its
+    /// single-writer lock. Plain i/o failures degrade to a warned
+    /// `None` (an unjournaled sweep is still correct); a *busy* journal
+    /// is a real configuration conflict and comes back typed.
+    fn open_configured_journal(
+        config: &SweepConfig,
+    ) -> Result<(Option<SweepJournal>, JournalReplay), SweepConfigError> {
+        let open = |result: Result<SweepJournal, JournalOpenError>| match result {
+            Ok(journal) => Ok(Some(journal)),
+            Err(JournalOpenError::Busy { path }) => Err(SweepConfigError::JournalBusy { path }),
+            Err(JournalOpenError::Io(e)) => {
+                eprintln!("warning: cannot open sweep journal: {e}");
+                Ok(None)
+            }
+        };
+        match &config.journal_path {
+            Some(path) if config.resume => {
+                let replay = replay_journal(path);
+                Ok((open(SweepJournal::append_to(path))?, replay))
+            }
+            Some(path) => Ok((open(SweepJournal::create(path))?, JournalReplay::default())),
+            None => Ok((None, JournalReplay::default())),
+        }
+    }
+
+    fn assemble(config: SweepConfig, journal: Option<SweepJournal>, replay: JournalReplay) -> Self {
         // A fault plan disables the cache entirely: faulty results must
         // never be stored, and cached results must never shadow the
         // injection the caller asked for.
         let faulty = config.fault_plan.as_ref().is_some_and(|p| !p.is_empty());
         let cache = if faulty { None } else { config.cache_dir.as_ref().map(ResultCache::new) };
-        if let Err(e) = config.validate() {
-            eprintln!("warning: {e}");
-        }
-        let deterministic = config.journal_path.is_some();
-        let (journal, replay) = match &config.journal_path {
-            Some(path) if config.resume => {
-                let replay = replay_journal(path);
-                (open_journal(SweepJournal::append_to(path)), replay)
-            }
-            Some(path) => (open_journal(SweepJournal::create(path)), JournalReplay::default()),
-            None => (None, JournalReplay::default()),
-        };
+        let deterministic = config.journal_path.is_some() || config.deterministic_artifact;
         let resumed_quarantine = replay
             .quarantined
             .iter()
@@ -634,6 +736,7 @@ impl SweepEngine {
             resumed: replay.jobs,
             resumed_quarantine,
             abandoned: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
             deterministic,
             wall_hints: Mutex::new(BTreeMap::new()),
         };
@@ -738,6 +841,14 @@ impl SweepEngine {
         self.abandoned.load(Ordering::Relaxed)
     }
 
+    /// Jobs skipped because the admission gate closed mid-batch (see
+    /// [`SweepConfig::admission`]): their result slots came back `None`
+    /// without running, quarantining or journaling, so a resumed engine
+    /// re-runs exactly these.
+    pub fn shutdown_skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+
     fn probe_event(&self, event: &ProbeEvent<'_>) {
         if let Some(p) = &self.config.probe {
             p.record(event);
@@ -763,12 +874,22 @@ impl SweepEngine {
     /// Merges this engine's measured wall times into the cache
     /// directory's hint store. Write failures cost future scheduling
     /// quality, not correctness, so they are silently ignored.
+    ///
+    /// The read-merge-write runs under the hint store's advisory lock:
+    /// without it, two engines sharing a cache dir could both read the
+    /// old file and the second rename would clobber the first engine's
+    /// hints (last-write-wins). With the lock, concurrent engines'
+    /// hints accumulate as a union. An unobtainable lock (live holder
+    /// past the timeout) degrades to proceeding unlocked — hints are
+    /// advisory, and wedging the sweep on them would invert priorities.
     fn persist_wall_hints(&self) {
         let Some(cache) = &self.cache else { return };
         let fresh = self.wall_hints.lock().unwrap_or_else(|e| e.into_inner());
         if fresh.is_empty() {
             return;
         }
+        let lock_path = cache.dir().join(format!("{WALL_HINTS_FILE}.lock"));
+        let _lock = DirLock::acquire(lock_path, Duration::from_secs(5)).ok().flatten();
         let mut merged = self.load_wall_hints();
         for (id, ms) in fresh.iter() {
             merged.insert(id.clone(), *ms);
@@ -900,6 +1021,22 @@ impl SweepEngine {
                                 break;
                             }
                             let i = miss_indices[mi];
+                            // Under a shared admission gate, hold a
+                            // granted slot for the job's duration —
+                            // the global bound plus round-robin
+                            // fairness across engine sessions. A
+                            // closed gate (daemon drain) skips the job
+                            // entirely.
+                            let _ticket = match &self.config.admission {
+                                Some(gate) => match gate.acquire(self.config.admission_session) {
+                                    Ok(ticket) => Some(ticket),
+                                    Err(_closed) => {
+                                        self.skipped.fetch_add(1, Ordering::Relaxed);
+                                        continue;
+                                    }
+                                },
+                                None => None,
+                            };
                             let report = execute_job(&mut sink, &jobs[i], base_seq + mi as u64);
                             out.push((i, report));
                         }
@@ -1122,13 +1259,24 @@ impl SweepEngine {
 
     /// The `BENCH_sweep.json` artifact: engine configuration, aggregate
     /// counters and the full per-job log with wall times.
+    ///
+    /// In deterministic mode (journaled, or
+    /// [`SweepConfig::deterministic_artifact`]) the artifact is a pure
+    /// function of the *job set*: wall-clock fields are zeroed, logs
+    /// sort by canonical key, and every cache-state-dependent section —
+    /// `cache_dir`, per-job `cache` hit/miss flags, the global
+    /// `cache_hits`/`cache_misses` counters and the host-measured
+    /// `timings` — is omitted. That is what lets a warm server-side
+    /// sweep, a cold in-process sweep and a killed-and-resumed sweep
+    /// all serialize byte-identically.
     pub fn artifact_value(&self) -> Value {
         let mut log = self.log.lock().unwrap_or_else(|e| e.into_inner()).clone();
         let mut quarantine = self.quarantine.lock().unwrap_or_else(|e| e.into_inner()).clone();
         if self.deterministic {
-            // Journaled runs promise a byte-identical artifact whether
-            // the sweep ran straight through or was killed and resumed:
-            // order by canonical key instead of completion order.
+            // Deterministic runs promise a byte-identical artifact
+            // whether the sweep ran straight through or was killed and
+            // resumed: order by canonical key instead of completion
+            // order.
             log.sort_by(|a, b| a.key.cmp(&b.key));
             quarantine.sort_by(|a, b| a.key.cmp(&b.key));
         }
@@ -1136,61 +1284,72 @@ impl SweepEngine {
         let jobs = Value::Arr(
             log.iter()
                 .map(|j| {
-                    obj(vec![
+                    let mut fields = vec![
                         ("id", Value::Str(j.id.clone())),
                         ("key", Value::Str(j.key.clone())),
                         ("label", Value::Str(j.label.clone())),
-                        ("cache", Value::Str(if j.cache_hit { "hit" } else { "miss" }.into())),
-                        ("wall_ms", Value::Float(j.wall_ms)),
-                        ("total_cycles", Value::Int(j.total_cycles)),
-                    ])
+                    ];
+                    if !self.deterministic {
+                        fields.push((
+                            "cache",
+                            Value::Str(if j.cache_hit { "hit" } else { "miss" }.into()),
+                        ));
+                    }
+                    fields.push(("wall_ms", Value::Float(j.wall_ms)));
+                    fields.push(("total_cycles", Value::Int(j.total_cycles)));
+                    obj(fields)
                 })
                 .collect(),
         );
-        obj(vec![
-            ("version", Value::Int(u64::from(crate::key::FORMAT_VERSION))),
-            (
+        let mut fields = vec![("version", Value::Int(u64::from(crate::key::FORMAT_VERSION)))];
+        if !self.deterministic {
+            fields.push((
                 "cache_dir",
                 match &self.config.cache_dir {
                     Some(d) => Value::Str(d.display().to_string()),
                     None => Value::Null,
                 },
+            ));
+        }
+        fields.push(("jobs_total", Value::Int(log.len() as u64)));
+        if !self.deterministic {
+            fields.push(("cache_hits", Value::Int(summary_hits as u64)));
+            fields.push(("cache_misses", Value::Int((log.len() - summary_hits) as u64)));
+        }
+        fields.push(("quarantined", Value::Int(quarantine.len() as u64)));
+        fields.push((
+            "wall_ms",
+            Value::Float(if self.deterministic {
+                0.0
+            } else {
+                self.started.elapsed().as_secs_f64() * 1e3
+            }),
+        ));
+        fields.push(("metrics", self.metrics_value()));
+        if !self.deterministic {
+            fields.push(("timings", self.timings_value()));
+        }
+        fields.push(("jobs", jobs));
+        fields.push((
+            "quarantine",
+            Value::Arr(
+                quarantine
+                    .iter()
+                    .map(|q| {
+                        obj(vec![
+                            ("id", Value::Str(q.id.clone())),
+                            ("key", Value::Str(q.key.clone())),
+                            ("label", Value::Str(q.label.clone())),
+                            ("reason", Value::Str(q.reason.into())),
+                            ("attempts", Value::Int(u64::from(q.attempts))),
+                            ("detail", Value::Str(q.detail.clone())),
+                            ("repro", Value::Str(q.repro.clone())),
+                        ])
+                    })
+                    .collect(),
             ),
-            ("jobs_total", Value::Int(log.len() as u64)),
-            ("cache_hits", Value::Int(summary_hits as u64)),
-            ("cache_misses", Value::Int((log.len() - summary_hits) as u64)),
-            ("quarantined", Value::Int(quarantine.len() as u64)),
-            (
-                "wall_ms",
-                Value::Float(if self.deterministic {
-                    0.0
-                } else {
-                    self.started.elapsed().as_secs_f64() * 1e3
-                }),
-            ),
-            ("metrics", self.metrics_value()),
-            ("timings", self.timings_value()),
-            ("jobs", jobs),
-            (
-                "quarantine",
-                Value::Arr(
-                    quarantine
-                        .iter()
-                        .map(|q| {
-                            obj(vec![
-                                ("id", Value::Str(q.id.clone())),
-                                ("key", Value::Str(q.key.clone())),
-                                ("label", Value::Str(q.label.clone())),
-                                ("reason", Value::Str(q.reason.into())),
-                                ("attempts", Value::Int(u64::from(q.attempts))),
-                                ("detail", Value::Str(q.detail.clone())),
-                                ("repro", Value::Str(q.repro.clone())),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ])
+        ));
+        obj(fields)
     }
 
     /// The deterministic `metrics` artifact section: typed counters
@@ -1337,19 +1496,6 @@ pub fn write_file_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
         let _ = std::fs::remove_file(&tmp);
     }
     result
-}
-
-/// Converts a journal-open result into the engine's optional journal,
-/// downgrading failure to a warning: a sweep without its journal is
-/// still correct, just not resumable.
-fn open_journal(result: std::io::Result<SweepJournal>) -> Option<SweepJournal> {
-    match result {
-        Ok(journal) => Some(journal),
-        Err(e) => {
-            eprintln!("warning: cannot open sweep journal: {e}");
-            None
-        }
-    }
 }
 
 /// A [`MetricSet`] as a JSON object: nonzero counters in canonical
@@ -1924,6 +2070,9 @@ mod tests {
             SweepEngine::with_config(SweepConfig::builder().journal(&journal).build().unwrap());
         reference.run_matrix(&spec).unwrap();
         let want = reference.artifact_value().to_json();
+        // Release the journal's single-writer lock — the "killed"
+        // run below reopens the same path.
+        drop(reference);
 
         // Simulate kill -9 after two jobs: keep two intact journal
         // lines plus a torn third (an append cut mid-way).
@@ -2140,5 +2289,124 @@ mod tests {
         let quarantine = engine.quarantine();
         assert_eq!(quarantine.len(), 1);
         assert_eq!(quarantine[0].reason, "timeout");
+    }
+
+    #[test]
+    fn a_second_engine_on_a_live_journal_is_journal_busy() {
+        let dir = std::env::temp_dir()
+            .join(format!("regwin-sweep-journal-busy-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = dir.join("shared.journal.jsonl");
+        let config = || SweepConfig::builder().journal(&journal).build().unwrap();
+        let first = SweepEngine::try_with_config(config()).expect("fresh journal");
+        match SweepEngine::try_with_config(config()) {
+            Err(SweepConfigError::JournalBusy { path }) => assert_eq!(path, journal),
+            other => panic!("second engine must be JournalBusy, got {other:?}"),
+        }
+        // The compatibility constructor degrades instead of failing:
+        // the engine works, just without a journal.
+        let degraded = SweepEngine::with_config(config());
+        degraded.run_matrix(&small_spec()).unwrap();
+        assert_eq!(degraded.summary().jobs, small_spec().len());
+        drop(first);
+        // Releasing the first engine frees the journal.
+        SweepEngine::try_with_config(config()).expect("released journal must reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_engines_accumulate_wall_hints_instead_of_clobbering() {
+        let dir = std::env::temp_dir()
+            .join(format!("regwin-sweep-hint-merge-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Two engines share one cache dir but run disjoint job sets
+        // concurrently; each persists its own wall hints at batch end.
+        // Merge-on-save under the hint lock means the union survives —
+        // the old last-write-wins save would keep only one engine's.
+        let spec_a = small_spec();
+        let mut spec_b = small_spec();
+        spec_b.windows = vec![6, 12];
+        std::thread::scope(|scope| {
+            for spec in [&spec_a, &spec_b] {
+                let dir = &dir;
+                scope.spawn(move || {
+                    let engine = SweepEngine::with_config(
+                        SweepConfig::builder().cache_dir(dir).build().unwrap(),
+                    );
+                    engine.run_matrix(spec).unwrap();
+                });
+            }
+        });
+        let hints = std::fs::read_to_string(dir.join(WALL_HINTS_FILE)).unwrap();
+        let parsed = crate::json::parse(&hints).unwrap();
+        let Value::Obj(pairs) = parsed else { panic!("hints must be an object") };
+        let ids: std::collections::BTreeSet<String> = pairs.into_iter().map(|(id, _)| id).collect();
+        for spec in [&spec_a, &spec_b] {
+            for behavior in &spec.behaviors {
+                for &scheme in &spec.schemes {
+                    for &w in &spec.windows {
+                        let key = JobKey::for_cell(spec, *behavior, scheme, w);
+                        assert!(
+                            ids.contains(&key.id()),
+                            "hint for {} must survive the concurrent save",
+                            key.canonical()
+                        );
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deterministic_artifact_flag_is_cache_state_independent() {
+        let dir = std::env::temp_dir()
+            .join(format!("regwin-sweep-det-artifact-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = small_spec();
+        // Cold: no cache at all. Warm: every cell already cached.
+        let cold = SweepEngine::with_config(
+            SweepConfig::builder().deterministic_artifact(true).build().unwrap(),
+        );
+        cold.run_matrix(&spec).unwrap();
+        let seeder =
+            SweepEngine::with_config(SweepConfig::builder().cache_dir(&dir).build().unwrap());
+        seeder.run_matrix(&spec).unwrap();
+        let warm = SweepEngine::with_config(
+            SweepConfig::builder().cache_dir(&dir).deterministic_artifact(true).build().unwrap(),
+        );
+        warm.run_matrix(&spec).unwrap();
+        assert_eq!(warm.summary().cache_hits, spec.len(), "warm engine must hit every cell");
+        assert_eq!(
+            warm.artifact_value().to_json(),
+            cold.artifact_value().to_json(),
+            "deterministic artifacts must not depend on cache state"
+        );
+        assert_eq!(warm.trace_string(), cold.trace_string());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_closed_admission_gate_skips_jobs_without_quarantining() {
+        let gate = Arc::new(AdmissionGate::new(2));
+        let engine = SweepEngine::with_config(
+            SweepConfig::builder().admission(Arc::clone(&gate), 7).workers(2).build().unwrap(),
+        );
+        // Open gate: the sweep runs normally under admission control.
+        let spec = small_spec();
+        let records = engine.run_matrix(&spec).unwrap();
+        assert_eq!(records.len(), spec.len());
+        assert_eq!(engine.shutdown_skipped(), 0);
+        // Closed gate: every remaining job is skipped — absent from the
+        // results, the quarantine log and the journal-visible log.
+        gate.close();
+        let before = engine.summary().jobs;
+        let mut spec2 = small_spec();
+        spec2.windows = vec![6, 12];
+        let records = engine.run_matrix(&spec2).unwrap();
+        assert!(records.is_empty(), "a draining engine must not return fresh records");
+        assert_eq!(engine.shutdown_skipped() as usize, spec2.len());
+        assert_eq!(engine.summary().jobs, before, "skipped jobs must not be logged");
+        assert!(engine.quarantine().is_empty(), "skipped jobs must not quarantine");
     }
 }

@@ -15,9 +15,19 @@
 //! `"type"` of `"job"` (a [`JobRecord`] plus its full [`RunReport`]) or
 //! `"quarantine"` (a [`QuarantineRecord`]).
 
+//! A journal is a **single-writer** file: two engines appending to the
+//! same path would interleave torn lines and corrupt each other's
+//! resume state. Opening one therefore takes a pid-stamped advisory
+//! lock (`<path>.lock`, see [`crate::lock::DirLock`]) and fails
+//! typed — [`JournalOpenError::Busy`] — while another live engine holds
+//! it; a holder that died without releasing (kill -9) is detected as
+//! stale and its lock is stolen, which is what keeps the
+//! kill-and-resume path working.
+
 use crate::engine::{JobRecord, QuarantineRecord};
 use crate::json::{obj, parse, Value};
 use crate::key::{fnv1a, FORMAT_VERSION};
+use crate::lock::DirLock;
 use crate::serial::{report_from_value, report_to_value};
 use regwin_rt::RunReport;
 use std::collections::BTreeMap;
@@ -26,11 +36,62 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-/// An append-only, fsync'd journal of completed sweep jobs.
+/// An append-only, fsync'd journal of completed sweep jobs. Holds the
+/// journal's single-writer advisory lock for its lifetime.
 #[derive(Debug)]
 pub struct SweepJournal {
     file: Mutex<File>,
     path: PathBuf,
+    /// Released (file removed) when the journal drops.
+    _lock: DirLock,
+}
+
+/// Why a journal could not be opened.
+#[derive(Debug)]
+pub enum JournalOpenError {
+    /// Another live engine holds the journal's single-writer lock.
+    Busy {
+        /// The journal path that is busy.
+        path: PathBuf,
+    },
+    /// A filesystem operation failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for JournalOpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalOpenError::Busy { path } => {
+                write!(f, "journal {} is locked by another live sweep engine", path.display())
+            }
+            JournalOpenError::Io(e) => write!(f, "journal i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalOpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalOpenError::Io(e) => Some(e),
+            JournalOpenError::Busy { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalOpenError {
+    fn from(e: std::io::Error) -> Self {
+        JournalOpenError::Io(e)
+    }
+}
+
+/// Takes the journal's single-writer lock at `<path>.lock`.
+fn lock_journal(path: &Path) -> Result<DirLock, JournalOpenError> {
+    let mut lock_name = path.as_os_str().to_owned();
+    lock_name.push(".lock");
+    match DirLock::try_acquire(PathBuf::from(lock_name))? {
+        Some(lock) => Ok(lock),
+        None => Err(JournalOpenError::Busy { path: path.to_path_buf() }),
+    }
 }
 
 /// Everything a journal knew at the moment of the crash: finished jobs
@@ -48,16 +109,18 @@ impl SweepJournal {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
-    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+    /// [`JournalOpenError::Busy`] when another live engine holds the
+    /// journal's single-writer lock; filesystem errors otherwise.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Self, JournalOpenError> {
         let path = path.into();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        let lock = lock_journal(&path)?;
         let file = File::create(&path)?;
-        Ok(SweepJournal { file: Mutex::new(file), path })
+        Ok(SweepJournal { file: Mutex::new(file), path, _lock: lock })
     }
 
     /// Reopens an existing journal at `path` for appending (resume); a
@@ -65,14 +128,16 @@ impl SweepJournal {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
-    pub fn append_to(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+    /// [`JournalOpenError::Busy`] when another live engine holds the
+    /// journal's single-writer lock; filesystem errors otherwise.
+    pub fn append_to(path: impl Into<PathBuf>) -> Result<Self, JournalOpenError> {
         let path = path.into();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        let lock = lock_journal(&path)?;
         // A kill -9 mid-append can leave a torn, newline-less final
         // line; terminate it so fresh appends start a new line (the
         // torn one then simply fails its checksum on the next replay)
@@ -84,7 +149,7 @@ impl SweepJournal {
         if torn_tail {
             file.write_all(b"\n")?;
         }
-        Ok(SweepJournal { file: Mutex::new(file), path })
+        Ok(SweepJournal { file: Mutex::new(file), path, _lock: lock })
     }
 
     /// The journal's path.
@@ -307,6 +372,46 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, text.replace("\"cache\":\"miss\"", "\"cache\":\"hit!\"")).unwrap();
         assert!(replay_journal(&path).jobs.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn second_writer_on_a_live_journal_is_rejected_as_busy() {
+        let path = tmpfile("busy");
+        let _ = std::fs::remove_file(&path);
+        let first = SweepJournal::create(&path).unwrap();
+        assert!(
+            matches!(SweepJournal::create(&path), Err(JournalOpenError::Busy { .. })),
+            "a second create on a held journal must be Busy"
+        );
+        assert!(
+            matches!(SweepJournal::append_to(&path), Err(JournalOpenError::Busy { .. })),
+            "a second append_to on a held journal must be Busy"
+        );
+        drop(first);
+        // Release frees the path for the next writer.
+        let second = SweepJournal::append_to(&path).unwrap();
+        drop(second);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_killed_writers_lock_does_not_block_resume() {
+        let path = tmpfile("stale-lock");
+        let _ = std::fs::remove_file(&path);
+        let (record, report) = sample();
+        {
+            let journal = SweepJournal::create(&path).unwrap();
+            journal.append_job(&record, &report).unwrap();
+        }
+        // Simulate kill -9: the dead writer left its lock file behind,
+        // stamped with a pid that no longer exists.
+        let lock_path = PathBuf::from(format!("{}.lock", path.display()));
+        std::fs::write(&lock_path, format!("{}", u32::MAX)).unwrap();
+        let resumed = SweepJournal::append_to(&path).expect("stale lock must be stolen");
+        resumed.append_job(&record, &report).unwrap();
+        drop(resumed);
+        assert!(!lock_path.exists(), "drop must release the stolen lock");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -119,8 +119,9 @@ impl JobKey {
 }
 
 /// 64-bit FNV-1a — names cache entries and checksums cache/journal
-/// payloads.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// payloads. Public so thin clients can derive stable ids (e.g. a
+/// sweep-service session id) with the exact hash the engine uses.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

@@ -52,9 +52,11 @@
 
 pub mod cache;
 pub mod engine;
+pub mod gate;
 pub mod journal;
 pub mod json;
 pub mod key;
+pub mod lock;
 pub mod serial;
 pub mod studies;
 
@@ -63,7 +65,9 @@ pub use engine::{
     records_to_json, write_file_atomic, Job, JobRecord, QuarantineRecord, SweepConfig,
     SweepConfigBuilder, SweepConfigError, SweepEngine, SweepSummary,
 };
-pub use journal::{replay_journal, JournalReplay, SweepJournal};
-pub use key::{JobKey, FORMAT_VERSION};
+pub use gate::{AdmissionGate, GateClosed, GateTicket};
+pub use journal::{replay_journal, JournalOpenError, JournalReplay, SweepJournal};
+pub use key::{fnv1a, JobKey, FORMAT_VERSION};
+pub use lock::DirLock;
 pub use serial::{report_from_json, report_to_json, DecodeError};
 pub use studies::run_ablation;
